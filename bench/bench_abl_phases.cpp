@@ -1,0 +1,187 @@
+// ABL — §6 internals: ablation of the two phases of the C_2k detector and
+// the amplification curve.
+//
+// Phase I catches cycles through high-degree (>= n^{1/(k-1)}) nodes; phase
+// II removes those nodes and catches cycles among the low-degree remainder.
+// We isolate each phase on C_6 (k = 3 — for k = 2 the degree threshold is n
+// and phase I is vacuous by design):
+//
+//   * "wheel": a hub of degree ~n adjacent to a rim cycle C_19 — every C_6
+//     goes through the hub, so phase II (which removes the hub) is blind;
+//   * "copies": disjoint C_6 copies — no high-degree nodes exist, so phase
+//     I (which only launches tokens from high-degree nodes) is blind.
+#include <algorithm>
+#include <iostream>
+
+#include "detect/even_cycle.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/builders.hpp"
+#include "graph/oracle.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace csd;
+
+/// Wheel: hub 0 + rim C_19. The only C_6 copies are hub + 5 consecutive rim
+/// vertices (19 of them); the rim alone is C_19-free of short cycles.
+Graph wheel_instance() {
+  Graph g = build::cycle(19);
+  const Vertex hub = g.add_vertex();
+  for (Vertex v = 0; v < 19; ++v) g.add_edge(hub, v);
+  return g;
+}
+
+/// Eight disjoint C_6 copies: all degrees are 2.
+Graph copies_instance() { return build::disjoint_copies(build::cycle(6), 8); }
+
+double detection_rate(const Graph& g, bool phase1, bool phase2,
+                      std::uint32_t repetitions, std::uint32_t trials) {
+  std::uint32_t hits = 0;
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    detect::EvenCycleConfig cfg;
+    cfg.k = 3;
+    cfg.c_num = 1;
+    cfg.enable_phase1 = phase1;
+    cfg.enable_phase2 = phase2;
+    cfg.repetitions = repetitions;
+    hits += detect::detect_even_cycle(g, cfg, 64, 777 + t).detected;
+  }
+  return static_cast<double>(hits) / trials;
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout, "ABL: phase ablation of the C_6 detector (k = 3)",
+               "cells: detection rate over 12 trials (1500/1000 reps each)");
+
+  const Graph wheel = wheel_instance();
+  const Graph copies = copies_instance();
+  CSD_CHECK(oracle::has_cycle_of_length(wheel, 6));
+  CSD_CHECK(oracle::has_cycle_of_length(copies, 6));
+
+  Table ablation({"variant", "wheel (hub C6s)", "disjoint C6 copies"});
+  const struct {
+    const char* name;
+    bool p1, p2;
+  } variants[] = {{"full algorithm", true, true},
+                  {"phase I only", true, false},
+                  {"phase II only", false, true},
+                  {"neither (control)", false, false}};
+  for (const auto& variant : variants) {
+    ablation.row()
+        .cell(variant.name)
+        .cell(detection_rate(wheel, variant.p1, variant.p2, 1500, 12), 2)
+        .cell(detection_rate(copies, variant.p1, variant.p2, 1000, 12), 2);
+  }
+  ablation.print(std::cout);
+  std::cout
+      << "\nExpected: the full algorithm detects both instances with high\n"
+         "rate; phase I alone matches it on the wheel but scores 0.00 on\n"
+         "the copies (no high-degree node ever launches a token); phase II\n"
+         "alone scores 0.00 on the wheel (every C_6 passes through the\n"
+         "removed hub) but matches on the copies; the control detects\n"
+         "nothing. This is exactly the case split of Section 6.\n";
+
+  print_banner(std::cout,
+               "Phase-II substrate: the layer decomposition across families",
+               "threshold d = 4M/n; up-degree must stay <= d and waves "
+               "within ceil(log2 n)+1");
+  Rng lrng(2024);
+  Table layering({"family", "n", "m", "d", "layers used", "wave cap",
+                  "max up-degree", "unassigned"});
+  struct LayerHost {
+    std::string name;
+    Graph g;
+  };
+  std::vector<LayerHost> layer_hosts;
+  layer_hosts.push_back({"tree(200)", build::random_tree(200, lrng)});
+  layer_hosts.push_back({"G(120, 4/n)", build::gnm(120, 240, lrng)});
+  layer_hosts.push_back({"polarity ER_7", build::polarity_graph(7)});
+  layer_hosts.push_back({"grid 12x12", build::grid(12, 12)});
+  for (const auto& host : layer_hosts) {
+    const auto n = host.g.num_vertices();
+    detect::EvenCycleConfig cfg6;
+    cfg6.k = 3;
+    const auto sched = detect::make_even_cycle_schedule(n, cfg6);
+    const auto threshold = static_cast<std::uint32_t>(sched.peel_degree);
+    const auto cap = static_cast<std::uint32_t>(sched.layer_waves);
+    const auto decomposition = layer_decomposition(host.g, threshold, cap);
+    layering.row()
+        .cell(host.name)
+        .cell(std::uint64_t{n})
+        .cell(host.g.num_edges())
+        .cell(std::uint64_t{threshold})
+        .cell(std::uint64_t{decomposition.num_layers})
+        .cell(std::uint64_t{cap})
+        .cell(std::uint64_t{max_up_degree(host.g, decomposition)})
+        .cell(static_cast<std::uint64_t>(decomposition.unassigned.size()));
+  }
+  layering.print(std::cout);
+  std::cout << "\nExpected: zero unassigned nodes, up-degree <= d, and far\n"
+               "fewer waves than the ceil(log2 n)+1 cap on these sparse\n"
+               "families — the guarantee phase II's windows are sized by.\n";
+
+  print_banner(std::cout, "Lemma 6.1: phase-I queues drain within R1",
+               "probe over the C_4-free polarity graphs (|E| <= M, many "
+               "high-degree origins); 5 seeds each");
+  Table drain({"graph", "n", "|E|", "M", "R1", "max queue seen",
+               "last busy round", "deadline rejects"});
+  for (const std::uint32_t q : {5u, 7u, 11u}) {
+    const Graph er = build::polarity_graph(q);
+    detect::EvenCycleConfig cfg6;
+    cfg6.k = 3;
+    const auto sched =
+        detect::make_even_cycle_schedule(er.num_vertices(), cfg6);
+    std::uint64_t max_queue = 0, last_busy = 0;
+    bool any_reject = false;
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      detect::EvenCycleProbe probe;
+      congest::NetworkConfig net_cfg;
+      net_cfg.bandwidth = 64;
+      net_cfg.seed = seed;
+      net_cfg.max_rounds = sched.total_rounds() + 1;
+      congest::run_congest(er, net_cfg,
+                           detect::even_cycle_program(cfg6, &probe));
+      max_queue = std::max(max_queue, probe.max_phase1_queue);
+      last_busy = std::max(last_busy, probe.phase1_drained_round);
+      any_reject |= probe.phase1_deadline_reject;
+    }
+    drain.row()
+        .cell("ER_" + std::to_string(q))
+        .cell(std::uint64_t{er.num_vertices()})
+        .cell(er.num_edges())
+        .cell(sched.edge_bound_m)
+        .cell(sched.phase1_rounds)
+        .cell(max_queue)
+        .cell(last_busy)
+        .cell(any_reject);
+  }
+  drain.print(std::cout);
+  std::cout << "\nExpected: 'last busy round' <= R1 and no deadline rejects\n"
+               "on |E| <= M instances — Lemma 6.1 observed directly.\n";
+
+  print_banner(std::cout,
+               "Amplification on the wheel: detection vs repetitions",
+               "per-repetition success ~ 19*2/6^6; one-sided, so "
+               "repetitions only help");
+  Table amp({"repetitions", "detection rate (25 seeds)"});
+  for (const std::uint32_t reps : {25u, 100u, 400u, 1600u}) {
+    std::uint32_t hits = 0;
+    for (std::uint32_t t = 0; t < 25; ++t) {
+      detect::EvenCycleConfig cfg;
+      cfg.k = 3;
+      cfg.c_num = 1;
+      cfg.repetitions = reps;
+      hits += detect::detect_even_cycle(wheel, cfg, 64, 9000 + t).detected;
+    }
+    amp.row().cell(reps).cell(static_cast<double>(hits) / 25.0, 2);
+  }
+  amp.print(std::cout);
+  std::cout << "\nExpected: the rate climbs toward 1.0 as repetitions grow,\n"
+               "reflecting the (2k)^{-2k}-scale single-shot probability\n"
+               "being amplified (Corollary 6.2 / 'putting it together').\n";
+  return 0;
+}

@@ -1,0 +1,199 @@
+// MICRO — google-benchmark microbenchmarks of the substrate: simulator
+// round throughput, wire codec, bit vectors, the subgraph oracles, and the
+// lower-bound constructions. These guard the cost model of every other
+// bench (a slow simulator would bound experiment sizes, not the theory).
+#include <benchmark/benchmark.h>
+
+#include "congest/async.hpp"
+#include "congest/clique_router.hpp"
+#include "congest/network.hpp"
+#include "congest/primitives.hpp"
+#include "detect/clique_detect.hpp"
+#include "detect/even_cycle.hpp"
+#include "detect/pipelined_cycle.hpp"
+#include "graph/builders.hpp"
+#include "graph/oracle.hpp"
+#include "graph/vf2.hpp"
+#include "lowerbound/gkn.hpp"
+#include "lowerbound/hk.hpp"
+#include "support/rng.hpp"
+#include "support/wire.hpp"
+
+namespace {
+
+using namespace csd;
+
+/// Broadcast-one-bit-per-round program used to measure raw round cost.
+class PingProgram final : public congest::NodeProgram {
+ public:
+  explicit PingProgram(std::uint64_t rounds) : rounds_(rounds) {}
+  void on_round(congest::NodeApi& api) override {
+    BitVec bit(1, true);
+    api.broadcast(bit);
+    if (api.round() + 1 >= rounds_) api.halt();
+  }
+
+ private:
+  std::uint64_t rounds_;
+};
+
+void BM_SimulatorRounds(benchmark::State& state) {
+  const auto n = static_cast<Vertex>(state.range(0));
+  const Graph g = build::cycle(n);
+  congest::NetworkConfig cfg;
+  cfg.bandwidth = 8;
+  for (auto _ : state) {
+    auto outcome = congest::run_congest(g, cfg, [](std::uint32_t) {
+      return std::make_unique<PingProgram>(32);
+    });
+    benchmark::DoNotOptimize(outcome.metrics.total_bits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          32);
+}
+BENCHMARK(BM_SimulatorRounds)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_WireVarintRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    wire::Writer w;
+    for (std::uint64_t v = 1; v < 1u << 20; v <<= 1) w.varint(v * 0x9e37);
+    wire::Reader r(w.bits());
+    std::uint64_t sum = 0;
+    while (!r.at_end()) sum += r.varint();
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_WireVarintRoundTrip);
+
+void BM_BitVecIntersect(benchmark::State& state) {
+  Rng rng(1);
+  BitVec a(4096), b(4096);
+  for (int i = 0; i < 1024; ++i) {
+    a.set(rng.below(4096));
+    b.set(rng.below(4096));
+  }
+  for (auto _ : state) {
+    BitVec c = a;
+    c &= b;
+    benchmark::DoNotOptimize(c.count());
+  }
+}
+BENCHMARK(BM_BitVecIntersect);
+
+void BM_OracleCycleSearch(benchmark::State& state) {
+  Rng rng(2);
+  const Graph g = build::gnm(static_cast<Vertex>(state.range(0)),
+                             static_cast<std::uint64_t>(state.range(0)) * 3,
+                             rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(oracle::has_cycle_of_length(g, 6));
+}
+BENCHMARK(BM_OracleCycleSearch)->Arg(64)->Arg(256);
+
+void BM_Vf2PlantedPetersen(benchmark::State& state) {
+  Rng rng(3);
+  Graph host = build::gnp(60, 0.05, rng);
+  build::plant_subgraph(host, build::petersen(), rng);
+  const Graph pattern = build::petersen();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(contains_subgraph(host, pattern));
+}
+BENCHMARK(BM_Vf2PlantedPetersen);
+
+void BM_Vf2HkIntoGxy(benchmark::State& state) {
+  Rng rng(4);
+  const auto inst = comm::random_disjointness(9, 0.3, true, rng);
+  const auto gxy = lb::build_gxy(1, 3, inst);
+  const auto hk = lb::build_hk(1);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(contains_subgraph(gxy.graph, hk.graph));
+}
+BENCHMARK(BM_Vf2HkIntoGxy);
+
+void BM_BuildGknFrame(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto g = lb::build_gkn_frame(2, static_cast<std::uint32_t>(state.range(0)));
+    benchmark::DoNotOptimize(g.graph.num_edges());
+  }
+}
+BENCHMARK(BM_BuildGknFrame)->Arg(64)->Arg(512);
+
+void BM_EvenCycleRepetition(benchmark::State& state) {
+  Rng rng(5);
+  Graph g = build::random_tree(static_cast<Vertex>(state.range(0)), rng);
+  build::plant_subgraph(g, build::cycle(4), rng);
+  detect::EvenCycleConfig cfg;
+  cfg.k = 2;
+  cfg.c_num = 1;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    auto outcome = detect::detect_even_cycle(g, cfg, 64, ++seed);
+    benchmark::DoNotOptimize(outcome.detected);
+  }
+}
+BENCHMARK(BM_EvenCycleRepetition)->Arg(128)->Arg(512);
+
+void BM_CliqueDetectTriangle(benchmark::State& state) {
+  Rng rng(6);
+  const Graph g = build::gnp(static_cast<Vertex>(state.range(0)), 0.1, rng);
+  for (auto _ : state) {
+    auto outcome = detect::detect_clique(g, 3, 32, 1);
+    benchmark::DoNotOptimize(outcome.detected);
+  }
+}
+BENCHMARK(BM_CliqueDetectTriangle)->Arg(64)->Arg(256);
+
+void BM_AsyncSynchronizerOverhead(benchmark::State& state) {
+  const Graph g = build::cycle(static_cast<Vertex>(state.range(0)));
+  congest::AsyncConfig cfg;
+  cfg.bandwidth = 8;
+  cfg.max_delay = 4;
+  for (auto _ : state) {
+    auto outcome = congest::run_async(g, cfg, [](std::uint32_t) {
+      return std::make_unique<PingProgram>(32);
+    });
+    benchmark::DoNotOptimize(outcome.payload_bits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 32);
+}
+BENCHMARK(BM_AsyncSynchronizerOverhead)->Arg(64)->Arg(512);
+
+void BM_CliqueRouterThroughput(benchmark::State& state) {
+  Rng rng(11);
+  congest::CliqueRouteRequest request;
+  request.num_nodes = static_cast<Vertex>(state.range(0));
+  request.payload_bits = 16;
+  for (int i = 0; i < 2000; ++i)
+    request.messages.push_back(
+        {static_cast<Vertex>(rng.below(request.num_nodes)),
+         static_cast<Vertex>(rng.below(request.num_nodes)),
+         [&] {
+           BitVec payload;
+           payload.append_bits(rng.below(1u << 16), 16);
+           return payload;
+         }()});
+  for (auto _ : state) {
+    auto result = congest::route_in_clique(request);
+    benchmark::DoNotOptimize(result.rounds);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2000);
+}
+BENCHMARK(BM_CliqueRouterThroughput)->Arg(16)->Arg(64);
+
+void BM_BfsAggregate(benchmark::State& state) {
+  Rng rng(12);
+  Graph g = build::random_tree(static_cast<Vertex>(state.range(0)), rng);
+  congest::BfsAggregateConfig cfg;
+  cfg.contribution = [](std::uint32_t) { return 1; };
+  for (auto _ : state) {
+    auto result = congest::run_bfs_aggregate(g, cfg, 64, 1);
+    benchmark::DoNotOptimize(result.aggregate[0]);
+  }
+}
+BENCHMARK(BM_BfsAggregate)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+// RELATED — §1.2: exact detection vs the property-testing relaxation.
+//
+// The paper stresses it solves the *exact* H-freeness problem, in contrast
+// to the distributed property-testing line ([CFSV16] etc.). We quantify
+// that gap: the edge-sampling tester runs in O(1) rounds independent of n
+// and catches triangle-dense graphs, but is blind to isolated triangles —
+// whereas exact detection (neighborhood exchange) pays Θ(Δ·log n/B) rounds
+// and never misses.
+#include <iostream>
+
+#include "detect/clique_detect.hpp"
+#include "detect/pipelined_cycle.hpp"
+#include "detect/triangle_tester.hpp"
+#include "detect/weighted_cycle.hpp"
+#include "graph/builders.hpp"
+#include "graph/oracle.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace csd;
+
+/// Three hubs of degree ~`leaves`+2 sharing the only triangle: the tester
+/// must sample exactly the two co-hub ports at one hub to find it.
+Graph hidden_triangle_host(Vertex leaves_per_hub) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  for (Vertex hub = 0; hub < 3; ++hub) {
+    const Vertex first = g.add_vertices(leaves_per_hub);
+    for (Vertex leaf = 0; leaf < leaves_per_hub; ++leaf)
+      g.add_edge(hub, first + leaf);
+  }
+  return g;
+}
+
+double tester_rate(const Graph& g, std::uint32_t query_rounds,
+                   std::uint32_t trials) {
+  detect::TriangleTesterConfig cfg;
+  cfg.query_rounds = query_rounds;
+  std::uint32_t hits = 0;
+  for (std::uint32_t t = 0; t < trials; ++t)
+    hits += detect::test_triangle_freeness(g, cfg, 32, 500 + t).detected;
+  return static_cast<double>(hits) / trials;
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout,
+               "RELATED: exact triangle detection vs property testing",
+               "tester: 16 query rounds, rate over 30 seeds; exact: "
+               "neighborhood exchange, deterministic");
+
+  Rng rng(31);
+  struct Host {
+    std::string name;
+    Graph g;
+    const char* farness;
+  };
+  Graph lone_triangle = hidden_triangle_host(65);
+  std::vector<Host> hosts;
+  hosts.push_back({"K_20", build::complete(20), "far from triangle-free"});
+  hosts.push_back({"G(60,0.4)", build::gnp(60, 0.4, rng), "far"});
+  hosts.push_back({"G(60,0.08)", build::gnp(60, 0.08, rng), "few triangles"});
+  hosts.push_back({"3 hubs, 1 triangle", std::move(lone_triangle), "eps-close"});
+  hosts.push_back({"Petersen", build::petersen(), "triangle-free"});
+  hosts.push_back({"K_{9,9}", build::complete_bipartite(9, 9),
+                   "triangle-free"});
+
+  Table table({"host", "n", "truth", "tester rate", "tester rounds",
+               "exact verdict", "exact rounds"});
+  for (const auto& host : hosts) {
+    const bool truth = oracle::has_clique(host.g, 3);
+    const auto exact = detect::detect_clique(host.g, 3, 32, 1);
+    detect::TriangleTesterConfig cfg;
+    cfg.query_rounds = 16;
+    table.row()
+        .cell(host.name)
+        .cell(std::uint64_t{host.g.num_vertices()})
+        .cell(truth)
+        .cell(tester_rate(host.g, 16, 30), 2)
+        .cell(detect::triangle_tester_round_budget(cfg))
+        .cell(exact.detected)
+        .cell(exact.metrics.rounds);
+  }
+  table.print(std::cout);
+
+  print_banner(std::cout,
+               "Weighted cycle detection ([CKP17], the other §1.2 context)",
+               "C_8 of weight exactly W on a 60-vertex host; tokens cannot "
+               "be deduplicated across weights");
+  Table weighted({"W", "round budget", "unweighted C_8 budget",
+                  "budget ratio"});
+  const Vertex wn = 60;
+  for (const std::uint64_t w : {0ull, 7ull, 63ull, 511ull}) {
+    detect::WeightedCycleConfig wcfg;
+    wcfg.length = 8;
+    wcfg.target_weight = w;
+    const auto budget = detect::weighted_cycle_round_budget(wn, wcfg);
+    const auto plain = detect::pipelined_cycle_round_budget(wn, 8);
+    weighted.row()
+        .cell(w)
+        .cell(budget)
+        .cell(plain)
+        .cell(static_cast<double>(budget) / static_cast<double>(plain), 1);
+  }
+  weighted.print(std::cout);
+  std::cout
+      << "\nThe weight target multiplies the pipeline depth by W+1: for\n"
+         "W = poly(n) that is the near-quadratic regime in which [CKP17]\n"
+         "proved the first Omega~(n^2) CONGEST bounds — Theorem 1.2 of the\n"
+         "paper then achieved superlinear hardness with NO weights.\n";
+
+  std::cout
+      << "\nExpected: the tester's rounds are constant and its rate is ~1 on\n"
+         "triangle-dense hosts and 0 on triangle-free ones, but poor on the\n"
+         "eps-close host (one triangle hidden among three high-degree\n"
+         "hubs) — which the exact algorithm always finds, at a\n"
+         "Theta(Delta log n / B) round cost. The paper's lower bounds\n"
+         "(Thm 4.1, Thm 5.1) price exactly this exactness.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// SEC34 — §3.4: why the bipartite lower bound needs an involved gadget.
+//
+// Theorem 1.2's construction is rigidified twice over: marker cliques pin
+// every vertex class, and the triangle bodies cannot fold into bipartite
+// wiring. §3.4 must do without both (a bipartite H cannot contain
+// triangles or odd cliques). We ablate the two rigidifiers and measure,
+// per variant, whether Lemma 3.1 ("H ⊆ G_{X,Y} ⟺ X ∩ Y ≠ ∅") survives on
+// random instances — the fully bipartite naive variant fails, exhibiting
+// the obstruction the paper's gadget must overcome.
+#include <iostream>
+
+#include "comm/disjointness.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/vf2.hpp"
+#include "lowerbound/variants.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace csd;
+
+  print_banner(std::cout,
+               "SEC34: rigidifier ablation of the Theorem 1.2 construction",
+               "20 intersecting + 20 disjoint instances per variant "
+               "(k=1, n=6, dense inputs); VF2 exhaustive containment");
+
+  Table table({"body", "markers", "bipartite", "holds on intersecting",
+               "violations on disjoint", "Lemma 3.1"});
+  for (const bool triangle_body : {true, false}) {
+    for (const bool markers : {true, false}) {
+      lb::ConstructionVariant v;
+      v.triangle_body = triangle_body;
+      v.markers = markers;
+      Rng rng(99);
+      const std::uint32_t k = 1, n = 6;
+      const auto hk = lb::build_hk_variant(k, v);
+      const Graph pattern =
+          v.markers ? hk.graph : lb::strip_isolated(hk.graph);
+      const bool bipartite = is_bipartite(lb::strip_isolated(hk.graph)) &&
+                             !triangle_body && !markers;
+
+      std::uint32_t hold = 0, violations = 0;
+      for (int trial = 0; trial < 40; ++trial) {
+        const bool intersecting = trial < 20;
+        const auto inst = comm::random_disjointness(
+            static_cast<std::uint64_t>(n) * n, 0.5, intersecting, rng);
+        const auto g = lb::build_gxy_variant(k, n, inst, v);
+        SubgraphSearchOptions opts;
+        opts.max_steps = 500'000'000;
+        const bool found = contains_subgraph(g.graph, pattern, opts);
+        if (intersecting && found) ++hold;
+        if (!intersecting && found) ++violations;
+      }
+      table.row()
+          .cell(triangle_body ? "triangle" : "path")
+          .cell(markers)
+          .cell(bipartite)
+          .cell(std::to_string(hold) + "/20")
+          .cell(std::to_string(violations) + "/20")
+          .cell(violations == 0 && hold == 20 ? "holds" : "VIOLATED");
+    }
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nExpected: the construction stays sound as long as either\n"
+         "rigidifier is present; the fully bipartite naive variant (path\n"
+         "bodies, no markers) admits H-copies on DISJOINT inputs — the\n"
+         "pattern folds through same-side input edges. This is the\n"
+         "obstruction that makes Section 3.4's bipartite gadget 'much more\n"
+         "involved', and our instantiation also shows the marker cliques\n"
+         "alone already rigidify the non-bipartite construction.\n";
+  return 0;
+}

@@ -1,0 +1,153 @@
+// THM11 — Theorem 1.1 / §6: C_2k detection in O(n^{1-1/(k(k-1))}) rounds.
+//
+// Three reproduction tables:
+//   1. Round complexity vs n for k = 2, 3, 4 (measured on real runs where
+//      feasible, schedule elsewhere), with the log-log growth exponent
+//      fitted between consecutive sizes against the theorem's
+//      1 - 1/(k(k-1)).
+//   2. Crossover against the linear-round pipelined baseline: who wins at
+//      which n (the paper's headline: even cycles are sublinear, unlike odd
+//      cycles, which stay Θ(n) by [DKO14]).
+//   3. Detection quality: planted-cycle instances vs cycle-free controls.
+#include <cmath>
+#include <iostream>
+
+#include "detect/even_cycle.hpp"
+#include "detect/pipelined_cycle.hpp"
+#include "graph/builders.hpp"
+#include "graph/oracle.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+double fitted_exponent(double r1, double r2, double n1, double n2) {
+  return std::log(r2 / r1) / std::log(n2 / n1);
+}
+
+}  // namespace
+
+int main() {
+  using namespace csd;
+
+  print_banner(std::cout,
+               "THM11: C_2k detection rounds vs n (one repetition)",
+               "schedule-exact rounds; fitted exponent vs 1 - 1/(k(k-1))");
+
+  Table growth({"k", "cycle", "n", "rounds", "fitted exp", "theory exp"});
+  for (const std::uint32_t k : {2u, 3u, 4u}) {
+    detect::EvenCycleConfig cfg;
+    cfg.k = k;
+    cfg.c_num = 1;
+    const double theory = 1.0 - 1.0 / (k * (k - 1.0));
+    std::uint64_t prev_rounds = 0, prev_n = 0;
+    for (std::uint64_t n = 1u << 10; n <= (1u << 20); n <<= 2) {
+      const auto sched = detect::make_even_cycle_schedule(n, cfg);
+      growth.row()
+          .cell(k)
+          .cell("C_" + std::to_string(2 * k))
+          .cell(n)
+          .cell(sched.total_rounds())
+          .cell(prev_n == 0
+                    ? std::string("-")
+                    : [&] {
+                        std::string s(16, '\0');
+                        const double e = fitted_exponent(
+                            static_cast<double>(prev_rounds),
+                            static_cast<double>(sched.total_rounds()),
+                            static_cast<double>(prev_n),
+                            static_cast<double>(n));
+                        s.resize(static_cast<std::size_t>(
+                            std::snprintf(s.data(), s.size(), "%.3f", e)));
+                        return s;
+                      }())
+          .cell(theory, 3);
+      prev_rounds = sched.total_rounds();
+      prev_n = n;
+    }
+  }
+  growth.print(std::cout);
+
+  print_banner(std::cout, "Crossover vs the linear-round baseline",
+               "sublinear wins once n is large enough; odd cycles have no "
+               "sublinear algorithm [DKO14]");
+  Table crossover({"k", "n", "even-cycle rounds", "baseline rounds (n+2k)",
+                   "sublinear wins"});
+  for (const std::uint32_t k : {2u, 3u}) {
+    detect::EvenCycleConfig cfg;
+    cfg.k = k;
+    cfg.c_num = 1;
+    for (std::uint64_t n = 1u << 8; n <= (1u << 22); n <<= 2) {
+      const auto rounds = detect::make_even_cycle_schedule(n, cfg).total_rounds();
+      const auto baseline = detect::pipelined_cycle_round_budget(n, 2 * k);
+      crossover.row()
+          .cell(k)
+          .cell(n)
+          .cell(rounds)
+          .cell(baseline)
+          .cell(rounds < baseline);
+    }
+  }
+  crossover.print(std::cout);
+
+  print_banner(std::cout, "Live runs: measured rounds and detection quality",
+               "C_4 on sparse hosts; every rejection is checked against the "
+               "oracle (one-sided error)");
+  Table quality({"n", "instance", "reps", "measured rounds/rep", "detected",
+                 "oracle"});
+  Rng rng(7);
+  for (const std::uint64_t n : {128u, 512u, 2048u}) {
+    // Planted C_4 in a forest vs a cycle-free control.
+    for (const bool planted : {true, false}) {
+      Graph g = build::random_tree(static_cast<Vertex>(n), rng);
+      if (planted) build::plant_subgraph(g, build::cycle(4), rng);
+      detect::EvenCycleConfig cfg;
+      cfg.k = 2;
+      cfg.c_num = 1;
+      cfg.repetitions = n >= 2048 ? 150 : 400;
+      const auto outcome = detect::detect_even_cycle(g, cfg, 64, 11);
+      quality.row()
+          .cell(n)
+          .cell(planted ? "forest + planted C4" : "forest (control)")
+          .cell(std::uint64_t{cfg.repetitions})
+          .cell(outcome.metrics.rounds / cfg.repetitions)
+          .cell(outcome.detected)
+          .cell(oracle::has_cycle_of_length(g, 4));
+    }
+  }
+  // The extremal hard negatives: C4-free polarity graph and the girth-8
+  // generalized quadrangle (C6-free) at near-extremal density — they
+  // exercise the phase-I edge budget without false positives.
+  {
+    const Graph er = build::polarity_graph(7);  // 57 vertices, C4-free
+    detect::EvenCycleConfig cfg;
+    cfg.k = 2;
+    cfg.repetitions = 200;
+    const auto outcome = detect::detect_even_cycle(er, cfg, 64, 13);
+    quality.row()
+        .cell(std::uint64_t{er.num_vertices()})
+        .cell("polarity ER_7 (C4-free, dense)")
+        .cell(std::uint64_t{cfg.repetitions})
+        .cell(outcome.metrics.rounds / cfg.repetitions)
+        .cell(outcome.detected)
+        .cell(false);
+  }
+  {
+    const Graph gq = build::generalized_quadrangle_incidence(3);
+    detect::EvenCycleConfig cfg;
+    cfg.k = 3;
+    cfg.repetitions = 100;
+    const auto outcome = detect::detect_even_cycle(gq, cfg, 64, 17);
+    quality.row()
+        .cell(std::uint64_t{gq.num_vertices()})
+        .cell("GQ(4,3) (C6-free, girth 8)")
+        .cell(std::uint64_t{cfg.repetitions})
+        .cell(outcome.metrics.rounds / cfg.repetitions)
+        .cell(outcome.detected)
+        .cell(false);
+  }
+  quality.print(std::cout);
+  std::cout << "\nExpected: fitted exponents approach the theory column as n\n"
+               "grows; detection matches the oracle column on every row.\n";
+  return 0;
+}

@@ -1,0 +1,156 @@
+// THM12 — Theorem 1.2 / §3.3: the near-quadratic lower bound via the
+// executable disjointness reduction.
+//
+// Tables:
+//   1. For each k, the simulation cut Θ(k n^{1/k}) and the implied round
+//      lower bound n²/(cut·B), with the growth exponent fitted against the
+//      theorem's 2 - 1/k.
+//   2. Live reductions at small n: the simulated collect-and-check
+//      algorithm must answer the disjointness instance correctly, and the
+//      bits it ships across the cut are measured.
+//   3. The CONGEST/LOCAL separation: the same H_k is found in O(1) LOCAL
+//      rounds by radius-3 ball collection.
+#include <cmath>
+#include <iostream>
+
+#include "comm/disjointness.hpp"
+#include "detect/collect.hpp"
+#include "graph/algorithms.hpp"
+#include "lowerbound/gkn.hpp"
+#include "lowerbound/reduction.hpp"
+#include "support/mathutil.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace csd;
+  constexpr std::uint64_t kBandwidth = 32;
+
+  print_banner(std::cout,
+               "THM12: implied round lower bound n^2/(cut*B) vs n",
+               "cut = 6m + O(1), m = k*ceil(n^(1/k)); theory exponent 2-1/k");
+
+  Table implied({"k", "n", "cut edges", "implied LB rounds", "fitted exp",
+                 "theory exp 2-1/k"});
+  for (const std::uint32_t k : {1u, 2u, 3u, 4u}) {
+    double prev_lb = 0, prev_n = 0;
+    for (const std::uint32_t n : {16u, 64u, 256u, 1024u}) {
+      const auto frame = lb::build_gkn_frame(k, n);
+      const auto owner = lb::gkn_ownership(frame.layout);
+      std::uint64_t cut = 0;
+      for (const auto& [u, v] : frame.graph.edges()) {
+        const bool priv_u = owner[u] != comm::Owner::Shared;
+        const bool priv_v = owner[v] != comm::Owner::Shared;
+        if ((priv_u || priv_v) && owner[u] != owner[v]) ++cut;
+      }
+      const double lb_rounds =
+          static_cast<double>(n) * n /
+          (static_cast<double>(cut) * static_cast<double>(kBandwidth));
+      std::string fitted = "-";
+      if (prev_n > 0) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.3f",
+                      std::log(lb_rounds / prev_lb) /
+                          std::log(static_cast<double>(n) / prev_n));
+        fitted = buf;
+      }
+      implied.row()
+          .cell(k)
+          .cell(n)
+          .cell(cut)
+          .cell(lb_rounds, 1)
+          .cell(fitted)
+          .cell(2.0 - 1.0 / k, 3);
+      prev_lb = lb_rounds;
+      prev_n = n;
+    }
+  }
+  implied.print(std::cout);
+
+  print_banner(std::cout, "The near-quadratic regime: k = ceil(log2 n)",
+               "m = k*ceil(n^(1/k)) = 2k, so the cut is O(log n) and the "
+               "implied bound approaches n^2 / (B log n)");
+  Table quadratic({"n", "k = ceil(log2 n)", "cut edges", "implied LB rounds",
+                   "effective exponent"});
+  for (const std::uint32_t n : {64u, 256u, 1024u, 4096u}) {
+    const auto k = ceil_log2(n);
+    const auto frame = lb::build_gkn_frame(k, n);
+    const auto owner = lb::gkn_ownership(frame.layout);
+    std::uint64_t cut = 0;
+    for (const auto& [u, v] : frame.graph.edges()) {
+      const bool priv_u = owner[u] != comm::Owner::Shared;
+      const bool priv_v = owner[v] != comm::Owner::Shared;
+      if ((priv_u || priv_v) && owner[u] != owner[v]) ++cut;
+    }
+    const double lb_rounds =
+        static_cast<double>(n) * n /
+        (static_cast<double>(cut) * static_cast<double>(kBandwidth));
+    quadratic.row()
+        .cell(n)
+        .cell(k)
+        .cell(cut)
+        .cell(lb_rounds, 1)
+        .cell(std::log(lb_rounds) / std::log(static_cast<double>(n)), 3);
+  }
+  quadratic.print(std::cout);
+  std::cout << "\nTaking k = Theta(log n) pushes the exponent to 2 - o(1):\n"
+               "a nearly-quadratic CONGEST lower bound for a diameter-3,\n"
+               "O(log n)-size subgraph (the paper's headline separation,\n"
+               "nearly the largest possible LOCAL/CONGEST gap).\n";
+
+  print_banner(std::cout, "Live reductions (collect-and-check simulated "
+                          "across the Alice/Bob cut)",
+               "correctness + measured crossing traffic");
+  Table live({"k", "n", "X cap Y", "detected", "rounds", "crossing bits",
+              "cut edges", "max bits/round"});
+  Rng rng(99);
+  for (const std::uint32_t k : {1u, 2u}) {
+    for (const std::uint32_t n : {4u, 8u, 16u}) {
+      for (const bool intersecting : {true, false}) {
+        const auto inst = comm::random_disjointness(
+            static_cast<std::uint64_t>(n) * n, 0.1, intersecting, rng);
+        const auto report = lb::run_reduction(k, n, inst, kBandwidth, 5);
+        live.row()
+            .cell(k)
+            .cell(n)
+            .cell(intersecting)
+            .cell(report.detected)
+            .cell(report.rounds)
+            .cell(report.crossing_bits)
+            .cell(report.cut_edges)
+            .cell(report.max_crossing_bits_per_round);
+      }
+    }
+  }
+  live.print(std::cout);
+
+  print_banner(std::cout, "CONGEST vs LOCAL separation",
+               "radius-3 LOCAL ball collection decides H_k-ness in 3 rounds");
+  Table local({"k", "n", "LOCAL rounds", "detected", "expected"});
+  for (const bool intersecting : {true, false}) {
+    const std::uint32_t k = 2, n = 8;
+    const auto inst = comm::random_disjointness(
+        static_cast<std::uint64_t>(n) * n, 0.15, intersecting, rng);
+    const auto g = lb::build_gxy(k, n, inst);
+    congest::NetworkConfig cfg;
+    cfg.bandwidth = 0;  // LOCAL
+    cfg.max_rounds = 8;
+    const auto layout = g.layout;
+    const auto outcome = congest::run_congest(
+        g.graph, cfg,
+        detect::local_ball_program(3, [layout](const Graph& ball) {
+          return lb::contains_hk_structurally(layout, ball);
+        }));
+    local.row()
+        .cell(k)
+        .cell(n)
+        .cell(outcome.metrics.rounds)
+        .cell(outcome.detected)
+        .cell(intersecting);
+  }
+  local.print(std::cout);
+  std::cout << "\nExpected: detected == expected everywhere; LOCAL needs a\n"
+               "constant number of rounds while the CONGEST bound above is\n"
+               "superlinear — an exponential-in-rounds separation.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// THM41 — Theorem 4.1 / §4: deterministic triangle-vs-hexagon
+// distinguishing needs Ω(log N) bits.
+//
+// The adversary is run against the c-bit ID-exchange algorithm family for a
+// sweep of namespace sizes N and budgets c. Expected picture:
+//   * c < log2(N/3): transcript classes are large, the Erdős box exists,
+//     Claim 4.4 holds on the assembled hexagon and the algorithm is fooled;
+//   * c >= log2(N/3): every transcript class is a singleton, no box exists,
+//     the adversary fails — the O(log N) upper bound is tight.
+#include <iostream>
+
+#include "detect/triangle.hpp"
+#include "lowerbound/fooling.hpp"
+#include "support/mathutil.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace csd;
+
+  print_banner(std::cout,
+               "THM41: the fooling adversary vs c-bit ID exchange",
+               "total per-node communication is 4c bits; threshold at "
+               "c = log2(N/3)");
+
+  Table table({"N", "c bits", "bits/node", "transcripts", "largest class",
+               "box found", "Claim 4.4", "hexagon fooled", "c >= log2(N/3)"});
+  for (const std::uint64_t N : {12u, 24u, 48u, 96u}) {
+    const auto threshold = ceil_log2(N / 3);
+    for (std::uint32_t c = 1; c <= threshold + 1; ++c) {
+      lb::FoolingConfig cfg;
+      cfg.namespace_size = N;
+      cfg.algorithm = detect::id_exchange_triangle_program(c);
+      cfg.bandwidth = 64;
+      cfg.max_rounds = 8;
+      const auto report = lb::run_fooling_adversary(cfg);
+      table.row()
+          .cell(N)
+          .cell(c)
+          .cell(report.max_total_bits_per_node)
+          .cell(report.distinct_transcripts)
+          .cell(report.largest_class)
+          .cell(report.box_found)
+          .cell(report.box_found ? (report.transcripts_match ? "holds" : "FAIL")
+                                 : "-")
+          .cell(report.hexagon_fooled)
+          .cell(c >= threshold);
+    }
+  }
+  table.print(std::cout);
+
+  print_banner(std::cout,
+               "The adversary is generic: salted-hash fingerprints at N = 96",
+               "hash collisions within a part push the safe budget to "
+               "~2 log2(N/3) (birthday bound) — the adversary still wins");
+  Table hashed({"c bits", "largest class", "box found", "hexagon fooled"});
+  for (std::uint32_t c = 3; c <= 11; ++c) {
+    lb::FoolingConfig cfg;
+    cfg.namespace_size = 96;
+    cfg.algorithm = detect::hashed_id_exchange_triangle_program(c, 12345);
+    cfg.bandwidth = 64;
+    cfg.max_rounds = 8;
+    const auto report = lb::run_fooling_adversary(cfg);
+    hashed.row()
+        .cell(c)
+        .cell(report.largest_class)
+        .cell(report.box_found)
+        .cell(report.hexagon_fooled);
+  }
+  hashed.print(std::cout);
+
+  std::cout
+      << "\nExpected: below the threshold column the box is found, Claim 4.4\n"
+         "holds and the hexagon is (wrongly) rejected; at or above it the\n"
+         "adversary fails. This reproduces the Omega(log N) bound and its\n"
+         "tightness on the lower-bound graph.\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+// THM51 — Theorem 5.1 / §5 (Figure 3): one-round triangle detection needs
+// bandwidth B = Ω(Δ).
+//
+// Tables:
+//   1. Distributional error under μ vs bandwidth for the Bloom-sketch
+//      protocol (threshold at B ≈ n, matching Ω(Δ) up to constants) and
+//      the explicit-id-sample protocol (threshold at B ≈ n log n — the
+//      log-factor gap the paper leaves open).
+//   2. Empirical information at node a conditioned on X_ab = X_ac = 1:
+//      the Lemma 5.4 decomposition I(X_bc; M_ba) + I(X_bc; M_ca) and the
+//      Lemma 5.3 accept-bit proxy I(X_bc; acc_a) — both near zero for
+//      B << n and rising once B ≈ n.
+#include <iostream>
+
+#include "lowerbound/oneround.hpp"
+#include "support/table.hpp"
+#include "support/wire.hpp"
+
+int main() {
+  using namespace csd;
+
+  print_banner(std::cout,
+               "THM51: one-round error vs bandwidth on the template graph",
+               "n = 64 spokes per special node; 20000 samples per cell; "
+               "trivial error = 1/8 = 0.125");
+
+  const auto bloom = lb::make_bloom_protocol(17);
+  const auto sample = lb::make_id_sample_protocol(17);
+  Table error({"B bits", "B/n", "bloom error", "bloom FP", "bloom FN",
+               "id-sample error", "id-sample FN"});
+  const std::uint64_t n = 64;
+  for (const std::uint64_t b :
+       {2u, 8u, 16u, 32u, 64u, 128u, 256u, 1024u, 4096u}) {
+    const auto bs = lb::evaluate_one_round(*bloom, n, b, 20000, 31);
+    const auto is = lb::evaluate_one_round(*sample, n, b, 20000, 37);
+    error.row()
+        .cell(b)
+        .cell(static_cast<double>(b) / static_cast<double>(n), 2)
+        .cell(bs.error, 4)
+        .cell(bs.false_positive, 4)
+        .cell(bs.false_negative, 4)
+        .cell(is.error, 4)
+        .cell(is.false_negative, 4);
+  }
+  error.print(std::cout);
+  std::cout
+      << "\nExpected: bloom error stays near the trivial 1/8 while B << n\n"
+         "and collapses once B = Omega(n); the id-sample protocol needs an\n"
+         "extra ~65x (its records carry 65 bits each) — the log-factor gap\n"
+         "of Section 1.1. Bloom FN is exactly 0 (no false negatives).\n";
+
+  print_banner(std::cout,
+               "Why 'one round' matters: the 3-round protocol at O(log n) "
+               "bits",
+               "round 1 flags specials, round 2 asks by id, round 3 answers");
+  Table rounds3({"B bits", "B/n", "3-round error", "bloom error (1 round)"});
+  for (const std::uint64_t b : {8u, 16u, 32u, 64u}) {
+    const auto multi = lb::evaluate_interactive(n, b, 20000, 51);
+    const auto one = lb::evaluate_one_round(*bloom, n, b, 20000, 51);
+    rounds3.row()
+        .cell(b)
+        .cell(static_cast<double>(b) / static_cast<double>(n), 2)
+        .cell(multi.error, 4)
+        .cell(one.error, 4);
+  }
+  rounds3.print(std::cout);
+  std::cout
+      << "\nExpected: once B fits one identifier (~"
+      << wire::bits_for(n * n * n) + 1
+      << " bits) the 3-round error is exactly 0 while every one-round\n"
+         "protocol still hugs the trivial error — the Omega(Delta) wall is\n"
+         "a one-round phenomenon, which is precisely how Theorem 5.1 is\n"
+         "stated.\n";
+
+
+  print_banner(std::cout,
+               "Information at node a, conditioned on X_ab = X_ac = 1",
+               "n = 12; plug-in estimators over 60000 samples; Lemma 5.3 "
+               "needs >= 0.3 somewhere for a correct protocol");
+  Table info({"B bits", "B/n", "I(X_bc; msgs) raw", "shuffle bias",
+              "corrected", "I(X_bc; acc_a)", "error at this B"});
+  const std::uint64_t n_small = 12;
+  for (const std::uint64_t b : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    const auto stats = lb::evaluate_one_round(*bloom, n_small, b, 60000, 41);
+    info.row()
+        .cell(b)
+        .cell(static_cast<double>(b) / static_cast<double>(n_small), 2)
+        .cell(stats.info_messages, 4)
+        .cell(stats.info_messages_null, 4)
+        .cell(std::max(0.0, stats.info_messages - stats.info_messages_null),
+              4)
+        .cell(stats.info_accept, 4)
+        .cell(stats.error, 4);
+  }
+  info.print(std::cout);
+  std::cout
+      << "\nReading guide: the corrected message information is reliable\n"
+         "only while 2^B << #samples (B <= 8 here); in that regime it obeys\n"
+         "Lemma 5.4's O(|M|/n) growth. The accept-bit column (a 1-bit\n"
+         "variable, estimable at every B) is the Lemma 5.3 proxy: it stays\n"
+         "near 0 while B << n and crosses the 0.3 threshold around B ~ n —\n"
+         "exactly when the error collapses. That conjunction is the\n"
+         "mechanism behind the Omega(Delta) bandwidth bound.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Why the synchronous CONGEST abstraction is safe: run the Theorem 1.1
+// detector over the event-driven asynchronous engine under increasingly
+// hostile message jitter, and watch the outcome stay bit-for-bit identical
+// to the synchronous run — only the virtual completion time stretches.
+#include <iostream>
+
+#include "congest/async.hpp"
+#include "congest/network.hpp"
+#include "detect/even_cycle.hpp"
+#include "graph/builders.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace csd;
+
+  Rng rng(5);
+  Graph g = build::random_tree(120, rng);
+  build::plant_subgraph(g, build::cycle(4), rng);
+
+  detect::EvenCycleConfig cfg;
+  cfg.k = 2;
+  const std::uint64_t seed = 17, bandwidth = 64;
+  const auto rounds =
+      detect::make_even_cycle_schedule(g.num_vertices(), cfg).total_rounds();
+
+  congest::NetworkConfig sync_cfg;
+  sync_cfg.bandwidth = bandwidth;
+  sync_cfg.seed = seed;
+  sync_cfg.max_rounds = rounds + 1;
+  const auto sync_outcome =
+      congest::run_congest(g, sync_cfg, detect::even_cycle_program(cfg));
+  std::cout << "Synchronous run: "
+            << (sync_outcome.detected ? "REJECT" : "accept") << ", "
+            << sync_outcome.metrics.rounds << " rounds, "
+            << sync_outcome.metrics.total_bits << " payload bits\n\n";
+
+  print_banner(std::cout,
+               "Same algorithm, asynchronous network + frame synchronizer",
+               "per-link delays drawn uniformly from [1, max_delay]");
+  Table table({"max delay", "identical verdicts", "identical payload bits",
+               "pulses", "virtual completion time", "sync overhead bits"});
+  for (const std::uint32_t delay : {1u, 4u, 16u, 64u, 256u}) {
+    congest::AsyncConfig async_cfg;
+    async_cfg.bandwidth = bandwidth;
+    async_cfg.seed = seed;
+    async_cfg.max_pulses = rounds + 1;
+    async_cfg.max_delay = delay;
+    const auto outcome =
+        congest::run_async(g, async_cfg, detect::even_cycle_program(cfg));
+    table.row()
+        .cell(delay)
+        .cell(outcome.verdicts == sync_outcome.verdicts)
+        .cell(outcome.payload_bits == sync_outcome.metrics.total_bits)
+        .cell(outcome.pulses)
+        .cell(outcome.virtual_time)
+        .cell(outcome.overhead_bits);
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nThe verdict, every node's local decision, and every payload bit\n"
+         "are independent of timing; only virtual time scales with jitter.\n"
+         "That determinism is what lets the paper reason synchronously.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Walkthrough of the Theorem 1.2 reduction: encode a set-disjointness
+// instance as a graph G_{X,Y}, simulate an H_k-detection algorithm across
+// the Alice/Bob cut, and read the answer off the verdict — paying only
+// cut-crossing bits.
+//
+// This is the paper's superlinear-lower-bound machinery running for real.
+#include <iostream>
+
+#include "comm/disjointness.hpp"
+#include "lowerbound/gkn.hpp"
+#include "lowerbound/reduction.hpp"
+#include "support/rng.hpp"
+
+int main() {
+  using namespace csd;
+  const std::uint32_t k = 2, n = 8;
+  Rng rng(1234);
+
+  std::cout << "Theorem 1.2 reduction demo (k = " << k << ", n = " << n
+            << ", universe [n]^2 = " << n * n << ")\n\n";
+
+  for (const bool intersecting : {true, false}) {
+    const auto inst = comm::random_disjointness(
+        static_cast<std::uint64_t>(n) * n, 0.12, intersecting, rng);
+    std::cout << "Instance with |X| = " << inst.x.size()
+              << ", |Y| = " << inst.y.size() << ", X cap Y "
+              << (inst.intersects() ? "!=" : "==") << " empty:\n";
+    if (inst.intersects()) {
+      const auto common = inst.intersection();
+      const auto [i, j] = comm::element_to_pair(common.front(), n);
+      std::cout << "  shared pair (i,j) = (" << i << "," << j
+                << ") -> both the A-edge and B-edge between top-" << i
+                << " and bottom-" << j << " exist, closing a copy of H_k\n";
+    }
+
+    const auto report = lb::run_reduction(k, n, inst, /*bandwidth=*/32,
+                                          /*seed=*/5);
+    std::cout << "  G_{X,Y}: " << report.graph_size
+              << " vertices, simulation cut " << report.cut_edges
+              << " edges\n"
+              << "  simulated algorithm: "
+              << (report.detected ? "REJECT (H_k found)" : "accept")
+              << " after " << report.rounds << " rounds\n"
+              << "  bits Alice<->Bob: " << report.crossing_bits
+              << " (max/round " << report.max_crossing_bits_per_round << ")\n"
+              << "  correct: "
+              << (report.detected == inst.intersects() ? "yes" : "NO")
+              << "\n\n";
+  }
+
+  std::cout
+      << "Because disjointness on [n]^2 needs Omega(n^2) bits and one round\n"
+         "moves at most cut*B = O(k n^{1/k} B) bits across, ANY CONGEST\n"
+         "algorithm for H_k-freeness needs Omega(n^{2-1/k}/(Bk)) rounds —\n"
+         "superlinear, on a diameter-3 graph (Theorem 1.2).\n";
+  return 0;
+}

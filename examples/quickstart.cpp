@@ -1,0 +1,69 @@
+// Quickstart: build a graph, run the paper's sublinear C_4 detector on the
+// CONGEST simulator, and compare with the exhaustive oracle.
+//
+//   $ ./quickstart
+//
+// Walks through the three core objects of the library:
+//   1. csd::Graph           — the topology,
+//   2. csd::congest::*      — the simulator and its cost accounting,
+//   3. csd::detect::*       — the paper's detection algorithms.
+#include <iostream>
+
+#include "detect/even_cycle.hpp"
+#include "detect/pipelined_cycle.hpp"
+#include "graph/builders.hpp"
+#include "graph/oracle.hpp"
+#include "support/rng.hpp"
+
+int main() {
+  using namespace csd;
+
+  // 1. A 1000-vertex forest with one planted 4-cycle.
+  Rng rng(/*seed=*/7);
+  Graph g = build::random_tree(1000, rng);
+  const auto planted = build::plant_subgraph(g, build::cycle(4), rng);
+  std::cout << "Host graph: " << g.num_vertices() << " vertices, "
+            << g.num_edges() << " edges; C_4 planted on vertices";
+  for (const Vertex v : planted) std::cout << ' ' << v;
+  std::cout << "\nGround truth (exhaustive oracle): "
+            << (oracle::has_cycle_of_length(g, 4) ? "contains C_4"
+                                                  : "C_4-free")
+            << "\n\n";
+
+  // 2. The Theorem 1.1 detector: O(n^{1/2}) rounds per repetition for C_4,
+  //    Θ(log n)-bit messages, one-sided error amplified by repetitions.
+  detect::EvenCycleConfig cfg;
+  cfg.k = 2;            // detect C_{2k} = C_4
+  cfg.c_num = 1;        // Turán constant: ex(n, C_4) <= n^{3/2} suffices
+  cfg.repetitions = 150;
+  const std::uint64_t bandwidth = 32;  // bits per edge per round
+  const auto outcome = detect::detect_even_cycle(g, cfg, bandwidth, /*seed=*/1);
+
+  std::cout << "Even-cycle detector (Thm 1.1): "
+            << (outcome.detected ? "REJECT (C_4 found)" : "accept") << '\n'
+            << "  rounds (all repetitions): " << outcome.metrics.rounds << '\n'
+            << "  rounds per repetition:    "
+            << outcome.metrics.rounds / cfg.repetitions << '\n'
+            << "  total bits on wires:      " << outcome.metrics.total_bits
+            << "\n\n";
+
+  // 3. The linear-round folklore baseline needs ~n rounds per repetition.
+  detect::PipelinedCycleConfig base_cfg;
+  base_cfg.length = 4;
+  base_cfg.repetitions = 150;
+  const auto baseline = detect::detect_cycle_pipelined(g, base_cfg, bandwidth,
+                                                       /*seed=*/1);
+  std::cout << "Pipelined baseline:  "
+            << (baseline.detected ? "REJECT (C_4 found)" : "accept")
+            << ", rounds per repetition: "
+            << baseline.metrics.rounds / base_cfg.repetitions << '\n';
+  const auto fast = outcome.metrics.rounds / cfg.repetitions;
+  const auto slow = baseline.metrics.rounds / base_cfg.repetitions;
+  std::cout << "\nThe sublinear detector spends " << fast
+            << " rounds per repetition vs the baseline's " << slow << " — a "
+            << (fast < slow ? static_cast<double>(slow) /
+                                  static_cast<double>(fast)
+                            : 0.0)
+            << "x speedup at n = 1000, and the gap widens as n^{1/2} vs n.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// The two triangle lower bounds of the paper, live:
+//
+//   1. §4 (Theorem 4.1): a deterministic triangle-vs-hexagon distinguisher
+//      that sends too few identifier bits is fooled by an adversarial
+//      identifier assignment — found automatically by the transcript
+//      adversary.
+//   2. §5 (Theorem 5.1): a one-round randomized detector on the template
+//      graph needs bandwidth proportional to its degree; we sweep B and
+//      watch the error collapse at B ~ n.
+#include <iostream>
+
+#include "detect/triangle.hpp"
+#include "lowerbound/fooling.hpp"
+#include "lowerbound/oneround.hpp"
+#include "support/mathutil.hpp"
+
+int main() {
+  using namespace csd;
+
+  std::cout << "== Part 1: fooling a deterministic algorithm (Thm 4.1) ==\n";
+  const std::uint64_t N = 48;  // namespace size
+  for (const std::uint32_t c : {2u, static_cast<std::uint32_t>(
+                                        ceil_log2(N / 3))}) {
+    lb::FoolingConfig cfg;
+    cfg.namespace_size = N;
+    cfg.algorithm = detect::id_exchange_triangle_program(c);
+    cfg.bandwidth = 64;
+    cfg.max_rounds = 8;
+    const auto report = lb::run_fooling_adversary(cfg);
+    std::cout << "\n  c = " << c << " id bits (" << 4 * c
+              << " bits/node total):\n"
+              << "    " << report.executions << " triangle runs, "
+              << report.distinct_transcripts << " transcripts, largest class "
+              << report.largest_class << '\n';
+    if (report.box_found) {
+      std::cout << "    box found -> hexagon ids:";
+      for (const auto id : report.hexagon) std::cout << ' ' << id;
+      std::cout << "\n    Claim 4.4 transcripts match: "
+                << (report.transcripts_match ? "yes" : "no")
+                << "; algorithm fooled on the hexagon: "
+                << (report.hexagon_fooled ? "YES (rejects a C_6!)" : "no")
+                << '\n';
+    } else {
+      std::cout << "    no K^(3)(2) box exists — every class is too small; "
+                   "the adversary fails (c is at the Theta(log N) "
+                   "threshold)\n";
+    }
+  }
+
+  std::cout << "\n== Part 2: one-round bandwidth threshold (Thm 5.1) ==\n";
+  const auto protocol = lb::make_bloom_protocol(7);
+  const std::uint64_t n = 48;
+  std::cout << "  template graph with n = " << n
+            << " spokes per special node; trivial error = 1/8\n";
+  for (const std::uint64_t b : {4u, 16u, 48u, 192u, 768u}) {
+    const auto stats = lb::evaluate_one_round(*protocol, n, b, 20000, 3);
+    std::cout << "  B = " << b << " bits (B/n = "
+              << static_cast<double>(b) / static_cast<double>(n)
+              << "): error = " << stats.error
+              << ", I(X_bc; accept_a) = " << stats.info_accept << '\n';
+  }
+  std::cout << "\nBelow B ~ n the sketch cannot say whether the hidden edge\n"
+               "{v_b, v_c} exists and the error hugs 1/8; past B ~ n it\n"
+               "collapses — the Omega(Delta) bandwidth wall of Theorem 5.1.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "comm/cut_simulator.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace csd::comm {
+
+CutCost simulate_across_cut(const Graph& topology,
+                            const std::vector<Owner>& owner,
+                            const congest::NetworkConfig& config,
+                            const congest::ProgramFactory& factory) {
+  CSD_CHECK_MSG(owner.size() == topology.num_vertices(),
+                "ownership partition size mismatch");
+
+  CutCost cost;
+  for (const auto& [u, v] : topology.edges()) {
+    const bool priv_u = owner[u] != Owner::Shared;
+    const bool priv_v = owner[v] != Owner::Shared;
+    // An edge is on the simulation cut if a message along it can carry
+    // information a player is missing: any edge leaving a private part.
+    if ((priv_u || priv_v) && owner[u] != owner[v]) ++cost.cut_edges;
+  }
+
+  std::uint64_t current_round = static_cast<std::uint64_t>(-1);
+  std::uint64_t round_bits = 0;
+  congest::NetworkConfig instrumented = config;
+  instrumented.on_message = [&](std::uint64_t round, std::uint32_t src,
+                                std::uint32_t dst, std::uint64_t bits) {
+    const Owner from = owner[src];
+    const Owner to = owner[dst];
+    // Alice must tell Bob everything her private nodes send into Bob's
+    // private nodes or the shared part (Bob simulates both), and vice versa.
+    const bool a_to_b = from == Owner::Alice && to != Owner::Alice;
+    const bool b_to_a = from == Owner::Bob && to != Owner::Bob;
+    if (!a_to_b && !b_to_a) return;
+    if (round != current_round) {
+      cost.max_bits_per_round = std::max(cost.max_bits_per_round, round_bits);
+      round_bits = 0;
+      current_round = round;
+    }
+    round_bits += bits;
+    ++cost.crossing_messages;
+    if (a_to_b)
+      cost.bits_alice_to_bob += bits;
+    else
+      cost.bits_bob_to_alice += bits;
+  };
+
+  congest::Network net(topology, instrumented);
+  cost.outcome = net.run(factory);
+  cost.max_bits_per_round = std::max(cost.max_bits_per_round, round_bits);
+  return cost;
+}
+
+}  // namespace csd::comm

@@ -1,0 +1,48 @@
+// Two-party simulation of a CONGEST execution across a vertex partition.
+//
+// This is the cost-accounting engine of the Theorem 1.2 reduction (§3.3):
+// Alice simulates her part V_A plus the shared part U, Bob simulates V_B
+// plus U. The only information a player is missing is what the other
+// player's private nodes send toward anything the player simulates, so the
+// communication cost of simulating one round is exactly the bits carried on
+// messages from V_A into V_B ∪ U (Alice→Bob) and from V_B into V_A ∪ U
+// (Bob→Alice). Randomness is public (shared seed), which is the setting of
+// the randomized disjointness lower bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+
+namespace csd::comm {
+
+enum class Owner : std::uint8_t { Alice, Bob, Shared };
+
+struct CutCost {
+  congest::RunOutcome outcome;
+  std::uint64_t bits_alice_to_bob = 0;
+  std::uint64_t bits_bob_to_alice = 0;
+  /// Number of messages that crossed the cut in either direction.
+  std::uint64_t crossing_messages = 0;
+  /// Maximum crossing bits charged in any single round.
+  std::uint64_t max_bits_per_round = 0;
+  /// Topology edges with one endpoint private to each player or private/shared
+  /// (the structural cut the simulation pays for).
+  std::uint64_t cut_edges = 0;
+
+  std::uint64_t total_crossing_bits() const {
+    return bits_alice_to_bob + bits_bob_to_alice;
+  }
+};
+
+/// Run `factory` over `topology` and account the two-party simulation cost
+/// under the given ownership partition. `owner.size()` must equal the number
+/// of vertices.
+CutCost simulate_across_cut(const Graph& topology,
+                            const std::vector<Owner>& owner,
+                            const congest::NetworkConfig& config,
+                            const congest::ProgramFactory& factory);
+
+}  // namespace csd::comm

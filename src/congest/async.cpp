@@ -1,0 +1,246 @@
+#include "congest/async.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "congest/node_state.hpp"
+#include "support/check.hpp"
+
+namespace csd::congest {
+
+namespace {
+
+/// One synchronizer frame on a directed link.
+struct Frame {
+  std::uint64_t pulse = 0;  // bookkeeping only (FIFO already implies it)
+  bool sender_halted = false;
+  std::optional<BitVec> payload;
+
+  std::uint64_t overhead_bits() const { return 2; }  // halted + has_payload
+  std::uint64_t payload_bits() const {
+    return payload.has_value() ? payload->size() : 0;
+  }
+};
+
+struct Event {
+  std::uint64_t time;
+  std::uint64_t seq;  // FIFO/determinism tiebreak
+  std::uint32_t dst;
+  std::uint32_t dst_port;
+  Frame frame;
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+  }
+};
+
+/// Synchronizer bookkeeping per node.
+struct SyncState {
+  std::uint64_t pulse = 0;          // next pulse to execute
+  std::uint64_t local_time = 0;     // virtual time the node last acted
+  std::vector<std::deque<Frame>> arrived;  // per port
+  std::vector<bool> port_dead;             // sender halted, nothing more
+  bool running = true;  // false once its program halted
+};
+
+class AsyncEngine {
+ public:
+  AsyncEngine(const Graph& topology, const AsyncConfig& config,
+              std::vector<NodeId> ids, const ProgramFactory& factory)
+      : topology_(topology),
+        config_(config),
+        ids_(std::move(ids)),
+        delay_rng_(derive_seed(config.seed, 0xde1a)) {
+    const Vertex n = topology_.num_vertices();
+    CSD_CHECK_MSG(ids_.size() == n, "identifier assignment size mismatch");
+    CSD_CHECK(config_.max_delay >= 1);
+    std::uint64_t namespace_size = config_.namespace_size;
+    if (namespace_size == 0) namespace_size = n;
+    for (const NodeId id : ids_)
+      CSD_CHECK_MSG(id < namespace_size, "identifier outside namespace");
+
+    reverse_port_.resize(n);
+    for (Vertex v = 0; v < n; ++v) {
+      const auto nbrs = topology_.neighbors(v);
+      reverse_port_[v].resize(nbrs.size());
+      for (std::uint32_t p = 0; p < nbrs.size(); ++p) {
+        const auto back = topology_.neighbors(nbrs[p]);
+        const auto it = std::find(back.begin(), back.end(), v);
+        CSD_CHECK(it != back.end());
+        reverse_port_[v][p] = static_cast<std::uint32_t>(it - back.begin());
+      }
+    }
+
+    nodes_.reserve(n);
+    programs_.reserve(n);
+    sync_.resize(n);
+    for (Vertex v = 0; v < n; ++v) {
+      nodes_.push_back(std::make_unique<detail::NodeState>(
+          topology_, v, ids_[v], config_.seed, n, namespace_size,
+          config_.bandwidth, config_.broadcast_only));
+      std::vector<NodeId> neighbor_ids;
+      for (const Vertex w : topology_.neighbors(v))
+        neighbor_ids.push_back(ids_[w]);
+      nodes_.back()->set_neighbor_ids(std::move(neighbor_ids));
+      programs_.push_back(factory(v));
+      CSD_CHECK(programs_.back() != nullptr);
+      sync_[v].arrived.resize(topology_.degree(v));
+      sync_[v].port_dead.assign(topology_.degree(v), false);
+    }
+    // FIFO watermark per directed link (indexed by src, src-port).
+    link_watermark_.resize(n);
+    for (Vertex v = 0; v < n; ++v)
+      link_watermark_[v].assign(topology_.degree(v), 0);
+  }
+
+  AsyncRunOutcome run() {
+    // Pulse 0 runs immediately everywhere (empty inbox); degree-0 nodes
+    // are always ready, so drive them to completion here — no event will
+    // ever re-trigger them.
+    for (Vertex v = 0; v < topology_.num_vertices(); ++v) {
+      execute_pulse(v);
+      while (try_execute(v)) {
+      }
+    }
+
+    while (!events_.empty()) {
+      const Event event = events_.top();
+      events_.pop();
+      outcome_.virtual_time = std::max(outcome_.virtual_time, event.time);
+      deliver(event);
+      // Cascade: the delivery may have unblocked the destination.
+      while (try_execute(event.dst)) {
+      }
+      if (halted_count_ == topology_.num_vertices()) break;
+      if (pulse_cap_hit_) break;
+    }
+
+    outcome_.completed = halted_count_ == topology_.num_vertices();
+    outcome_.verdicts.reserve(topology_.num_vertices());
+    for (const auto& node : nodes_) {
+      outcome_.verdicts.push_back(node->verdict());
+      if (node->verdict() == Verdict::Reject) outcome_.detected = true;
+    }
+    return outcome_;
+  }
+
+ private:
+  void deliver(const Event& event) {
+    auto& sync = sync_[event.dst];
+    if (event.frame.sender_halted)
+      sync.port_dead[event.dst_port] = true;  // after this frame
+    sync.arrived[event.dst_port].push_back(event.frame);
+    sync_[event.dst].local_time =
+        std::max(sync_[event.dst].local_time, event.time);
+  }
+
+  /// Frame for pulse p of dst available (or the port is permanently dead
+  /// with no buffered frames, i.e. the sender halted in an earlier pulse)?
+  bool port_ready(const SyncState& sync, std::uint32_t port) const {
+    if (!sync.arrived[port].empty()) return true;
+    return sync.port_dead[port];
+  }
+
+  bool try_execute(Vertex v) {
+    auto& sync = sync_[v];
+    if (!sync.running) return false;
+    for (std::uint32_t p = 0; p < sync.arrived.size(); ++p)
+      if (!port_ready(sync, p)) return false;
+    execute_pulse(v);
+    return true;
+  }
+
+  void execute_pulse(Vertex v) {
+    auto& sync = sync_[v];
+    auto& node = *nodes_[v];
+    CSD_CHECK(sync.running);
+    if (sync.pulse >= config_.max_pulses) {
+      pulse_cap_hit_ = true;
+      sync.running = false;
+      return;
+    }
+
+    // Assemble the inbox for this pulse (pulse 0 has none by construction).
+    node.clear_inbox();
+    if (sync.pulse > 0) {
+      for (std::uint32_t p = 0; p < sync.arrived.size(); ++p) {
+        if (sync.arrived[p].empty()) continue;  // dead port
+        Frame frame = std::move(sync.arrived[p].front());
+        sync.arrived[p].pop_front();
+        CSD_CHECK_MSG(frame.pulse + 1 == sync.pulse,
+                      "synchronizer frame out of order");
+        if (frame.payload.has_value())
+          node.deliver(p, std::move(*frame.payload));
+      }
+    }
+
+    node.begin_round(sync.pulse);
+    programs_[v]->on_round(node);
+    outcome_.pulses = std::max(outcome_.pulses, sync.pulse + 1);
+
+    // Emit this pulse's frames (exactly one per port), with jittered FIFO
+    // delivery times.
+    const bool node_halted = node.halted();
+    for (std::uint32_t p = 0; p < sync.arrived.size(); ++p) {
+      Frame frame;
+      frame.pulse = sync.pulse;
+      frame.sender_halted = node_halted;
+      auto& slot = node.outbox(p);
+      if (slot.has_value()) {
+        frame.payload = std::move(*slot);
+        slot.reset();
+      }
+      outcome_.payload_bits += frame.payload_bits();
+      outcome_.overhead_bits += frame.overhead_bits();
+      ++outcome_.frames;
+      const std::uint64_t delay = 1 + delay_rng_.below(config_.max_delay);
+      std::uint64_t when = sync.local_time + delay;
+      when = std::max(when, link_watermark_[v][p] + 1);  // FIFO per link
+      link_watermark_[v][p] = when;
+      events_.push(Event{when, next_seq_++, topology_.neighbors(v)[p],
+                         reverse_port_[v][p], std::move(frame)});
+    }
+
+    ++sync.pulse;
+    if (node_halted) {
+      sync.running = false;
+      ++halted_count_;
+    }
+  }
+
+  Graph topology_;
+  AsyncConfig config_;
+  std::vector<NodeId> ids_;
+  Rng delay_rng_;
+  std::vector<std::vector<std::uint32_t>> reverse_port_;
+  std::vector<std::vector<std::uint64_t>> link_watermark_;
+  std::vector<std::unique_ptr<detail::NodeState>> nodes_;
+  std::vector<std::unique_ptr<NodeProgram>> programs_;
+  std::vector<SyncState> sync_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::uint64_t next_seq_ = 0;
+  Vertex halted_count_ = 0;
+  bool pulse_cap_hit_ = false;
+  AsyncRunOutcome outcome_;
+};
+
+}  // namespace
+
+AsyncRunOutcome run_async(const Graph& topology, const AsyncConfig& config,
+                          std::vector<NodeId> ids,
+                          const ProgramFactory& factory) {
+  AsyncEngine engine(topology, config, std::move(ids), factory);
+  return engine.run();
+}
+
+AsyncRunOutcome run_async(const Graph& topology, const AsyncConfig& config,
+                          const ProgramFactory& factory) {
+  std::vector<NodeId> ids(topology.num_vertices());
+  for (Vertex v = 0; v < topology.num_vertices(); ++v) ids[v] = v;
+  return run_async(topology, config, std::move(ids), factory);
+}
+
+}  // namespace csd::congest

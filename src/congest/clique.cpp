@@ -1,0 +1,14 @@
+#include "congest/clique.hpp"
+
+#include "graph/builders.hpp"
+
+namespace csd::congest {
+
+RunOutcome run_congested_clique(Vertex n, const NetworkConfig& config,
+                                const ProgramFactory& factory) {
+  const Graph topology = build::complete(n);
+  Network net(topology, config);
+  return net.run(factory);
+}
+
+}  // namespace csd::congest

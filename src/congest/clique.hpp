@@ -1,0 +1,34 @@
+// Congested Clique helpers.
+//
+// In the Congested Clique model the communication topology is the complete
+// graph K_n while the *input* graph G lives on the same node set: node v
+// knows its incident G-edges, and every ordered pair of nodes can exchange
+// B = O(log n) bits per round. We reuse the CONGEST Network with a K_n
+// topology; programs receive the input graph by capture at construction,
+// which matches the model's input assumption exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+
+namespace csd::congest {
+
+/// Port of node `v` leading to node `w` in the canonical K_n topology built
+/// by build::complete (adjacency sorted ascending, self omitted).
+constexpr std::uint32_t clique_port(Vertex v, Vertex w) noexcept {
+  return w < v ? w : w - 1;
+}
+
+/// Inverse of clique_port: which node does port `p` of node `v` reach.
+constexpr Vertex clique_peer(Vertex v, std::uint32_t p) noexcept {
+  return p < v ? p : p + 1;
+}
+
+/// Run a congested-clique algorithm: `n` = number of nodes of the input
+/// graph, topology K_n. The factory captures the input graph itself.
+RunOutcome run_congested_clique(Vertex n, const NetworkConfig& config,
+                                const ProgramFactory& factory);
+
+}  // namespace csd::congest

@@ -1,0 +1,149 @@
+#include "congest/network.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "congest/node_state.hpp"
+#include "support/check.hpp"
+
+namespace csd::congest {
+
+using detail::NodeState;
+
+Network::Network(Graph topology, NetworkConfig config)
+    : topology_(std::move(topology)), config_(config) {
+  ids_.resize(topology_.num_vertices());
+  for (Vertex v = 0; v < topology_.num_vertices(); ++v) ids_[v] = v;
+}
+
+Network::Network(Graph topology, NetworkConfig config,
+                 std::vector<NodeId> ids)
+    : topology_(std::move(topology)), config_(config), ids_(std::move(ids)) {
+  CSD_CHECK_MSG(ids_.size() == topology_.num_vertices(),
+                "identifier assignment size mismatch");
+}
+
+RunOutcome Network::run(const ProgramFactory& factory) {
+  const Vertex n = topology_.num_vertices();
+
+  // Port mapping: port p of node v leads to topology_.neighbors(v)[p]. For
+  // delivery we need the reverse port on the receiving side.
+  std::vector<std::vector<std::uint32_t>> reverse_port(n);
+  for (Vertex v = 0; v < n; ++v) {
+    const auto nbrs = topology_.neighbors(v);
+    reverse_port[v].resize(nbrs.size());
+    for (std::uint32_t p = 0; p < nbrs.size(); ++p) {
+      const Vertex w = nbrs[p];
+      const auto back = topology_.neighbors(w);
+      const auto it = std::find(back.begin(), back.end(), v);
+      CSD_CHECK(it != back.end());
+      reverse_port[v][p] = static_cast<std::uint32_t>(it - back.begin());
+    }
+  }
+
+  std::uint64_t namespace_size = config_.namespace_size;
+  if (namespace_size == 0) namespace_size = n;
+  for (const NodeId id : ids_)
+    CSD_CHECK_MSG(id < namespace_size,
+                  "identifier " << id << " outside namespace ["
+                                << namespace_size << ")");
+
+  std::vector<std::unique_ptr<NodeState>> nodes;
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  nodes.reserve(n);
+  programs.reserve(n);
+  for (Vertex v = 0; v < n; ++v) {
+    nodes.push_back(std::make_unique<NodeState>(
+        topology_, v, ids_[v], config_.seed, n, namespace_size,
+        config_.bandwidth, config_.broadcast_only));
+    std::vector<NodeId> neighbor_ids;
+    for (const Vertex w : topology_.neighbors(v))
+      neighbor_ids.push_back(ids_[w]);
+    nodes.back()->set_neighbor_ids(std::move(neighbor_ids));
+    programs.push_back(factory(v));
+    CSD_CHECK_MSG(programs.back() != nullptr, "factory returned null program");
+  }
+
+  RunOutcome outcome;
+  outcome.metrics.bits_sent_by_node.assign(n, 0);
+
+  std::uint64_t round = 0;
+  for (; round < config_.max_rounds; ++round) {
+    bool all_halted = true;
+    for (Vertex v = 0; v < n; ++v) {
+      if (nodes[v]->halted()) continue;
+      all_halted = false;
+      nodes[v]->begin_round(round);
+      programs[v]->on_round(*nodes[v]);
+    }
+    if (all_halted) break;
+
+    // Deliver: outboxes of this round become inboxes of the next.
+    for (Vertex v = 0; v < n; ++v) nodes[v]->clear_inbox();
+    for (Vertex v = 0; v < n; ++v) {
+      const auto nbrs = topology_.neighbors(v);
+      for (std::uint32_t p = 0; p < nbrs.size(); ++p) {
+        auto& slot = nodes[v]->outbox(p);
+        if (!slot.has_value()) continue;
+        BitVec payload = std::move(*slot);
+        slot.reset();
+        ++outcome.metrics.messages;
+        outcome.metrics.total_bits += payload.size();
+        outcome.metrics.bits_sent_by_node[v] += payload.size();
+        outcome.metrics.max_message_bits =
+            std::max<std::uint64_t>(outcome.metrics.max_message_bits,
+                                    payload.size());
+        if (config_.record_transcript)
+          outcome.transcript.push_back({round, v, nbrs[p], payload});
+        if (config_.on_message)
+          config_.on_message(round, v, nbrs[p], payload.size());
+        nodes[nbrs[p]]->deliver(reverse_port[v][p], std::move(payload));
+      }
+    }
+  }
+
+  outcome.metrics.rounds = round;
+  outcome.completed =
+      std::all_of(nodes.begin(), nodes.end(),
+                  [](const auto& node) { return node->halted(); });
+  outcome.verdicts.reserve(n);
+  for (Vertex v = 0; v < n; ++v) {
+    outcome.verdicts.push_back(nodes[v]->verdict());
+    if (nodes[v]->verdict() == Verdict::Reject) outcome.detected = true;
+  }
+  return outcome;
+}
+
+RunOutcome run_congest(const Graph& topology, const NetworkConfig& config,
+                       const ProgramFactory& factory) {
+  Network net(topology, config);
+  return net.run(factory);
+}
+
+RunOutcome run_amplified(const Graph& topology, const NetworkConfig& config,
+                         const ProgramFactory& factory,
+                         std::uint32_t repetitions) {
+  CSD_CHECK(repetitions >= 1);
+  RunOutcome combined;
+  std::uint64_t total_rounds = 0;
+  std::uint64_t total_bits = 0;
+  std::uint64_t total_messages = 0;
+  bool detected = false;
+  for (std::uint32_t rep = 0; rep < repetitions; ++rep) {
+    NetworkConfig rep_config = config;
+    rep_config.seed = derive_seed(config.seed, 0x5eedULL + rep);
+    Network net(topology, rep_config);
+    combined = net.run(factory);
+    total_rounds += combined.metrics.rounds;
+    total_bits += combined.metrics.total_bits;
+    total_messages += combined.metrics.messages;
+    detected = detected || combined.detected;
+  }
+  combined.detected = detected;
+  combined.metrics.rounds = total_rounds;
+  combined.metrics.total_bits = total_bits;
+  combined.metrics.messages = total_messages;
+  return combined;
+}
+
+}  // namespace csd::congest

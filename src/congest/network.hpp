@@ -1,0 +1,112 @@
+// Synchronous CONGEST network simulator.
+//
+// The Network owns the topology, the identifier assignment, and the round
+// loop. It enforces the model's cost constraints exactly:
+//   * at most one message per directed edge per round,
+//   * at most B bits per message (config.bandwidth; 0 = LOCAL model),
+// and it accounts every bit sent. Optionally it records a full transcript
+// (round, src, dst, payload) — the raw material of the §4 fooling argument.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "congest/program.hpp"
+#include "graph/graph.hpp"
+#include "support/bitvec.hpp"
+
+namespace csd::congest {
+
+struct NetworkConfig {
+  /// Per-edge bandwidth in bits per round. 0 = unbounded (LOCAL model).
+  std::uint64_t bandwidth = 32;
+  /// Hard cap on rounds; a run that does not halt by then is flagged.
+  std::uint64_t max_rounds = 1'000'000;
+  /// Seed for all node-local randomness.
+  std::uint64_t seed = 1;
+  /// Identifier namespace size N: all ids lie in [0, N). 0 = derive as the
+  /// number of nodes (the dense default namespace). Algorithms size their
+  /// id fields as ⌈log2 N⌉ bits, so the namespace is part of the cost model
+  /// (§4 quantifies lower bounds in N explicitly).
+  std::uint64_t namespace_size = 0;
+  /// Broadcast CONGEST ([DKO14], [KR17]): a node must send the *same*
+  /// message on every edge it uses in a round (enforced per send).
+  bool broadcast_only = false;
+  /// Record every message (memory-heavy; used by the fooling machinery).
+  bool record_transcript = false;
+  /// Optional observer invoked for every delivered message; used by the
+  /// two-party cut simulator to account bits without storing transcripts.
+  std::function<void(std::uint64_t round, std::uint32_t src, std::uint32_t dst,
+                     std::uint64_t bits)>
+      on_message;
+};
+
+/// One recorded message (only populated when record_transcript is set).
+struct TranscriptEntry {
+  std::uint64_t round;
+  std::uint32_t src;  // topology index
+  std::uint32_t dst;  // topology index
+  BitVec payload;
+};
+
+/// Aggregate cost metrics of a run.
+struct RunMetrics {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t total_bits = 0;
+  /// Largest single-message size observed (must be <= bandwidth unless 0).
+  std::uint64_t max_message_bits = 0;
+  /// Per-node total bits sent (indexed by topology index).
+  std::vector<std::uint64_t> bits_sent_by_node;
+};
+
+struct RunOutcome {
+  /// True iff every node halted before max_rounds.
+  bool completed = false;
+  /// Verdict per node (topology index). Global answer below.
+  std::vector<Verdict> verdicts;
+  /// True iff some node rejected — i.e. the algorithm claims "H present".
+  bool detected = false;
+  RunMetrics metrics;
+  std::vector<TranscriptEntry> transcript;
+};
+
+/// Synchronous simulator over a fixed topology and identifier assignment.
+/// The topology is copied: a Network never dangles on a temporary graph.
+class Network {
+ public:
+  /// Identifiers default to the topology index (ids[v] = v).
+  Network(Graph topology, NetworkConfig config);
+  Network(Graph topology, NetworkConfig config, std::vector<NodeId> ids);
+
+  /// Run `factory`-created programs to completion (or the round cap).
+  RunOutcome run(const ProgramFactory& factory);
+
+  const Graph& topology() const noexcept { return topology_; }
+  const std::vector<NodeId>& ids() const noexcept { return ids_; }
+  const NetworkConfig& config() const noexcept { return config_; }
+
+ private:
+  Graph topology_;
+  NetworkConfig config_;
+  std::vector<NodeId> ids_;
+};
+
+/// Convenience: run `factory` over `topology` and return the outcome.
+RunOutcome run_congest(const Graph& topology, const NetworkConfig& config,
+                       const ProgramFactory& factory);
+
+/// Run a randomized detection algorithm `repetitions` times with derived
+/// seeds and report "detected" if any repetition rejects (one-sided
+/// amplification, as in §6 "putting everything together"). Returns the
+/// outcome of the final repetition with `detected` OR-ed across repetitions
+/// and `metrics.rounds` summed.
+RunOutcome run_amplified(const Graph& topology, const NetworkConfig& config,
+                         const ProgramFactory& factory,
+                         std::uint32_t repetitions);
+
+}  // namespace csd::congest

@@ -1,0 +1,118 @@
+// Internal: concrete per-node state + NodeApi implementation, shared by the
+// synchronous Network and the asynchronous engine (which presents the same
+// pulse-by-pulse API through its synchronizer).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "congest/program.hpp"
+#include "graph/graph.hpp"
+#include "support/check.hpp"
+
+namespace csd::congest::detail {
+
+class NodeState final : public NodeApi {
+ public:
+  NodeState(const Graph& topology, Vertex index, NodeId node_id,
+            std::uint64_t run_seed, std::uint64_t network_size,
+            std::uint64_t namespace_size, std::uint64_t bandwidth,
+            bool broadcast_only)
+      : topology_(topology),
+        index_(index),
+        id_(node_id),
+        network_size_(network_size),
+        namespace_size_(namespace_size),
+        bandwidth_(bandwidth),
+        broadcast_only_(broadcast_only),
+        rng_(derive_seed(run_seed, index)) {
+    const auto deg = topology.degree(index);
+    inbox_.resize(deg);
+    outbox_.resize(deg);
+  }
+
+  // NodeApi -----------------------------------------------------------
+  NodeId id() const override { return id_; }
+  std::uint32_t degree() const override { return topology_.degree(index_); }
+  NodeId neighbor_id(std::uint32_t port) const override {
+    CSD_CHECK_MSG(port < degree(), "neighbor_id: port out of range");
+    return neighbor_ids_[port];
+  }
+  std::uint64_t round() const override { return round_; }
+  std::uint64_t network_size() const override { return network_size_; }
+  std::uint64_t namespace_size() const override { return namespace_size_; }
+  std::uint64_t bandwidth() const override { return bandwidth_; }
+
+  const std::optional<BitVec>& inbox(std::uint32_t port) const override {
+    CSD_CHECK_MSG(port < degree(), "inbox: port out of range");
+    return inbox_[port];
+  }
+
+  void send(std::uint32_t port, BitVec payload) override {
+    CSD_CHECK_MSG(!halted_, "halted node cannot send");
+    CSD_CHECK_MSG(port < degree(), "send: port out of range");
+    CSD_CHECK_MSG(bandwidth_ == 0 || payload.size() <= bandwidth_,
+                  "message of " << payload.size()
+                                << " bits exceeds bandwidth " << bandwidth_);
+    CSD_CHECK_MSG(!outbox_[port].has_value(),
+                  "two sends on port " << port << " in one round");
+    if (broadcast_only_) {
+      if (round_payload_.has_value()) {
+        CSD_CHECK_MSG(*round_payload_ == payload,
+                      "broadcast-only CONGEST: all messages in a round must "
+                      "be identical");
+      } else {
+        round_payload_ = payload;
+      }
+    }
+    outbox_[port] = std::move(payload);
+  }
+
+  void broadcast(const BitVec& payload) override {
+    for (std::uint32_t p = 0; p < degree(); ++p) send(p, payload);
+  }
+
+  Rng& rng() override { return rng_; }
+
+  void reject() override { verdict_ = Verdict::Reject; }
+  void halt() override { halted_ = true; }
+
+  // Simulator plumbing --------------------------------------------------
+  void set_neighbor_ids(std::vector<NodeId> ids) {
+    neighbor_ids_ = std::move(ids);
+  }
+  void begin_round(std::uint64_t r) {
+    round_ = r;
+    round_payload_.reset();
+    for (auto& slot : outbox_) slot.reset();
+  }
+  void clear_inbox() {
+    for (auto& slot : inbox_) slot.reset();
+  }
+  void deliver(std::uint32_t port, BitVec payload) {
+    inbox_[port] = std::move(payload);
+  }
+  std::optional<BitVec>& outbox(std::uint32_t port) { return outbox_[port]; }
+  bool halted() const { return halted_; }
+  Verdict verdict() const { return verdict_; }
+  Vertex index() const { return index_; }
+
+ private:
+  const Graph& topology_;
+  Vertex index_;
+  NodeId id_;
+  std::uint64_t network_size_;
+  std::uint64_t namespace_size_;
+  std::uint64_t bandwidth_;
+  bool broadcast_only_;
+  Rng rng_;
+  std::optional<BitVec> round_payload_;
+  std::uint64_t round_ = 0;
+  std::vector<NodeId> neighbor_ids_;
+  std::vector<std::optional<BitVec>> inbox_;
+  std::vector<std::optional<BitVec>> outbox_;
+  bool halted_ = false;
+  Verdict verdict_ = Verdict::Accept;
+};
+
+}  // namespace csd::congest::detail

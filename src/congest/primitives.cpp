@@ -1,0 +1,237 @@
+#include "congest/primitives.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/wire.hpp"
+
+namespace csd::congest {
+
+namespace {
+
+std::uint64_t fold(Aggregate kind, std::uint64_t a, std::uint64_t b) {
+  switch (kind) {
+    case Aggregate::Sum:
+      return a + b;
+    case Aggregate::Min:
+      return std::min(a, b);
+    case Aggregate::Max:
+      return std::max(a, b);
+  }
+  CSD_CHECK(false);
+  return 0;
+}
+
+/// Wire tags for the value phase.
+constexpr std::uint64_t kTagUp = 0;    // convergecast toward the root
+constexpr std::uint64_t kTagDown = 1;  // final aggregate toward the leaves
+
+class BfsAggregateProgram final : public NodeProgram {
+ public:
+  BfsAggregateProgram(const BfsAggregateConfig& cfg,
+                      BfsAggregateResult* result, std::uint32_t index)
+      : cfg_(cfg), result_(result), index_(index) {}
+
+  void on_round(NodeApi& api) override {
+    const std::uint64_t n = api.network_size();
+    const unsigned id_bits = wire::bits_for(api.namespace_size());
+    const unsigned dist_bits = wire::bits_for(n + 1);
+    if (api.round() == 0) {
+      CSD_CHECK_MSG(
+          api.bandwidth() == 0 ||
+              api.bandwidth() >=
+                  bfs_aggregate_min_bandwidth(api.namespace_size(),
+                                              cfg_.value_bits),
+          "bandwidth too small for BFS aggregation");
+      best_root_ = api.id();
+      best_dist_ = 0;
+      parent_port_ = kSelfParent;
+      value_ = cfg_.contribution ? cfg_.contribution(index_) : 0;
+      child_port_.assign(api.degree(), false);
+      child_value_seen_.assign(api.degree(), false);
+      improved_ = true;  // announce the initial claim
+    }
+
+    if (api.round() < n) {
+      election_round(api, id_bits, dist_bits);
+      return;
+    }
+    if (api.round() == n) {
+      // Final election messages arrive this round, then everyone announces
+      // parent/non-parent per port.
+      election_absorb(api, id_bits, dist_bits, /*allow_improve=*/true);
+      for (std::uint32_t p = 0; p < api.degree(); ++p) {
+        wire::Writer w;
+        w.boolean(parent_port_ != kSelfParent &&
+                  p == static_cast<std::uint32_t>(parent_port_));
+        api.send(p, std::move(w).take());
+      }
+      return;
+    }
+    if (api.round() == n + 1) {
+      for (std::uint32_t p = 0; p < api.degree(); ++p) {
+        const auto& msg = api.inbox(p);
+        CSD_CHECK_MSG(msg.has_value(), "missing parent announcement");
+        wire::Reader r(*msg);
+        child_port_[p] = r.boolean();
+      }
+      children_known_ = true;
+    } else if (api.round() > n + 1) {
+      // Value phase: collect convergecast values and/or the downcast.
+      for (std::uint32_t p = 0; p < api.degree(); ++p) {
+        const auto& msg = api.inbox(p);
+        if (!msg.has_value()) continue;
+        wire::Reader r(*msg);
+        const std::uint64_t tag = r.u(1);
+        const std::uint64_t value = r.u(cfg_.value_bits);
+        if (tag == kTagUp) {
+          CSD_CHECK_MSG(child_port_[p], "up-value from a non-child");
+          CSD_CHECK(!child_value_seen_[p]);
+          child_value_seen_[p] = true;
+          value_ = fold(cfg_.fold, value_, value);
+        } else {
+          CSD_CHECK_MSG(parent_port_ != kSelfParent &&
+                            p == static_cast<std::uint32_t>(parent_port_),
+                        "down-value from a non-parent");
+          finish(api, value);
+          return;
+        }
+      }
+    }
+
+    if (!children_known_ || done_) return;
+
+    const bool all_children_in = [&] {
+      for (std::uint32_t p = 0; p < api.degree(); ++p)
+        if (child_port_[p] && !child_value_seen_[p]) return false;
+      return true;
+    }();
+    if (!all_children_in) return;
+
+    if (parent_port_ == kSelfParent) {
+      // Root: the fold is complete; push it down and finish.
+      finish(api, value_);
+    } else if (!sent_up_) {
+      wire::Writer w;
+      w.u(kTagUp, 1);
+      w.u(value_, cfg_.value_bits);
+      api.send(static_cast<std::uint32_t>(parent_port_), std::move(w).take());
+      sent_up_ = true;
+    }
+  }
+
+ private:
+  static constexpr std::int64_t kSelfParent = -1;
+
+  void election_round(NodeApi& api, unsigned id_bits, unsigned dist_bits) {
+    if (api.round() > 0)
+      election_absorb(api, id_bits, dist_bits, /*allow_improve=*/true);
+    if (improved_) {
+      wire::Writer w;
+      w.u(best_root_, id_bits);
+      w.u(best_dist_, dist_bits);
+      api.broadcast(std::move(w).take());
+      improved_ = false;
+    }
+  }
+
+  void election_absorb(NodeApi& api, unsigned id_bits, unsigned dist_bits,
+                       bool allow_improve) {
+    for (std::uint32_t p = 0; p < api.degree(); ++p) {
+      const auto& msg = api.inbox(p);
+      if (!msg.has_value()) continue;
+      wire::Reader r(*msg);
+      const NodeId root = r.u(id_bits);
+      const std::uint64_t dist = r.u(dist_bits);
+      if (!allow_improve) continue;
+      if (root < best_root_ ||
+          (root == best_root_ && dist + 1 < best_dist_)) {
+        best_root_ = root;
+        best_dist_ = dist + 1;
+        parent_port_ = static_cast<std::int64_t>(p);
+        improved_ = true;
+      }
+    }
+  }
+
+  void finish(NodeApi& api, std::uint64_t final_value) {
+    for (std::uint32_t p = 0; p < api.degree(); ++p) {
+      if (!child_port_[p]) continue;
+      wire::Writer w;
+      w.u(kTagDown, 1);
+      w.u(final_value, cfg_.value_bits);
+      api.send(p, std::move(w).take());
+    }
+    result_->distance[index_] = static_cast<std::uint32_t>(best_dist_);
+    result_->parent[index_] =
+        parent_port_ == kSelfParent
+            ? index_
+            : topology_neighbor(api, static_cast<std::uint32_t>(parent_port_));
+    result_->aggregate[index_] = final_value;
+    result_->reached[index_] = true;
+    if (cfg_.reject_if && cfg_.reject_if(final_value)) api.reject();
+    done_ = true;
+    api.halt();
+  }
+
+  /// Topology index of the neighbor on `port`: identifiers are not indices
+  /// in general, so the sink records the *identifier* when they differ.
+  std::uint32_t topology_neighbor(NodeApi& api, std::uint32_t port) const {
+    return static_cast<std::uint32_t>(api.neighbor_id(port));
+  }
+
+  BfsAggregateConfig cfg_;
+  BfsAggregateResult* result_;
+  std::uint32_t index_;
+  NodeId best_root_ = 0;
+  std::uint64_t best_dist_ = 0;
+  std::int64_t parent_port_ = kSelfParent;
+  bool improved_ = false;
+  bool children_known_ = false;
+  bool sent_up_ = false;
+  bool done_ = false;
+  std::uint64_t value_ = 0;
+  std::vector<bool> child_port_;
+  std::vector<bool> child_value_seen_;
+};
+
+}  // namespace
+
+ProgramFactory bfs_aggregate_program(const BfsAggregateConfig& cfg,
+                                     BfsAggregateResult* result) {
+  CSD_CHECK(result != nullptr);
+  return [cfg, result](std::uint32_t index) {
+    return std::make_unique<BfsAggregateProgram>(cfg, result, index);
+  };
+}
+
+std::uint64_t bfs_aggregate_round_budget(std::uint64_t n) {
+  return 3 * n + 8;
+}
+
+std::uint64_t bfs_aggregate_min_bandwidth(std::uint64_t namespace_size,
+                                          std::uint32_t value_bits) {
+  return std::max<std::uint64_t>(
+      wire::bits_for(namespace_size) + wire::bits_for(namespace_size + 1),
+      1 + value_bits);
+}
+
+BfsAggregateResult run_bfs_aggregate(const Graph& g,
+                                     const BfsAggregateConfig& cfg,
+                                     std::uint64_t bandwidth,
+                                     std::uint64_t seed) {
+  BfsAggregateResult result;
+  const Vertex n = g.num_vertices();
+  result.distance.assign(n, 0);
+  result.parent.assign(n, 0);
+  result.aggregate.assign(n, 0);
+  result.reached.assign(n, false);
+  NetworkConfig net_cfg;
+  net_cfg.bandwidth = bandwidth;
+  net_cfg.seed = seed;
+  net_cfg.max_rounds = bfs_aggregate_round_budget(n);
+  run_congest(g, net_cfg, bfs_aggregate_program(cfg, &result));
+  return result;
+}
+
+}  // namespace csd::congest

@@ -1,0 +1,66 @@
+// Universal detection algorithms based on topology collection.
+//
+// Two flavors:
+//
+//   * CONGEST edge gossip (`collect_and_check_program`): every node floods
+//     every edge it learns, one edge per round per node (pipelined); after a
+//     caller-chosen budget every node knows the whole graph and evaluates a
+//     predicate on it. O(m + D) rounds with Θ(log n)-bit messages — the
+//     generic "collect everything" upper bound the paper's superlinear lower
+//     bound (Thm 1.2) is contrasted against, and the algorithm simulated in
+//     our executable reduction.
+//
+//   * LOCAL ball collection (`local_ball_program`): every node rebroadcasts
+//     its known edge set each round with unbounded messages; after r rounds
+//     it knows its radius-r ball and checks the pattern locally. This is the
+//     O(k)-round LOCAL algorithm from §1, exhibiting the CONGEST/LOCAL
+//     separation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+
+namespace csd::detect {
+
+/// Decides on the collected topology (vertices indexed by node identifier;
+/// identifiers must lie in [0, network size)). Returns true to reject,
+/// i.e. "the pattern is present".
+using CollectedChecker = std::function<bool(const Graph& collected)>;
+
+/// CONGEST edge-gossip collection. All nodes evaluate `checker` when the
+/// budget expires; any node whose queue has not drained also rejects
+/// (mirroring the §6 queue-deadline convention). The checker runs on the
+/// final round only.
+congest::ProgramFactory collect_and_check_program(std::uint64_t round_budget,
+                                                  CollectedChecker checker);
+
+/// Round budget sufficient for edge gossip on a graph with m edges and n
+/// vertices: every node forwards each edge at most once.
+std::uint64_t collect_round_budget(std::uint64_t n, std::uint64_t m);
+
+/// Bits needed per gossip message.
+std::uint64_t collect_min_bandwidth(std::uint64_t n);
+
+/// LOCAL-model ball collection to the given radius (requires unbounded
+/// bandwidth, config.bandwidth == 0). The checker sees the radius-r ball of
+/// each node (as a graph on all n identifiers, absent edges simply missing).
+congest::ProgramFactory local_ball_program(std::uint32_t radius,
+                                           CollectedChecker checker);
+
+/// Convenience: run CONGEST collect-and-check end to end.
+congest::RunOutcome detect_by_collection(const Graph& g,
+                                         const CollectedChecker& checker,
+                                         std::uint64_t bandwidth,
+                                         std::uint64_t seed);
+
+/// The §1 LOCAL-model algorithm for arbitrary fixed H: every node collects
+/// its radius-|V(H)| ball (unbounded messages) and searches it for H with
+/// the VF2 oracle. O(|V(H)|) rounds regardless of n — the benchmark the
+/// CONGEST lower bounds are separated from. Deterministic and exact.
+congest::RunOutcome detect_subgraph_local(const Graph& g,
+                                          const Graph& pattern);
+
+}  // namespace csd::detect

@@ -1,0 +1,98 @@
+#include "detect/triangle.hpp"
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "support/wire.hpp"
+
+namespace csd::detect {
+
+namespace {
+
+class IdExchangeProgram final : public congest::NodeProgram {
+ public:
+  /// digest = false: compare low id bits; true: compare salted hashes.
+  explicit IdExchangeProgram(std::uint32_t c_bits, bool digest = false,
+                             std::uint64_t salt = 0)
+      : c_bits_(c_bits), digest_(digest), salt_(salt) {}
+
+  void on_round(congest::NodeApi& api) override {
+    CSD_CHECK_MSG(api.degree() == 2,
+                  "id-exchange distinguisher needs a 2-regular topology");
+    CSD_CHECK_MSG(api.bandwidth() == 0 || api.bandwidth() >= c_bits_,
+                  "bandwidth too small for id exchange");
+    const std::uint64_t mask =
+        c_bits_ >= 64 ? ~0ULL : (1ULL << c_bits_) - 1;
+    const auto fingerprint = [&](std::uint64_t id) {
+      if (!digest_) return id & mask;
+      std::uint64_t s = id ^ (salt_ * 0x9e3779b97f4a7c15ULL);
+      return splitmix64(s) & mask;
+    };
+
+    switch (api.round()) {
+      case 0: {
+        wire::Writer w;
+        w.u(fingerprint(api.id()), c_bits_);
+        api.broadcast(std::move(w).take());
+        break;
+      }
+      case 1: {
+        // Cross-forward: what arrived on port p leaves on port 1-p.
+        for (std::uint32_t p = 0; p < 2; ++p) {
+          const auto& msg = api.inbox(p);
+          CSD_CHECK_MSG(msg.has_value(), "missing id announcement");
+          wire::Reader r(*msg);
+          heard_[p] = r.u(c_bits_);
+          wire::Writer w;
+          w.u(heard_[p], c_bits_);
+          api.send(1 - p, std::move(w).take());
+        }
+        break;
+      }
+      case 2: {
+        // In a triangle, my neighbor's other neighbor is my other neighbor.
+        bool both_match = true;
+        for (std::uint32_t p = 0; p < 2; ++p) {
+          const auto& msg = api.inbox(p);
+          CSD_CHECK_MSG(msg.has_value(), "missing forwarded id");
+          wire::Reader r(*msg);
+          const std::uint64_t reported = r.u(c_bits_);
+          both_match &= reported == fingerprint(api.neighbor_id(1 - p));
+        }
+        if (both_match) api.reject();
+        api.halt();
+        break;
+      }
+      default:
+        CSD_CHECK(false);
+    }
+  }
+
+ private:
+  std::uint32_t c_bits_;
+  bool digest_;
+  std::uint64_t salt_;
+  std::uint64_t heard_[2] = {0, 0};
+};
+
+}  // namespace
+
+congest::ProgramFactory id_exchange_triangle_program(std::uint32_t c_bits) {
+  CSD_CHECK_MSG(c_bits >= 1 && c_bits <= 64, "c_bits out of range");
+  return [c_bits](std::uint32_t) {
+    return std::make_unique<IdExchangeProgram>(c_bits);
+  };
+}
+
+congest::ProgramFactory hashed_id_exchange_triangle_program(
+    std::uint32_t c_bits, std::uint64_t salt) {
+  CSD_CHECK_MSG(c_bits >= 1 && c_bits <= 64, "c_bits out of range");
+  return [c_bits, salt](std::uint32_t) {
+    return std::make_unique<IdExchangeProgram>(c_bits, /*digest=*/true, salt);
+  };
+}
+
+std::uint32_t id_exchange_sound_bits(std::uint64_t namespace_size) {
+  return wire::bits_for(namespace_size);
+}
+
+}  // namespace csd::detect

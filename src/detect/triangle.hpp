@@ -1,0 +1,41 @@
+// Triangle-vs-hexagon distinguishers on 2-regular graphs — the upper-bound
+// side of Theorem 4.1.
+//
+// The c-bit ID-exchange algorithm: in round 0 every node sends the low c
+// bits of its identifier on both ports; in round 1 it cross-forwards what it
+// received (port 0's bits go out on port 1 and vice versa); in round 2 each
+// node compares what came back with the (truncated) identifiers of its own
+// neighbors. On a triangle the "neighbor of my neighbor" is my other
+// neighbor, so both comparisons match and the node rejects. On a 6-cycle a
+// match requires an identifier-truncation collision.
+//
+//   * c = ⌈log2 N⌉ (full identifiers): never wrong — the O(log N) upper
+//     bound that Theorem 4.1 shows is tight.
+//   * c < log2 N: the §4 fooling adversary finds an identifier assignment
+//     that makes some node reject a hexagon (see lowerbound/fooling).
+//
+// Total communication: 4c bits per node, prefix-free (fixed width).
+#pragma once
+
+#include <cstdint>
+
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+
+namespace csd::detect {
+
+/// Factory for the c-bit ID-exchange distinguisher. Requires a 2-regular
+/// topology (every node must have degree exactly 2) and bandwidth >= c.
+congest::ProgramFactory id_exchange_triangle_program(std::uint32_t c_bits);
+
+/// Variant that exchanges c-bit *hashes* of identifiers instead of their
+/// low bits (salted splitmix). Used to show the §4 adversary is generic:
+/// it defeats any deterministic c-bit scheme, not just truncation — the
+/// transcript/box machinery never looks inside the messages.
+congest::ProgramFactory hashed_id_exchange_triangle_program(
+    std::uint32_t c_bits, std::uint64_t salt);
+
+/// Bits of identifier needed for a sound distinguisher on namespace size N.
+std::uint32_t id_exchange_sound_bits(std::uint64_t namespace_size);
+
+}  // namespace csd::detect

@@ -1,0 +1,113 @@
+#include "detect/triangle_tester.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/wire.hpp"
+
+namespace csd::detect {
+
+namespace {
+
+/// Per-port wire format: [has_reply][reply][has_query][query id?].
+class TriangleTesterProgram final : public congest::NodeProgram {
+ public:
+  explicit TriangleTesterProgram(const TriangleTesterConfig& cfg)
+      : cfg_(cfg) {}
+
+  void on_round(congest::NodeApi& api) override {
+    const unsigned id_bits = wire::bits_for(api.namespace_size());
+    if (api.round() == 0) {
+      CSD_CHECK_MSG(api.bandwidth() == 0 ||
+                        api.bandwidth() >=
+                            triangle_tester_min_bandwidth(api.namespace_size()),
+                    "bandwidth too small for the triangle tester");
+      sorted_neighbors_.reserve(api.degree());
+      for (std::uint32_t p = 0; p < api.degree(); ++p)
+        sorted_neighbors_.push_back(api.neighbor_id(p));
+      std::sort(sorted_neighbors_.begin(), sorted_neighbors_.end());
+    }
+
+    // Absorb: replies answer our query from two rounds ago; queries arriving
+    // now get a reply attached to next round's outgoing message.
+    std::vector<std::optional<bool>> replies(api.degree());
+    if (api.round() > 0) {
+      for (std::uint32_t p = 0; p < api.degree(); ++p) {
+        const auto& msg = api.inbox(p);
+        if (!msg.has_value()) continue;
+        wire::Reader r(*msg);
+        const bool has_reply = r.boolean();
+        const bool confirmed = r.boolean();
+        if (has_reply && confirmed)
+          api.reject();  // u confirmed u ~ w: triangle v,u,w closed
+        if (r.boolean()) {  // has_query
+          const std::uint64_t queried = r.u(id_bits);
+          replies[p] = std::binary_search(sorted_neighbors_.begin(),
+                                          sorted_neighbors_.end(), queried);
+        }
+      }
+    }
+
+    const bool querying =
+        api.round() < cfg_.query_rounds && api.degree() >= 2;
+    std::uint32_t query_port = 0;
+    std::uint64_t query_id = 0;
+    if (querying) {
+      // Two distinct random ports: ask `query_port` about the other's id.
+      query_port = static_cast<std::uint32_t>(api.rng().below(api.degree()));
+      auto other = static_cast<std::uint32_t>(api.rng().below(api.degree() - 1));
+      if (other >= query_port) ++other;
+      query_id = api.neighbor_id(other);
+    }
+
+    for (std::uint32_t p = 0; p < api.degree(); ++p) {
+      const bool send_query = querying && p == query_port;
+      if (!replies[p].has_value() && !send_query) continue;
+      wire::Writer w;
+      w.boolean(replies[p].has_value());
+      w.boolean(replies[p].value_or(false));
+      w.boolean(send_query);
+      if (send_query) w.u(query_id, id_bits);
+      api.send(p, std::move(w).take());
+    }
+
+    if (api.round() >= triangle_tester_round_budget(cfg_) - 1) api.halt();
+  }
+
+ private:
+  TriangleTesterConfig cfg_;
+  std::vector<congest::NodeId> sorted_neighbors_;
+};
+
+}  // namespace
+
+congest::ProgramFactory triangle_tester_program(
+    const TriangleTesterConfig& cfg) {
+  CSD_CHECK_MSG(cfg.query_rounds >= 1, "need at least one query round");
+  return [cfg](std::uint32_t) {
+    return std::make_unique<TriangleTesterProgram>(cfg);
+  };
+}
+
+std::uint64_t triangle_tester_round_budget(const TriangleTesterConfig& cfg) {
+  return cfg.query_rounds + 2;
+}
+
+std::uint64_t triangle_tester_min_bandwidth(std::uint64_t namespace_size) {
+  return wire::bits_for(namespace_size) + 3;
+}
+
+congest::RunOutcome test_triangle_freeness(const Graph& g,
+                                           const TriangleTesterConfig& cfg,
+                                           std::uint64_t bandwidth,
+                                           std::uint64_t seed) {
+  congest::NetworkConfig net_cfg;
+  net_cfg.bandwidth = bandwidth;
+  net_cfg.seed = seed;
+  net_cfg.max_rounds = triangle_tester_round_budget(cfg) + 1;
+  return congest::run_congest(g, net_cfg, triangle_tester_program(cfg));
+}
+
+}  // namespace csd::detect

@@ -1,0 +1,45 @@
+// Distributed property testing of triangle-freeness — the relaxation the
+// paper contrasts itself against ("they studied the property testing
+// relaxation... Here we consider the exact version", §1.2, citing
+// [CFSV16]).
+//
+// Edge-sampling tester: every round, each node v of degree >= 2 picks two
+// random incident ports (u, w) and asks u whether w is its neighbor; u
+// answers with one bit. A "yes" certifies the triangle {v, u, w}, so the
+// tester is one-sided. Queries and replies are pipelined, so T query
+// rounds cost T + 2 rounds total with Θ(log n)-bit messages, independent
+// of n — against this, the exact problem costs Ω(Δ) bandwidth in one round
+// (Thm 5.1) and Ω(log n) bits deterministically (Thm 4.1).
+//
+// Guarantee (property testing): graphs ε-far from triangle-free are
+// rejected with constant probability within O(poly(1/ε)) query rounds;
+// a graph with a single triangle may legitimately be missed.
+#pragma once
+
+#include <cstdint>
+
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+
+namespace csd::detect {
+
+struct TriangleTesterConfig {
+  /// Query rounds (each node issues one neighbor-pair query per round).
+  std::uint32_t query_rounds = 32;
+};
+
+congest::ProgramFactory triangle_tester_program(
+    const TriangleTesterConfig& cfg);
+
+std::uint64_t triangle_tester_round_budget(const TriangleTesterConfig& cfg);
+
+/// Bits per message: one id plus three flag/answer bits.
+std::uint64_t triangle_tester_min_bandwidth(std::uint64_t namespace_size);
+
+/// End-to-end run.
+congest::RunOutcome test_triangle_freeness(const Graph& g,
+                                           const TriangleTesterConfig& cfg,
+                                           std::uint64_t bandwidth,
+                                           std::uint64_t seed);
+
+}  // namespace csd::detect

@@ -1,0 +1,327 @@
+#include "graph/builders.hpp"
+
+#include <algorithm>
+#include <array>
+#include <set>
+
+#include "graph/oracle.hpp"
+#include "support/check.hpp"
+#include "support/combinatorics.hpp"
+
+namespace csd::build {
+
+Graph path(Vertex n) {
+  Graph g(n);
+  for (Vertex v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Graph cycle(Vertex n) {
+  CSD_CHECK_MSG(n >= 3, "cycle needs >= 3 vertices");
+  Graph g = path(n);
+  g.add_edge(n - 1, 0);
+  return g;
+}
+
+Graph complete(Vertex n) {
+  Graph g(n);
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v) g.add_edge(u, v);
+  return g;
+}
+
+Graph complete_bipartite(Vertex a, Vertex b) {
+  Graph g(a + b);
+  for (Vertex u = 0; u < a; ++u)
+    for (Vertex v = 0; v < b; ++v) g.add_edge(u, a + v);
+  return g;
+}
+
+Graph star(Vertex leaves) {
+  Graph g(leaves + 1);
+  for (Vertex v = 1; v <= leaves; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph grid(Vertex rows, Vertex cols) {
+  Graph g(rows * cols);
+  const auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  for (Vertex r = 0; r < rows; ++r)
+    for (Vertex c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  return g;
+}
+
+Graph petersen() {
+  Graph g(10);
+  for (Vertex v = 0; v < 5; ++v) {
+    g.add_edge(v, (v + 1) % 5);        // outer pentagon
+    g.add_edge(5 + v, 5 + (v + 2) % 5);  // inner pentagram
+    g.add_edge(v, 5 + v);              // spokes
+  }
+  return g;
+}
+
+Graph gnp(Vertex n, double p, Rng& rng) {
+  CSD_CHECK_MSG(p >= 0.0 && p <= 1.0, "probability out of range");
+  Graph g(n);
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v)
+      if (rng.uniform() < p) g.add_edge(u, v);
+  return g;
+}
+
+Graph gnm(Vertex n, std::uint64_t m, Rng& rng) {
+  const std::uint64_t max_edges =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  CSD_CHECK_MSG(m <= max_edges, "too many edges requested");
+  Graph g(n);
+  while (g.num_edges() < m) {
+    const auto u = static_cast<Vertex>(rng.below(n));
+    const auto v = static_cast<Vertex>(rng.below(n));
+    g.add_edge_if_absent(u, v);
+  }
+  return g;
+}
+
+Graph random_bipartite(Vertex a, Vertex b, double p, Rng& rng) {
+  Graph g(a + b);
+  for (Vertex u = 0; u < a; ++u)
+    for (Vertex v = 0; v < b; ++v)
+      if (rng.uniform() < p) g.add_edge(u, a + v);
+  return g;
+}
+
+Graph random_tree(Vertex n, Rng& rng) {
+  CSD_CHECK_MSG(n >= 1, "tree needs >= 1 vertex");
+  Graph g(n);
+  if (n == 1) return g;
+  if (n == 2) {
+    g.add_edge(0, 1);
+    return g;
+  }
+  // Prüfer decoding: uniform over labelled trees.
+  std::vector<Vertex> prufer(n - 2);
+  for (auto& x : prufer) x = static_cast<Vertex>(rng.below(n));
+  std::vector<std::uint32_t> degree(n, 1);
+  for (const Vertex x : prufer) ++degree[x];
+  std::vector<Vertex> leaves;
+  for (Vertex v = 0; v < n; ++v)
+    if (degree[v] == 1) leaves.push_back(v);
+  std::sort(leaves.begin(), leaves.end(), std::greater<>());
+  for (const Vertex x : prufer) {
+    const Vertex leaf = leaves.back();
+    leaves.pop_back();
+    g.add_edge(leaf, x);
+    if (--degree[x] == 1) {
+      // Insert keeping descending order so the smallest leaf stays at back.
+      const auto it = std::lower_bound(leaves.begin(), leaves.end(), x,
+                                       std::greater<>());
+      leaves.insert(it, x);
+    }
+  }
+  CSD_CHECK(leaves.size() == 2);
+  g.add_edge(leaves[0], leaves[1]);
+  return g;
+}
+
+Graph random_bounded_degree(Vertex n, Vertex d, Rng& rng) {
+  Graph g(n);
+  for (Vertex round = 0; round < d; ++round) {
+    const auto perm = rng.permutation(n);
+    for (Vertex i = 0; i + 1 < n; i += 2)
+      g.add_edge_if_absent(perm[i], perm[i + 1]);
+  }
+  CSD_CHECK(g.max_degree() <= d);
+  return g;
+}
+
+Graph polarity_graph(std::uint32_t q) {
+  CSD_CHECK_MSG(q >= 2, "field order must be >= 2");
+  // Projective points of PG(2, q): canonical representatives are
+  // (1, y, z), (0, 1, z), (0, 0, 1).
+  struct Point {
+    std::uint32_t x, y, z;
+  };
+  std::vector<Point> points;
+  points.reserve(q * q + q + 1);
+  for (std::uint32_t y = 0; y < q; ++y)
+    for (std::uint32_t z = 0; z < q; ++z) points.push_back({1, y, z});
+  for (std::uint32_t z = 0; z < q; ++z) points.push_back({0, 1, z});
+  points.push_back({0, 0, 1});
+
+  Graph g(static_cast<Vertex>(points.size()));
+  const auto dot = [q](const Point& a, const Point& b) {
+    const std::uint64_t s = static_cast<std::uint64_t>(a.x) * b.x +
+                            static_cast<std::uint64_t>(a.y) * b.y +
+                            static_cast<std::uint64_t>(a.z) * b.z;
+    return static_cast<std::uint32_t>(s % q);
+  };
+  for (Vertex i = 0; i < g.num_vertices(); ++i)
+    for (Vertex j = i + 1; j < g.num_vertices(); ++j)
+      if (dot(points[i], points[j]) == 0) g.add_edge(i, j);
+  return g;
+}
+
+Graph incidence_graph(std::uint32_t q) {
+  CSD_CHECK_MSG(q >= 2, "field order must be >= 2");
+  // Points and lines of PG(2, q) share the same canonical representatives
+  // (1,y,z), (0,1,z), (0,0,1); point p lies on line l iff p·l = 0 (mod q).
+  struct Triple {
+    std::uint32_t x, y, z;
+  };
+  std::vector<Triple> reps;
+  reps.reserve(q * q + q + 1);
+  for (std::uint32_t y = 0; y < q; ++y)
+    for (std::uint32_t z = 0; z < q; ++z) reps.push_back({1, y, z});
+  for (std::uint32_t z = 0; z < q; ++z) reps.push_back({0, 1, z});
+  reps.push_back({0, 0, 1});
+
+  const auto count = static_cast<Vertex>(reps.size());
+  Graph g(2 * count);  // points are [0, count), lines [count, 2*count)
+  const auto dot = [q](const Triple& a, const Triple& b) {
+    const std::uint64_t s = static_cast<std::uint64_t>(a.x) * b.x +
+                            static_cast<std::uint64_t>(a.y) * b.y +
+                            static_cast<std::uint64_t>(a.z) * b.z;
+    return static_cast<std::uint32_t>(s % q);
+  };
+  for (Vertex p = 0; p < count; ++p)
+    for (Vertex l = 0; l < count; ++l)
+      if (dot(reps[p], reps[l]) == 0) g.add_edge(p, count + l);
+  return g;
+}
+
+Graph generalized_quadrangle_incidence(std::uint32_t q) {
+  CSD_CHECK_MSG(q >= 3 && q % 2 == 1, "GQ construction needs an odd prime");
+  // Points of the parabolic quadric Q(x) = x0² + x1x2 + x3x4 in PG(4, q),
+  // canonical representatives (first nonzero coordinate = 1).
+  using Point = std::array<std::uint32_t, 5>;
+  const auto quadric = [q](const Point& a) {
+    const std::uint64_t s = static_cast<std::uint64_t>(a[0]) * a[0] +
+                            static_cast<std::uint64_t>(a[1]) * a[2] +
+                            static_cast<std::uint64_t>(a[3]) * a[4];
+    return static_cast<std::uint32_t>(s % q);
+  };
+  // Polarization B(a,b) = 2 a0 b0 + a1 b2 + a2 b1 + a3 b4 + a4 b3.
+  const auto bilinear = [q](const Point& a, const Point& b) {
+    const std::uint64_t s = 2ull * a[0] * b[0] +
+                            static_cast<std::uint64_t>(a[1]) * b[2] +
+                            static_cast<std::uint64_t>(a[2]) * b[1] +
+                            static_cast<std::uint64_t>(a[3]) * b[4] +
+                            static_cast<std::uint64_t>(a[4]) * b[3];
+    return static_cast<std::uint32_t>(s % q);
+  };
+
+  std::vector<Point> points;
+  const auto emit_canonical = [&](Point p) {
+    if (quadric(p) == 0) points.push_back(p);
+  };
+  // Canonical representatives: leading coordinate 1 at position i, zeros
+  // before, arbitrary after.
+  for (std::uint32_t lead = 0; lead < 5; ++lead) {
+    Point p{};
+    p[lead] = 1;
+    const std::uint32_t free = 4 - lead;
+    std::uint64_t combos = 1;
+    for (std::uint32_t i = 0; i < free; ++i) combos *= q;
+    for (std::uint64_t code = 0; code < combos; ++code) {
+      std::uint64_t rest = code;
+      for (std::uint32_t i = lead + 1; i < 5; ++i) {
+        p[i] = static_cast<std::uint32_t>(rest % q);
+        rest /= q;
+      }
+      emit_canonical(p);
+    }
+  }
+  CSD_CHECK(points.size() ==
+            static_cast<std::size_t>(q + 1) * (q * q + 1));
+
+  // Totally isotropic lines: spanned by pairs a, b with B(a, b) = 0. Each
+  // line is canonicalized as its sorted set of point indices.
+  const auto canonical_index = [&](Point p) -> std::uint32_t {
+    // Scale so the first nonzero coordinate is 1.
+    std::uint32_t lead = 0;
+    while (p[lead] == 0) ++lead;
+    // Modular inverse via Fermat (q prime).
+    std::uint64_t inv = 1, base = p[lead], e = q - 2;
+    while (e > 0) {
+      if (e & 1) inv = inv * base % q;
+      base = base * base % q;
+      e >>= 1;
+    }
+    for (auto& c : p) c = static_cast<std::uint32_t>(c * inv % q);
+    const auto it = std::find(points.begin(), points.end(), p);
+    CSD_CHECK(it != points.end());
+    return static_cast<std::uint32_t>(it - points.begin());
+  };
+
+  std::set<std::vector<std::uint32_t>> lines;
+  for (std::uint32_t i = 0; i < points.size(); ++i) {
+    for (std::uint32_t j = i + 1; j < points.size(); ++j) {
+      if (bilinear(points[i], points[j]) != 0) continue;
+      std::vector<std::uint32_t> line{i, j};
+      for (std::uint32_t t = 1; t < q; ++t) {
+        Point mix;
+        for (std::uint32_t c = 0; c < 5; ++c)
+          mix[c] = static_cast<std::uint32_t>(
+              (points[i][c] + static_cast<std::uint64_t>(t) * points[j][c]) %
+              q);
+        line.push_back(canonical_index(mix));
+      }
+      std::sort(line.begin(), line.end());
+      lines.insert(std::move(line));
+    }
+  }
+
+  const auto num_points = static_cast<Vertex>(points.size());
+  Graph g(num_points + static_cast<Vertex>(lines.size()));
+  Vertex line_vertex = num_points;
+  for (const auto& line : lines) {
+    for (const auto p : line) g.add_edge(p, line_vertex);
+    ++line_vertex;
+  }
+  return g;
+}
+
+Graph disjoint_copies(const Graph& g, Vertex copies) {
+  Graph out;
+  for (Vertex c = 0; c < copies; ++c) out.append_disjoint(g);
+  return out;
+}
+
+std::vector<Vertex> plant_subgraph(Graph& host, const Graph& pattern,
+                                   Rng& rng) {
+  CSD_CHECK_MSG(pattern.num_vertices() <= host.num_vertices(),
+                "pattern larger than host");
+  const auto image = rng.sample_without_replacement(
+      host.num_vertices(), pattern.num_vertices());
+  for (const auto& [u, v] : pattern.edges())
+    host.add_edge_if_absent(image[u], image[v]);
+  return {image.begin(), image.end()};
+}
+
+Graph random_high_girth(Vertex n, std::uint64_t target_edges,
+                        Vertex girth_below, Rng& rng) {
+  Graph g = gnm(n, target_edges, rng);
+  // Repeatedly find a shortest cycle and break it if it is too short. Each
+  // removal strictly decreases the edge count, so this terminates.
+  for (;;) {
+    const Vertex current_girth = oracle::girth(g);
+    if (current_girth == 0 || current_girth > girth_below) return g;
+    const auto cycle_vertices = oracle::find_cycle_of_length(g, current_girth);
+    CSD_CHECK(cycle_vertices.has_value());
+    // Remove one random edge of the cycle: rebuild without it.
+    const auto& cyc = *cycle_vertices;
+    const auto pick = rng.below(cyc.size());
+    const Vertex a = cyc[pick];
+    const Vertex b = cyc[(pick + 1) % cyc.size()];
+    Graph next(g.num_vertices());
+    for (const auto& [u, v] : g.edges())
+      if (!((u == a && v == b) || (u == b && v == a))) next.add_edge(u, v);
+    g = std::move(next);
+  }
+}
+
+}  // namespace csd::build

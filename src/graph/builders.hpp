@@ -1,0 +1,82 @@
+// Graph builders and random generators used as workloads throughout the
+// tests, examples and benchmark harnesses.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace csd::build {
+
+/// Simple path on n vertices (n-1 edges): 0-1-...-(n-1).
+Graph path(Vertex n);
+
+/// Cycle C_n on n >= 3 vertices.
+Graph cycle(Vertex n);
+
+/// Complete graph K_n.
+Graph complete(Vertex n);
+
+/// Complete bipartite graph K_{a,b}; side A = [0,a), side B = [a, a+b).
+Graph complete_bipartite(Vertex a, Vertex b);
+
+/// Star K_{1,n}: center 0 with n leaves.
+Graph star(Vertex leaves);
+
+/// 2D grid graph rows × cols.
+Graph grid(Vertex rows, Vertex cols);
+
+/// The Petersen graph (girth 5, vertex-transitive; a useful C_4-free fixture).
+Graph petersen();
+
+/// Erdős–Rényi G(n, p): each edge iid with probability p.
+Graph gnp(Vertex n, double p, Rng& rng);
+
+/// Uniform random graph with exactly m edges (G(n, m)).
+Graph gnm(Vertex n, std::uint64_t m, Rng& rng);
+
+/// Random bipartite graph: sides a, b, each cross edge iid with prob p.
+Graph random_bipartite(Vertex a, Vertex b, double p, Rng& rng);
+
+/// Uniform random labelled tree on n vertices (Prüfer-sequence decoding).
+Graph random_tree(Vertex n, Rng& rng);
+
+/// Random d-regular-ish graph via random perfect matchings (multigraph edges
+/// discarded, so degrees are ≤ d; good enough as a bounded-degree workload).
+Graph random_bounded_degree(Vertex n, Vertex d, Rng& rng);
+
+/// Erdős–Rényi *polarity graph* ER_q over GF(q), q an odd prime: vertices are
+/// the q²+q+1 points of PG(2,q), with x ~ y iff x·y = 0 (mod q), x ≠ y.
+/// C_4-free with ~½q(q+1)² edges — the extremal-density workload exercising
+/// the §6 phase-I edge-bound logic (|E| ≈ ex(n, C_4)).
+Graph polarity_graph(std::uint32_t q);
+
+/// Point–line incidence graph of PG(2,q), q prime: bipartite on
+/// 2(q²+q+1) vertices with (q+1)(q²+q+1) edges and girth exactly 6 —
+/// the Zarankiewicz-extremal C_4-free bipartite graph.
+Graph incidence_graph(std::uint32_t q);
+
+/// Point–line incidence graph of the generalized quadrangle Q(4,q) (the
+/// parabolic quadric in PG(4,q)), q an odd prime: bipartite on
+/// 2(q+1)(q²+1) vertices with girth exactly 8 — C_4- and C_6-free at
+/// near-extremal density, the hard negative for C_6 detection
+/// (|E| ≈ ex(n, {C_4, C_6})).
+Graph generalized_quadrangle_incidence(std::uint32_t q);
+
+/// Disjoint union of `copies` copies of `g`.
+Graph disjoint_copies(const Graph& g, Vertex copies);
+
+/// Plant a copy of `pattern` into `host` on `pattern.num_vertices()` distinct
+/// random host vertices (adding the missing edges). Returns the image
+/// vertices in pattern order.
+std::vector<Vertex> plant_subgraph(Graph& host, const Graph& pattern,
+                                   Rng& rng);
+
+/// A graph guaranteed to contain no cycle of length <= girth_below: start
+/// from a random graph and delete an edge of every short cycle found
+/// (deterministic given rng). Used as a *negative* C_2k fixture generator.
+Graph random_high_girth(Vertex n, std::uint64_t target_edges,
+                        Vertex girth_below, Rng& rng);
+
+}  // namespace csd::build

@@ -1,0 +1,45 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace csd {
+
+std::vector<std::pair<Vertex, Vertex>> Graph::edges() const {
+  std::vector<std::pair<Vertex, Vertex>> out;
+  out.reserve(num_edges_);
+  for (Vertex u = 0; u < num_vertices(); ++u)
+    for (const Vertex v : adj_[u])
+      if (u < v) out.emplace_back(u, v);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Graph Graph::induced_subgraph(const std::vector<Vertex>& keep) const {
+  std::vector<Vertex> remap(num_vertices(), kNoVertex);
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    CSD_CHECK_MSG(keep[i] < num_vertices(), "induced_subgraph: bad vertex");
+    CSD_CHECK_MSG(remap[keep[i]] == kNoVertex,
+                  "induced_subgraph: duplicate vertex " << keep[i]);
+    remap[keep[i]] = static_cast<Vertex>(i);
+  }
+  Graph sub(static_cast<Vertex>(keep.size()));
+  for (const Vertex u : keep)
+    for (const Vertex v : adj_[u])
+      if (remap[v] != kNoVertex && remap[u] < remap[v])
+        sub.add_edge(remap[u], remap[v]);
+  return sub;
+}
+
+Vertex Graph::append_disjoint(const Graph& other) {
+  const Vertex offset = add_vertices(other.num_vertices());
+  for (Vertex u = 0; u < other.num_vertices(); ++u)
+    for (const Vertex v : other.adj_[u])
+      if (u < v) add_edge(offset + u, offset + v);
+  return offset;
+}
+
+void Graph::sort_adjacency() {
+  for (auto& nbrs : adj_) std::sort(nbrs.begin(), nbrs.end());
+}
+
+}  // namespace csd

@@ -1,0 +1,194 @@
+#include "graph/vf2.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace csd {
+
+namespace {
+
+/// Pattern vertex visit order: start from the highest-degree vertex, then
+/// repeatedly take the unvisited vertex with the most visited neighbors
+/// (ties broken by degree). Keeps the partial match connected whenever the
+/// pattern is connected, which is where the pruning power comes from.
+std::vector<Vertex> pattern_order(const Graph& pattern) {
+  const Vertex k = pattern.num_vertices();
+  std::vector<Vertex> order;
+  order.reserve(k);
+  std::vector<bool> placed(k, false);
+  for (Vertex step = 0; step < k; ++step) {
+    Vertex best = kNoVertex;
+    std::uint32_t best_connected = 0;
+    Vertex best_degree = 0;
+    for (Vertex h = 0; h < k; ++h) {
+      if (placed[h]) continue;
+      std::uint32_t connected = 0;
+      for (const Vertex nb : pattern.neighbors(h))
+        if (placed[nb]) ++connected;
+      const Vertex deg = pattern.degree(h);
+      if (best == kNoVertex || connected > best_connected ||
+          (connected == best_connected && deg > best_degree)) {
+        best = h;
+        best_connected = connected;
+        best_degree = deg;
+      }
+    }
+    placed[best] = true;
+    order.push_back(best);
+  }
+  return order;
+}
+
+/// Symmetry breaking: pattern vertices that are twins (identical open or
+/// closed neighborhoods) are interchangeable in any embedding, so we impose
+/// image(u) < image(v) along each twin class. This collapses the factorial
+/// automorphism blowup of cliques and duplicated gadgets.
+std::vector<Vertex> twin_predecessors(const Graph& pattern) {
+  const Vertex k = pattern.num_vertices();
+  std::vector<std::vector<Vertex>> sorted_nbrs(k);
+  for (Vertex v = 0; v < k; ++v) {
+    const auto nb = pattern.neighbors(v);
+    sorted_nbrs[v].assign(nb.begin(), nb.end());
+    std::sort(sorted_nbrs[v].begin(), sorted_nbrs[v].end());
+  }
+  const auto are_twins = [&](Vertex u, Vertex v) {
+    // Open twins: N(u) == N(v); closed twins: N(u)\{v} == N(v)\{u} with u~v.
+    std::vector<Vertex> nu, nv;
+    for (const Vertex w : sorted_nbrs[u])
+      if (w != v) nu.push_back(w);
+    for (const Vertex w : sorted_nbrs[v])
+      if (w != u) nv.push_back(w);
+    if (nu != nv) return false;
+    return true;  // adjacency between u,v is symmetric either way
+  };
+  std::vector<Vertex> pred(k, kNoVertex);
+  // Greedy chaining: for each v, the largest u < v that is its twin.
+  for (Vertex v = 1; v < k; ++v)
+    for (Vertex u = v; u-- > 0;)
+      if (are_twins(u, v)) {
+        pred[v] = u;
+        break;
+      }
+  return pred;
+}
+
+class Matcher {
+ public:
+  Matcher(const Graph& host, const Graph& pattern,
+          const SubgraphSearchOptions& opts)
+      : host_(host),
+        pattern_(pattern),
+        opts_(opts),
+        order_(pattern_order(pattern)),
+        twin_pred_(twin_predecessors(pattern)),
+        twin_succ_(pattern.num_vertices(), kNoVertex),
+        match_(pattern.num_vertices(), kNoVertex),
+        used_(host.num_vertices(), false) {
+    for (Vertex v = 0; v < pattern.num_vertices(); ++v)
+      if (twin_pred_[v] != kNoVertex) twin_succ_[twin_pred_[v]] = v;
+  }
+
+  std::optional<std::vector<Vertex>> run() {
+    if (pattern_.num_vertices() > host_.num_vertices()) return std::nullopt;
+    if (pattern_.num_edges() > host_.num_edges()) return std::nullopt;
+    if (extend(0)) return match_;
+    return std::nullopt;
+  }
+
+ private:
+  bool extend(std::size_t depth) {
+    if (depth == order_.size()) return true;
+    if (opts_.max_steps != 0) {
+      CSD_CHECK_MSG(++steps_ <= opts_.max_steps,
+                    "subgraph search exceeded step budget");
+    }
+    const Vertex h = order_[depth];
+
+    // Candidate host vertices: if h has an already-matched pattern neighbor,
+    // restrict to that neighbor's image's adjacency; otherwise all hosts.
+    Vertex anchor = kNoVertex;
+    for (const Vertex nb : pattern_.neighbors(h)) {
+      if (match_[nb] != kNoVertex) {
+        anchor = match_[nb];
+        break;
+      }
+    }
+
+    const auto try_candidate = [&](Vertex g) -> bool {
+      if (used_[g]) return false;
+      if (host_.degree(g) < pattern_.degree(h)) return false;
+      // Symmetry breaking: twin-chain neighbors must have increasing images
+      // (twins are interchangeable), whichever side is matched first.
+      if (twin_pred_[h] != kNoVertex && match_[twin_pred_[h]] != kNoVertex &&
+          g < match_[twin_pred_[h]])
+        return false;
+      if (twin_succ_[h] != kNoVertex && match_[twin_succ_[h]] != kNoVertex &&
+          g > match_[twin_succ_[h]])
+        return false;
+      // All matched pattern neighbors must map to host neighbors of g.
+      for (const Vertex nb : pattern_.neighbors(h))
+        if (match_[nb] != kNoVertex && !host_.has_edge(g, match_[nb]))
+          return false;
+      match_[h] = g;
+      used_[g] = true;
+      if (extend(depth + 1)) return true;
+      match_[h] = kNoVertex;
+      used_[g] = false;
+      return false;
+    };
+
+    if (anchor != kNoVertex) {
+      for (const Vertex g : host_.neighbors(anchor))
+        if (try_candidate(g)) return true;
+    } else {
+      for (Vertex g = 0; g < host_.num_vertices(); ++g)
+        if (try_candidate(g)) return true;
+    }
+    return false;
+  }
+
+  const Graph& host_;
+  const Graph& pattern_;
+  SubgraphSearchOptions opts_;
+  std::vector<Vertex> order_;
+  std::vector<Vertex> twin_pred_;
+  std::vector<Vertex> twin_succ_;
+  std::vector<Vertex> match_;
+  std::vector<bool> used_;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace
+
+std::optional<std::vector<Vertex>> find_subgraph(
+    const Graph& host, const Graph& pattern,
+    const SubgraphSearchOptions& opts) {
+  if (pattern.num_vertices() == 0) return std::vector<Vertex>{};
+  Matcher matcher(host, pattern, opts);
+  auto result = matcher.run();
+  if (result) CSD_CHECK(is_valid_embedding(host, pattern, *result));
+  return result;
+}
+
+bool contains_subgraph(const Graph& host, const Graph& pattern,
+                       const SubgraphSearchOptions& opts) {
+  return find_subgraph(host, pattern, opts).has_value();
+}
+
+bool is_valid_embedding(const Graph& host, const Graph& pattern,
+                        const std::vector<Vertex>& embedding) {
+  if (embedding.size() != pattern.num_vertices()) return false;
+  std::vector<Vertex> sorted = embedding;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end())
+    return false;  // not injective
+  for (const Vertex v : embedding)
+    if (v >= host.num_vertices()) return false;
+  for (const auto& [u, v] : pattern.edges())
+    if (!host.has_edge(embedding[u], embedding[v])) return false;
+  return true;
+}
+
+}  // namespace csd

@@ -1,0 +1,43 @@
+// Subgraph monomorphism (non-induced subgraph isomorphism) testing.
+//
+// This is the library's general-purpose ground-truth oracle for
+// H-subgraph-detection: does the host graph G contain a copy of the pattern
+// H as a subgraph (Definition 1 of the paper)?
+//
+// The search is a VF2-style backtracking over a connectivity-first pattern
+// ordering with degree and neighborhood pruning. Worst-case exponential —
+// intended for validation at test scale, not as a competitor algorithm.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace csd {
+
+struct SubgraphSearchOptions {
+  /// Abort the search after this many backtracking steps (0 = unlimited).
+  /// When the budget is exhausted, the query throws CheckFailure, so a
+  /// truncated search is never silently reported as "no subgraph".
+  std::uint64_t max_steps = 0;
+};
+
+/// If G contains the pattern H as a subgraph, returns an embedding:
+/// result[h] = image of pattern vertex h in G. Otherwise nullopt.
+std::optional<std::vector<Vertex>> find_subgraph(
+    const Graph& host, const Graph& pattern,
+    const SubgraphSearchOptions& opts = {});
+
+/// Convenience wrapper: true iff pattern ⊆ host.
+bool contains_subgraph(const Graph& host, const Graph& pattern,
+                       const SubgraphSearchOptions& opts = {});
+
+/// Verifies that `embedding` maps pattern into host injectively, preserving
+/// all pattern edges. Used to double-check search results and algorithm
+/// outputs.
+bool is_valid_embedding(const Graph& host, const Graph& pattern,
+                        const std::vector<Vertex>& embedding);
+
+}  // namespace csd

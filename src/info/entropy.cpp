@@ -1,0 +1,87 @@
+#include "info/entropy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace csd::info {
+
+namespace {
+
+template <typename Map>
+double entropy_of_map(const Map& counts, std::uint64_t total) {
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  const double dt = static_cast<double>(total);
+  for (const auto& [sym, c] : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / dt;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+double entropy_from_counts(const std::vector<std::uint64_t>& counts) {
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  const double dt = static_cast<double>(total);
+  for (const auto c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / dt;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+void JointDistribution::add(std::uint64_t x, std::uint64_t y,
+                            std::uint64_t weight) {
+  CSD_CHECK(weight > 0);
+  x_counts_[x] += weight;
+  y_counts_[y] += weight;
+  joint_counts_[{x, y}] += weight;
+  total_ += weight;
+}
+
+double JointDistribution::entropy_x() const {
+  return entropy_of_map(x_counts_, total_);
+}
+
+double JointDistribution::entropy_y() const {
+  return entropy_of_map(y_counts_, total_);
+}
+
+double JointDistribution::entropy_joint() const {
+  return entropy_of_map(joint_counts_, total_);
+}
+
+double JointDistribution::mutual_information() const {
+  return std::max(0.0, entropy_x() + entropy_y() - entropy_joint());
+}
+
+double JointDistribution::conditional_entropy_x_given_y() const {
+  return std::max(0.0, entropy_joint() - entropy_y());
+}
+
+void ConditionalMutualInformation::add(std::uint64_t z, std::uint64_t x,
+                                       std::uint64_t y, std::uint64_t weight) {
+  slices_[z].add(x, y, weight);
+  total_ += weight;
+}
+
+double ConditionalMutualInformation::value() const {
+  if (total_ == 0) return 0.0;
+  double sum = 0.0;
+  for (const auto& [z, slice] : slices_) {
+    const double w =
+        static_cast<double>(slice.total()) / static_cast<double>(total_);
+    sum += w * slice.mutual_information();
+  }
+  return sum;
+}
+
+}  // namespace csd::info

@@ -1,0 +1,75 @@
+// Plug-in (maximum-likelihood) estimators for Shannon entropy, conditional
+// entropy, and (conditional) mutual information over empirical samples of
+// discrete variables.
+//
+// Used by the §5 experiment to measure how much information one-round
+// messages carry about the hidden triangle edge X_bc:
+//     I(X_bc ; M_ba, M_ca | N_a, X_ab = 1, X_ac = 1).
+// Variables are presented as 64-bit symbols (messages are hashed BitVecs;
+// collisions only *underestimate* information, which is the conservative
+// direction for a lower-bound experiment).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace csd::info {
+
+/// Shannon entropy (bits) of an empirical distribution given by counts.
+double entropy_from_counts(const std::vector<std::uint64_t>& counts);
+
+/// Accumulates joint samples (x, y) and computes plug-in estimates.
+class JointDistribution {
+ public:
+  void add(std::uint64_t x, std::uint64_t y, std::uint64_t weight = 1);
+
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// H(X), H(Y), H(X, Y) in bits.
+  double entropy_x() const;
+  double entropy_y() const;
+  double entropy_joint() const;
+
+  /// I(X; Y) = H(X) + H(Y) − H(X,Y), clamped at 0 (plug-in can dip below by
+  /// floating-point noise only).
+  double mutual_information() const;
+
+  /// H(X | Y) = H(X,Y) − H(Y).
+  double conditional_entropy_x_given_y() const;
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> x_counts_;
+  std::unordered_map<std::uint64_t, std::uint64_t> y_counts_;
+  // Joint keyed by (x hashed with y); exact pairs kept to avoid collisions.
+  struct PairHash {
+    std::size_t operator()(const std::pair<std::uint64_t, std::uint64_t>& p)
+        const noexcept {
+      // splitmix-style combine.
+      std::uint64_t h = p.first * 0x9e3779b97f4a7c15ULL;
+      h ^= (p.second + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+      return static_cast<std::size_t>(h);
+    }
+  };
+  std::unordered_map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t,
+                     PairHash>
+      joint_counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// I(X; Y | Z): average over z-slices of the slice MI, weighted by slice
+/// mass. Samples are (z, x, y) triples.
+class ConditionalMutualInformation {
+ public:
+  void add(std::uint64_t z, std::uint64_t x, std::uint64_t y,
+           std::uint64_t weight = 1);
+
+  double value() const;
+  std::uint64_t total() const noexcept { return total_; }
+
+ private:
+  std::unordered_map<std::uint64_t, JointDistribution> slices_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace csd::info

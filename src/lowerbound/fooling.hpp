@@ -1,0 +1,69 @@
+// The §4 fooling adversary — executable form of Theorem 4.1.
+//
+// Given a *deterministic* CONGEST algorithm that distinguishes a triangle
+// from a 6-cycle, the adversary:
+//
+//   1. splits the namespace [N] into N_0, N_1, N_2 and executes the
+//      algorithm on the triangle △(u_0, u_1, u_2) for every triple in
+//      N_0 × N_1 × N_2, recording the *complete transcript* (per node, the
+//      messages to its clockwise neighbor in round order, then to its
+//      counter-clockwise neighbor; nodes concatenated in namespace order —
+//      the unique-parsability discipline of §4);
+//   2. buckets triples by transcript and takes the largest class S_t;
+//   3. searches S_t — a 3-partite 3-uniform hypergraph — for the complete
+//      K^(3)(2) "box" {u_0,u_0'}×{u_1,u_1'}×{u_2,u_2'} whose existence is
+//      guaranteed by the Erdős box theorem (Thm 4.2) once
+//      |S_t| ≥ n^{2.75};
+//   4. assembles the hexagon Q = u_0 u_1 u_2 u_0' u_1' u_2', re-runs the
+//      algorithm on it, verifies Claim 4.4 (every node reproduces its
+//      triangle transcript) and reports whether some node wrongly rejects.
+//
+// With a per-node budget of C bits, at most 2^{6(C+1)} transcripts exist;
+// when C = o(log N) the pigeonhole + box theorem make step 3 succeed and a
+// correct algorithm is fooled. The bench sweeps C and N to exhibit the
+// Θ(log N) threshold, with detect::id_exchange_triangle_program(c) as the
+// algorithm family.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "congest/network.hpp"
+
+namespace csd::lb {
+
+struct FoolingConfig {
+  /// Namespace size N (must be divisible by 3 and >= 6).
+  std::uint64_t namespace_size = 24;
+  /// Deterministic algorithm under attack. Must halt within max_rounds on
+  /// both the triangle and the 6-cycle for any identifier assignment.
+  congest::ProgramFactory algorithm;
+  std::uint64_t bandwidth = 0;
+  std::uint64_t max_rounds = 64;
+};
+
+struct FoolingReport {
+  std::uint64_t part_size = 0;            // n = N/3
+  std::uint64_t executions = 0;           // n^3 triangle runs
+  std::uint64_t distinct_transcripts = 0;
+  std::uint64_t largest_class = 0;
+  std::uint64_t max_total_bits_per_node = 0;  // observed C
+  /// Sanity: the algorithm rejected every triangle (it is "correct" on the
+  /// positive side). A fooling claim is only meaningful when true.
+  bool all_triangles_rejected = false;
+  bool box_found = false;
+  /// The fooling hexagon (u0,u1,u2,u0',u1',u2') when box_found.
+  std::array<congest::NodeId, 6> hexagon{};
+  /// Claim 4.4: per-node transcripts on Q equal the triangle transcripts.
+  bool transcripts_match = false;
+  /// Some node rejected the (triangle-free) hexagon — the algorithm is
+  /// provably wrong for this identifier assignment.
+  bool hexagon_fooled = false;
+};
+
+/// Run the adversary. Cost: (N/3)^3 executions of the algorithm on 3-node
+/// graphs plus an O((N/3)^5 / 64) bitset box search.
+FoolingReport run_fooling_adversary(const FoolingConfig& config);
+
+}  // namespace csd::lb

@@ -1,0 +1,161 @@
+#include "lowerbound/gkn.hpp"
+
+#include "support/check.hpp"
+#include "support/combinatorics.hpp"
+#include "support/mathutil.hpp"
+
+namespace csd::lb {
+
+namespace {
+constexpr std::uint32_t kCliqueSizes[] = {6, 7, 8, 9, 10};
+constexpr std::uint32_t kCliqueVertexCount = 40;
+
+std::uint32_t side_index(Side s) { return s == Side::Top ? 0 : 1; }
+std::uint32_t corner_index(Corner c) {
+  return c == Corner::A ? 0 : (c == Corner::B ? 1 : 2);
+}
+}  // namespace
+
+Vertex GknLayout::endpoint(Side side, Corner direction,
+                           std::uint32_t i) const {
+  CSD_CHECK_MSG(direction != Corner::Mid, "endpoints are A or B only");
+  CSD_CHECK_MSG(i < n, "endpoint index out of range");
+  const std::uint32_t block = side_index(side) * 2 + corner_index(direction);
+  return block * n + i;
+}
+
+Vertex GknLayout::triangle_vertex(Side side, std::uint32_t j,
+                                  Corner corner) const {
+  CSD_CHECK_MSG(j < m, "triangle index out of range");
+  return 4 * n + side_index(side) * (3 * m) + 3 * j + corner_index(corner);
+}
+
+Vertex GknLayout::clique_vertex(std::uint32_t s, std::uint32_t j) const {
+  CSD_CHECK_MSG(s >= 6 && s <= 10 && j < s, "bad clique vertex");
+  std::uint32_t off = 0;
+  for (const auto size : kCliqueSizes) {
+    if (size == s) break;
+    off += size;
+  }
+  return 4 * n + 6 * m + off + j;
+}
+
+Vertex GknLayout::num_vertices() const {
+  return 4 * n + 6 * m + kCliqueVertexCount;
+}
+
+std::vector<std::uint32_t> GknLayout::subset_of(std::uint32_t i) const {
+  return unrank_k_subset(i, m, k);
+}
+
+GknGraph build_gkn_frame(std::uint32_t k, std::uint32_t n) {
+  CSD_CHECK_MSG(k >= 1 && n >= 1, "G_{k,n} requires k, n >= 1");
+  GknGraph out;
+  GknLayout& l = out.layout;
+  l.k = k;
+  l.n = n;
+  l.m = static_cast<std::uint32_t>(
+      k * ceil_kth_root(n, k));  // m = k⌈n^{1/k}⌉
+  CSD_CHECK_MSG(binomial(l.m, k) >= n,
+                "subset encoding too small: C(m,k) < n");
+
+  Graph& g = out.graph;
+  g.add_vertices(l.num_vertices());
+
+  // Marker cliques + the 5-clique of fixed vertices.
+  for (const auto s : kCliqueSizes)
+    for (std::uint32_t a = 0; a < s; ++a)
+      for (std::uint32_t b = a + 1; b < s; ++b)
+        g.add_edge(l.clique_vertex(s, a), l.clique_vertex(s, b));
+  for (std::uint32_t si = 0; si < 5; ++si)
+    for (std::uint32_t sj = si + 1; sj < 5; ++sj)
+      g.add_edge(l.fixed_vertex(kCliqueSizes[si]),
+                 l.fixed_vertex(kCliqueSizes[sj]));
+
+  for (const Side side : {Side::Top, Side::Bottom}) {
+    // Triangles + marker attachment per corner class.
+    for (std::uint32_t j = 0; j < l.m; ++j) {
+      const Vertex a = l.triangle_vertex(side, j, Corner::A);
+      const Vertex b = l.triangle_vertex(side, j, Corner::B);
+      const Vertex mid = l.triangle_vertex(side, j, Corner::Mid);
+      g.add_edge(a, b);
+      g.add_edge(b, mid);
+      g.add_edge(a, mid);
+      g.add_edge(a, l.fixed_vertex(marker_clique_size(side, Corner::A)));
+      g.add_edge(b, l.fixed_vertex(marker_clique_size(side, Corner::B)));
+      g.add_edge(mid, l.fixed_vertex(marker_clique_size(side, Corner::Mid)));
+    }
+    // Endpoints: marker attachment + wiring into the Q_i triangles.
+    for (const Corner dir : {Corner::A, Corner::B}) {
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const Vertex end = l.endpoint(side, dir, i);
+        g.add_edge(end, l.fixed_vertex(marker_clique_size(side, dir)));
+        for (const auto j : l.subset_of(i))
+          g.add_edge(end, l.triangle_vertex(side, j, dir));
+      }
+    }
+  }
+  return out;
+}
+
+GknGraph build_gxy(std::uint32_t k, std::uint32_t n,
+                   const comm::DisjointnessInstance& inst) {
+  CSD_CHECK_MSG(inst.universe == static_cast<std::uint64_t>(n) * n,
+                "disjointness universe must be n^2");
+  GknGraph out = build_gkn_frame(k, n);
+  const GknLayout& l = out.layout;
+  for (const auto e : inst.x) {
+    const auto [i, j] = comm::element_to_pair(e, n);
+    out.graph.add_edge(
+        l.endpoint(Side::Top, Corner::A, static_cast<std::uint32_t>(i)),
+        l.endpoint(Side::Bottom, Corner::A, static_cast<std::uint32_t>(j)));
+  }
+  for (const auto e : inst.y) {
+    const auto [i, j] = comm::element_to_pair(e, n);
+    out.graph.add_edge(
+        l.endpoint(Side::Top, Corner::B, static_cast<std::uint32_t>(i)),
+        l.endpoint(Side::Bottom, Corner::B, static_cast<std::uint32_t>(j)));
+  }
+  return out;
+}
+
+std::vector<comm::Owner> gkn_ownership(const GknLayout& l) {
+  std::vector<comm::Owner> owner(l.num_vertices(), comm::Owner::Shared);
+  for (const Side side : {Side::Top, Side::Bottom}) {
+    for (std::uint32_t i = 0; i < l.n; ++i) {
+      owner[l.endpoint(side, Corner::A, i)] = comm::Owner::Alice;
+      owner[l.endpoint(side, Corner::B, i)] = comm::Owner::Bob;
+    }
+    for (std::uint32_t j = 0; j < l.m; ++j) {
+      owner[l.triangle_vertex(side, j, Corner::A)] = comm::Owner::Alice;
+      owner[l.triangle_vertex(side, j, Corner::B)] = comm::Owner::Bob;
+      // Mid corners stay shared.
+    }
+  }
+  for (const auto s : {6u, 8u})
+    for (std::uint32_t j = 0; j < s; ++j)
+      owner[l.clique_vertex(s, j)] = comm::Owner::Alice;
+  for (const auto s : {7u, 9u})
+    for (std::uint32_t j = 0; j < s; ++j)
+      owner[l.clique_vertex(s, j)] = comm::Owner::Bob;
+  // Clique 10 stays shared.
+  return owner;
+}
+
+bool contains_hk_structurally(const GknLayout& l, const Graph& g) {
+  // Lemma 3.1: some (i⊤, i⊥) pair has both its A and B top-bottom edges.
+  for (std::uint32_t i = 0; i < l.n; ++i)
+    for (std::uint32_t j = 0; j < l.n; ++j)
+      if (g.has_edge(l.endpoint(Side::Top, Corner::A, i),
+                     l.endpoint(Side::Bottom, Corner::A, j)) &&
+          g.has_edge(l.endpoint(Side::Top, Corner::B, i),
+                     l.endpoint(Side::Bottom, Corner::B, j)))
+        return true;
+  return false;
+}
+
+bool contains_hk_structurally(const GknGraph& g) {
+  return contains_hk_structurally(g.layout, g.graph);
+}
+
+}  // namespace csd::lb

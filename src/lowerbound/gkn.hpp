@@ -1,0 +1,72 @@
+// The lower-bound graph family G_{k,n} of Definition 2 (Figure 2).
+//
+// A graph G_{X,Y} ∈ G_{k,n} encodes a set-disjointness instance
+// X, Y ⊆ [n]×[n]:
+//   * n potential top/bottom endpoints per direction P ∈ {A, B};
+//   * 2m triangles, m = k⌈n^{1/k}⌉, indexed by {⊤,⊥}×[m];
+//   * one marker clique of each size 6..10 (fixed vertex = index 0), fixed
+//     vertices mutually adjacent;
+//   * endpoint (S, P, i) is wired to the P-corners of the k triangles in
+//     Q_i, where Q_i is the i-th k-subset of [m] (a distinct-subset
+//     encoding: C(m, k) >= n);
+//   * Alice adds edge (⊤,A,i)–(⊥,A,j) iff (i,j) ∈ X; Bob adds
+//     (⊤,B,i)–(⊥,B,j) iff (i,j) ∈ Y.
+//
+// Lemma 3.1: G_{X,Y} contains H_k iff some pair (i⊤, i⊥) has both its
+// A-edge and its B-edge present — i.e. iff X ∩ Y ≠ ∅.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/cut_simulator.hpp"
+#include "comm/disjointness.hpp"
+#include "graph/graph.hpp"
+#include "lowerbound/hk.hpp"
+
+namespace csd::lb {
+
+/// Vertex layout of a member of G_{k,n}.
+struct GknLayout {
+  std::uint32_t k = 0;
+  std::uint32_t n = 0;
+  std::uint32_t m = 0;  // k·⌈n^{1/k}⌉ triangles per side
+
+  Vertex endpoint(Side side, Corner direction, std::uint32_t i) const;
+  Vertex triangle_vertex(Side side, std::uint32_t j, Corner corner) const;
+  Vertex clique_vertex(std::uint32_t s, std::uint32_t j) const;
+  Vertex fixed_vertex(std::uint32_t s) const { return clique_vertex(s, 0); }
+  Vertex num_vertices() const;
+
+  /// The k-subset Q_i ⊆ [m] encoding endpoint index i.
+  std::vector<std::uint32_t> subset_of(std::uint32_t i) const;
+};
+
+struct GknGraph {
+  Graph graph;
+  GknLayout layout;
+};
+
+/// Builds G_{X,Y} for the given disjointness instance over [n]².
+/// inst.universe must equal n².
+GknGraph build_gxy(std::uint32_t k, std::uint32_t n,
+                   const comm::DisjointnessInstance& inst);
+
+/// Builds the input-free frame (no endpoint-to-endpoint edges).
+GknGraph build_gkn_frame(std::uint32_t k, std::uint32_t n);
+
+/// The two-party ownership partition of §3.3: Alice owns all A-endpoints,
+/// A-corners and cliques 6, 8; Bob the B-side and cliques 7, 9; the Mid
+/// corners and clique 10 are shared.
+std::vector<comm::Owner> gkn_ownership(const GknLayout& layout);
+
+/// Structural Lemma 3.1 decision: true iff some (i⊤, i⊥) has both the A and
+/// the B top-bottom edge — equivalently, iff G contains H_k.
+bool contains_hk_structurally(const GknGraph& g);
+
+/// Decides Lemma 3.1's condition directly on an edge list keyed by node
+/// identifiers equal to topology indices (used by the simulated algorithm's
+/// local check, where the collected graph is indexed by node ids).
+bool contains_hk_structurally(const GknLayout& layout, const Graph& collected);
+
+}  // namespace csd::lb

@@ -1,0 +1,111 @@
+#include "lowerbound/hk.hpp"
+
+#include "support/check.hpp"
+
+namespace csd::lb {
+
+namespace {
+/// Clique sizes in layout order.
+constexpr std::uint32_t kCliqueSizes[] = {6, 7, 8, 9, 10};
+constexpr std::uint32_t kCliqueVertexCount = 6 + 7 + 8 + 9 + 10;  // 40
+
+std::uint32_t clique_offset(std::uint32_t s) {
+  CSD_CHECK_MSG(s >= 6 && s <= 10, "marker cliques have sizes 6..10");
+  std::uint32_t off = 0;
+  for (const auto size : kCliqueSizes) {
+    if (size == s) return off;
+    off += size;
+  }
+  CSD_CHECK(false);
+  return 0;
+}
+}  // namespace
+
+std::uint32_t marker_clique_size(Side side, Corner corner) {
+  switch (corner) {
+    case Corner::A:
+      return side == Side::Top ? 6u : 8u;
+    case Corner::B:
+      return side == Side::Top ? 7u : 9u;
+    case Corner::Mid:
+      return 10u;
+  }
+  CSD_CHECK(false);
+  return 0;
+}
+
+Vertex HkLayout::clique_vertex(std::uint32_t s, std::uint32_t j) const {
+  CSD_CHECK_MSG(j < s, "clique vertex index out of range");
+  return clique_offset(s) + j;
+}
+
+Vertex HkLayout::endpoint(Side side, Corner direction) const {
+  CSD_CHECK_MSG(direction != Corner::Mid, "endpoints are A or B only");
+  const std::uint32_t side_index = side == Side::Top ? 0 : 1;
+  const std::uint32_t dir_index = direction == Corner::A ? 0 : 1;
+  return kCliqueVertexCount + side_index * 2 + dir_index;
+}
+
+Vertex HkLayout::triangle_vertex(Side side, std::uint32_t i,
+                                 Corner corner) const {
+  CSD_CHECK_MSG(i < k, "triangle index out of range");
+  const std::uint32_t side_index = side == Side::Top ? 0 : 1;
+  const std::uint32_t corner_index =
+      corner == Corner::A ? 0 : (corner == Corner::B ? 1 : 2);
+  return kCliqueVertexCount + 4 + side_index * (3 * k) + 3 * i + corner_index;
+}
+
+Vertex HkLayout::num_vertices() const {
+  return kCliqueVertexCount + 4 + 2 * (3 * k);
+}
+
+HkGraph build_hk(std::uint32_t k) {
+  CSD_CHECK_MSG(k >= 1, "H_k requires k >= 1");
+  HkGraph out;
+  out.layout.k = k;
+  Graph& g = out.graph;
+  const HkLayout& l = out.layout;
+  g.add_vertices(l.num_vertices());
+
+  // Marker cliques and the 5-clique of special vertices.
+  for (const auto s : kCliqueSizes)
+    for (std::uint32_t a = 0; a < s; ++a)
+      for (std::uint32_t b = a + 1; b < s; ++b)
+        g.add_edge(l.clique_vertex(s, a), l.clique_vertex(s, b));
+  for (std::uint32_t si = 0; si < 5; ++si)
+    for (std::uint32_t sj = si + 1; sj < 5; ++sj)
+      g.add_edge(l.special_vertex(kCliqueSizes[si]),
+                 l.special_vertex(kCliqueSizes[sj]));
+
+  for (const Side side : {Side::Top, Side::Bottom}) {
+    // Endpoints: marker attachment + connections into the triangles.
+    for (const Corner dir : {Corner::A, Corner::B}) {
+      const Vertex end = l.endpoint(side, dir);
+      g.add_edge(end, l.special_vertex(marker_clique_size(side, dir)));
+      for (std::uint32_t i = 0; i < k; ++i)
+        g.add_edge(end, l.triangle_vertex(side, i, dir));
+    }
+    // Triangles: the three sides + marker attachments per corner.
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const Vertex a = l.triangle_vertex(side, i, Corner::A);
+      const Vertex b = l.triangle_vertex(side, i, Corner::B);
+      const Vertex mid = l.triangle_vertex(side, i, Corner::Mid);
+      g.add_edge(a, b);
+      g.add_edge(b, mid);
+      g.add_edge(a, mid);
+      g.add_edge(a, l.special_vertex(marker_clique_size(side, Corner::A)));
+      g.add_edge(b, l.special_vertex(marker_clique_size(side, Corner::B)));
+      g.add_edge(mid,
+                 l.special_vertex(marker_clique_size(side, Corner::Mid)));
+    }
+  }
+
+  // The two top-bottom edges closing the copies of H into H_k.
+  g.add_edge(l.endpoint(Side::Top, Corner::A),
+             l.endpoint(Side::Bottom, Corner::A));
+  g.add_edge(l.endpoint(Side::Top, Corner::B),
+             l.endpoint(Side::Bottom, Corner::B));
+  return out;
+}
+
+}  // namespace csd::lb

@@ -1,0 +1,63 @@
+// The graph H_k of Theorem 1.2 (Figure 1 of the paper).
+//
+// H_k is the constant-diameter subgraph whose detection requires
+// Ω(n^{2-1/k}/(Bk)) rounds. Structure (§3.1):
+//   * five "marker" cliques, one of each size s = 6..10; vertex 0 of each is
+//     its special vertex v_s, and the five special vertices form a 5-clique;
+//   * two copies ("top" ⊤ and "bottom" ⊥) of a body H: k triangles
+//     Tri_1..Tri_k with corners (i,A), (i,B), (i,Mid), plus endpoints A and
+//     B, where endpoint A is adjacent to every (i,A) and endpoint B to every
+//     (i,B);
+//   * exactly two top-bottom edges: ⊤A–⊥A and ⊤B–⊥B;
+//   * every non-clique vertex is attached to exactly one special vertex,
+//     with the marking c(S,P): (⊤,A)→6, (⊥,A)→8, (⊤,B)→7, (⊥,B)→9,
+//     (·,Mid)→10 — chosen so that in the two-party simulation all of a
+//     player's marker cliques are on that player's side of the cut.
+//
+// The full formal construction appears only in the paper's full version;
+// this instantiation follows the conference description and is validated by
+// machine-checked properties (size O(k), diameter 3, Lemma 3.1 at small
+// sizes via the VF2 oracle).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace csd::lb {
+
+/// Which side of the two-party simulation a class of vertices belongs to.
+enum class Side : std::uint8_t { Top, Bottom };
+enum class Corner : std::uint8_t { A, B, Mid };
+
+/// Marker-clique size attached to vertices of class (side, corner):
+/// c(⊤,A)=6, c(⊥,A)=8, c(⊤,B)=7, c(⊥,B)=9, c(·,Mid)=10.
+std::uint32_t marker_clique_size(Side side, Corner corner);
+
+/// Vertex layout of H_k, exposing the indices of each structural class so
+/// tests and the G_{k,n} construction can refer to them.
+struct HkLayout {
+  std::uint32_t k = 0;
+
+  /// clique_vertex(s, j): j-th vertex of the size-s clique, j = 0 special.
+  Vertex clique_vertex(std::uint32_t s, std::uint32_t j) const;
+  Vertex special_vertex(std::uint32_t s) const { return clique_vertex(s, 0); }
+
+  /// Endpoint of the given side/direction (direction ∈ {A, B}).
+  Vertex endpoint(Side side, Corner direction) const;
+
+  /// Corner P of triangle i (0-based) on the given side.
+  Vertex triangle_vertex(Side side, std::uint32_t i, Corner corner) const;
+
+  Vertex num_vertices() const;
+};
+
+/// Builds H_k together with its layout. Requires k >= 1.
+struct HkGraph {
+  Graph graph;
+  HkLayout layout;
+};
+
+HkGraph build_hk(std::uint32_t k);
+
+}  // namespace csd::lb

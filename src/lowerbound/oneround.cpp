@@ -1,0 +1,305 @@
+#include "lowerbound/oneround.hpp"
+
+#include <algorithm>
+
+#include "info/entropy.hpp"
+#include "support/check.hpp"
+#include "support/wire.hpp"
+
+namespace csd::lb {
+
+namespace {
+
+/// Stable mixing hash for (value, salt).
+std::uint64_t mix(std::uint64_t value, std::uint64_t salt) {
+  std::uint64_t s = value ^ (salt * 0x9e3779b97f4a7c15ULL);
+  return splitmix64(s);
+}
+
+/// Edge-index mapping used by GtSample::special_edge: the edge between
+/// specials s and t (s != t).
+std::uint32_t edge_index(std::uint32_t s, std::uint32_t t) {
+  const std::uint32_t lo = std::min(s, t), hi = std::max(s, t);
+  if (lo == 0 && hi == 1) return 0;  // ab
+  if (lo == 1 && hi == 2) return 1;  // bc
+  return 2;                          // ac
+}
+
+}  // namespace
+
+GtSample sample_gt(std::uint64_t n, Rng& rng) {
+  CSD_CHECK(n >= 1);
+  GtSample sample;
+  sample.n = n;
+  const std::uint64_t id_space =
+      std::max<std::uint64_t>(27, n * n * n);  // [n³] as in the paper
+  for (auto& id : sample.special_id) id = rng.below(id_space);
+  for (auto& bit : sample.special_edge) bit = rng.coin();
+
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    SpecialInput& input = sample.input[s];
+    input.own_id = sample.special_id[s];
+    // Unpermuted layout: slots 0,1 = the other two specials, then n spokes.
+    std::vector<std::uint64_t> ids;
+    std::vector<bool> present;
+    for (std::uint32_t t = 0; t < 3; ++t) {
+      if (t == s) continue;
+      ids.push_back(sample.special_id[t]);
+      present.push_back(sample.special_edge[edge_index(s, t)]);
+    }
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ids.push_back(rng.below(id_space));
+      present.push_back(rng.coin());
+    }
+    // Random permutation hides which slots are special (π_s of §5).
+    const auto perm = rng.permutation(static_cast<std::uint32_t>(n + 2));
+    input.neighbor_ids.resize(n + 2);
+    input.present = BitVec(n + 2);
+    for (std::uint32_t slot = 0; slot < n + 2; ++slot) {
+      input.neighbor_ids[slot] = ids[perm[slot]];
+      input.present.set(slot, present[perm[slot]]);
+    }
+  }
+  return sample;
+}
+
+namespace {
+
+// ------------------------------------------------------------------ Bloom
+class BloomProtocol final : public OneRoundProtocol {
+ public:
+  explicit BloomProtocol(std::uint64_t salt) : salt_(salt) {}
+  std::string name() const override { return "bloom"; }
+
+  BitVec message(const SpecialInput& input, std::uint64_t bandwidth,
+                 Rng&) const override {
+    CSD_CHECK(bandwidth >= 1);
+    BitVec filter(bandwidth);
+    for (std::size_t slot = 0; slot < input.neighbor_ids.size(); ++slot) {
+      if (!input.present.get(slot)) continue;
+      filter.set(mix(input.neighbor_ids[slot], salt_) % bandwidth);
+    }
+    return filter;
+  }
+
+  bool rejects(const GtSample& sample, std::uint32_t self_index,
+               const BitVec* msg_from_first, const BitVec* msg_from_second,
+               std::uint64_t bandwidth) const override {
+    // Both incident special edges must be present (otherwise no triangle
+    // through this node and at least one message is missing anyway).
+    if (msg_from_first == nullptr || msg_from_second == nullptr) return false;
+    // The senders' identities are known on receipt; each filter is queried
+    // for the *other* sender's id. AND keeps the protocol free of false
+    // negatives (Bloom filters have none) while squaring the FP rate.
+    std::uint32_t others[2];
+    std::uint32_t w = 0;
+    for (std::uint32_t t = 0; t < 3; ++t)
+      if (t != self_index) others[w++] = t;
+    const std::uint64_t id_first = sample.special_id[others[0]];
+    const std::uint64_t id_second = sample.special_id[others[1]];
+    const bool first_says =
+        msg_from_first->get(mix(id_second, salt_) % bandwidth);
+    const bool second_says =
+        msg_from_second->get(mix(id_first, salt_) % bandwidth);
+    return first_says && second_says;
+  }
+
+ private:
+  std::uint64_t salt_;
+};
+
+// -------------------------------------------------------------- IdSample
+class IdSampleProtocol final : public OneRoundProtocol {
+ public:
+  explicit IdSampleProtocol(std::uint64_t salt) : salt_(salt) {}
+  std::string name() const override { return "id-sample"; }
+
+  static std::uint32_t id_bits(const SpecialInput& input) {
+    std::uint64_t max_id = 1;
+    for (const auto id : input.neighbor_ids)
+      max_id = std::max(max_id, id + 1);
+    return wire::bits_for(max_id);
+  }
+
+  BitVec message(const SpecialInput& input, std::uint64_t bandwidth,
+                 Rng& rng) const override {
+    const std::uint32_t bits = 64;  // fixed-width ids keep decoding trivial
+    const std::uint64_t record = bits + 1;
+    const auto capacity = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        bandwidth / record, input.neighbor_ids.size()));
+    const auto chosen = rng.sample_without_replacement(
+        static_cast<std::uint32_t>(input.neighbor_ids.size()), capacity);
+    wire::Writer w;
+    for (const auto slot : chosen) {
+      w.u(input.neighbor_ids[slot], bits);
+      w.boolean(input.present.get(slot));
+    }
+    return std::move(w).take();
+  }
+
+  bool rejects(const GtSample& sample, std::uint32_t self_index,
+               const BitVec* msg_from_first, const BitVec* msg_from_second,
+               std::uint64_t) const override {
+    if (msg_from_first == nullptr || msg_from_second == nullptr) return false;
+    std::uint32_t others[2];
+    std::uint32_t w = 0;
+    for (std::uint32_t t = 0; t < 3; ++t)
+      if (t != self_index) others[w++] = t;
+    // Look for an explicit record about the third edge in either message.
+    const auto lookup = [](const BitVec& msg,
+                           std::uint64_t wanted) -> int {
+      wire::Reader r(msg);
+      while (r.remaining() >= 65) {
+        const std::uint64_t id = r.u(64);
+        const bool present = r.boolean();
+        if (id == wanted) return present ? 1 : 0;
+      }
+      return -1;
+    };
+    const int from_first =
+        lookup(*msg_from_first, sample.special_id[others[1]]);
+    if (from_first >= 0) return from_first == 1;
+    const int from_second =
+        lookup(*msg_from_second, sample.special_id[others[0]]);
+    if (from_second >= 0) return from_second == 1;
+    return false;  // no evidence: accept
+  }
+
+ private:
+  std::uint64_t salt_;
+};
+
+}  // namespace
+
+std::unique_ptr<OneRoundProtocol> make_bloom_protocol(std::uint64_t salt) {
+  return std::make_unique<BloomProtocol>(salt);
+}
+
+std::unique_ptr<OneRoundProtocol> make_id_sample_protocol(std::uint64_t salt) {
+  return std::make_unique<IdSampleProtocol>(salt);
+}
+
+OneRoundStats evaluate_interactive(std::uint64_t n, std::uint64_t bandwidth,
+                                   std::uint64_t samples,
+                                   std::uint64_t seed) {
+  OneRoundStats stats;
+  stats.n = n;
+  stats.bandwidth = bandwidth;
+  stats.samples = samples;
+  const std::uint64_t id_space = std::max<std::uint64_t>(27, n * n * n);
+  const unsigned id_bits = wire::bits_for(id_space);
+
+  Rng rng(derive_seed(seed, 0x17ac7));
+  std::uint64_t wrong = 0, fn = 0, fp = 0, positives = 0, negatives = 0;
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    const GtSample sample = sample_gt(n, rng);
+    // Round 1 costs 1 bit; rounds 2/3 need an id + answer bit. A node can
+    // only follow the protocol if the query fits the bandwidth.
+    const bool fits = bandwidth >= id_bits + 1;
+    bool rejected = false;
+    if (fits) {
+      // v_a asks only if both its special edges are present (otherwise no
+      // triangle through v_a; v_b/v_c run symmetric logic — one asker
+      // suffices because a triangle needs all three edges present).
+      if (sample.special_edge[0] && sample.special_edge[2]) {
+        // v_b truthfully reports X_bc.
+        rejected = sample.special_edge[1];
+      }
+    }
+    const bool truth = sample.has_triangle();
+    if (rejected != truth) ++wrong;
+    if (truth) {
+      ++positives;
+      fn += !rejected;
+    } else {
+      ++negatives;
+      fp += rejected;
+    }
+  }
+  const double total = static_cast<double>(samples);
+  stats.error = static_cast<double>(wrong) / total;
+  stats.false_negative =
+      positives == 0 ? 0
+                     : static_cast<double>(fn) / static_cast<double>(positives);
+  stats.false_positive =
+      negatives == 0 ? 0
+                     : static_cast<double>(fp) / static_cast<double>(negatives);
+  return stats;
+}
+
+OneRoundStats evaluate_one_round(const OneRoundProtocol& protocol,
+                                 std::uint64_t n, std::uint64_t bandwidth,
+                                 std::uint64_t samples, std::uint64_t seed) {
+  OneRoundStats stats;
+  stats.n = n;
+  stats.bandwidth = bandwidth;
+  stats.samples = samples;
+
+  Rng rng(derive_seed(seed, 0xa11c4));
+  std::uint64_t wrong = 0, fn = 0, fp = 0, positives = 0, negatives = 0;
+  // Conditional-on-X_ab=X_ac=1 information accumulators (Lemma 5.3/5.4):
+  // the Lemma 5.4 decomposition sums per-message informations.
+  info::JointDistribution msg_ba, msg_ca, accept_joint;
+  info::JointDistribution msg_ba_null, msg_ca_null;
+
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    const GtSample sample = sample_gt(n, rng);
+    BitVec msgs[3];
+    for (std::uint32_t s = 0; s < 3; ++s)
+      msgs[s] = protocol.message(sample.input[s], bandwidth, rng);
+
+    bool node_rejects[3];
+    for (std::uint32_t s = 0; s < 3; ++s) {
+      std::uint32_t others[2];
+      std::uint32_t w = 0;
+      for (std::uint32_t t = 0; t < 3; ++t)
+        if (t != s) others[w++] = t;
+      const BitVec* first =
+          sample.special_edge[edge_index(s, others[0])] ? &msgs[others[0]]
+                                                        : nullptr;
+      const BitVec* second =
+          sample.special_edge[edge_index(s, others[1])] ? &msgs[others[1]]
+                                                        : nullptr;
+      node_rejects[s] = protocol.rejects(sample, s, first, second, bandwidth);
+    }
+    const bool rejected = node_rejects[0] || node_rejects[1] || node_rejects[2];
+    const bool truth = sample.has_triangle();
+    if (rejected != truth) ++wrong;
+    if (truth) {
+      ++positives;
+      if (!rejected) ++fn;
+    } else {
+      ++negatives;
+      if (rejected) ++fp;
+    }
+
+    // Information proxies at node a, conditioned on X_ab = X_ac = 1.
+    if (sample.special_edge[edge_index(0, 1)] &&
+        sample.special_edge[edge_index(0, 2)]) {
+      const std::uint64_t x_bc = sample.special_edge[edge_index(1, 2)];
+      msg_ba.add(x_bc, msgs[1].hash());
+      msg_ca.add(x_bc, msgs[2].hash());
+      accept_joint.add(x_bc, node_rejects[0] ? 1 : 0);
+      // Shuffle control: an independent coin carries zero information, so
+      // whatever the estimator reports here is finite-sample bias.
+      const std::uint64_t coin = rng.coin();
+      msg_ba_null.add(coin, msgs[1].hash());
+      msg_ca_null.add(coin, msgs[2].hash());
+    }
+  }
+
+  const double total = static_cast<double>(samples);
+  stats.error = static_cast<double>(wrong) / total;
+  stats.false_negative =
+      positives == 0 ? 0 : static_cast<double>(fn) / static_cast<double>(positives);
+  stats.false_positive =
+      negatives == 0 ? 0 : static_cast<double>(fp) / static_cast<double>(negatives);
+  stats.info_messages =
+      msg_ba.mutual_information() + msg_ca.mutual_information();
+  stats.info_messages_null =
+      msg_ba_null.mutual_information() + msg_ca_null.mutual_information();
+  stats.info_accept = accept_joint.mutual_information();
+  return stats;
+}
+
+}  // namespace csd::lb

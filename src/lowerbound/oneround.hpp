@@ -1,0 +1,126 @@
+// The §5 template-graph experiment — executable form of Theorem 5.1.
+//
+// Input distribution μ: three special nodes v_a, v_b, v_c, each with n
+// non-special potential neighbors (template graph G_T, Figure 3); every
+// edge of G_T appears iid with probability 1/2; identifiers are drawn
+// uniformly from [n³] and each special node sees its potential-neighbor
+// identifiers in a random order together with the presence bit-vector, so
+// it cannot tell a-priori which neighbors are special. A triangle exists
+// iff X_ab ∧ X_bc ∧ X_ac.
+//
+// A one-round protocol chooses a B-bit message per special node as a
+// function of its own input only, then each node decides from its input and
+// the messages of its *present* special neighbors. Theorem 5.1: any such
+// protocol with constant error needs B = Ω(n).
+//
+// We implement the upper-bound side with two concrete protocol families and
+// measure, as functions of B:
+//   * the distributional error under μ — which stays near the trivial 1/8
+//     until B ≈ n (Bloom sketch) or B ≈ n log n (explicit id samples),
+//     exhibiting both the Ω(Δ) bound and the open log-factor gap the paper
+//     discusses;
+//   * empirical information proxies for Lemma 5.3/5.4:
+//     I(X_bc ; M_ba, M_ca | X_ab = X_ac = 1) and
+//     I(X_bc ; acc_a | X_ab = X_ac = 1) (plug-in estimators; conditioning
+//     on the full input N_a is replaced by averaging over it, which can
+//     only *increase* measured information per Lemma 5.4's decomposition —
+//     the conservative direction for checking that little is learned).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/bitvec.hpp"
+#include "support/rng.hpp"
+
+namespace csd::lb {
+
+/// One special node's view of a μ-sample (after permutation): parallel
+/// arrays of potential-neighbor identifiers and presence bits, plus its own
+/// identifier. Slots n and beyond the permutation hide which two entries
+/// are the other special nodes.
+struct SpecialInput {
+  std::vector<std::uint64_t> neighbor_ids;  // n + 2 entries, permuted
+  BitVec present;                           // same order
+  std::uint64_t own_id = 0;
+};
+
+/// A full μ-sample.
+struct GtSample {
+  std::uint64_t n = 0;
+  SpecialInput input[3];          // a, b, c
+  bool special_edge[3] = {};      // X_ab, X_bc, X_ac (indices: ab, bc, ac)
+  std::uint64_t special_id[3] = {};
+
+  bool has_triangle() const {
+    return special_edge[0] && special_edge[1] && special_edge[2];
+  }
+};
+
+/// Draw one sample of μ with the given spoke count n.
+GtSample sample_gt(std::uint64_t n, Rng& rng);
+
+/// One-round protocol interface. Messages may depend only on the sender's
+/// own input (and private randomness); the decision of node s sees its own
+/// input plus the messages of the two other specials gated by edge
+/// presence (absent edge ⇒ no message, conveyed as std::nullopt-like empty).
+class OneRoundProtocol {
+ public:
+  virtual ~OneRoundProtocol() = default;
+  virtual std::string name() const = 0;
+
+  /// Compose the B-bit message of a special node.
+  virtual BitVec message(const SpecialInput& input, std::uint64_t bandwidth,
+                         Rng& rng) const = 0;
+
+  /// Decision of special node `self_index` (0=a,1=b,2=c): true = reject
+  /// ("triangle present"). `msg[t]` is the message of special t, or nullptr
+  /// if the edge {self, t} is absent (no link, no message).
+  virtual bool rejects(const GtSample& sample, std::uint32_t self_index,
+                       const BitVec* msg_from_first,
+                       const BitVec* msg_from_second,
+                       std::uint64_t bandwidth) const = 0;
+};
+
+/// Bloom-sketch protocol: B-bit Bloom filter of the present-neighbor id set;
+/// the receiver tests the third special's id. Error → 0 once B = Θ(n):
+/// matches the Ω(Δ) bound up to constants.
+std::unique_ptr<OneRoundProtocol> make_bloom_protocol(std::uint64_t salt);
+
+/// Explicit-sample protocol: as many (id, presence) records as fit in B
+/// bits, chosen for a random subset of neighbors. Needs B = Θ(n log n):
+/// exhibits the log-factor discussed in §1.1.
+std::unique_ptr<OneRoundProtocol> make_id_sample_protocol(std::uint64_t salt);
+
+struct OneRoundStats {
+  std::uint64_t n = 0;
+  std::uint64_t bandwidth = 0;
+  std::uint64_t samples = 0;
+  double error = 0;                  // distributional error under μ
+  double false_negative = 0;         // P(accept | triangle)
+  double false_positive = 0;         // P(reject | no triangle)
+  double info_messages = 0;          // I(X_bc ; M_ba,M_ca | X_ab=X_ac=1)
+  double info_accept = 0;            // I(X_bc ; acc_a   | X_ab=X_ac=1)
+  /// Same plug-in estimate with X_bc replaced by an independent coin: pure
+  /// finite-sample bias. info_messages - info_messages_null is the
+  /// bias-corrected value (shuffle control).
+  double info_messages_null = 0;
+};
+
+/// Monte-Carlo evaluation of a protocol at (n, B).
+OneRoundStats evaluate_one_round(const OneRoundProtocol& protocol,
+                                 std::uint64_t n, std::uint64_t bandwidth,
+                                 std::uint64_t samples, std::uint64_t seed);
+
+/// The contrast that makes Theorem 5.1 a *one-round* bound: with three
+/// rounds, O(log n) bits per edge suffice. Round 1: every special node
+/// flags itself (1 bit); round 2: v_a, now knowing which present neighbors
+/// are special, asks v_b about u_c by id (3·log n bits); round 3: v_b
+/// answers X_bc (1 bit). Exact whenever B >= 3·⌈log2 n³⌉; the bench
+/// contrasts its error curve with the one-round protocols'.
+OneRoundStats evaluate_interactive(std::uint64_t n, std::uint64_t bandwidth,
+                                   std::uint64_t samples, std::uint64_t seed);
+
+}  // namespace csd::lb

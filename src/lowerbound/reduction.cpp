@@ -1,0 +1,54 @@
+#include "lowerbound/reduction.hpp"
+
+#include "detect/collect.hpp"
+#include "support/check.hpp"
+
+namespace csd::lb {
+
+double ReductionReport::implied_round_lower_bound() const {
+  const double budget =
+      static_cast<double>(cut_edges) * static_cast<double>(bandwidth);
+  if (budget == 0) return 0.0;
+  return static_cast<double>(n) * static_cast<double>(n) / budget;
+}
+
+ReductionReport run_reduction(std::uint32_t k, std::uint32_t n,
+                              const comm::DisjointnessInstance& inst,
+                              std::uint64_t bandwidth, std::uint64_t seed) {
+  const GknGraph g = build_gxy(k, n, inst);
+  const auto owner = gkn_ownership(g.layout);
+
+  ReductionReport report;
+  report.k = k;
+  report.n = n;
+  report.graph_size = g.graph.num_vertices();
+  report.bandwidth = bandwidth;
+  report.expected_contains = inst.intersects();
+
+  congest::NetworkConfig cfg;
+  cfg.bandwidth = bandwidth;
+  cfg.seed = seed;
+  const std::uint64_t budget = detect::collect_round_budget(
+      g.graph.num_vertices(), g.graph.num_edges());
+  cfg.max_rounds = budget + 1;
+
+  // The simulated H_k-freeness algorithm: collect everything, apply the
+  // Lemma 3.1 criterion locally (local computation is free in CONGEST).
+  const GknLayout layout = g.layout;
+  const auto checker = [layout](const Graph& collected) {
+    return contains_hk_structurally(layout, collected);
+  };
+
+  const comm::CutCost cost = comm::simulate_across_cut(
+      g.graph, owner, cfg, detect::collect_and_check_program(budget, checker));
+
+  CSD_CHECK_MSG(cost.outcome.completed, "simulated algorithm did not halt");
+  report.detected = cost.outcome.detected;
+  report.rounds = cost.outcome.metrics.rounds;
+  report.cut_edges = cost.cut_edges;
+  report.crossing_bits = cost.total_crossing_bits();
+  report.max_crossing_bits_per_round = cost.max_bits_per_round;
+  return report;
+}
+
+}  // namespace csd::lb

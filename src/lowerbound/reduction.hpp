@@ -1,0 +1,47 @@
+// Executable form of the Theorem 1.2 reduction (§3.3).
+//
+// Alice and Bob hold a set-disjointness instance X, Y ⊆ [n]²; they build
+// G_{X,Y} ∈ G_{k,n} and simulate an H_k-detection algorithm over the vertex
+// partition (V_A | shared | V_B), paying for every message that crosses the
+// cut. We run that simulation for real — with the generic collect-and-check
+// detector standing in for "any algorithm" — and measure:
+//
+//   * the structural cut (Θ(k n^{1/k}) edges), hence the per-round
+//     simulation cost Θ(k n^{1/k} · B) the proof charges;
+//   * the implied round lower bound n² / (cut · B) for any algorithm, since
+//     randomized disjointness on [n]² costs Ω(n²) bits [KS'92, Razborov'92];
+//   * end-to-end correctness: the simulated run must detect H_k exactly
+//     when X ∩ Y ≠ ∅ (Lemma 3.1).
+#pragma once
+
+#include <cstdint>
+
+#include "comm/cut_simulator.hpp"
+#include "comm/disjointness.hpp"
+#include "lowerbound/gkn.hpp"
+
+namespace csd::lb {
+
+struct ReductionReport {
+  std::uint32_t k = 0;
+  std::uint32_t n = 0;
+  std::uint64_t graph_size = 0;   // |V(G_{X,Y})|
+  std::uint64_t cut_edges = 0;    // structural simulation cut
+  std::uint64_t bandwidth = 0;    // B
+  bool expected_contains = false; // X ∩ Y ≠ ∅
+  bool detected = false;          // simulated algorithm's verdict
+  std::uint64_t rounds = 0;       // rounds the simulated algorithm took
+  std::uint64_t crossing_bits = 0;
+  std::uint64_t max_crossing_bits_per_round = 0;
+
+  /// Ω(n²) disjointness bits divided by the per-round budget cut·B: the
+  /// round lower bound Theorem 1.2 yields for *any* algorithm on G_{k,n}.
+  double implied_round_lower_bound() const;
+};
+
+/// Run the full reduction on one instance.
+ReductionReport run_reduction(std::uint32_t k, std::uint32_t n,
+                              const comm::DisjointnessInstance& inst,
+                              std::uint64_t bandwidth, std::uint64_t seed);
+
+}  // namespace csd::lb

@@ -1,0 +1,34 @@
+#include "lowerbound/turan_counts.hpp"
+
+#include <cmath>
+
+#include "graph/oracle.hpp"
+#include "support/check.hpp"
+
+namespace csd::lb {
+
+CliqueCountReport check_clique_count_bound(const Graph& g, std::uint32_t s,
+                                           const std::string& family) {
+  CSD_CHECK_MSG(s >= 2, "Lemma 1.3 concerns s >= 2");
+  CliqueCountReport report;
+  report.family = family;
+  report.n = g.num_vertices();
+  report.m = g.num_edges();
+  report.s = s;
+  report.clique_count = oracle::count_cliques(g, s);
+  report.bound = std::pow(static_cast<double>(report.m),
+                          static_cast<double>(s) / 2.0);
+  report.ratio = report.bound == 0
+                     ? 0
+                     : static_cast<double>(report.clique_count) / report.bound;
+  return report;
+}
+
+double clique_host_limit_ratio(std::uint32_t s) {
+  // K_t: m = t(t-1)/2 ≈ t²/2, #K_s = C(t,s) ≈ t^s/s!; ratio → 2^{s/2}/s!.
+  double factorial = 1;
+  for (std::uint32_t i = 2; i <= s; ++i) factorial *= i;
+  return std::pow(2.0, static_cast<double>(s) / 2.0) / factorial;
+}
+
+}  // namespace csd::lb

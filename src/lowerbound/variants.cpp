@@ -1,0 +1,79 @@
+#include "lowerbound/variants.hpp"
+
+#include <set>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace csd::lb {
+
+namespace {
+
+using EdgeSet = std::set<std::pair<Vertex, Vertex>>;
+
+std::pair<Vertex, Vertex> ordered(Vertex a, Vertex b) {
+  return a < b ? std::pair{a, b} : std::pair{b, a};
+}
+
+/// Rebuild `g` without the edges in `drop` and, when strip_markers is set,
+/// without any edge incident to `is_marker`.
+template <typename IsMarker>
+Graph filter_edges(const Graph& g, const EdgeSet& drop, bool strip_markers,
+                   IsMarker&& is_marker) {
+  Graph out(g.num_vertices());
+  for (const auto& [u, v] : g.edges()) {
+    if (drop.count(ordered(u, v)) != 0) continue;
+    if (strip_markers && (is_marker(u) || is_marker(v))) continue;
+    out.add_edge(u, v);
+  }
+  return out;
+}
+
+}  // namespace
+
+HkGraph build_hk_variant(std::uint32_t k, const ConstructionVariant& v) {
+  HkGraph full = build_hk(k);
+  if (v.triangle_body && v.markers) return full;
+
+  EdgeSet drop;
+  if (!v.triangle_body) {
+    for (const Side side : {Side::Top, Side::Bottom})
+      for (std::uint32_t i = 0; i < k; ++i)
+        drop.insert(ordered(full.layout.triangle_vertex(side, i, Corner::A),
+                            full.layout.triangle_vertex(side, i, Corner::B)));
+  }
+  // Marker vertices occupy the first 40 indices of the H_k layout.
+  const auto is_marker = [](Vertex u) { return u < 40; };
+  full.graph = filter_edges(full.graph, drop, !v.markers, is_marker);
+  return full;
+}
+
+GknGraph build_gxy_variant(std::uint32_t k, std::uint32_t n,
+                           const comm::DisjointnessInstance& inst,
+                           const ConstructionVariant& v) {
+  GknGraph full = build_gxy(k, n, inst);
+  if (v.triangle_body && v.markers) return full;
+
+  EdgeSet drop;
+  if (!v.triangle_body) {
+    for (const Side side : {Side::Top, Side::Bottom})
+      for (std::uint32_t j = 0; j < full.layout.m; ++j)
+        drop.insert(
+            ordered(full.layout.triangle_vertex(side, j, Corner::A),
+                    full.layout.triangle_vertex(side, j, Corner::B)));
+  }
+  // Marker vertices occupy the trailing 40 indices of the G_{k,n} layout.
+  const Vertex marker_base = 4 * n + 6 * full.layout.m;
+  const auto is_marker = [marker_base](Vertex u) { return u >= marker_base; };
+  full.graph = filter_edges(full.graph, drop, !v.markers, is_marker);
+  return full;
+}
+
+Graph strip_isolated(const Graph& g) {
+  std::vector<Vertex> keep;
+  for (Vertex u = 0; u < g.num_vertices(); ++u)
+    if (g.degree(u) > 0) keep.push_back(u);
+  return g.induced_subgraph(keep);
+}
+
+}  // namespace csd::lb

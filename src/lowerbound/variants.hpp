@@ -1,0 +1,56 @@
+// Construction variants for the §3.4 discussion.
+//
+// Theorem 1.2's construction uses two rigidifiers to force embeddings of
+// H_k into G_{X,Y} to respect the logical partition:
+//   * the *marker cliques* (sizes 6..10) pin every vertex class, and
+//   * the *triangle bodies* are non-bipartite, so they cannot fold into the
+//     bipartite endpoint wiring.
+// §3.4 asks what survives when the construction must be bipartite (no
+// triangles — and, for a fully bipartite H, no odd cliques either). We make
+// both rigidifiers switchable and machine-test, per variant, whether the
+// Lemma 3.1 equivalence "H ⊆ G_{X,Y} ⟺ X ∩ Y ≠ ∅" still holds:
+//
+//   | body     | markers | expected                                   |
+//   |----------|---------|--------------------------------------------|
+//   | triangle | yes     | holds (the paper's construction)           |
+//   | path     | yes     | holds at small scale: markers rigidify     |
+//   | triangle | no      | holds: triangles rigidify                  |
+//   | path     | no      | FAILS: H folds (e.g. a C_{4k+6}-style cycle|
+//   |          |         | closed by two same-side input edges)       |
+//
+// The "path body" replaces each triangle (A, B, Mid) by the path
+// A — Mid — B (the A–B edge dropped); this is exactly the bipartite body
+// §3.4 must replace by an involved gadget.
+#pragma once
+
+#include <cstdint>
+
+#include "comm/disjointness.hpp"
+#include "lowerbound/gkn.hpp"
+#include "lowerbound/hk.hpp"
+
+namespace csd::lb {
+
+struct ConstructionVariant {
+  /// Keep the body triangles' A–B edges (false = bipartite path bodies).
+  bool triangle_body = true;
+  /// Keep the five marker cliques and their attachments.
+  bool markers = true;
+};
+
+/// H_k with the given variant applied (layout indices are unchanged; with
+/// markers disabled the clique vertices remain as isolated padding so all
+/// class indices stay valid).
+HkGraph build_hk_variant(std::uint32_t k, const ConstructionVariant& v);
+
+/// G_{X,Y} with the given variant applied (same convention).
+GknGraph build_gxy_variant(std::uint32_t k, std::uint32_t n,
+                           const comm::DisjointnessInstance& inst,
+                           const ConstructionVariant& v);
+
+/// When markers are disabled the isolated clique vertices would make VF2
+/// trivially embed them anywhere; this strips isolated vertices from a
+/// graph for fair containment testing.
+Graph strip_isolated(const Graph& g);
+
+}  // namespace csd::lb

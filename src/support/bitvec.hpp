@@ -1,0 +1,133 @@
+// Dynamic bit vector.
+//
+// Used (a) as the payload representation for CONGEST messages, where cost is
+// accounted in bits, and (b) as a dense set representation in the §4 fooling
+// search, which intersects large ID sets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace csd {
+
+class BitVec {
+ public:
+  BitVec() = default;
+
+  /// A bit vector of `n` bits, all initialized to `value`.
+  explicit BitVec(std::size_t n, bool value = false)
+      : bits_(n), words_((n + 63) / 64, value ? ~0ULL : 0ULL) {
+    trim();
+  }
+
+  std::size_t size() const noexcept { return bits_; }
+  bool empty() const noexcept { return bits_ == 0; }
+
+  bool get(std::size_t i) const noexcept {
+    CSD_DCHECK(i < bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void set(std::size_t i, bool v = true) noexcept {
+    CSD_DCHECK(i < bits_);
+    const std::uint64_t mask = 1ULL << (i & 63);
+    if (v)
+      words_[i >> 6] |= mask;
+    else
+      words_[i >> 6] &= ~mask;
+  }
+
+  void push_back(bool v) {
+    if ((bits_ & 63) == 0) words_.push_back(0);
+    ++bits_;
+    set(bits_ - 1, v);
+  }
+
+  /// Append the low `width` bits of `value`, least-significant bit first.
+  void append_bits(std::uint64_t value, unsigned width) {
+    CSD_CHECK(width <= 64);
+    for (unsigned b = 0; b < width; ++b) push_back((value >> b) & 1ULL);
+  }
+
+  /// Read `width` bits starting at `pos`, least-significant bit first.
+  std::uint64_t read_bits(std::size_t pos, unsigned width) const {
+    CSD_CHECK(width <= 64 && pos + width <= bits_);
+    std::uint64_t v = 0;
+    for (unsigned b = 0; b < width; ++b)
+      v |= static_cast<std::uint64_t>(get(pos + b)) << b;
+    return v;
+  }
+
+  /// Append another bit vector's contents.
+  void append(const BitVec& other) {
+    for (std::size_t i = 0; i < other.size(); ++i) push_back(other.get(i));
+  }
+
+  std::size_t count() const noexcept {
+    std::size_t c = 0;
+    for (const auto w : words_) c += static_cast<std::size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  void clear() noexcept {
+    bits_ = 0;
+    words_.clear();
+  }
+
+  /// In-place intersection; both vectors must have equal size.
+  BitVec& operator&=(const BitVec& other) {
+    CSD_CHECK(bits_ == other.bits_);
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+    return *this;
+  }
+
+  BitVec& operator|=(const BitVec& other) {
+    CSD_CHECK(bits_ == other.bits_);
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+    return *this;
+  }
+
+  bool operator==(const BitVec& other) const noexcept {
+    return bits_ == other.bits_ && words_ == other.words_;
+  }
+
+  bool any() const noexcept {
+    for (const auto w : words_)
+      if (w != 0) return true;
+    return false;
+  }
+
+  /// Index of the first set bit at or after `from`; size() if none.
+  std::size_t find_next(std::size_t from) const noexcept {
+    for (std::size_t i = from; i < bits_; ++i)
+      if (get(i)) return i;
+    return bits_;
+  }
+
+  const std::vector<std::uint64_t>& words() const noexcept { return words_; }
+
+  /// Stable 64-bit content hash (FNV-1a over words + size).
+  std::uint64_t hash() const noexcept {
+    std::uint64_t h = 1469598103934665603ULL ^ bits_;
+    for (const auto w : words_) {
+      h ^= w;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+
+ private:
+  void trim() noexcept {
+    if (bits_ & 63) {
+      const std::uint64_t mask = (1ULL << (bits_ & 63)) - 1;
+      if (!words_.empty()) words_.back() &= mask;
+    }
+  }
+
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace csd

@@ -1,0 +1,53 @@
+// Lightweight always-on invariant checking.
+//
+// CSD_CHECK is used for conditions that must hold even in release builds
+// (protocol invariants, construction well-formedness); CSD_DCHECK compiles
+// out in NDEBUG builds and is used on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace csd {
+
+/// Thrown when an internal invariant is violated.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace csd
+
+#define CSD_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::csd::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define CSD_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream csd_check_os_;                              \
+      csd_check_os_ << msg;                                          \
+      ::csd::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                  csd_check_os_.str());              \
+    }                                                                \
+  } while (false)
+
+#ifdef NDEBUG
+#define CSD_DCHECK(expr) \
+  do {                   \
+  } while (false)
+#else
+#define CSD_DCHECK(expr) CSD_CHECK(expr)
+#endif

@@ -1,0 +1,49 @@
+// Combinatorial utilities: binomial coefficients and the combinatorial
+// number system (ranking/unranking of k-subsets).
+//
+// The G_{k,n} lower-bound family (§3.2) encodes each endpoint index
+// i ∈ [n] as a distinct k-subset Q_i of [m], m = k⌈n^{1/k}⌉; we realize that
+// encoding with colexicographic unranking.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace csd {
+
+/// C(n, k) with saturation at UINT64_MAX (no overflow UB).
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k) noexcept;
+
+/// The `rank`-th k-subset of {0,...,m-1} in colexicographic order.
+/// rank ∈ [0, C(m,k)); elements returned in increasing order.
+std::vector<std::uint32_t> unrank_k_subset(std::uint64_t rank, std::uint32_t m,
+                                           std::uint32_t k);
+
+/// Inverse of unrank_k_subset; `subset` must be strictly increasing, ⊂ [0,m).
+std::uint64_t rank_k_subset(const std::vector<std::uint32_t>& subset,
+                            std::uint32_t m);
+
+/// Enumerate all k-subsets of {0,...,m-1} in lexicographic order, invoking
+/// `fn(subset)` for each. Fn: void(const std::vector<std::uint32_t>&).
+template <typename Fn>
+void for_each_k_subset(std::uint32_t m, std::uint32_t k, Fn&& fn) {
+  if (k > m) return;
+  std::vector<std::uint32_t> idx(k);
+  for (std::uint32_t i = 0; i < k; ++i) idx[i] = i;
+  for (;;) {
+    fn(const_cast<const std::vector<std::uint32_t>&>(idx));
+    // Advance to next lexicographic combination.
+    std::int64_t i = static_cast<std::int64_t>(k) - 1;
+    while (i >= 0 && idx[static_cast<std::size_t>(i)] ==
+                         m - k + static_cast<std::uint32_t>(i))
+      --i;
+    if (i < 0) break;
+    ++idx[static_cast<std::size_t>(i)];
+    for (auto j = static_cast<std::size_t>(i) + 1; j < k; ++j)
+      idx[j] = idx[j - 1] + 1;
+  }
+}
+
+}  // namespace csd

@@ -1,0 +1,71 @@
+#include "support/mathutil.hpp"
+
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace csd {
+
+namespace {
+constexpr std::uint64_t kSat = std::numeric_limits<std::uint64_t>::max();
+__extension__ typedef unsigned __int128 Wide;
+}
+
+std::uint64_t ipow(std::uint64_t base, std::uint32_t exp) noexcept {
+  Wide r = 1;
+  for (std::uint32_t i = 0; i < exp; ++i) {
+    r *= base;
+    if (r > kSat) return kSat;
+  }
+  return static_cast<std::uint64_t>(r);
+}
+
+std::uint64_t floor_kth_root(std::uint64_t n, std::uint32_t k) noexcept {
+  CSD_DCHECK(k >= 1);
+  if (k == 1 || n <= 1) return n;
+  // Binary search on r in [1, n]: largest r with r^k <= n.
+  std::uint64_t lo = 1, hi = n;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo + 1) / 2;
+    if (ipow(mid, k) <= n)
+      lo = mid;
+    else
+      hi = mid - 1;
+  }
+  return lo;
+}
+
+std::uint64_t ceil_kth_root(std::uint64_t n, std::uint32_t k) noexcept {
+  if (n == 0) return 0;
+  const std::uint64_t f = floor_kth_root(n, k);
+  return ipow(f, k) == n ? f : f + 1;
+}
+
+std::uint32_t ceil_log2(std::uint64_t n) noexcept {
+  CSD_DCHECK(n >= 1);
+  std::uint32_t b = 0;
+  while ((1ULL << b) < n) ++b;
+  return b;
+}
+
+std::uint64_t ceil_pow_ratio(std::uint64_t n, std::uint32_t p,
+                             std::uint32_t q) noexcept {
+  CSD_DCHECK(q >= 1);
+  const std::uint64_t np = ipow(n, p);
+  if (np == kSat) return kSat;  // saturated; callers use small n
+  return ceil_kth_root(np, q);
+}
+
+std::uint64_t even_cycle_edge_bound(std::uint64_t n, std::uint32_t k,
+                                    std::uint64_t c_num,
+                                    std::uint64_t c_den) noexcept {
+  CSD_DCHECK(k >= 2 && c_den > 0);
+  // n^{1+1/k} = n * n^{1/k}; use exact integer ⌈n^{1/k}⌉ then scale by c.
+  const std::uint64_t root = ceil_kth_root(n, k);
+  Wide m = static_cast<Wide>(n) * root;
+  m = (m * c_num + c_den - 1) / c_den;
+  if (m > kSat) return kSat;
+  return static_cast<std::uint64_t>(m);
+}
+
+}  // namespace csd

@@ -1,0 +1,28 @@
+#include "support/rng.hpp"
+
+#include <unordered_set>
+
+namespace csd {
+
+std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t n,
+                                                           std::uint32_t k) {
+  CSD_CHECK_MSG(k <= n, "cannot sample " << k << " from " << n);
+  if (k == 0) return {};
+  // For dense samples a partial Fisher–Yates is cheapest; for sparse ones a
+  // hash-based rejection avoids materializing [0, n).
+  if (k * 4 >= n) {
+    auto p = permutation(n);
+    p.resize(k);
+    return p;
+  }
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  while (out.size() < k) {
+    const auto v = static_cast<std::uint32_t>(below(n));
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace csd

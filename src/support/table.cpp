@@ -1,0 +1,75 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace csd {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  CSD_CHECK(!headers_.empty());
+}
+
+Table& Table::row() {
+  CSD_CHECK_MSG(rows_.empty() || rows_.back().size() == headers_.size(),
+                "previous row incomplete");
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  CSD_CHECK_MSG(!rows_.empty() && rows_.back().size() < headers_.size(),
+                "cell without row, or row overfull");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return cell(os.str());
+}
+
+Table& Table::cell(bool value) { return cell(value ? "yes" : "no"); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "| ";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string{};
+      os << std::setw(static_cast<int>(width[c])) << v;
+      os << (c + 1 < headers_.size() ? " | " : " |");
+    }
+    os << '\n';
+  };
+
+  print_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    for (std::size_t i = 0; i < width[c] + 2; ++i) os << '-';
+    os << '|';
+  }
+  os << '\n';
+  for (const auto& r : rows_) print_row(r);
+}
+
+void print_banner(std::ostream& os, const std::string& title,
+                  const std::string& subtitle) {
+  os << '\n' << std::string(72, '=') << '\n' << title << '\n';
+  if (!subtitle.empty()) os << subtitle << '\n';
+  os << std::string(72, '=') << '\n';
+}
+
+}  // namespace csd

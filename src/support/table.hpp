@@ -1,0 +1,48 @@
+// Plain-text table printer used by the benchmark harnesses to emit the
+// paper-reproduction tables (one bench binary per figure/theorem).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace csd {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format
+/// consistently. Rendered with a header rule, right-aligned numeric look.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Start a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 3);
+  /// "yes"/"no" cell.
+  Table& cell(bool value);
+  /// Any integer type.
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  Table& cell(T value) {
+    return cell(std::to_string(value));
+  }
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render to `os` with aligned columns.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner for a bench harness.
+void print_banner(std::ostream& os, const std::string& title,
+                  const std::string& subtitle = "");
+
+}  // namespace csd

@@ -1,0 +1,240 @@
+// Tests for the asynchronous engine + frame synchronizer: the paper's
+// algorithms must behave identically (verdicts, payload bits, pulse counts)
+// under adversarially jittered message delays as under the synchronous
+// simulator — which is what justifies studying them synchronously.
+#include <gtest/gtest.h>
+
+#include "congest/async.hpp"
+#include "congest/network.hpp"
+#include "detect/clique_detect.hpp"
+#include "detect/even_cycle.hpp"
+#include "detect/pipelined_cycle.hpp"
+#include "detect/tree_detect.hpp"
+#include "congest/primitives.hpp"
+#include "detect/weighted_cycle.hpp"
+#include "graph/builders.hpp"
+#include "support/rng.hpp"
+
+namespace csd::congest {
+namespace {
+
+/// Runs the same program on both engines with matching seeds and asserts
+/// bit-level equivalence of the observable outcome.
+void expect_equivalent(const Graph& g, const ProgramFactory& factory,
+                       std::uint64_t bandwidth, std::uint64_t seed,
+                       std::uint64_t max_rounds, std::uint32_t max_delay) {
+  NetworkConfig sync_cfg;
+  sync_cfg.bandwidth = bandwidth;
+  sync_cfg.seed = seed;
+  sync_cfg.max_rounds = max_rounds;
+  const auto sync_outcome = run_congest(g, sync_cfg, factory);
+  ASSERT_TRUE(sync_outcome.completed);
+
+  AsyncConfig async_cfg;
+  async_cfg.bandwidth = bandwidth;
+  async_cfg.seed = seed;
+  async_cfg.max_pulses = max_rounds;
+  async_cfg.max_delay = max_delay;
+  const auto async_outcome = run_async(g, async_cfg, factory);
+
+  EXPECT_TRUE(async_outcome.completed);
+  EXPECT_EQ(async_outcome.detected, sync_outcome.detected);
+  EXPECT_EQ(async_outcome.verdicts, sync_outcome.verdicts);
+  EXPECT_EQ(async_outcome.payload_bits, sync_outcome.metrics.total_bits);
+  EXPECT_EQ(async_outcome.pulses, sync_outcome.metrics.rounds);
+}
+
+TEST(AsyncEngine, PipelinedCycleEquivalence) {
+  Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = build::gnp(20, 0.15, rng);
+    expect_equivalent(g, detect::pipelined_cycle_program(4), 64,
+                      300 + static_cast<std::uint64_t>(trial),
+                      detect::pipelined_cycle_round_budget(20, 4) + 1,
+                      1 + static_cast<std::uint32_t>(trial) * 3);
+  }
+}
+
+TEST(AsyncEngine, EvenCycleEquivalence) {
+  Rng rng(7);
+  Graph g = build::random_tree(40, rng);
+  build::plant_subgraph(g, build::cycle(4), rng);
+  detect::EvenCycleConfig cfg;
+  cfg.k = 2;
+  for (const std::uint32_t delay : {1u, 4u, 16u}) {
+    for (std::uint64_t seed = 40; seed < 44; ++seed) {
+      expect_equivalent(
+          g, detect::even_cycle_program(cfg), 64, seed,
+          detect::make_even_cycle_schedule(40, cfg).total_rounds() + 1,
+          delay);
+    }
+  }
+}
+
+TEST(AsyncEngine, EvenCycleK3AndWeightedCycleEquivalence) {
+  const Graph g = build::disjoint_copies(build::cycle(6), 4);
+  detect::EvenCycleConfig cfg;
+  cfg.k = 3;
+  cfg.c_num = 1;
+  expect_equivalent(
+      g, detect::even_cycle_program(cfg), 64, 5,
+      detect::make_even_cycle_schedule(g.num_vertices(), cfg).total_rounds() +
+          1,
+      7);
+
+  detect::WeightedCycleConfig wcfg;
+  wcfg.length = 4;
+  wcfg.target_weight = 3;
+  const auto weight = [](Vertex, Vertex) -> std::uint64_t { return 1; };
+  const Graph host = build::complete(6);
+  expect_equivalent(
+      host, detect::weighted_cycle_program(wcfg, weight), 64, 9,
+      detect::weighted_cycle_round_budget(host.num_vertices(), wcfg) + 1, 11);
+}
+
+TEST(AsyncEngine, CliqueDetectEquivalence) {
+  // Nodes halt at *different* pulses here (degree-dependent streaming),
+  // exercising the halted-port protocol of the synchronizer.
+  Rng rng(9);
+  const Graph g = build::gnp(18, 0.4, rng);
+  expect_equivalent(g, detect::clique_detect_program(3), 16, 1,
+                    detect::clique_detect_round_budget(18, g.max_degree(), 16) +
+                        2,
+                    6);
+}
+
+TEST(AsyncEngine, TreeDetectEquivalence) {
+  const Graph g = build::grid(5, 5);
+  expect_equivalent(g, detect::tree_detect_program(build::star(3)), 32, 11,
+                    detect::tree_detect_round_budget(build::star(3)) + 1, 9);
+}
+
+TEST(AsyncEngine, BfsAggregateEquivalence) {
+  // The primitive uses per-port messages (parent announcements), data-
+  // driven sends and early halting — a good stress of the synchronizer.
+  Rng rng(15);
+  Graph g = build::random_tree(24, rng);
+  g.add_edge_if_absent(3, 17);
+  g.add_edge_if_absent(5, 21);
+  BfsAggregateConfig cfg;
+  cfg.contribution = [](std::uint32_t v) { return v + 1; };
+
+  BfsAggregateResult sync_sink, async_sink;
+  for (auto* sink : {&sync_sink, &async_sink}) {
+    sink->distance.assign(24, 0);
+    sink->parent.assign(24, 0);
+    sink->aggregate.assign(24, 0);
+    sink->reached.assign(24, false);
+  }
+  NetworkConfig sync_cfg;
+  sync_cfg.bandwidth = 64;
+  sync_cfg.max_rounds = bfs_aggregate_round_budget(24);
+  const auto sync_outcome =
+      run_congest(g, sync_cfg, bfs_aggregate_program(cfg, &sync_sink));
+  ASSERT_TRUE(sync_outcome.completed);
+
+  AsyncConfig async_cfg;
+  async_cfg.bandwidth = 64;
+  async_cfg.max_pulses = bfs_aggregate_round_budget(24);
+  async_cfg.max_delay = 13;
+  const auto async_outcome =
+      run_async(g, async_cfg, bfs_aggregate_program(cfg, &async_sink));
+  EXPECT_TRUE(async_outcome.completed);
+  EXPECT_EQ(async_sink.distance, sync_sink.distance);
+  EXPECT_EQ(async_sink.parent, sync_sink.parent);
+  EXPECT_EQ(async_sink.aggregate, sync_sink.aggregate);
+}
+
+TEST(AsyncEngine, BroadcastOnlyEnforcedToo) {
+  class PerPortSender final : public NodeProgram {
+   public:
+    void on_round(NodeApi& api) override {
+      for (std::uint32_t p = 0; p < api.degree(); ++p) {
+        BitVec payload;
+        payload.append_bits(p, 4);
+        api.send(p, payload);
+      }
+      api.halt();
+    }
+  };
+  AsyncConfig cfg;
+  cfg.broadcast_only = true;
+  EXPECT_THROW(run_async(build::path(3), cfg,
+                         [](std::uint32_t) {
+                           return std::make_unique<PerPortSender>();
+                         }),
+               CheckFailure);
+}
+
+TEST(AsyncEngine, DelayDistributionDoesNotChangeOutcome) {
+  // Same program seed under wildly different jitter: identical results,
+  // different virtual times.
+  Rng rng(13);
+  const Graph g = build::gnp(16, 0.2, rng);
+  AsyncConfig tight;
+  tight.bandwidth = 64;
+  tight.seed = 21;
+  tight.max_pulses = 200;
+  tight.max_delay = 1;
+  AsyncConfig loose = tight;
+  loose.max_delay = 50;
+  const auto a = run_async(g, tight, detect::pipelined_cycle_program(3));
+  const auto b = run_async(g, loose, detect::pipelined_cycle_program(3));
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.verdicts, b.verdicts);
+  EXPECT_EQ(a.payload_bits, b.payload_bits);
+  EXPECT_LT(a.virtual_time, b.virtual_time);
+}
+
+TEST(AsyncEngine, OverheadIsTwoBitsPerFrame) {
+  const Graph g = build::cycle(6);
+  AsyncConfig cfg;
+  cfg.bandwidth = 64;
+  cfg.max_pulses = 50;
+  const auto outcome =
+      run_async(g, cfg, detect::pipelined_cycle_program(3));
+  EXPECT_EQ(outcome.overhead_bits, 2 * outcome.frames);
+  // One frame per port per pulse while running.
+  EXPECT_GE(outcome.frames, 12u);  // at least pulse 0 everywhere
+}
+
+TEST(AsyncEngine, PulseCapFlagsIncompleteRuns) {
+  class NeverHalts final : public NodeProgram {
+   public:
+    void on_round(NodeApi&) override {}
+  };
+  const Graph g = build::path(3);
+  AsyncConfig cfg;
+  cfg.max_pulses = 5;
+  const auto outcome = run_async(
+      g, cfg, [](std::uint32_t) { return std::make_unique<NeverHalts>(); });
+  EXPECT_FALSE(outcome.completed);
+  EXPECT_LE(outcome.pulses, 5u);
+}
+
+TEST(AsyncEngine, CustomIdsRespectNamespace) {
+  const Graph g = build::path(2);
+  AsyncConfig cfg;
+  cfg.namespace_size = 8;
+
+  class IdProbe final : public NodeProgram {
+   public:
+    void on_round(NodeApi& api) override {
+      if (api.id() == 7) api.reject();
+      api.halt();
+    }
+  };
+  const auto outcome = run_async(
+      g, cfg, {3, 7}, [](std::uint32_t) { return std::make_unique<IdProbe>(); });
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_TRUE(outcome.detected);
+
+  EXPECT_THROW(run_async(g, cfg, {3, 9},
+                         [](std::uint32_t) {
+                           return std::make_unique<IdProbe>();
+                         }),
+               CheckFailure);
+}
+
+}  // namespace
+}  // namespace csd::congest

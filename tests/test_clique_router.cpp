@@ -1,0 +1,134 @@
+// Tests for the relay-balanced congested-clique router.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "congest/clique_router.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "support/wire.hpp"
+
+namespace csd::congest {
+namespace {
+
+BitVec payload_of(std::uint64_t value, std::uint64_t bits) {
+  BitVec v;
+  v.append_bits(value, static_cast<unsigned>(bits));
+  return v;
+}
+
+std::uint64_t value_of(const BitVec& payload) {
+  return payload.read_bits(0, static_cast<unsigned>(payload.size()));
+}
+
+TEST(CliqueRouter, DeliversEveryMessageExactlyOnce) {
+  Rng rng(1);
+  CliqueRouteRequest request;
+  request.num_nodes = 12;
+  request.payload_bits = 16;
+  std::map<Vertex, std::multiset<std::uint64_t>> expected;
+  for (int i = 0; i < 300; ++i) {
+    const auto src = static_cast<Vertex>(rng.below(12));
+    const auto dst = static_cast<Vertex>(rng.below(12));
+    const std::uint64_t value = rng.below(1u << 16);
+    request.messages.push_back({src, dst, payload_of(value, 16)});
+    expected[dst].insert(value);
+  }
+  const auto result = route_in_clique(request);
+  for (Vertex v = 0; v < 12; ++v) {
+    std::multiset<std::uint64_t> got;
+    for (const auto& payload : result.delivered[v])
+      got.insert(value_of(payload));
+    EXPECT_EQ(got, expected[v]) << "node " << v;
+  }
+}
+
+TEST(CliqueRouter, SelfMessagesAreFree) {
+  CliqueRouteRequest request;
+  request.num_nodes = 4;
+  request.payload_bits = 8;
+  request.messages.push_back({2, 2, payload_of(77, 8)});
+  const auto result = route_in_clique(request);
+  ASSERT_EQ(result.delivered[2].size(), 1u);
+  EXPECT_EQ(value_of(result.delivered[2][0]), 77u);
+  EXPECT_EQ(result.total_bits, 0u);  // never touched a link
+}
+
+TEST(CliqueRouter, HotPairIsSpreadAcrossRelays) {
+  // 1000 messages on a single (src, dst) pair: direct delivery would need
+  // 1000 rounds; relays spread stage 1 over ~n links.
+  const Vertex n = 32;
+  CliqueRouteRequest request;
+  request.num_nodes = n;
+  request.payload_bits = 10;
+  for (int i = 0; i < 1000; ++i)
+    request.messages.push_back(
+        {0, 1, payload_of(static_cast<std::uint64_t>(i), 10)});
+  const auto result = route_in_clique(request);
+  EXPECT_EQ(result.delivered[1].size(), 1000u);
+  // Stage 1 spreads over ~31 relays: ~32 per link; stage 2 converges on
+  // node 1 but arrives over ~31 links too.
+  EXPECT_LT(result.max_stage1_load, 80u);
+  EXPECT_LT(result.rounds, 200u);  // far below the 1000 direct rounds
+}
+
+TEST(CliqueRouter, BudgetIsRespectedAndTight) {
+  Rng rng(7);
+  CliqueRouteRequest request;
+  request.num_nodes = 10;
+  request.payload_bits = 12;
+  for (int i = 0; i < 200; ++i)
+    request.messages.push_back({static_cast<Vertex>(rng.below(10)),
+                                static_cast<Vertex>(rng.below(10)),
+                                payload_of(rng.below(1u << 12), 12)});
+  const auto budget = clique_route_round_budget(request);
+  const auto result = route_in_clique(request);
+  EXPECT_LE(result.rounds, budget + 2);
+}
+
+TEST(CliqueRouter, RejectsMalformedRequests) {
+  CliqueRouteRequest request;
+  request.num_nodes = 4;
+  request.payload_bits = 8;
+  request.messages.push_back({0, 9, payload_of(1, 8)});  // dst out of range
+  EXPECT_THROW(route_in_clique(request), CheckFailure);
+
+  request.messages.clear();
+  request.messages.push_back({0, 1, payload_of(1, 4)});  // width mismatch
+  EXPECT_THROW(route_in_clique(request), CheckFailure);
+
+  request.messages.clear();
+  request.messages.push_back({0, 1, payload_of(1, 8)});
+  request.bandwidth = 4;  // too small for a record
+  EXPECT_THROW(route_in_clique(request), CheckFailure);
+}
+
+TEST(CliqueRouter, DeterministicGivenSalt) {
+  Rng rng(9);
+  CliqueRouteRequest request;
+  request.num_nodes = 8;
+  request.payload_bits = 8;
+  for (int i = 0; i < 100; ++i)
+    request.messages.push_back({static_cast<Vertex>(rng.below(8)),
+                                static_cast<Vertex>(rng.below(8)),
+                                payload_of(rng.below(256), 8)});
+  const auto a = route_in_clique(request);
+  const auto b = route_in_clique(request);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.total_bits, b.total_bits);
+  for (Vertex v = 0; v < 8; ++v)
+    EXPECT_EQ(a.delivered[v].size(), b.delivered[v].size());
+}
+
+TEST(CliqueRouter, EmptyRequestCompletesImmediately) {
+  CliqueRouteRequest request;
+  request.num_nodes = 5;
+  request.payload_bits = 8;
+  const auto result = route_in_clique(request);
+  EXPECT_EQ(result.total_bits, 0u);
+  for (const auto& per_node : result.delivered) EXPECT_TRUE(per_node.empty());
+}
+
+}  // namespace
+}  // namespace csd::congest

@@ -1,0 +1,390 @@
+// Tests for the CONGEST simulator: round semantics, bandwidth enforcement,
+// metrics accounting, transcripts, identifiers, and the congested-clique
+// helpers.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "congest/clique.hpp"
+#include "congest/network.hpp"
+#include "graph/builders.hpp"
+#include "support/check.hpp"
+#include "support/wire.hpp"
+
+namespace csd::congest {
+namespace {
+
+/// Broadcasts its id once, collects neighbor ids, halts after `rounds`.
+class GossipOnce final : public NodeProgram {
+ public:
+  explicit GossipOnce(std::uint64_t rounds) : rounds_(rounds) {}
+  void on_round(NodeApi& api) override {
+    const unsigned bits = wire::bits_for(api.network_size());
+    if (api.round() == 0) {
+      wire::Writer w;
+      w.u(api.id(), bits);
+      api.broadcast(std::move(w).take());
+    }
+    if (api.round() == 1) {
+      for (std::uint32_t p = 0; p < api.degree(); ++p) {
+        const auto& msg = api.inbox(p);
+        ASSERT_TRUE(msg.has_value());
+        wire::Reader r(*msg);
+        EXPECT_EQ(r.u(bits), api.neighbor_id(p));
+      }
+    }
+    if (api.round() + 1 >= rounds_) api.halt();
+  }
+
+ private:
+  std::uint64_t rounds_;
+};
+
+TEST(Network, MessagesDeliveredNextRoundToCorrectPort) {
+  const Graph g = build::cycle(6);
+  NetworkConfig cfg;
+  cfg.bandwidth = 8;
+  auto outcome = run_congest(
+      g, cfg, [](std::uint32_t) { return std::make_unique<GossipOnce>(2); });
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_FALSE(outcome.detected);
+  EXPECT_EQ(outcome.metrics.rounds, 2u);
+  EXPECT_EQ(outcome.metrics.messages, 12u);  // 6 nodes x 2 ports
+}
+
+TEST(Network, DefaultIdsAreIndices) {
+  const Graph g = build::path(4);
+  Network net(g, NetworkConfig{});
+  ASSERT_EQ(net.ids().size(), 4u);
+  EXPECT_EQ(net.ids()[3], 3u);
+}
+
+TEST(Network, CustomIdsVisibleToPrograms) {
+  const Graph g = build::path(2);
+  NetworkConfig cfg;
+  cfg.bandwidth = 0;
+  cfg.namespace_size = 128;
+  Network net(g, cfg, {42, 99});
+  std::vector<NodeId> observed(2);
+
+  class IdProbe final : public NodeProgram {
+   public:
+    IdProbe(NodeId* slot, NodeId* peer) : slot_(slot), peer_(peer) {}
+    void on_round(NodeApi& api) override {
+      *slot_ = api.id();
+      *peer_ = api.neighbor_id(0);
+      api.halt();
+    }
+
+   private:
+    NodeId* slot_;
+    NodeId* peer_;
+  };
+
+  std::vector<NodeId> peers(2);
+  auto outcome = net.run([&](std::uint32_t v) {
+    return std::make_unique<IdProbe>(&observed[v], &peers[v]);
+  });
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_EQ(observed[0], 42u);
+  EXPECT_EQ(observed[1], 99u);
+  EXPECT_EQ(peers[0], 99u);
+  EXPECT_EQ(peers[1], 42u);
+}
+
+class OverBudgetSender final : public NodeProgram {
+ public:
+  void on_round(NodeApi& api) override {
+    BitVec big(100, true);
+    api.broadcast(big);  // exceeds any small bandwidth
+    api.halt();
+  }
+};
+
+TEST(Network, BandwidthEnforced) {
+  const Graph g = build::path(2);
+  NetworkConfig cfg;
+  cfg.bandwidth = 8;
+  EXPECT_THROW(run_congest(g, cfg,
+                           [](std::uint32_t) {
+                             return std::make_unique<OverBudgetSender>();
+                           }),
+               CheckFailure);
+}
+
+TEST(Network, UnboundedBandwidthIsLocalModel) {
+  const Graph g = build::path(2);
+  NetworkConfig cfg;
+  cfg.bandwidth = 0;  // LOCAL
+  auto outcome = run_congest(g, cfg, [](std::uint32_t) {
+    return std::make_unique<OverBudgetSender>();
+  });
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.metrics.max_message_bits, 100u);
+}
+
+class DoubleSender final : public NodeProgram {
+ public:
+  void on_round(NodeApi& api) override {
+    BitVec one(1);
+    api.send(0, one);
+    api.send(0, one);  // second send on same port: model violation
+  }
+};
+
+TEST(Network, OneMessagePerEdgePerRound) {
+  const Graph g = build::path(2);
+  EXPECT_THROW(run_congest(g, NetworkConfig{},
+                           [](std::uint32_t) {
+                             return std::make_unique<DoubleSender>();
+                           }),
+               CheckFailure);
+}
+
+class NeverHalts final : public NodeProgram {
+ public:
+  void on_round(NodeApi&) override {}
+};
+
+TEST(Network, RoundCapStopsRunaways) {
+  const Graph g = build::path(3);
+  NetworkConfig cfg;
+  cfg.max_rounds = 10;
+  auto outcome = run_congest(
+      g, cfg, [](std::uint32_t) { return std::make_unique<NeverHalts>(); });
+  EXPECT_FALSE(outcome.completed);
+  EXPECT_EQ(outcome.metrics.rounds, 10u);
+}
+
+class RejectIfIndexZero final : public NodeProgram {
+ public:
+  explicit RejectIfIndexZero(bool is_zero) : is_zero_(is_zero) {}
+  void on_round(NodeApi& api) override {
+    if (is_zero_) api.reject();
+    api.halt();
+  }
+
+ private:
+  bool is_zero_;
+};
+
+TEST(Network, VerdictAggregation) {
+  const Graph g = build::path(3);
+  auto outcome = run_congest(g, NetworkConfig{}, [](std::uint32_t v) {
+    return std::make_unique<RejectIfIndexZero>(v == 0);
+  });
+  EXPECT_TRUE(outcome.detected);
+  EXPECT_EQ(outcome.verdicts[0], Verdict::Reject);
+  EXPECT_EQ(outcome.verdicts[1], Verdict::Accept);
+}
+
+class PingOnce final : public NodeProgram {
+ public:
+  void on_round(NodeApi& api) override {
+    if (api.round() == 0 && api.id() == 0) {
+      BitVec three(3, true);
+      api.send(0, three);
+    }
+    if (api.round() == 1) api.halt();
+  }
+};
+
+TEST(Network, MetricsCountBits) {
+  const Graph g = build::path(2);
+  NetworkConfig cfg;
+  cfg.bandwidth = 4;
+  auto outcome = run_congest(
+      g, cfg, [](std::uint32_t) { return std::make_unique<PingOnce>(); });
+  EXPECT_EQ(outcome.metrics.total_bits, 3u);
+  EXPECT_EQ(outcome.metrics.messages, 1u);
+  EXPECT_EQ(outcome.metrics.bits_sent_by_node[0], 3u);
+  EXPECT_EQ(outcome.metrics.bits_sent_by_node[1], 0u);
+}
+
+TEST(Network, TranscriptRecordsMessages) {
+  const Graph g = build::path(2);
+  NetworkConfig cfg;
+  cfg.record_transcript = true;
+  auto outcome = run_congest(
+      g, cfg, [](std::uint32_t) { return std::make_unique<PingOnce>(); });
+  ASSERT_EQ(outcome.transcript.size(), 1u);
+  EXPECT_EQ(outcome.transcript[0].src, 0u);
+  EXPECT_EQ(outcome.transcript[0].dst, 1u);
+  EXPECT_EQ(outcome.transcript[0].round, 0u);
+  EXPECT_EQ(outcome.transcript[0].payload.size(), 3u);
+}
+
+TEST(Network, ObserverSeesMessages) {
+  const Graph g = build::path(2);
+  NetworkConfig cfg;
+  std::uint64_t observed_bits = 0;
+  cfg.on_message = [&](std::uint64_t, std::uint32_t src, std::uint32_t dst,
+                       std::uint64_t bits) {
+    EXPECT_EQ(src, 0u);
+    EXPECT_EQ(dst, 1u);
+    observed_bits += bits;
+  };
+  run_congest(g, cfg,
+              [](std::uint32_t) { return std::make_unique<PingOnce>(); });
+  EXPECT_EQ(observed_bits, 3u);
+}
+
+TEST(Network, RngIsPerNodeAndSeedDeterministic) {
+  const Graph g = build::path(2);
+
+  class RngProbe final : public NodeProgram {
+   public:
+    explicit RngProbe(std::uint64_t* out) : out_(out) {}
+    void on_round(NodeApi& api) override {
+      *out_ = api.rng()();
+      api.halt();
+    }
+
+   private:
+    std::uint64_t* out_;
+  };
+
+  std::vector<std::uint64_t> draws_a(2), draws_b(2);
+  NetworkConfig cfg;
+  cfg.seed = 77;
+  Network(g, cfg).run([&](std::uint32_t v) {
+    return std::make_unique<RngProbe>(&draws_a[v]);
+  });
+  Network(g, cfg).run([&](std::uint32_t v) {
+    return std::make_unique<RngProbe>(&draws_b[v]);
+  });
+  EXPECT_EQ(draws_a, draws_b);       // deterministic per seed
+  EXPECT_NE(draws_a[0], draws_a[1]);  // nodes draw independently
+}
+
+TEST(RunAmplified, AggregatesDetection) {
+  const Graph g = build::path(2);
+
+  // Rejects only when the node rng's first draw is even: a ~1/2 chance per
+  // repetition, so 20 repetitions detect with overwhelming probability.
+  class CoinReject final : public NodeProgram {
+   public:
+    void on_round(NodeApi& api) override {
+      if (api.rng()() % 2 == 0) api.reject();
+      api.halt();
+    }
+  };
+
+  NetworkConfig cfg;
+  cfg.seed = 5;
+  auto outcome = run_amplified(
+      g, cfg, [](std::uint32_t) { return std::make_unique<CoinReject>(); },
+      20);
+  EXPECT_TRUE(outcome.detected);
+  EXPECT_EQ(outcome.metrics.rounds, 20u);  // summed over repetitions
+}
+
+// -------------------------------------------------- namespace & broadcast --
+TEST(Network, NamespaceDefaultsToSizeAndIsVisible) {
+  const Graph g = build::path(3);
+
+  class NamespaceProbe final : public NodeProgram {
+   public:
+    explicit NamespaceProbe(std::uint64_t* out) : out_(out) {}
+    void on_round(NodeApi& api) override {
+      *out_ = api.namespace_size();
+      api.halt();
+    }
+
+   private:
+    std::uint64_t* out_;
+  };
+
+  std::uint64_t seen = 0;
+  run_congest(g, NetworkConfig{}, [&](std::uint32_t) {
+    return std::make_unique<NamespaceProbe>(&seen);
+  });
+  EXPECT_EQ(seen, 3u);
+
+  NetworkConfig wide;
+  wide.namespace_size = 1000;
+  run_congest(g, wide, [&](std::uint32_t) {
+    return std::make_unique<NamespaceProbe>(&seen);
+  });
+  EXPECT_EQ(seen, 1000u);
+}
+
+TEST(Network, RejectsIdsOutsideNamespace) {
+  const Graph g = build::path(2);
+  NetworkConfig cfg;
+  cfg.namespace_size = 10;
+  Network net(g, cfg, {3, 11});
+  EXPECT_THROW(net.run([](std::uint32_t) {
+    return std::make_unique<NeverHalts>();
+  }),
+               CheckFailure);
+}
+
+class PerPortSender final : public NodeProgram {
+ public:
+  void on_round(NodeApi& api) override {
+    for (std::uint32_t p = 0; p < api.degree(); ++p) {
+      BitVec payload;
+      payload.append_bits(p, 4);  // different content per port
+      api.send(p, payload);
+    }
+    api.halt();
+  }
+};
+
+TEST(Network, BroadcastOnlyRejectsPerPortMessages) {
+  const Graph g = build::path(3);  // middle node has two ports
+  NetworkConfig cfg;
+  cfg.broadcast_only = true;
+  EXPECT_THROW(run_congest(g, cfg,
+                           [](std::uint32_t) {
+                             return std::make_unique<PerPortSender>();
+                           }),
+               CheckFailure);
+}
+
+TEST(Network, BroadcastOnlyAllowsUniformMessages) {
+  const Graph g = build::cycle(5);
+  NetworkConfig cfg;
+  cfg.broadcast_only = true;
+  cfg.bandwidth = 8;
+  auto outcome = run_congest(
+      g, cfg, [](std::uint32_t) { return std::make_unique<GossipOnce>(2); });
+  EXPECT_TRUE(outcome.completed);
+}
+
+// ------------------------------------------------------ congested clique --
+TEST(Clique, PortPeerInverse) {
+  for (Vertex v = 0; v < 8; ++v)
+    for (std::uint32_t p = 0; p < 7; ++p) {
+      const Vertex w = clique_peer(v, p);
+      EXPECT_NE(w, v);
+      EXPECT_EQ(clique_port(v, w), p);
+    }
+}
+
+TEST(Clique, PortsMatchCompleteTopology) {
+  const Graph k5 = build::complete(5);
+  for (Vertex v = 0; v < 5; ++v) {
+    const auto nbrs = k5.neighbors(v);
+    for (std::uint32_t p = 0; p < nbrs.size(); ++p)
+      EXPECT_EQ(nbrs[p], clique_peer(v, p));
+  }
+}
+
+TEST(Clique, RunsProgramsAllToAll) {
+  class CountNeighbors final : public NodeProgram {
+   public:
+    void on_round(NodeApi& api) override {
+      EXPECT_EQ(api.degree(), api.network_size() - 1);
+      api.halt();
+    }
+  };
+  auto outcome = run_congested_clique(6, NetworkConfig{}, [](std::uint32_t) {
+    return std::make_unique<CountNeighbors>();
+  });
+  EXPECT_TRUE(outcome.completed);
+}
+
+}  // namespace
+}  // namespace csd::congest

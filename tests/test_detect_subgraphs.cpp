@@ -1,0 +1,427 @@
+// Tests for the non-cycle detection algorithms: universal collection,
+// K_s detection via neighborhood exchange, the triangle/hexagon ID-exchange
+// distinguisher, color-coding tree detection, and congested-clique K_s
+// listing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "detect/clique_detect.hpp"
+#include "detect/pipelined_cycle.hpp"
+#include "detect/clique_listing.hpp"
+#include "detect/collect.hpp"
+#include "detect/tree_detect.hpp"
+#include "detect/triangle_tester.hpp"
+#include "detect/triangle.hpp"
+#include "graph/builders.hpp"
+#include "graph/oracle.hpp"
+#include "graph/vf2.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace csd::detect {
+namespace {
+
+// -------------------------------------------------------------- collect --
+TEST(Collect, EveryNodeLearnsTheWholeGraph) {
+  Rng rng(5);
+  Graph g = build::random_tree(18, rng);  // connected host
+  for (int extra = 0; extra < 10; ++extra)
+    g.add_edge_if_absent(static_cast<Vertex>(rng.below(18)),
+                         static_cast<Vertex>(rng.below(18)));
+  std::uint64_t checks = 0;
+  const auto outcome = detect_by_collection(
+      g,
+      [&](const Graph& collected) {
+        ++checks;
+        EXPECT_EQ(collected.num_edges(), g.num_edges());
+        for (const auto& [u, v] : g.edges())
+          EXPECT_TRUE(collected.has_edge(u, v));
+        return false;
+      },
+      32, 1);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_FALSE(outcome.detected);
+  EXPECT_EQ(checks, g.num_vertices());
+}
+
+TEST(Collect, DetectsViaPredicate) {
+  const Graph g = build::petersen();
+  const auto outcome = detect_by_collection(
+      g,
+      [](const Graph& collected) {
+        return oracle::has_cycle_of_length(collected, 5);
+      },
+      32, 2);
+  EXPECT_TRUE(outcome.detected);
+}
+
+TEST(Collect, RoundsScaleWithEdges) {
+  Rng rng(6);
+  const Graph small = build::gnm(20, 30, rng);
+  const Graph large = build::gnm(20, 120, rng);
+  const auto fast = detect_by_collection(
+      small, [](const Graph&) { return false; }, 32, 1);
+  const auto slow = detect_by_collection(
+      large, [](const Graph&) { return false; }, 32, 1);
+  EXPECT_LT(fast.metrics.rounds, slow.metrics.rounds);
+}
+
+TEST(Collect, WorksOnDisconnectedGraphs) {
+  // Collection is per-component; the checker sees at least its component.
+  const Graph g = build::disjoint_copies(build::cycle(3), 2);
+  const auto outcome = detect_by_collection(
+      g, [](const Graph& c) { return oracle::has_cycle_of_length(c, 3); },
+      16, 3);
+  EXPECT_TRUE(outcome.detected);
+}
+
+TEST(Collect, LocalBallHasCorrectRadius) {
+  const Graph g = build::path(9);
+  congest::NetworkConfig cfg;
+  cfg.bandwidth = 0;  // LOCAL
+  cfg.max_rounds = 10;
+  std::vector<std::uint64_t> edge_counts(9, 0);
+  std::uint32_t probe = 0;
+  auto outcome = congest::run_congest(
+      g, cfg,
+      local_ball_program(2, [&](const Graph& ball) {
+        edge_counts[probe++ % 9] = ball.num_edges();
+        return false;
+      }));
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.metrics.rounds, 2u);  // r rounds for a radius-r ball
+  // Middle vertices see 4 path edges within distance 2; note checkers run
+  // in topology order. Vertex 4's radius-2 ball on a path has 4 edges.
+  EXPECT_EQ(edge_counts[4], 4u);
+  EXPECT_EQ(edge_counts[0], 2u);  // endpoint sees 2 edges
+}
+
+TEST(Collect, LocalBallRequiresUnboundedBandwidth) {
+  const Graph g = build::path(3);
+  congest::NetworkConfig cfg;
+  cfg.bandwidth = 16;
+  EXPECT_THROW(congest::run_congest(
+                   g, cfg, local_ball_program(1, [](const Graph&) {
+                     return false;
+                   })),
+               CheckFailure);
+}
+
+TEST(Collect, LocalDetectorMatchesOracleOnArbitraryPatterns) {
+  // The §1 LOCAL algorithm: O(|H|) rounds, exact, any connected pattern.
+  Rng rng(23);
+  const Graph patterns[] = {build::cycle(5), build::petersen(),
+                            build::star(3), build::complete(4),
+                            build::path(6)};
+  for (int trial = 0; trial < 6; ++trial) {
+    const Graph host = build::gnp(18, 0.25, rng);
+    for (const Graph& pattern : patterns) {
+      const auto outcome = detect_subgraph_local(host, pattern);
+      EXPECT_TRUE(outcome.completed);
+      EXPECT_EQ(outcome.detected, contains_subgraph(host, pattern))
+          << "trial " << trial;
+      EXPECT_LE(outcome.metrics.rounds, pattern.num_vertices() + 1);
+    }
+  }
+}
+
+TEST(Collect, LocalDetectorRejectsDisconnectedPatterns) {
+  EXPECT_THROW(
+      detect_subgraph_local(build::grid(3, 3),
+                            build::disjoint_copies(build::path(2), 2)),
+      CheckFailure);
+}
+
+// -------------------------------------------------------- clique detect --
+TEST(CliqueDetect, TriangleOnCanonicalGraphs) {
+  EXPECT_TRUE(detect_clique(build::complete(3), 3, 32, 1).detected);
+  EXPECT_TRUE(detect_clique(build::complete(8), 3, 32, 1).detected);
+  EXPECT_FALSE(detect_clique(build::cycle(6), 3, 32, 1).detected);
+  EXPECT_FALSE(detect_clique(build::petersen(), 3, 32, 1).detected);
+  EXPECT_FALSE(
+      detect_clique(build::complete_bipartite(5, 5), 3, 32, 1).detected);
+}
+
+TEST(CliqueDetect, MatchesOracleOnRandomGraphs) {
+  Rng rng(7);
+  for (int trial = 0; trial < 12; ++trial) {
+    const Graph g = build::gnp(16, 0.35, rng);
+    for (const std::uint32_t s : {3u, 4u, 5u}) {
+      EXPECT_EQ(detect_clique(g, s, 24, 1).detected, oracle::has_clique(g, s))
+          << "trial " << trial << " s=" << s;
+    }
+  }
+}
+
+TEST(CliqueDetect, DeterministicAlgorithmIgnoresSeed) {
+  Rng rng(8);
+  const Graph g = build::gnp(14, 0.3, rng);
+  EXPECT_EQ(detect_clique(g, 4, 24, 1).detected,
+            detect_clique(g, 4, 24, 999).detected);
+}
+
+TEST(CliqueDetect, RoundsScaleInverselyWithBandwidth) {
+  const Graph g = build::complete(20);
+  const auto narrow = detect_clique(g, 3, 8, 1);
+  const auto wide = detect_clique(g, 3, 64, 1);
+  EXPECT_TRUE(narrow.detected);
+  EXPECT_TRUE(wide.detected);
+  EXPECT_GT(narrow.metrics.rounds, wide.metrics.rounds);
+}
+
+TEST(CliqueDetect, SparseGraphsFinishFast) {
+  // Nodes halt when their own exchange completes: a path needs O(1) rounds.
+  const Graph g = build::path(200);
+  const auto outcome = detect_clique(g, 3, 32, 1);
+  EXPECT_FALSE(outcome.detected);
+  EXPECT_LE(outcome.metrics.rounds, 6u);
+}
+
+TEST(CliqueDetect, HandlesIsolatedVertices) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(detect_clique(g, 3, 16, 1).detected);
+  EXPECT_TRUE(detect_clique(g, 2, 16, 1).detected);  // an edge is a K_2
+}
+
+TEST(MinBandwidth, HelpersMatchTheAlgorithmsContracts) {
+  // Every detector must run at exactly its advertised minimum bandwidth
+  // and refuse one bit less.
+  const Graph host = build::complete(6);
+  const auto b_clique = clique_detect_min_bandwidth(6);
+  EXPECT_TRUE(detect_clique(host, 3, b_clique, 1).detected);
+  EXPECT_THROW(detect_clique(host, 3, b_clique - 1, 1), CheckFailure);
+
+  const auto b_collect = collect_min_bandwidth(6);
+  EXPECT_TRUE(detect_by_collection(
+                  host, [](const Graph& c) { return c.num_edges() == 15; },
+                  b_collect, 1)
+                  .detected);
+  EXPECT_THROW(detect_by_collection(
+                   host, [](const Graph&) { return false; }, b_collect - 1, 1),
+               CheckFailure);
+
+  const auto b_pipe = pipelined_cycle_min_bandwidth(6, 3);
+  detect::PipelinedCycleConfig pcfg;
+  pcfg.length = 3;
+  pcfg.repetitions = 200;
+  EXPECT_TRUE(detect_cycle_pipelined(host, pcfg, b_pipe, 1).detected);
+  EXPECT_THROW(detect_cycle_pipelined(host, pcfg, b_pipe - 1, 1),
+               CheckFailure);
+
+  TriangleTesterConfig tcfg;
+  tcfg.query_rounds = 16;
+  const auto b_tester = triangle_tester_min_bandwidth(6);
+  EXPECT_TRUE(test_triangle_freeness(host, tcfg, b_tester, 1).detected);
+  EXPECT_THROW(test_triangle_freeness(host, tcfg, b_tester - 1, 1),
+               CheckFailure);
+
+  detect::CliqueListingResult sink;
+  const auto b_list = clique_listing_min_bandwidth(6);
+  list_cliques_congested_clique(host, 3, b_list, &sink);
+  EXPECT_EQ(sink.total(), 20u);
+  EXPECT_THROW(list_cliques_congested_clique(host, 3, b_list - 1, &sink),
+               CheckFailure);
+}
+
+// ------------------------------------------------------ triangle vs C_6 --
+TEST(IdExchange, FullIdsAlwaysCorrect) {
+  const std::uint32_t c = id_exchange_sound_bits(64);
+  congest::NetworkConfig cfg;
+  cfg.bandwidth = 64;
+  cfg.max_rounds = 8;
+  cfg.namespace_size = 64;
+  Rng rng(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Random distinct ids from a namespace of 64.
+    const auto ids64 = rng.sample_without_replacement(64, 6);
+    std::vector<congest::NodeId> ids(ids64.begin(), ids64.end());
+    congest::Network tri(build::cycle(3), cfg,
+                         {ids[0], ids[1], ids[2]});
+    EXPECT_TRUE(tri.run(id_exchange_triangle_program(c)).detected);
+    congest::Network hex(build::cycle(6), cfg, ids);
+    EXPECT_FALSE(hex.run(id_exchange_triangle_program(c)).detected);
+  }
+}
+
+TEST(IdExchange, TruncatedIdsStillRejectTriangles) {
+  congest::NetworkConfig cfg;
+  cfg.bandwidth = 64;
+  cfg.max_rounds = 8;
+  cfg.namespace_size = 64;
+  congest::Network tri(build::cycle(3), cfg, {10, 20, 30});
+  EXPECT_TRUE(tri.run(id_exchange_triangle_program(2)).detected);
+}
+
+TEST(IdExchange, TruncationCausesHexagonCollision) {
+  // With 1-bit ids, a hexagon whose alternate nodes share low bits fools
+  // the algorithm (this is the §4 phenomenon, found here by hand).
+  congest::NetworkConfig cfg;
+  cfg.bandwidth = 64;
+  cfg.max_rounds = 8;
+  cfg.namespace_size = 64;
+  // ids with low bits (0,1,0,0,1,0) around the cycle: antipodal positions
+  // share their low bit, so every "neighbor's other neighbor" collides with
+  // the true other neighbor and the nodes believe they sit in a triangle.
+  congest::Network hex(build::cycle(6), cfg, {0, 1, 2, 4, 5, 6});
+  EXPECT_TRUE(hex.run(id_exchange_triangle_program(1)).detected)
+      << "1-bit truncation should be foolable";
+}
+
+TEST(IdExchange, HashedVariantCorrectOnTriangles) {
+  // Hash fingerprints reject every triangle (determinism), like truncation.
+  congest::NetworkConfig cfg;
+  cfg.bandwidth = 64;
+  cfg.max_rounds = 8;
+  cfg.namespace_size = 64;
+  Rng rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto ids64 = rng.sample_without_replacement(64, 3);
+    congest::Network tri(build::cycle(3), cfg, {ids64[0], ids64[1], ids64[2]});
+    EXPECT_TRUE(
+        tri.run(hashed_id_exchange_triangle_program(
+                    4, 7 + static_cast<std::uint64_t>(trial)))
+            .detected);
+  }
+}
+
+TEST(IdExchange, RequiresDegreeTwo) {
+  congest::NetworkConfig cfg;
+  cfg.bandwidth = 64;
+  EXPECT_THROW(congest::run_congest(build::star(3), cfg,
+                                    id_exchange_triangle_program(4)),
+               CheckFailure);
+}
+
+// ----------------------------------------------------------------- tree --
+TEST(TreeDetect, FindsStarsAndPaths) {
+  const Graph host = build::grid(4, 4);
+  TreeDetectConfig cfg;
+  cfg.tree = build::star(3);
+  cfg.repetitions = 400;
+  EXPECT_TRUE(detect_tree(host, cfg, 32, 1).detected);
+  cfg.tree = build::path(5);
+  cfg.repetitions = 2000;
+  EXPECT_TRUE(detect_tree(host, cfg, 32, 2).detected);
+}
+
+TEST(TreeDetect, RejectsAbsentTrees) {
+  // A path hosts no K_{1,3} star.
+  const Graph host = build::path(30);
+  TreeDetectConfig cfg;
+  cfg.tree = build::star(3);
+  cfg.repetitions = 200;
+  EXPECT_FALSE(detect_tree(host, cfg, 32, 3).detected);
+}
+
+TEST(TreeDetect, OneSidedErrorAgainstOracle) {
+  Rng rng(11);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph host = build::gnp(14, 0.12, rng);
+    const Graph pattern = build::random_tree(5, rng);
+    TreeDetectConfig cfg;
+    cfg.tree = pattern;
+    cfg.repetitions = 100;
+    if (detect_tree(host, cfg, 32, 40 + static_cast<std::uint64_t>(trial))
+            .detected) {
+      EXPECT_TRUE(oracle::has_tree(host, pattern)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(TreeDetect, ConstantRounds) {
+  // O(height) rounds per repetition, independent of host size.
+  EXPECT_EQ(tree_detect_round_budget(build::star(5)), 3u);
+  EXPECT_EQ(tree_detect_round_budget(build::path(4)), 5u);
+  const Graph big_host = build::grid(10, 10);
+  TreeDetectConfig cfg;
+  cfg.tree = build::star(3);
+  cfg.repetitions = 1;
+  const auto outcome = detect_tree(big_host, cfg, 32, 1);
+  EXPECT_LE(outcome.metrics.rounds, 4u);
+}
+
+TEST(TreeDetect, RejectsNonTreePattern) {
+  TreeDetectConfig cfg;
+  cfg.tree = build::cycle(4);
+  EXPECT_THROW(detect_tree(build::grid(3, 3), cfg, 32, 1), CheckFailure);
+}
+
+// -------------------------------------------------------------- listing --
+TEST(CliqueListing, ListsAllTrianglesExactly) {
+  Rng rng(13);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Graph g = build::gnp(20, 0.3, rng);
+    CliqueListingResult result;
+    const auto outcome = list_cliques_congested_clique(g, 3, 64, &result);
+    EXPECT_TRUE(outcome.completed);
+    const auto listed = result.all_sorted();
+    const auto expected = oracle::list_cliques(g, 3);
+    EXPECT_EQ(listed, expected) << "trial " << trial;
+    // No duplicates across owners either.
+    EXPECT_EQ(result.total(), expected.size());
+  }
+}
+
+TEST(CliqueListing, ListsK4AndK5) {
+  Rng rng(14);
+  const Graph g = build::gnp(18, 0.5, rng);
+  for (const std::uint32_t s : {4u, 5u}) {
+    CliqueListingResult result;
+    list_cliques_congested_clique(g, s, 64, &result);
+    EXPECT_EQ(result.all_sorted(), oracle::list_cliques(g, s)) << "s=" << s;
+    EXPECT_EQ(result.total(), oracle::count_cliques(g, s));
+  }
+}
+
+TEST(CliqueListing, EmptyAndCompleteExtremes) {
+  Graph empty(10);
+  CliqueListingResult result;
+  list_cliques_congested_clique(empty, 3, 64, &result);
+  EXPECT_EQ(result.total(), 0u);
+
+  const Graph full = build::complete(12);
+  CliqueListingResult full_result;
+  list_cliques_congested_clique(full, 3, 64, &full_result);
+  EXPECT_EQ(full_result.total(), 220u);  // C(12,3)
+}
+
+TEST(CliqueListing, WorkIsSpreadAcrossOwners) {
+  const Graph full = build::complete(16);
+  CliqueListingResult result;
+  list_cliques_congested_clique(full, 3, 64, &result);
+  std::uint32_t busy_nodes = 0;
+  for (const auto& per_node : result.cliques_by_node)
+    busy_nodes += !per_node.empty();
+  EXPECT_GT(busy_nodes, 4u);  // not all on one node
+}
+
+TEST(CliqueListing, DoublesAsADetectionAlgorithm) {
+  // The listing outcome carries detection verdicts: some node rejects iff
+  // it listed a clique — matching the oracle exactly (no amplification
+  // needed; the algorithm is deterministic).
+  Rng rng(77);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = build::gnp(14, trial % 2 == 0 ? 0.15 : 0.5, rng);
+    for (const std::uint32_t s : {3u, 4u}) {
+      CliqueListingResult result;
+      const auto outcome = list_cliques_congested_clique(g, s, 64, &result);
+      EXPECT_EQ(outcome.detected, oracle::has_clique(g, s))
+          << "trial " << trial << " s=" << s;
+    }
+  }
+}
+
+TEST(CliqueListing, BudgetGrowsSublinearlyInN) {
+  // Round budget should scale roughly like n^{1-2/s}·polylog — for s = 3 on
+  // bounded-degree inputs it must stay well below n.
+  Rng rng(15);
+  const Graph g = build::random_bounded_degree(96, 6, rng);
+  const auto budget = clique_listing_round_budget(g, 3);
+  EXPECT_LT(budget, 96u);
+}
+
+}  // namespace
+}  // namespace csd::detect

@@ -1,0 +1,193 @@
+// Tests for graph serialization (edge list, DIMACS) and the `csd` CLI
+// (driven in-process through csd::cli::run).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "graph/builders.hpp"
+#include "graph/io.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "tools/cli.hpp"
+
+namespace csd {
+namespace {
+
+// --------------------------------------------------------------------- io --
+TEST(GraphIo, EdgeListRoundTrip) {
+  Rng rng(3);
+  const Graph g = build::gnp(25, 0.2, rng);
+  std::stringstream ss;
+  io::write_edge_list(ss, g);
+  const Graph back = io::read_edge_list(ss);
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_EQ(back.edges(), g.edges());
+}
+
+TEST(GraphIo, DimacsRoundTrip) {
+  const Graph g = build::petersen();
+  std::stringstream ss;
+  io::write_dimacs(ss, g);
+  const Graph back = io::read_dimacs(ss);
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_EQ(back.edges(), g.edges());
+}
+
+TEST(GraphIo, ReadAnyDetectsBothFormats) {
+  const Graph g = build::grid(3, 4);
+  {
+    std::stringstream ss;
+    io::write_edge_list(ss, g);
+    EXPECT_EQ(io::read_any(ss).edges(), g.edges());
+  }
+  {
+    std::stringstream ss;
+    io::write_dimacs(ss, g);
+    EXPECT_EQ(io::read_any(ss).edges(), g.edges());
+  }
+}
+
+TEST(GraphIo, CommentsAndBlankLinesSkipped) {
+  std::stringstream ss(
+      "# a comment\n\n3 2\nc another comment\n0 1\n\n1 2\n");
+  const Graph g = io::read_edge_list(ss);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(GraphIo, MalformedInputsRejectedWithLineNumbers) {
+  const auto expect_failure = [](const std::string& content,
+                                 const std::string& needle) {
+    std::stringstream ss(content);
+    try {
+      io::read_edge_list(ss);
+      FAIL() << "expected parse failure for: " << content;
+    } catch (const CheckFailure& failure) {
+      EXPECT_NE(std::string(failure.what()).find(needle), std::string::npos)
+          << failure.what();
+    }
+  };
+  expect_failure("", "empty");
+  expect_failure("3\n", "two");
+  expect_failure("3 2\n0 1\n", "expected 2 edges");
+  expect_failure("3 1\n0 7\n", "out of range");
+  expect_failure("3 1\n0 1 9\n", "trailing");
+  expect_failure("2 1\n0 1\n0 1\n", "trailing content");
+}
+
+TEST(GraphIo, DimacsValidatesHeaderAndRange) {
+  std::stringstream bad_header("q edge 3 1\ne 1 2\n");
+  EXPECT_THROW(io::read_dimacs(bad_header), CheckFailure);
+  std::stringstream zero_based("p edge 3 1\ne 0 1\n");
+  EXPECT_THROW(io::read_dimacs(zero_based), CheckFailure);
+}
+
+TEST(GraphIo, SaveAndLoad) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "csd_io_test.graph").string();
+  const Graph g = build::cycle(9);
+  io::save(path, g, /*dimacs=*/true);
+  const Graph back = io::load(path);
+  EXPECT_EQ(back.edges(), g.edges());
+  std::remove(path.c_str());
+  EXPECT_THROW(io::load("/nonexistent/definitely/missing"), CheckFailure);
+}
+
+// -------------------------------------------------------------------- cli --
+int run_cli(const std::vector<std::string>& args, std::string* out_text) {
+  std::ostringstream out, err;
+  const int code = cli::run(args, out, err);
+  if (out_text != nullptr) *out_text = out.str() + err.str();
+  return code;
+}
+
+TEST(Cli, HelpAndUnknownCommand) {
+  std::string text;
+  EXPECT_EQ(run_cli({"help"}, &text), 0);
+  EXPECT_NE(text.find("usage"), std::string::npos);
+  EXPECT_EQ(run_cli({"definitely-not-a-command"}, &text), 1);
+  EXPECT_EQ(run_cli({}, &text), 1);
+}
+
+TEST(Cli, GenerateToStdout) {
+  std::string text;
+  EXPECT_EQ(run_cli({"generate", "cycle", "5"}, &text), 0);
+  EXPECT_EQ(text.substr(0, 4), "5 5\n");
+  EXPECT_EQ(run_cli({"generate", "petersen", "--dimacs"}, &text), 0);
+  EXPECT_NE(text.find("p edge 10 15"), std::string::npos);
+}
+
+TEST(Cli, GenerateStatsDetectPipeline) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "csd_cli_test.graph").string();
+  std::string text;
+  ASSERT_EQ(run_cli({"generate", "gnp", "24", "25", "9", "--out", path},
+                    &text),
+            0);
+  EXPECT_NE(text.find("wrote"), std::string::npos);
+
+  ASSERT_EQ(run_cli({"stats", path}, &text), 0);
+  EXPECT_NE(text.find("vertices:    24"), std::string::npos);
+
+  ASSERT_EQ(run_cli({"detect", "triangle", path}, &text), 0);
+  const bool says_reject = text.find("REJECT") != std::string::npos;
+  const bool says_present = text.find("pattern present") != std::string::npos;
+  EXPECT_EQ(says_reject, says_present);  // verdict agrees with the oracle
+  EXPECT_EQ(text.find("WARNING"), std::string::npos);
+
+  ASSERT_EQ(run_cli({"detect", "cycle", "4", path, "--reps", "300"}, &text),
+            0);
+  EXPECT_NE(text.find("Theorem 1.1"), std::string::npos);
+
+  ASSERT_EQ(run_cli({"list-cliques", "3", path}, &text), 0);
+  EXPECT_NE(text.find("K_3 copies"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, DetectStarPattern) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "csd_cli_star.graph").string();
+  std::string text;
+  ASSERT_EQ(run_cli({"generate", "grid", "4", "4", "--out", path}, &text), 0);
+  ASSERT_EQ(run_cli({"detect", "star", "4", path, "--reps", "400"}, &text),
+            0);
+  EXPECT_NE(text.find("REJECT"), std::string::npos);  // inner nodes have deg 4
+  ASSERT_EQ(run_cli({"detect", "star", "5", path}, &text), 0);
+  EXPECT_NE(text.find("pattern absent"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, DetectOddCycleUsesBaseline) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "csd_cli_c5.graph").string();
+  std::string text;
+  ASSERT_EQ(run_cli({"generate", "complete", "7", "--out", path}, &text), 0);
+  ASSERT_EQ(run_cli({"detect", "cycle", "5", path, "--reps", "200"}, &text),
+            0);
+  EXPECT_NE(text.find("pipelined"), std::string::npos);
+  EXPECT_NE(text.find("REJECT"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, FoolReportsThresholdBehaviour) {
+  std::string text;
+  ASSERT_EQ(run_cli({"fool", "24", "2"}, &text), 0);
+  EXPECT_NE(text.find("fooled:  YES"), std::string::npos);
+  ASSERT_EQ(run_cli({"fool", "24", "3"}, &text), 0);
+  EXPECT_NE(text.find("box found:         no"), std::string::npos);
+}
+
+TEST(Cli, ErrorsProduceExitCodeTwo) {
+  std::string text;
+  EXPECT_EQ(run_cli({"stats", "/no/such/file"}, &text), 2);
+  EXPECT_NE(text.find("error:"), std::string::npos);
+  EXPECT_EQ(run_cli({"generate", "cycle"}, &text), 2);  // missing N
+  EXPECT_EQ(run_cli({"generate", "gnp", "x", "y", "z"}, &text), 2);
+}
+
+}  // namespace
+}  // namespace csd

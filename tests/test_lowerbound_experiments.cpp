@@ -1,0 +1,342 @@
+// Tests for the executable lower-bound experiments: the Theorem 1.2
+// reduction (cut accounting + correctness), the §4 fooling adversary, the
+// §5 one-round information experiment, Lemma 1.3 clique counting, and the
+// information-theory estimators they rely on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "comm/cut_simulator.hpp"
+#include "detect/triangle.hpp"
+#include "graph/builders.hpp"
+#include "info/entropy.hpp"
+#include "lowerbound/fooling.hpp"
+#include "lowerbound/oneround.hpp"
+#include "lowerbound/reduction.hpp"
+#include "lowerbound/turan_counts.hpp"
+#include "support/rng.hpp"
+
+namespace csd::lb {
+namespace {
+
+// ------------------------------------------------------------- entropy --
+TEST(Info, EntropyBasics) {
+  EXPECT_DOUBLE_EQ(info::entropy_from_counts({}), 0.0);
+  EXPECT_DOUBLE_EQ(info::entropy_from_counts({7}), 0.0);
+  EXPECT_NEAR(info::entropy_from_counts({5, 5}), 1.0, 1e-12);
+  EXPECT_NEAR(info::entropy_from_counts({1, 1, 1, 1}), 2.0, 1e-12);
+  EXPECT_NEAR(info::entropy_from_counts({3, 1}),
+              -(0.75 * std::log2(0.75) + 0.25 * std::log2(0.25)), 1e-12);
+}
+
+TEST(Info, MutualInformationIndependentIsZero) {
+  info::JointDistribution joint;
+  for (std::uint64_t x = 0; x < 2; ++x)
+    for (std::uint64_t y = 0; y < 4; ++y) joint.add(x, y, 10);
+  EXPECT_NEAR(joint.mutual_information(), 0.0, 1e-12);
+  EXPECT_NEAR(joint.entropy_x(), 1.0, 1e-12);
+  EXPECT_NEAR(joint.entropy_y(), 2.0, 1e-12);
+}
+
+TEST(Info, MutualInformationDeterministicIsEntropy) {
+  info::JointDistribution joint;
+  for (std::uint64_t x = 0; x < 4; ++x) joint.add(x, x * 17 + 3, 5);
+  EXPECT_NEAR(joint.mutual_information(), 2.0, 1e-12);
+  EXPECT_NEAR(joint.conditional_entropy_x_given_y(), 0.0, 1e-12);
+}
+
+TEST(Info, NoisyChannelInformation) {
+  // Binary symmetric channel with flip prob 0.25: I = 1 - H(0.25).
+  info::JointDistribution joint;
+  joint.add(0, 0, 3000);
+  joint.add(0, 1, 1000);
+  joint.add(1, 1, 3000);
+  joint.add(1, 0, 1000);
+  const double h_flip = -(0.75 * std::log2(0.75) + 0.25 * std::log2(0.25));
+  EXPECT_NEAR(joint.mutual_information(), 1.0 - h_flip, 1e-9);
+}
+
+TEST(Info, ConditionalMutualInformation) {
+  // Given Z, X and Y are perfectly correlated; marginally X,Y would look
+  // the same. I(X;Y|Z) should be 1 bit.
+  info::ConditionalMutualInformation cmi;
+  for (std::uint64_t z = 0; z < 2; ++z) {
+    cmi.add(z, 0, z == 0 ? 0 : 1, 50);
+    cmi.add(z, 1, z == 0 ? 1 : 0, 50);
+  }
+  EXPECT_NEAR(cmi.value(), 1.0, 1e-12);
+  EXPECT_EQ(cmi.total(), 200u);
+}
+
+// ---------------------------------------------------------- cut simulator --
+TEST(CutSimulator, CountsOnlyCrossingBits) {
+  // Path A - shared - B: every A→shared message crosses, shared→A doesn't.
+  const Graph g = build::path(3);
+  const std::vector<comm::Owner> owner = {comm::Owner::Alice,
+                                          comm::Owner::Shared,
+                                          comm::Owner::Bob};
+  congest::NetworkConfig cfg;
+  cfg.bandwidth = 8;
+
+  class ChattyProgram final : public congest::NodeProgram {
+   public:
+    void on_round(congest::NodeApi& api) override {
+      BitVec payload(4, true);
+      api.broadcast(payload);
+      if (api.round() == 1) api.halt();
+    }
+  };
+
+  const auto cost = comm::simulate_across_cut(
+      g, owner, cfg,
+      [](std::uint32_t) { return std::make_unique<ChattyProgram>(); });
+  // Rounds 0 and 1; per round: A→shared 4 bits, B→shared 4 bits; the
+  // shared node's messages to A and B are computable by both players.
+  EXPECT_EQ(cost.bits_alice_to_bob, 8u);
+  EXPECT_EQ(cost.bits_bob_to_alice, 8u);
+  EXPECT_EQ(cost.crossing_messages, 4u);
+  EXPECT_EQ(cost.cut_edges, 2u);
+  EXPECT_EQ(cost.max_bits_per_round, 8u);
+}
+
+// -------------------------------------------------------------- reduction --
+TEST(Reduction, DetectsExactlyWhenInputsIntersect) {
+  Rng rng(17);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::uint32_t n = 4, k = 2;
+    const bool intersecting = trial % 2 == 0;
+    const auto inst = comm::random_disjointness(
+        static_cast<std::uint64_t>(n) * n, 0.25, intersecting, rng);
+    const auto report = run_reduction(
+        k, n, inst, 32, 100 + static_cast<std::uint64_t>(trial));
+    EXPECT_EQ(report.detected, intersecting) << "trial " << trial;
+    EXPECT_EQ(report.expected_contains, intersecting);
+    EXPECT_GT(report.crossing_bits, 0u);
+  }
+}
+
+TEST(Reduction, CutMatchesTheory) {
+  Rng rng(18);
+  for (const std::uint32_t n : {4u, 9u, 16u}) {
+    const auto inst = comm::random_disjointness(
+        static_cast<std::uint64_t>(n) * n, 0.1, true, rng);
+    const auto report = run_reduction(2, n, inst, 32, 5);
+    const auto frame = build_gkn_frame(2, n);
+    // Cut = 6m + marker-clique fixed edges.
+    EXPECT_GE(report.cut_edges, 6u * frame.layout.m);
+    EXPECT_LE(report.cut_edges, 6u * frame.layout.m + 16);
+  }
+}
+
+TEST(Reduction, ImpliedLowerBoundGrowsSuperlinearly) {
+  // n²/(cut·B) with cut = Θ(k n^{1/k}): doubling n should scale the implied
+  // bound by ~2^{2-1/k} > 2.
+  Rng rng(19);
+  const auto small_inst = comm::random_disjointness(16 * 16, 0.05, false, rng);
+  const auto large_inst = comm::random_disjointness(64 * 64, 0.05, false, rng);
+  const auto small = run_reduction(2, 16, small_inst, 32, 7);
+  const auto large = run_reduction(2, 64, large_inst, 32, 7);
+  const double growth = large.implied_round_lower_bound() /
+                        small.implied_round_lower_bound();
+  // 4x n: expect ~4^{1.5} = 8 growth; allow slack for ceil effects.
+  EXPECT_GT(growth, 4.0);
+}
+
+TEST(Reduction, CrossingBitsRespectPerRoundBudget) {
+  Rng rng(20);
+  const std::uint32_t n = 6;
+  const auto inst = comm::random_disjointness(36, 0.2, true, rng);
+  const auto report = run_reduction(2, n, inst, 16, 9);
+  EXPECT_LE(report.max_crossing_bits_per_round, report.cut_edges * 16 * 2);
+}
+
+// ---------------------------------------------------------------- fooling --
+TEST(Fooling, TruncatedAlgorithmIsFooled) {
+  // 2-bit ids over a namespace of 24: transcripts collide massively and the
+  // adversary must find a box and a fooling hexagon.
+  FoolingConfig cfg;
+  cfg.namespace_size = 24;
+  cfg.algorithm = detect::id_exchange_triangle_program(2);
+  cfg.bandwidth = 64;
+  cfg.max_rounds = 8;
+  const auto report = run_fooling_adversary(cfg);
+  EXPECT_EQ(report.executions, 512u);
+  EXPECT_TRUE(report.all_triangles_rejected);
+  EXPECT_TRUE(report.box_found);
+  EXPECT_TRUE(report.transcripts_match) << "Claim 4.4 violated";
+  EXPECT_TRUE(report.hexagon_fooled);
+}
+
+TEST(Fooling, FullIdAlgorithmIsSafe) {
+  // With full ⌈log N⌉-bit ids every transcript class is a single triple:
+  // no box can exist and the adversary must fail.
+  FoolingConfig cfg;
+  cfg.namespace_size = 24;
+  cfg.algorithm = detect::id_exchange_triangle_program(
+      detect::id_exchange_sound_bits(24));
+  cfg.bandwidth = 64;
+  cfg.max_rounds = 8;
+  const auto report = run_fooling_adversary(cfg);
+  EXPECT_TRUE(report.all_triangles_rejected);
+  EXPECT_EQ(report.largest_class, 1u);
+  EXPECT_FALSE(report.box_found);
+  EXPECT_FALSE(report.hexagon_fooled);
+}
+
+TEST(Fooling, ThresholdMatchesLogN) {
+  // For N = 48 (parts of 16), 4-bit truncation is exactly log2(16): ids
+  // within a part are distinguished and no class exceeds 1; at 2 bits the
+  // adversary wins.
+  for (const std::uint32_t c : {2u, 4u}) {
+    FoolingConfig cfg;
+    cfg.namespace_size = 48;
+    cfg.algorithm = detect::id_exchange_triangle_program(c);
+    cfg.bandwidth = 64;
+    cfg.max_rounds = 8;
+    const auto report = run_fooling_adversary(cfg);
+    if (c == 2) {
+      EXPECT_TRUE(report.box_found && report.hexagon_fooled);
+    } else {
+      EXPECT_FALSE(report.box_found);
+    }
+  }
+}
+
+TEST(Fooling, AdversaryBeatsHashedFingerprintsPastTruncationThreshold) {
+  // At N = 48 truncation is safe from c = 4 on, but salted hashes collide
+  // within parts (birthday bound), so the adversary still wins at c = 5.
+  FoolingConfig cfg;
+  cfg.namespace_size = 48;
+  cfg.algorithm = detect::hashed_id_exchange_triangle_program(5, 12345);
+  cfg.bandwidth = 64;
+  cfg.max_rounds = 8;
+  const auto report = run_fooling_adversary(cfg);
+  EXPECT_TRUE(report.all_triangles_rejected);
+  EXPECT_TRUE(report.box_found);
+  EXPECT_TRUE(report.hexagon_fooled);
+  EXPECT_TRUE(report.transcripts_match);
+}
+
+TEST(Fooling, RejectsBadNamespace) {
+  FoolingConfig cfg;
+  cfg.namespace_size = 7;
+  cfg.algorithm = detect::id_exchange_triangle_program(2);
+  EXPECT_THROW(run_fooling_adversary(cfg), CheckFailure);
+}
+
+// --------------------------------------------------------------- oneround --
+TEST(OneRound, SampleShapesAndHiddenSpecials) {
+  Rng rng(23);
+  const auto sample = sample_gt(10, rng);
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(sample.input[s].neighbor_ids.size(), 12u);
+    EXPECT_EQ(sample.input[s].present.size(), 12u);
+    // The two other specials' ids appear somewhere in the permuted list.
+    for (std::uint32_t t = 0; t < 3; ++t) {
+      if (t == s) continue;
+      const auto& ids = sample.input[s].neighbor_ids;
+      EXPECT_NE(std::find(ids.begin(), ids.end(), sample.special_id[t]),
+                ids.end());
+    }
+  }
+}
+
+TEST(OneRound, TriangleProbabilityIsOneEighth) {
+  Rng rng(29);
+  std::uint64_t triangles = 0;
+  const std::uint64_t trials = 20000;
+  for (std::uint64_t i = 0; i < trials; ++i)
+    triangles += sample_gt(4, rng).has_triangle();
+  EXPECT_NEAR(static_cast<double>(triangles) / static_cast<double>(trials),
+              0.125, 0.01);
+}
+
+TEST(OneRound, BloomErrorVanishesWithLargeBandwidth) {
+  const auto protocol = make_bloom_protocol(99);
+  const auto tight = evaluate_one_round(*protocol, 32, 4, 4000, 31);
+  const auto roomy = evaluate_one_round(*protocol, 32, 512, 4000, 31);
+  EXPECT_GT(tight.error, 0.04);   // ~1/8 · (1 - e^{-n/2B})² regime
+  EXPECT_LT(roomy.error, 0.02);
+  EXPECT_NEAR(roomy.false_negative, 0.0, 1e-9);  // Blooms never miss
+}
+
+TEST(OneRound, IdSampleNeedsLogFactorMoreBits) {
+  const auto protocol = make_id_sample_protocol(7);
+  // With B = n bits, fewer than n/65 records fit: detection nearly blind.
+  const auto starved = evaluate_one_round(*protocol, 32, 32, 4000, 37);
+  EXPECT_GT(starved.error, 0.08);
+  // With B = 65(n+2) bits every record fits: exact.
+  const auto full = evaluate_one_round(*protocol, 32, 65 * 34, 4000, 37);
+  EXPECT_NEAR(full.error, 0.0, 1e-9);
+}
+
+TEST(OneRound, ThreeRoundsBeatTheOneRoundWall) {
+  // The Theorem 5.1 wall is a one-round phenomenon: with three rounds the
+  // protocol is exact as soon as one identifier fits the bandwidth.
+  const auto starved = evaluate_interactive(64, 8, 5000, 3);
+  EXPECT_GT(starved.error, 0.1);  // cannot even ask: trivial error
+  const auto enough = evaluate_interactive(64, 32, 5000, 3);
+  EXPECT_DOUBLE_EQ(enough.error, 0.0);
+  EXPECT_DOUBLE_EQ(enough.false_negative, 0.0);
+  EXPECT_DOUBLE_EQ(enough.false_positive, 0.0);
+}
+
+TEST(OneRound, InformationGrowsWithBandwidth) {
+  const auto protocol = make_bloom_protocol(3);
+  const auto narrow = evaluate_one_round(*protocol, 12, 2, 30000, 41);
+  const auto wide = evaluate_one_round(*protocol, 12, 64, 30000, 41);
+  EXPECT_LT(narrow.info_accept, 0.12);
+  EXPECT_GT(wide.info_accept, 0.5);
+  EXPECT_GE(wide.info_messages, wide.info_accept * 0.5);
+}
+
+TEST(OneRound, AcceptInformationBoundsAreConsistent) {
+  // Data processing: what the accept bit reveals cannot exceed H(X_bc)=1.
+  const auto protocol = make_bloom_protocol(5);
+  const auto stats = evaluate_one_round(*protocol, 8, 128, 20000, 43);
+  EXPECT_LE(stats.info_accept, 1.0 + 1e-9);
+}
+
+// ---------------------------------------------------------------- lemma 1.3
+TEST(Lemma13, CliqueCountWithinBound) {
+  Rng rng(47);
+  const struct {
+    Graph g;
+    const char* name;
+  } hosts[] = {
+      {build::complete(12), "K12"},
+      {build::gnp(20, 0.4, rng), "gnp"},
+      {build::complete_bipartite(8, 8), "K88"},
+      {build::grid(5, 5), "grid"},
+  };
+  for (const auto& host : hosts) {
+    for (const std::uint32_t s : {2u, 3u, 4u}) {
+      const auto report = check_clique_count_bound(host.g, s, host.name);
+      EXPECT_LE(report.ratio, 1.0 + 1e-9)
+          << host.name << " s=" << s << " violates Lemma 1.3";
+    }
+  }
+}
+
+TEST(Lemma13, CliquesApproachTheExtremalRatio) {
+  // K_t pushes the ratio toward 2^{s/2}/s! as t grows.
+  for (const std::uint32_t s : {3u, 4u}) {
+    const auto small = check_clique_count_bound(build::complete(8), s, "K8");
+    const auto large = check_clique_count_bound(build::complete(20), s, "K20");
+    EXPECT_GT(large.ratio, small.ratio);
+    EXPECT_LT(large.ratio, clique_host_limit_ratio(s));
+    EXPECT_GT(large.ratio, clique_host_limit_ratio(s) * 0.5);
+  }
+}
+
+TEST(Lemma13, EdgeCountExactForS2) {
+  Rng rng(49);
+  const Graph g = build::gnm(15, 40, rng);
+  const auto report = check_clique_count_bound(g, 2, "gnm");
+  EXPECT_EQ(report.clique_count, 40u);
+  EXPECT_NEAR(report.ratio, 1.0, 1e-9);  // m / m^{1} = 1: tight at s = 2
+}
+
+}  // namespace
+}  // namespace csd::lb

@@ -1,0 +1,148 @@
+// Tests for the CONGEST building blocks: BFS-tree election, convergecast
+// aggregation, and tree broadcast (congest/primitives).
+#include <gtest/gtest.h>
+
+#include "congest/primitives.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/builders.hpp"
+#include "support/rng.hpp"
+
+namespace csd::congest {
+namespace {
+
+BfsAggregateConfig count_config() {
+  BfsAggregateConfig cfg;
+  cfg.contribution = [](std::uint32_t) { return 1; };
+  cfg.fold = Aggregate::Sum;
+  return cfg;
+}
+
+TEST(BfsAggregate, CountsNodesOnConnectedGraphs) {
+  Rng rng(3);
+  for (const Graph& g :
+       {build::cycle(9), build::grid(4, 5), build::petersen(),
+        build::random_tree(30, rng)}) {
+    const auto result = run_bfs_aggregate(g, count_config(), 64, 1);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_TRUE(result.reached[v]);
+      EXPECT_EQ(result.aggregate[v], g.num_vertices()) << "v=" << v;
+    }
+  }
+}
+
+TEST(BfsAggregate, DistancesMatchBfsOracleFromMinIdRoot) {
+  Rng rng(5);
+  Graph g = build::random_tree(24, rng);  // connected by construction
+  for (int extra = 0; extra < 12; ++extra)
+    g.add_edge_if_absent(static_cast<Vertex>(rng.below(24)),
+                         static_cast<Vertex>(rng.below(24)));
+  ASSERT_TRUE(is_connected(g));
+  const auto result = run_bfs_aggregate(g, count_config(), 64, 2);
+  // Default identifiers equal indices, so the root is vertex 0.
+  const auto oracle_dist = bfs_distances(g, 0);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(result.distance[v], oracle_dist[v]) << "v=" << v;
+    if (v == 0) {
+      EXPECT_EQ(result.parent[v], v);  // root's parent is itself
+    } else {
+      // Parent is one hop closer and adjacent.
+      EXPECT_TRUE(g.has_edge(v, result.parent[v]));
+      EXPECT_EQ(oracle_dist[result.parent[v]] + 1, oracle_dist[v]);
+    }
+  }
+}
+
+TEST(BfsAggregate, MinAndMaxFolds) {
+  const Graph g = build::path(12);
+  BfsAggregateConfig cfg;
+  cfg.contribution = [](std::uint32_t v) { return 100 + v * 7; };
+  cfg.fold = Aggregate::Max;
+  auto result = run_bfs_aggregate(g, cfg, 64, 3);
+  EXPECT_EQ(result.aggregate[0], 100u + 11 * 7);
+  cfg.fold = Aggregate::Min;
+  result = run_bfs_aggregate(g, cfg, 64, 3);
+  EXPECT_EQ(result.aggregate[5], 100u);
+}
+
+TEST(BfsAggregate, PerComponentAggregates) {
+  // Disconnected: each component elects its own root and folds separately.
+  Graph g = build::disjoint_copies(build::cycle(4), 2);
+  const auto result = run_bfs_aggregate(g, count_config(), 64, 4);
+  for (Vertex v = 0; v < 8; ++v) {
+    EXPECT_TRUE(result.reached[v]);
+    EXPECT_EQ(result.aggregate[v], 4u);
+  }
+}
+
+TEST(BfsAggregate, SingletonAndEdgeCases) {
+  Graph singleton(1);
+  const auto result = run_bfs_aggregate(singleton, count_config(), 64, 5);
+  EXPECT_TRUE(result.reached[0]);
+  EXPECT_EQ(result.aggregate[0], 1u);
+  EXPECT_EQ(result.parent[0], 0u);
+
+  const Graph pair = build::path(2);
+  const auto pair_result = run_bfs_aggregate(pair, count_config(), 64, 5);
+  EXPECT_EQ(pair_result.aggregate[0], 2u);
+  EXPECT_EQ(pair_result.aggregate[1], 2u);
+  EXPECT_EQ(pair_result.parent[1], 0u);
+}
+
+TEST(BfsAggregate, RejectPredicateDrivesVerdict) {
+  const Graph g = build::cycle(6);
+  BfsAggregateConfig cfg = count_config();
+  cfg.reject_if = [](std::uint64_t total) { return total >= 6; };
+  BfsAggregateResult sink;
+  sink.distance.assign(6, 0);
+  sink.parent.assign(6, 0);
+  sink.aggregate.assign(6, 0);
+  sink.reached.assign(6, false);
+  NetworkConfig net_cfg;
+  net_cfg.bandwidth = 64;
+  net_cfg.max_rounds = bfs_aggregate_round_budget(6);
+  const auto outcome =
+      run_congest(g, net_cfg, bfs_aggregate_program(cfg, &sink));
+  EXPECT_TRUE(outcome.detected);  // every node sees the total and rejects
+}
+
+TEST(BfsAggregate, RoundsAreLinearInNWorstCase) {
+  // The self-terminating run finishes in ~n + 2D rounds; check the cap
+  // holds and the run completes well within it on a path (D = n-1).
+  const Graph g = build::path(40);
+  BfsAggregateResult sink;
+  sink.distance.assign(40, 0);
+  sink.parent.assign(40, 0);
+  sink.aggregate.assign(40, 0);
+  sink.reached.assign(40, false);
+  NetworkConfig net_cfg;
+  net_cfg.bandwidth = 64;
+  net_cfg.max_rounds = bfs_aggregate_round_budget(40);
+  const auto outcome =
+      run_congest(g, net_cfg, bfs_aggregate_program(count_config(), &sink));
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_LE(outcome.metrics.rounds, bfs_aggregate_round_budget(40));
+}
+
+TEST(BfsAggregate, WorksUnderSparseIdentifiers) {
+  // Root = smallest identifier, not smallest index.
+  const Graph g = build::cycle(5);
+  NetworkConfig net_cfg;
+  net_cfg.bandwidth = 64;
+  net_cfg.namespace_size = 1000;
+  net_cfg.max_rounds = bfs_aggregate_round_budget(5);
+  BfsAggregateResult sink;
+  sink.distance.assign(5, 0);
+  sink.parent.assign(5, 0);
+  sink.aggregate.assign(5, 0);
+  sink.reached.assign(5, false);
+  Network net(g, net_cfg, {500, 400, 3, 700, 600});  // min id at index 2
+  const auto outcome =
+      net.run(bfs_aggregate_program(count_config(), &sink));
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_EQ(sink.distance[2], 0u);
+  EXPECT_EQ(sink.distance[0], 2u);
+  EXPECT_EQ(sink.aggregate[4], 5u);
+}
+
+}  // namespace
+}  // namespace csd::congest

@@ -1,0 +1,146 @@
+// Randomized consistency tests ("fuzzing") for the simulator engines:
+// programs that send random payloads on random ports must never break the
+// accounting invariants, and the two engines must agree on everything
+// observable.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "congest/async.hpp"
+#include "congest/network.hpp"
+#include "graph/builders.hpp"
+#include "support/rng.hpp"
+
+namespace csd::congest {
+namespace {
+
+/// Sends a random subset of ports a random-length payload each round;
+/// rejects with small probability; halts at a per-node random round.
+class FuzzProgram final : public NodeProgram {
+ public:
+  void on_round(NodeApi& api) override {
+    Rng& rng = api.rng();
+    for (std::uint32_t p = 0; p < api.degree(); ++p) {
+      if (!rng.chance(2, 3)) continue;
+      const std::uint64_t cap = api.bandwidth() == 0 ? 40 : api.bandwidth();
+      const auto len = rng.below(cap + 1);
+      BitVec payload;
+      for (std::uint64_t b = 0; b < len; ++b) payload.push_back(rng.coin());
+      api.send(p, std::move(payload));
+    }
+    if (rng.chance(1, 50)) api.reject();
+    if (api.round() >= 3 + rng.below(10)) api.halt();
+  }
+};
+
+ProgramFactory fuzz_factory() {
+  return [](std::uint32_t) { return std::make_unique<FuzzProgram>(); };
+}
+
+TEST(SimulatorFuzz, MetricsAreInternallyConsistent) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = build::gnp(15, 0.3, rng);
+    NetworkConfig cfg;
+    cfg.bandwidth = 16;
+    cfg.seed = 100 + static_cast<std::uint64_t>(trial);
+    cfg.max_rounds = 64;
+    cfg.record_transcript = true;
+
+    std::uint64_t observed_bits = 0, observed_messages = 0;
+    cfg.on_message = [&](std::uint64_t, std::uint32_t, std::uint32_t,
+                         std::uint64_t bits) {
+      observed_bits += bits;
+      ++observed_messages;
+    };
+    Network net(g, cfg);
+    const auto outcome = net.run(fuzz_factory());
+    ASSERT_TRUE(outcome.completed);
+
+    // Observer == metrics == transcript == per-node tallies.
+    EXPECT_EQ(observed_bits, outcome.metrics.total_bits);
+    EXPECT_EQ(observed_messages, outcome.metrics.messages);
+    EXPECT_EQ(outcome.transcript.size(), outcome.metrics.messages);
+    std::uint64_t per_node_sum = 0, transcript_bits = 0;
+    for (const auto bits : outcome.metrics.bits_sent_by_node)
+      per_node_sum += bits;
+    for (const auto& entry : outcome.transcript)
+      transcript_bits += entry.payload.size();
+    EXPECT_EQ(per_node_sum, outcome.metrics.total_bits);
+    EXPECT_EQ(transcript_bits, outcome.metrics.total_bits);
+    EXPECT_LE(outcome.metrics.max_message_bits, 16u);
+
+    // Verdict aggregation is the OR of per-node rejects.
+    bool any_reject = false;
+    for (const auto v : outcome.verdicts) any_reject |= v == Verdict::Reject;
+    EXPECT_EQ(any_reject, outcome.detected);
+  }
+}
+
+TEST(SimulatorFuzz, TranscriptSourcesAreRealEdges) {
+  Rng rng(2);
+  const Graph g = build::gnp(12, 0.35, rng);
+  NetworkConfig cfg;
+  cfg.bandwidth = 8;
+  cfg.record_transcript = true;
+  cfg.max_rounds = 64;
+  Network net(g, cfg);
+  const auto outcome = net.run(fuzz_factory());
+  for (const auto& entry : outcome.transcript) {
+    EXPECT_TRUE(g.has_edge(entry.src, entry.dst))
+        << entry.src << "->" << entry.dst;
+    EXPECT_LE(entry.payload.size(), 8u);
+  }
+  // At most one message per directed edge per round.
+  std::map<std::tuple<std::uint64_t, std::uint32_t, std::uint32_t>, int>
+      count;
+  for (const auto& entry : outcome.transcript) {
+    const auto key = std::make_tuple(entry.round, entry.src, entry.dst);
+    EXPECT_EQ(++count[key], 1);
+  }
+}
+
+TEST(SimulatorFuzz, AsyncAgreesWithSyncOnRandomPrograms) {
+  Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = build::gnp(12, 0.3, rng);
+    const std::uint64_t seed = 500 + static_cast<std::uint64_t>(trial);
+
+    NetworkConfig sync_cfg;
+    sync_cfg.bandwidth = 12;
+    sync_cfg.seed = seed;
+    sync_cfg.max_rounds = 64;
+    const auto sync_outcome = run_congest(g, sync_cfg, fuzz_factory());
+    ASSERT_TRUE(sync_outcome.completed);
+
+    AsyncConfig async_cfg;
+    async_cfg.bandwidth = 12;
+    async_cfg.seed = seed;
+    async_cfg.max_pulses = 64;
+    async_cfg.max_delay = 1 + static_cast<std::uint32_t>(trial) * 2;
+    const auto async_outcome = run_async(g, async_cfg, fuzz_factory());
+    EXPECT_TRUE(async_outcome.completed);
+    EXPECT_EQ(async_outcome.verdicts, sync_outcome.verdicts);
+    EXPECT_EQ(async_outcome.payload_bits, sync_outcome.metrics.total_bits);
+    EXPECT_EQ(async_outcome.pulses, sync_outcome.metrics.rounds);
+  }
+}
+
+TEST(SimulatorFuzz, DeterministicAcrossRepeatedRuns) {
+  Rng rng(4);
+  const Graph g = build::gnp(14, 0.25, rng);
+  NetworkConfig cfg;
+  cfg.bandwidth = 10;
+  cfg.seed = 99;
+  cfg.max_rounds = 64;
+  const auto a = run_congest(g, cfg, fuzz_factory());
+  const auto b = run_congest(g, cfg, fuzz_factory());
+  EXPECT_EQ(a.verdicts, b.verdicts);
+  EXPECT_EQ(a.metrics.total_bits, b.metrics.total_bits);
+  EXPECT_EQ(a.metrics.messages, b.metrics.messages);
+  EXPECT_EQ(a.metrics.rounds, b.metrics.rounds);
+}
+
+}  // namespace
+}  // namespace csd::congest

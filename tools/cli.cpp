@@ -1,0 +1,310 @@
+#include "tools/cli.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+
+#include "detect/clique_detect.hpp"
+#include "detect/clique_listing.hpp"
+#include "detect/even_cycle.hpp"
+#include "detect/pipelined_cycle.hpp"
+#include "detect/tree_detect.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/builders.hpp"
+#include "graph/io.hpp"
+#include "graph/oracle.hpp"
+#include "lowerbound/fooling.hpp"
+#include "lowerbound/gkn.hpp"
+#include "lowerbound/hk.hpp"
+#include "detect/triangle.hpp"
+#include "support/check.hpp"
+#include "support/mathutil.hpp"
+#include "support/rng.hpp"
+
+namespace csd::cli {
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: csd <command> [...]
+
+commands:
+  generate <family> [params...] [--out FILE] [--dimacs]
+      path N | cycle N | complete N | bipartite A B | grid R C | petersen |
+      gnp N P100 SEED | gnm N M SEED | tree N SEED | polarity Q |
+      hk K | gkn K N
+      (P100 = edge probability in percent; graphs print to stdout unless
+       --out is given; --dimacs selects DIMACS output)
+  stats <file>
+      n, m, max degree, diameter, girth, degeneracy, bipartiteness
+  detect <pattern> <file> [--bandwidth B] [--seed S] [--reps R]
+      pattern: cycle L | triangle | clique S | star D
+      runs the matching CONGEST algorithm and the exhaustive oracle
+  list-cliques <s> <file>
+      congested-clique K_s listing; prints count and round cost
+  fool <namespace-N> <budget-c>
+      runs the Theorem 4.1 adversary against c-bit ID exchange
+  help
+)";
+
+/// Parsed positional arguments + --flag values.
+struct Invocation {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> flags;
+  bool has_flag(const std::string& name) const {
+    for (const auto& [k, v] : flags)
+      if (k == name) return true;
+    return false;
+  }
+  std::optional<std::string> flag(const std::string& name) const {
+    for (const auto& [k, v] : flags)
+      if (k == name) return v;
+    return std::nullopt;
+  }
+};
+
+Invocation parse(const std::vector<std::string>& args) {
+  Invocation inv;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i].rfind("--", 0) == 0) {
+      const std::string name = args[i].substr(2);
+      // Boolean flags take no value; value flags consume the next token.
+      if (name == "dimacs") {
+        inv.flags.emplace_back(name, "1");
+      } else {
+        CSD_CHECK_MSG(i + 1 < args.size(), "flag --" << name
+                                                     << " needs a value");
+        inv.flags.emplace_back(name, args[++i]);
+      }
+    } else {
+      inv.positional.push_back(args[i]);
+    }
+  }
+  return inv;
+}
+
+std::uint64_t to_u64(const std::string& s, const char* what) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), value);
+  CSD_CHECK_MSG(ec == std::errc{} && ptr == s.data() + s.size(),
+                "bad " << what << ": '" << s << "'");
+  return value;
+}
+
+Graph generate(const Invocation& inv) {
+  CSD_CHECK_MSG(inv.positional.size() >= 2, "generate needs a family");
+  const std::string& family = inv.positional[1];
+  const auto arg = [&](std::size_t i, const char* what) {
+    CSD_CHECK_MSG(inv.positional.size() > i + 1,
+                  "family " << family << " needs " << what);
+    return to_u64(inv.positional[i + 1], what);
+  };
+  if (family == "path") return build::path(static_cast<Vertex>(arg(1, "N")));
+  if (family == "cycle") return build::cycle(static_cast<Vertex>(arg(1, "N")));
+  if (family == "complete")
+    return build::complete(static_cast<Vertex>(arg(1, "N")));
+  if (family == "bipartite")
+    return build::complete_bipartite(static_cast<Vertex>(arg(1, "A")),
+                                     static_cast<Vertex>(arg(2, "B")));
+  if (family == "grid")
+    return build::grid(static_cast<Vertex>(arg(1, "R")),
+                       static_cast<Vertex>(arg(2, "C")));
+  if (family == "petersen") return build::petersen();
+  if (family == "gnp") {
+    Rng rng(arg(3, "SEED"));
+    return build::gnp(static_cast<Vertex>(arg(1, "N")),
+                      static_cast<double>(arg(2, "P100")) / 100.0, rng);
+  }
+  if (family == "gnm") {
+    Rng rng(arg(3, "SEED"));
+    return build::gnm(static_cast<Vertex>(arg(1, "N")), arg(2, "M"), rng);
+  }
+  if (family == "tree") {
+    Rng rng(arg(2, "SEED"));
+    return build::random_tree(static_cast<Vertex>(arg(1, "N")), rng);
+  }
+  if (family == "polarity")
+    return build::polarity_graph(static_cast<std::uint32_t>(arg(1, "Q")));
+  if (family == "hk")
+    return lb::build_hk(static_cast<std::uint32_t>(arg(1, "K"))).graph;
+  if (family == "gkn")
+    return lb::build_gkn_frame(static_cast<std::uint32_t>(arg(1, "K")),
+                               static_cast<std::uint32_t>(arg(2, "N")))
+        .graph;
+  CSD_CHECK_MSG(false, "unknown family '" << family << "'");
+  return Graph{};
+}
+
+int cmd_generate(const Invocation& inv, std::ostream& out) {
+  const Graph g = generate(inv);
+  const bool dimacs = inv.has_flag("dimacs");
+  if (const auto path = inv.flag("out")) {
+    io::save(*path, g, dimacs);
+    out << "wrote " << g.num_vertices() << " vertices, " << g.num_edges()
+        << " edges to " << *path << '\n';
+  } else if (dimacs) {
+    io::write_dimacs(out, g);
+  } else {
+    io::write_edge_list(out, g);
+  }
+  return 0;
+}
+
+int cmd_stats(const Invocation& inv, std::ostream& out) {
+  CSD_CHECK_MSG(inv.positional.size() == 2, "stats needs a file");
+  const Graph g = io::load(inv.positional[1]);
+  out << "vertices:    " << g.num_vertices() << '\n'
+      << "edges:       " << g.num_edges() << '\n'
+      << "max degree:  " << g.max_degree() << '\n';
+  const auto diam = diameter(g);
+  out << "diameter:    "
+      << (diam == kUnreachable ? std::string("inf (disconnected)")
+                               : std::to_string(diam))
+      << '\n';
+  const auto girth = oracle::girth(g);
+  out << "girth:       "
+      << (girth == 0 ? std::string("inf (forest)") : std::to_string(girth))
+      << '\n'
+      << "degeneracy:  " << degeneracy(g) << '\n'
+      << "bipartite:   " << (is_bipartite(g) ? "yes" : "no") << '\n';
+  return 0;
+}
+
+int cmd_detect(const Invocation& inv, std::ostream& out) {
+  CSD_CHECK_MSG(inv.positional.size() >= 3,
+                "detect needs a pattern and a file");
+  const std::string& pattern = inv.positional[1];
+  const std::uint64_t bandwidth =
+      to_u64(inv.flag("bandwidth").value_or("64"), "bandwidth");
+  const std::uint64_t seed = to_u64(inv.flag("seed").value_or("1"), "seed");
+  const auto reps = static_cast<std::uint32_t>(
+      to_u64(inv.flag("reps").value_or("400"), "reps"));
+
+  // The file is the last positional; `cycle L` / `clique S` / `star D`
+  // carry one parameter in between.
+  const Graph g = io::load(inv.positional.back());
+
+  bool detected = false, truth = false;
+  std::uint64_t rounds = 0;
+  if (pattern == "triangle") {
+    const auto outcome = detect::detect_clique(g, 3, bandwidth, seed);
+    detected = outcome.detected;
+    rounds = outcome.metrics.rounds;
+    truth = oracle::has_clique(g, 3);
+  } else if (pattern == "clique") {
+    CSD_CHECK_MSG(inv.positional.size() == 4, "detect clique S FILE");
+    const auto s = static_cast<std::uint32_t>(to_u64(inv.positional[2], "S"));
+    const auto outcome = detect::detect_clique(g, s, bandwidth, seed);
+    detected = outcome.detected;
+    rounds = outcome.metrics.rounds;
+    truth = oracle::has_clique(g, s);
+  } else if (pattern == "cycle") {
+    CSD_CHECK_MSG(inv.positional.size() == 4, "detect cycle L FILE");
+    const auto len = static_cast<std::uint32_t>(to_u64(inv.positional[2], "L"));
+    congest::RunOutcome outcome;
+    if (len >= 4 && len % 2 == 0) {
+      detect::EvenCycleConfig cfg;
+      cfg.k = len / 2;
+      cfg.repetitions = reps;
+      outcome = detect::detect_even_cycle(g, cfg, bandwidth, seed);
+      out << "algorithm:  Theorem 1.1 sublinear C_" << len << " detector\n";
+    } else {
+      detect::PipelinedCycleConfig cfg;
+      cfg.length = len;
+      cfg.repetitions = reps;
+      outcome = detect::detect_cycle_pipelined(g, cfg, bandwidth, seed);
+      out << "algorithm:  pipelined color-coded C_" << len << " detector\n";
+    }
+    detected = outcome.detected;
+    rounds = outcome.metrics.rounds;
+    truth = oracle::has_cycle_of_length(g, len);
+  } else if (pattern == "star") {
+    CSD_CHECK_MSG(inv.positional.size() == 4, "detect star D FILE");
+    const auto d = static_cast<Vertex>(to_u64(inv.positional[2], "D"));
+    detect::TreeDetectConfig cfg;
+    cfg.tree = build::star(d);
+    cfg.repetitions = reps;
+    const auto outcome = detect::detect_tree(g, cfg, bandwidth, seed);
+    detected = outcome.detected;
+    rounds = outcome.metrics.rounds;
+    truth = oracle::has_tree(g, cfg.tree);
+  } else {
+    CSD_CHECK_MSG(false, "unknown pattern '" << pattern << "'");
+  }
+
+  out << "verdict:    " << (detected ? "REJECT (pattern found)" : "accept")
+      << '\n'
+      << "oracle:     " << (truth ? "pattern present" : "pattern absent")
+      << '\n'
+      << "rounds:     " << rounds << '\n';
+  if (detected && !truth) out << "WARNING: false positive (model bug?)\n";
+  if (!detected && truth)
+    out << "note: randomized detectors are one-sided; raise --reps\n";
+  return 0;
+}
+
+int cmd_list_cliques(const Invocation& inv, std::ostream& out) {
+  CSD_CHECK_MSG(inv.positional.size() == 3, "list-cliques needs s and a file");
+  const auto s = static_cast<std::uint32_t>(to_u64(inv.positional[1], "s"));
+  const Graph g = io::load(inv.positional[2]);
+  detect::CliqueListingResult result;
+  const auto outcome = detect::list_cliques_congested_clique(g, s, 64, &result);
+  out << "K_" << s << " copies: " << result.total() << '\n'
+      << "rounds:     " << outcome.metrics.rounds << '\n'
+      << "oracle:     " << oracle::count_cliques(g, s) << '\n';
+  return 0;
+}
+
+int cmd_fool(const Invocation& inv, std::ostream& out) {
+  CSD_CHECK_MSG(inv.positional.size() == 3, "fool needs N and c");
+  lb::FoolingConfig cfg;
+  cfg.namespace_size = to_u64(inv.positional[1], "N");
+  const auto c = static_cast<std::uint32_t>(to_u64(inv.positional[2], "c"));
+  cfg.algorithm = detect::id_exchange_triangle_program(c);
+  cfg.bandwidth = 64;
+  cfg.max_rounds = 8;
+  const auto report = lb::run_fooling_adversary(cfg);
+  out << "executions:        " << report.executions << '\n'
+      << "transcripts:       " << report.distinct_transcripts << '\n'
+      << "largest class:     " << report.largest_class << '\n'
+      << "box found:         " << (report.box_found ? "yes" : "no") << '\n';
+  if (report.box_found) {
+    out << "hexagon ids:      ";
+    for (const auto id : report.hexagon) out << ' ' << id;
+    out << '\n'
+        << "Claim 4.4:         "
+        << (report.transcripts_match ? "verified" : "FAILED") << '\n'
+        << "algorithm fooled:  " << (report.hexagon_fooled ? "YES" : "no")
+        << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    out << kUsage;
+    return args.empty() ? 1 : 0;
+  }
+  try {
+    const Invocation inv = parse(args);
+    const std::string& command = inv.positional.empty() ? args[0]
+                                                        : inv.positional[0];
+    if (command == "generate") return cmd_generate(inv, out);
+    if (command == "stats") return cmd_stats(inv, out);
+    if (command == "detect") return cmd_detect(inv, out);
+    if (command == "list-cliques") return cmd_list_cliques(inv, out);
+    if (command == "fool") return cmd_fool(inv, out);
+    err << "unknown command '" << command << "'\n" << kUsage;
+    return 1;
+  } catch (const CheckFailure& failure) {
+    err << "error: " << failure.what() << '\n';
+    return 2;
+  }
+}
+
+}  // namespace csd::cli

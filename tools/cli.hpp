@@ -1,0 +1,25 @@
+// The `csd` command-line tool, as a library so tests can drive it directly.
+//
+// Subcommands:
+//   generate <family> [params...] [--out FILE] [--dimacs]
+//   stats <file>
+//   detect <pattern> <file> [--bandwidth B] [--seed S] [--reps R]
+//   list-cliques <s> <file>
+//   fool <namespace N> <budget c>
+//
+// Run `csd help` for the full usage text.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace csd::cli {
+
+/// Executes one CLI invocation; writes human-readable output to `out` and
+/// diagnostics to `err`. Returns the process exit code (0 = success, 1 =
+/// usage error, 2 = runtime failure).
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err);
+
+}  // namespace csd::cli

@@ -1,0 +1,12 @@
+// Entry point of the `csd` command-line tool (logic lives in cli.cpp so the
+// test suite can drive it in-process).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return csd::cli::run(args, std::cout, std::cerr);
+}
