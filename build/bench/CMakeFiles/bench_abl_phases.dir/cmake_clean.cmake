@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_phases.dir/bench_abl_phases.cpp.o"
+  "CMakeFiles/bench_abl_phases.dir/bench_abl_phases.cpp.o.d"
+  "bench_abl_phases"
+  "bench_abl_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

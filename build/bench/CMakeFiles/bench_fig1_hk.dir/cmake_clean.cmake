@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_hk.dir/bench_fig1_hk.cpp.o"
+  "CMakeFiles/bench_fig1_hk.dir/bench_fig1_hk.cpp.o.d"
+  "bench_fig1_hk"
+  "bench_fig1_hk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_hk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_gkn.dir/bench_fig2_gkn.cpp.o"
+  "CMakeFiles/bench_fig2_gkn.dir/bench_fig2_gkn.cpp.o.d"
+  "bench_fig2_gkn"
+  "bench_fig2_gkn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_gkn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

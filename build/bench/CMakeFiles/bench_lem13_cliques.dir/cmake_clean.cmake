@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lem13_cliques.dir/bench_lem13_cliques.cpp.o"
+  "CMakeFiles/bench_lem13_cliques.dir/bench_lem13_cliques.cpp.o.d"
+  "bench_lem13_cliques"
+  "bench_lem13_cliques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lem13_cliques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

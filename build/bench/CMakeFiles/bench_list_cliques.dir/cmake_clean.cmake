@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_list_cliques.dir/bench_list_cliques.cpp.o"
+  "CMakeFiles/bench_list_cliques.dir/bench_list_cliques.cpp.o.d"
+  "bench_list_cliques"
+  "bench_list_cliques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_list_cliques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_related_testing.dir/bench_related_testing.cpp.o"
+  "CMakeFiles/bench_related_testing.dir/bench_related_testing.cpp.o.d"
+  "bench_related_testing"
+  "bench_related_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_related_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

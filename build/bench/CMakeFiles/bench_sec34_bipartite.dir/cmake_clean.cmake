@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec34_bipartite.dir/bench_sec34_bipartite.cpp.o"
+  "CMakeFiles/bench_sec34_bipartite.dir/bench_sec34_bipartite.cpp.o.d"
+  "bench_sec34_bipartite"
+  "bench_sec34_bipartite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec34_bipartite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm11_even_cycle.dir/bench_thm11_even_cycle.cpp.o"
+  "CMakeFiles/bench_thm11_even_cycle.dir/bench_thm11_even_cycle.cpp.o.d"
+  "bench_thm11_even_cycle"
+  "bench_thm11_even_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm11_even_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm12_superlinear.dir/bench_thm12_superlinear.cpp.o"
+  "CMakeFiles/bench_thm12_superlinear.dir/bench_thm12_superlinear.cpp.o.d"
+  "bench_thm12_superlinear"
+  "bench_thm12_superlinear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm12_superlinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

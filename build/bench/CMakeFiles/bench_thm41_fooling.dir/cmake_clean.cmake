@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm41_fooling.dir/bench_thm41_fooling.cpp.o"
+  "CMakeFiles/bench_thm41_fooling.dir/bench_thm41_fooling.cpp.o.d"
+  "bench_thm41_fooling"
+  "bench_thm41_fooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm41_fooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

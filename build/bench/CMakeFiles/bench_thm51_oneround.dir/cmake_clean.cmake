@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm51_oneround.dir/bench_thm51_oneround.cpp.o"
+  "CMakeFiles/bench_thm51_oneround.dir/bench_thm51_oneround.cpp.o.d"
+  "bench_thm51_oneround"
+  "bench_thm51_oneround.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm51_oneround.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_resilience.dir/async_resilience.cpp.o"
+  "CMakeFiles/async_resilience.dir/async_resilience.cpp.o.d"
+  "async_resilience"
+  "async_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycle_census.dir/cycle_census.cpp.o"
+  "CMakeFiles/cycle_census.dir/cycle_census.cpp.o.d"
+  "cycle_census"
+  "cycle_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycle_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

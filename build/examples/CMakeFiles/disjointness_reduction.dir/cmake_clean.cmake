@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disjointness_reduction.dir/disjointness_reduction.cpp.o"
+  "CMakeFiles/disjointness_reduction.dir/disjointness_reduction.cpp.o.d"
+  "disjointness_reduction"
+  "disjointness_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disjointness_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

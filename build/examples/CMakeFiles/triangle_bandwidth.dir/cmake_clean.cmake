@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triangle_bandwidth.dir/triangle_bandwidth.cpp.o"
+  "CMakeFiles/triangle_bandwidth.dir/triangle_bandwidth.cpp.o.d"
+  "triangle_bandwidth"
+  "triangle_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triangle_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/cut_simulator.cpp" "src/comm/CMakeFiles/csd_comm.dir/cut_simulator.cpp.o" "gcc" "src/comm/CMakeFiles/csd_comm.dir/cut_simulator.cpp.o.d"
+  "/root/repo/src/comm/disjointness.cpp" "src/comm/CMakeFiles/csd_comm.dir/disjointness.cpp.o" "gcc" "src/comm/CMakeFiles/csd_comm.dir/disjointness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/congest/CMakeFiles/csd_congest.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/csd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/csd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

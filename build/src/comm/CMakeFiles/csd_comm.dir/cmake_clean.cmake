@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_comm.dir/cut_simulator.cpp.o"
+  "CMakeFiles/csd_comm.dir/cut_simulator.cpp.o.d"
+  "CMakeFiles/csd_comm.dir/disjointness.cpp.o"
+  "CMakeFiles/csd_comm.dir/disjointness.cpp.o.d"
+  "libcsd_comm.a"
+  "libcsd_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

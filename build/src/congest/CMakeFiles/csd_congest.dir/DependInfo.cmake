@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/congest/async.cpp" "src/congest/CMakeFiles/csd_congest.dir/async.cpp.o" "gcc" "src/congest/CMakeFiles/csd_congest.dir/async.cpp.o.d"
+  "/root/repo/src/congest/clique.cpp" "src/congest/CMakeFiles/csd_congest.dir/clique.cpp.o" "gcc" "src/congest/CMakeFiles/csd_congest.dir/clique.cpp.o.d"
+  "/root/repo/src/congest/clique_router.cpp" "src/congest/CMakeFiles/csd_congest.dir/clique_router.cpp.o" "gcc" "src/congest/CMakeFiles/csd_congest.dir/clique_router.cpp.o.d"
+  "/root/repo/src/congest/network.cpp" "src/congest/CMakeFiles/csd_congest.dir/network.cpp.o" "gcc" "src/congest/CMakeFiles/csd_congest.dir/network.cpp.o.d"
+  "/root/repo/src/congest/primitives.cpp" "src/congest/CMakeFiles/csd_congest.dir/primitives.cpp.o" "gcc" "src/congest/CMakeFiles/csd_congest.dir/primitives.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/csd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/csd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

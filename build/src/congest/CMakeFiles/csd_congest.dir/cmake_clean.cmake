@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_congest.dir/async.cpp.o"
+  "CMakeFiles/csd_congest.dir/async.cpp.o.d"
+  "CMakeFiles/csd_congest.dir/clique.cpp.o"
+  "CMakeFiles/csd_congest.dir/clique.cpp.o.d"
+  "CMakeFiles/csd_congest.dir/clique_router.cpp.o"
+  "CMakeFiles/csd_congest.dir/clique_router.cpp.o.d"
+  "CMakeFiles/csd_congest.dir/network.cpp.o"
+  "CMakeFiles/csd_congest.dir/network.cpp.o.d"
+  "CMakeFiles/csd_congest.dir/primitives.cpp.o"
+  "CMakeFiles/csd_congest.dir/primitives.cpp.o.d"
+  "libcsd_congest.a"
+  "libcsd_congest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_congest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/clique_detect.cpp" "src/detect/CMakeFiles/csd_detect.dir/clique_detect.cpp.o" "gcc" "src/detect/CMakeFiles/csd_detect.dir/clique_detect.cpp.o.d"
+  "/root/repo/src/detect/clique_listing.cpp" "src/detect/CMakeFiles/csd_detect.dir/clique_listing.cpp.o" "gcc" "src/detect/CMakeFiles/csd_detect.dir/clique_listing.cpp.o.d"
+  "/root/repo/src/detect/collect.cpp" "src/detect/CMakeFiles/csd_detect.dir/collect.cpp.o" "gcc" "src/detect/CMakeFiles/csd_detect.dir/collect.cpp.o.d"
+  "/root/repo/src/detect/even_cycle.cpp" "src/detect/CMakeFiles/csd_detect.dir/even_cycle.cpp.o" "gcc" "src/detect/CMakeFiles/csd_detect.dir/even_cycle.cpp.o.d"
+  "/root/repo/src/detect/pipelined_cycle.cpp" "src/detect/CMakeFiles/csd_detect.dir/pipelined_cycle.cpp.o" "gcc" "src/detect/CMakeFiles/csd_detect.dir/pipelined_cycle.cpp.o.d"
+  "/root/repo/src/detect/tree_detect.cpp" "src/detect/CMakeFiles/csd_detect.dir/tree_detect.cpp.o" "gcc" "src/detect/CMakeFiles/csd_detect.dir/tree_detect.cpp.o.d"
+  "/root/repo/src/detect/triangle.cpp" "src/detect/CMakeFiles/csd_detect.dir/triangle.cpp.o" "gcc" "src/detect/CMakeFiles/csd_detect.dir/triangle.cpp.o.d"
+  "/root/repo/src/detect/triangle_tester.cpp" "src/detect/CMakeFiles/csd_detect.dir/triangle_tester.cpp.o" "gcc" "src/detect/CMakeFiles/csd_detect.dir/triangle_tester.cpp.o.d"
+  "/root/repo/src/detect/weighted_cycle.cpp" "src/detect/CMakeFiles/csd_detect.dir/weighted_cycle.cpp.o" "gcc" "src/detect/CMakeFiles/csd_detect.dir/weighted_cycle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/congest/CMakeFiles/csd_congest.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/csd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/csd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_detect.dir/clique_detect.cpp.o"
+  "CMakeFiles/csd_detect.dir/clique_detect.cpp.o.d"
+  "CMakeFiles/csd_detect.dir/clique_listing.cpp.o"
+  "CMakeFiles/csd_detect.dir/clique_listing.cpp.o.d"
+  "CMakeFiles/csd_detect.dir/collect.cpp.o"
+  "CMakeFiles/csd_detect.dir/collect.cpp.o.d"
+  "CMakeFiles/csd_detect.dir/even_cycle.cpp.o"
+  "CMakeFiles/csd_detect.dir/even_cycle.cpp.o.d"
+  "CMakeFiles/csd_detect.dir/pipelined_cycle.cpp.o"
+  "CMakeFiles/csd_detect.dir/pipelined_cycle.cpp.o.d"
+  "CMakeFiles/csd_detect.dir/tree_detect.cpp.o"
+  "CMakeFiles/csd_detect.dir/tree_detect.cpp.o.d"
+  "CMakeFiles/csd_detect.dir/triangle.cpp.o"
+  "CMakeFiles/csd_detect.dir/triangle.cpp.o.d"
+  "CMakeFiles/csd_detect.dir/triangle_tester.cpp.o"
+  "CMakeFiles/csd_detect.dir/triangle_tester.cpp.o.d"
+  "CMakeFiles/csd_detect.dir/weighted_cycle.cpp.o"
+  "CMakeFiles/csd_detect.dir/weighted_cycle.cpp.o.d"
+  "libcsd_detect.a"
+  "libcsd_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

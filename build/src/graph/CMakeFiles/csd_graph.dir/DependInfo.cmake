@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/algorithms.cpp" "src/graph/CMakeFiles/csd_graph.dir/algorithms.cpp.o" "gcc" "src/graph/CMakeFiles/csd_graph.dir/algorithms.cpp.o.d"
+  "/root/repo/src/graph/builders.cpp" "src/graph/CMakeFiles/csd_graph.dir/builders.cpp.o" "gcc" "src/graph/CMakeFiles/csd_graph.dir/builders.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/csd_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/csd_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/csd_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/csd_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/oracle.cpp" "src/graph/CMakeFiles/csd_graph.dir/oracle.cpp.o" "gcc" "src/graph/CMakeFiles/csd_graph.dir/oracle.cpp.o.d"
+  "/root/repo/src/graph/vf2.cpp" "src/graph/CMakeFiles/csd_graph.dir/vf2.cpp.o" "gcc" "src/graph/CMakeFiles/csd_graph.dir/vf2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/csd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

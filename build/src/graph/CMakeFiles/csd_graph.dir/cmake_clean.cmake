@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/csd_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/csd_graph.dir/builders.cpp.o"
+  "CMakeFiles/csd_graph.dir/builders.cpp.o.d"
+  "CMakeFiles/csd_graph.dir/graph.cpp.o"
+  "CMakeFiles/csd_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/csd_graph.dir/io.cpp.o"
+  "CMakeFiles/csd_graph.dir/io.cpp.o.d"
+  "CMakeFiles/csd_graph.dir/oracle.cpp.o"
+  "CMakeFiles/csd_graph.dir/oracle.cpp.o.d"
+  "CMakeFiles/csd_graph.dir/vf2.cpp.o"
+  "CMakeFiles/csd_graph.dir/vf2.cpp.o.d"
+  "libcsd_graph.a"
+  "libcsd_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_info.dir/entropy.cpp.o"
+  "CMakeFiles/csd_info.dir/entropy.cpp.o.d"
+  "libcsd_info.a"
+  "libcsd_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

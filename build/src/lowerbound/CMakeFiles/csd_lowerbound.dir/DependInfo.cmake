@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lowerbound/fooling.cpp" "src/lowerbound/CMakeFiles/csd_lowerbound.dir/fooling.cpp.o" "gcc" "src/lowerbound/CMakeFiles/csd_lowerbound.dir/fooling.cpp.o.d"
+  "/root/repo/src/lowerbound/gkn.cpp" "src/lowerbound/CMakeFiles/csd_lowerbound.dir/gkn.cpp.o" "gcc" "src/lowerbound/CMakeFiles/csd_lowerbound.dir/gkn.cpp.o.d"
+  "/root/repo/src/lowerbound/hk.cpp" "src/lowerbound/CMakeFiles/csd_lowerbound.dir/hk.cpp.o" "gcc" "src/lowerbound/CMakeFiles/csd_lowerbound.dir/hk.cpp.o.d"
+  "/root/repo/src/lowerbound/oneround.cpp" "src/lowerbound/CMakeFiles/csd_lowerbound.dir/oneround.cpp.o" "gcc" "src/lowerbound/CMakeFiles/csd_lowerbound.dir/oneround.cpp.o.d"
+  "/root/repo/src/lowerbound/reduction.cpp" "src/lowerbound/CMakeFiles/csd_lowerbound.dir/reduction.cpp.o" "gcc" "src/lowerbound/CMakeFiles/csd_lowerbound.dir/reduction.cpp.o.d"
+  "/root/repo/src/lowerbound/turan_counts.cpp" "src/lowerbound/CMakeFiles/csd_lowerbound.dir/turan_counts.cpp.o" "gcc" "src/lowerbound/CMakeFiles/csd_lowerbound.dir/turan_counts.cpp.o.d"
+  "/root/repo/src/lowerbound/variants.cpp" "src/lowerbound/CMakeFiles/csd_lowerbound.dir/variants.cpp.o" "gcc" "src/lowerbound/CMakeFiles/csd_lowerbound.dir/variants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/csd_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/congest/CMakeFiles/csd_congest.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/csd_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/csd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/info/CMakeFiles/csd_info.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/csd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

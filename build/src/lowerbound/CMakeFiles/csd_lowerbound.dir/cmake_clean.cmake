@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_lowerbound.dir/fooling.cpp.o"
+  "CMakeFiles/csd_lowerbound.dir/fooling.cpp.o.d"
+  "CMakeFiles/csd_lowerbound.dir/gkn.cpp.o"
+  "CMakeFiles/csd_lowerbound.dir/gkn.cpp.o.d"
+  "CMakeFiles/csd_lowerbound.dir/hk.cpp.o"
+  "CMakeFiles/csd_lowerbound.dir/hk.cpp.o.d"
+  "CMakeFiles/csd_lowerbound.dir/oneround.cpp.o"
+  "CMakeFiles/csd_lowerbound.dir/oneround.cpp.o.d"
+  "CMakeFiles/csd_lowerbound.dir/reduction.cpp.o"
+  "CMakeFiles/csd_lowerbound.dir/reduction.cpp.o.d"
+  "CMakeFiles/csd_lowerbound.dir/turan_counts.cpp.o"
+  "CMakeFiles/csd_lowerbound.dir/turan_counts.cpp.o.d"
+  "CMakeFiles/csd_lowerbound.dir/variants.cpp.o"
+  "CMakeFiles/csd_lowerbound.dir/variants.cpp.o.d"
+  "libcsd_lowerbound.a"
+  "libcsd_lowerbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_lowerbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

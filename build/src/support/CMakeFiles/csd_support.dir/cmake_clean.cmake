@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_support.dir/combinatorics.cpp.o"
+  "CMakeFiles/csd_support.dir/combinatorics.cpp.o.d"
+  "CMakeFiles/csd_support.dir/mathutil.cpp.o"
+  "CMakeFiles/csd_support.dir/mathutil.cpp.o.d"
+  "CMakeFiles/csd_support.dir/rng.cpp.o"
+  "CMakeFiles/csd_support.dir/rng.cpp.o.d"
+  "CMakeFiles/csd_support.dir/table.cpp.o"
+  "CMakeFiles/csd_support.dir/table.cpp.o.d"
+  "libcsd_support.a"
+  "libcsd_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

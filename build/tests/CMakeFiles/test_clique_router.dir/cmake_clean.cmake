@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clique_router.dir/test_clique_router.cpp.o"
+  "CMakeFiles/test_clique_router.dir/test_clique_router.cpp.o.d"
+  "test_clique_router"
+  "test_clique_router.pdb"
+  "test_clique_router[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clique_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

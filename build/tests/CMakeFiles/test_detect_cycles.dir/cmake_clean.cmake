@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detect_cycles.dir/test_detect_cycles.cpp.o"
+  "CMakeFiles/test_detect_cycles.dir/test_detect_cycles.cpp.o.d"
+  "test_detect_cycles"
+  "test_detect_cycles.pdb"
+  "test_detect_cycles[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detect_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_detect_subgraphs.cpp" "tests/CMakeFiles/test_detect_subgraphs.dir/test_detect_subgraphs.cpp.o" "gcc" "tests/CMakeFiles/test_detect_subgraphs.dir/test_detect_subgraphs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tools/CMakeFiles/csd_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/lowerbound/CMakeFiles/csd_lowerbound.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/csd_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/csd_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/info/CMakeFiles/csd_info.dir/DependInfo.cmake"
+  "/root/repo/build/src/congest/CMakeFiles/csd_congest.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/csd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/csd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detect_subgraphs.dir/test_detect_subgraphs.cpp.o"
+  "CMakeFiles/test_detect_subgraphs.dir/test_detect_subgraphs.cpp.o.d"
+  "test_detect_subgraphs"
+  "test_detect_subgraphs.pdb"
+  "test_detect_subgraphs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detect_subgraphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_cli.dir/test_io_cli.cpp.o"
+  "CMakeFiles/test_io_cli.dir/test_io_cli.cpp.o.d"
+  "test_io_cli"
+  "test_io_cli.pdb"
+  "test_io_cli[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

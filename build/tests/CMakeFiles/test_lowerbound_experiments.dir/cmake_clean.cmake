@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lowerbound_experiments.dir/test_lowerbound_experiments.cpp.o"
+  "CMakeFiles/test_lowerbound_experiments.dir/test_lowerbound_experiments.cpp.o.d"
+  "test_lowerbound_experiments"
+  "test_lowerbound_experiments.pdb"
+  "test_lowerbound_experiments[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lowerbound_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

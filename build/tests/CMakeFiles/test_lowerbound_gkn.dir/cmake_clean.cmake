@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lowerbound_gkn.dir/test_lowerbound_gkn.cpp.o"
+  "CMakeFiles/test_lowerbound_gkn.dir/test_lowerbound_gkn.cpp.o.d"
+  "test_lowerbound_gkn"
+  "test_lowerbound_gkn.pdb"
+  "test_lowerbound_gkn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lowerbound_gkn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weighted_cycle.dir/test_weighted_cycle.cpp.o"
+  "CMakeFiles/test_weighted_cycle.dir/test_weighted_cycle.cpp.o.d"
+  "test_weighted_cycle"
+  "test_weighted_cycle.pdb"
+  "test_weighted_cycle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weighted_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_congest[1]_include.cmake")
+include("/root/repo/build/tests/test_detect_cycles[1]_include.cmake")
+include("/root/repo/build/tests/test_lowerbound_gkn[1]_include.cmake")
+include("/root/repo/build/tests/test_detect_subgraphs[1]_include.cmake")
+include("/root/repo/build/tests/test_lowerbound_experiments[1]_include.cmake")
+include("/root/repo/build/tests/test_lowerbound_variants[1]_include.cmake")
+include("/root/repo/build/tests/test_property_sweeps[1]_include.cmake")
+include("/root/repo/build/tests/test_async[1]_include.cmake")
+include("/root/repo/build/tests/test_io_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_simulator_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_primitives[1]_include.cmake")
+include("/root/repo/build/tests/test_clique_router[1]_include.cmake")
+include("/root/repo/build/tests/test_weighted_cycle[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd.dir/main.cpp.o"
+  "CMakeFiles/csd.dir/main.cpp.o.d"
+  "csd"
+  "csd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_cli.dir/cli.cpp.o"
+  "CMakeFiles/csd_cli.dir/cli.cpp.o.d"
+  "libcsd_cli.a"
+  "libcsd_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
