@@ -11,24 +11,22 @@ namespace csd::congest {
 
 namespace {
 
-/// One synchronizer frame on a directed link.
-struct Frame {
-  std::uint64_t pulse = 0;  // bookkeeping only (FIFO already implies it)
-  bool sender_halted = false;
-  std::optional<BitVec> payload;
-
-  std::uint64_t overhead_bits() const { return 2; }  // halted + has_payload
-  std::uint64_t payload_bits() const {
-    return payload.has_value() ? payload->size() : 0;
-  }
-};
-
+/// One wire-level occurrence: a data packet or ack arriving, or a
+/// retransmission timer firing at the sender.
 struct Event {
-  std::uint64_t time;
-  std::uint64_t seq;  // FIFO/determinism tiebreak
-  std::uint32_t dst;
-  std::uint32_t dst_port;
-  Frame frame;
+  enum class Kind : std::uint8_t { Data, Ack, Timer };
+
+  std::uint64_t time = 0;
+  std::uint64_t seq = 0;  // FIFO/determinism tiebreak
+  Kind kind = Kind::Data;
+  // Directed link the event belongs to, sender side: (src, src_port).
+  std::uint32_t src = 0;
+  std::uint32_t src_port = 0;
+  // Receiver side (valid for Data; for Ack it is the original data sender).
+  std::uint32_t dst = 0;
+  std::uint32_t dst_port = 0;
+  std::uint64_t link_seq = 0;  // transport sequence number (Ack/Timer/Data)
+  DataPacket packet;           // Data only (raw mode leaves seq/crc zero)
 };
 
 struct EventLater {
@@ -43,7 +41,8 @@ struct SyncState {
   std::uint64_t local_time = 0;     // virtual time the node last acted
   std::vector<std::deque<Frame>> arrived;  // per port
   std::vector<bool> port_dead;             // sender halted, nothing more
-  bool running = true;  // false once its program halted
+  bool running = true;   // false once halted, crashed, or cap-stopped
+  bool crashed = false;  // fault-injected or program fault
 };
 
 class AsyncEngine {
@@ -52,6 +51,7 @@ class AsyncEngine {
               std::vector<NodeId> ids, const ProgramFactory& factory)
       : topology_(topology),
         config_(config),
+        reliable_(config.transport == TransportMode::Reliable),
         ids_(std::move(ids)),
         delay_rng_(derive_seed(config.seed, 0xde1a)) {
     const Vertex n = topology_.num_vertices();
@@ -61,6 +61,12 @@ class AsyncEngine {
     if (namespace_size == 0) namespace_size = n;
     for (const NodeId id : ids_)
       CSD_CHECK_MSG(id < namespace_size, "identifier outside namespace");
+
+    if (!config_.faults.empty())
+      injector_.emplace(config_.faults, config_.seed, topology_);
+    base_rto_ = config_.transport_cfg.rto != 0
+                    ? config_.transport_cfg.rto
+                    : 2ULL * config_.max_delay + 4;
 
     reverse_port_.resize(n);
     for (Vertex v = 0; v < n; ++v) {
@@ -80,7 +86,8 @@ class AsyncEngine {
     for (Vertex v = 0; v < n; ++v) {
       nodes_.push_back(std::make_unique<detail::NodeState>(
           topology_, v, ids_[v], config_.seed, n, namespace_size,
-          config_.bandwidth, config_.broadcast_only));
+          config_.bandwidth, config_.broadcast_only,
+          &outcome_.faults.violations));
       std::vector<NodeId> neighbor_ids;
       for (const Vertex w : topology_.neighbors(v))
         neighbor_ids.push_back(ids_[w]);
@@ -90,10 +97,20 @@ class AsyncEngine {
       sync_[v].arrived.resize(topology_.degree(v));
       sync_[v].port_dead.assign(topology_.degree(v), false);
     }
-    // FIFO watermark per directed link (indexed by src, src-port).
+    // FIFO watermark per directed link (indexed by src, src-port); acks on
+    // the reverse link share its watermark with that link's data frames.
     link_watermark_.resize(n);
     for (Vertex v = 0; v < n; ++v)
       link_watermark_[v].assign(topology_.degree(v), 0);
+    if (reliable_) {
+      senders_.reserve(n);
+      receivers_.reserve(n);
+      for (Vertex v = 0; v < n; ++v) {
+        senders_.emplace_back(topology_.degree(v),
+                              LinkSender(config_.transport_cfg));
+        receivers_.emplace_back(topology_.degree(v), LinkReceiver());
+      }
+    }
   }
 
   AsyncRunOutcome run() {
@@ -109,38 +126,191 @@ class AsyncEngine {
     while (!events_.empty()) {
       const Event event = events_.top();
       events_.pop();
-      outcome_.virtual_time = std::max(outcome_.virtual_time, event.time);
-      deliver(event);
-      // Cascade: the delivery may have unblocked the destination.
-      while (try_execute(event.dst)) {
+      switch (event.kind) {
+        case Event::Kind::Data:
+          outcome_.virtual_time = std::max(outcome_.virtual_time, event.time);
+          deliver_data(event);
+          // Cascade: the delivery may have unblocked the destination.
+          while (try_execute(event.dst)) {
+          }
+          break;
+        case Event::Kind::Ack:
+          outcome_.virtual_time = std::max(outcome_.virtual_time, event.time);
+          if (!sync_[event.src].crashed)
+            senders_[event.src][event.src_port].on_ack(event.link_seq);
+          break;
+        case Event::Kind::Timer:
+          handle_timer(event);
+          break;
       }
-      if (halted_count_ == topology_.num_vertices()) break;
+      if (stopped_count_ == topology_.num_vertices()) break;
       if (pulse_cap_hit_) break;
     }
 
-    outcome_.completed = halted_count_ == topology_.num_vertices();
-    outcome_.verdicts.reserve(topology_.num_vertices());
-    for (const auto& node : nodes_) {
+    const Vertex n = topology_.num_vertices();
+    outcome_.completed = halted_count_ == n;
+    outcome_.verdicts.reserve(n);
+    for (Vertex v = 0; v < n; ++v) {
+      const auto& node = nodes_[v];
       outcome_.verdicts.push_back(node->verdict());
       if (node->verdict() == Verdict::Reject) outcome_.detected = true;
+      if (!sync_[v].crashed && node->verdict() == Verdict::Reject)
+        outcome_.faults.detected_by_survivors = true;
+      if (!sync_[v].crashed && !node->halted())
+        outcome_.faults.stalled_nodes.push_back(v);
     }
     return outcome_;
   }
 
  private:
-  void deliver(const Event& event) {
-    auto& sync = sync_[event.dst];
-    if (event.frame.sender_halted)
-      sync.port_dead[event.dst_port] = true;  // after this frame
-    sync.arrived[event.dst_port].push_back(event.frame);
-    sync_[event.dst].local_time =
-        std::max(sync_[event.dst].local_time, event.time);
+  // ----------------------------------------------------------- wire layer --
+  std::uint64_t fresh_delay() {
+    return 1 + delay_rng_.below(config_.max_delay);
   }
 
-  /// Frame for pulse p of dst available (or the port is permanently dead
-  /// with no buffered frames, i.e. the sender halted in an earlier pulse)?
+  void push_event(Event event) {
+    event.seq = next_event_seq_++;
+    events_.push(std::move(event));
+  }
+
+  /// Apply link faults to a packet about to go on the wire. Returns false
+  /// if the transmission is dropped; flips one payload bit on corruption.
+  bool survive_faults(std::uint32_t src, std::uint32_t port,
+                      DataPacket& packet) {
+    if (!injector_.has_value()) return true;
+    const auto fate =
+        injector_->next_fate(src, port, packet.frame.payload_bits());
+    if (fate.dropped) {
+      ++outcome_.faults.frames_dropped;
+      return false;
+    }
+    if (fate.corrupted) {
+      ++outcome_.faults.frames_corrupted;
+      packet.frame.payload->flip(fate.corrupt_bit);
+    }
+    return true;
+  }
+
+  /// Schedule the arrival of `packet` on the directed link (src, port) for
+  /// a transmission happening at `now`. FIFO watermark per link.
+  void transmit(std::uint32_t src, std::uint32_t port, DataPacket packet,
+                std::uint64_t now) {
+    if (!survive_faults(src, port, packet)) return;
+    std::uint64_t when = now + fresh_delay();
+    when = std::max(when, link_watermark_[src][port] + 1);
+    link_watermark_[src][port] = when;
+    Event event;
+    event.time = when;
+    event.kind = Event::Kind::Data;
+    event.src = src;
+    event.src_port = port;
+    event.dst = topology_.neighbors(src)[port];
+    event.dst_port = reverse_port_[src][port];
+    event.link_seq = packet.seq;
+    event.packet = std::move(packet);
+    push_event(std::move(event));
+  }
+
+  void arm_timer(std::uint32_t src, std::uint32_t port, std::uint64_t seq,
+                 std::uint64_t now) {
+    Event event;
+    event.time = now + senders_[src][port].timeout_for(seq, base_rto_);
+    event.kind = Event::Kind::Timer;
+    event.src = src;
+    event.src_port = port;
+    event.link_seq = seq;
+    push_event(std::move(event));
+  }
+
+  void send_ack(std::uint32_t dst, std::uint32_t dst_port, std::uint64_t seq,
+                std::uint64_t now, std::uint32_t data_src,
+                std::uint32_t data_src_port) {
+    ++outcome_.acks;
+    outcome_.transport_bits +=
+        config_.transport_cfg.seq_bits + config_.transport_cfg.crc_bits;
+    // The ack travels on the reverse directed link (dst, dst_port) and is
+    // subject to the same drop process; it carries no payload, so the
+    // corruption draw never fires (CRC-protected header abstracted away).
+    if (injector_.has_value()) {
+      const auto fate = injector_->next_fate(dst, dst_port, 0);
+      if (fate.dropped) {
+        ++outcome_.faults.frames_dropped;
+        return;
+      }
+    }
+    std::uint64_t when = now + fresh_delay();
+    when = std::max(when, link_watermark_[dst][dst_port] + 1);
+    link_watermark_[dst][dst_port] = when;
+    Event event;
+    event.time = when;
+    event.kind = Event::Kind::Ack;
+    event.src = data_src;  // the node whose sender awaits this ack
+    event.src_port = data_src_port;
+    event.link_seq = seq;
+    push_event(std::move(event));
+  }
+
+  void deliver_data(const Event& event) {
+    if (reliable_) {
+      auto accept = receivers_[event.dst][event.dst_port].on_data(event.packet);
+      if (accept.checksum_reject) {
+        ++outcome_.faults.checksum_rejects;
+        return;
+      }
+      if (accept.send_ack)
+        send_ack(event.dst, event.dst_port, accept.ack_seq, event.time,
+                 event.src, event.src_port);
+      if (accept.duplicate) {
+        ++outcome_.faults.duplicate_packets;
+        return;
+      }
+      for (Frame& frame : accept.deliver)
+        deliver_frame(event.dst, event.dst_port, std::move(frame), event.time);
+    } else {
+      deliver_frame(event.dst, event.dst_port, Frame(event.packet.frame),
+                    event.time);
+    }
+  }
+
+  void deliver_frame(std::uint32_t dst, std::uint32_t port, Frame frame,
+                     std::uint64_t time) {
+    auto& sync = sync_[dst];
+    if (frame.sender_halted) sync.port_dead[port] = true;  // after this frame
+    sync.arrived[port].push_back(std::move(frame));
+    sync.local_time = std::max(sync.local_time, time);
+  }
+
+  void handle_timer(const Event& event) {
+    if (sync_[event.src].crashed) return;  // a crash kills the transport too
+    auto& sender = senders_[event.src][event.src_port];
+    switch (sender.on_timeout(event.link_seq)) {
+      case LinkSender::TimeoutAction::Settled:
+        return;
+      case LinkSender::TimeoutAction::GiveUp:
+        ++outcome_.faults.transport_failures;
+        return;
+      case LinkSender::TimeoutAction::Retransmit: {
+        DataPacket packet = sender.retransmit_packet(event.link_seq);
+        ++outcome_.faults.retransmissions;
+        outcome_.transport_bits += packet.frame.overhead_bits() +
+                                   config_.transport_cfg.seq_bits +
+                                   packet.frame.payload_bits() +
+                                   config_.transport_cfg.crc_bits;
+        transmit(event.src, event.src_port, std::move(packet), event.time);
+        arm_timer(event.src, event.src_port, event.link_seq, event.time);
+        return;
+      }
+    }
+  }
+
+  // ---------------------------------------------------------- synchronizer --
+  /// Frame for the pulse dst is waiting on available (or the port is
+  /// permanently dead with no buffered frames: the sender halted earlier)?
+  /// Under raw faulty links a dropped frame leaves a pulse gap at the head
+  /// of the queue — the port is then starved forever and the node stalls.
   bool port_ready(const SyncState& sync, std::uint32_t port) const {
-    if (!sync.arrived[port].empty()) return true;
+    const auto& queue = sync.arrived[port];
+    if (!queue.empty()) return queue.front().pulse + 1 == sync.pulse;
     return sync.port_dead[port];
   }
 
@@ -153,10 +323,26 @@ class AsyncEngine {
     return true;
   }
 
+  void crash_node(Vertex v) {
+    auto& sync = sync_[v];
+    sync.running = false;
+    sync.crashed = true;
+    nodes_[v]->discard_outbox();
+    outcome_.faults.crashed_nodes.push_back(v);
+    ++stopped_count_;
+  }
+
   void execute_pulse(Vertex v) {
     auto& sync = sync_[v];
     auto& node = *nodes_[v];
     CSD_CHECK(sync.running);
+    if (injector_.has_value()) {
+      if (const auto when = injector_->crash_round(v);
+          when.has_value() && sync.pulse >= *when) {
+        crash_node(v);
+        return;
+      }
+    }
     if (sync.pulse >= config_.max_pulses) {
       pulse_cap_hit_ = true;
       sync.running = false;
@@ -178,11 +364,26 @@ class AsyncEngine {
     }
 
     node.begin_round(sync.pulse);
-    programs_[v]->on_round(node);
+    if (injector_.has_value()) {
+      // Graceful degradation under fault injection: a program that throws
+      // (typically a wire decode of a corrupted payload) becomes a crashed
+      // node, not a crashed process. Without faults, fail fast.
+      try {
+        programs_[v]->on_round(node);
+      } catch (const CheckFailure& failure) {
+        outcome_.faults.violations.push_back(
+            {ViolationKind::ProgramFault, v, sync.pulse, failure.what()});
+        crash_node(v);
+        return;
+      }
+    } else {
+      programs_[v]->on_round(node);
+    }
     outcome_.pulses = std::max(outcome_.pulses, sync.pulse + 1);
 
     // Emit this pulse's frames (exactly one per port), with jittered FIFO
-    // delivery times.
+    // delivery times; under the reliable transport each frame becomes a
+    // sequenced, CRC-protected, retransmittable packet.
     const bool node_halted = node.halted();
     for (std::uint32_t p = 0; p < sync.arrived.size(); ++p) {
       Frame frame;
@@ -196,33 +397,46 @@ class AsyncEngine {
       outcome_.payload_bits += frame.payload_bits();
       outcome_.overhead_bits += frame.overhead_bits();
       ++outcome_.frames;
-      const std::uint64_t delay = 1 + delay_rng_.below(config_.max_delay);
-      std::uint64_t when = sync.local_time + delay;
-      when = std::max(when, link_watermark_[v][p] + 1);  // FIFO per link
-      link_watermark_[v][p] = when;
-      events_.push(Event{when, next_seq_++, topology_.neighbors(v)[p],
-                         reverse_port_[v][p], std::move(frame)});
+      if (reliable_) {
+        DataPacket packet = senders_[v][p].packet(std::move(frame));
+        outcome_.transport_bits +=
+            config_.transport_cfg.seq_bits + config_.transport_cfg.crc_bits;
+        const std::uint64_t seq = packet.seq;
+        transmit(v, p, std::move(packet), sync.local_time);
+        arm_timer(v, p, seq, sync.local_time);
+      } else {
+        DataPacket packet;
+        packet.frame = std::move(frame);
+        transmit(v, p, std::move(packet), sync.local_time);
+      }
     }
 
     ++sync.pulse;
     if (node_halted) {
       sync.running = false;
       ++halted_count_;
+      ++stopped_count_;
     }
   }
 
   Graph topology_;
   AsyncConfig config_;
+  bool reliable_;
   std::vector<NodeId> ids_;
   Rng delay_rng_;
+  std::optional<FaultInjector> injector_;
+  std::uint64_t base_rto_ = 0;
   std::vector<std::vector<std::uint32_t>> reverse_port_;
   std::vector<std::vector<std::uint64_t>> link_watermark_;
   std::vector<std::unique_ptr<detail::NodeState>> nodes_;
   std::vector<std::unique_ptr<NodeProgram>> programs_;
   std::vector<SyncState> sync_;
+  std::vector<std::vector<LinkSender>> senders_;      // reliable mode only
+  std::vector<std::vector<LinkReceiver>> receivers_;  // reliable mode only
   std::priority_queue<Event, std::vector<Event>, EventLater> events_;
-  std::uint64_t next_seq_ = 0;
-  Vertex halted_count_ = 0;
+  std::uint64_t next_event_seq_ = 0;
+  Vertex halted_count_ = 0;   // gracefully halted
+  Vertex stopped_count_ = 0;  // halted or crashed
   bool pulse_cap_hit_ = false;
   AsyncRunOutcome outcome_;
 };

@@ -13,11 +13,28 @@
 //
 // This justifies studying the paper's algorithms on the synchronous
 // simulator: nothing in their behaviour depends on timing.
+//
+// Links may additionally be *faulty* (congest/faults.hpp): seeded frame
+// drops, payload bit-flips, and node crashes. Two wire disciplines:
+//   * TransportMode::Raw — faults hit the synchronizer directly. A dropped
+//     frame starves its destination port (the node stalls; the event queue
+//     drains and the run ends with the stall recorded — no hang), and a
+//     corrupted payload reaches the program (a program that throws on it
+//     is recorded as crashed).
+//   * TransportMode::Reliable — the ARQ transport (congest/transport.hpp)
+//     sits under the synchronizer: CRC-checked, acked, retransmitted
+//     packets restore exact FIFO semantics, so verdicts and payload bits
+//     match the synchronous engine bit-for-bit even on heavily faulty
+//     links. Transport overhead (seq + CRC fields, acks, retransmissions)
+//     is accounted separately in transport_bits and never pollutes the
+//     CONGEST payload accounting.
 #pragma once
 
 #include <cstdint>
 
+#include "congest/faults.hpp"
 #include "congest/network.hpp"
+#include "congest/transport.hpp"
 
 namespace csd::congest {
 
@@ -34,6 +51,11 @@ struct AsyncConfig {
   bool broadcast_only = false;
   /// Each frame's link delay is drawn uniformly from [1, max_delay].
   std::uint32_t max_delay = 8;
+  /// Fault environment (drops, corruption, crashes). Empty = fault-free.
+  FaultPlan faults;
+  /// Wire discipline; Reliable restores exact semantics under faults.
+  TransportMode transport = TransportMode::Raw;
+  TransportConfig transport_cfg;
 };
 
 struct AsyncRunOutcome {
@@ -44,11 +66,20 @@ struct AsyncRunOutcome {
   std::uint64_t pulses = 0;
   /// Virtual time of the last delivery (event-queue clock).
   std::uint64_t virtual_time = 0;
-  /// Program payload bits (comparable to the synchronous metrics).
+  /// Program payload bits (comparable to the synchronous metrics). Counted
+  /// once per frame when the synchronizer hands it to the wire; drops and
+  /// retransmissions never change it.
   std::uint64_t payload_bits = 0;
   /// Synchronizer framing overhead in bits (2 per frame).
   std::uint64_t overhead_bits = 0;
   std::uint64_t frames = 0;
+  /// Reliable-transport overhead in bits: seq + CRC fields on first
+  /// transmissions, full packets for retransmissions, and ack packets.
+  std::uint64_t transport_bits = 0;
+  /// Ack packets sent by the reliable transport.
+  std::uint64_t acks = 0;
+  /// Structured fault/violation account (see congest/faults.hpp).
+  FaultReport faults;
 };
 
 /// Run `factory`'s programs over `topology` asynchronously under the frame

@@ -1,0 +1,99 @@
+#include "congest/faults.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace csd::congest {
+
+const char* to_string(ViolationKind kind) noexcept {
+  switch (kind) {
+    case ViolationKind::Bandwidth:
+      return "bandwidth";
+    case ViolationKind::DuplicateSend:
+      return "duplicate-send";
+    case ViolationKind::BroadcastMismatch:
+      return "broadcast-mismatch";
+    case ViolationKind::ProgramFault:
+      return "program-fault";
+  }
+  return "?";
+}
+
+std::string summarize(const FaultReport& report) {
+  std::ostringstream os;
+  os << "frames dropped:     " << report.frames_dropped << '\n'
+     << "frames corrupted:   " << report.frames_corrupted << '\n'
+     << "retransmissions:    " << report.retransmissions << '\n'
+     << "checksum rejects:   " << report.checksum_rejects << '\n'
+     << "duplicate packets:  " << report.duplicate_packets << '\n'
+     << "transport failures: " << report.transport_failures << '\n';
+  os << "crashed nodes:     ";
+  if (report.crashed_nodes.empty()) os << " none";
+  for (const auto v : report.crashed_nodes) os << ' ' << v;
+  os << '\n' << "stalled nodes:     ";
+  if (report.stalled_nodes.empty()) os << " none";
+  for (const auto v : report.stalled_nodes) os << ' ' << v;
+  os << '\n' << "violations:         " << report.violations.size();
+  for (const auto& violation : report.violations)
+    os << "\n  [" << to_string(violation.kind) << "] node " << violation.node
+       << " round " << violation.round << ": " << violation.detail;
+  os << '\n'
+     << "survivors detect:   "
+     << (report.detected_by_survivors ? "REJECT" : "accept") << '\n';
+  return os.str();
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t seed,
+                             const Graph& topology)
+    : plan_(plan) {
+  CSD_CHECK_MSG(plan_.drop >= 0.0 && plan_.drop <= 1.0,
+                "drop probability " << plan_.drop << " outside [0, 1]");
+  CSD_CHECK_MSG(plan_.corrupt >= 0.0 && plan_.corrupt <= 1.0,
+                "corrupt probability " << plan_.corrupt << " outside [0, 1]");
+  const Vertex n = topology.num_vertices();
+  link_rng_.resize(n);
+  for (Vertex v = 0; v < n; ++v) {
+    const auto deg = topology.degree(v);
+    link_rng_[v].reserve(deg);
+    for (std::uint32_t p = 0; p < deg; ++p)
+      link_rng_[v].emplace_back(derive_seed(
+          derive_seed(seed, 0xfa017ULL), (static_cast<std::uint64_t>(v) << 20) | p));
+  }
+  crash_round_.resize(n);
+  for (const auto& crash : plan_.crashes) {
+    CSD_CHECK_MSG(crash.node < n,
+                  "crash event names node " << crash.node << " but the "
+                  "topology has " << n << " nodes");
+    auto& slot = crash_round_[crash.node];
+    if (!slot.has_value() || crash.round < *slot) slot = crash.round;
+  }
+}
+
+FaultInjector::Fate FaultInjector::next_fate(std::uint32_t src,
+                                             std::uint32_t port,
+                                             std::size_t payload_bits) {
+  CSD_DCHECK(src < link_rng_.size());
+  CSD_DCHECK(port < link_rng_[src].size());
+  Rng& rng = link_rng_[src][port];
+  // Always make the same three draws so the stream position after the i-th
+  // transmission is independent of earlier fates.
+  const double drop_draw = rng.uniform();
+  const double corrupt_draw = rng.uniform();
+  const std::uint64_t bit_draw = rng();
+  Fate fate;
+  fate.dropped = drop_draw < plan_.drop;
+  if (!fate.dropped && payload_bits > 0 && corrupt_draw < plan_.corrupt) {
+    fate.corrupted = true;
+    fate.corrupt_bit = static_cast<std::size_t>(bit_draw % payload_bits);
+  }
+  return fate;
+}
+
+std::optional<std::uint64_t> FaultInjector::crash_round(
+    std::uint32_t node) const {
+  CSD_DCHECK(node < crash_round_.size());
+  return crash_round_[node];
+}
+
+}  // namespace csd::congest

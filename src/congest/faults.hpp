@@ -1,0 +1,157 @@
+// Deterministic fault injection for the CONGEST engines.
+//
+// A FaultPlan describes an adversarial-but-reproducible environment: every
+// transmission on a directed link may be dropped or have one payload bit
+// flipped, and nodes may crash at a scheduled round. All randomness is
+// derived from the run seed with one independent stream per directed link,
+// consumed once per transmission in link-FIFO order, so the fate of the
+// i-th transmission on a link is a pure function of (seed, link, i) — the
+// same plan over the same seed yields the same FaultReport on every run,
+// on either engine.
+//
+// Faults never abort the process. Instead of the historical throw-on-
+// violation behavior, both engines degrade gracefully and record what
+// happened in a structured FaultReport carried on the run outcome:
+// protocol violations (bandwidth overruns, duplicate sends, broadcast-mode
+// mismatches), crashed nodes (scheduled crashes and program faults on
+// corrupted input), stalled nodes (live but starved of frames), and the
+// reliable-transport counters (retransmissions, checksum rejects, link
+// failures).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/bitvec.hpp"
+#include "support/rng.hpp"
+
+namespace csd::congest {
+
+/// Crash node (topology index) at the start of `round`: the node executes
+/// rounds < `round` normally, then falls silent forever — unlike a graceful
+/// halt, no "I am done" frame is emitted, so neighbors cannot tell a crashed
+/// peer from a slow one.
+struct CrashEvent {
+  std::uint32_t node = 0;
+  std::uint64_t round = 0;
+
+  friend bool operator==(const CrashEvent&, const CrashEvent&) = default;
+};
+
+/// The fault environment of one run. Default-constructed = fault-free.
+struct FaultPlan {
+  /// Probability that a transmission is dropped on the wire.
+  double drop = 0.0;
+  /// Probability that a transmission has one uniformly random payload bit
+  /// flipped (frames without payload cannot be corrupted).
+  double corrupt = 0.0;
+  /// Scheduled crash-at-round events (at most one per node is honored; the
+  /// earliest wins).
+  std::vector<CrashEvent> crashes;
+
+  bool has_link_faults() const noexcept { return drop > 0.0 || corrupt > 0.0; }
+  bool empty() const noexcept { return !has_link_faults() && crashes.empty(); }
+};
+
+/// What went wrong, where. Violations replace the old throw-on-violation
+/// behavior of the engines: the offending send is clamped (see network.hpp)
+/// and the run continues with a diagnosable outcome.
+enum class ViolationKind : std::uint8_t {
+  /// Message exceeded the per-edge bandwidth; payload truncated to B bits.
+  Bandwidth,
+  /// Second send on one port in one round; the later send is ignored.
+  DuplicateSend,
+  /// broadcast_only mode saw two different payloads in one round; the send
+  /// is honored anyway and the mismatch recorded.
+  BroadcastMismatch,
+  /// The node program threw while processing its inbox (typically a wire
+  /// decode of a corrupted payload); the node is marked crashed.
+  ProgramFault,
+};
+
+const char* to_string(ViolationKind kind) noexcept;
+
+struct ProtocolViolation {
+  ViolationKind kind = ViolationKind::Bandwidth;
+  std::uint32_t node = 0;   // topology index
+  std::uint64_t round = 0;  // round (sync) / pulse (async)
+  std::string detail;
+
+  friend bool operator==(const ProtocolViolation&,
+                         const ProtocolViolation&) = default;
+};
+
+/// Structured account of every fault observed in a run. Equality-comparable
+/// so determinism (same seed -> same report) is directly assertable.
+struct FaultReport {
+  // Link-level events (both engines).
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t frames_corrupted = 0;
+
+  // Reliable-transport counters (async engine, TransportMode::Reliable).
+  std::uint64_t retransmissions = 0;
+  std::uint64_t checksum_rejects = 0;   // corrupted packets caught by CRC
+  std::uint64_t duplicate_packets = 0;  // retransmit raced a late ack
+  std::uint64_t transport_failures = 0; // packets that exhausted retries
+
+  /// Nodes that crashed (scheduled crash or program fault), in crash order.
+  std::vector<std::uint32_t> crashed_nodes;
+  /// Nodes still live but unhalted when the run ended — starved of frames
+  /// by drops or crashed neighbors, or cut off by the round/pulse cap —
+  /// in index order.
+  std::vector<std::uint32_t> stalled_nodes;
+  /// Clamped protocol violations, in occurrence order.
+  std::vector<ProtocolViolation> violations;
+
+  /// OR of Verdict::Reject over nodes that did NOT crash — the answer the
+  /// surviving network actually reports.
+  bool detected_by_survivors = false;
+
+  bool clean() const noexcept {
+    return frames_dropped == 0 && frames_corrupted == 0 &&
+           retransmissions == 0 && checksum_rejects == 0 &&
+           duplicate_packets == 0 && transport_failures == 0 &&
+           crashed_nodes.empty() && stalled_nodes.empty() &&
+           violations.empty();
+  }
+
+  friend bool operator==(const FaultReport&, const FaultReport&) = default;
+};
+
+/// Render a one-line-per-field human summary (used by the CLI).
+std::string summarize(const FaultReport& report);
+
+/// Draws fault fates deterministically. One RNG stream per directed link
+/// (src, src-port), advanced a fixed number of times per transmission, so
+/// fates are independent of event interleaving and of each other.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, std::uint64_t seed,
+                const Graph& topology);
+
+  /// Fate of the next transmission on the directed link (src, port).
+  /// `payload_bits` sizes the corrupt-bit draw; frames with no payload are
+  /// never corrupted. Advances the link stream.
+  struct Fate {
+    bool dropped = false;
+    bool corrupted = false;
+    std::size_t corrupt_bit = 0;  // valid iff corrupted
+  };
+  Fate next_fate(std::uint32_t src, std::uint32_t port,
+                 std::size_t payload_bits);
+
+  /// Round at which `node` is scheduled to crash, if any.
+  std::optional<std::uint64_t> crash_round(std::uint32_t node) const;
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  std::vector<std::vector<Rng>> link_rng_;  // [src][port]
+  std::vector<std::optional<std::uint64_t>> crash_round_;
+};
+
+}  // namespace csd::congest

@@ -48,6 +48,9 @@ RunOutcome Network::run(const ProgramFactory& factory) {
                   "identifier " << id << " outside namespace ["
                                 << namespace_size << ")");
 
+  RunOutcome outcome;
+  outcome.metrics.bits_sent_by_node.assign(n, 0);
+
   std::vector<std::unique_ptr<NodeState>> nodes;
   std::vector<std::unique_ptr<NodeProgram>> programs;
   nodes.reserve(n);
@@ -55,7 +58,8 @@ RunOutcome Network::run(const ProgramFactory& factory) {
   for (Vertex v = 0; v < n; ++v) {
     nodes.push_back(std::make_unique<NodeState>(
         topology_, v, ids_[v], config_.seed, n, namespace_size,
-        config_.bandwidth, config_.broadcast_only));
+        config_.bandwidth, config_.broadcast_only,
+        &outcome.faults.violations));
     std::vector<NodeId> neighbor_ids;
     for (const Vertex w : topology_.neighbors(v))
       neighbor_ids.push_back(ids_[w]);
@@ -64,23 +68,52 @@ RunOutcome Network::run(const ProgramFactory& factory) {
     CSD_CHECK_MSG(programs.back() != nullptr, "factory returned null program");
   }
 
-  RunOutcome outcome;
-  outcome.metrics.bits_sent_by_node.assign(n, 0);
+  const bool faulty = !config_.faults.empty();
+  std::optional<FaultInjector> injector;
+  if (faulty) injector.emplace(config_.faults, config_.seed, topology_);
+  std::vector<bool> crashed(n, false);
+  const auto crash = [&](Vertex v) {
+    crashed[v] = true;
+    nodes[v]->discard_outbox();
+    outcome.faults.crashed_nodes.push_back(v);
+  };
 
   std::uint64_t round = 0;
   for (; round < config_.max_rounds; ++round) {
-    bool all_halted = true;
+    bool all_stopped = true;
     for (Vertex v = 0; v < n; ++v) {
-      if (nodes[v]->halted()) continue;
-      all_halted = false;
+      if (nodes[v]->halted() || crashed[v]) continue;
+      if (faulty) {
+        if (const auto when = injector->crash_round(v);
+            when.has_value() && round >= *when) {
+          crash(v);
+          continue;
+        }
+      }
+      all_stopped = false;
       nodes[v]->begin_round(round);
-      programs[v]->on_round(*nodes[v]);
+      if (faulty) {
+        // Graceful degradation: a program that throws (typically a wire
+        // decode of a corrupted payload) becomes a crashed node, not a
+        // crashed process. Without faults, programming errors still
+        // propagate — fail fast.
+        try {
+          programs[v]->on_round(*nodes[v]);
+        } catch (const CheckFailure& failure) {
+          outcome.faults.violations.push_back(
+              {ViolationKind::ProgramFault, v, round, failure.what()});
+          crash(v);
+        }
+      } else {
+        programs[v]->on_round(*nodes[v]);
+      }
     }
-    if (all_halted) break;
+    if (all_stopped) break;
 
     // Deliver: outboxes of this round become inboxes of the next.
     for (Vertex v = 0; v < n; ++v) nodes[v]->clear_inbox();
     for (Vertex v = 0; v < n; ++v) {
+      if (crashed[v]) continue;
       const auto nbrs = topology_.neighbors(v);
       for (std::uint32_t p = 0; p < nbrs.size(); ++p) {
         auto& slot = nodes[v]->outbox(p);
@@ -97,6 +130,17 @@ RunOutcome Network::run(const ProgramFactory& factory) {
           outcome.transcript.push_back({round, v, nbrs[p], payload});
         if (config_.on_message)
           config_.on_message(round, v, nbrs[p], payload.size());
+        if (faulty) {
+          const auto fate = injector->next_fate(v, p, payload.size());
+          if (fate.dropped) {
+            ++outcome.faults.frames_dropped;
+            continue;
+          }
+          if (fate.corrupted) {
+            ++outcome.faults.frames_corrupted;
+            payload.flip(fate.corrupt_bit);
+          }
+        }
         nodes[nbrs[p]]->deliver(reverse_port[v][p], std::move(payload));
       }
     }
@@ -110,6 +154,10 @@ RunOutcome Network::run(const ProgramFactory& factory) {
   for (Vertex v = 0; v < n; ++v) {
     outcome.verdicts.push_back(nodes[v]->verdict());
     if (nodes[v]->verdict() == Verdict::Reject) outcome.detected = true;
+    if (!crashed[v] && nodes[v]->verdict() == Verdict::Reject)
+      outcome.faults.detected_by_survivors = true;
+    if (!crashed[v] && !nodes[v]->halted())
+      outcome.faults.stalled_nodes.push_back(v);
   }
   return outcome;
 }

@@ -6,6 +6,24 @@
 //   * at most B bits per message (config.bandwidth; 0 = LOCAL model),
 // and it accounts every bit sent. Optionally it records a full transcript
 // (round, src, dst, payload) — the raw material of the §4 fooling argument.
+//
+// Protocol violations degrade gracefully instead of aborting the run.
+// Historically the engines threw CheckFailure on any model violation (and
+// release builds were left with whatever verdict the partial run produced);
+// both engines now share one structured path — the violation is *clamped*
+// and recorded in RunOutcome::faults:
+//   * bandwidth overrun      -> payload truncated to B bits, recorded;
+//   * duplicate send on port -> second send ignored, recorded;
+//   * broadcast-only mismatch-> send honored as-is, recorded.
+// API misuse that cannot be clamped (port out of range, send after halt,
+// identifiers outside the namespace) still throws CheckFailure.
+//
+// A NetworkConfig may also carry a FaultPlan (congest/faults.hpp): seeded
+// per-link frame drops, payload bit-flips, and node crash-at-round events.
+// Under faults the run still terminates (round cap at worst) and the
+// outcome's FaultReport describes exactly what happened; a node program
+// that throws while decoding a corrupted payload is marked crashed rather
+// than taking the process down.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "congest/faults.hpp"
 #include "congest/program.hpp"
 #include "graph/graph.hpp"
 #include "support/bitvec.hpp"
@@ -43,6 +62,10 @@ struct NetworkConfig {
   std::function<void(std::uint64_t round, std::uint32_t src, std::uint32_t dst,
                      std::uint64_t bits)>
       on_message;
+  /// Fault environment (drops, corruption, crashes). Empty = fault-free.
+  /// Metrics and transcripts account what the sender put on the wire;
+  /// corruption is applied after accounting, before delivery.
+  FaultPlan faults;
 };
 
 /// One recorded message (only populated when record_transcript is set).
@@ -65,7 +88,8 @@ struct RunMetrics {
 };
 
 struct RunOutcome {
-  /// True iff every node halted before max_rounds.
+  /// True iff every node halted gracefully before max_rounds (a crashed
+  /// node never counts as halted).
   bool completed = false;
   /// Verdict per node (topology index). Global answer below.
   std::vector<Verdict> verdicts;
@@ -73,6 +97,9 @@ struct RunOutcome {
   bool detected = false;
   RunMetrics metrics;
   std::vector<TranscriptEntry> transcript;
+  /// Structured fault/violation account; FaultReport::clean() on a healthy
+  /// run. See congest/faults.hpp.
+  FaultReport faults;
 };
 
 /// Synchronous simulator over a fixed topology and identifier assignment.

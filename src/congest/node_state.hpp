@@ -4,8 +4,10 @@
 #pragma once
 
 #include <optional>
+#include <sstream>
 #include <vector>
 
+#include "congest/faults.hpp"
 #include "congest/program.hpp"
 #include "graph/graph.hpp"
 #include "support/check.hpp"
@@ -14,10 +16,12 @@ namespace csd::congest::detail {
 
 class NodeState final : public NodeApi {
  public:
+  /// `violations` (owned by the engine, non-null) receives clamped protocol
+  /// violations; see network.hpp for the clamping semantics.
   NodeState(const Graph& topology, Vertex index, NodeId node_id,
             std::uint64_t run_seed, std::uint64_t network_size,
             std::uint64_t namespace_size, std::uint64_t bandwidth,
-            bool broadcast_only)
+            bool broadcast_only, std::vector<ProtocolViolation>* violations)
       : topology_(topology),
         index_(index),
         id_(node_id),
@@ -25,7 +29,9 @@ class NodeState final : public NodeApi {
         namespace_size_(namespace_size),
         bandwidth_(bandwidth),
         broadcast_only_(broadcast_only),
+        violations_(violations),
         rng_(derive_seed(run_seed, index)) {
+    CSD_CHECK(violations_ != nullptr);
     const auto deg = topology.degree(index);
     inbox_.resize(deg);
     outbox_.resize(deg);
@@ -51,16 +57,26 @@ class NodeState final : public NodeApi {
   void send(std::uint32_t port, BitVec payload) override {
     CSD_CHECK_MSG(!halted_, "halted node cannot send");
     CSD_CHECK_MSG(port < degree(), "send: port out of range");
-    CSD_CHECK_MSG(bandwidth_ == 0 || payload.size() <= bandwidth_,
-                  "message of " << payload.size()
-                                << " bits exceeds bandwidth " << bandwidth_);
-    CSD_CHECK_MSG(!outbox_[port].has_value(),
-                  "two sends on port " << port << " in one round");
+    if (bandwidth_ != 0 && payload.size() > bandwidth_) {
+      std::ostringstream detail;
+      detail << "message of " << payload.size() << " bits exceeds bandwidth "
+             << bandwidth_ << "; truncated";
+      record_violation(ViolationKind::Bandwidth, detail.str());
+      payload.truncate(bandwidth_);
+    }
+    if (outbox_[port].has_value()) {
+      std::ostringstream detail;
+      detail << "two sends on port " << port << " in one round; second send "
+             << "ignored";
+      record_violation(ViolationKind::DuplicateSend, detail.str());
+      return;
+    }
     if (broadcast_only_) {
       if (round_payload_.has_value()) {
-        CSD_CHECK_MSG(*round_payload_ == payload,
-                      "broadcast-only CONGEST: all messages in a round must "
-                      "be identical");
+        if (!(*round_payload_ == payload))
+          record_violation(ViolationKind::BroadcastMismatch,
+                           "broadcast-only CONGEST: all messages in a round "
+                           "must be identical");
       } else {
         round_payload_ = payload;
       }
@@ -93,11 +109,19 @@ class NodeState final : public NodeApi {
     inbox_[port] = std::move(payload);
   }
   std::optional<BitVec>& outbox(std::uint32_t port) { return outbox_[port]; }
+  void discard_outbox() {
+    for (auto& slot : outbox_) slot.reset();
+  }
   bool halted() const { return halted_; }
   Verdict verdict() const { return verdict_; }
   Vertex index() const { return index_; }
 
  private:
+  void record_violation(ViolationKind kind, std::string detail) {
+    violations_->push_back(
+        {kind, static_cast<std::uint32_t>(index_), round_, std::move(detail)});
+  }
+
   const Graph& topology_;
   Vertex index_;
   NodeId id_;
@@ -105,6 +129,7 @@ class NodeState final : public NodeApi {
   std::uint64_t namespace_size_;
   std::uint64_t bandwidth_;
   bool broadcast_only_;
+  std::vector<ProtocolViolation>* violations_;
   Rng rng_;
   std::optional<BitVec> round_payload_;
   std::uint64_t round_ = 0;

@@ -1,0 +1,81 @@
+#include "congest/transport.hpp"
+
+#include "support/check.hpp"
+#include "support/crc.hpp"
+
+namespace csd::congest {
+
+std::uint32_t packet_checksum(std::uint64_t seq, const Frame& frame) {
+  Crc32 crc;
+  crc.bits(seq, 64);
+  crc.bit(frame.sender_halted);
+  crc.bit(frame.payload.has_value());
+  if (frame.payload.has_value()) crc.raw(*frame.payload);
+  return crc.value();
+}
+
+DataPacket LinkSender::packet(Frame frame) {
+  DataPacket packet;
+  packet.seq = next_seq_++;
+  packet.crc = packet_checksum(packet.seq, frame);
+  packet.frame = frame;
+  pending_.emplace(packet.seq, Pending{std::move(frame), packet.crc, 1});
+  return packet;
+}
+
+bool LinkSender::on_ack(std::uint64_t seq) {
+  return pending_.erase(seq) != 0;
+}
+
+LinkSender::TimeoutAction LinkSender::on_timeout(std::uint64_t seq) {
+  const auto it = pending_.find(seq);
+  if (it == pending_.end()) return TimeoutAction::Settled;
+  if (it->second.attempts > config_.max_retries) {
+    pending_.erase(it);
+    return TimeoutAction::GiveUp;
+  }
+  ++it->second.attempts;
+  return TimeoutAction::Retransmit;
+}
+
+DataPacket LinkSender::retransmit_packet(std::uint64_t seq) const {
+  const auto it = pending_.find(seq);
+  CSD_CHECK_MSG(it != pending_.end(), "retransmit of settled packet " << seq);
+  return DataPacket{seq, it->second.frame, it->second.crc};
+}
+
+std::uint64_t LinkSender::timeout_for(std::uint64_t seq,
+                                      std::uint64_t base_rto) const {
+  const auto it = pending_.find(seq);
+  if (it == pending_.end()) return base_rto;
+  // attempts = k means the k-th transmission was just sent: back off 2^(k-1),
+  // capped to keep virtual times sane on long retry chains.
+  const std::uint32_t shift =
+      it->second.attempts > 16 ? 16u : it->second.attempts - 1;
+  return base_rto << shift;
+}
+
+LinkReceiver::Accept LinkReceiver::on_data(const DataPacket& packet) {
+  Accept accept;
+  if (packet_checksum(packet.seq, packet.frame) != packet.crc) {
+    accept.checksum_reject = true;
+    return accept;
+  }
+  accept.send_ack = true;
+  accept.ack_seq = packet.seq;
+  if (packet.seq < next_expected_ ||
+      reorder_.find(packet.seq) != reorder_.end()) {
+    accept.duplicate = true;
+    return accept;
+  }
+  reorder_.emplace(packet.seq, packet.frame);
+  for (auto it = reorder_.find(next_expected_); it != reorder_.end();
+       it = reorder_.find(next_expected_)) {
+    accept.deliver.push_back(std::move(it->second));
+    reorder_.erase(it);
+    ++next_expected_;
+  }
+  return accept;
+}
+
+}  // namespace csd::congest

@@ -76,6 +76,21 @@ class BitVec {
     words_.clear();
   }
 
+  /// Keep only the first `n` bits. No-op when `n >= size()`. Used by the
+  /// engines to clamp over-bandwidth payloads instead of aborting the run.
+  void truncate(std::size_t n) noexcept {
+    if (n >= bits_) return;
+    bits_ = n;
+    words_.resize((n + 63) / 64);
+    trim();
+  }
+
+  /// Flip bit `i` in place (fault injection: payload corruption).
+  void flip(std::size_t i) noexcept {
+    CSD_DCHECK(i < bits_);
+    words_[i >> 6] ^= 1ULL << (i & 63);
+  }
+
   /// In-place intersection; both vectors must have equal size.
   BitVec& operator&=(const BitVec& other) {
     CSD_CHECK(bits_ == other.bits_);

@@ -1,0 +1,51 @@
+// Bit-level CRC-32 (IEEE 802.3, reflected).
+//
+// CONGEST payloads are bit strings, not byte strings, so the checksum is
+// computed bit-by-bit over the exact payload length. The reliable-transport
+// layer (congest/transport.*) appends this CRC to every data packet; a CRC
+// mismatch marks the packet as corrupted and it is treated like a loss
+// (discard + retransmit). CRC-32 detects every single-bit error, which is
+// exactly the fault model of FaultPlan::corrupt (one flipped payload bit
+// per corrupted frame).
+#pragma once
+
+#include <cstdint>
+
+#include "support/bitvec.hpp"
+
+namespace csd {
+
+/// CRC-32 running state. Feed bits (LSB-first within each logical field,
+/// matching the wire::Writer bit order), then read `value()`.
+class Crc32 {
+ public:
+  void bit(bool b) noexcept {
+    const std::uint32_t in = static_cast<std::uint32_t>(b);
+    const std::uint32_t mix = (state_ ^ in) & 1u;
+    state_ >>= 1;
+    if (mix) state_ ^= kPolynomial;
+  }
+
+  void bits(std::uint64_t value, unsigned width) noexcept {
+    for (unsigned i = 0; i < width; ++i) bit((value >> i) & 1ULL);
+  }
+
+  void raw(const BitVec& v) noexcept {
+    for (std::size_t i = 0; i < v.size(); ++i) bit(v.get(i));
+  }
+
+  std::uint32_t value() const noexcept { return state_ ^ 0xffffffffu; }
+
+ private:
+  static constexpr std::uint32_t kPolynomial = 0xedb88320u;
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+/// CRC-32 of a whole bit vector (bits in index order).
+inline std::uint32_t crc32_bits(const BitVec& v) noexcept {
+  Crc32 crc;
+  crc.raw(v);
+  return crc.value();
+}
+
+}  // namespace csd

@@ -159,11 +159,14 @@ TEST(AsyncEngine, BroadcastOnlyEnforcedToo) {
   };
   AsyncConfig cfg;
   cfg.broadcast_only = true;
-  EXPECT_THROW(run_async(build::path(3), cfg,
-                         [](std::uint32_t) {
-                           return std::make_unique<PerPortSender>();
-                         }),
-               CheckFailure);
+  auto outcome = run_async(build::path(3), cfg, [](std::uint32_t) {
+    return std::make_unique<PerPortSender>();
+  });
+  EXPECT_TRUE(outcome.completed);
+  ASSERT_EQ(outcome.faults.violations.size(), 1u);  // middle node only
+  EXPECT_EQ(outcome.faults.violations[0].kind,
+            ViolationKind::BroadcastMismatch);
+  EXPECT_EQ(outcome.faults.violations[0].node, 1u);
 }
 
 TEST(AsyncEngine, DelayDistributionDoesNotChangeOutcome) {
@@ -234,6 +237,187 @@ TEST(AsyncEngine, CustomIdsRespectNamespace) {
                            return std::make_unique<IdProbe>();
                          }),
                CheckFailure);
+}
+
+// ----------------------------------------------- faults + ARQ transport --
+
+TEST(AsyncEngine, ReliableTransportBitExactUnderHeavyFaults) {
+  // Acceptance bar for the reliable transport: with 30% frame drops and 5%
+  // payload corruption, the C_{2k} detector's observable outcome (verdicts,
+  // payload bits, pulse count) is bit-identical to the fault-free
+  // synchronous engine on 200 randomized instances.
+  Rng rng(77);
+  detect::EvenCycleConfig cycle_cfg;
+  cycle_cfg.k = 2;
+  int planted = 0, detections = 0;
+  for (std::uint64_t trial = 0; trial < 200; ++trial) {
+    const Vertex n = 10 + static_cast<Vertex>(rng.below(8));
+    Graph g = build::random_tree(n, rng);
+    if (rng.coin()) {
+      build::plant_subgraph(g, build::cycle(4), rng);
+      ++planted;
+    }
+    const std::uint64_t seed = 1000 + trial;
+    const std::uint64_t budget =
+        detect::make_even_cycle_schedule(n, cycle_cfg).total_rounds() + 1;
+
+    NetworkConfig sync_cfg;
+    sync_cfg.bandwidth = 64;
+    sync_cfg.seed = seed;
+    sync_cfg.max_rounds = budget;
+    const auto sync_outcome =
+        run_congest(g, sync_cfg, detect::even_cycle_program(cycle_cfg));
+    ASSERT_TRUE(sync_outcome.completed);
+
+    AsyncConfig cfg;
+    cfg.bandwidth = 64;
+    cfg.seed = seed;
+    cfg.max_pulses = budget;
+    cfg.max_delay = 1 + static_cast<std::uint32_t>(rng.below(6));
+    cfg.faults.drop = 0.3;
+    cfg.faults.corrupt = 0.05;
+    cfg.transport = TransportMode::Reliable;
+    const auto outcome =
+        run_async(g, cfg, detect::even_cycle_program(cycle_cfg));
+
+    ASSERT_TRUE(outcome.completed) << "trial " << trial;
+    EXPECT_EQ(outcome.verdicts, sync_outcome.verdicts) << "trial " << trial;
+    EXPECT_EQ(outcome.payload_bits, sync_outcome.metrics.total_bits);
+    EXPECT_EQ(outcome.pulses, sync_outcome.metrics.rounds);
+    EXPECT_EQ(outcome.faults.transport_failures, 0u);
+    EXPECT_TRUE(outcome.faults.stalled_nodes.empty());
+    if (outcome.detected) ++detections;
+  }
+  // The sweep must actually exercise both verdicts and real faults.
+  EXPECT_GT(planted, 50);
+  EXPECT_GT(detections, 0);
+}
+
+TEST(AsyncEngine, ReliableTransportTriangleUnderFaults) {
+  // Same bar for the clique (triangle) detector, whose nodes halt at
+  // different pulses — the transport must keep retransmitting below nodes
+  // that already halted gracefully.
+  Rng rng(41);
+  for (std::uint64_t trial = 0; trial < 40; ++trial) {
+    const Vertex n = 12 + static_cast<Vertex>(rng.below(4));
+    const Graph g = build::gnp(n, 0.35, rng);
+    const std::uint64_t seed = 3000 + trial;
+    const std::uint64_t budget =
+        detect::clique_detect_round_budget(n, g.max_degree(), 16) + 2;
+
+    NetworkConfig sync_cfg;
+    sync_cfg.bandwidth = 16;
+    sync_cfg.seed = seed;
+    sync_cfg.max_rounds = budget;
+    const auto sync_outcome =
+        run_congest(g, sync_cfg, detect::clique_detect_program(3));
+    ASSERT_TRUE(sync_outcome.completed);
+
+    AsyncConfig cfg;
+    cfg.bandwidth = 16;
+    cfg.seed = seed;
+    cfg.max_pulses = budget;
+    cfg.max_delay = 4;
+    cfg.faults.drop = 0.3;
+    cfg.faults.corrupt = 0.05;
+    cfg.transport = TransportMode::Reliable;
+    const auto outcome = run_async(g, cfg, detect::clique_detect_program(3));
+
+    ASSERT_TRUE(outcome.completed) << "trial " << trial;
+    EXPECT_EQ(outcome.verdicts, sync_outcome.verdicts);
+    EXPECT_EQ(outcome.payload_bits, sync_outcome.metrics.total_bits);
+  }
+}
+
+TEST(AsyncEngine, RawModeFaultsStallButNeverHang) {
+  // Without the transport the same faults must not hang or crash the run:
+  // starved ports stall their nodes, the event queue drains, and the
+  // outcome carries a populated, deterministic FaultReport.
+  Rng rng(31);
+  for (std::uint64_t trial = 0; trial < 10; ++trial) {
+    const Graph g = build::gnp(12, 0.3, rng);
+    AsyncConfig cfg;
+    cfg.bandwidth = 64;
+    cfg.seed = 600 + trial;
+    cfg.max_pulses = detect::pipelined_cycle_round_budget(12, 4) + 1;
+    cfg.faults.drop = 0.5;
+    cfg.faults.corrupt = 0.1;  // TransportMode::Raw is the default
+    const auto a = run_async(g, cfg, detect::pipelined_cycle_program(4));
+    const auto b = run_async(g, cfg, detect::pipelined_cycle_program(4));
+
+    EXPECT_FALSE(a.completed);
+    EXPECT_GT(a.faults.frames_dropped, 0u);
+    EXPECT_FALSE(a.faults.stalled_nodes.empty());
+    EXPECT_FALSE(a.faults.clean());
+    // Same seed, same plan -> identical report and verdicts.
+    EXPECT_EQ(a.faults, b.faults);
+    EXPECT_EQ(a.verdicts, b.verdicts);
+    EXPECT_EQ(a.payload_bits, b.payload_bits);
+  }
+}
+
+TEST(AsyncEngine, ScheduledCrashIsSilent) {
+  // A crash is not a graceful halt: no "I am done" frame is emitted, so in
+  // raw mode the neighbors starve and stall.
+  class HaltAtThree final : public NodeProgram {
+   public:
+    void on_round(NodeApi& api) override {
+      if (api.round() >= 3) api.halt();
+    }
+  };
+  AsyncConfig cfg;
+  cfg.max_pulses = 10;
+  cfg.faults.crashes = {{1, 1}};
+  const auto outcome = run_async(build::path(3), cfg, [](std::uint32_t) {
+    return std::make_unique<HaltAtThree>();
+  });
+  EXPECT_FALSE(outcome.completed);
+  EXPECT_EQ(outcome.faults.crashed_nodes, (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(outcome.faults.stalled_nodes, (std::vector<std::uint32_t>{0, 2}));
+  EXPECT_EQ(outcome.pulses, 2u);  // neighbors got exactly the pulse-0 frame
+}
+
+TEST(AsyncEngine, SurvivorVerdictsExcludeCrashedNodes) {
+  // detected_by_survivors is the answer the surviving network reports: a
+  // verdict held only by a node that later crashed does not count.
+  class RejectThenLinger final : public NodeProgram {
+   public:
+    void on_round(NodeApi& api) override {
+      if (api.round() == 0 && api.id() == 0) api.reject();
+    }
+  };
+  AsyncConfig cfg;
+  cfg.max_pulses = 8;
+  cfg.faults.crashes = {{0, 1}};
+  const auto outcome = run_async(build::path(2), cfg, [](std::uint32_t) {
+    return std::make_unique<RejectThenLinger>();
+  });
+  EXPECT_TRUE(outcome.detected);  // the verdict was reached...
+  EXPECT_FALSE(outcome.faults.detected_by_survivors);  // ...then lost
+  EXPECT_EQ(outcome.faults.crashed_nodes, (std::vector<std::uint32_t>{0}));
+}
+
+TEST(AsyncEngine, TransportOverheadAccountedSeparately) {
+  // Faults inflate transport_bits (retransmissions, acks) but never the
+  // CONGEST payload accounting.
+  const Graph g = build::cycle(8);
+  AsyncConfig clean;
+  clean.bandwidth = 32;
+  clean.seed = 5;
+  clean.max_pulses = detect::pipelined_cycle_round_budget(8, 4) + 1;
+  clean.transport = TransportMode::Reliable;
+  AsyncConfig faulty = clean;
+  faulty.faults.drop = 0.25;
+  const auto base = run_async(g, clean, detect::pipelined_cycle_program(4));
+  const auto hard = run_async(g, faulty, detect::pipelined_cycle_program(4));
+  ASSERT_TRUE(base.completed);
+  ASSERT_TRUE(hard.completed);
+  EXPECT_EQ(base.payload_bits, hard.payload_bits);
+  EXPECT_EQ(base.verdicts, hard.verdicts);
+  EXPECT_EQ(base.faults.retransmissions, 0u);
+  EXPECT_GT(hard.faults.retransmissions, 0u);
+  EXPECT_GT(hard.transport_bits, base.transport_bits);
+  EXPECT_GT(hard.acks, 0u);
 }
 
 }  // namespace

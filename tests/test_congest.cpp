@@ -102,14 +102,19 @@ class OverBudgetSender final : public NodeProgram {
 };
 
 TEST(Network, BandwidthEnforced) {
+  // Over-budget sends no longer abort the run: the payload is truncated to
+  // B bits and a Bandwidth violation is recorded on the outcome.
   const Graph g = build::path(2);
   NetworkConfig cfg;
   cfg.bandwidth = 8;
-  EXPECT_THROW(run_congest(g, cfg,
-                           [](std::uint32_t) {
-                             return std::make_unique<OverBudgetSender>();
-                           }),
-               CheckFailure);
+  auto outcome = run_congest(g, cfg, [](std::uint32_t) {
+    return std::make_unique<OverBudgetSender>();
+  });
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.metrics.max_message_bits, 8u);
+  ASSERT_EQ(outcome.faults.violations.size(), 2u);  // one per sender
+  for (const auto& violation : outcome.faults.violations)
+    EXPECT_EQ(violation.kind, ViolationKind::Bandwidth);
 }
 
 TEST(Network, UnboundedBandwidthIsLocalModel) {
@@ -126,19 +131,26 @@ TEST(Network, UnboundedBandwidthIsLocalModel) {
 class DoubleSender final : public NodeProgram {
  public:
   void on_round(NodeApi& api) override {
-    BitVec one(1);
-    api.send(0, one);
-    api.send(0, one);  // second send on same port: model violation
+    BitVec first(1);
+    first.set(0, true);
+    api.send(0, first);
+    api.send(0, BitVec(2));  // second send on same port: model violation
+    api.halt();
   }
 };
 
 TEST(Network, OneMessagePerEdgePerRound) {
+  // The second send on a port is ignored (first wins) and recorded as a
+  // DuplicateSend violation instead of aborting the run.
   const Graph g = build::path(2);
-  EXPECT_THROW(run_congest(g, NetworkConfig{},
-                           [](std::uint32_t) {
-                             return std::make_unique<DoubleSender>();
-                           }),
-               CheckFailure);
+  auto outcome = run_congest(g, NetworkConfig{}, [](std::uint32_t) {
+    return std::make_unique<DoubleSender>();
+  });
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.metrics.max_message_bits, 1u);  // first send delivered
+  ASSERT_EQ(outcome.faults.violations.size(), 2u);  // one per node
+  for (const auto& violation : outcome.faults.violations)
+    EXPECT_EQ(violation.kind, ViolationKind::DuplicateSend);
 }
 
 class NeverHalts final : public NodeProgram {
@@ -336,11 +348,65 @@ TEST(Network, BroadcastOnlyRejectsPerPortMessages) {
   const Graph g = build::path(3);  // middle node has two ports
   NetworkConfig cfg;
   cfg.broadcast_only = true;
-  EXPECT_THROW(run_congest(g, cfg,
-                           [](std::uint32_t) {
-                             return std::make_unique<PerPortSender>();
-                           }),
-               CheckFailure);
+  auto outcome = run_congest(g, cfg, [](std::uint32_t) {
+    return std::make_unique<PerPortSender>();
+  });
+  EXPECT_TRUE(outcome.completed);
+  // Only the middle node has two ports with differing payloads.
+  ASSERT_EQ(outcome.faults.violations.size(), 1u);
+  EXPECT_EQ(outcome.faults.violations[0].kind,
+            ViolationKind::BroadcastMismatch);
+  EXPECT_EQ(outcome.faults.violations[0].node, 1u);
+}
+
+TEST(Network, ScheduledCrashProducesFaultReport) {
+  // A crashed node falls silent: it stops executing rounds and its queued
+  // messages are discarded, but the run continues for everyone else.
+  class HaltAtThree final : public NodeProgram {
+   public:
+    void on_round(NodeApi& api) override {
+      if (api.round() >= 3) api.halt();
+    }
+  };
+  const Graph g = build::path(3);
+  NetworkConfig cfg;
+  cfg.max_rounds = 8;
+  cfg.faults.crashes = {{1, 1}};
+  auto outcome = run_congest(
+      g, cfg, [](std::uint32_t) { return std::make_unique<HaltAtThree>(); });
+  EXPECT_FALSE(outcome.completed);  // the crashed node never halts
+  EXPECT_EQ(outcome.faults.crashed_nodes, (std::vector<std::uint32_t>{1}));
+  EXPECT_TRUE(outcome.faults.stalled_nodes.empty());  // ends halt anyway
+  EXPECT_FALSE(outcome.faults.detected_by_survivors);
+}
+
+TEST(Network, ProgramFaultCrashesNodeNotProcess) {
+  // Under a fault plan a throwing program becomes a crashed node with a
+  // ProgramFault violation; without one, the engine stays fail-fast.
+  class ThrowsAtTwo final : public NodeProgram {
+   public:
+    void on_round(NodeApi& api) override {
+      CSD_CHECK_MSG(api.round() != 2 || api.id() != 0, "decode exploded");
+      if (api.round() >= 4) api.halt();
+    }
+  };
+  const Graph g = build::path(2);
+  const auto factory = [](std::uint32_t) {
+    return std::make_unique<ThrowsAtTwo>();
+  };
+
+  NetworkConfig strict;
+  strict.max_rounds = 8;
+  EXPECT_THROW(run_congest(g, strict, factory), CheckFailure);
+
+  NetworkConfig graceful = strict;
+  graceful.faults.crashes = {{1, 1000}};  // any plan enables degradation
+  auto outcome = run_congest(g, graceful, factory);
+  EXPECT_EQ(outcome.faults.crashed_nodes, (std::vector<std::uint32_t>{0}));
+  ASSERT_EQ(outcome.faults.violations.size(), 1u);
+  EXPECT_EQ(outcome.faults.violations[0].kind, ViolationKind::ProgramFault);
+  EXPECT_EQ(outcome.faults.violations[0].node, 0u);
+  EXPECT_EQ(outcome.faults.violations[0].round, 2u);
 }
 
 TEST(Network, BroadcastOnlyAllowsUniformMessages) {

@@ -1,0 +1,241 @@
+// Unit tests for the fault-injection layer and the reliable ARQ transport:
+// CRC correctness, deterministic fault fates, crash scheduling, and the
+// sender/receiver protocol state machines (acks, reordering, duplicates,
+// backoff, bounded retries) — all without spinning up an engine.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "congest/faults.hpp"
+#include "congest/transport.hpp"
+#include "graph/builders.hpp"
+#include "support/check.hpp"
+#include "support/crc.hpp"
+
+namespace csd::congest {
+namespace {
+
+// ------------------------------------------------------------------ CRC --
+TEST(Crc32, KnownAnswerCheckValue) {
+  // The canonical CRC-32 check value: ASCII "123456789" -> 0xCBF43926.
+  // Bytes are fed LSB-first, the reflected algorithm's bit order.
+  Crc32 crc;
+  for (const char c : std::string("123456789"))
+    crc.bits(static_cast<std::uint64_t>(static_cast<unsigned char>(c)), 8);
+  EXPECT_EQ(crc.value(), 0xCBF43926u);
+}
+
+TEST(Crc32, DetectsEverySingleBitFlip) {
+  BitVec payload;
+  payload.append_bits(0xDEADBEEFCAFEULL, 48);
+  const std::uint32_t reference = crc32_bits(payload);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    BitVec flipped = payload;
+    flipped.flip(i);
+    EXPECT_NE(crc32_bits(flipped), reference) << "missed flip at bit " << i;
+  }
+}
+
+TEST(Crc32, PacketChecksumCoversSeqAndFlags) {
+  Frame frame;
+  frame.payload.emplace();
+  frame.payload->append_bits(0b1011, 4);
+  const std::uint32_t base = packet_checksum(7, frame);
+  EXPECT_NE(packet_checksum(8, frame), base);  // seq covered
+  Frame halted = frame;
+  halted.sender_halted = true;
+  EXPECT_NE(packet_checksum(7, halted), base);  // flag covered
+  Frame empty;
+  EXPECT_NE(packet_checksum(7, empty), base);  // has_payload covered
+}
+
+// ------------------------------------------------------------- injector --
+TEST(FaultInjector, DeterministicPerLinkStreams) {
+  const Graph g = build::cycle(5);
+  FaultPlan plan;
+  plan.drop = 0.4;
+  plan.corrupt = 0.3;
+  FaultInjector a(plan, 99, g);
+  FaultInjector b(plan, 99, g);
+  FaultInjector other_seed(plan, 100, g);
+  bool any_difference = false;
+  for (int i = 0; i < 200; ++i) {
+    const auto fa = a.next_fate(2, 1, 64);
+    const auto fb = b.next_fate(2, 1, 64);
+    EXPECT_EQ(fa.dropped, fb.dropped);
+    EXPECT_EQ(fa.corrupted, fb.corrupted);
+    EXPECT_EQ(fa.corrupt_bit, fb.corrupt_bit);
+    const auto fo = other_seed.next_fate(2, 1, 64);
+    any_difference |= fa.dropped != fo.dropped || fa.corrupted != fo.corrupted;
+  }
+  EXPECT_TRUE(any_difference) << "seed does not influence fates";
+}
+
+TEST(FaultInjector, FatesIndependentOfPayloadSize) {
+  // The drop/corrupt decisions must not depend on payload size (only the
+  // corrupt-bit position does), so accounting-order differences between
+  // engines cannot change the fault pattern.
+  const Graph g = build::path(2);
+  FaultPlan plan;
+  plan.drop = 0.5;
+  FaultInjector a(plan, 7, g);
+  FaultInjector b(plan, 7, g);
+  for (int i = 0; i < 100; ++i) {
+    const auto fa = a.next_fate(0, 0, 8);
+    const auto fb = b.next_fate(0, 0, 1024);
+    EXPECT_EQ(fa.dropped, fb.dropped);
+  }
+}
+
+TEST(FaultInjector, NoPayloadNeverCorrupts) {
+  const Graph g = build::path(2);
+  FaultPlan plan;
+  plan.corrupt = 1.0;
+  FaultInjector inj(plan, 3, g);
+  for (int i = 0; i < 50; ++i) {
+    const auto fate = inj.next_fate(0, 0, 0);
+    EXPECT_FALSE(fate.corrupted);
+    EXPECT_FALSE(fate.dropped);
+  }
+  const auto fate = inj.next_fate(0, 0, 16);
+  EXPECT_TRUE(fate.corrupted);
+  EXPECT_LT(fate.corrupt_bit, 16u);
+}
+
+TEST(FaultInjector, EarliestCrashWinsAndValidates) {
+  const Graph g = build::cycle(4);
+  FaultPlan plan;
+  plan.crashes = {{2, 9}, {2, 4}, {0, 1}};
+  FaultInjector inj(plan, 1, g);
+  EXPECT_EQ(inj.crash_round(2), std::optional<std::uint64_t>(4));
+  EXPECT_EQ(inj.crash_round(0), std::optional<std::uint64_t>(1));
+  EXPECT_EQ(inj.crash_round(1), std::nullopt);
+
+  FaultPlan bad;
+  bad.crashes = {{7, 0}};  // node out of range
+  EXPECT_THROW(FaultInjector(bad, 1, g), CheckFailure);
+  FaultPlan bad_p;
+  bad_p.drop = 1.5;
+  EXPECT_THROW(FaultInjector(bad_p, 1, g), CheckFailure);
+}
+
+// ------------------------------------------------------- link sender ARQ --
+Frame test_frame(std::uint64_t pulse, std::uint64_t bits = 8) {
+  Frame frame;
+  frame.pulse = pulse;
+  frame.payload.emplace();
+  frame.payload->append_bits(pulse * 17 + 3, static_cast<unsigned>(bits));
+  return frame;
+}
+
+TEST(LinkSender, ConsecutiveSeqAndAckSettles) {
+  LinkSender sender{TransportConfig{}};
+  const DataPacket p0 = sender.packet(test_frame(0));
+  const DataPacket p1 = sender.packet(test_frame(1));
+  EXPECT_EQ(p0.seq, 0u);
+  EXPECT_EQ(p1.seq, 1u);
+  EXPECT_EQ(sender.in_flight(), 2u);
+  EXPECT_TRUE(sender.on_ack(0));
+  EXPECT_FALSE(sender.on_ack(0));  // duplicate ack is harmless
+  EXPECT_EQ(sender.in_flight(), 1u);
+  EXPECT_EQ(sender.on_timeout(0), LinkSender::TimeoutAction::Settled);
+}
+
+TEST(LinkSender, RetransmitPreservesPacketBits) {
+  LinkSender sender{TransportConfig{}};
+  const DataPacket original = sender.packet(test_frame(4, 32));
+  EXPECT_EQ(sender.on_timeout(original.seq),
+            LinkSender::TimeoutAction::Retransmit);
+  const DataPacket again = sender.retransmit_packet(original.seq);
+  EXPECT_EQ(again.seq, original.seq);
+  EXPECT_EQ(again.crc, original.crc);
+  EXPECT_EQ(packet_checksum(again.seq, again.frame), again.crc);
+}
+
+TEST(LinkSender, ExponentialBackoffThenGiveUp) {
+  TransportConfig cfg;
+  cfg.max_retries = 3;
+  LinkSender sender{cfg};
+  const DataPacket p = sender.packet(test_frame(0));
+  EXPECT_EQ(sender.timeout_for(p.seq, 10), 10u);  // first transmission
+  EXPECT_EQ(sender.on_timeout(p.seq), LinkSender::TimeoutAction::Retransmit);
+  EXPECT_EQ(sender.timeout_for(p.seq, 10), 20u);
+  EXPECT_EQ(sender.on_timeout(p.seq), LinkSender::TimeoutAction::Retransmit);
+  EXPECT_EQ(sender.timeout_for(p.seq, 10), 40u);
+  EXPECT_EQ(sender.on_timeout(p.seq), LinkSender::TimeoutAction::Retransmit);
+  EXPECT_EQ(sender.timeout_for(p.seq, 10), 80u);
+  EXPECT_EQ(sender.on_timeout(p.seq), LinkSender::TimeoutAction::GiveUp);
+  EXPECT_EQ(sender.in_flight(), 0u);
+  EXPECT_EQ(sender.on_timeout(p.seq), LinkSender::TimeoutAction::Settled);
+}
+
+// ---------------------------------------------------- link receiver ARQ --
+TEST(LinkReceiver, InOrderDeliveryAndAcks) {
+  LinkSender sender{TransportConfig{}};
+  LinkReceiver receiver;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const auto accept = receiver.on_data(sender.packet(test_frame(i)));
+    EXPECT_TRUE(accept.send_ack);
+    EXPECT_EQ(accept.ack_seq, i);
+    EXPECT_FALSE(accept.duplicate);
+    ASSERT_EQ(accept.deliver.size(), 1u);
+    EXPECT_EQ(accept.deliver[0].pulse, i);
+  }
+  EXPECT_EQ(receiver.next_expected(), 4u);
+}
+
+TEST(LinkReceiver, ReorderBufferReleasesInSequence) {
+  LinkSender sender{TransportConfig{}};
+  LinkReceiver receiver;
+  const DataPacket p0 = sender.packet(test_frame(0));
+  const DataPacket p1 = sender.packet(test_frame(1));
+  const DataPacket p2 = sender.packet(test_frame(2));
+  const auto late = receiver.on_data(p2);  // out of order: buffered
+  EXPECT_TRUE(late.send_ack);
+  EXPECT_TRUE(late.deliver.empty());
+  const auto mid = receiver.on_data(p1);
+  EXPECT_TRUE(mid.deliver.empty());
+  const auto first = receiver.on_data(p0);  // releases all three, in order
+  ASSERT_EQ(first.deliver.size(), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i)
+    EXPECT_EQ(first.deliver[i].pulse, i);
+}
+
+TEST(LinkReceiver, DuplicatesReAckedButNotRedelivered) {
+  LinkSender sender{TransportConfig{}};
+  LinkReceiver receiver;
+  const DataPacket p = sender.packet(test_frame(0));
+  ASSERT_EQ(receiver.on_data(p).deliver.size(), 1u);
+  const auto dup = receiver.on_data(p);  // retransmit after a lost ack
+  EXPECT_TRUE(dup.send_ack);             // re-ack so the sender settles
+  EXPECT_TRUE(dup.duplicate);
+  EXPECT_TRUE(dup.deliver.empty());
+}
+
+TEST(LinkReceiver, CorruptedPacketRejectedWithoutAck) {
+  LinkSender sender{TransportConfig{}};
+  LinkReceiver receiver;
+  DataPacket p = sender.packet(test_frame(0, 16));
+  p.frame.payload->flip(5);
+  const auto accept = receiver.on_data(p);
+  EXPECT_TRUE(accept.checksum_reject);
+  EXPECT_FALSE(accept.send_ack);
+  EXPECT_TRUE(accept.deliver.empty());
+  EXPECT_EQ(receiver.next_expected(), 0u);  // nothing delivered
+}
+
+// ---------------------------------------------------------------- report --
+TEST(FaultReport, CleanAndSummary) {
+  FaultReport report;
+  EXPECT_TRUE(report.clean());
+  report.frames_dropped = 3;
+  report.crashed_nodes = {2};
+  report.violations.push_back({ViolationKind::Bandwidth, 1, 4, "too big"});
+  EXPECT_FALSE(report.clean());
+  const std::string text = summarize(report);
+  EXPECT_NE(text.find("dropped"), std::string::npos);
+  EXPECT_NE(text.find("bandwidth"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace csd::congest

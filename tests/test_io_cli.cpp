@@ -189,5 +189,39 @@ TEST(Cli, ErrorsProduceExitCodeTwo) {
   EXPECT_EQ(run_cli({"generate", "gnp", "x", "y", "z"}, &text), 2);
 }
 
+TEST(Cli, DetectWithFaultFlagsRunsAsyncEngine) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "csd_cli_faults.txt").string();
+  std::string text;
+  ASSERT_EQ(run_cli({"generate", "gnp", "16", "30", "7", "--out", path},
+                    &text),
+            0);
+
+  // Reliable transport under heavy faults: run completes, report populated.
+  ASSERT_EQ(run_cli({"detect", "triangle", path, "--drop", "0.3", "--corrupt",
+                     "0.05", "--transport", "reliable"},
+                    &text),
+            0);
+  EXPECT_NE(text.find("reliable transport"), std::string::npos);
+  EXPECT_NE(text.find("completed:  yes"), std::string::npos);
+  EXPECT_NE(text.find("retransmissions"), std::string::npos);
+
+  // Raw transport with a crash: no hang, crash recorded in the report.
+  ASSERT_EQ(run_cli({"detect", "triangle", path, "--drop", "0.4", "--crash",
+                     "2:0", "--transport", "raw"},
+                    &text),
+            0);
+  EXPECT_NE(text.find("raw transport"), std::string::npos);
+  EXPECT_NE(text.find("crashed nodes:      2"), std::string::npos);
+
+  // Validation: bad probability / crash syntax / transport name.
+  EXPECT_EQ(run_cli({"detect", "triangle", path, "--drop", "1.5"}, &text), 2);
+  EXPECT_EQ(run_cli({"detect", "triangle", path, "--crash", "5"}, &text), 2);
+  EXPECT_EQ(run_cli({"detect", "triangle", path, "--transport", "tcp"},
+                    &text),
+            2);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace csd

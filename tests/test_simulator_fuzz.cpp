@@ -127,6 +127,99 @@ TEST(SimulatorFuzz, AsyncAgreesWithSyncOnRandomPrograms) {
   }
 }
 
+TEST(SimulatorFuzz, FaultMatrixIsDeterministicAndTerminates) {
+  // Sweep a grid of fault environments over both wire disciplines: every
+  // combination must terminate within the pulse cap (no hang), and running
+  // the same seed twice must reproduce the FaultReport exactly.
+  Rng rng(6);
+  const double drop_rates[] = {0.0, 0.2, 0.5};
+  const double corrupt_rates[] = {0.0, 0.1};
+  std::uint64_t combo = 0;
+  for (const auto mode : {TransportMode::Raw, TransportMode::Reliable}) {
+    for (const double drop : drop_rates) {
+      for (const double corrupt : corrupt_rates) {
+        for (const bool crash : {false, true}) {
+          const Graph g = build::gnp(10, 0.3, rng);
+          AsyncConfig cfg;
+          cfg.bandwidth = 12;
+          cfg.seed = 700 + combo++;
+          cfg.max_pulses = 48;
+          cfg.max_delay = 3;
+          cfg.transport = mode;
+          cfg.faults.drop = drop;
+          cfg.faults.corrupt = corrupt;
+          if (crash) cfg.faults.crashes = {{2, 1}, {7, 2}};
+          const auto a = run_async(g, cfg, fuzz_factory());
+          const auto b = run_async(g, cfg, fuzz_factory());
+          EXPECT_EQ(a.faults, b.faults)
+              << "mode=" << static_cast<int>(mode) << " drop=" << drop
+              << " corrupt=" << corrupt << " crash=" << crash;
+          EXPECT_EQ(a.verdicts, b.verdicts);
+          EXPECT_EQ(a.payload_bits, b.payload_bits);
+          EXPECT_EQ(a.transport_bits, b.transport_bits);
+          EXPECT_LE(a.pulses, 48u);
+          if (crash) {
+            // A node can stall (drops) or halt before its crash round, so
+            // the crash count is only exact on loss-free links.
+            EXPECT_LE(a.faults.crashed_nodes.size(), 2u);
+            if (drop == 0.0) {
+              EXPECT_EQ(a.faults.crashed_nodes.size(), 2u);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimulatorFuzz, ReliableTransportRestoresFuzzEquivalence) {
+  // FuzzProgram exercises data-driven sends, random payload lengths and
+  // per-node halting times; the ARQ transport must reproduce the fault-free
+  // synchronous outcome under heavy loss anyway.
+  Rng rng(8);
+  for (std::uint64_t trial = 0; trial < 6; ++trial) {
+    const Graph g = build::gnp(12, 0.3, rng);
+    NetworkConfig sync_cfg;
+    sync_cfg.bandwidth = 12;
+    sync_cfg.seed = 800 + trial;
+    sync_cfg.max_rounds = 64;
+    const auto sync_outcome = run_congest(g, sync_cfg, fuzz_factory());
+    ASSERT_TRUE(sync_outcome.completed);
+
+    AsyncConfig cfg;
+    cfg.bandwidth = 12;
+    cfg.seed = 800 + trial;
+    cfg.max_pulses = 64;
+    cfg.max_delay = 5;
+    cfg.transport = TransportMode::Reliable;
+    cfg.faults.drop = 0.3;
+    cfg.faults.corrupt = 0.05;
+    const auto outcome = run_async(g, cfg, fuzz_factory());
+    ASSERT_TRUE(outcome.completed);
+    EXPECT_EQ(outcome.verdicts, sync_outcome.verdicts);
+    EXPECT_EQ(outcome.payload_bits, sync_outcome.metrics.total_bits);
+    EXPECT_EQ(outcome.pulses, sync_outcome.metrics.rounds);
+  }
+}
+
+TEST(SimulatorFuzz, SyncEngineFaultsAreDeterministicToo) {
+  Rng rng(9);
+  const Graph g = build::gnp(12, 0.3, rng);
+  NetworkConfig cfg;
+  cfg.bandwidth = 12;
+  cfg.seed = 17;
+  cfg.max_rounds = 64;
+  cfg.faults.drop = 0.25;
+  cfg.faults.corrupt = 0.1;
+  cfg.faults.crashes = {{3, 4}};
+  const auto a = run_congest(g, cfg, fuzz_factory());
+  const auto b = run_congest(g, cfg, fuzz_factory());
+  EXPECT_EQ(a.faults, b.faults);
+  EXPECT_EQ(a.verdicts, b.verdicts);
+  EXPECT_GT(a.faults.frames_dropped, 0u);
+  EXPECT_EQ(a.faults.crashed_nodes, (std::vector<std::uint32_t>{3}));
+}
+
 TEST(SimulatorFuzz, DeterministicAcrossRepeatedRuns) {
   Rng rng(4);
   const Graph g = build::gnp(14, 0.25, rng);

@@ -6,6 +6,7 @@
 #include <optional>
 #include <sstream>
 
+#include "congest/async.hpp"
 #include "detect/clique_detect.hpp"
 #include "detect/clique_listing.hpp"
 #include "detect/even_cycle.hpp"
@@ -39,8 +40,12 @@ commands:
   stats <file>
       n, m, max degree, diameter, girth, degeneracy, bipartiteness
   detect <pattern> <file> [--bandwidth B] [--seed S] [--reps R]
+         [--drop P] [--corrupt P] [--crash NODE:ROUND] [--transport T]
       pattern: cycle L | triangle | clique S | star D
-      runs the matching CONGEST algorithm and the exhaustive oracle
+      runs the matching CONGEST algorithm and the exhaustive oracle.
+      fault flags (drop/corrupt probabilities in [0,1], --crash repeatable,
+      --transport raw|reliable) run the async engine under the given
+      FaultPlan and print a structured fault report
   list-cliques <s> <file>
       congested-clique K_s listing; prints count and round cost
   fool <namespace-N> <budget-c>
@@ -172,6 +177,145 @@ int cmd_stats(const Invocation& inv, std::ostream& out) {
   return 0;
 }
 
+double to_prob(const std::string& s, const char* what) {
+  double value = 0.0;
+  std::size_t pos = 0;
+  try {
+    value = std::stod(s, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  CSD_CHECK_MSG(pos == s.size() && value >= 0.0 && value <= 1.0,
+                "bad " << what << ": '" << s << "' (want a number in [0,1])");
+  return value;
+}
+
+congest::CrashEvent to_crash(const std::string& s) {
+  const auto colon = s.find(':');
+  CSD_CHECK_MSG(colon != std::string::npos && colon > 0 &&
+                    colon + 1 < s.size(),
+                "--crash wants NODE:ROUND, got '" << s << "'");
+  return {static_cast<std::uint32_t>(to_u64(s.substr(0, colon), "crash node")),
+          to_u64(s.substr(colon + 1), "crash round")};
+}
+
+/// Fault flags route `detect` through the asynchronous engine under the
+/// requested FaultPlan and wire discipline; the per-pattern detector and
+/// round budget stay the same as the fault-free path.
+int cmd_detect_faulty(const Invocation& inv, std::ostream& out, const Graph& g,
+                      const std::string& pattern, std::uint64_t bandwidth,
+                      std::uint64_t seed, std::uint32_t reps) {
+  congest::AsyncConfig cfg;
+  cfg.bandwidth = bandwidth;
+  if (const auto p = inv.flag("drop")) cfg.faults.drop = to_prob(*p, "drop");
+  if (const auto p = inv.flag("corrupt"))
+    cfg.faults.corrupt = to_prob(*p, "corrupt");
+  for (const auto& [key, value] : inv.flags)
+    if (key == "crash") cfg.faults.crashes.push_back(to_crash(value));
+  const std::string transport = inv.flag("transport").value_or("raw");
+  CSD_CHECK_MSG(transport == "raw" || transport == "reliable",
+                "--transport wants raw|reliable, got '" << transport << "'");
+  cfg.transport = transport == "reliable" ? congest::TransportMode::Reliable
+                                          : congest::TransportMode::Raw;
+
+  const std::uint64_t n = g.num_vertices();
+  congest::ProgramFactory factory;
+  std::uint64_t budget = 0;
+  std::uint32_t runs = 1;  // deterministic detectors run once
+  bool truth = false;
+  if (pattern == "triangle" || pattern == "clique") {
+    std::uint32_t s = 3;
+    if (pattern == "clique") {
+      CSD_CHECK_MSG(inv.positional.size() == 4, "detect clique S FILE");
+      s = static_cast<std::uint32_t>(to_u64(inv.positional[2], "S"));
+    }
+    factory = detect::clique_detect_program(s);
+    budget = detect::clique_detect_round_budget(n, g.max_degree(), bandwidth) +
+             2;
+    truth = oracle::has_clique(g, s);
+    out << "algorithm:  deterministic K_" << s << " detector\n";
+  } else if (pattern == "cycle") {
+    CSD_CHECK_MSG(inv.positional.size() == 4, "detect cycle L FILE");
+    const auto len = static_cast<std::uint32_t>(to_u64(inv.positional[2], "L"));
+    if (len >= 4 && len % 2 == 0) {
+      // even_cycle_program is one repetition; amplification is external
+      // (run_amplified on the sync path), so mirror it with `runs`.
+      detect::EvenCycleConfig ec;
+      ec.k = len / 2;
+      factory = detect::even_cycle_program(ec);
+      budget = detect::make_even_cycle_schedule(n, ec).total_rounds() + 1;
+      runs = reps;
+      out << "algorithm:  Theorem 1.1 sublinear C_" << len << " detector\n";
+    } else {
+      factory = detect::pipelined_cycle_program(len);
+      budget = detect::pipelined_cycle_round_budget(n, len) + 1;
+      runs = reps;
+      out << "algorithm:  pipelined color-coded C_" << len << " detector\n";
+    }
+    truth = oracle::has_cycle_of_length(g, len);
+  } else if (pattern == "star") {
+    CSD_CHECK_MSG(inv.positional.size() == 4, "detect star D FILE");
+    const auto d = static_cast<Vertex>(to_u64(inv.positional[2], "D"));
+    const Graph tree = build::star(d);
+    factory = detect::tree_detect_program(tree);
+    budget = detect::tree_detect_round_budget(tree) + 1;
+    runs = reps;
+    truth = oracle::has_tree(g, tree);
+    out << "algorithm:  color-coded star-" << d << " detector\n";
+  } else {
+    CSD_CHECK_MSG(false, "unknown pattern '" << pattern << "'");
+  }
+  cfg.max_pulses = budget;
+
+  bool detected = false, survivors = false, all_completed = true;
+  std::uint64_t pulses = 0, payload = 0, transport_bits = 0;
+  congest::FaultReport total;
+  for (std::uint32_t r = 0; r < runs; ++r) {
+    // Same per-repetition seed schedule as run_amplified, so a clean async
+    // run reproduces the sync CLI verdict bit-for-bit.
+    cfg.seed = runs == 1 ? seed : derive_seed(seed, 0x5eedULL + r);
+    const auto outcome = congest::run_async(g, cfg, factory);
+    detected |= outcome.detected;
+    survivors |= outcome.faults.detected_by_survivors;
+    all_completed &= outcome.completed;
+    pulses = std::max(pulses, outcome.pulses);
+    payload += outcome.payload_bits;
+    transport_bits += outcome.transport_bits;
+    const auto& f = outcome.faults;
+    total.frames_dropped += f.frames_dropped;
+    total.frames_corrupted += f.frames_corrupted;
+    total.retransmissions += f.retransmissions;
+    total.checksum_rejects += f.checksum_rejects;
+    total.duplicate_packets += f.duplicate_packets;
+    total.transport_failures += f.transport_failures;
+    total.crashed_nodes.insert(total.crashed_nodes.end(),
+                               f.crashed_nodes.begin(), f.crashed_nodes.end());
+    total.stalled_nodes.insert(total.stalled_nodes.end(),
+                               f.stalled_nodes.begin(), f.stalled_nodes.end());
+    total.violations.insert(total.violations.end(), f.violations.begin(),
+                            f.violations.end());
+  }
+  total.detected_by_survivors = survivors;
+
+  out << "engine:     async, " << transport << " transport, " << runs
+      << (runs == 1 ? " run" : " runs") << '\n'
+      << "verdict:    " << (detected ? "REJECT (pattern found)" : "accept")
+      << '\n'
+      << "oracle:     " << (truth ? "pattern present" : "pattern absent")
+      << '\n'
+      << "completed:  " << (all_completed ? "yes" : "no (stalls or crashes)")
+      << '\n'
+      << "pulses:     " << pulses << '\n'
+      << "payload bits:   " << payload << '\n'
+      << "transport bits: " << transport_bits << '\n'
+      << "--- fault report (all runs) ---\n"
+      << congest::summarize(total);
+  if (detected && !truth) out << "WARNING: false positive (model bug?)\n";
+  if (!detected && truth)
+    out << "note: faults can mask the pattern; try --transport reliable\n";
+  return 0;
+}
+
 int cmd_detect(const Invocation& inv, std::ostream& out) {
   CSD_CHECK_MSG(inv.positional.size() >= 3,
                 "detect needs a pattern and a file");
@@ -185,6 +329,10 @@ int cmd_detect(const Invocation& inv, std::ostream& out) {
   // The file is the last positional; `cycle L` / `clique S` / `star D`
   // carry one parameter in between.
   const Graph g = io::load(inv.positional.back());
+
+  if (inv.has_flag("drop") || inv.has_flag("corrupt") ||
+      inv.has_flag("crash") || inv.has_flag("transport"))
+    return cmd_detect_faulty(inv, out, g, pattern, bandwidth, seed, reps);
 
   bool detected = false, truth = false;
   std::uint64_t rounds = 0;
