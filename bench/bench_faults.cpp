@@ -12,10 +12,16 @@
 //      detector silently loses instances; accuracy decays as drop grows.
 //
 // All faults are seeded: re-running this binary reproduces every number.
+// `--jobs N` fans the per-instance runs of each sweep cell over N worker
+// threads (0 = all hardware threads); the reduction is sequential in
+// instance order, so every table is bit-identical for every N.
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "congest/async.hpp"
 #include "congest/network.hpp"
+#include "congest/run_batch.hpp"
 #include "detect/clique_detect.hpp"
 #include "detect/even_cycle.hpp"
 #include "graph/builders.hpp"
@@ -29,6 +35,8 @@ using namespace csd;
 constexpr double kDropRates[] = {0.0, 0.05, 0.1, 0.2, 0.3};
 constexpr double kCorrupt = 0.05;
 constexpr int kInstances = 10;
+
+unsigned g_jobs = 1;
 
 struct Detector {
   const char* name;
@@ -50,12 +58,26 @@ struct SweepPoint {
 
 /// One (detector, drop, mode) cell: run `kInstances` seeded instances on
 /// planted/control graphs and compare against the clean synchronous run.
+/// The instances are independent, so they fan out over the run driver's
+/// worker pool; the averages are reduced sequentially in instance order,
+/// keeping every double sum bit-stable across jobs counts.
 SweepPoint sweep(const Detector& det, const Graph& (*instance)(int),
                  double drop, congest::TransportMode mode) {
-  SweepPoint point;
-  for (int i = 0; i < kInstances; ++i) {
-    const Graph& g = instance(i);
-    const std::uint64_t seed = 100 + static_cast<std::uint64_t>(i);
+  struct InstanceResult {
+    bool match = false;
+    bool completed = false;
+    std::uint64_t pulses = 0;
+    std::uint64_t payload_bits = 0;
+    std::uint64_t transport_bits = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t stalled = 0;
+    std::uint64_t virtual_time = 0;
+  };
+  std::vector<InstanceResult> results(kInstances);
+  const congest::RunBatch batch(g_jobs);
+  batch.for_each_index(kInstances, [&](std::size_t idx) {
+    const Graph& g = instance(static_cast<int>(idx));
+    const std::uint64_t seed = 100 + static_cast<std::uint64_t>(idx);
 
     congest::NetworkConfig sync_cfg;
     sync_cfg.bandwidth = det.bandwidth;
@@ -72,16 +94,27 @@ SweepPoint sweep(const Detector& det, const Graph& (*instance)(int),
     cfg.transport = mode;
     const auto outcome = congest::run_async(g, cfg, det.factory);
 
-    point.accuracy += outcome.detected == truth.detected ? 1.0 : 0.0;
-    point.completed += outcome.completed ? 1.0 : 0.0;
-    point.avg_pulses += static_cast<double>(outcome.pulses);
-    point.avg_payload_bits += static_cast<double>(outcome.payload_bits);
-    point.avg_transport_bits += static_cast<double>(outcome.transport_bits);
-    point.avg_retransmissions +=
-        static_cast<double>(outcome.faults.retransmissions);
-    point.avg_stalled +=
-        static_cast<double>(outcome.faults.stalled_nodes.size());
-    point.avg_virtual_time += static_cast<double>(outcome.virtual_time);
+    auto& r = results[idx];
+    r.match = outcome.detected == truth.detected;
+    r.completed = outcome.completed;
+    r.pulses = outcome.pulses;
+    r.payload_bits = outcome.payload_bits;
+    r.transport_bits = outcome.transport_bits;
+    r.retransmissions = outcome.faults.retransmissions;
+    r.stalled = outcome.faults.stalled_nodes.size();
+    r.virtual_time = outcome.virtual_time;
+  });
+
+  SweepPoint point;
+  for (const auto& r : results) {
+    point.accuracy += r.match ? 1.0 : 0.0;
+    point.completed += r.completed ? 1.0 : 0.0;
+    point.avg_pulses += static_cast<double>(r.pulses);
+    point.avg_payload_bits += static_cast<double>(r.payload_bits);
+    point.avg_transport_bits += static_cast<double>(r.transport_bits);
+    point.avg_retransmissions += static_cast<double>(r.retransmissions);
+    point.avg_stalled += static_cast<double>(r.stalled);
+    point.avg_virtual_time += static_cast<double>(r.virtual_time);
   }
   point.accuracy /= kInstances;
   point.completed /= kInstances;
@@ -156,11 +189,16 @@ void run_tables(const Detector& det, const Graph& (*instance)(int)) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--jobs") == 0)
+      g_jobs = static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
   print_banner(std::cout,
                "FAULTS: detection accuracy & overhead vs drop probability",
                "reliable ARQ restores the synchronous verdict bit-for-bit; "
-               "raw links lose instances to stalls");
+               "raw links lose instances to stalls (" +
+                   std::to_string(congest::resolve_jobs(g_jobs)) +
+                   " worker thread(s))");
 
   detect::EvenCycleConfig cycle_cfg;
   cycle_cfg.k = 2;

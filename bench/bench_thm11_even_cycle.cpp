@@ -10,8 +10,11 @@
 //      cycles, which stay Θ(n) by [DKO14]).
 //   3. Detection quality: planted-cycle instances vs cycle-free controls.
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 
+#include "congest/run_batch.hpp"
 #include "detect/even_cycle.hpp"
 #include "detect/pipelined_cycle.hpp"
 #include "graph/builders.hpp"
@@ -25,10 +28,22 @@ double fitted_exponent(double r1, double r2, double n1, double n2) {
   return std::log(r2 / r1) / std::log(n2 / n1);
 }
 
+/// `--jobs N` fans amplification repetitions over N worker threads
+/// (0 = all hardware threads). Verdicts and metrics are identical for
+/// every N; only wall-clock changes.
+unsigned parse_jobs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--jobs") == 0)
+      return static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
+  return 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace csd;
+  congest::AmplifyOptions amplify;
+  amplify.jobs = parse_jobs(argc, argv);
 
   print_banner(std::cout,
                "THM11: C_2k detection rounds vs n (one repetition)",
@@ -91,10 +106,12 @@ int main() {
   crossover.print(std::cout);
 
   print_banner(std::cout, "Live runs: measured rounds and detection quality",
-               "C_4 on sparse hosts; every rejection is checked against the "
-               "oracle (one-sided error)");
-  Table quality({"n", "instance", "reps", "measured rounds/rep", "detected",
-                 "oracle"});
+               "C_4 on sparse hosts (" +
+                   std::to_string(congest::resolve_jobs(amplify.jobs)) +
+                   " worker thread(s)); every rejection is checked against "
+                   "the oracle (one-sided error)");
+  Table quality({"n", "instance", "reps", "executed", "measured rounds/rep",
+                 "detected", "oracle"});
   Rng rng(7);
   for (const std::uint64_t n : {128u, 512u, 2048u}) {
     // Planted C_4 in a forest vs a cycle-free control.
@@ -105,12 +122,14 @@ int main() {
       cfg.k = 2;
       cfg.c_num = 1;
       cfg.repetitions = n >= 2048 ? 150 : 400;
+      cfg.amplify = amplify;
       const auto outcome = detect::detect_even_cycle(g, cfg, 64, 11);
       quality.row()
           .cell(n)
           .cell(planted ? "forest + planted C4" : "forest (control)")
           .cell(std::uint64_t{cfg.repetitions})
-          .cell(outcome.metrics.rounds / cfg.repetitions)
+          .cell(outcome.metrics.repetitions_executed)
+          .cell(outcome.metrics.rounds / outcome.metrics.repetitions_executed)
           .cell(outcome.detected)
           .cell(oracle::has_cycle_of_length(g, 4));
     }
@@ -123,12 +142,14 @@ int main() {
     detect::EvenCycleConfig cfg;
     cfg.k = 2;
     cfg.repetitions = 200;
+    cfg.amplify = amplify;
     const auto outcome = detect::detect_even_cycle(er, cfg, 64, 13);
     quality.row()
         .cell(std::uint64_t{er.num_vertices()})
         .cell("polarity ER_7 (C4-free, dense)")
         .cell(std::uint64_t{cfg.repetitions})
-        .cell(outcome.metrics.rounds / cfg.repetitions)
+        .cell(outcome.metrics.repetitions_executed)
+        .cell(outcome.metrics.rounds / outcome.metrics.repetitions_executed)
         .cell(outcome.detected)
         .cell(false);
   }
@@ -137,12 +158,14 @@ int main() {
     detect::EvenCycleConfig cfg;
     cfg.k = 3;
     cfg.repetitions = 100;
+    cfg.amplify = amplify;
     const auto outcome = detect::detect_even_cycle(gq, cfg, 64, 17);
     quality.row()
         .cell(std::uint64_t{gq.num_vertices()})
         .cell("GQ(4,3) (C6-free, girth 8)")
         .cell(std::uint64_t{cfg.repetitions})
-        .cell(outcome.metrics.rounds / cfg.repetitions)
+        .cell(outcome.metrics.repetitions_executed)
+        .cell(outcome.metrics.rounds / outcome.metrics.repetitions_executed)
         .cell(outcome.detected)
         .cell(false);
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <queue>
+#include <unordered_map>
 
 #include "congest/node_state.hpp"
 #include "support/check.hpp"
@@ -68,15 +69,23 @@ class AsyncEngine {
                     ? config_.transport_cfg.rto
                     : 2ULL * config_.max_delay + 4;
 
+    // Reverse-port table in O(sum deg) expected time via per-vertex port
+    // maps (mirrors Network::build_topology_tables; the old per-neighbor
+    // std::find scan was O(sum deg^2)).
+    std::vector<std::unordered_map<Vertex, std::uint32_t>> port_of(n);
+    for (Vertex v = 0; v < n; ++v) {
+      const auto nbrs = topology_.neighbors(v);
+      port_of[v].reserve(nbrs.size());
+      for (std::uint32_t p = 0; p < nbrs.size(); ++p) port_of[v][nbrs[p]] = p;
+    }
     reverse_port_.resize(n);
     for (Vertex v = 0; v < n; ++v) {
       const auto nbrs = topology_.neighbors(v);
       reverse_port_[v].resize(nbrs.size());
       for (std::uint32_t p = 0; p < nbrs.size(); ++p) {
-        const auto back = topology_.neighbors(nbrs[p]);
-        const auto it = std::find(back.begin(), back.end(), v);
-        CSD_CHECK(it != back.end());
-        reverse_port_[v][p] = static_cast<std::uint32_t>(it - back.begin());
+        const auto it = port_of[nbrs[p]].find(v);
+        CSD_CHECK(it != port_of[nbrs[p]].end());
+        reverse_port_[v][p] = it->second;
       }
     }
 

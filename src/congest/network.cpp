@@ -1,9 +1,11 @@
 #include "congest/network.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 #include <utility>
 
 #include "congest/node_state.hpp"
+#include "congest/run_batch.hpp"
 #include "support/check.hpp"
 
 namespace csd::congest {
@@ -14,6 +16,7 @@ Network::Network(Graph topology, NetworkConfig config)
     : topology_(std::move(topology)), config_(config) {
   ids_.resize(topology_.num_vertices());
   for (Vertex v = 0; v < topology_.num_vertices(); ++v) ids_[v] = v;
+  build_topology_tables();
 }
 
 Network::Network(Graph topology, NetworkConfig config,
@@ -21,25 +24,44 @@ Network::Network(Graph topology, NetworkConfig config,
     : topology_(std::move(topology)), config_(config), ids_(std::move(ids)) {
   CSD_CHECK_MSG(ids_.size() == topology_.num_vertices(),
                 "identifier assignment size mismatch");
+  build_topology_tables();
 }
 
-RunOutcome Network::run(const ProgramFactory& factory) {
+// Port mapping: port p of node v leads to topology_.neighbors(v)[p]; for
+// delivery we need the reverse port on the receiving side. Built once per
+// topology in O(sum deg) expected time via per-vertex port maps (the old
+// per-run std::find scan was O(sum deg^2) and re-paid on every repetition).
+void Network::build_topology_tables() {
   const Vertex n = topology_.num_vertices();
-
-  // Port mapping: port p of node v leads to topology_.neighbors(v)[p]. For
-  // delivery we need the reverse port on the receiving side.
-  std::vector<std::vector<std::uint32_t>> reverse_port(n);
+  std::vector<std::unordered_map<Vertex, std::uint32_t>> port_of(n);
   for (Vertex v = 0; v < n; ++v) {
     const auto nbrs = topology_.neighbors(v);
-    reverse_port[v].resize(nbrs.size());
+    port_of[v].reserve(nbrs.size());
+    for (std::uint32_t p = 0; p < nbrs.size(); ++p) port_of[v][nbrs[p]] = p;
+  }
+  reverse_port_.resize(n);
+  neighbor_ids_.resize(n);
+  for (Vertex v = 0; v < n; ++v) {
+    const auto nbrs = topology_.neighbors(v);
+    reverse_port_[v].resize(nbrs.size());
+    neighbor_ids_[v].resize(nbrs.size());
     for (std::uint32_t p = 0; p < nbrs.size(); ++p) {
       const Vertex w = nbrs[p];
-      const auto back = topology_.neighbors(w);
-      const auto it = std::find(back.begin(), back.end(), v);
-      CSD_CHECK(it != back.end());
-      reverse_port[v][p] = static_cast<std::uint32_t>(it - back.begin());
+      const auto it = port_of[w].find(v);
+      CSD_CHECK(it != port_of[w].end());
+      reverse_port_[v][p] = it->second;
+      neighbor_ids_[v][p] = ids_[w];
     }
   }
+}
+
+RunOutcome Network::run(const ProgramFactory& factory) const {
+  return run(factory, config_.seed);
+}
+
+RunOutcome Network::run(const ProgramFactory& factory,
+                        std::uint64_t seed) const {
+  const Vertex n = topology_.num_vertices();
 
   std::uint64_t namespace_size = config_.namespace_size;
   if (namespace_size == 0) namespace_size = n;
@@ -57,20 +79,17 @@ RunOutcome Network::run(const ProgramFactory& factory) {
   programs.reserve(n);
   for (Vertex v = 0; v < n; ++v) {
     nodes.push_back(std::make_unique<NodeState>(
-        topology_, v, ids_[v], config_.seed, n, namespace_size,
+        topology_, v, ids_[v], seed, n, namespace_size,
         config_.bandwidth, config_.broadcast_only,
         &outcome.faults.violations));
-    std::vector<NodeId> neighbor_ids;
-    for (const Vertex w : topology_.neighbors(v))
-      neighbor_ids.push_back(ids_[w]);
-    nodes.back()->set_neighbor_ids(std::move(neighbor_ids));
+    nodes.back()->set_neighbor_ids(&neighbor_ids_[v]);
     programs.push_back(factory(v));
     CSD_CHECK_MSG(programs.back() != nullptr, "factory returned null program");
   }
 
   const bool faulty = !config_.faults.empty();
   std::optional<FaultInjector> injector;
-  if (faulty) injector.emplace(config_.faults, config_.seed, topology_);
+  if (faulty) injector.emplace(config_.faults, seed, topology_);
   std::vector<bool> crashed(n, false);
   const auto crash = [&](Vertex v) {
     crashed[v] = true;
@@ -141,7 +160,7 @@ RunOutcome Network::run(const ProgramFactory& factory) {
             payload.flip(fate.corrupt_bit);
           }
         }
-        nodes[nbrs[p]]->deliver(reverse_port[v][p], std::move(payload));
+        nodes[nbrs[p]]->deliver(reverse_port_[v][p], std::move(payload));
       }
     }
   }
@@ -170,27 +189,67 @@ RunOutcome run_congest(const Graph& topology, const NetworkConfig& config,
 
 RunOutcome run_amplified(const Graph& topology, const NetworkConfig& config,
                          const ProgramFactory& factory,
-                         std::uint32_t repetitions) {
+                         std::uint32_t repetitions,
+                         const AmplifyOptions& options) {
   CSD_CHECK(repetitions >= 1);
+  const Network net(topology, config);
+
+  std::vector<std::uint64_t> seeds(repetitions);
+  for (std::uint32_t rep = 0; rep < repetitions; ++rep)
+    seeds[rep] = derive_seed(config.seed, 0x5eedULL + rep);
+  std::vector<RunBatch::Task> tasks(repetitions);
+  for (std::uint32_t rep = 0; rep < repetitions; ++rep)
+    tasks[rep] = {&net, &factory, seeds[rep]};
+
+  const RunBatch batch(options.jobs);
+  RunBatch::Result result = batch.execute(tasks, options.early_exit);
+
+  const Vertex n = topology.num_vertices();
   RunOutcome combined;
-  std::uint64_t total_rounds = 0;
-  std::uint64_t total_bits = 0;
-  std::uint64_t total_messages = 0;
-  bool detected = false;
-  for (std::uint32_t rep = 0; rep < repetitions; ++rep) {
-    NetworkConfig rep_config = config;
-    rep_config.seed = derive_seed(config.seed, 0x5eedULL + rep);
-    Network net(topology, rep_config);
-    combined = net.run(factory);
-    total_rounds += combined.metrics.rounds;
-    total_bits += combined.metrics.total_bits;
-    total_messages += combined.metrics.messages;
-    detected = detected || combined.detected;
+  combined.completed = true;
+  combined.verdicts.assign(n, Verdict::Accept);
+  combined.metrics.bits_sent_by_node.assign(n, 0);
+  combined.metrics.repetitions_executed = result.executed;
+  combined.metrics.repetitions_skipped = result.skipped;
+  for (auto& slot : result.outcomes) {
+    if (!slot.has_value()) continue;  // skipped by early exit
+    RunOutcome& rep = *slot;
+    combined.completed = combined.completed && rep.completed;
+    combined.detected = combined.detected || rep.detected;
+    for (Vertex v = 0; v < n; ++v)
+      if (rep.verdicts[v] == Verdict::Reject)
+        combined.verdicts[v] = Verdict::Reject;
+    combined.metrics.rounds += rep.metrics.rounds;
+    combined.metrics.messages += rep.metrics.messages;
+    combined.metrics.total_bits += rep.metrics.total_bits;
+    combined.metrics.max_message_bits =
+        std::max(combined.metrics.max_message_bits,
+                 rep.metrics.max_message_bits);
+    for (Vertex v = 0; v < n; ++v)
+      combined.metrics.bits_sent_by_node[v] +=
+          rep.metrics.bits_sent_by_node[v];
+    combined.transcript.insert(
+        combined.transcript.end(),
+        std::make_move_iterator(rep.transcript.begin()),
+        std::make_move_iterator(rep.transcript.end()));
+    FaultReport& f = combined.faults;
+    FaultReport& rf = rep.faults;
+    f.frames_dropped += rf.frames_dropped;
+    f.frames_corrupted += rf.frames_corrupted;
+    f.retransmissions += rf.retransmissions;
+    f.checksum_rejects += rf.checksum_rejects;
+    f.duplicate_packets += rf.duplicate_packets;
+    f.transport_failures += rf.transport_failures;
+    f.crashed_nodes.insert(f.crashed_nodes.end(), rf.crashed_nodes.begin(),
+                           rf.crashed_nodes.end());
+    f.stalled_nodes.insert(f.stalled_nodes.end(), rf.stalled_nodes.begin(),
+                           rf.stalled_nodes.end());
+    f.violations.insert(f.violations.end(),
+                        std::make_move_iterator(rf.violations.begin()),
+                        std::make_move_iterator(rf.violations.end()));
+    f.detected_by_survivors =
+        f.detected_by_survivors || rf.detected_by_survivors;
   }
-  combined.detected = detected;
-  combined.metrics.rounds = total_rounds;
-  combined.metrics.total_bits = total_bits;
-  combined.metrics.messages = total_messages;
   return combined;
 }
 

@@ -76,7 +76,8 @@ struct TranscriptEntry {
   BitVec payload;
 };
 
-/// Aggregate cost metrics of a run.
+/// Aggregate cost metrics of a run (or of an amplified batch of runs: see
+/// run_amplified for the per-field aggregation rule).
 struct RunMetrics {
   std::uint64_t rounds = 0;
   std::uint64_t messages = 0;
@@ -85,25 +86,54 @@ struct RunMetrics {
   std::uint64_t max_message_bits = 0;
   /// Per-node total bits sent (indexed by topology index).
   std::vector<std::uint64_t> bits_sent_by_node;
+  /// Repetitions whose costs are included in this struct. 1 for a plain
+  /// Network::run; run_amplified sums costs over exactly this many.
+  std::uint32_t repetitions_executed = 1;
+  /// Repetitions skipped by run_amplified's early exit (one-sided detection:
+  /// once a repetition rejects, later ones cannot change the answer). Their
+  /// costs are NOT included above — accounting stays honest.
+  std::uint32_t repetitions_skipped = 0;
 };
 
 struct RunOutcome {
   /// True iff every node halted gracefully before max_rounds (a crashed
-  /// node never counts as halted).
+  /// node never counts as halted). Amplified: AND across repetitions.
   bool completed = false;
-  /// Verdict per node (topology index). Global answer below.
+  /// Verdict per node (topology index). Global answer below. Amplified:
+  /// elementwise — Reject if the node rejected in any repetition.
   std::vector<Verdict> verdicts;
-  /// True iff some node rejected — i.e. the algorithm claims "H present".
+  /// True iff some node *ever* issued Reject — i.e. the algorithm claims
+  /// "H present". Intended semantics (do not conflate the two flags):
+  ///   * `detected` counts every Reject, including one issued by a node
+  ///     that later crashed — it is the fault-free-model answer, the one
+  ///     the paper's one-sided-error analysis speaks about;
+  ///   * `faults.detected_by_survivors` counts Rejects only among nodes
+  ///     alive at the end of the run — the answer an operator could
+  ///     actually collect from the surviving network.
+  /// On a fault-free run the two coincide. Amplified: OR, each over its own
+  /// repetition's crash set.
   bool detected = false;
   RunMetrics metrics;
   std::vector<TranscriptEntry> transcript;
   /// Structured fault/violation account; FaultReport::clean() on a healthy
-  /// run. See congest/faults.hpp.
+  /// run. See congest/faults.hpp. Amplified: counters summed, node/violation
+  /// lists concatenated in repetition order.
   FaultReport faults;
 };
 
 /// Synchronous simulator over a fixed topology and identifier assignment.
 /// The topology is copied: a Network never dangles on a temporary graph.
+///
+/// Construction precomputes the topology-derived tables that every run
+/// needs — the reverse-port map and the per-node neighbor-identifier
+/// vectors — so repeated runs (amplification, sweeps) pay for them once
+/// instead of once per repetition.
+///
+/// `run` is const and touches no mutable Network state: concurrent runs of
+/// the SAME Network from multiple threads are safe provided `factory` and
+/// `config().on_message` are themselves safe to invoke concurrently (the
+/// library's program factories are: they capture configs by value and
+/// allocate fresh programs). This is what RunBatch builds on.
 class Network {
  public:
   /// Identifiers default to the topology index (ids[v] = v).
@@ -111,29 +141,68 @@ class Network {
   Network(Graph topology, NetworkConfig config, std::vector<NodeId> ids);
 
   /// Run `factory`-created programs to completion (or the round cap).
-  RunOutcome run(const ProgramFactory& factory);
+  RunOutcome run(const ProgramFactory& factory) const;
+
+  /// Same, but with the run seed overridden (node RNGs and the fault
+  /// injector derive from `seed` instead of config().seed). This is how one
+  /// Network serves every repetition of an amplified run.
+  RunOutcome run(const ProgramFactory& factory, std::uint64_t seed) const;
 
   const Graph& topology() const noexcept { return topology_; }
   const std::vector<NodeId>& ids() const noexcept { return ids_; }
   const NetworkConfig& config() const noexcept { return config_; }
 
  private:
+  void build_topology_tables();
+
   Graph topology_;
   NetworkConfig config_;
   std::vector<NodeId> ids_;
+  /// reverse_port_[v][p] = the port of neighbors(v)[p] that leads back to v.
+  std::vector<std::vector<std::uint32_t>> reverse_port_;
+  /// neighbor_ids_[v][p] = ids_[neighbors(v)[p]]; shared with NodeStates.
+  std::vector<std::vector<NodeId>> neighbor_ids_;
 };
 
 /// Convenience: run `factory` over `topology` and return the outcome.
 RunOutcome run_congest(const Graph& topology, const NetworkConfig& config,
                        const ProgramFactory& factory);
 
+/// How run_amplified schedules its repetitions.
+struct AmplifyOptions {
+  /// Worker threads fanning repetitions across a RunBatch; 1 = run inline
+  /// on the calling thread, 0 = one per hardware thread. Outcomes are
+  /// bit-identical for every value (see RunBatch's determinism contract).
+  unsigned jobs = 1;
+  /// Detection is one-sided (a Reject certifies a real copy of H), so once
+  /// a repetition rejects, later repetitions cannot change the answer:
+  /// stop after the first detecting repetition and record the rest in
+  /// metrics.repetitions_skipped. Costs of skipped repetitions are not
+  /// accounted. Disable to force the full cost of all repetitions (e.g.
+  /// when measuring per-repetition round budgets).
+  bool early_exit = true;
+};
+
 /// Run a randomized detection algorithm `repetitions` times with derived
-/// seeds and report "detected" if any repetition rejects (one-sided
-/// amplification, as in §6 "putting everything together"). Returns the
-/// outcome of the final repetition with `detected` OR-ed across repetitions
-/// and `metrics.rounds` summed.
+/// seeds (derive_seed(config.seed, 0x5eed + rep), the schedule the async
+/// CLI path mirrors) and aggregate ACROSS repetitions (one-sided
+/// amplification, as in §6 "putting everything together"):
+///   * detected / faults.detected_by_survivors : OR,
+///   * completed                               : AND,
+///   * verdicts                                : elementwise (Reject wins),
+///   * rounds / messages / total_bits          : summed,
+///   * bits_sent_by_node                       : elementwise sum,
+///   * max_message_bits                        : max,
+///   * fault counters summed; crash/stall/violation lists and transcripts
+///     concatenated in repetition order.
+/// The aggregate covers repetitions 0..r* where r* is the first detecting
+/// repetition (all of them when none detects or options.early_exit is off);
+/// metrics.repetitions_executed / repetitions_skipped record the split. The
+/// result is a pure function of (topology, config, factory, repetitions,
+/// options.early_exit) — options.jobs never changes a single bit.
 RunOutcome run_amplified(const Graph& topology, const NetworkConfig& config,
                          const ProgramFactory& factory,
-                         std::uint32_t repetitions);
+                         std::uint32_t repetitions,
+                         const AmplifyOptions& options = {});
 
 }  // namespace csd::congest

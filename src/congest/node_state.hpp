@@ -42,7 +42,7 @@ class NodeState final : public NodeApi {
   std::uint32_t degree() const override { return topology_.degree(index_); }
   NodeId neighbor_id(std::uint32_t port) const override {
     CSD_CHECK_MSG(port < degree(), "neighbor_id: port out of range");
-    return neighbor_ids_[port];
+    return (*neighbor_ids_)[port];
   }
   std::uint64_t round() const override { return round_; }
   std::uint64_t network_size() const override { return network_size_; }
@@ -90,12 +90,26 @@ class NodeState final : public NodeApi {
 
   Rng& rng() override { return rng_; }
 
+  BitVec scratch() override {
+    if (pool_.empty()) return BitVec{};
+    BitVec buf = std::move(pool_.back());
+    pool_.pop_back();
+    buf.clear();  // vector storage is retained, so capacity is reused
+    return buf;
+  }
+
   void reject() override { verdict_ = Verdict::Reject; }
   void halt() override { halted_ = true; }
 
   // Simulator plumbing --------------------------------------------------
   void set_neighbor_ids(std::vector<NodeId> ids) {
-    neighbor_ids_ = std::move(ids);
+    owned_neighbor_ids_ = std::move(ids);
+    neighbor_ids_ = &owned_neighbor_ids_;
+  }
+  /// Share a table owned by the engine (computed once per topology and
+  /// reused across runs/repetitions); must outlive this NodeState.
+  void set_neighbor_ids(const std::vector<NodeId>* shared) {
+    neighbor_ids_ = shared;
   }
   void begin_round(std::uint64_t r) {
     round_ = r;
@@ -103,7 +117,14 @@ class NodeState final : public NodeApi {
     for (auto& slot : outbox_) slot.reset();
   }
   void clear_inbox() {
-    for (auto& slot : inbox_) slot.reset();
+    // Retire consumed payload buffers into the scratch pool instead of
+    // freeing them; the pool is capped at the node degree (the most buffers
+    // a round can retire) so programs that never call scratch() don't leak.
+    for (auto& slot : inbox_) {
+      if (slot.has_value() && pool_.size() < inbox_.size())
+        pool_.push_back(std::move(*slot));
+      slot.reset();
+    }
   }
   void deliver(std::uint32_t port, BitVec payload) {
     inbox_[port] = std::move(payload);
@@ -133,9 +154,11 @@ class NodeState final : public NodeApi {
   Rng rng_;
   std::optional<BitVec> round_payload_;
   std::uint64_t round_ = 0;
-  std::vector<NodeId> neighbor_ids_;
+  std::vector<NodeId> owned_neighbor_ids_;
+  const std::vector<NodeId>* neighbor_ids_ = &owned_neighbor_ids_;
   std::vector<std::optional<BitVec>> inbox_;
   std::vector<std::optional<BitVec>> outbox_;
+  std::vector<BitVec> pool_;  // retired payload buffers (see scratch())
   bool halted_ = false;
   Verdict verdict_ = Verdict::Accept;
 };

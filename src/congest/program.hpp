@@ -62,6 +62,13 @@ class NodeApi {
   /// Node-local deterministic randomness (derived from the run seed).
   virtual Rng& rng() = 0;
 
+  /// An empty payload buffer recycled from this node's already-consumed
+  /// inbox messages (contents cleared, heap capacity retained). Semantically
+  /// identical to `BitVec{}`; building outgoing payloads from it (e.g.
+  /// `wire::Writer w(api.scratch());`) eliminates the one heap allocation
+  /// per message per round that otherwise dominates tight send loops.
+  virtual BitVec scratch() { return BitVec{}; }
+
   /// Set this node's verdict to Reject ("I detected a copy of H"). Sticky.
   virtual void reject() = 0;
   /// Stop participating after this round. The run ends when all halt.

@@ -1,0 +1,133 @@
+#include "congest/run_batch.hpp"
+
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <thread>
+
+#include "support/check.hpp"
+
+namespace csd::congest {
+
+namespace {
+
+constexpr std::uint32_t kNoCut = std::numeric_limits<std::uint32_t>::max();
+
+/// Atomically lower `target` to `value` (monotone min).
+void atomic_min(std::atomic<std::uint32_t>& target, std::uint32_t value) {
+  std::uint32_t current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_acq_rel)) {
+  }
+}
+
+}  // namespace
+
+unsigned resolve_jobs(unsigned jobs) noexcept {
+  if (jobs != 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+RunBatch::RunBatch(unsigned jobs) : jobs_(resolve_jobs(jobs)) {}
+
+RunBatch::Result RunBatch::execute(const std::vector<Task>& tasks,
+                                   bool stop_after_detection) const {
+  Result result;
+  result.outcomes.resize(tasks.size());
+  if (tasks.empty()) return result;
+  for (const Task& task : tasks)
+    CSD_CHECK_MSG(task.network != nullptr && task.factory != nullptr,
+                  "RunBatch task missing network or factory");
+
+  const std::size_t workers =
+      std::min<std::size_t>(jobs_, tasks.size());
+  if (workers <= 1) {
+    // Inline sequential path: the reference semantics the parallel path
+    // must reproduce bit-for-bit.
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      result.outcomes[i] =
+          tasks[i].network->run(*tasks[i].factory, tasks[i].seed);
+      if (stop_after_detection && result.outcomes[i]->detected) break;
+    }
+  } else {
+    std::vector<std::exception_ptr> errors(tasks.size());
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::uint32_t> first_detected{kNoCut};
+    const auto work = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= tasks.size()) return;
+        // Skip only tasks strictly beyond a known detection index m >= r*;
+        // since first_detected is a monotone min converging on r*, every
+        // task with index <= r* is claimed and executed.
+        if (stop_after_detection &&
+            i > first_detected.load(std::memory_order_acquire))
+          continue;
+        try {
+          RunOutcome outcome =
+              tasks[i].network->run(*tasks[i].factory, tasks[i].seed);
+          if (stop_after_detection && outcome.detected)
+            atomic_min(first_detected, static_cast<std::uint32_t>(i));
+          result.outcomes[i] = std::move(outcome);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(work);
+    for (auto& thread : pool) thread.join();
+
+    const std::uint32_t cut =
+        stop_after_detection ? first_detected.load() : kNoCut;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (i > cut) {
+        // Beyond the deterministic prefix: discard whatever a fast worker
+        // may have computed so the result is thread-count independent.
+        result.outcomes[i].reset();
+        continue;
+      }
+      if (errors[i]) std::rethrow_exception(errors[i]);
+    }
+  }
+
+  for (const auto& slot : result.outcomes)
+    if (slot.has_value()) ++result.executed;
+  result.skipped =
+      static_cast<std::uint32_t>(tasks.size()) - result.executed;
+  return result;
+}
+
+void RunBatch::for_each_index(
+    std::size_t count, const std::function<void(std::size_t)>& fn) const {
+  if (count == 0) return;
+  const std::size_t workers = std::min<std::size_t>(jobs_, count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::vector<std::exception_ptr> errors(count);
+  std::atomic<std::size_t> next{0};
+  const auto work = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(work);
+  for (auto& thread : pool) thread.join();
+  for (const auto& error : errors)
+    if (error) std::rethrow_exception(error);
+}
+
+}  // namespace csd::congest

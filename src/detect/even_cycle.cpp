@@ -41,7 +41,7 @@ class EvenCycleProgram final : public congest::NodeProgram {
       phase1_round(api);
       if (r == sched_.phase1_rounds) {
         // Removal announcement: 1 = I am high-degree and drop out.
-        wire::Writer w;
+        wire::Writer w(api.scratch());
         w.boolean(removed_);
         api.broadcast(std::move(w).take());
       }
@@ -135,7 +135,7 @@ class EvenCycleProgram final : public congest::NodeProgram {
     if (!phase1_queue_.empty()) {
       const congest::NodeId origin = phase1_queue_.front();
       phase1_queue_.pop_front();
-      wire::Writer w;
+      wire::Writer w(api.scratch());
       w.u(origin, id_bits_);
       w.u(color1_, hop_bits_);
       api.broadcast(std::move(w).take());
@@ -164,7 +164,7 @@ class EvenCycleProgram final : public congest::NodeProgram {
       if (neighbor_unassigned_[p]) ++remaining;
     if (remaining <= sched_.peel_degree) {
       layer_ = wave;
-      wire::Writer w;
+      wire::Writer w(api.scratch());
       w.boolean(true);
       api.broadcast(std::move(w).take());
     }
@@ -199,7 +199,7 @@ class EvenCycleProgram final : public congest::NodeProgram {
     // Origin announcement in window 1.
     if (r == sched_.window_start[1] && role.kind == Role::Origin &&
         cfg_.enable_phase2) {
-      wire::Writer w;
+      wire::Writer w(api.scratch());
       w.boolean(false);
       w.u(0, pos_bits_);
       w.u(api.id(), id_bits_);
@@ -213,7 +213,7 @@ class EvenCycleProgram final : public congest::NodeProgram {
         in_send_window(r, role.position) && !queue_.empty()) {
       const Token token = queue_.front();
       queue_.pop_front();
-      wire::Writer w;
+      wire::Writer w(api.scratch());
       w.boolean(token.decreasing);
       w.u(role.position, pos_bits_);
       w.u(token.origin, id_bits_);
@@ -360,7 +360,7 @@ congest::RunOutcome detect_even_cycle(const Graph& g,
           .total_rounds() +
       1;
   return congest::run_amplified(g, net_cfg, even_cycle_program(cfg),
-                                cfg.repetitions);
+                                cfg.repetitions, cfg.amplify);
 }
 
 }  // namespace csd::detect

@@ -42,6 +42,9 @@ struct EvenCycleConfig {
   std::uint64_t c_den = 1;
   /// Independent repetitions (amplification).
   std::uint32_t repetitions = 1;
+  /// How repetitions are driven: worker threads + early exit after the
+  /// first rejecting repetition. Results are jobs-count independent.
+  congest::AmplifyOptions amplify;
   /// Ablation knobs (used by the ABL bench): disabling a phase keeps the
   /// round schedule but suppresses that phase's token initiation, so the
   /// other phase's behaviour is isolated.

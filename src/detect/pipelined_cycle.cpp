@@ -50,7 +50,7 @@ class PipelinedCycleProgram final : public congest::NodeProgram {
     if (!queue_.empty()) {
       const congest::NodeId origin = queue_.front();
       queue_.pop_front();
-      wire::Writer w;
+      wire::Writer w(api.scratch());
       w.u(origin, id_bits);
       w.u(color_, hop_bits);
       api.broadcast(std::move(w).take());
@@ -102,7 +102,7 @@ congest::RunOutcome detect_cycle_pipelined(const Graph& g,
       pipelined_cycle_round_budget(g.num_vertices(), cfg.length) + 1;
   return congest::run_amplified(g, net_cfg,
                                 pipelined_cycle_program(cfg.length),
-                                cfg.repetitions);
+                                cfg.repetitions, cfg.amplify);
 }
 
 }  // namespace csd::detect

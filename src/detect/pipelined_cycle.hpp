@@ -26,6 +26,9 @@ struct PipelinedCycleConfig {
   std::uint32_t length = 3;
   /// Independent color-coding repetitions (amplification).
   std::uint32_t repetitions = 1;
+  /// How repetitions are driven: worker threads + early exit after the
+  /// first rejecting repetition. Results are jobs-count independent.
+  congest::AmplifyOptions amplify;
 };
 
 /// Program factory for one repetition (colors drawn from the network seed).

@@ -112,7 +112,7 @@ congest::RunOutcome detect_tree(const Graph& g, const TreeDetectConfig& cfg,
   net_cfg.seed = seed;
   net_cfg.max_rounds = tree_detect_round_budget(cfg.tree) + 1;
   return congest::run_amplified(g, net_cfg, tree_detect_program(cfg.tree),
-                                cfg.repetitions);
+                                cfg.repetitions, cfg.amplify);
 }
 
 }  // namespace csd::detect

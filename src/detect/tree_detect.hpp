@@ -22,6 +22,9 @@ struct TreeDetectConfig {
   /// The pattern; must be a tree (checked). Rooted at vertex 0.
   Graph tree;
   std::uint32_t repetitions = 1;
+  /// How repetitions are driven: worker threads + early exit after the
+  /// first rejecting repetition. Results are jobs-count independent.
+  congest::AmplifyOptions amplify;
 };
 
 congest::ProgramFactory tree_detect_program(const Graph& tree);

@@ -56,7 +56,7 @@ class WeightedCycleProgram final : public congest::NodeProgram {
     if (!queue_.empty()) {
       const auto [origin, acc] = queue_.front();
       queue_.pop_front();
-      wire::Writer w;
+      wire::Writer w(api.scratch());
       w.u(origin, id_bits);
       w.u(color_, hop_bits);
       w.u(acc, weight_bits);
@@ -111,7 +111,7 @@ congest::RunOutcome detect_weighted_cycle(const Graph& g,
   net_cfg.max_rounds = weighted_cycle_round_budget(g.num_vertices(), cfg) + 1;
   return congest::run_amplified(g, net_cfg,
                                 weighted_cycle_program(cfg, weight),
-                                cfg.repetitions);
+                                cfg.repetitions, cfg.amplify);
 }
 
 }  // namespace csd::detect

@@ -32,6 +32,9 @@ struct WeightedCycleConfig {
   /// Upper bound on any single accumulated weight (wire width); accumulated
   /// weights above target_weight are pruned, so target_weight suffices.
   std::uint32_t repetitions = 1;
+  /// How repetitions are driven: worker threads + early exit after the
+  /// first rejecting repetition. Results are jobs-count independent.
+  congest::AmplifyOptions amplify;
 };
 
 congest::ProgramFactory weighted_cycle_program(const WeightedCycleConfig& cfg,

@@ -28,6 +28,13 @@ class Writer {
  public:
   Writer() = default;
 
+  /// Start from a recycled buffer (e.g. congest::NodeApi::scratch()): the
+  /// contents are cleared but the heap capacity is reused, which removes the
+  /// per-message allocation in hot per-round send loops.
+  explicit Writer(BitVec scratch) : bits_(std::move(scratch)) {
+    bits_.clear();
+  }
+
   /// Fixed-width unsigned field.
   void u(std::uint64_t value, unsigned width) {
     CSD_CHECK_MSG(width == 64 || value < (1ULL << width),

@@ -284,11 +284,28 @@ TEST(RunAmplified, AggregatesDetection) {
 
   NetworkConfig cfg;
   cfg.seed = 5;
-  auto outcome = run_amplified(
-      g, cfg, [](std::uint32_t) { return std::make_unique<CoinReject>(); },
-      20);
+  const auto factory = [](std::uint32_t) {
+    return std::make_unique<CoinReject>();
+  };
+
+  // Default driver: stop after the first rejecting repetition (one-sided
+  // error makes further repetitions redundant) and account honestly.
+  auto outcome = run_amplified(g, cfg, factory, 20);
   EXPECT_TRUE(outcome.detected);
-  EXPECT_EQ(outcome.metrics.rounds, 20u);  // summed over repetitions
+  EXPECT_EQ(outcome.metrics.repetitions_executed +
+                outcome.metrics.repetitions_skipped,
+            20u);
+  // Each executed repetition is exactly one round; costs cover only what ran.
+  EXPECT_EQ(outcome.metrics.rounds, outcome.metrics.repetitions_executed);
+
+  // Exhaustive mode: every repetition runs and the costs sum over all 20.
+  AmplifyOptions all;
+  all.early_exit = false;
+  auto full = run_amplified(g, cfg, factory, 20, all);
+  EXPECT_TRUE(full.detected);
+  EXPECT_EQ(full.metrics.repetitions_executed, 20u);
+  EXPECT_EQ(full.metrics.repetitions_skipped, 0u);
+  EXPECT_EQ(full.metrics.rounds, 20u);  // summed over repetitions
 }
 
 // -------------------------------------------------- namespace & broadcast --

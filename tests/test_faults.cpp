@@ -4,9 +4,11 @@
 // backoff, bounded retries) — all without spinning up an engine.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 
 #include "congest/faults.hpp"
+#include "congest/network.hpp"
 #include "congest/transport.hpp"
 #include "graph/builders.hpp"
 #include "support/check.hpp"
@@ -225,6 +227,35 @@ TEST(LinkReceiver, CorruptedPacketRejectedWithoutAck) {
 }
 
 // ---------------------------------------------------------------- report --
+// ------------------------------------------- detection flag semantics --
+// `detected` counts every Reject ever issued — including by a node that
+// crashed afterwards — because it is the fault-free-model answer the
+// paper's one-sided-error analysis speaks about. `detected_by_survivors`
+// is the operator's view: Rejects collectable from nodes alive at the end.
+TEST(FaultReport, RejectFromLaterCrashedNodeCountsAsDetectedOnly) {
+  class RejectThenLinger final : public NodeProgram {
+   public:
+    void on_round(NodeApi& api) override {
+      if (api.id() == 0 && api.round() == 0) api.reject();
+      if (api.round() >= 2) api.halt();
+    }
+  };
+
+  NetworkConfig cfg;
+  cfg.max_rounds = 8;
+  cfg.faults.crashes.push_back({0, 1});  // node 0 rejects, then dies
+  const auto outcome =
+      run_congest(build::path(2), cfg, [](std::uint32_t) {
+        return std::make_unique<RejectThenLinger>();
+      });
+
+  EXPECT_TRUE(outcome.detected);
+  EXPECT_FALSE(outcome.faults.detected_by_survivors);
+  EXPECT_FALSE(outcome.completed);  // a crashed node never counts as halted
+  ASSERT_EQ(outcome.faults.crashed_nodes.size(), 1u);
+  EXPECT_EQ(outcome.faults.crashed_nodes[0], 0u);
+}
+
 TEST(FaultReport, CleanAndSummary) {
   FaultReport report;
   EXPECT_TRUE(report.clean());

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "congest/async.hpp"
+#include "congest/run_batch.hpp"
 #include "detect/clique_detect.hpp"
 #include "detect/clique_listing.hpp"
 #include "detect/even_cycle.hpp"
@@ -23,6 +24,7 @@
 #include "support/check.hpp"
 #include "support/mathutil.hpp"
 #include "support/rng.hpp"
+#include "support/table.hpp"
 
 namespace csd::cli {
 
@@ -39,13 +41,20 @@ commands:
        --out is given; --dimacs selects DIMACS output)
   stats <file>
       n, m, max degree, diameter, girth, degeneracy, bipartiteness
-  detect <pattern> <file> [--bandwidth B] [--seed S] [--reps R]
+  detect <pattern> <file> [--bandwidth B] [--seed S] [--reps R] [--jobs N]
          [--drop P] [--corrupt P] [--crash NODE:ROUND] [--transport T]
       pattern: cycle L | triangle | clique S | star D
       runs the matching CONGEST algorithm and the exhaustive oracle.
-      fault flags (drop/corrupt probabilities in [0,1], --crash repeatable,
-      --transport raw|reliable) run the async engine under the given
-      FaultPlan and print a structured fault report
+      --jobs N fans amplification repetitions over N worker threads
+      (0 = all hardware threads); verdicts and metrics are bit-identical
+      for every N. fault flags (drop/corrupt probabilities in [0,1],
+      --crash repeatable, --transport raw|reliable) run the async engine
+      under the given FaultPlan and print a structured fault report
+  sweep cycle <L> [--sizes N1,N2,...] [--reps R] [--jobs N] [--seed S]
+        [--bandwidth B]
+      planted-vs-control detection sweep over host sizes (random forest
+      hosts, planted C_L vs cycle-free control), repetitions fanned over
+      the parallel run driver; reports executed/skipped repetitions
   list-cliques <s> <file>
       congested-clique K_s listing; prints count and round cost
   fool <namespace-N> <budget-c>
@@ -325,6 +334,8 @@ int cmd_detect(const Invocation& inv, std::ostream& out) {
   const std::uint64_t seed = to_u64(inv.flag("seed").value_or("1"), "seed");
   const auto reps = static_cast<std::uint32_t>(
       to_u64(inv.flag("reps").value_or("400"), "reps"));
+  const auto jobs = static_cast<unsigned>(
+      to_u64(inv.flag("jobs").value_or("1"), "jobs"));
 
   // The file is the last positional; `cycle L` / `clique S` / `star D`
   // carry one parameter in between.
@@ -336,6 +347,7 @@ int cmd_detect(const Invocation& inv, std::ostream& out) {
 
   bool detected = false, truth = false;
   std::uint64_t rounds = 0;
+  std::uint32_t executed = 1, skipped = 0;
   if (pattern == "triangle") {
     const auto outcome = detect::detect_clique(g, 3, bandwidth, seed);
     detected = outcome.detected;
@@ -356,17 +368,21 @@ int cmd_detect(const Invocation& inv, std::ostream& out) {
       detect::EvenCycleConfig cfg;
       cfg.k = len / 2;
       cfg.repetitions = reps;
+      cfg.amplify.jobs = jobs;
       outcome = detect::detect_even_cycle(g, cfg, bandwidth, seed);
       out << "algorithm:  Theorem 1.1 sublinear C_" << len << " detector\n";
     } else {
       detect::PipelinedCycleConfig cfg;
       cfg.length = len;
       cfg.repetitions = reps;
+      cfg.amplify.jobs = jobs;
       outcome = detect::detect_cycle_pipelined(g, cfg, bandwidth, seed);
       out << "algorithm:  pipelined color-coded C_" << len << " detector\n";
     }
     detected = outcome.detected;
     rounds = outcome.metrics.rounds;
+    executed = outcome.metrics.repetitions_executed;
+    skipped = outcome.metrics.repetitions_skipped;
     truth = oracle::has_cycle_of_length(g, len);
   } else if (pattern == "star") {
     CSD_CHECK_MSG(inv.positional.size() == 4, "detect star D FILE");
@@ -374,9 +390,12 @@ int cmd_detect(const Invocation& inv, std::ostream& out) {
     detect::TreeDetectConfig cfg;
     cfg.tree = build::star(d);
     cfg.repetitions = reps;
+    cfg.amplify.jobs = jobs;
     const auto outcome = detect::detect_tree(g, cfg, bandwidth, seed);
     detected = outcome.detected;
     rounds = outcome.metrics.rounds;
+    executed = outcome.metrics.repetitions_executed;
+    skipped = outcome.metrics.repetitions_skipped;
     truth = oracle::has_tree(g, cfg.tree);
   } else {
     CSD_CHECK_MSG(false, "unknown pattern '" << pattern << "'");
@@ -387,9 +406,93 @@ int cmd_detect(const Invocation& inv, std::ostream& out) {
       << "oracle:     " << (truth ? "pattern present" : "pattern absent")
       << '\n'
       << "rounds:     " << rounds << '\n';
+  if (executed != 1 || skipped != 0)
+    out << "reps:       " << executed << " executed, " << skipped
+        << " skipped (early exit)\n";
   if (detected && !truth) out << "WARNING: false positive (model bug?)\n";
   if (!detected && truth)
     out << "note: randomized detectors are one-sided; raise --reps\n";
+  return 0;
+}
+
+std::vector<std::uint64_t> parse_sizes(const std::string& csv) {
+  std::vector<std::uint64_t> sizes;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) sizes.push_back(to_u64(item, "sizes"));
+  CSD_CHECK_MSG(!sizes.empty(), "--sizes wants N1,N2,...");
+  return sizes;
+}
+
+congest::RunOutcome sweep_run_cycle(const Graph& g, std::uint32_t len,
+                                    std::uint32_t reps, unsigned jobs,
+                                    std::uint64_t bandwidth,
+                                    std::uint64_t seed) {
+  if (len >= 4 && len % 2 == 0) {
+    detect::EvenCycleConfig cfg;
+    cfg.k = len / 2;
+    cfg.repetitions = reps;
+    cfg.amplify.jobs = jobs;
+    return detect::detect_even_cycle(g, cfg, bandwidth, seed);
+  }
+  detect::PipelinedCycleConfig cfg;
+  cfg.length = len;
+  cfg.repetitions = reps;
+  cfg.amplify.jobs = jobs;
+  return detect::detect_cycle_pipelined(g, cfg, bandwidth, seed);
+}
+
+/// Planted-vs-control C_L sweep over host sizes. For each n, a random
+/// labelled tree is the cycle-free control instance and the same tree with a
+/// planted C_L is the positive instance; both run through the amplified
+/// detector with repetitions fanned across `--jobs` worker threads. The
+/// executed/skipped columns make the one-sided early exit visible: positive
+/// instances stop at the first rejecting repetition, controls run them all.
+int cmd_sweep(const Invocation& inv, std::ostream& out) {
+  CSD_CHECK_MSG(inv.positional.size() == 3 && inv.positional[1] == "cycle",
+                "sweep cycle L [--sizes N1,N2,...]");
+  const auto len = static_cast<std::uint32_t>(to_u64(inv.positional[2], "L"));
+  CSD_CHECK_MSG(len >= 3, "cycle length must be >= 3");
+  const auto sizes =
+      parse_sizes(inv.flag("sizes").value_or("32,64,128"));
+  const auto reps = static_cast<std::uint32_t>(
+      to_u64(inv.flag("reps").value_or("64"), "reps"));
+  const auto jobs = static_cast<unsigned>(
+      to_u64(inv.flag("jobs").value_or("1"), "jobs"));
+  const std::uint64_t seed = to_u64(inv.flag("seed").value_or("1"), "seed");
+  const std::uint64_t bandwidth =
+      to_u64(inv.flag("bandwidth").value_or("64"), "bandwidth");
+
+  out << "C_" << len << " sweep: " << reps << " repetitions per instance, "
+      << congest::resolve_jobs(jobs) << " worker thread(s)\n";
+  Table table({"n", "instance", "verdict", "oracle", "executed", "skipped",
+               "rounds", "max msg bits"});
+  for (const std::uint64_t n : sizes) {
+    CSD_CHECK_MSG(n >= len, "host size " << n << " smaller than cycle");
+    Rng host_rng(derive_seed(seed, 0x403ULL + n));
+    const Graph control = build::random_tree(static_cast<Vertex>(n), host_rng);
+    Graph planted = control;
+    build::plant_subgraph(planted, build::cycle(static_cast<Vertex>(len)),
+                          host_rng);
+    for (const bool positive : {true, false}) {
+      const Graph& g = positive ? planted : control;
+      const auto outcome =
+          sweep_run_cycle(g, len, reps, jobs, bandwidth, seed);
+      table.row()
+          .cell(n)
+          .cell(positive ? "planted" : "control")
+          .cell(outcome.detected ? "REJECT" : "accept")
+          .cell(oracle::has_cycle_of_length(g, len))
+          .cell(outcome.metrics.repetitions_executed)
+          .cell(outcome.metrics.repetitions_skipped)
+          .cell(outcome.metrics.rounds)
+          .cell(outcome.metrics.max_message_bits);
+      if (outcome.detected && !oracle::has_cycle_of_length(g, len))
+        out << "WARNING: false positive at n=" << n << " (model bug?)\n";
+    }
+  }
+  table.print(out);
   return 0;
 }
 
@@ -445,6 +548,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     if (command == "generate") return cmd_generate(inv, out);
     if (command == "stats") return cmd_stats(inv, out);
     if (command == "detect") return cmd_detect(inv, out);
+    if (command == "sweep") return cmd_sweep(inv, out);
     if (command == "list-cliques") return cmd_list_cliques(inv, out);
     if (command == "fool") return cmd_fool(inv, out);
     err << "unknown command '" << command << "'\n" << kUsage;
