@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "detect/even_cycle.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/builders.hpp"
@@ -53,16 +54,28 @@ double detection_rate(const Graph& g, bool phase1, bool phase2,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchContext ctx("abl_phases", argc, argv);
+  const std::uint32_t trials = ctx.smoke() ? 3 : 12;
+  const std::uint32_t wheel_reps = ctx.smoke() ? 400 : 1500;
+  const std::uint32_t copies_reps = ctx.smoke() ? 250 : 1000;
+  ctx.param("trials", trials)
+      .param("wheel_reps", wheel_reps)
+      .param("copies_reps", copies_reps);
+  ctx.seed(777).seed(9000);
+
   print_banner(std::cout, "ABL: phase ablation of the C_6 detector (k = 3)",
-               "cells: detection rate over 12 trials (1500/1000 reps each)");
+               "cells: detection rate over " + std::to_string(trials) +
+                   " trials (" + std::to_string(wheel_reps) + "/" +
+                   std::to_string(copies_reps) + " reps each)");
 
   const Graph wheel = wheel_instance();
   const Graph copies = copies_instance();
   CSD_CHECK(oracle::has_cycle_of_length(wheel, 6));
   CSD_CHECK(oracle::has_cycle_of_length(copies, 6));
 
-  Table ablation({"variant", "wheel (hub C6s)", "disjoint C6 copies"});
+  bench::ReportedTable ablation(
+      ctx, "ablation", {"variant", "wheel (hub C6s)", "disjoint C6 copies"});
   const struct {
     const char* name;
     bool p1, p2;
@@ -73,8 +86,12 @@ int main() {
   for (const auto& variant : variants) {
     ablation.row()
         .cell(variant.name)
-        .cell(detection_rate(wheel, variant.p1, variant.p2, 1500, 12), 2)
-        .cell(detection_rate(copies, variant.p1, variant.p2, 1000, 12), 2);
+        .cell(detection_rate(wheel, variant.p1, variant.p2, wheel_reps,
+                             trials),
+              2)
+        .cell(detection_rate(copies, variant.p1, variant.p2, copies_reps,
+                             trials),
+              2);
   }
   ablation.print(std::cout);
   std::cout
@@ -90,8 +107,10 @@ int main() {
                "threshold d = 4M/n; up-degree must stay <= d and waves "
                "within ceil(log2 n)+1");
   Rng lrng(2024);
-  Table layering({"family", "n", "m", "d", "layers used", "wave cap",
-                  "max up-degree", "unassigned"});
+  ctx.seed(2024);
+  bench::ReportedTable layering(ctx, "layering",
+                                {"family", "n", "m", "d", "layers used",
+                                 "wave cap", "max up-degree", "unassigned"});
   struct LayerHost {
     std::string name;
     Graph g;
@@ -127,9 +146,14 @@ int main() {
   print_banner(std::cout, "Lemma 6.1: phase-I queues drain within R1",
                "probe over the C_4-free polarity graphs (|E| <= M, many "
                "high-degree origins); 5 seeds each");
-  Table drain({"graph", "n", "|E|", "M", "R1", "max queue seen",
-               "last busy round", "deadline rejects"});
-  for (const std::uint32_t q : {5u, 7u, 11u}) {
+  bench::ReportedTable drain(ctx, "drain",
+                             {"graph", "n", "|E|", "M", "R1",
+                              "max queue seen", "last busy round",
+                              "deadline rejects"});
+  const std::vector<std::uint32_t> qs =
+      ctx.smoke() ? std::vector<std::uint32_t>{5, 7}
+                  : std::vector<std::uint32_t>{5, 7, 11};
+  for (const std::uint32_t q : qs) {
     const Graph er = build::polarity_graph(q);
     detect::EvenCycleConfig cfg6;
     cfg6.k = 3;
@@ -167,21 +191,28 @@ int main() {
                "Amplification on the wheel: detection vs repetitions",
                "per-repetition success ~ 19*2/6^6; one-sided, so "
                "repetitions only help");
-  Table amp({"repetitions", "detection rate (25 seeds)"});
-  for (const std::uint32_t reps : {25u, 100u, 400u, 1600u}) {
+  const std::uint32_t amp_seeds = ctx.smoke() ? 6 : 25;
+  bench::ReportedTable amp(
+      ctx, "amplification",
+      {"repetitions", "detection rate (" + std::to_string(amp_seeds) +
+                          " seeds)"});
+  const std::vector<std::uint32_t> rep_counts =
+      ctx.smoke() ? std::vector<std::uint32_t>{25, 100, 400}
+                  : std::vector<std::uint32_t>{25, 100, 400, 1600};
+  for (const std::uint32_t reps : rep_counts) {
     std::uint32_t hits = 0;
-    for (std::uint32_t t = 0; t < 25; ++t) {
+    for (std::uint32_t t = 0; t < amp_seeds; ++t) {
       detect::EvenCycleConfig cfg;
       cfg.k = 3;
       cfg.c_num = 1;
       cfg.repetitions = reps;
       hits += detect::detect_even_cycle(wheel, cfg, 64, 9000 + t).detected;
     }
-    amp.row().cell(reps).cell(static_cast<double>(hits) / 25.0, 2);
+    amp.row().cell(reps).cell(static_cast<double>(hits) / amp_seeds, 2);
   }
   amp.print(std::cout);
   std::cout << "\nExpected: the rate climbs toward 1.0 as repetitions grow,\n"
                "reflecting the (2k)^{-2k}-scale single-shot probability\n"
                "being amplified (Corollary 6.2 / 'putting it together').\n";
-  return 0;
+  return ctx.finish(std::cout);
 }

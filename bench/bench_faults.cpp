@@ -18,7 +18,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "congest/async.hpp"
 #include "congest/network.hpp"
 #include "congest/run_batch.hpp"
@@ -32,11 +34,12 @@ namespace {
 
 using namespace csd;
 
-constexpr double kDropRates[] = {0.0, 0.05, 0.1, 0.2, 0.3};
 constexpr double kCorrupt = 0.05;
-constexpr int kInstances = 10;
+constexpr int kInstances = 10;  // pool size; g_instances <= kInstances run
 
 unsigned g_jobs = 1;
+int g_instances = kInstances;
+std::vector<double> g_drop_rates = {0.0, 0.05, 0.1, 0.2, 0.3};
 
 struct Detector {
   const char* name;
@@ -73,9 +76,10 @@ SweepPoint sweep(const Detector& det, const Graph& (*instance)(int),
     std::uint64_t stalled = 0;
     std::uint64_t virtual_time = 0;
   };
-  std::vector<InstanceResult> results(kInstances);
+  std::vector<InstanceResult> results(static_cast<std::size_t>(g_instances));
   const congest::RunBatch batch(g_jobs);
-  batch.for_each_index(kInstances, [&](std::size_t idx) {
+  batch.for_each_index(static_cast<std::size_t>(g_instances),
+                       [&](std::size_t idx) {
     const Graph& g = instance(static_cast<int>(idx));
     const std::uint64_t seed = 100 + static_cast<std::uint64_t>(idx);
 
@@ -116,14 +120,14 @@ SweepPoint sweep(const Detector& det, const Graph& (*instance)(int),
     point.avg_stalled += static_cast<double>(r.stalled);
     point.avg_virtual_time += static_cast<double>(r.virtual_time);
   }
-  point.accuracy /= kInstances;
-  point.completed /= kInstances;
-  point.avg_pulses /= kInstances;
-  point.avg_payload_bits /= kInstances;
-  point.avg_transport_bits /= kInstances;
-  point.avg_retransmissions /= kInstances;
-  point.avg_stalled /= kInstances;
-  point.avg_virtual_time /= kInstances;
+  point.accuracy /= g_instances;
+  point.completed /= g_instances;
+  point.avg_pulses /= g_instances;
+  point.avg_payload_bits /= g_instances;
+  point.avg_transport_bits /= g_instances;
+  point.avg_retransmissions /= g_instances;
+  point.avg_stalled /= g_instances;
+  point.avg_virtual_time /= g_instances;
   return point;
 }
 
@@ -153,10 +157,12 @@ const Graph& triangle_instance(int i) {
   return pool[static_cast<std::size_t>(i)];
 }
 
-void run_tables(const Detector& det, const Graph& (*instance)(int)) {
-  Table reliable({"drop", "accuracy", "pulses", "payload bits",
-                  "transport bits", "retrans", "virt time"});
-  for (const double drop : kDropRates) {
+void run_tables(bench::BenchContext& ctx, const char* slug,
+                const Detector& det, const Graph& (*instance)(int)) {
+  bench::ReportedTable reliable(ctx, std::string(slug) + "_reliable",
+                                {"drop", "accuracy", "pulses", "payload bits",
+                                 "transport bits", "retrans", "virt time"});
+  for (const double drop : g_drop_rates) {
     const auto p = sweep(det, instance, drop, congest::TransportMode::Reliable);
     reliable.row()
         .cell(drop, 2)
@@ -171,9 +177,10 @@ void run_tables(const Detector& det, const Graph& (*instance)(int)) {
             << "(corrupt = " << kCorrupt << " when drop > 0)\n";
   reliable.print(std::cout);
 
-  Table raw({"drop", "accuracy", "completed", "stalled nodes", "pulses",
-             "payload bits"});
-  for (const double drop : kDropRates) {
+  bench::ReportedTable raw(ctx, std::string(slug) + "_raw",
+                           {"drop", "accuracy", "completed", "stalled nodes",
+                            "pulses", "payload bits"});
+  for (const double drop : g_drop_rates) {
     const auto p = sweep(det, instance, drop, congest::TransportMode::Raw);
     raw.row()
         .cell(drop, 2)
@@ -190,9 +197,17 @@ void run_tables(const Detector& det, const Graph& (*instance)(int)) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::BenchContext ctx("faults", argc, argv);
   for (int i = 1; i + 1 < argc; ++i)
     if (std::strcmp(argv[i], "--jobs") == 0)
       g_jobs = static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
+  if (ctx.smoke()) {
+    g_instances = 4;
+    g_drop_rates = {0.0, 0.1, 0.3};
+  }
+  ctx.param("instances", g_instances).param("corrupt", kCorrupt);
+  ctx.seed(2024).seed(4048).seed(100);
+  ctx.report().env("jobs", congest::resolve_jobs(g_jobs));
   print_banner(std::cout,
                "FAULTS: detection accuracy & overhead vs drop probability",
                "reliable ARQ restores the synchronous verdict bit-for-bit; "
@@ -205,19 +220,19 @@ int main(int argc, char** argv) {
   Detector thm11{
       "THM11 C_4 even-cycle", detect::even_cycle_program(cycle_cfg), 64,
       detect::make_even_cycle_schedule(40, cycle_cfg).total_rounds() + 1};
-  run_tables(thm11, cycle_instance);
+  run_tables(ctx, "cycle", thm11, cycle_instance);
 
   Detector upper{"UPPER K_3 clique", detect::clique_detect_program(3), 16,
                  0};
   // Budget needs the densest instance's max degree.
   std::uint64_t max_degree = 0;
-  for (int i = 0; i < kInstances; ++i)
+  for (int i = 0; i < g_instances; ++i)
     max_degree = std::max<std::uint64_t>(max_degree,
                                          triangle_instance(i).max_degree());
   upper.budget = detect::clique_detect_round_budget(24, max_degree, 16) + 2;
-  run_tables(upper, triangle_instance);
+  run_tables(ctx, "triangle", upper, triangle_instance);
 
   std::cout << "\nAll fault draws are seeded; the tables are reproducible "
                "run-to-run.\n";
-  return 0;
+  return ctx.finish(std::cout);
 }

@@ -6,22 +6,30 @@
 //   * the marker cliques are the only large cliques (K_10 yes, K_11 no),
 //   * the body contributes exactly 2k triangles outside the cliques.
 #include <iostream>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/oracle.hpp"
 #include "lowerbound/hk.hpp"
 #include "support/combinatorics.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace csd;
+  bench::BenchContext ctx("fig1_hk", argc, argv);
 
   print_banner(std::cout, "FIG1: the Theorem 1.2 subgraph H_k",
                "size O(k), diameter 3, marker-clique structure");
 
-  Table table({"k", "vertices", "6k+44", "edges", "diameter", "has K_10",
-               "has K_11", "#triangles", "non-marker triangles (=6k)"});
-  for (const std::uint32_t k : {1u, 2u, 3u, 4u, 6u, 8u, 12u, 16u}) {
+  const std::vector<std::uint32_t> ks =
+      ctx.smoke() ? std::vector<std::uint32_t>{1, 2, 4}
+                  : std::vector<std::uint32_t>{1, 2, 3, 4, 6, 8, 12, 16};
+  bench::ReportedTable table(
+      ctx, "hk",
+      {"k", "vertices", "6k+44", "edges", "diameter", "has K_10", "has K_11",
+       "#triangles", "non-marker triangles (=6k)"});
+  for (const std::uint32_t k : ks) {
     const auto hk = lb::build_hk(k);
     const std::uint64_t triangles = oracle::count_cliques(hk.graph, 3);
     // Triangles fully inside the marker structure: C(s,3) per clique plus
@@ -50,5 +58,5 @@ int main() {
          "2k body triangles plus 4k endpoint-corner-marker triangles (each\n"
          "endpoint closes one triangle with each of its k corners through\n"
          "their shared marker vertex).\n";
-  return 0;
+  return ctx.finish(std::cout);
 }

@@ -7,7 +7,9 @@
 //   * Lemma 3.1: a copy of H_k exists iff X ∩ Y ≠ ∅, cross-checked with
 //     the VF2 subgraph-isomorphism oracle at small sizes.
 #include <iostream>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "comm/disjointness.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/vf2.hpp"
@@ -16,16 +18,21 @@
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace csd;
+  bench::BenchContext ctx("fig2_gkn", argc, argv);
 
   print_banner(std::cout, "FIG2: the family G_{k,n} (Definition 2)",
                "Property 1, cut size, Lemma 3.1");
 
-  Table shape({"k", "n", "m=k*ceil(n^(1/k))", "vertices", "edges", "diameter",
-               "cut edges", "cut - 6m"});
+  const std::vector<std::uint32_t> shape_sizes =
+      ctx.smoke() ? std::vector<std::uint32_t>{4, 16, 64}
+                  : std::vector<std::uint32_t>{4, 16, 64, 256};
+  bench::ReportedTable shape(ctx, "shape",
+                             {"k", "n", "m=k*ceil(n^(1/k))", "vertices",
+                              "edges", "diameter", "cut edges", "cut - 6m"});
   for (const std::uint32_t k : {1u, 2u, 3u}) {
-    for (const std::uint32_t n : {4u, 16u, 64u, 256u}) {
+    for (const std::uint32_t n : shape_sizes) {
       const auto g = lb::build_gkn_frame(k, n);
       const auto owner = lb::gkn_ownership(g.layout);
       std::uint64_t cut = 0;
@@ -51,30 +58,38 @@ int main() {
 
   print_banner(std::cout, "Lemma 3.1 on random disjointness instances",
                "structural criterion vs ground truth, 20 instances per cell");
-  Table lemma({"k", "n", "instances", "structural == (X cap Y != 0)"});
+  const int lemma_trials = ctx.smoke() ? 6 : 20;
+  bench::ReportedTable lemma(
+      ctx, "lemma31", {"k", "n", "instances", "structural == (X cap Y != 0)"});
   Rng rng(2024);
+  ctx.seed(2024);
   for (const std::uint32_t k : {1u, 2u, 3u}) {
     for (const std::uint32_t n : {4u, 8u}) {
       bool all_match = true;
-      for (int trial = 0; trial < 20; ++trial) {
+      for (int trial = 0; trial < lemma_trials; ++trial) {
         const auto inst = comm::random_disjointness(
             static_cast<std::uint64_t>(n) * n, 0.15, trial % 2 == 0, rng);
         const auto g = lb::build_gxy(k, n, inst);
         all_match &= lb::contains_hk_structurally(g) == inst.intersects();
       }
-      lemma.row().cell(k).cell(n).cell(20).cell(all_match);
+      lemma.row().cell(k).cell(n).cell(lemma_trials).cell(all_match);
     }
   }
   lemma.print(std::cout);
 
   print_banner(std::cout, "Lemma 3.1 vs the VF2 oracle (small sizes)",
                "genuine H_k-subgraph containment, exhaustive search");
-  Table vf2_table({"k", "n", "instances", "VF2 == structural == truth"});
-  for (const std::uint32_t k : {1u, 2u}) {
+  const int vf2_trials = ctx.smoke() ? 2 : 8;
+  const std::vector<std::uint32_t> vf2_ks =
+      ctx.smoke() ? std::vector<std::uint32_t>{1}
+                  : std::vector<std::uint32_t>{1, 2};
+  bench::ReportedTable vf2_table(
+      ctx, "vf2", {"k", "n", "instances", "VF2 == structural == truth"});
+  for (const std::uint32_t k : vf2_ks) {
     const auto hk = lb::build_hk(k);
     bool all_match = true;
     const std::uint32_t n = 3;
-    for (int trial = 0; trial < 8; ++trial) {
+    for (int trial = 0; trial < vf2_trials; ++trial) {
       const auto inst = comm::random_disjointness(
           static_cast<std::uint64_t>(n) * n, 0.2, trial % 2 == 0, rng);
       const auto g = lb::build_gxy(k, n, inst);
@@ -84,8 +99,8 @@ int main() {
       all_match &= vf2 == inst.intersects() &&
                    lb::contains_hk_structurally(g) == inst.intersects();
     }
-    vf2_table.row().cell(k).cell(n).cell(8).cell(all_match);
+    vf2_table.row().cell(k).cell(n).cell(vf2_trials).cell(all_match);
   }
   vf2_table.print(std::cout);
-  return 0;
+  return ctx.finish(std::cout);
 }

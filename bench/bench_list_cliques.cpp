@@ -10,28 +10,34 @@
 #include <vector>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "detect/clique_listing.hpp"
 #include "graph/builders.hpp"
 #include "graph/oracle.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace csd;
+  bench::BenchContext ctx("list_cliques", argc, argv);
 
   print_banner(std::cout,
                "LIST: congested-clique K_s listing rounds vs n (dense input)",
                "theory: Theta(n^{1-2/s}) rounds; lower bound from Lemma 1.3");
 
   for (const std::uint32_t s : {3u, 4u}) {
-    Table table({"n", "groups", "oracle count", "listed", "complete",
-                 "rounds", "fitted exp", "theory exp"});
+    bench::ReportedTable table(ctx, "s" + std::to_string(s),
+                               {"n", "groups", "oracle count", "listed",
+                                "complete", "rounds", "fitted exp",
+                                "theory exp"});
     const double theory = 1.0 - 2.0 / s;
     double prev_rounds = 0, prev_n = 0;
     Rng rng(1000 + s);
-    const std::vector<Vertex> sizes =
+    ctx.seed(1000 + s);
+    std::vector<Vertex> sizes =
         s == 3 ? std::vector<Vertex>{16, 32, 64, 128, 256}
                : std::vector<Vertex>{16, 32, 64, 128};
+    if (ctx.smoke()) sizes.resize(s == 3 ? 3 : 2);
     for (const Vertex n : sizes) {
       const Graph g = build::gnp(n, 0.5, rng);
       detect::CliqueListingResult result;
@@ -69,5 +75,5 @@ int main() {
       << "\nExpected: 'complete' everywhere (every K_s listed exactly once\n"
          "across owners); the fitted exponent trends toward 1 - 2/s as n\n"
          "grows (group-count rounding dominates at small n).\n";
-  return 0;
+  return ctx.finish(std::cout);
 }

@@ -4,6 +4,10 @@
 // bench (a slow simulator would bound experiment sizes, not the theory).
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "congest/async.hpp"
 #include "congest/clique_router.hpp"
 #include "congest/network.hpp"
@@ -194,6 +198,49 @@ void BM_BfsAggregate(benchmark::State& state) {
 }
 BENCHMARK(BM_BfsAggregate)->Arg(64)->Arg(256);
 
+/// Console reporter that additionally mirrors every finished run into the
+/// shared bench report. All values are wall-clock (`_ns` keys), so the
+/// regression gate applies its timing tolerance, never exact equality.
+class ReportingReporter final : public benchmark::ConsoleReporter {
+ public:
+  explicit ReportingReporter(bench::BenchContext& ctx) : ctx_(ctx) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      auto& m = ctx_.report().measurement(run.benchmark_name());
+      m.value("real_time_ns", run.GetAdjustedRealTime());
+      m.value("cpu_time_ns", run.GetAdjustedCPUTime());
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  bench::BenchContext& ctx_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::BenchContext ctx("micro", argc, argv);
+  // Strip the harness flags; benchmark::Initialize rejects unknown ones.
+  std::vector<char*> bm_argv;
+  std::string min_time = "--benchmark_min_time=0.01";  // 1.7.x: seconds
+  bm_argv.push_back(argv[0]);
+  if (ctx.smoke()) bm_argv.push_back(min_time.data());
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") continue;
+    if (arg == "--json" || arg == "--jobs") {
+      ++i;  // skip the value
+      continue;
+    }
+    bm_argv.push_back(argv[i]);
+  }
+  int bm_argc = static_cast<int>(bm_argv.size());
+  benchmark::Initialize(&bm_argc, bm_argv.data());
+  ReportingReporter reporter(ctx);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return ctx.finish(std::cout);
+}

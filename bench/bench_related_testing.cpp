@@ -8,6 +8,7 @@
 // and never misses.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "detect/clique_detect.hpp"
 #include "detect/pipelined_cycle.hpp"
 #include "detect/triangle_tester.hpp"
@@ -48,11 +49,17 @@ double tester_rate(const Graph& g, std::uint32_t query_rounds,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchContext ctx("related_testing", argc, argv);
+  const std::uint32_t tester_trials = ctx.smoke() ? 8 : 30;
+  ctx.param("tester_trials", tester_trials);
+  ctx.seed(31).seed(500);
+
   print_banner(std::cout,
                "RELATED: exact triangle detection vs property testing",
-               "tester: 16 query rounds, rate over 30 seeds; exact: "
-               "neighborhood exchange, deterministic");
+               "tester: 16 query rounds, rate over " +
+                   std::to_string(tester_trials) +
+                   " seeds; exact: neighborhood exchange, deterministic");
 
   Rng rng(31);
   struct Host {
@@ -70,8 +77,10 @@ int main() {
   hosts.push_back({"K_{9,9}", build::complete_bipartite(9, 9),
                    "triangle-free"});
 
-  Table table({"host", "n", "truth", "tester rate", "tester rounds",
-               "exact verdict", "exact rounds"});
+  bench::ReportedTable table(ctx, "tester_vs_exact",
+                             {"host", "n", "truth", "tester rate",
+                              "tester rounds", "exact verdict",
+                              "exact rounds"});
   for (const auto& host : hosts) {
     const bool truth = oracle::has_clique(host.g, 3);
     const auto exact = detect::detect_clique(host.g, 3, 32, 1);
@@ -81,7 +90,7 @@ int main() {
         .cell(host.name)
         .cell(std::uint64_t{host.g.num_vertices()})
         .cell(truth)
-        .cell(tester_rate(host.g, 16, 30), 2)
+        .cell(tester_rate(host.g, 16, tester_trials), 2)
         .cell(detect::triangle_tester_round_budget(cfg))
         .cell(exact.detected)
         .cell(exact.metrics.rounds);
@@ -92,8 +101,9 @@ int main() {
                "Weighted cycle detection ([CKP17], the other §1.2 context)",
                "C_8 of weight exactly W on a 60-vertex host; tokens cannot "
                "be deduplicated across weights");
-  Table weighted({"W", "round budget", "unweighted C_8 budget",
-                  "budget ratio"});
+  bench::ReportedTable weighted(ctx, "weighted",
+                                {"W", "round budget", "unweighted C_8 budget",
+                                 "budget ratio"});
   const Vertex wn = 60;
   for (const std::uint64_t w : {0ull, 7ull, 63ull, 511ull}) {
     detect::WeightedCycleConfig wcfg;
@@ -121,5 +131,5 @@ int main() {
          "hubs) — which the exact algorithm always finds, at a\n"
          "Theta(Delta log n / B) round cost. The paper's lower bounds\n"
          "(Thm 4.1, Thm 5.1) price exactly this exactness.\n";
-  return 0;
+  return ctx.finish(std::cout);
 }

@@ -9,6 +9,7 @@
 // the obstruction the paper's gadget must overcome.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "comm/disjointness.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/vf2.hpp"
@@ -16,16 +17,24 @@
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace csd;
+  bench::BenchContext ctx("sec34_bipartite", argc, argv);
+  const int per_side = ctx.smoke() ? 5 : 20;
+  ctx.param("instances_per_side", per_side);
+  ctx.seed(99);
 
   print_banner(std::cout,
                "SEC34: rigidifier ablation of the Theorem 1.2 construction",
-               "20 intersecting + 20 disjoint instances per variant "
-               "(k=1, n=6, dense inputs); VF2 exhaustive containment");
+               std::to_string(per_side) + " intersecting + " +
+                   std::to_string(per_side) +
+                   " disjoint instances per variant "
+                   "(k=1, n=6, dense inputs); VF2 exhaustive containment");
 
-  Table table({"body", "markers", "bipartite", "holds on intersecting",
-               "violations on disjoint", "Lemma 3.1"});
+  bench::ReportedTable table(ctx, "ablation",
+                             {"body", "markers", "bipartite",
+                              "holds on intersecting",
+                              "violations on disjoint", "Lemma 3.1"});
   for (const bool triangle_body : {true, false}) {
     for (const bool markers : {true, false}) {
       lb::ConstructionVariant v;
@@ -40,8 +49,8 @@ int main() {
                              !triangle_body && !markers;
 
       std::uint32_t hold = 0, violations = 0;
-      for (int trial = 0; trial < 40; ++trial) {
-        const bool intersecting = trial < 20;
+      for (int trial = 0; trial < 2 * per_side; ++trial) {
+        const bool intersecting = trial < per_side;
         const auto inst = comm::random_disjointness(
             static_cast<std::uint64_t>(n) * n, 0.5, intersecting, rng);
         const auto g = lb::build_gxy_variant(k, n, inst, v);
@@ -55,9 +64,11 @@ int main() {
           .cell(triangle_body ? "triangle" : "path")
           .cell(markers)
           .cell(bipartite)
-          .cell(std::to_string(hold) + "/20")
-          .cell(std::to_string(violations) + "/20")
-          .cell(violations == 0 && hold == 20 ? "holds" : "VIOLATED");
+          .cell(std::to_string(hold) + "/" + std::to_string(per_side))
+          .cell(std::to_string(violations) + "/" + std::to_string(per_side))
+          .cell(violations == 0 && hold == static_cast<std::uint32_t>(per_side)
+                    ? "holds"
+                    : "VIOLATED");
     }
   }
   table.print(std::cout);
@@ -69,5 +80,5 @@ int main() {
          "obstruction that makes Section 3.4's bipartite gadget 'much more\n"
          "involved', and our instantiation also shows the marker cliques\n"
          "alone already rigidify the non-bipartite construction.\n";
-  return 0;
+  return ctx.finish(std::cout);
 }

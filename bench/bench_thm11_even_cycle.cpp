@@ -13,7 +13,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "congest/run_batch.hpp"
 #include "detect/even_cycle.hpp"
 #include "detect/pipelined_cycle.hpp"
@@ -42,14 +44,17 @@ unsigned parse_jobs(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   using namespace csd;
+  bench::BenchContext ctx("thm11_even_cycle", argc, argv);
   congest::AmplifyOptions amplify;
   amplify.jobs = parse_jobs(argc, argv);
+  ctx.report().env("jobs", congest::resolve_jobs(amplify.jobs));
 
   print_banner(std::cout,
                "THM11: C_2k detection rounds vs n (one repetition)",
                "schedule-exact rounds; fitted exponent vs 1 - 1/(k(k-1))");
 
-  Table growth({"k", "cycle", "n", "rounds", "fitted exp", "theory exp"});
+  bench::ReportedTable growth(
+      ctx, "growth", {"k", "cycle", "n", "rounds", "fitted exp", "theory exp"});
   for (const std::uint32_t k : {2u, 3u, 4u}) {
     detect::EvenCycleConfig cfg;
     cfg.k = k;
@@ -86,8 +91,9 @@ int main(int argc, char** argv) {
   print_banner(std::cout, "Crossover vs the linear-round baseline",
                "sublinear wins once n is large enough; odd cycles have no "
                "sublinear algorithm [DKO14]");
-  Table crossover({"k", "n", "even-cycle rounds", "baseline rounds (n+2k)",
-                   "sublinear wins"});
+  bench::ReportedTable crossover(ctx, "crossover",
+                                 {"k", "n", "even-cycle rounds",
+                                  "baseline rounds (n+2k)", "sublinear wins"});
   for (const std::uint32_t k : {2u, 3u}) {
     detect::EvenCycleConfig cfg;
     cfg.k = k;
@@ -110,10 +116,15 @@ int main(int argc, char** argv) {
                    std::to_string(congest::resolve_jobs(amplify.jobs)) +
                    " worker thread(s)); every rejection is checked against "
                    "the oracle (one-sided error)");
-  Table quality({"n", "instance", "reps", "executed", "measured rounds/rep",
-                 "detected", "oracle"});
+  bench::ReportedTable quality(ctx, "quality",
+                               {"n", "instance", "reps", "executed",
+                                "measured rounds/rep", "detected", "oracle"});
   Rng rng(7);
-  for (const std::uint64_t n : {128u, 512u, 2048u}) {
+  ctx.seed(7).seed(11).seed(13).seed(17);
+  const std::vector<std::uint64_t> live_sizes =
+      ctx.smoke() ? std::vector<std::uint64_t>{128, 512}
+                  : std::vector<std::uint64_t>{128, 512, 2048};
+  for (const std::uint64_t n : live_sizes) {
     // Planted C_4 in a forest vs a cycle-free control.
     for (const bool planted : {true, false}) {
       Graph g = build::random_tree(static_cast<Vertex>(n), rng);
@@ -121,7 +132,7 @@ int main(int argc, char** argv) {
       detect::EvenCycleConfig cfg;
       cfg.k = 2;
       cfg.c_num = 1;
-      cfg.repetitions = n >= 2048 ? 150 : 400;
+      cfg.repetitions = ctx.smoke() ? 80 : (n >= 2048 ? 150 : 400);
       cfg.amplify = amplify;
       const auto outcome = detect::detect_even_cycle(g, cfg, 64, 11);
       quality.row()
@@ -141,7 +152,7 @@ int main(int argc, char** argv) {
     const Graph er = build::polarity_graph(7);  // 57 vertices, C4-free
     detect::EvenCycleConfig cfg;
     cfg.k = 2;
-    cfg.repetitions = 200;
+    cfg.repetitions = ctx.smoke() ? 50 : 200;
     cfg.amplify = amplify;
     const auto outcome = detect::detect_even_cycle(er, cfg, 64, 13);
     quality.row()
@@ -157,7 +168,7 @@ int main(int argc, char** argv) {
     const Graph gq = build::generalized_quadrangle_incidence(3);
     detect::EvenCycleConfig cfg;
     cfg.k = 3;
-    cfg.repetitions = 100;
+    cfg.repetitions = ctx.smoke() ? 25 : 100;
     cfg.amplify = amplify;
     const auto outcome = detect::detect_even_cycle(gq, cfg, 64, 17);
     quality.row()
@@ -172,5 +183,5 @@ int main(int argc, char** argv) {
   quality.print(std::cout);
   std::cout << "\nExpected: fitted exponents approach the theory column as n\n"
                "grows; detection matches the oracle column on every row.\n";
-  return 0;
+  return ctx.finish(std::cout);
 }

@@ -12,7 +12,9 @@
 //      rounds by radius-3 ball collection.
 #include <cmath>
 #include <iostream>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "comm/disjointness.hpp"
 #include "detect/collect.hpp"
 #include "graph/algorithms.hpp"
@@ -22,16 +24,19 @@
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace csd;
+  bench::BenchContext ctx("thm12_superlinear", argc, argv);
   constexpr std::uint64_t kBandwidth = 32;
+  ctx.param("bandwidth", kBandwidth);
 
   print_banner(std::cout,
                "THM12: implied round lower bound n^2/(cut*B) vs n",
                "cut = 6m + O(1), m = k*ceil(n^(1/k)); theory exponent 2-1/k");
 
-  Table implied({"k", "n", "cut edges", "implied LB rounds", "fitted exp",
-                 "theory exp 2-1/k"});
+  bench::ReportedTable implied(ctx, "implied",
+                               {"k", "n", "cut edges", "implied LB rounds",
+                                "fitted exp", "theory exp 2-1/k"});
   for (const std::uint32_t k : {1u, 2u, 3u, 4u}) {
     double prev_lb = 0, prev_n = 0;
     for (const std::uint32_t n : {16u, 64u, 256u, 1024u}) {
@@ -70,9 +75,13 @@ int main() {
   print_banner(std::cout, "The near-quadratic regime: k = ceil(log2 n)",
                "m = k*ceil(n^(1/k)) = 2k, so the cut is O(log n) and the "
                "implied bound approaches n^2 / (B log n)");
-  Table quadratic({"n", "k = ceil(log2 n)", "cut edges", "implied LB rounds",
-                   "effective exponent"});
-  for (const std::uint32_t n : {64u, 256u, 1024u, 4096u}) {
+  bench::ReportedTable quadratic(ctx, "quadratic",
+                                 {"n", "k = ceil(log2 n)", "cut edges",
+                                  "implied LB rounds", "effective exponent"});
+  const std::vector<std::uint32_t> quad_sizes =
+      ctx.smoke() ? std::vector<std::uint32_t>{64, 256, 1024}
+                  : std::vector<std::uint32_t>{64, 256, 1024, 4096};
+  for (const std::uint32_t n : quad_sizes) {
     const auto k = ceil_log2(n);
     const auto frame = lb::build_gkn_frame(k, n);
     const auto owner = lb::gkn_ownership(frame.layout);
@@ -101,11 +110,16 @@ int main() {
   print_banner(std::cout, "Live reductions (collect-and-check simulated "
                           "across the Alice/Bob cut)",
                "correctness + measured crossing traffic");
-  Table live({"k", "n", "X cap Y", "detected", "rounds", "crossing bits",
-              "cut edges", "max bits/round"});
+  bench::ReportedTable live(ctx, "live",
+                            {"k", "n", "X cap Y", "detected", "rounds",
+                             "crossing bits", "cut edges", "max bits/round"});
   Rng rng(99);
+  ctx.seed(99);
+  const std::vector<std::uint32_t> live_sizes =
+      ctx.smoke() ? std::vector<std::uint32_t>{4, 8}
+                  : std::vector<std::uint32_t>{4, 8, 16};
   for (const std::uint32_t k : {1u, 2u}) {
-    for (const std::uint32_t n : {4u, 8u, 16u}) {
+    for (const std::uint32_t n : live_sizes) {
       for (const bool intersecting : {true, false}) {
         const auto inst = comm::random_disjointness(
             static_cast<std::uint64_t>(n) * n, 0.1, intersecting, rng);
@@ -126,7 +140,9 @@ int main() {
 
   print_banner(std::cout, "CONGEST vs LOCAL separation",
                "radius-3 LOCAL ball collection decides H_k-ness in 3 rounds");
-  Table local({"k", "n", "LOCAL rounds", "detected", "expected"});
+  bench::ReportedTable local(ctx, "local",
+                             {"k", "n", "LOCAL rounds", "detected",
+                              "expected"});
   for (const bool intersecting : {true, false}) {
     const std::uint32_t k = 2, n = 8;
     const auto inst = comm::random_disjointness(
@@ -152,5 +168,5 @@ int main() {
   std::cout << "\nExpected: detected == expected everywhere; LOCAL needs a\n"
                "constant number of rounds while the CONGEST bound above is\n"
                "superlinear — an exponential-in-rounds separation.\n";
-  return 0;
+  return ctx.finish(std::cout);
 }

@@ -8,23 +8,31 @@
 //   * c >= log2(N/3): every transcript class is a singleton, no box exists,
 //     the adversary fails — the O(log N) upper bound is tight.
 #include <iostream>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "detect/triangle.hpp"
 #include "lowerbound/fooling.hpp"
 #include "support/mathutil.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace csd;
+  bench::BenchContext ctx("thm41_fooling", argc, argv);
 
   print_banner(std::cout,
                "THM41: the fooling adversary vs c-bit ID exchange",
                "total per-node communication is 4c bits; threshold at "
                "c = log2(N/3)");
 
-  Table table({"N", "c bits", "bits/node", "transcripts", "largest class",
-               "box found", "Claim 4.4", "hexagon fooled", "c >= log2(N/3)"});
-  for (const std::uint64_t N : {12u, 24u, 48u, 96u}) {
+  const std::vector<std::uint64_t> namespaces =
+      ctx.smoke() ? std::vector<std::uint64_t>{12, 24}
+                  : std::vector<std::uint64_t>{12, 24, 48, 96};
+  bench::ReportedTable table(
+      ctx, "id_exchange",
+      {"N", "c bits", "bits/node", "transcripts", "largest class", "box found",
+       "Claim 4.4", "hexagon fooled", "c >= log2(N/3)"});
+  for (const std::uint64_t N : namespaces) {
     const auto threshold = ceil_log2(N / 3);
     for (std::uint32_t c = 1; c <= threshold + 1; ++c) {
       lb::FoolingConfig cfg;
@@ -52,10 +60,15 @@ int main() {
                "The adversary is generic: salted-hash fingerprints at N = 96",
                "hash collisions within a part push the safe budget to "
                "~2 log2(N/3) (birthday bound) — the adversary still wins");
-  Table hashed({"c bits", "largest class", "box found", "hexagon fooled"});
-  for (std::uint32_t c = 3; c <= 11; ++c) {
+  bench::ReportedTable hashed(
+      ctx, "hashed",
+      {"c bits", "largest class", "box found", "hexagon fooled"});
+  ctx.seed(12345);
+  const std::uint64_t hashed_namespace = ctx.smoke() ? 24 : 96;
+  const std::uint32_t hashed_max_c = ctx.smoke() ? 7 : 11;
+  for (std::uint32_t c = 3; c <= hashed_max_c; ++c) {
     lb::FoolingConfig cfg;
-    cfg.namespace_size = 96;
+    cfg.namespace_size = hashed_namespace;
     cfg.algorithm = detect::hashed_id_exchange_triangle_program(c, 12345);
     cfg.bandwidth = 64;
     cfg.max_rounds = 8;
@@ -73,5 +86,5 @@ int main() {
          "holds and the hexagon is (wrongly) rejected; at or above it the\n"
          "adversary fails. This reproduces the Omega(log N) bound and its\n"
          "tightness on the lower-bound graph.\n";
-  return 0;
+  return ctx.finish(std::cout);
 }

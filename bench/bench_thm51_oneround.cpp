@@ -11,28 +11,39 @@
 //      Lemma 5.3 accept-bit proxy I(X_bc; acc_a) — both near zero for
 //      B << n and rising once B ≈ n.
 #include <iostream>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "lowerbound/oneround.hpp"
 #include "support/table.hpp"
 #include "support/wire.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace csd;
+  bench::BenchContext ctx("thm51_oneround", argc, argv);
+  const std::uint64_t samples = ctx.smoke() ? 2000 : 20000;
+  const std::uint64_t info_samples = ctx.smoke() ? 6000 : 60000;
+  ctx.param("samples", samples).param("info_samples", info_samples);
+  ctx.seed(31).seed(37).seed(51).seed(41);
 
   print_banner(std::cout,
                "THM51: one-round error vs bandwidth on the template graph",
-               "n = 64 spokes per special node; 20000 samples per cell; "
-               "trivial error = 1/8 = 0.125");
+               "n = 64 spokes per special node; " + std::to_string(samples) +
+                   " samples per cell; trivial error = 1/8 = 0.125");
 
   const auto bloom = lb::make_bloom_protocol(17);
   const auto sample = lb::make_id_sample_protocol(17);
-  Table error({"B bits", "B/n", "bloom error", "bloom FP", "bloom FN",
-               "id-sample error", "id-sample FN"});
+  bench::ReportedTable error(ctx, "error",
+                             {"B bits", "B/n", "bloom error", "bloom FP",
+                              "bloom FN", "id-sample error", "id-sample FN"});
   const std::uint64_t n = 64;
-  for (const std::uint64_t b :
-       {2u, 8u, 16u, 32u, 64u, 128u, 256u, 1024u, 4096u}) {
-    const auto bs = lb::evaluate_one_round(*bloom, n, b, 20000, 31);
-    const auto is = lb::evaluate_one_round(*sample, n, b, 20000, 37);
+  const std::vector<std::uint64_t> bandwidths =
+      ctx.smoke()
+          ? std::vector<std::uint64_t>{2, 16, 64, 256, 4096}
+          : std::vector<std::uint64_t>{2, 8, 16, 32, 64, 128, 256, 1024, 4096};
+  for (const std::uint64_t b : bandwidths) {
+    const auto bs = lb::evaluate_one_round(*bloom, n, b, samples, 31);
+    const auto is = lb::evaluate_one_round(*sample, n, b, samples, 37);
     error.row()
         .cell(b)
         .cell(static_cast<double>(b) / static_cast<double>(n), 2)
@@ -53,10 +64,12 @@ int main() {
                "Why 'one round' matters: the 3-round protocol at O(log n) "
                "bits",
                "round 1 flags specials, round 2 asks by id, round 3 answers");
-  Table rounds3({"B bits", "B/n", "3-round error", "bloom error (1 round)"});
+  bench::ReportedTable rounds3(
+      ctx, "rounds3",
+      {"B bits", "B/n", "3-round error", "bloom error (1 round)"});
   for (const std::uint64_t b : {8u, 16u, 32u, 64u}) {
-    const auto multi = lb::evaluate_interactive(n, b, 20000, 51);
-    const auto one = lb::evaluate_one_round(*bloom, n, b, 20000, 51);
+    const auto multi = lb::evaluate_interactive(n, b, samples, 51);
+    const auto one = lb::evaluate_one_round(*bloom, n, b, samples, 51);
     rounds3.row()
         .cell(b)
         .cell(static_cast<double>(b) / static_cast<double>(n), 2)
@@ -77,11 +90,17 @@ int main() {
                "Information at node a, conditioned on X_ab = X_ac = 1",
                "n = 12; plug-in estimators over 60000 samples; Lemma 5.3 "
                "needs >= 0.3 somewhere for a correct protocol");
-  Table info({"B bits", "B/n", "I(X_bc; msgs) raw", "shuffle bias",
-              "corrected", "I(X_bc; acc_a)", "error at this B"});
+  bench::ReportedTable info(ctx, "info",
+                            {"B bits", "B/n", "I(X_bc; msgs) raw",
+                             "shuffle bias", "corrected", "I(X_bc; acc_a)",
+                             "error at this B"});
   const std::uint64_t n_small = 12;
-  for (const std::uint64_t b : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
-    const auto stats = lb::evaluate_one_round(*bloom, n_small, b, 60000, 41);
+  const std::vector<std::uint64_t> info_bandwidths =
+      ctx.smoke() ? std::vector<std::uint64_t>{1, 4, 16, 64}
+                  : std::vector<std::uint64_t>{1, 2, 4, 8, 16, 32, 64, 128};
+  for (const std::uint64_t b : info_bandwidths) {
+    const auto stats =
+        lb::evaluate_one_round(*bloom, n_small, b, info_samples, 41);
     info.row()
         .cell(b)
         .cell(static_cast<double>(b) / static_cast<double>(n_small), 2)
@@ -101,5 +120,5 @@ int main() {
          "near 0 while B << n and crosses the 0.3 threshold around B ~ n —\n"
          "exactly when the error collapses. That conjunction is the\n"
          "mechanism behind the Omega(Delta) bandwidth bound.\n";
-  return 0;
+  return ctx.finish(std::cout);
 }

@@ -5,7 +5,9 @@
 //   * universal collection: Θ(m + D) rounds.
 // These are the baselines the lower bounds are measured against.
 #include <iostream>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "detect/clique_detect.hpp"
 #include "detect/collect.hpp"
 #include "detect/tree_detect.hpp"
@@ -14,14 +16,20 @@
 #include "support/table.hpp"
 #include "support/wire.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace csd;
+  bench::BenchContext ctx("upper_bounds", argc, argv);
 
   print_banner(std::cout,
                "UPPER: neighborhood-exchange rounds vs degree and bandwidth",
                "K_{d} star-of-cliques hosts; rounds should scale ~ d*log(n)/B");
-  Table exchange({"n", "max degree", "B", "rounds", "rounds*B/(deg*idbits)"});
-  for (const Vertex d : {8u, 32u, 128u}) {
+  bench::ReportedTable exchange(ctx, "exchange",
+                                {"n", "max degree", "B", "rounds",
+                                 "rounds*B/(deg*idbits)"});
+  const std::vector<Vertex> degrees =
+      ctx.smoke() ? std::vector<Vertex>{8, 32}
+                  : std::vector<Vertex>{8, 32, 128};
+  for (const Vertex d : degrees) {
     const Graph g = build::complete(d + 1);  // every vertex has degree d
     for (const std::uint64_t b : {8u, 32u, 128u}) {
       const auto outcome = detect::detect_clique(g, 3, b, 1);
@@ -42,9 +50,13 @@ int main() {
 
   print_banner(std::cout, "UPPER: tree detection is O(height), not O(n)",
                "star K_{1,3} pattern over growing hosts, 1 repetition");
-  Table tree({"host n", "rounds"});
+  bench::ReportedTable tree(ctx, "tree", {"host n", "rounds"});
   Rng rng(9);
-  for (const Vertex n : {25u, 100u, 400u, 1600u}) {
+  ctx.seed(9);
+  const std::vector<Vertex> tree_sizes =
+      ctx.smoke() ? std::vector<Vertex>{25, 100, 400}
+                  : std::vector<Vertex>{25, 100, 400, 1600};
+  for (const Vertex n : tree_sizes) {
     const Graph g = build::grid(n / 5, 5);
     detect::TreeDetectConfig cfg;
     cfg.tree = build::star(3);
@@ -57,8 +69,12 @@ int main() {
 
   print_banner(std::cout, "UPPER: universal collection is Theta(m + D)",
                "edge gossip until every node knows the whole graph");
-  Table collect({"n", "m", "rounds", "rounds/(m+n)"});
-  for (const Vertex n : {32u, 64u, 128u}) {
+  bench::ReportedTable collect(ctx, "collect",
+                               {"n", "m", "rounds", "rounds/(m+n)"});
+  const std::vector<Vertex> collect_sizes =
+      ctx.smoke() ? std::vector<Vertex>{32, 64}
+                  : std::vector<Vertex>{32, 64, 128};
+  for (const Vertex n : collect_sizes) {
     for (const std::uint64_t m : {2u * n, 4u * n}) {
       Graph g = build::random_tree(n, rng);
       while (g.num_edges() < m)
@@ -79,5 +95,5 @@ int main() {
   std::cout << "\nExpected: collection rounds track m (the generic algorithm\n"
                "the Theorem 1.2 lower bound shows is near-optimal for H_k up\n"
                "to the n^{1/k} cut factor).\n";
-  return 0;
+  return ctx.finish(std::cout);
 }

@@ -106,6 +106,7 @@ class AsyncEngine {
       sync_[v].arrived.resize(topology_.degree(v));
       sync_[v].port_dead.assign(topology_.degree(v), false);
     }
+    outcome_.trace = obs::RunTrace(n, config_.trace);
     // FIFO watermark per directed link (indexed by src, src-port); acks on
     // the reverse link share its watermark with that link's data frames.
     link_watermark_.resize(n);
@@ -158,6 +159,7 @@ class AsyncEngine {
 
     const Vertex n = topology_.num_vertices();
     outcome_.completed = halted_count_ == n;
+    outcome_.trace_bytes = outcome_.trace.approx_bytes();
     outcome_.verdicts.reserve(n);
     for (Vertex v = 0; v < n; ++v) {
       const auto& node = nodes_[v];
@@ -403,6 +405,8 @@ class AsyncEngine {
         frame.payload = std::move(*slot);
         slot.reset();
       }
+      if (outcome_.trace && frame.payload.has_value())
+        outcome_.trace.record(sync.pulse, v, frame.payload_bits());
       outcome_.payload_bits += frame.payload_bits();
       outcome_.overhead_bits += frame.overhead_bits();
       ++outcome_.frames;

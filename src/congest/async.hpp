@@ -35,6 +35,7 @@
 #include "congest/faults.hpp"
 #include "congest/network.hpp"
 #include "congest/transport.hpp"
+#include "obs/round_trace.hpp"
 
 namespace csd::congest {
 
@@ -56,6 +57,10 @@ struct AsyncConfig {
   /// Wire discipline; Reliable restores exact semantics under faults.
   TransportMode transport = TransportMode::Raw;
   TransportConfig transport_cfg;
+  /// Per-pulse observability. Accounted at the synchronizer's frame
+  /// emission (sender side, payload-carrying frames only), so a fault-free
+  /// async trace matches the synchronous engine's trace bit-for-bit.
+  obs::TraceOptions trace;
 };
 
 struct AsyncRunOutcome {
@@ -80,6 +85,10 @@ struct AsyncRunOutcome {
   std::uint64_t acks = 0;
   /// Structured fault/violation account (see congest/faults.hpp).
   FaultReport faults;
+  /// Per-pulse payload trajectory (empty unless config.trace.enabled).
+  obs::RunTrace trace;
+  /// Trace storage footprint in bytes; 0 when tracing is disabled.
+  std::uint64_t trace_bytes = 0;
 };
 
 /// Run `factory`'s programs over `topology` asynchronously under the frame

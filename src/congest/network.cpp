@@ -72,6 +72,7 @@ RunOutcome Network::run(const ProgramFactory& factory,
 
   RunOutcome outcome;
   outcome.metrics.bits_sent_by_node.assign(n, 0);
+  outcome.trace = obs::RunTrace(n, config_.trace);
 
   std::vector<std::unique_ptr<NodeState>> nodes;
   std::vector<std::unique_ptr<NodeProgram>> programs;
@@ -145,6 +146,7 @@ RunOutcome Network::run(const ProgramFactory& factory,
         outcome.metrics.max_message_bits =
             std::max<std::uint64_t>(outcome.metrics.max_message_bits,
                                     payload.size());
+        if (outcome.trace) outcome.trace.record(round, v, payload.size());
         if (config_.record_transcript)
           outcome.transcript.push_back({round, v, nbrs[p], payload});
         if (config_.on_message)
@@ -166,6 +168,7 @@ RunOutcome Network::run(const ProgramFactory& factory,
   }
 
   outcome.metrics.rounds = round;
+  outcome.metrics.trace_bytes = outcome.trace.approx_bytes();
   outcome.completed =
       std::all_of(nodes.begin(), nodes.end(),
                   [](const auto& node) { return node->halted(); });
@@ -232,6 +235,10 @@ RunOutcome run_amplified(const Graph& topology, const NetworkConfig& config,
         combined.transcript.end(),
         std::make_move_iterator(rep.transcript.begin()),
         std::make_move_iterator(rep.transcript.end()));
+    // Traces merge in repetition order — the deterministic task order the
+    // batch guarantees — so the combined trace is jobs-count independent.
+    combined.trace.append(rep.trace);
+    combined.metrics.trace_bytes += rep.metrics.trace_bytes;
     FaultReport& f = combined.faults;
     FaultReport& rf = rep.faults;
     f.frames_dropped += rf.frames_dropped;

@@ -36,6 +36,7 @@
 #include "congest/faults.hpp"
 #include "congest/program.hpp"
 #include "graph/graph.hpp"
+#include "obs/round_trace.hpp"
 #include "support/bitvec.hpp"
 
 namespace csd::congest {
@@ -66,6 +67,10 @@ struct NetworkConfig {
   /// Metrics and transcripts account what the sender put on the wire;
   /// corruption is applied after accounting, before delivery.
   FaultPlan faults;
+  /// Per-round observability (obs/round_trace.hpp). Disabled by default:
+  /// the run loop then pays a single predicted branch per message and the
+  /// outcome's trace stays empty (RunMetrics::trace_bytes == 0).
+  obs::TraceOptions trace;
 };
 
 /// One recorded message (only populated when record_transcript is set).
@@ -93,6 +98,10 @@ struct RunMetrics {
   /// once a repetition rejects, later ones cannot change the answer). Their
   /// costs are NOT included above — accounting stays honest.
   std::uint32_t repetitions_skipped = 0;
+  /// Storage the per-round trace observer allocated for this run; exactly 0
+  /// when NetworkConfig::trace is disabled (the observer's overhead is then
+  /// one branch per message and no memory — tested by test_obs).
+  std::uint64_t trace_bytes = 0;
 };
 
 struct RunOutcome {
@@ -115,6 +124,11 @@ struct RunOutcome {
   bool detected = false;
   RunMetrics metrics;
   std::vector<TranscriptEntry> transcript;
+  /// Per-round message/bit trajectory (empty unless config.trace.enabled).
+  /// Each run fills its own instance — no shared state — so RunBatch tasks
+  /// trace concurrently without locks; run_amplified appends the per-task
+  /// traces in repetition order (deterministic at every jobs count).
+  obs::RunTrace trace;
   /// Structured fault/violation account; FaultReport::clean() on a healthy
   /// run. See congest/faults.hpp. Amplified: counters summed, node/violation
   /// lists concatenated in repetition order.

@@ -31,8 +31,9 @@ std::uint64_t clique_detect_round_budget(std::uint64_t n,
                                          std::uint64_t max_degree,
                                          std::uint64_t bandwidth);
 
-/// End-to-end run.
+/// End-to-end run. `trace` opts into the per-round recorder (obs/).
 congest::RunOutcome detect_clique(const Graph& g, std::uint32_t s,
-                                  std::uint64_t bandwidth, std::uint64_t seed);
+                                  std::uint64_t bandwidth, std::uint64_t seed,
+                                  const obs::TraceOptions& trace = {});
 
 }  // namespace csd::detect

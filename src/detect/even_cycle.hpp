@@ -50,6 +50,9 @@ struct EvenCycleConfig {
   /// other phase's behaviour is isolated.
   bool enable_phase1 = true;
   bool enable_phase2 = true;
+  /// Per-round observability; the amplified outcome carries the traces of
+  /// all executed repetitions appended in repetition order.
+  obs::TraceOptions trace;
 };
 
 /// Deterministic round schedule shared by all nodes (computed from n, k, M).

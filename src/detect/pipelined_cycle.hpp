@@ -29,6 +29,8 @@ struct PipelinedCycleConfig {
   /// How repetitions are driven: worker threads + early exit after the
   /// first rejecting repetition. Results are jobs-count independent.
   congest::AmplifyOptions amplify;
+  /// Per-round observability for every repetition's run.
+  obs::TraceOptions trace;
 };
 
 /// Program factory for one repetition (colors drawn from the network seed).

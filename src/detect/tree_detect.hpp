@@ -25,6 +25,8 @@ struct TreeDetectConfig {
   /// How repetitions are driven: worker threads + early exit after the
   /// first rejecting repetition. Results are jobs-count independent.
   congest::AmplifyOptions amplify;
+  /// Per-round observability for every repetition's run.
+  obs::TraceOptions trace;
 };
 
 congest::ProgramFactory tree_detect_program(const Graph& tree);

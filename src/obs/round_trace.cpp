@@ -1,0 +1,132 @@
+#include "obs/round_trace.hpp"
+
+#include <bit>
+#include <ostream>
+
+#include "support/check.hpp"
+
+namespace csd::obs {
+
+namespace {
+
+/// Bucket 0 holds empty messages; bucket b >= 1 holds sizes in
+/// [2^(b-1), 2^b). 64-bit sizes need at most 65 buckets.
+std::size_t size_bucket(std::uint64_t bits) {
+  if (bits == 0) return 0;
+  return static_cast<std::size_t>(std::bit_width(bits));
+}
+
+}  // namespace
+
+RunTrace::RunTrace(std::uint32_t num_nodes, const TraceOptions& options)
+    : enabled_(options.enabled), options_(options), num_nodes_(num_nodes) {}
+
+void RunTrace::record(std::uint64_t round, std::uint32_t src,
+                      std::uint64_t bits) {
+  if (!enabled_) return;
+  CSD_CHECK_MSG(src < num_nodes_, "trace record from unknown node");
+  ensure_round(round);
+  RoundRecord& rec = rounds_[round];
+  ++rec.messages;
+  rec.bits += bits;
+  if (options_.per_node) {
+    ++rec.node_messages[src];
+    rec.node_bits[src] += bits;
+  }
+  if (options_.histogram) {
+    const std::size_t bucket = size_bucket(bits);
+    if (histogram_.size() <= bucket) histogram_.resize(bucket + 1, 0);
+    ++histogram_[bucket];
+  }
+  ++total_messages_;
+  total_bits_ += bits;
+}
+
+void RunTrace::ensure_round(std::uint64_t round) {
+  if (round < rounds_.size()) return;
+  const std::uint64_t old_size = rounds_.size();
+  rounds_.resize(round + 1);
+  for (std::uint64_t r = old_size; r <= round; ++r) {
+    rounds_[r].round = r;
+    if (options_.per_node) {
+      rounds_[r].node_messages.assign(num_nodes_, 0);
+      rounds_[r].node_bits.assign(num_nodes_, 0);
+    }
+  }
+}
+
+void RunTrace::append(const RunTrace& other) {
+  if (!other.enabled_) return;
+  if (!enabled_) {
+    *this = other;
+    if (segment_starts_.empty() && !rounds_.empty())
+      segment_starts_.push_back(0);
+    return;
+  }
+  CSD_CHECK_MSG(num_nodes_ == other.num_nodes_,
+                "appending traces of different networks");
+  if (segment_starts_.empty() && !rounds_.empty())
+    segment_starts_.push_back(0);
+  const std::uint64_t base = rounds_.size();
+  segment_starts_.push_back(base);
+  rounds_.reserve(base + other.rounds_.size());
+  for (const RoundRecord& rec : other.rounds_) {
+    rounds_.push_back(rec);
+    rounds_.back().round = base + rec.round;
+  }
+  if (histogram_.size() < other.histogram_.size())
+    histogram_.resize(other.histogram_.size(), 0);
+  for (std::size_t b = 0; b < other.histogram_.size(); ++b)
+    histogram_[b] += other.histogram_[b];
+  total_messages_ += other.total_messages_;
+  total_bits_ += other.total_bits_;
+}
+
+std::uint64_t RunTrace::approx_bytes() const noexcept {
+  if (!enabled_) return 0;
+  std::uint64_t bytes = sizeof(*this);
+  bytes += rounds_.capacity() * sizeof(RoundRecord);
+  for (const RoundRecord& rec : rounds_)
+    bytes += (rec.node_messages.capacity() + rec.node_bits.capacity()) *
+             sizeof(std::uint64_t);
+  bytes += histogram_.capacity() * sizeof(std::uint64_t);
+  bytes += segment_starts_.capacity() * sizeof(std::uint64_t);
+  return bytes;
+}
+
+void RunTrace::write_jsonl(std::ostream& os) const {
+  const auto write_u64_array = [&](const char* key,
+                                   const std::vector<std::uint64_t>& values) {
+    os << ",\"" << key << "\":[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) os << ',';
+      os << values[i];
+    }
+    os << ']';
+  };
+
+  os << "{\"type\":\"header\",\"schema\":\"csd-trace-v1\",\"nodes\":"
+     << num_nodes_ << ",\"rounds\":" << rounds_.size()
+     << ",\"segments\":" << segments() << ",\"per_node\":"
+     << (options_.per_node ? "true" : "false");
+  if (!segment_starts_.empty())
+    write_u64_array("segment_starts", segment_starts_);
+  os << "}\n";
+
+  for (const RoundRecord& rec : rounds_) {
+    os << "{\"type\":\"round\",\"round\":" << rec.round
+       << ",\"messages\":" << rec.messages << ",\"bits\":" << rec.bits;
+    if (options_.per_node) {
+      write_u64_array("node_messages", rec.node_messages);
+      write_u64_array("node_bits", rec.node_bits);
+    }
+    os << "}\n";
+  }
+
+  os << "{\"type\":\"summary\",\"total_messages\":" << total_messages_
+     << ",\"total_bits\":" << total_bits_;
+  if (options_.histogram) write_u64_array("size_histogram", histogram_);
+  os << "}\n";
+}
+
+}  // namespace csd::obs

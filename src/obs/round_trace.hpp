@@ -1,0 +1,109 @@
+// Opt-in per-round message/bit recorder for the CONGEST engines.
+//
+// A RunTrace rides inside a RunOutcome: each Network::run (or async run)
+// fills its own instance, so concurrent runs under RunBatch need no locks —
+// the per-task buffers are merged afterwards in deterministic task order by
+// run_amplified (RunBatch already returns outcomes in task order). The
+// trace is therefore bit-identical for every --jobs count, exactly like the
+// metrics it refines.
+//
+// Cost model: a disabled trace is a default-constructed object — no
+// allocation, and the engines guard every record() behind a single
+// well-predicted `if (trace)`, so the hot path pays one branch and nothing
+// else. RunMetrics::trace_bytes reports the observer's storage footprint
+// (0 when disabled), which test_obs pins down.
+//
+// Recorded per round (sender-side accounting, matching RunMetrics):
+//   * total messages and payload bits,
+//   * optionally per-node messages/bits (TraceOptions::per_node),
+// plus a run-wide message-size histogram in power-of-two buckets
+// (TraceOptions::histogram). The JSONL sink writes one compact JSON object
+// per line: a header, one line per round, and a summary with the histogram
+// — machine-exact round/bit trajectories for bench_compare and for the
+// broadcast-CONGEST baselines PAPERS.md points at.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace csd::obs {
+
+struct TraceOptions {
+  /// Master switch; everything below is ignored when false.
+  bool enabled = false;
+  /// Record per-node message/bit counts each round (memory: O(rounds * n)).
+  bool per_node = true;
+  /// Maintain the run-wide message-size histogram.
+  bool histogram = true;
+};
+
+/// One round's traffic. `node_*` vectors are empty unless per_node is set.
+struct RoundRecord {
+  std::uint64_t round = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bits = 0;
+  std::vector<std::uint64_t> node_messages;
+  std::vector<std::uint64_t> node_bits;
+};
+
+class RunTrace {
+ public:
+  /// Disabled trace (records nothing, allocates nothing).
+  RunTrace() = default;
+  RunTrace(std::uint32_t num_nodes, const TraceOptions& options);
+
+  bool enabled() const noexcept { return enabled_; }
+  explicit operator bool() const noexcept { return enabled_; }
+
+  /// Account one message of `bits` payload bits sent by node `src` in
+  /// `round`. Rounds may be recorded out of order (the async engine's
+  /// pulses interleave across nodes); the vector grows as needed and
+  /// quiet rounds keep zero records.
+  void record(std::uint64_t round, std::uint32_t src, std::uint64_t bits);
+
+  /// Append `other` as the next repetition: its rounds are re-based after
+  /// this trace's last round, histograms are summed, and the boundary is
+  /// remembered so the JSONL sink can label repetitions. Appending to a
+  /// disabled trace adopts `other` wholesale.
+  void append(const RunTrace& other);
+
+  std::uint32_t num_nodes() const noexcept { return num_nodes_; }
+  const std::vector<RoundRecord>& rounds() const noexcept { return rounds_; }
+  /// histogram()[b] counts messages whose payload size in bits lies in
+  /// [2^(b-1), 2^b); bucket 0 counts empty (0-bit) messages alone.
+  const std::vector<std::uint64_t>& histogram() const noexcept {
+    return histogram_;
+  }
+  std::uint64_t total_messages() const noexcept { return total_messages_; }
+  std::uint64_t total_bits() const noexcept { return total_bits_; }
+  /// Number of appended run segments (1 for a plain run, R for amplified).
+  std::uint64_t segments() const noexcept {
+    return segment_starts_.empty() ? (rounds_.empty() ? 0 : 1)
+                                   : segment_starts_.size();
+  }
+
+  /// Observer storage footprint in bytes (0 when disabled) — the number
+  /// RunMetrics::trace_bytes exposes.
+  std::uint64_t approx_bytes() const noexcept;
+
+  /// JSONL sink: header line, one line per round, summary line. Output is a
+  /// pure function of the recorded data (no timestamps, no pointers), so it
+  /// is bit-identical across thread counts and re-runs.
+  void write_jsonl(std::ostream& os) const;
+
+ private:
+  void ensure_round(std::uint64_t round);
+
+  bool enabled_ = false;
+  TraceOptions options_;
+  std::uint32_t num_nodes_ = 0;
+  std::vector<RoundRecord> rounds_;
+  std::vector<std::uint64_t> histogram_;
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t total_bits_ = 0;
+  /// Index into rounds_ where each appended segment starts.
+  std::vector<std::uint64_t> segment_starts_;
+};
+
+}  // namespace csd::obs

@@ -1,0 +1,241 @@
+// Tests for the observability layer: the JSON model, the bench report
+// schema, and the per-round trace — including the two contracts the rest of
+// the repo leans on: traces are bit-identical at every --jobs count, and a
+// disabled trace costs exactly nothing (trace_bytes == 0, metrics
+// unchanged).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "detect/even_cycle.hpp"
+#include "graph/builders.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/json.hpp"
+#include "obs/round_trace.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace csd {
+namespace {
+
+// ---------------------------------------------------------------- Json ----
+
+TEST(Json, ScalarDumpAndParseRoundTrip) {
+  obs::Json obj = obs::Json::object();
+  obj.set("null", obs::Json());
+  obj.set("bool", obs::Json(true));
+  obj.set("uint", obs::Json(std::uint64_t{18446744073709551615ull}));
+  obj.set("int", obs::Json(std::int64_t{-42}));
+  obj.set("double", obs::Json(0.1));
+  obj.set("integral_double", obs::Json(3.0));
+  obj.set("string", obs::Json("he\"llo\n\t\x01"));
+  obs::Json arr = obs::Json::array();
+  arr.push(obs::Json(std::uint64_t{1}));
+  arr.push(obs::Json("two"));
+  obj.set("arr", std::move(arr));
+
+  const std::string text = obj.dump();
+  const obs::Json parsed = obs::Json::parse(text);
+  EXPECT_EQ(parsed, obj);
+  // Dumping the parse again is a fixpoint — the serialization is canonical.
+  EXPECT_EQ(parsed.dump(), text);
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  obs::Json obj = obs::Json::object();
+  obj.set("zebra", obs::Json(std::uint64_t{1}));
+  obj.set("alpha", obs::Json(std::uint64_t{2}));
+  obj.set("mid", obs::Json(std::uint64_t{3}));
+  EXPECT_EQ(obj.dump(-1), R"({"zebra":1,"alpha":2,"mid":3})");
+}
+
+TEST(Json, DoublesSurviveShortestRoundTrip) {
+  for (const double v : {0.1, 1e-9, 123456.789, 2.5e300, -0.0625}) {
+    const obs::Json parsed = obs::Json::parse(obs::Json(v).dump());
+    EXPECT_EQ(parsed.as_double(), v);
+  }
+  // Integral doubles keep a ".0" marker so they parse back as doubles.
+  EXPECT_EQ(obs::Json(3.0).dump(), "3.0");
+  EXPECT_EQ(obs::Json::parse("3.0").kind(), obs::Json::Kind::Double);
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW(obs::Json::parse("{"), CheckFailure);
+  EXPECT_THROW(obs::Json::parse("[1,]"), CheckFailure);
+  EXPECT_THROW(obs::Json::parse("01"), CheckFailure);
+  EXPECT_THROW(obs::Json::parse("\"unterminated"), CheckFailure);
+  EXPECT_THROW(obs::Json::parse("true false"), CheckFailure);
+}
+
+// --------------------------------------------------------- BenchReport ----
+
+TEST(BenchReport, SchemaRoundTripsThroughParse) {
+  obs::BenchReport report("unit_test");
+  report.param("n", std::uint64_t{64}).param("rate", 0.25);
+  report.seed(7).seed(11);
+  auto& m = report.measurement("table/row0");
+  m.value("rounds", std::uint64_t{12});
+  m.value("verdict", true);
+  m.value("label", "planted");
+  report.measurement("table/row1").value("rounds", std::uint64_t{13});
+  report.set_wall_clock_ms(1.5);
+
+  const obs::Json doc = obs::Json::parse(report.to_json().dump());
+  EXPECT_EQ(doc.at("schema").as_string(), obs::kBenchSchema);
+  EXPECT_EQ(doc.at("name").as_string(), "unit_test");
+  EXPECT_FALSE(doc.at("smoke").as_bool());
+  EXPECT_EQ(doc.at("params").at("n").as_uint(), 64u);
+  EXPECT_EQ(doc.at("seeds").items().size(), 2u);
+  const auto& measurements = doc.at("measurements").items();
+  ASSERT_EQ(measurements.size(), 2u);
+  EXPECT_EQ(measurements[0].at("name").as_string(), "table/row0");
+  EXPECT_EQ(measurements[0].at("values").at("rounds").as_uint(), 12u);
+  EXPECT_TRUE(measurements[0].at("values").at("verdict").as_bool());
+  EXPECT_EQ(doc.at("env").at("wall_clock_ms").as_double(), 1.5);
+  // git_sha is always stamped (possibly "unknown" outside a git checkout).
+  EXPECT_FALSE(doc.at("env").at("git_sha").as_string().empty());
+}
+
+TEST(BenchReport, MeasurementReferencesStayStable) {
+  obs::BenchReport report("stability");
+  auto& first = report.measurement("a");
+  for (int i = 0; i < 100; ++i)
+    report.measurement("m" + std::to_string(i));
+  first.value("still_valid", true);  // would crash if `first` dangled
+  EXPECT_TRUE(report.to_json()
+                  .at("measurements")
+                  .items()[0]
+                  .at("values")
+                  .at("still_valid")
+                  .as_bool());
+}
+
+// ------------------------------------------------------------ RunTrace ----
+
+congest::RunOutcome traced_run(const Graph& g, unsigned jobs,
+                               bool enable_trace, std::uint32_t reps) {
+  detect::EvenCycleConfig cfg;
+  cfg.k = 2;
+  cfg.repetitions = reps;
+  cfg.trace.enabled = enable_trace;
+  congest::NetworkConfig net_cfg;
+  net_cfg.bandwidth = 64;
+  net_cfg.seed = 5;
+  net_cfg.trace = cfg.trace;
+  net_cfg.max_rounds =
+      detect::make_even_cycle_schedule(g.num_vertices(), cfg).total_rounds() +
+      1;
+  congest::AmplifyOptions options;
+  options.jobs = jobs;
+  options.early_exit = false;  // every repetition contributes a segment
+  return congest::run_amplified(g, net_cfg, detect::even_cycle_program(cfg),
+                                reps, options);
+}
+
+Graph trace_host() {
+  Rng rng(17);
+  Graph g = build::random_tree(24, rng);
+  build::plant_subgraph(g, build::cycle(4), rng);
+  return g;
+}
+
+TEST(RunTrace, BitIdenticalAcrossJobsCounts) {
+  const Graph g = trace_host();
+  const auto reference = traced_run(g, 1, true, 6);
+  ASSERT_GT(reference.trace.segments(), 0u);
+  std::ostringstream ref_os;
+  reference.trace.write_jsonl(ref_os);
+
+  for (const unsigned jobs : {4u, 0u}) {
+    const auto outcome = traced_run(g, jobs, true, 6);
+    std::ostringstream os;
+    outcome.trace.write_jsonl(os);
+    EXPECT_EQ(os.str(), ref_os.str()) << "jobs = " << jobs;
+    EXPECT_EQ(outcome.metrics.total_bits, reference.metrics.total_bits);
+    EXPECT_EQ(outcome.metrics.rounds, reference.metrics.rounds);
+  }
+}
+
+TEST(RunTrace, TraceTotalsMatchRunMetrics) {
+  const Graph g = trace_host();
+  const auto outcome = traced_run(g, 1, true, 4);
+  std::uint64_t traced_messages = 0, traced_bits = 0;
+  for (const auto& round : outcome.trace.rounds()) {
+    traced_messages += round.messages;
+    traced_bits += round.bits;
+  }
+  EXPECT_EQ(traced_messages, outcome.metrics.messages);
+  EXPECT_EQ(traced_bits, outcome.metrics.total_bits);
+  EXPECT_EQ(outcome.trace.segments(), 4u);
+}
+
+TEST(RunTrace, DisabledTraceHasZeroOverheadAndSameMetrics) {
+  const Graph g = trace_host();
+  const auto off = traced_run(g, 1, false, 4);
+  const auto on = traced_run(g, 1, true, 4);
+
+  EXPECT_EQ(off.metrics.trace_bytes, 0u) << "disabled trace must not "
+                                            "allocate observer storage";
+  EXPECT_EQ(off.trace.segments(), 0u);
+  EXPECT_EQ(off.trace.approx_bytes(), 0u);
+  EXPECT_GT(on.metrics.trace_bytes, 0u);
+
+  // Observation is passive: enabling the trace changes no model-level
+  // number.
+  EXPECT_EQ(off.detected, on.detected);
+  EXPECT_EQ(off.metrics.rounds, on.metrics.rounds);
+  EXPECT_EQ(off.metrics.messages, on.metrics.messages);
+  EXPECT_EQ(off.metrics.total_bits, on.metrics.total_bits);
+  EXPECT_EQ(off.metrics.max_message_bits, on.metrics.max_message_bits);
+}
+
+TEST(RunTrace, JsonlDocumentIsWellFormedAndConsistent) {
+  const Graph g = trace_host();
+  const auto outcome = traced_run(g, 1, true, 2);
+  std::ostringstream os;
+  outcome.trace.write_jsonl(os);
+
+  std::istringstream is(os.str());
+  std::string line;
+  std::vector<obs::Json> lines;
+  while (std::getline(is, line)) lines.push_back(obs::Json::parse(line));
+  ASSERT_GE(lines.size(), 3u);  // header + >=1 round + summary
+
+  const obs::Json& header = lines.front();
+  EXPECT_EQ(header.at("schema").as_string(), "csd-trace-v1");
+  EXPECT_EQ(header.at("nodes").as_uint(), g.num_vertices());
+  EXPECT_EQ(header.at("segments").as_uint(), 2u);
+  EXPECT_EQ(header.at("rounds").as_uint(), lines.size() - 2);
+
+  const obs::Json& summary = lines.back();
+  std::uint64_t bits = 0;
+  for (std::size_t i = 1; i + 1 < lines.size(); ++i) {
+    EXPECT_EQ(lines[i].at("round").as_uint(), i - 1);
+    bits += lines[i].at("bits").as_uint();
+  }
+  EXPECT_EQ(summary.at("total_bits").as_uint(), bits);
+  EXPECT_EQ(summary.at("total_bits").as_uint(), outcome.metrics.total_bits);
+}
+
+TEST(RunTrace, AppendRebasesRoundsAndAdoptsIntoDisabled) {
+  obs::TraceOptions opts;
+  opts.enabled = true;
+  obs::RunTrace a(2, opts), b(2, opts);
+  a.record(0, 0, 8);
+  a.record(1, 1, 16);
+  b.record(0, 1, 32);
+
+  obs::RunTrace merged;  // disabled: append adopts the first trace wholesale
+  merged.append(a);
+  merged.append(b);
+  ASSERT_EQ(merged.rounds().size(), 3u);
+  EXPECT_EQ(merged.rounds()[2].round, 2u);  // b's round 0 re-based after a
+  EXPECT_EQ(merged.rounds()[2].bits, 32u);
+  EXPECT_EQ(merged.segments(), 2u);
+}
+
+}  // namespace
+}  // namespace csd

@@ -1,0 +1,255 @@
+#!/usr/bin/env python3
+"""Compare a directory of BENCH_*.json reports against committed baselines.
+
+Usage:
+    tools/bench_compare.py --baseline bench/baselines --current out [options]
+
+Every report follows the csd-bench-v1 schema emitted by obs::BenchReport:
+
+    {
+      "schema": "csd-bench-v1",
+      "name": "...",
+      "smoke": true,
+      "params": {...},            # deterministic
+      "seeds": [...],             # deterministic
+      "measurements": [           # deterministic unless key is wall-clock
+        {"name": "...", "values": {...}}
+      ],
+      "env": {...}                # non-deterministic (git_sha, wall_clock_ms,
+                                  # jobs) — only wall_clock_ms is gated
+    }
+
+Comparison rules:
+  * Missing or extra reports fail (the bench set itself is part of the
+    contract).
+  * `schema`, `name`, `smoke`, `params`, `seeds` must match exactly.
+  * Measurement values are exact for ints/bools/strings and tight
+    (REL_TOL = 1e-9) for floats — model-exact rounds/bits may not drift
+    at all.
+  * Keys ending in `_ms` / `_ns` are wall-clock by convention: they get
+    WALL_TOL (default 25%) relative tolerance and are skipped entirely
+    below an absolute floor where scheduler noise dominates.
+  * `env.wall_clock_ms` gets the same wall-clock gate; other env keys
+    (git_sha, jobs, host) are informational and ignored.
+
+Exit status: 0 = clean, 1 = drift detected, 2 = usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+SCHEMA = "csd-bench-v1"
+REL_TOL = 1e-9  # deterministic floats (averages of exact counters)
+WALL_TOL = 0.25  # wall-clock keys: fail above 25% drift
+WALL_FLOOR_MS = 500.0  # ignore wall-clock drift under this baseline value
+WALL_FLOOR_NS = 500.0 * 1e6
+
+
+def is_wall_key(key: str) -> bool:
+    return key.endswith("_ms") or key.endswith("_ns")
+
+
+def wall_floor(key: str) -> float:
+    return WALL_FLOOR_NS if key.endswith("_ns") else WALL_FLOOR_MS
+
+
+class Diff:
+    def __init__(self) -> None:
+        self.errors: list[str] = []
+        self.notes: list[str] = []
+
+    def error(self, msg: str) -> None:
+        self.errors.append(msg)
+
+    def note(self, msg: str) -> None:
+        self.notes.append(msg)
+
+
+def compare_scalar(path: str, base, cur, diff: Diff) -> None:
+    """Exact for ints/bools/strings/None; REL_TOL for floats."""
+    if type(base) is bool or type(cur) is bool:
+        if base is not cur:
+            diff.error(f"{path}: {base!r} -> {cur!r}")
+        return
+    if isinstance(base, (int, float)) and isinstance(cur, (int, float)):
+        if isinstance(base, int) and isinstance(cur, int):
+            if base != cur:
+                diff.error(f"{path}: {base} -> {cur}")
+            return
+        if not math.isclose(float(base), float(cur), rel_tol=REL_TOL,
+                            abs_tol=REL_TOL):
+            diff.error(f"{path}: {base!r} -> {cur!r}")
+        return
+    if base != cur:
+        diff.error(f"{path}: {base!r} -> {cur!r}")
+
+
+def compare_wall(path: str, base, cur, diff: Diff, key: str) -> None:
+    if not isinstance(base, (int, float)) or not isinstance(cur, (int, float)):
+        compare_scalar(path, base, cur, diff)
+        return
+    base_f, cur_f = float(base), float(cur)
+    floor = wall_floor(key)
+    if base_f < floor and cur_f < floor:
+        return  # below the noise floor: informational only
+    if base_f <= 0.0:
+        return
+    drift = (cur_f - base_f) / base_f
+    if drift > WALL_TOL:
+        diff.error(
+            f"{path}: wall-clock regression {base_f:.1f} -> {cur_f:.1f} "
+            f"(+{100.0 * drift:.1f}% > {100.0 * WALL_TOL:.0f}%)")
+    elif abs(drift) > WALL_TOL:
+        diff.note(
+            f"{path}: wall-clock improved {base_f:.1f} -> {cur_f:.1f} "
+            f"({100.0 * drift:+.1f}%)")
+
+
+def compare_value(path: str, base, cur, diff: Diff, wall: bool = False,
+                  key: str = "") -> None:
+    if isinstance(base, dict) and isinstance(cur, dict):
+        for k in base:
+            if k not in cur:
+                diff.error(f"{path}.{k}: missing in current report")
+        for k in cur:
+            if k not in base:
+                diff.error(f"{path}.{k}: not in baseline (refresh baselines?)")
+        for k in base:
+            if k in cur:
+                compare_value(f"{path}.{k}", base[k], cur[k], diff,
+                              wall=is_wall_key(k), key=k)
+        return
+    if isinstance(base, list) and isinstance(cur, list):
+        if len(base) != len(cur):
+            diff.error(f"{path}: length {len(base)} -> {len(cur)}")
+            return
+        for i, (b, c) in enumerate(zip(base, cur)):
+            compare_value(f"{path}[{i}]", b, c, diff, wall=wall, key=key)
+        return
+    if type(base) in (dict, list) or type(cur) in (dict, list):
+        diff.error(f"{path}: kind mismatch {type(base).__name__} -> "
+                   f"{type(cur).__name__}")
+        return
+    if wall:
+        compare_wall(path, base, cur, diff, key)
+    else:
+        compare_scalar(path, base, cur, diff)
+
+
+def compare_report(name: str, base: dict, cur: dict, diff: Diff) -> None:
+    for doc, which in ((base, "baseline"), (cur, "current")):
+        if doc.get("schema") != SCHEMA:
+            diff.error(f"{name}: {which} schema {doc.get('schema')!r} != "
+                       f"{SCHEMA!r}")
+            return
+    if base.get("name") != cur.get("name"):
+        diff.error(f"{name}: bench name {base.get('name')!r} -> "
+                   f"{cur.get('name')!r}")
+    if base.get("smoke") != cur.get("smoke"):
+        diff.error(f"{name}: smoke flag {base.get('smoke')!r} -> "
+                   f"{cur.get('smoke')!r} (baselines and runs must use the "
+                   f"same mode)")
+        return
+    compare_value(f"{name}.params", base.get("params", {}),
+                  cur.get("params", {}), diff)
+    compare_value(f"{name}.seeds", base.get("seeds", []),
+                  cur.get("seeds", []), diff)
+
+    def by_name(doc):
+        out = {}
+        for m in doc.get("measurements", []):
+            out[m.get("name", "?")] = m.get("values", {})
+        return out
+
+    base_m, cur_m = by_name(base), by_name(cur)
+    for k in base_m:
+        if k not in cur_m:
+            diff.error(f"{name}.measurements[{k}]: missing in current report")
+    for k in cur_m:
+        if k not in base_m:
+            diff.error(f"{name}.measurements[{k}]: not in baseline "
+                       f"(refresh baselines?)")
+    for k in base_m:
+        if k in cur_m:
+            compare_value(f"{name}.measurements[{k}]", base_m[k], cur_m[k],
+                          diff)
+
+    wall_key = "wall_clock_ms"
+    base_wall = base.get("env", {}).get(wall_key)
+    cur_wall = cur.get("env", {}).get(wall_key)
+    if base_wall is not None and cur_wall is not None:
+        compare_wall(f"{name}.env.{wall_key}", base_wall, cur_wall, diff,
+                     wall_key)
+
+
+def load_reports(directory: Path) -> dict[str, dict]:
+    reports = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            reports[path.name] = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            sys.exit(2)
+    return reports
+
+
+def main() -> int:
+    global WALL_TOL
+    parser = argparse.ArgumentParser(
+        description="Gate BENCH_*.json reports against committed baselines.")
+    parser.add_argument("--baseline", required=True, type=Path,
+                        help="directory of committed BENCH_*.json baselines")
+    parser.add_argument("--current", required=True, type=Path,
+                        help="directory of freshly produced BENCH_*.json")
+    parser.add_argument("--wall-tol", type=float, default=WALL_TOL,
+                        help="relative wall-clock tolerance (default 0.25)")
+    parser.add_argument("--no-wall", action="store_true",
+                        help="skip all wall-clock gates (determinism only)")
+    args = parser.parse_args()
+    WALL_TOL = math.inf if args.no_wall else args.wall_tol
+
+    for directory in (args.baseline, args.current):
+        if not directory.is_dir():
+            print(f"error: {directory} is not a directory", file=sys.stderr)
+            return 2
+
+    base = load_reports(args.baseline)
+    cur = load_reports(args.current)
+    if not base:
+        print(f"error: no BENCH_*.json in {args.baseline}", file=sys.stderr)
+        return 2
+
+    diff = Diff()
+    for name in base:
+        if name not in cur:
+            diff.error(f"{name}: baseline exists but no current report "
+                       f"(bench not run?)")
+    for name in cur:
+        if name not in base:
+            diff.error(f"{name}: current report has no baseline "
+                       f"(add it to {args.baseline})")
+    for name in sorted(set(base) & set(cur)):
+        compare_report(name, base[name], cur[name], diff)
+
+    for note in diff.notes:
+        print(f"note: {note}")
+    if diff.errors:
+        print(f"FAIL: {len(diff.errors)} difference(s) vs baseline:")
+        for err in diff.errors:
+            print(f"  {err}")
+        print("\nIf the change is intentional, refresh the baselines:\n"
+              "  for b in build/bench/bench_*; do \"$b\" --smoke --json "
+              "bench/baselines; done")
+        return 1
+    print(f"OK: {len(set(base) & set(cur))} report(s) match the baselines "
+          f"({len(base)} baseline(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,8 @@
 #include "lowerbound/fooling.hpp"
 #include "lowerbound/gkn.hpp"
 #include "lowerbound/hk.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/round_trace.hpp"
 #include "detect/triangle.hpp"
 #include "support/check.hpp"
 #include "support/mathutil.hpp"
@@ -42,19 +44,24 @@ commands:
   stats <file>
       n, m, max degree, diameter, girth, degeneracy, bipartiteness
   detect <pattern> <file> [--bandwidth B] [--seed S] [--reps R] [--jobs N]
+         [--json FILE] [--trace FILE]
          [--drop P] [--corrupt P] [--crash NODE:ROUND] [--transport T]
       pattern: cycle L | triangle | clique S | star D
       runs the matching CONGEST algorithm and the exhaustive oracle.
       --jobs N fans amplification repetitions over N worker threads
       (0 = all hardware threads); verdicts and metrics are bit-identical
-      for every N. fault flags (drop/corrupt probabilities in [0,1],
-      --crash repeatable, --transport raw|reliable) run the async engine
-      under the given FaultPlan and print a structured fault report
+      for every N. --json writes a csd-bench-v1 report; --trace writes the
+      per-round JSONL trace (both bit-identical for every --jobs count).
+      fault flags (drop/corrupt probabilities in [0,1], --crash repeatable,
+      --transport raw|reliable) run the async engine under the given
+      FaultPlan and print a structured fault report
   sweep cycle <L> [--sizes N1,N2,...] [--reps R] [--jobs N] [--seed S]
-        [--bandwidth B]
+        [--bandwidth B] [--json FILE] [--trace FILE]
       planted-vs-control detection sweep over host sizes (random forest
       hosts, planted C_L vs cycle-free control), repetitions fanned over
-      the parallel run driver; reports executed/skipped repetitions
+      the parallel run driver; reports executed/skipped repetitions.
+      --json writes one csd-bench-v1 report with a measurement per row;
+      --trace concatenates every instance's JSONL trace into FILE
   list-cliques <s> <file>
       congested-clique K_s listing; prints count and round cost
   fool <namespace-N> <budget-c>
@@ -214,8 +221,12 @@ congest::CrashEvent to_crash(const std::string& s) {
 int cmd_detect_faulty(const Invocation& inv, std::ostream& out, const Graph& g,
                       const std::string& pattern, std::uint64_t bandwidth,
                       std::uint64_t seed, std::uint32_t reps) {
+  const obs::WallTimer timer;
+  const auto json_path = inv.flag("json");
+  const auto trace_path = inv.flag("trace");
   congest::AsyncConfig cfg;
   cfg.bandwidth = bandwidth;
+  cfg.trace.enabled = trace_path.has_value();
   if (const auto p = inv.flag("drop")) cfg.faults.drop = to_prob(*p, "drop");
   if (const auto p = inv.flag("corrupt"))
     cfg.faults.corrupt = to_prob(*p, "corrupt");
@@ -279,11 +290,13 @@ int cmd_detect_faulty(const Invocation& inv, std::ostream& out, const Graph& g,
   bool detected = false, survivors = false, all_completed = true;
   std::uint64_t pulses = 0, payload = 0, transport_bits = 0;
   congest::FaultReport total;
+  obs::RunTrace merged_trace;
   for (std::uint32_t r = 0; r < runs; ++r) {
     // Same per-repetition seed schedule as run_amplified, so a clean async
     // run reproduces the sync CLI verdict bit-for-bit.
     cfg.seed = runs == 1 ? seed : derive_seed(seed, 0x5eedULL + r);
     const auto outcome = congest::run_async(g, cfg, factory);
+    merged_trace.append(outcome.trace);
     detected |= outcome.detected;
     survivors |= outcome.faults.detected_by_survivors;
     all_completed &= outcome.completed;
@@ -322,12 +335,45 @@ int cmd_detect_faulty(const Invocation& inv, std::ostream& out, const Graph& g,
   if (detected && !truth) out << "WARNING: false positive (model bug?)\n";
   if (!detected && truth)
     out << "note: faults can mask the pattern; try --transport reliable\n";
+
+  if (trace_path) {
+    std::ofstream os(*trace_path);
+    CSD_CHECK_MSG(os.good(), "cannot write trace file '" << *trace_path
+                                                         << "'");
+    merged_trace.write_jsonl(os);
+    out << "trace:      " << *trace_path << '\n';
+  }
+  if (json_path) {
+    obs::BenchReport report("csd_detect");
+    report.param("pattern", pattern)
+        .param("bandwidth", bandwidth)
+        .param("reps", runs)
+        .param("n", g.num_vertices())
+        .param("m", g.num_edges())
+        .param("transport", transport)
+        .param("engine", "async");
+    report.seed(seed);
+    report.measurement("detect")
+        .value("verdict", detected ? "reject" : "accept")
+        .value("oracle", truth)
+        .value("completed", all_completed)
+        .value("pulses", pulses)
+        .value("payload_bits", payload)
+        .value("transport_bits", transport_bits)
+        .value("frames_dropped", total.frames_dropped)
+        .value("frames_corrupted", total.frames_corrupted)
+        .value("retransmissions", total.retransmissions);
+    report.set_wall_clock_ms(timer.elapsed_ms());
+    report.write(*json_path);
+    out << "json:       " << *json_path << '\n';
+  }
   return 0;
 }
 
 int cmd_detect(const Invocation& inv, std::ostream& out) {
   CSD_CHECK_MSG(inv.positional.size() >= 3,
                 "detect needs a pattern and a file");
+  const obs::WallTimer timer;
   const std::string& pattern = inv.positional[1];
   const std::uint64_t bandwidth =
       to_u64(inv.flag("bandwidth").value_or("64"), "bandwidth");
@@ -336,6 +382,10 @@ int cmd_detect(const Invocation& inv, std::ostream& out) {
       to_u64(inv.flag("reps").value_or("400"), "reps"));
   const auto jobs = static_cast<unsigned>(
       to_u64(inv.flag("jobs").value_or("1"), "jobs"));
+  const auto json_path = inv.flag("json");
+  const auto trace_path = inv.flag("trace");
+  obs::TraceOptions trace_opts;
+  trace_opts.enabled = trace_path.has_value();
 
   // The file is the last positional; `cycle L` / `clique S` / `star D`
   // carry one parameter in between.
@@ -348,27 +398,26 @@ int cmd_detect(const Invocation& inv, std::ostream& out) {
   bool detected = false, truth = false;
   std::uint64_t rounds = 0;
   std::uint32_t executed = 1, skipped = 0;
-  if (pattern == "triangle") {
-    const auto outcome = detect::detect_clique(g, 3, bandwidth, seed);
-    detected = outcome.detected;
-    rounds = outcome.metrics.rounds;
-    truth = oracle::has_clique(g, 3);
-  } else if (pattern == "clique") {
-    CSD_CHECK_MSG(inv.positional.size() == 4, "detect clique S FILE");
-    const auto s = static_cast<std::uint32_t>(to_u64(inv.positional[2], "S"));
-    const auto outcome = detect::detect_clique(g, s, bandwidth, seed);
+  congest::RunOutcome outcome;
+  if (pattern == "triangle" || pattern == "clique") {
+    std::uint32_t s = 3;
+    if (pattern == "clique") {
+      CSD_CHECK_MSG(inv.positional.size() == 4, "detect clique S FILE");
+      s = static_cast<std::uint32_t>(to_u64(inv.positional[2], "S"));
+    }
+    outcome = detect::detect_clique(g, s, bandwidth, seed, trace_opts);
     detected = outcome.detected;
     rounds = outcome.metrics.rounds;
     truth = oracle::has_clique(g, s);
   } else if (pattern == "cycle") {
     CSD_CHECK_MSG(inv.positional.size() == 4, "detect cycle L FILE");
     const auto len = static_cast<std::uint32_t>(to_u64(inv.positional[2], "L"));
-    congest::RunOutcome outcome;
     if (len >= 4 && len % 2 == 0) {
       detect::EvenCycleConfig cfg;
       cfg.k = len / 2;
       cfg.repetitions = reps;
       cfg.amplify.jobs = jobs;
+      cfg.trace = trace_opts;
       outcome = detect::detect_even_cycle(g, cfg, bandwidth, seed);
       out << "algorithm:  Theorem 1.1 sublinear C_" << len << " detector\n";
     } else {
@@ -376,6 +425,7 @@ int cmd_detect(const Invocation& inv, std::ostream& out) {
       cfg.length = len;
       cfg.repetitions = reps;
       cfg.amplify.jobs = jobs;
+      cfg.trace = trace_opts;
       outcome = detect::detect_cycle_pipelined(g, cfg, bandwidth, seed);
       out << "algorithm:  pipelined color-coded C_" << len << " detector\n";
     }
@@ -391,7 +441,8 @@ int cmd_detect(const Invocation& inv, std::ostream& out) {
     cfg.tree = build::star(d);
     cfg.repetitions = reps;
     cfg.amplify.jobs = jobs;
-    const auto outcome = detect::detect_tree(g, cfg, bandwidth, seed);
+    cfg.trace = trace_opts;
+    outcome = detect::detect_tree(g, cfg, bandwidth, seed);
     detected = outcome.detected;
     rounds = outcome.metrics.rounds;
     executed = outcome.metrics.repetitions_executed;
@@ -412,6 +463,38 @@ int cmd_detect(const Invocation& inv, std::ostream& out) {
   if (detected && !truth) out << "WARNING: false positive (model bug?)\n";
   if (!detected && truth)
     out << "note: randomized detectors are one-sided; raise --reps\n";
+
+  if (trace_path) {
+    std::ofstream os(*trace_path);
+    CSD_CHECK_MSG(os.good(), "cannot write trace file '" << *trace_path
+                                                         << "'");
+    outcome.trace.write_jsonl(os);
+    out << "trace:      " << *trace_path << " ("
+        << outcome.trace.segments() << " segment(s))\n";
+  }
+  if (json_path) {
+    obs::BenchReport report("csd_detect");
+    report.param("pattern", pattern)
+        .param("bandwidth", bandwidth)
+        .param("reps", reps)
+        .param("n", g.num_vertices())
+        .param("m", g.num_edges())
+        .param("engine", "sync");
+    report.seed(seed);
+    report.measurement("detect")
+        .value("verdict", detected ? "reject" : "accept")
+        .value("oracle", truth)
+        .value("rounds", rounds)
+        .value("messages", outcome.metrics.messages)
+        .value("total_bits", outcome.metrics.total_bits)
+        .value("max_message_bits", outcome.metrics.max_message_bits)
+        .value("repetitions_executed", executed)
+        .value("repetitions_skipped", skipped);
+    report.env("jobs", congest::resolve_jobs(jobs));
+    report.set_wall_clock_ms(timer.elapsed_ms());
+    report.write(*json_path);
+    out << "json:       " << *json_path << '\n';
+  }
   return 0;
 }
 
@@ -428,18 +511,21 @@ std::vector<std::uint64_t> parse_sizes(const std::string& csv) {
 congest::RunOutcome sweep_run_cycle(const Graph& g, std::uint32_t len,
                                     std::uint32_t reps, unsigned jobs,
                                     std::uint64_t bandwidth,
-                                    std::uint64_t seed) {
+                                    std::uint64_t seed,
+                                    const obs::TraceOptions& trace) {
   if (len >= 4 && len % 2 == 0) {
     detect::EvenCycleConfig cfg;
     cfg.k = len / 2;
     cfg.repetitions = reps;
     cfg.amplify.jobs = jobs;
+    cfg.trace = trace;
     return detect::detect_even_cycle(g, cfg, bandwidth, seed);
   }
   detect::PipelinedCycleConfig cfg;
   cfg.length = len;
   cfg.repetitions = reps;
   cfg.amplify.jobs = jobs;
+  cfg.trace = trace;
   return detect::detect_cycle_pipelined(g, cfg, bandwidth, seed);
 }
 
@@ -463,6 +549,24 @@ int cmd_sweep(const Invocation& inv, std::ostream& out) {
   const std::uint64_t seed = to_u64(inv.flag("seed").value_or("1"), "seed");
   const std::uint64_t bandwidth =
       to_u64(inv.flag("bandwidth").value_or("64"), "bandwidth");
+  const auto json_path = inv.flag("json");
+  const auto trace_path = inv.flag("trace");
+  const obs::WallTimer timer;
+  obs::TraceOptions trace_opts;
+  trace_opts.enabled = trace_path.has_value();
+  std::ofstream trace_os;
+  if (trace_path) {
+    trace_os.open(*trace_path);
+    CSD_CHECK_MSG(trace_os.good(), "cannot write trace file '" << *trace_path
+                                                               << "'");
+  }
+  obs::BenchReport report("csd_sweep");
+  report.param("len", len)
+      .param("reps", reps)
+      .param("bandwidth", bandwidth)
+      .param("sizes", inv.flag("sizes").value_or("32,64,128"));
+  report.seed(seed);
+  report.env("jobs", congest::resolve_jobs(jobs));
 
   out << "C_" << len << " sweep: " << reps << " repetitions per instance, "
       << congest::resolve_jobs(jobs) << " worker thread(s)\n";
@@ -478,7 +582,7 @@ int cmd_sweep(const Invocation& inv, std::ostream& out) {
     for (const bool positive : {true, false}) {
       const Graph& g = positive ? planted : control;
       const auto outcome =
-          sweep_run_cycle(g, len, reps, jobs, bandwidth, seed);
+          sweep_run_cycle(g, len, reps, jobs, bandwidth, seed, trace_opts);
       table.row()
           .cell(n)
           .cell(positive ? "planted" : "control")
@@ -490,9 +594,26 @@ int cmd_sweep(const Invocation& inv, std::ostream& out) {
           .cell(outcome.metrics.max_message_bits);
       if (outcome.detected && !oracle::has_cycle_of_length(g, len))
         out << "WARNING: false positive at n=" << n << " (model bug?)\n";
+      if (trace_path) outcome.trace.write_jsonl(trace_os);
+      report
+          .measurement("n" + std::to_string(n) + "/" +
+                       (positive ? "planted" : "control"))
+          .value("verdict", outcome.detected ? "reject" : "accept")
+          .value("oracle", oracle::has_cycle_of_length(g, len))
+          .value("repetitions_executed", outcome.metrics.repetitions_executed)
+          .value("repetitions_skipped", outcome.metrics.repetitions_skipped)
+          .value("rounds", outcome.metrics.rounds)
+          .value("total_bits", outcome.metrics.total_bits)
+          .value("max_message_bits", outcome.metrics.max_message_bits);
     }
   }
   table.print(out);
+  if (trace_path) out << "trace:      " << *trace_path << '\n';
+  if (json_path) {
+    report.set_wall_clock_ms(timer.elapsed_ms());
+    report.write(*json_path);
+    out << "json:       " << *json_path << '\n';
+  }
   return 0;
 }
 
