@@ -118,7 +118,8 @@ class AsyncEngine {
       for (Vertex v = 0; v < n; ++v) {
         senders_.emplace_back(topology_.degree(v),
                               LinkSender(config_.transport_cfg));
-        receivers_.emplace_back(topology_.degree(v), LinkReceiver());
+        receivers_.emplace_back(topology_.degree(v),
+                                LinkReceiver(config.transport_cfg));
       }
     }
   }
@@ -185,19 +186,34 @@ class AsyncEngine {
   }
 
   /// Apply link faults to a packet about to go on the wire. Returns false
-  /// if the transmission is dropped; flips one payload bit on corruption.
+  /// if the transmission is dropped; flips one bit on corruption. With
+  /// FaultPlan::corrupt_headers the flipped bit is drawn over the frame
+  /// header (pulse, then halted flag) as well as the payload; otherwise it
+  /// targets the payload alone, so existing fault streams are unchanged.
   bool survive_faults(std::uint32_t src, std::uint32_t port,
                       DataPacket& packet) {
     if (!injector_.has_value()) return true;
-    const auto fate =
-        injector_->next_fate(src, port, packet.frame.payload_bits());
+    const std::uint64_t payload_bits = packet.frame.payload_bits();
+    const std::uint64_t header_bits =
+        config_.faults.corrupt_headers ? Frame::kPulseWireBits + 1 : 0;
+    const auto fate = injector_->next_fate(
+        src, port, static_cast<std::size_t>(header_bits + payload_bits));
     if (fate.dropped) {
       ++outcome_.faults.frames_dropped;
       return false;
     }
     if (fate.corrupted) {
       ++outcome_.faults.frames_corrupted;
-      packet.frame.payload->flip(fate.corrupt_bit);
+      const std::uint64_t bit = fate.corrupt_bit;
+      if (bit < header_bits) {
+        if (bit < Frame::kPulseWireBits)
+          packet.frame.pulse ^= 1ULL << bit;
+        else
+          packet.frame.sender_halted = !packet.frame.sender_halted;
+      } else {
+        packet.frame.payload->flip(
+            static_cast<std::size_t>(bit - header_bits));
+      }
     }
     return true;
   }

@@ -9,7 +9,8 @@
 // every live port. With FIFO links this reproduces the synchronous
 // execution exactly: per-node verdicts, payload bits, and message contents
 // all match the synchronous engine bit-for-bit (tested), at the cost of
-// 2 synchronizer-overhead bits per edge per pulse.
+// Frame::kOverheadBits synchronizer-overhead bits (pulse + flags) per edge
+// per pulse.
 //
 // This justifies studying the paper's algorithms on the synchronous
 // simulator: nothing in their behaviour depends on timing.
@@ -75,7 +76,8 @@ struct AsyncRunOutcome {
   /// once per frame when the synchronizer hands it to the wire; drops and
   /// retransmissions never change it.
   std::uint64_t payload_bits = 0;
-  /// Synchronizer framing overhead in bits (2 per frame).
+  /// Synchronizer framing overhead in bits (Frame::kOverheadBits per frame:
+  /// the pulse field plus the halted/has-payload flags).
   std::uint64_t overhead_bits = 0;
   std::uint64_t frames = 0;
   /// Reliable-transport overhead in bits: seq + CRC fields on first

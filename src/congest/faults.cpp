@@ -72,7 +72,7 @@ FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t seed,
 
 FaultInjector::Fate FaultInjector::next_fate(std::uint32_t src,
                                              std::uint32_t port,
-                                             std::size_t payload_bits) {
+                                             std::size_t corruptible_bits) {
   CSD_DCHECK(src < link_rng_.size());
   CSD_DCHECK(port < link_rng_[src].size());
   Rng& rng = link_rng_[src][port];
@@ -83,9 +83,9 @@ FaultInjector::Fate FaultInjector::next_fate(std::uint32_t src,
   const std::uint64_t bit_draw = rng();
   Fate fate;
   fate.dropped = drop_draw < plan_.drop;
-  if (!fate.dropped && payload_bits > 0 && corrupt_draw < plan_.corrupt) {
+  if (!fate.dropped && corruptible_bits > 0 && corrupt_draw < plan_.corrupt) {
     fate.corrupted = true;
-    fate.corrupt_bit = static_cast<std::size_t>(bit_draw % payload_bits);
+    fate.corrupt_bit = static_cast<std::size_t>(bit_draw % corruptible_bits);
   }
   return fate;
 }

@@ -48,6 +48,14 @@ struct FaultPlan {
   /// Probability that a transmission has one uniformly random payload bit
   /// flipped (frames without payload cannot be corrupted).
   double corrupt = 0.0;
+  /// Extend the corrupt-bit draw to the frame header (async engines only):
+  /// the flipped bit is drawn uniformly over pulse + halted-flag + payload
+  /// bits instead of payload bits alone, so even payload-free frames can be
+  /// corrupted. Under TransportMode::Reliable the CRC covers the header and
+  /// rejects such packets; under Raw a corrupted pulse desynchronizes the
+  /// destination port (recorded as a stall). The synchronous engine has no
+  /// frame headers and ignores this flag.
+  bool corrupt_headers = false;
   /// Scheduled crash-at-round events (at most one per node is honored; the
   /// earliest wins).
   std::vector<CrashEvent> crashes;
@@ -133,15 +141,18 @@ class FaultInjector {
                 const Graph& topology);
 
   /// Fate of the next transmission on the directed link (src, port).
-  /// `payload_bits` sizes the corrupt-bit draw; frames with no payload are
-  /// never corrupted. Advances the link stream.
+  /// `corruptible_bits` sizes the corrupt-bit draw (the caller decides what
+  /// is corruptible: payload only, or header + payload when the plan sets
+  /// corrupt_headers); a transmission with 0 corruptible bits is never
+  /// corrupted. Advances the link stream by a fixed number of draws either
+  /// way, so fates stay a pure function of (seed, link, transmission index).
   struct Fate {
     bool dropped = false;
     bool corrupted = false;
     std::size_t corrupt_bit = 0;  // valid iff corrupted
   };
   Fate next_fate(std::uint32_t src, std::uint32_t port,
-                 std::size_t payload_bits);
+                 std::size_t corruptible_bits);
 
   /// Round at which `node` is scheduled to crash, if any.
   std::optional<std::uint64_t> crash_round(std::uint32_t node) const;

@@ -5,9 +5,11 @@
 
 namespace csd::congest {
 
-std::uint32_t packet_checksum(std::uint64_t seq, const Frame& frame) {
+std::uint32_t packet_checksum(std::uint64_t seq, const Frame& frame,
+                              const TransportConfig& config) {
   Crc32 crc;
-  crc.bits(seq, 64);
+  crc.bits(seq, config.seq_bits);
+  crc.bits(frame.pulse, Frame::kPulseWireBits);
   crc.bit(frame.sender_halted);
   crc.bit(frame.payload.has_value());
   if (frame.payload.has_value()) crc.raw(*frame.payload);
@@ -17,7 +19,10 @@ std::uint32_t packet_checksum(std::uint64_t seq, const Frame& frame) {
 DataPacket LinkSender::packet(Frame frame) {
   DataPacket packet;
   packet.seq = next_seq_++;
-  packet.crc = packet_checksum(packet.seq, frame);
+  CSD_CHECK_MSG(config_.seq_bits >= 64 || (packet.seq >> config_.seq_bits) == 0,
+                "sequence number " << packet.seq << " overflows the "
+                << config_.seq_bits << "-bit on-wire field");
+  packet.crc = packet_checksum(packet.seq, frame, config_);
   packet.frame = frame;
   pending_.emplace(packet.seq, Pending{std::move(frame), packet.crc, 1});
   return packet;
@@ -57,7 +62,7 @@ std::uint64_t LinkSender::timeout_for(std::uint64_t seq,
 
 LinkReceiver::Accept LinkReceiver::on_data(const DataPacket& packet) {
   Accept accept;
-  if (packet_checksum(packet.seq, packet.frame) != packet.crc) {
+  if (packet_checksum(packet.seq, packet.frame, config_) != packet.crc) {
     accept.checksum_reject = true;
     return accept;
   }

@@ -49,34 +49,50 @@ struct TransportConfig {
   /// loss q the residual failure probability is q^(max_retries+1); the
   /// default keeps it negligible even at 30% drop + lost acks.
   std::uint32_t max_retries = 32;
-  /// On-wire width of the sequence-number field (accounting).
+  /// On-wire width of the sequence-number field. This is the width the CRC
+  /// hashes and the accounting charges; LinkSender CHECKs that its 64-bit
+  /// counter never outgrows it (2^32 packets per directed link is far above
+  /// any pulse budget this repo runs).
   unsigned seq_bits = 32;
   /// On-wire width of the checksum field (accounting).
   unsigned crc_bits = 32;
 };
 
 /// One synchronizer frame on a directed link (also the raw-mode wire unit).
+/// Wire layout: [pulse][halted][has_payload][payload].
 struct Frame {
+  /// On-wire width of the pulse field. Every frame carries its pulse — the
+  /// synchronizer cannot order frames without it — so every frame is charged
+  /// for it in overhead_bits().
+  static constexpr unsigned kPulseWireBits = 64;
+  /// Per-frame framing overhead: pulse + halted + has_payload.
+  static constexpr std::uint64_t kOverheadBits = kPulseWireBits + 2;
+
   std::uint64_t pulse = 0;
   bool sender_halted = false;
   std::optional<BitVec> payload;
 
-  std::uint64_t overhead_bits() const { return 2; }  // halted + has_payload
+  std::uint64_t overhead_bits() const { return kOverheadBits; }
   std::uint64_t payload_bits() const {
     return payload.has_value() ? payload->size() : 0;
   }
 };
 
 /// A data packet as the reliable transport puts it on the wire:
-/// [halted][has_payload][seq][payload][crc].
+/// [pulse][halted][has_payload][seq][payload][crc].
 struct DataPacket {
   std::uint64_t seq = 0;
   Frame frame;
   std::uint32_t crc = 0;
 };
 
-/// CRC-32 over the packet's sequence number, flags, and payload bits.
-std::uint32_t packet_checksum(std::uint64_t seq, const Frame& frame);
+/// CRC-32 over everything the packet puts on the wire: the sequence number
+/// (config.seq_bits wide — exactly the on-wire field), the full frame header
+/// (pulse + flags), and the payload bits. Covering the header means a header
+/// bit-flip (FaultPlan::corrupt_headers) is caught and the packet discarded,
+/// instead of a corrupted pulse reaching the synchronizer and desyncing it.
+std::uint32_t packet_checksum(std::uint64_t seq, const Frame& frame,
+                              const TransportConfig& config);
 
 /// Sender endpoint of one directed link.
 class LinkSender {
@@ -123,6 +139,12 @@ class LinkSender {
 /// Receiver endpoint of one directed link.
 class LinkReceiver {
  public:
+  LinkReceiver() = default;
+  /// The receiver must share the sender's TransportConfig: the CRC hashes
+  /// the config's on-wire seq width, so mismatched configs reject every
+  /// packet.
+  explicit LinkReceiver(const TransportConfig& config) : config_(config) {}
+
   /// Outcome of a data packet arriving on the wire.
   struct Accept {
     /// CRC verified — acknowledge `ack_seq` (set for duplicates too: the
@@ -141,6 +163,7 @@ class LinkReceiver {
   std::uint64_t next_expected() const noexcept { return next_expected_; }
 
  private:
+  TransportConfig config_;
   std::uint64_t next_expected_ = 0;
   std::map<std::uint64_t, Frame> reorder_;
 };

@@ -1,0 +1,384 @@
+#include "fuzz/differential.hpp"
+
+#include <sstream>
+
+#include "congest/async.hpp"
+#include "congest/network.hpp"
+#include "graph/oracle.hpp"
+#include "graph/vf2.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace csd::fuzz {
+
+namespace {
+
+// Independent restatement of the wire formats. Deliberately NOT written in
+// terms of Frame::kOverheadBits / TransportConfig: if an engine-side
+// accounting constant regresses, the fuzzer diverges against these numbers
+// instead of agreeing with the regressed engine.
+constexpr std::uint64_t kFrameOverheadBits = 64 + 2;  // pulse + 2 flags
+constexpr std::uint64_t kSeqWireBits = 32;
+constexpr std::uint64_t kCrcWireBits = 32;
+
+std::string trace_bytes(const obs::RunTrace& trace) {
+  std::ostringstream os;
+  trace.write_jsonl(os);
+  return os.str();
+}
+
+std::string verdicts_str(const std::vector<congest::Verdict>& vs) {
+  std::string s;
+  s.reserve(vs.size());
+  for (const auto v : vs) s += v == congest::Verdict::Reject ? 'R' : 'a';
+  return s;
+}
+
+Divergence diverge(const char* check, const std::ostringstream& detail) {
+  return Divergence{check, detail.str()};
+}
+
+/// Everything a repeated faulty run must reproduce bit-for-bit.
+struct AsyncDigest {
+  bool completed;
+  bool detected;
+  bool detected_by_survivors;
+  std::vector<congest::Verdict> verdicts;
+  std::uint64_t pulses;
+  std::uint64_t payload_bits;
+  std::uint64_t overhead_bits;
+  std::uint64_t frames;
+  std::uint64_t transport_bits;
+  std::uint64_t acks;
+  congest::FaultReport faults;
+
+  friend bool operator==(const AsyncDigest&, const AsyncDigest&) = default;
+};
+
+AsyncDigest digest(const congest::AsyncRunOutcome& o) {
+  return {o.completed,     o.detected, o.faults.detected_by_survivors,
+          o.verdicts,      o.pulses,   o.payload_bits,
+          o.overhead_bits, o.frames,   o.transport_bits,
+          o.acks,          o.faults};
+}
+
+}  // namespace
+
+std::optional<Divergence> check_case(const FuzzCase& c,
+                                     CaseExpectation* expect) {
+  const Graph host = build_graph(c);
+  const Graph pattern = pattern_graph(c);
+  const std::uint64_t n = host.num_vertices();
+  for (const auto& ev : c.crashes)
+    CSD_CHECK_MSG(ev.node < n, "crash event for node " << ev.node
+                               << " outside the " << n << "-vertex host");
+
+  // -- ground truth: VF2 vs the family-specific oracle ----------------------
+  const bool truth = contains_subgraph(host, pattern);
+  bool family_truth = false;
+  switch (c.program) {
+    case ProgramKind::Clique:
+      family_truth = oracle::has_clique(host, c.param);
+      break;
+    case ProgramKind::EvenCycle:
+    case ProgramKind::PipelinedCycle:
+      family_truth = oracle::has_cycle_of_length(host, c.param);
+      break;
+    case ProgramKind::Tree:
+      family_truth = oracle::has_tree(host, tree_catalog(c.param));
+      break;
+  }
+  if (truth != family_truth) {
+    std::ostringstream os;
+    os << "VF2 says " << (truth ? "present" : "absent") << " but the "
+       << to_string(c.program) << " oracle says "
+       << (family_truth ? "present" : "absent");
+    return diverge("vf2-vs-family-oracle", os);
+  }
+  if (expect) expect->truth = truth;
+
+  const std::uint64_t bandwidth = effective_bandwidth(c, host);
+  const std::uint64_t budget = round_budget(c, host, bandwidth);
+  const congest::ProgramFactory factory = make_program(c);
+
+  congest::NetworkConfig sync_cfg;
+  sync_cfg.bandwidth = bandwidth;
+  sync_cfg.max_rounds = budget;
+  sync_cfg.seed = c.seed;
+  sync_cfg.trace.enabled = true;
+
+  congest::AsyncConfig async_cfg;
+  async_cfg.bandwidth = bandwidth;
+  async_cfg.max_pulses = budget;
+  async_cfg.seed = c.seed;
+  async_cfg.max_delay = c.max_delay;
+  async_cfg.trace.enabled = true;
+
+  // -- fault-free per-repetition triple-engine equivalence ------------------
+  const congest::Network net(host, sync_cfg);
+  obs::RunTrace merged_sync_trace;
+  std::vector<congest::RunOutcome> sync_reps;
+  sync_reps.reserve(c.repetitions);
+  for (std::uint32_t rep = 0; rep < c.repetitions; ++rep) {
+    // run_amplified's repetition seed schedule (the async CLI mirrors it).
+    const std::uint64_t rep_seed = derive_seed(c.seed, 0x5eedULL + rep);
+    congest::RunOutcome sync = net.run(factory, rep_seed);
+    merged_sync_trace.append(sync.trace);
+
+    for (const auto mode :
+         {congest::TransportMode::Raw, congest::TransportMode::Reliable}) {
+      congest::AsyncConfig cfg = async_cfg;
+      cfg.seed = rep_seed;
+      cfg.transport = mode;
+      const congest::AsyncRunOutcome async = run_async(host, cfg, factory);
+      const char* name = mode == congest::TransportMode::Raw
+                             ? "async-raw"
+                             : "async-reliable";
+      if (async.completed != sync.completed || async.detected != sync.detected ||
+          async.verdicts != sync.verdicts) {
+        std::ostringstream os;
+        os << name << " rep " << rep << ": sync verdicts "
+           << verdicts_str(sync.verdicts) << " (completed=" << sync.completed
+           << ", detected=" << sync.detected << ") vs async "
+           << verdicts_str(async.verdicts) << " (completed=" << async.completed
+           << ", detected=" << async.detected << ")";
+        return diverge("sync-vs-async-verdicts", os);
+      }
+      if (async.payload_bits != sync.metrics.total_bits ||
+          async.pulses != sync.metrics.rounds) {
+        std::ostringstream os;
+        os << name << " rep " << rep << ": payload "
+           << async.payload_bits << " vs sync bits "
+           << sync.metrics.total_bits << "; pulses " << async.pulses
+           << " vs rounds " << sync.metrics.rounds;
+        return diverge("sync-vs-async-accounting", os);
+      }
+      if (trace_bytes(async.trace) != trace_bytes(sync.trace)) {
+        std::ostringstream os;
+        os << name << " rep " << rep
+           << ": per-round JSONL trace differs from the sync engine";
+        return diverge("sync-vs-async-trace", os);
+      }
+      if (async.overhead_bits != kFrameOverheadBits * async.frames) {
+        std::ostringstream os;
+        os << name << " rep " << rep << ": overhead_bits "
+           << async.overhead_bits << " != " << kFrameOverheadBits << " * "
+           << async.frames << " frames";
+        return diverge("frame-overhead-accounting", os);
+      }
+      if (mode == congest::TransportMode::Reliable) {
+        // A fault-free reliable run charges exactly (seq + crc) per data
+        // packet and per ack and never retransmits. Acks cannot exceed
+        // frames (one per *delivered* packet — the run may end with the
+        // final pulse's frames still in flight, so <=, not ==).
+        const std::uint64_t expected =
+            (async.frames + async.acks) * (kSeqWireBits + kCrcWireBits);
+        if (async.acks > async.frames || async.faults.retransmissions != 0 ||
+            async.faults.checksum_rejects != 0 ||
+            async.transport_bits != expected) {
+          std::ostringstream os;
+          os << "rep " << rep << ": acks " << async.acks << " for "
+             << async.frames << " frames, " << async.faults.retransmissions
+             << " retransmissions, transport_bits " << async.transport_bits
+             << " (want " << expected << ")";
+          return diverge("reliable-transport-accounting", os);
+        }
+      }
+    }
+    sync_reps.push_back(std::move(sync));
+  }
+
+  // -- one-sided error ------------------------------------------------------
+  bool any_detected = false;
+  for (const auto& rep : sync_reps) any_detected |= rep.detected;
+  if (any_detected && !truth) {
+    std::ostringstream os;
+    os << to_string(c.program)
+       << " rejected on a host with no copy of the pattern";
+    return diverge("one-sided-error", os);
+  }
+  if (c.program == ProgramKind::Clique && any_detected != truth) {
+    std::ostringstream os;
+    os << "deterministic clique detector said "
+       << (any_detected ? "present" : "absent") << ", oracle says "
+       << (truth ? "present" : "absent");
+    return diverge("clique-exactness", os);
+  }
+  if (expect) expect->detected = any_detected;
+
+  // -- run_amplified: jobs-count determinism + aggregation ------------------
+  congest::AmplifyOptions full;
+  full.jobs = 1;
+  full.early_exit = false;
+  const congest::RunOutcome amplified =
+      run_amplified(host, sync_cfg, factory, c.repetitions, full);
+  for (const unsigned jobs : {4u, 0u}) {
+    congest::AmplifyOptions opts = full;
+    opts.jobs = jobs;
+    const congest::RunOutcome other =
+        run_amplified(host, sync_cfg, factory, c.repetitions, opts);
+    if (other.detected != amplified.detected ||
+        other.completed != amplified.completed ||
+        other.verdicts != amplified.verdicts ||
+        other.metrics.rounds != amplified.metrics.rounds ||
+        other.metrics.messages != amplified.metrics.messages ||
+        other.metrics.total_bits != amplified.metrics.total_bits ||
+        other.metrics.max_message_bits != amplified.metrics.max_message_bits ||
+        other.metrics.bits_sent_by_node != amplified.metrics.bits_sent_by_node ||
+        !(other.faults == amplified.faults) ||
+        trace_bytes(other.trace) != trace_bytes(amplified.trace)) {
+      std::ostringstream os;
+      os << "run_amplified at --jobs " << jobs
+         << " differs from --jobs 1 (detected " << other.detected << "/"
+         << amplified.detected << ", bits " << other.metrics.total_bits << "/"
+         << amplified.metrics.total_bits << ")";
+      return diverge("jobs-determinism", os);
+    }
+  }
+
+  // Aggregation rules vs a hand-rolled per-repetition aggregate.
+  bool agg_detected = false, agg_completed = true;
+  std::uint64_t agg_rounds = 0, agg_bits = 0, agg_messages = 0;
+  std::vector<congest::Verdict> agg_verdicts(host.num_vertices(),
+                                             congest::Verdict::Accept);
+  for (const auto& rep : sync_reps) {
+    agg_detected |= rep.detected;
+    agg_completed &= rep.completed;
+    agg_rounds += rep.metrics.rounds;
+    agg_bits += rep.metrics.total_bits;
+    agg_messages += rep.metrics.messages;
+    for (std::size_t v = 0; v < rep.verdicts.size(); ++v)
+      if (rep.verdicts[v] == congest::Verdict::Reject)
+        agg_verdicts[v] = congest::Verdict::Reject;
+  }
+  if (amplified.detected != agg_detected ||
+      amplified.completed != agg_completed ||
+      amplified.metrics.rounds != agg_rounds ||
+      amplified.metrics.total_bits != agg_bits ||
+      amplified.metrics.messages != agg_messages ||
+      amplified.verdicts != agg_verdicts ||
+      trace_bytes(amplified.trace) != trace_bytes(merged_sync_trace)) {
+    std::ostringstream os;
+    os << "run_amplified aggregate (detected=" << amplified.detected
+       << ", rounds=" << amplified.metrics.rounds
+       << ", bits=" << amplified.metrics.total_bits
+       << ") != per-repetition aggregate (detected=" << agg_detected
+       << ", rounds=" << agg_rounds << ", bits=" << agg_bits << ")";
+    return diverge("amplified-aggregation", os);
+  }
+
+  // Early exit may skip repetitions but can never change the answer.
+  congest::AmplifyOptions early;
+  early.jobs = 1;
+  early.early_exit = true;
+  const congest::RunOutcome exited =
+      run_amplified(host, sync_cfg, factory, c.repetitions, early);
+  if (exited.detected != amplified.detected ||
+      exited.metrics.repetitions_executed +
+              exited.metrics.repetitions_skipped !=
+          c.repetitions) {
+    std::ostringstream os;
+    os << "early-exit amplification: detected " << exited.detected << " vs "
+       << amplified.detected << ", executed "
+       << exited.metrics.repetitions_executed << " + skipped "
+       << exited.metrics.repetitions_skipped << " != " << c.repetitions;
+    return diverge("early-exit", os);
+  }
+
+  if (!c.has_faults()) return std::nullopt;
+
+  // -- faulty runs: determinism + reliable-transport recovery ---------------
+  const congest::FaultPlan plan = fault_plan(c);
+
+  congest::NetworkConfig faulty_sync = sync_cfg;
+  faulty_sync.faults = plan;
+  const congest::Network faulty_net(host, faulty_sync);
+  const congest::RunOutcome s1 = faulty_net.run(factory);
+  const congest::RunOutcome s2 = faulty_net.run(factory);
+  if (s1.detected != s2.detected || s1.completed != s2.completed ||
+      s1.verdicts != s2.verdicts ||
+      s1.metrics.total_bits != s2.metrics.total_bits ||
+      !(s1.faults == s2.faults)) {
+    std::ostringstream os;
+    os << "sync engine under faults is not deterministic (detected "
+       << s1.detected << "/" << s2.detected << ")";
+    return diverge("faulty-sync-determinism", os);
+  }
+  if (s1.faults.crashed_nodes.empty() &&
+      s1.faults.detected_by_survivors != s1.detected) {
+    std::ostringstream os;
+    os << "sync: no node crashed but detected_by_survivors "
+       << s1.faults.detected_by_survivors << " != detected " << s1.detected;
+    return diverge("survivor-verdict", os);
+  }
+
+  for (const auto mode :
+       {congest::TransportMode::Raw, congest::TransportMode::Reliable}) {
+    congest::AsyncConfig cfg = async_cfg;
+    cfg.faults = plan;
+    cfg.transport = mode;
+    const congest::AsyncRunOutcome a1 = run_async(host, cfg, factory);
+    const congest::AsyncRunOutcome a2 = run_async(host, cfg, factory);
+    const char* name = mode == congest::TransportMode::Raw
+                           ? "async-raw"
+                           : "async-reliable";
+    if (!(digest(a1) == digest(a2))) {
+      std::ostringstream os;
+      os << name << " under faults is not deterministic (pulses " << a1.pulses
+         << "/" << a2.pulses << ", payload " << a1.payload_bits << "/"
+         << a2.payload_bits << ")";
+      return diverge("faulty-async-determinism", os);
+    }
+    if (a1.overhead_bits != kFrameOverheadBits * a1.frames) {
+      std::ostringstream os;
+      os << name << " under faults: overhead_bits " << a1.overhead_bits
+         << " != " << kFrameOverheadBits << " * " << a1.frames << " frames";
+      return diverge("frame-overhead-accounting", os);
+    }
+    if (a1.faults.crashed_nodes.empty() &&
+        a1.faults.detected_by_survivors != a1.detected) {
+      std::ostringstream os;
+      os << name << ": no node crashed but detected_by_survivors "
+         << a1.faults.detected_by_survivors << " != detected " << a1.detected;
+      return diverge("survivor-verdict", os);
+    }
+    // One-sided error survives faults under Reliable (the CRC shields the
+    // programs from corrupted payloads) and under Raw as long as nothing
+    // was corrupted (drops/crashes only silence nodes).
+    const bool shielded =
+        mode == congest::TransportMode::Reliable || c.corrupt == 0.0;
+    if (shielded && a1.detected && !truth) {
+      std::ostringstream os;
+      os << name << " rejected on a host with no copy of the pattern";
+      return diverge("one-sided-error-under-faults", os);
+    }
+    if (mode == congest::TransportMode::Reliable &&
+        a1.faults.crashed_nodes.empty() && a1.faults.transport_failures == 0) {
+      // No node fell silent and no packet exhausted its retries, so the
+      // ARQ must have healed every fault: the run completes and reproduces
+      // the fault-free sync execution exactly. A stall here means a
+      // corrupted packet slipped past the CRC into the synchronizer.
+      if (!a1.completed) {
+        std::ostringstream os;
+        os << "reliable run stalled (pulses " << a1.pulses << ", "
+           << a1.faults.stalled_nodes.size()
+           << " stalled nodes) without crashes or transport failures";
+        return diverge("reliable-recovery", os);
+      }
+      const congest::RunOutcome clean = net.run(factory);
+      if (a1.verdicts != clean.verdicts || a1.detected != clean.detected ||
+          a1.payload_bits != clean.metrics.total_bits) {
+        std::ostringstream os;
+        os << "reliable transport healed all faults but verdicts "
+           << verdicts_str(a1.verdicts) << " != fault-free sync "
+           << verdicts_str(clean.verdicts) << " (payload " << a1.payload_bits
+           << " vs " << clean.metrics.total_bits << ")";
+        return diverge("reliable-recovery", os);
+      }
+    }
+  }
+
+  return std::nullopt;
+}
+
+}  // namespace csd::fuzz

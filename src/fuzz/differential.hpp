@@ -1,0 +1,64 @@
+// Differential oracle for one fuzz case.
+//
+// check_case runs the case through every engine the repo has — the
+// synchronous Network, the async engine under both wire disciplines, and
+// the run_amplified parallel driver at several --jobs counts — and
+// cross-checks every invariant the engines advertise:
+//
+//   * ground truth: the VF2 monomorphism oracle must agree with the
+//     family-specific oracle (has_clique / has_cycle_of_length / has_tree);
+//   * fault-free equivalence: per repetition, sync == async-raw ==
+//     async-reliable on completion, verdicts, payload bits, rounds/pulses,
+//     and the per-round JSONL trace, byte for byte;
+//   * accounting: async overhead_bits must equal an *independently
+//     restated* per-frame constant (64-bit pulse + 2 flags) times the frame
+//     count, and the fault-free reliable transport must charge exactly
+//     (seq + crc) per data packet and per ack with acks == frames and zero
+//     retransmissions — so an accounting regression in the engine is caught
+//     against this file, not against itself;
+//   * one-sided error: a fault-free Reject certifies a real copy; the
+//     deterministic clique detector must match ground truth exactly;
+//   * driver determinism: run_amplified outcomes (verdicts, metrics, fault
+//     report, trace bytes) are identical at --jobs 1, 4 and hardware
+//     concurrency, and its aggregation matches a hand-rolled per-repetition
+//     aggregate;
+//   * fault determinism: a faulty plan replays to the identical outcome and
+//     FaultReport on every engine, and reliable transport restores the
+//     fault-free verdicts whenever no node crashed and no packet exhausted
+//     its retries.
+//
+// The first violated invariant is returned as a Divergence (check id +
+// human-readable detail); nullopt means the case is consistent.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "fuzz/fuzz_case.hpp"
+
+namespace csd::fuzz {
+
+struct Divergence {
+  /// Stable short identifier of the violated invariant (used in corpus
+  /// file names and for shrinking "same bug" decisions).
+  std::string check;
+  /// Human-readable specifics: which engine, which field, which values.
+  std::string detail;
+};
+
+/// Ground truth + the recorded verdict a corpus entry pins down.
+struct CaseExpectation {
+  /// VF2: does the host contain the pattern at all?
+  bool truth = false;
+  /// Fault-free amplified sync verdict (early exit off — the full cost).
+  bool detected = false;
+};
+
+/// Run every engine over `c` and cross-check. Returns the first divergence,
+/// or nullopt when all invariants hold. When `expect` is non-null it is
+/// filled with the ground truth and fault-free verdict (valid even when a
+/// divergence is returned, unless the divergence is in the oracle itself).
+std::optional<Divergence> check_case(const FuzzCase& c,
+                                     CaseExpectation* expect = nullptr);
+
+}  // namespace csd::fuzz

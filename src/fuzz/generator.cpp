@@ -1,0 +1,87 @@
+#include "fuzz/generator.hpp"
+
+#include <algorithm>
+
+#include "graph/builders.hpp"
+#include "support/rng.hpp"
+
+namespace csd::fuzz {
+
+namespace {
+
+Graph random_host(Rng& rng, const Graph& pattern, Vertex n) {
+  const auto style = rng.below(3);
+  if (style == 0) {
+    const double p = 0.1 + 0.1 * static_cast<double>(rng.below(5));
+    return build::gnp(n, p, rng);
+  }
+  if (style == 1) {
+    const std::uint64_t max_m =
+        static_cast<std::uint64_t>(n) * (n - 1) / 2;
+    return build::gnm(n, rng.below(max_m + 1), rng);
+  }
+  // Sparse host with the pattern planted: guaranteed-positive instances.
+  Graph host = build::gnp(n, 0.1, rng);
+  build::plant_subgraph(host, pattern, rng);
+  return host;
+}
+
+}  // namespace
+
+FuzzCase generate_case(std::uint64_t case_seed) {
+  Rng rng(case_seed);
+  FuzzCase c;
+
+  switch (rng.below(4)) {
+    case 0:
+      c.program = ProgramKind::Clique;
+      c.param = 3 + static_cast<std::uint32_t>(rng.below(2));  // K_3, K_4
+      break;
+    case 1:
+      c.program = ProgramKind::EvenCycle;
+      c.param = rng.coin() ? 4 : 6;  // C_4, C_6
+      break;
+    case 2:
+      c.program = ProgramKind::PipelinedCycle;
+      c.param = 3 + static_cast<std::uint32_t>(rng.below(3));  // C_3..C_5
+      break;
+    default:
+      c.program = ProgramKind::Tree;
+      c.param = static_cast<std::uint32_t>(rng.below(tree_catalog_size()));
+      break;
+  }
+
+  const Graph pattern = pattern_graph(c);
+  const Vertex pat_n = pattern.num_vertices();
+  const Vertex n =
+      pat_n + static_cast<Vertex>(rng.below(13));
+  c.num_vertices = n;
+  c.edges = random_host(rng, pattern, n).edges();
+
+  c.repetitions =
+      c.program == ProgramKind::Clique
+          ? 1
+          : 1 + static_cast<std::uint32_t>(rng.below(4));
+  if (rng.coin()) {
+    c.bandwidth = 0;  // run at the program's minimum bandwidth
+  } else {
+    c.bandwidth = effective_bandwidth(c, build_graph(c)) + rng.below(16);
+  }
+  c.seed = rng();
+  c.max_delay = 1 + static_cast<std::uint32_t>(rng.below(8));
+
+  if (rng.coin()) {
+    if (rng.coin()) c.drop = 0.02 + 0.07 * static_cast<double>(rng.below(5));
+    if (rng.coin()) {
+      c.corrupt = 0.02 + 0.07 * static_cast<double>(rng.below(5));
+      c.corrupt_headers = rng.coin();
+    }
+    const auto crashes = rng.below(3);
+    for (std::uint64_t i = 0; i < crashes; ++i)
+      c.crashes.push_back(
+          {static_cast<std::uint32_t>(rng.below(n)), rng.below(8)});
+  }
+  return c;
+}
+
+}  // namespace csd::fuzz

@@ -1,0 +1,32 @@
+// Seeded random fuzz-case generator.
+//
+// generate_case(case_seed) is a pure function: the same seed always yields
+// the same FuzzCase, so a fuzzing campaign is reproducible from its master
+// seed alone (case i uses derive_seed(master, i)) and a failure can be
+// re-generated without storing anything but the seed.
+//
+// Distribution (chosen to hit the engines' corners, see DESIGN.md §8):
+//   * program: uniform over clique / even-cycle / pipelined-cycle / tree,
+//     with small parameters (K_3..K_4, C_4/C_6, C_3..C_5, 4 catalog trees);
+//   * host: n in [pattern, pattern + 12]; G(n, p) with p in [0.1, 0.5],
+//     G(n, m), or a sparse host with the pattern deliberately planted
+//     (so ~1/3 of cases are guaranteed positives — pure random hosts at
+//     these sizes are mostly negative);
+//   * amplification: 1-4 repetitions (1 for the deterministic clique);
+//   * bandwidth: the program's minimum, or minimum + [0, 16) extra bits;
+//   * schedule: fresh 64-bit run seed, async delay bound in [1, 8];
+//   * faults (~half of all cases): drop/corrupt in {0} ∪ [0.02, 0.3],
+//     header corruption on a coin flip when corrupting, and up to two
+//     scheduled crashes in the first 8 rounds.
+#pragma once
+
+#include <cstdint>
+
+#include "fuzz/fuzz_case.hpp"
+
+namespace csd::fuzz {
+
+/// Deterministically generate the case for `case_seed`.
+FuzzCase generate_case(std::uint64_t case_seed);
+
+}  // namespace csd::fuzz

@@ -1,0 +1,157 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace csd::fuzz {
+
+namespace {
+
+class Shrinker {
+ public:
+  Shrinker(FuzzCase best, const CasePredicate& still_fails,
+           std::uint32_t max_evals)
+      : best_(std::move(best)), still_fails_(still_fails),
+        evals_left_(max_evals) {}
+
+  FuzzCase run() {
+    bool progress = true;
+    while (progress && evals_left_ > 0) {
+      progress = false;
+      progress |= shrink_edges();
+      progress |= shrink_faults();
+      progress |= shrink_repetitions();
+      progress |= trim_vertices();
+      progress |= shrink_schedule();
+    }
+    return best_;
+  }
+
+ private:
+  /// Accept `candidate` as the new best iff it still fails.
+  bool accept(const FuzzCase& candidate) {
+    if (evals_left_ == 0) return false;
+    --evals_left_;
+    if (!still_fails_(candidate)) return false;
+    best_ = candidate;
+    return true;
+  }
+
+  /// ddmin over the edge list: try removing chunks, halving the chunk size
+  /// until single edges, restarting from coarse chunks on every success.
+  bool shrink_edges() {
+    bool any = false;
+    std::size_t chunk = std::max<std::size_t>(best_.edges.size() / 2, 1);
+    while (chunk >= 1 && evals_left_ > 0 && !best_.edges.empty()) {
+      bool removed = false;
+      for (std::size_t start = 0;
+           start < best_.edges.size() && evals_left_ > 0; ) {
+        FuzzCase candidate = best_;
+        const auto first =
+            candidate.edges.begin() + static_cast<std::ptrdiff_t>(start);
+        const auto last =
+            candidate.edges.begin() +
+            static_cast<std::ptrdiff_t>(
+                std::min(start + chunk, candidate.edges.size()));
+        candidate.edges.erase(first, last);
+        if (accept(candidate)) {
+          removed = any = true;  // indices shift; retry same position
+        } else {
+          start += chunk;
+        }
+      }
+      if (!removed) {
+        if (chunk == 1) break;
+        chunk /= 2;
+      }
+    }
+    return any;
+  }
+
+  bool shrink_faults() {
+    bool any = false;
+    for (std::size_t i = 0; i < best_.crashes.size() && evals_left_ > 0;) {
+      FuzzCase candidate = best_;
+      candidate.crashes.erase(candidate.crashes.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+      if (accept(candidate)) any = true; else ++i;
+    }
+    if (best_.drop > 0.0) {
+      FuzzCase candidate = best_;
+      candidate.drop = 0.0;
+      any |= accept(candidate);
+    }
+    if (best_.corrupt > 0.0) {
+      FuzzCase candidate = best_;
+      candidate.corrupt = 0.0;
+      candidate.corrupt_headers = false;
+      any |= accept(candidate);
+    }
+    if (best_.corrupt_headers) {
+      FuzzCase candidate = best_;
+      candidate.corrupt_headers = false;
+      any |= accept(candidate);
+    }
+    return any;
+  }
+
+  bool shrink_repetitions() {
+    bool any = false;
+    while (best_.repetitions > 1 && evals_left_ > 0) {
+      FuzzCase candidate = best_;
+      candidate.repetitions = 1;
+      if (accept(candidate)) { any = true; continue; }
+      candidate = best_;
+      candidate.repetitions = best_.repetitions - 1;
+      if (!accept(candidate)) break;
+      any = true;
+    }
+    return any;
+  }
+
+  /// Drop trailing vertices no edge touches (keeping at least the pattern
+  /// size so the case stays runnable); crashes on removed nodes go too.
+  bool trim_vertices() {
+    Vertex used = pattern_graph(best_).num_vertices();
+    for (const auto& [u, v] : best_.edges)
+      used = std::max(used, static_cast<Vertex>(v + 1));
+    if (used >= best_.num_vertices) return false;
+    FuzzCase candidate = best_;
+    candidate.num_vertices = used;
+    std::erase_if(candidate.crashes,
+                  [&](const congest::CrashEvent& ev) { return ev.node >= used; });
+    return accept(candidate);
+  }
+
+  bool shrink_schedule() {
+    bool any = false;
+    if (best_.max_delay > 1) {
+      FuzzCase candidate = best_;
+      candidate.max_delay = 1;
+      any |= accept(candidate);
+    }
+    for (const std::uint64_t seed : {0ULL, 1ULL, 2ULL}) {
+      if (best_.seed == seed) break;  // already minimal
+      FuzzCase candidate = best_;
+      candidate.seed = seed;
+      if (accept(candidate)) { any = true; break; }
+    }
+    return any;
+  }
+
+  FuzzCase best_;
+  const CasePredicate& still_fails_;
+  std::uint32_t evals_left_;
+};
+
+}  // namespace
+
+FuzzCase shrink_case(FuzzCase failing, const CasePredicate& still_fails,
+                     std::uint32_t max_evals) {
+  CSD_CHECK_MSG(still_fails(failing),
+                "shrink_case wants a case that fails its predicate");
+  return Shrinker(std::move(failing), still_fails, max_evals).run();
+}
+
+}  // namespace csd::fuzz

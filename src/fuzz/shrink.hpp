@@ -1,0 +1,37 @@
+// Delta-debugging minimizer for failing fuzz cases.
+//
+// Given a case on which `still_fails` returns true, shrink_case greedily
+// searches for a smaller case that still fails, iterating to a fixpoint:
+//   * ddmin over the edge list (classic complement-removal with doubling
+//     granularity — removes whole chunks of edges first, single edges last),
+//   * dropping crash events and zeroing the drop/corrupt probabilities,
+//   * reducing the amplification count toward 1,
+//   * trimming trailing isolated vertices (and the crash events that
+//     referenced them),
+//   * clamping the async delay bound to 1 and trying a handful of small
+//     run seeds.
+// Every candidate is validated by re-running the full differential oracle
+// (or whatever predicate the caller supplies), so a shrunk case is failing
+// by construction, never by extrapolation. The predicate-evaluation budget
+// bounds worst-case shrink time; the best case found so far is returned
+// when it runs out.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "fuzz/fuzz_case.hpp"
+
+namespace csd::fuzz {
+
+/// Returns true when the candidate still exhibits the failure being
+/// minimized. Typically wraps check_case (optionally pinned to the original
+/// Divergence::check id so shrinking never wanders to a different bug).
+using CasePredicate = std::function<bool(const FuzzCase&)>;
+
+/// Minimize `failing` under `still_fails` (which must hold for `failing`
+/// itself). `max_evals` caps predicate evaluations.
+FuzzCase shrink_case(FuzzCase failing, const CasePredicate& still_fails,
+                     std::uint32_t max_evals = 400);
+
+}  // namespace csd::fuzz

@@ -19,7 +19,10 @@ std::size_t size_bucket(std::uint64_t bits) {
 }  // namespace
 
 RunTrace::RunTrace(std::uint32_t num_nodes, const TraceOptions& options)
-    : enabled_(options.enabled), options_(options), num_nodes_(num_nodes) {}
+    : enabled_(options.enabled),
+      configured_(true),
+      options_(options),
+      num_nodes_(num_nodes) {}
 
 void RunTrace::record(std::uint64_t round, std::uint32_t src,
                       std::uint64_t bits) {
@@ -58,6 +61,10 @@ void RunTrace::ensure_round(std::uint64_t round) {
 void RunTrace::append(const RunTrace& other) {
   if (!other.enabled_) return;
   if (!enabled_) {
+    // A configured-but-disabled receiver stays disabled: adopting the donor
+    // would discard the receiver's own configuration (the historical bug).
+    // Only a default-constructed accumulator adopts the donor wholesale.
+    if (configured_) return;
     *this = other;
     if (segment_starts_.empty() && !rounds_.empty())
       segment_starts_.push_back(0);

@@ -62,10 +62,18 @@ class RunTrace {
   /// quiet rounds keep zero records.
   void record(std::uint64_t round, std::uint32_t src, std::uint64_t bits);
 
-  /// Append `other` as the next repetition: its rounds are re-based after
-  /// this trace's last round, histograms are summed, and the boundary is
-  /// remembered so the JSONL sink can label repetitions. Appending to a
-  /// disabled trace adopts `other` wholesale.
+  /// Append `other` as the next repetition. Contract, by receiver state:
+  ///   * enabled: `other`'s rounds are re-based after this trace's last
+  ///     round, histograms and totals are summed, and the segment boundary
+  ///     is remembered so the JSONL sink can label repetitions;
+  ///   * default-constructed (never configured): adopts `other` wholesale,
+  ///     including its segment boundaries — the merge-accumulator idiom
+  ///     used by run_amplified and the CLI;
+  ///   * explicitly configured with TraceOptions::enabled == false: no-op.
+  ///     The receiver keeps its own (disabled) configuration instead of
+  ///     silently inheriting the donor's options, which historically turned
+  ///     a deliberately disabled trace into an enabled one.
+  /// Appending a disabled `other` is always a no-op.
   void append(const RunTrace& other);
 
   std::uint32_t num_nodes() const noexcept { return num_nodes_; }
@@ -96,6 +104,10 @@ class RunTrace {
   void ensure_round(std::uint64_t round);
 
   bool enabled_ = false;
+  /// True once a configuration was chosen (the 2-arg constructor ran or a
+  /// donor was adopted); distinguishes a deliberate disabled trace from a
+  /// default-constructed accumulator in append().
+  bool configured_ = false;
   TraceOptions options_;
   std::uint32_t num_nodes_ = 0;
   std::vector<RoundRecord> rounds_;

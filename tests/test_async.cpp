@@ -189,14 +189,17 @@ TEST(AsyncEngine, DelayDistributionDoesNotChangeOutcome) {
   EXPECT_LT(a.virtual_time, b.virtual_time);
 }
 
-TEST(AsyncEngine, OverheadIsTwoBitsPerFrame) {
+TEST(AsyncEngine, OverheadChargesFullFrameHeaderPerFrame) {
   const Graph g = build::cycle(6);
   AsyncConfig cfg;
   cfg.bandwidth = 64;
   cfg.max_pulses = 50;
   const auto outcome =
       run_async(g, cfg, detect::pipelined_cycle_program(3));
-  EXPECT_EQ(outcome.overhead_bits, 2 * outcome.frames);
+  // Every frame carries its pulse plus the halted/has-payload flags; all of
+  // it is synchronizer overhead and all of it must be charged.
+  EXPECT_EQ(Frame::kOverheadBits, Frame::kPulseWireBits + 2);
+  EXPECT_EQ(outcome.overhead_bits, Frame::kOverheadBits * outcome.frames);
   // One frame per port per pulse while running.
   EXPECT_GE(outcome.frames, 12u);  // at least pulse 0 everywhere
 }

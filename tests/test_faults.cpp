@@ -38,17 +38,27 @@ TEST(Crc32, DetectsEverySingleBitFlip) {
   }
 }
 
-TEST(Crc32, PacketChecksumCoversSeqAndFlags) {
+TEST(Crc32, PacketChecksumCoversSeqPulseAndFlags) {
+  const TransportConfig cfg;
   Frame frame;
   frame.payload.emplace();
   frame.payload->append_bits(0b1011, 4);
-  const std::uint32_t base = packet_checksum(7, frame);
-  EXPECT_NE(packet_checksum(8, frame), base);  // seq covered
+  const std::uint32_t base = packet_checksum(7, frame, cfg);
+  EXPECT_NE(packet_checksum(8, frame, cfg), base);  // seq covered
   Frame halted = frame;
   halted.sender_halted = true;
-  EXPECT_NE(packet_checksum(7, halted), base);  // flag covered
+  EXPECT_NE(packet_checksum(7, halted, cfg), base);  // flag covered
   Frame empty;
-  EXPECT_NE(packet_checksum(7, empty), base);  // has_payload covered
+  EXPECT_NE(packet_checksum(7, empty, cfg), base);  // has_payload covered
+  // Regression: the pulse field rides on every frame and the synchronizer
+  // hard-depends on it, so the CRC must cover it — a single flipped pulse
+  // bit must change the checksum (historically it did not).
+  for (unsigned bit = 0; bit < Frame::kPulseWireBits; ++bit) {
+    Frame pulse_flip = frame;
+    pulse_flip.pulse ^= 1ULL << bit;
+    EXPECT_NE(packet_checksum(7, pulse_flip, cfg), base)
+        << "pulse bit " << bit << " not covered by the CRC";
+  }
 }
 
 // ------------------------------------------------------------- injector --
@@ -151,7 +161,8 @@ TEST(LinkSender, RetransmitPreservesPacketBits) {
   const DataPacket again = sender.retransmit_packet(original.seq);
   EXPECT_EQ(again.seq, original.seq);
   EXPECT_EQ(again.crc, original.crc);
-  EXPECT_EQ(packet_checksum(again.seq, again.frame), again.crc);
+  EXPECT_EQ(packet_checksum(again.seq, again.frame, TransportConfig{}),
+            again.crc);
 }
 
 TEST(LinkSender, ExponentialBackoffThenGiveUp) {
@@ -224,6 +235,40 @@ TEST(LinkReceiver, CorruptedPacketRejectedWithoutAck) {
   EXPECT_FALSE(accept.send_ack);
   EXPECT_TRUE(accept.deliver.empty());
   EXPECT_EQ(receiver.next_expected(), 0u);  // nothing delivered
+}
+
+TEST(LinkReceiver, CorruptedPulseRejectedByChecksum) {
+  // Regression for the CRC gap: a flipped header (pulse) bit used to pass
+  // the checksum and reach the synchronizer with a bogus pulse number. The
+  // receiver must treat it exactly like a corrupted payload — discard, no
+  // ack — so the sender's retransmission heals it.
+  LinkSender sender{TransportConfig{}};
+  LinkReceiver receiver{TransportConfig{}};
+  DataPacket p = sender.packet(test_frame(3, 8));
+  p.frame.pulse ^= 1ULL << 40;
+  const auto accept = receiver.on_data(p);
+  EXPECT_TRUE(accept.checksum_reject);
+  EXPECT_FALSE(accept.send_ack);
+  EXPECT_TRUE(accept.deliver.empty());
+
+  DataPacket clean = sender.retransmit_packet(p.seq);
+  const auto healed = receiver.on_data(clean);
+  EXPECT_TRUE(healed.send_ack);
+  ASSERT_EQ(healed.deliver.size(), 1u);
+  EXPECT_EQ(healed.deliver[0].pulse, 3u);
+}
+
+TEST(LinkSender, SeqOverflowOfOnWireFieldIsRejected) {
+  // TransportConfig::seq_bits is the width the wire carries and the CRC
+  // hashes; the sender's 64-bit counter must never silently outgrow it.
+  TransportConfig cfg;
+  cfg.seq_bits = 2;
+  LinkSender sender{cfg};
+  for (int i = 0; i < 4; ++i) {
+    const DataPacket p = sender.packet(test_frame(0));
+    sender.on_ack(p.seq);
+  }
+  EXPECT_THROW(sender.packet(test_frame(0)), CheckFailure);
 }
 
 // ---------------------------------------------------------------- report --

@@ -237,5 +237,59 @@ TEST(RunTrace, AppendRebasesRoundsAndAdoptsIntoDisabled) {
   EXPECT_EQ(merged.segments(), 2u);
 }
 
+TEST(RunTrace, AppendIntoConfiguredDisabledReceiverIsANoOp) {
+  obs::TraceOptions on;
+  on.enabled = true;
+  obs::RunTrace donor(3, on);
+  donor.record(0, 0, 8);
+  donor.record(1, 2, 16);
+
+  obs::TraceOptions off;  // enabled defaults to false
+  obs::RunTrace receiver(3, off);
+  receiver.append(donor);
+
+  // The deliberately disabled receiver must NOT inherit the donor's options
+  // (the historical bug: `*this = other` turned it into an enabled trace).
+  EXPECT_FALSE(receiver.enabled());
+  EXPECT_TRUE(receiver.rounds().empty());
+  EXPECT_EQ(receiver.total_messages(), 0u);
+  EXPECT_EQ(receiver.total_bits(), 0u);
+  EXPECT_EQ(receiver.segments(), 0u);
+  EXPECT_EQ(receiver.approx_bytes(), 0u);
+
+  // It stays inert on further appends and further record() calls.
+  receiver.append(donor);
+  receiver.record(0, 0, 64);
+  EXPECT_FALSE(receiver.enabled());
+  EXPECT_TRUE(receiver.rounds().empty());
+}
+
+TEST(RunTrace, AppendAdoptsMultiSegmentDonorIntoDefaultConstructed) {
+  obs::TraceOptions opts;
+  opts.enabled = true;
+  obs::RunTrace a(2, opts), b(2, opts), c(2, opts);
+  a.record(0, 0, 4);
+  b.record(0, 1, 8);
+  c.record(0, 0, 2);
+
+  obs::RunTrace donor;  // accumulator: adopts a, then merges b
+  donor.append(a);
+  donor.append(b);
+  ASSERT_EQ(donor.segments(), 2u);
+
+  obs::RunTrace receiver;  // adopting a multi-segment donor keeps boundaries
+  receiver.append(donor);
+  EXPECT_TRUE(receiver.enabled());
+  EXPECT_EQ(receiver.segments(), 2u);
+  ASSERT_EQ(receiver.rounds().size(), 2u);
+  EXPECT_EQ(receiver.rounds()[1].round, 1u);
+  EXPECT_EQ(receiver.total_bits(), 12u);
+
+  // And the adopted receiver keeps merging like a normal enabled trace.
+  receiver.append(c);
+  EXPECT_EQ(receiver.segments(), 3u);
+  EXPECT_EQ(receiver.total_bits(), 14u);
+}
+
 }  // namespace
 }  // namespace csd

@@ -23,6 +23,7 @@
 #include "obs/bench_report.hpp"
 #include "obs/round_trace.hpp"
 #include "detect/triangle.hpp"
+#include "fuzz/fuzzer.hpp"
 #include "support/check.hpp"
 #include "support/mathutil.hpp"
 #include "support/rng.hpp"
@@ -66,6 +67,13 @@ commands:
       congested-clique K_s listing; prints count and round cost
   fool <namespace-N> <budget-c>
       runs the Theorem 4.1 adversary against c-bit ID exchange
+  fuzz [--seconds N] [--seed S] [--cases N] [--corpus DIR]
+      differential fuzzing: random (graph, program, fault plan, schedule)
+      cases run through the sync, async-raw, async-reliable and parallel
+      (run_amplified) engines and every cross-engine invariant is checked
+      against the VF2 ground truth. Failing cases are delta-debugged to a
+      minimal reproducer and written to DIR as replayable JSON. Exit 1 iff
+      any divergence was found.
   help
 )";
 
@@ -654,6 +662,23 @@ int cmd_fool(const Invocation& inv, std::ostream& out) {
   return 0;
 }
 
+int cmd_fuzz(const Invocation& inv, std::ostream& out) {
+  fuzz::FuzzOptions options;
+  if (const auto s = inv.flag("seconds"))
+    options.seconds = static_cast<double>(to_u64(*s, "seconds"));
+  options.seed = to_u64(inv.flag("seed").value_or("1"), "seed");
+  options.max_cases = to_u64(inv.flag("cases").value_or("0"), "cases");
+  if (const auto dir = inv.flag("corpus")) options.corpus_dir = *dir;
+  const auto report = fuzz::run_fuzzer(options, out);
+  if (!report.ok()) {
+    out << "FUZZ FAILURES:\n";
+    for (const auto& failure : report.failures)
+      out << "  " << failure.divergence.check << " (case seed "
+          << failure.case_seed << "): " << failure.divergence.detail << '\n';
+  }
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int run(const std::vector<std::string>& args, std::ostream& out,
@@ -672,6 +697,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     if (command == "sweep") return cmd_sweep(inv, out);
     if (command == "list-cliques") return cmd_list_cliques(inv, out);
     if (command == "fool") return cmd_fool(inv, out);
+    if (command == "fuzz") return cmd_fuzz(inv, out);
     err << "unknown command '" << command << "'\n" << kUsage;
     return 1;
   } catch (const CheckFailure& failure) {
