@@ -18,6 +18,10 @@
 //                 recorded in the report so baselines can't be compared
 //                 against full runs by mistake
 //   --json DIR    write BENCH_<name>.json into DIR at ctx.finish()
+//   --trace FILE  benches that run live instances (and opt in via
+//                 ctx.trace_options()) concatenate one stamped JSONL trace
+//                 per instance into FILE for `csd analyze` /
+//                 tools/trace_report.py; benches without live runs ignore it
 //
 // Determinism contract: everything a ReportedTable records is a pure
 // function of the workload (cells carry the raw numeric values, not the
@@ -26,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <type_traits>
@@ -33,6 +38,7 @@
 #include <vector>
 
 #include "obs/bench_report.hpp"
+#include "obs/round_trace.hpp"
 #include "support/check.hpp"
 #include "support/table.hpp"
 
@@ -50,6 +56,9 @@ class BenchContext {
       } else if (arg == "--json") {
         CSD_CHECK_MSG(i + 1 < argc, "--json needs a directory");
         json_dir_ = argv[++i];
+      } else if (arg == "--trace") {
+        CSD_CHECK_MSG(i + 1 < argc, "--trace needs a file");
+        trace_path_ = argv[++i];
       }
     }
     report_.set_smoke(smoke_);
@@ -57,6 +66,30 @@ class BenchContext {
 
   bool smoke() const noexcept { return smoke_; }
   obs::BenchReport& report() noexcept { return report_; }
+
+  bool tracing() const noexcept { return !trace_path_.empty(); }
+
+  /// Trace options for live runs: enabled iff --trace was given, per-edge
+  /// attribution on, per-node arrays off (edges are what the congestion
+  /// analyses read, and per-node rows dominate memory on big hosts).
+  obs::TraceOptions trace_options() const {
+    obs::TraceOptions options;
+    options.enabled = tracing();
+    options.per_node = false;
+    options.per_edge = true;
+    return options;
+  }
+
+  /// The --trace output stream, opened on first use.
+  std::ostream& trace_stream() {
+    CSD_CHECK_MSG(tracing(), "trace_stream() without --trace");
+    if (!trace_os_.is_open()) {
+      trace_os_.open(trace_path_);
+      CSD_CHECK_MSG(trace_os_.good(),
+                    "cannot write trace file '" << trace_path_ << "'");
+    }
+    return trace_os_;
+  }
 
   BenchContext& param(const std::string& key, obs::Json value) {
     report_.param(key, std::move(value));
@@ -75,6 +108,7 @@ class BenchContext {
       const std::string path = report_.write_into(json_dir_);
       os << "\n[json] wrote " << path << '\n';
     }
+    if (trace_os_.is_open()) os << "[trace] wrote " << trace_path_ << '\n';
     return 0;
   }
 
@@ -83,6 +117,8 @@ class BenchContext {
   obs::WallTimer timer_;
   bool smoke_ = false;
   std::string json_dir_;
+  std::string trace_path_;
+  std::ofstream trace_os_;
 };
 
 /// A Table whose rows are mirrored into the context's BenchReport: row i of

@@ -124,6 +124,25 @@ int main(int argc, char** argv) {
   const std::vector<std::uint64_t> live_sizes =
       ctx.smoke() ? std::vector<std::uint64_t>{128, 512}
                   : std::vector<std::uint64_t>{128, 512, 2048};
+  // With --trace, every live run below appends one stamped JSONL instance
+  // to the trace file. The planted/control C_4 rows share the fit group
+  // "even_cycle" (same schedule, so `csd analyze --expect-exponent 0.5`
+  // checks Thm 1.1's n^{1-1/(k(k-1))} growth on them); the extremal hard
+  // negatives get their own group so their fixed sizes don't pollute the
+  // fit.
+  const auto write_trace = [&](congest::RunOutcome& outcome,
+                               const char* group, const char* instance,
+                               std::uint64_t n, std::uint32_t k,
+                               std::uint64_t seed) {
+    if (!ctx.tracing()) return;
+    outcome.trace.set_meta("program", "even_cycle");
+    outcome.trace.set_meta("group", group);
+    outcome.trace.set_meta("instance", instance);
+    outcome.trace.set_meta("n", std::to_string(n));
+    outcome.trace.set_meta("k", std::to_string(k));
+    outcome.trace.set_meta("seed", std::to_string(seed));
+    outcome.trace.write_jsonl(ctx.trace_stream());
+  };
   for (const std::uint64_t n : live_sizes) {
     // Planted C_4 in a forest vs a cycle-free control.
     for (const bool planted : {true, false}) {
@@ -134,7 +153,8 @@ int main(int argc, char** argv) {
       cfg.c_num = 1;
       cfg.repetitions = ctx.smoke() ? 80 : (n >= 2048 ? 150 : 400);
       cfg.amplify = amplify;
-      const auto outcome = detect::detect_even_cycle(g, cfg, 64, 11);
+      cfg.trace = ctx.trace_options();
+      auto outcome = detect::detect_even_cycle(g, cfg, 64, 11);
       quality.row()
           .cell(n)
           .cell(planted ? "forest + planted C4" : "forest (control)")
@@ -143,6 +163,8 @@ int main(int argc, char** argv) {
           .cell(outcome.metrics.rounds / outcome.metrics.repetitions_executed)
           .cell(outcome.detected)
           .cell(oracle::has_cycle_of_length(g, 4));
+      write_trace(outcome, "even_cycle",
+                  planted ? "planted" : "control", n, 2, 11);
     }
   }
   // The extremal hard negatives: C4-free polarity graph and the girth-8
@@ -154,7 +176,8 @@ int main(int argc, char** argv) {
     cfg.k = 2;
     cfg.repetitions = ctx.smoke() ? 50 : 200;
     cfg.amplify = amplify;
-    const auto outcome = detect::detect_even_cycle(er, cfg, 64, 13);
+    cfg.trace = ctx.trace_options();
+    auto outcome = detect::detect_even_cycle(er, cfg, 64, 13);
     quality.row()
         .cell(std::uint64_t{er.num_vertices()})
         .cell("polarity ER_7 (C4-free, dense)")
@@ -163,6 +186,8 @@ int main(int argc, char** argv) {
         .cell(outcome.metrics.rounds / outcome.metrics.repetitions_executed)
         .cell(outcome.detected)
         .cell(false);
+    write_trace(outcome, "even_cycle_hard_negative", "polarity_ER7",
+                er.num_vertices(), 2, 13);
   }
   {
     const Graph gq = build::generalized_quadrangle_incidence(3);
@@ -170,7 +195,8 @@ int main(int argc, char** argv) {
     cfg.k = 3;
     cfg.repetitions = ctx.smoke() ? 25 : 100;
     cfg.amplify = amplify;
-    const auto outcome = detect::detect_even_cycle(gq, cfg, 64, 17);
+    cfg.trace = ctx.trace_options();
+    auto outcome = detect::detect_even_cycle(gq, cfg, 64, 17);
     quality.row()
         .cell(std::uint64_t{gq.num_vertices()})
         .cell("GQ(4,3) (C6-free, girth 8)")
@@ -179,6 +205,8 @@ int main(int argc, char** argv) {
         .cell(outcome.metrics.rounds / outcome.metrics.repetitions_executed)
         .cell(outcome.detected)
         .cell(false);
+    write_trace(outcome, "even_cycle_hard_negative", "GQ43",
+                gq.num_vertices(), 3, 17);
   }
   quality.print(std::cout);
   std::cout << "\nExpected: fitted exponents approach the theory column as n\n"

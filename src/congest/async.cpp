@@ -1,6 +1,7 @@
 #include "congest/async.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <queue>
 #include <unordered_map>
@@ -107,6 +108,10 @@ class AsyncEngine {
       sync_[v].port_dead.assign(topology_.degree(v), false);
     }
     outcome_.trace = obs::RunTrace(n, config_.trace);
+    if (outcome_.trace)
+      for (Vertex v = 0; v < n; ++v) nodes_[v]->set_trace(&outcome_.trace);
+    timing_ = config_.trace.timers;
+    outcome_.timers.enabled = timing_;
     // FIFO watermark per directed link (indexed by src, src-port); acks on
     // the reverse link share its watermark with that link's data frames.
     link_watermark_.resize(n);
@@ -127,16 +132,29 @@ class AsyncEngine {
   AsyncRunOutcome run() {
     // Pulse 0 runs immediately everywhere (empty inbox); degree-0 nodes
     // are always ready, so drive them to completion here — no event will
-    // ever re-trigger them.
-    for (Vertex v = 0; v < topology_.num_vertices(); ++v) {
-      execute_pulse(v);
-      while (try_execute(v)) {
+    // ever re-trigger them. Timing: program execution is measured inside
+    // execute_pulse (compute_ns); the remainder of this loop — frame
+    // assembly and event scheduling — is synchronizer work (delivery_ns).
+    {
+      const auto started = timing_ ? Clock::now() : Clock::time_point{};
+      const std::uint64_t compute_before = outcome_.timers.compute_ns;
+      for (Vertex v = 0; v < topology_.num_vertices(); ++v) {
+        execute_pulse(v);
+        while (try_execute(v)) {
+        }
       }
+      if (timing_)
+        add_delivery_time(started, compute_before, /*transport=*/false);
     }
 
     while (!events_.empty()) {
       const Event event = events_.top();
       events_.pop();
+      // Per-event timing: nested program execution is subtracted (it books
+      // itself into compute_ns); the remainder is synchronizer/delivery
+      // work for Data events and reliable-transport work for Ack/Timer.
+      const auto started = timing_ ? Clock::now() : Clock::time_point{};
+      const std::uint64_t compute_before = outcome_.timers.compute_ns;
       switch (event.kind) {
         case Event::Kind::Data:
           outcome_.virtual_time = std::max(outcome_.virtual_time, event.time);
@@ -147,20 +165,23 @@ class AsyncEngine {
           break;
         case Event::Kind::Ack:
           outcome_.virtual_time = std::max(outcome_.virtual_time, event.time);
-          if (!sync_[event.src].crashed)
-            senders_[event.src][event.src_port].on_ack(event.link_seq);
+          if (!sync_[event.src].crashed &&
+              !senders_[event.src][event.src_port].on_ack(event.link_seq))
+            ++outcome_.faults.duplicate_acks;
           break;
         case Event::Kind::Timer:
           handle_timer(event);
           break;
       }
+      if (timing_)
+        add_delivery_time(started, compute_before,
+                          event.kind != Event::Kind::Data);
       if (stopped_count_ == topology_.num_vertices()) break;
       if (pulse_cap_hit_) break;
     }
 
     const Vertex n = topology_.num_vertices();
     outcome_.completed = halted_count_ == n;
-    outcome_.trace_bytes = outcome_.trace.approx_bytes();
     outcome_.verdicts.reserve(n);
     for (Vertex v = 0; v < n; ++v) {
       const auto& node = nodes_[v];
@@ -171,10 +192,43 @@ class AsyncEngine {
       if (!sync_[v].crashed && !node->halted())
         outcome_.faults.stalled_nodes.push_back(v);
     }
+    outcome_.counters = fault_counters(outcome_.faults);
+    if (outcome_.trace) {
+      // Pad quiet trailing pulses so the trace covers exactly
+      // outcome_.pulses rounds — mirroring the synchronous engine, which
+      // keeps fault-free traces byte-identical across the two.
+      outcome_.trace.finish_run(outcome_.pulses);
+      outcome_.trace.set_counters(outcome_.counters);
+    }
+    outcome_.trace_bytes = outcome_.trace.approx_bytes();
     return outcome_;
   }
 
  private:
+  // ------------------------------------------------------------- timing --
+  using Clock = std::chrono::steady_clock;
+
+  static std::uint64_t elapsed_ns(Clock::time_point since) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             since)
+            .count());
+  }
+
+  /// Book the time since `started`, minus the program-compute time nested
+  /// inside it (already self-booked into compute_ns), as delivery or
+  /// transport work.
+  void add_delivery_time(Clock::time_point started,
+                         std::uint64_t compute_before, bool transport) {
+    const std::uint64_t total = elapsed_ns(started);
+    const std::uint64_t nested = outcome_.timers.compute_ns - compute_before;
+    const std::uint64_t rest = total > nested ? total - nested : 0;
+    if (transport)
+      outcome_.timers.transport_ns += rest;
+    else
+      outcome_.timers.delivery_ns += rest;
+  }
+
   // ----------------------------------------------------------- wire layer --
   std::uint64_t fresh_delay() {
     return 1 + delay_rng_.below(config_.max_delay);
@@ -391,20 +445,33 @@ class AsyncEngine {
     }
 
     node.begin_round(sync.pulse);
-    if (injector_.has_value()) {
-      // Graceful degradation under fault injection: a program that throws
-      // (typically a wire decode of a corrupted payload) becomes a crashed
-      // node, not a crashed process. Without faults, fail fast.
-      try {
+    bool program_fault = false;
+    const auto invoke_program = [&] {
+      if (injector_.has_value()) {
+        // Graceful degradation under fault injection: a program that throws
+        // (typically a wire decode of a corrupted payload) becomes a crashed
+        // node, not a crashed process. Without faults, fail fast.
+        try {
+          programs_[v]->on_round(node);
+        } catch (const CheckFailure& failure) {
+          outcome_.faults.violations.push_back(
+              {ViolationKind::ProgramFault, v, sync.pulse, failure.what()});
+          program_fault = true;
+        }
+      } else {
         programs_[v]->on_round(node);
-      } catch (const CheckFailure& failure) {
-        outcome_.faults.violations.push_back(
-            {ViolationKind::ProgramFault, v, sync.pulse, failure.what()});
-        crash_node(v);
-        return;
       }
+    };
+    if (timing_) {
+      const auto started = Clock::now();
+      invoke_program();
+      outcome_.timers.compute_ns += elapsed_ns(started);
     } else {
-      programs_[v]->on_round(node);
+      invoke_program();
+    }
+    if (program_fault) {
+      crash_node(v);
+      return;
     }
     outcome_.pulses = std::max(outcome_.pulses, sync.pulse + 1);
 
@@ -422,7 +489,8 @@ class AsyncEngine {
         slot.reset();
       }
       if (outcome_.trace && frame.payload.has_value())
-        outcome_.trace.record(sync.pulse, v, frame.payload_bits());
+        outcome_.trace.record(sync.pulse, v, topology_.neighbors(v)[p],
+                              frame.payload_bits());
       outcome_.payload_bits += frame.payload_bits();
       outcome_.overhead_bits += frame.overhead_bits();
       ++outcome_.frames;
@@ -467,6 +535,7 @@ class AsyncEngine {
   Vertex halted_count_ = 0;   // gracefully halted
   Vertex stopped_count_ = 0;  // halted or crashed
   bool pulse_cap_hit_ = false;
+  bool timing_ = false;
   AsyncRunOutcome outcome_;
 };
 

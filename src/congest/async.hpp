@@ -36,6 +36,7 @@
 #include "congest/faults.hpp"
 #include "congest/network.hpp"
 #include "congest/transport.hpp"
+#include "obs/metrics.hpp"
 #include "obs/round_trace.hpp"
 
 namespace csd::congest {
@@ -91,6 +92,13 @@ struct AsyncRunOutcome {
   obs::RunTrace trace;
   /// Trace storage footprint in bytes; 0 when tracing is disabled.
   std::uint64_t trace_bytes = 0;
+  /// Engine counters by name (the FaultReport counters, surfaced uniformly
+  /// across both engines — see fault_counters).
+  obs::MetricsRegistry counters;
+  /// Wall-clock split (compute / synchronizer delivery / transport), filled
+  /// only when config.trace.timers is set. Never part of the trace or of
+  /// any determinism digest: wall clocks are not reproducible.
+  obs::EngineTimers timers;
 };
 
 /// Run `factory`'s programs over `topology` asynchronously under the frame

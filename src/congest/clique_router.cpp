@@ -99,6 +99,9 @@ class RouterProgram final : public NodeProgram {
     const unsigned id_bits = wire::bits_for(api.network_size());
     const auto self = static_cast<Vertex>(api.id());
 
+    api.phase(api.round() == 0          ? "route-inject"
+              : api.round() >= budget_  ? "route-drain"
+                                        : "route-relay");
     if (api.round() > 0) {
       for (std::uint32_t p = 0; p < api.degree(); ++p) {
         const auto& msg = api.inbox(p);

@@ -27,6 +27,7 @@ std::string summarize(const FaultReport& report) {
      << "retransmissions:    " << report.retransmissions << '\n'
      << "checksum rejects:   " << report.checksum_rejects << '\n'
      << "duplicate packets:  " << report.duplicate_packets << '\n'
+     << "duplicate acks:     " << report.duplicate_acks << '\n'
      << "transport failures: " << report.transport_failures << '\n';
   os << "crashed nodes:     ";
   if (report.crashed_nodes.empty()) os << " none";
@@ -42,6 +43,21 @@ std::string summarize(const FaultReport& report) {
      << "survivors detect:   "
      << (report.detected_by_survivors ? "REJECT" : "accept") << '\n';
   return os.str();
+}
+
+obs::MetricsRegistry fault_counters(const FaultReport& report) {
+  obs::MetricsRegistry counters;
+  counters.add("frames_dropped", report.frames_dropped);
+  counters.add("frames_corrupted", report.frames_corrupted);
+  counters.add("retransmissions", report.retransmissions);
+  counters.add("checksum_rejects", report.checksum_rejects);
+  counters.add("duplicate_packets", report.duplicate_packets);
+  counters.add("duplicate_acks", report.duplicate_acks);
+  counters.add("transport_failures", report.transport_failures);
+  counters.add("crashed_nodes", report.crashed_nodes.size());
+  counters.add("stalled_nodes", report.stalled_nodes.size());
+  counters.add("violations", report.violations.size());
+  return counters;
 }
 
 FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t seed,

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "obs/metrics.hpp"
 #include "support/bitvec.hpp"
 #include "support/rng.hpp"
 
@@ -103,6 +104,7 @@ struct FaultReport {
   std::uint64_t retransmissions = 0;
   std::uint64_t checksum_rejects = 0;   // corrupted packets caught by CRC
   std::uint64_t duplicate_packets = 0;  // retransmit raced a late ack
+  std::uint64_t duplicate_acks = 0;     // ack for an already-settled packet
   std::uint64_t transport_failures = 0; // packets that exhausted retries
 
   /// Nodes that crashed (scheduled crash or program fault), in crash order.
@@ -121,9 +123,9 @@ struct FaultReport {
   bool clean() const noexcept {
     return frames_dropped == 0 && frames_corrupted == 0 &&
            retransmissions == 0 && checksum_rejects == 0 &&
-           duplicate_packets == 0 && transport_failures == 0 &&
-           crashed_nodes.empty() && stalled_nodes.empty() &&
-           violations.empty();
+           duplicate_packets == 0 && duplicate_acks == 0 &&
+           transport_failures == 0 && crashed_nodes.empty() &&
+           stalled_nodes.empty() && violations.empty();
   }
 
   friend bool operator==(const FaultReport&, const FaultReport&) = default;
@@ -131,6 +133,11 @@ struct FaultReport {
 
 /// Render a one-line-per-field human summary (used by the CLI).
 std::string summarize(const FaultReport& report);
+
+/// The report's counters as a named-metric registry — the bridge into
+/// RunMetrics::counters / AsyncRunOutcome::counters and the trace summary.
+/// Node/violation lists contribute their sizes ("crashed_nodes", ...).
+obs::MetricsRegistry fault_counters(const FaultReport& report);
 
 /// Draws fault fates deterministically. One RNG stream per directed link
 /// (src, src-port), advanced a fixed number of times per transmission, so

@@ -1,6 +1,7 @@
 #include "congest/network.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_map>
 #include <utility>
 
@@ -84,6 +85,7 @@ RunOutcome Network::run(const ProgramFactory& factory,
         config_.bandwidth, config_.broadcast_only,
         &outcome.faults.violations));
     nodes.back()->set_neighbor_ids(&neighbor_ids_[v]);
+    if (outcome.trace) nodes.back()->set_trace(&outcome.trace);
     programs.push_back(factory(v));
     CSD_CHECK_MSG(programs.back() != nullptr, "factory returned null program");
   }
@@ -98,9 +100,24 @@ RunOutcome Network::run(const ProgramFactory& factory,
     outcome.faults.crashed_nodes.push_back(v);
   };
 
+  // Opt-in wall-clock split (TraceOptions::timers): program execution vs.
+  // message delivery. Two clock reads per round when enabled, nothing when
+  // not; the timings land in RunMetrics, never in the trace (the trace is a
+  // pure function of the model-level data, wall clocks are not).
+  using Clock = std::chrono::steady_clock;
+  const bool timing = config_.trace.timers;
+  outcome.metrics.timers.enabled = timing;
+  const auto elapsed_ns = [](Clock::time_point since) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             since)
+            .count());
+  };
+
   std::uint64_t round = 0;
   for (; round < config_.max_rounds; ++round) {
     bool all_stopped = true;
+    const auto compute_start = timing ? Clock::now() : Clock::time_point{};
     for (Vertex v = 0; v < n; ++v) {
       if (nodes[v]->halted() || crashed[v]) continue;
       if (faulty) {
@@ -128,9 +145,11 @@ RunOutcome Network::run(const ProgramFactory& factory,
         programs[v]->on_round(*nodes[v]);
       }
     }
+    if (timing) outcome.metrics.timers.compute_ns += elapsed_ns(compute_start);
     if (all_stopped) break;
 
     // Deliver: outboxes of this round become inboxes of the next.
+    const auto delivery_start = timing ? Clock::now() : Clock::time_point{};
     for (Vertex v = 0; v < n; ++v) nodes[v]->clear_inbox();
     for (Vertex v = 0; v < n; ++v) {
       if (crashed[v]) continue;
@@ -146,7 +165,8 @@ RunOutcome Network::run(const ProgramFactory& factory,
         outcome.metrics.max_message_bits =
             std::max<std::uint64_t>(outcome.metrics.max_message_bits,
                                     payload.size());
-        if (outcome.trace) outcome.trace.record(round, v, payload.size());
+        if (outcome.trace)
+          outcome.trace.record(round, v, nbrs[p], payload.size());
         if (config_.record_transcript)
           outcome.transcript.push_back({round, v, nbrs[p], payload});
         if (config_.on_message)
@@ -165,10 +185,11 @@ RunOutcome Network::run(const ProgramFactory& factory,
         nodes[nbrs[p]]->deliver(reverse_port_[v][p], std::move(payload));
       }
     }
+    if (timing)
+      outcome.metrics.timers.delivery_ns += elapsed_ns(delivery_start);
   }
 
   outcome.metrics.rounds = round;
-  outcome.metrics.trace_bytes = outcome.trace.approx_bytes();
   outcome.completed =
       std::all_of(nodes.begin(), nodes.end(),
                   [](const auto& node) { return node->halted(); });
@@ -181,6 +202,15 @@ RunOutcome Network::run(const ProgramFactory& factory,
     if (!crashed[v] && !nodes[v]->halted())
       outcome.faults.stalled_nodes.push_back(v);
   }
+  outcome.metrics.counters = fault_counters(outcome.faults);
+  if (outcome.trace) {
+    // Materialize quiet trailing rounds so trace rounds == metrics.rounds
+    // (the exponent fit divides by segments to recover per-repetition
+    // rounds), and surface the engine counters in the summary.
+    outcome.trace.finish_run(round);
+    outcome.trace.set_counters(outcome.metrics.counters);
+  }
+  outcome.metrics.trace_bytes = outcome.trace.approx_bytes();
   return outcome;
 }
 
@@ -239,6 +269,8 @@ RunOutcome run_amplified(const Graph& topology, const NetworkConfig& config,
     // batch guarantees — so the combined trace is jobs-count independent.
     combined.trace.append(rep.trace);
     combined.metrics.trace_bytes += rep.metrics.trace_bytes;
+    combined.metrics.counters.merge(rep.metrics.counters);
+    combined.metrics.timers.merge(rep.metrics.timers);
     FaultReport& f = combined.faults;
     FaultReport& rf = rep.faults;
     f.frames_dropped += rf.frames_dropped;
@@ -246,6 +278,7 @@ RunOutcome run_amplified(const Graph& topology, const NetworkConfig& config,
     f.retransmissions += rf.retransmissions;
     f.checksum_rejects += rf.checksum_rejects;
     f.duplicate_packets += rf.duplicate_packets;
+    f.duplicate_acks += rf.duplicate_acks;
     f.transport_failures += rf.transport_failures;
     f.crashed_nodes.insert(f.crashed_nodes.end(), rf.crashed_nodes.begin(),
                            rf.crashed_nodes.end());

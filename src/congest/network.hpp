@@ -36,6 +36,7 @@
 #include "congest/faults.hpp"
 #include "congest/program.hpp"
 #include "graph/graph.hpp"
+#include "obs/metrics.hpp"
 #include "obs/round_trace.hpp"
 #include "support/bitvec.hpp"
 
@@ -102,6 +103,13 @@ struct RunMetrics {
   /// when NetworkConfig::trace is disabled (the observer's overhead is then
   /// one branch per message and no memory — tested by test_obs).
   std::uint64_t trace_bytes = 0;
+  /// Engine counters by name (the FaultReport counters, surfaced uniformly
+  /// — see fault_counters). Amplified: merged by name in repetition order.
+  obs::MetricsRegistry counters;
+  /// Wall-clock split of the run (compute vs. delivery), filled only when
+  /// NetworkConfig::trace.timers is set. Deliberately NOT part of the trace:
+  /// timings are not deterministic, traces are. Amplified: summed.
+  obs::EngineTimers timers;
 };
 
 struct RunOutcome {

@@ -10,6 +10,7 @@
 #include "congest/faults.hpp"
 #include "congest/program.hpp"
 #include "graph/graph.hpp"
+#include "obs/round_trace.hpp"
 #include "support/check.hpp"
 
 namespace csd::congest::detail {
@@ -98,10 +99,20 @@ class NodeState final : public NodeApi {
     return buf;
   }
 
+  void phase(std::string_view name) override {
+    // Engines only wire a trace when one is recording, so the disabled-path
+    // cost is the same single predicted branch record() pays.
+    if (trace_ != nullptr) trace_->set_phase(round_, name);
+  }
+
   void reject() override { verdict_ = Verdict::Reject; }
   void halt() override { halted_ = true; }
 
   // Simulator plumbing --------------------------------------------------
+  /// Route NodeApi::phase declarations into `trace` (nullptr = discard).
+  /// The engine owns the trace; it must outlive this NodeState.
+  void set_trace(obs::RunTrace* trace) { trace_ = trace; }
+
   void set_neighbor_ids(std::vector<NodeId> ids) {
     owned_neighbor_ids_ = std::move(ids);
     neighbor_ids_ = &owned_neighbor_ids_;
@@ -151,6 +162,7 @@ class NodeState final : public NodeApi {
   std::uint64_t bandwidth_;
   bool broadcast_only_;
   std::vector<ProtocolViolation>* violations_;
+  obs::RunTrace* trace_ = nullptr;
   Rng rng_;
   std::optional<BitVec> round_payload_;
   std::uint64_t round_ = 0;

@@ -11,6 +11,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "support/bitvec.hpp"
@@ -68,6 +69,15 @@ class NodeApi {
   /// `wire::Writer w(api.scratch());`) eliminates the one heap allocation
   /// per message per round that otherwise dominates tight send loops.
   virtual BitVec scratch() { return BitVec{}; }
+
+  /// Annotate the current round with the algorithmic phase it belongs to
+  /// ("phase1-pipeline", "peel", ...). Purely observational: a no-op unless
+  /// the run records a trace (obs/round_trace.hpp), in which case the round
+  /// is attributed to `name` in the trace's phase spans. Programs must
+  /// derive the name from the round number (not from node-local state) so
+  /// every node declares the same phase for a round — the trace keeps the
+  /// first declaration.
+  virtual void phase(std::string_view name) { (void)name; }
 
   /// Set this node's verdict to Reject ("I detected a copy of H"). Sticky.
   virtual void reject() = 0;

@@ -19,6 +19,7 @@ class CliqueDetectProgram final : public congest::NodeProgram {
   void on_round(congest::NodeApi& api) override {
     const unsigned id_bits = wire::bits_for(api.namespace_size());
 
+    api.phase(api.round() == 0 ? "announce" : "stream");
     if (api.round() == 0) {
       CSD_CHECK_MSG(api.bandwidth() == 0 || api.bandwidth() >= id_bits,
                     "bandwidth too small for neighborhood exchange");

@@ -38,6 +38,8 @@ class EvenCycleProgram final : public congest::NodeProgram {
 
     const std::uint64_t r = api.round();
     if (r <= sched_.phase1_rounds) {
+      api.phase(r < sched_.phase1_rounds ? "phase1-pipeline"
+                                         : "phase1-removal");
       phase1_round(api);
       if (r == sched_.phase1_rounds) {
         // Removal announcement: 1 = I am high-degree and drop out.
@@ -52,9 +54,12 @@ class EvenCycleProgram final : public congest::NodeProgram {
     const std::uint64_t peel_end = peel_begin + sched_.layer_waves;  // excl.
     if (r == peel_begin) record_removals(api);
     if (r >= peel_begin && r < peel_end) {
+      api.phase("phase2-peel");
       peel_round(api, static_cast<std::uint32_t>(r - peel_begin));
       return;
     }
+    api.phase(r == sched_.final_round ? "phase2-midpoint"
+                                      : "phase2-propagate");
     if (r == peel_end) {
       // Unassigned active node after ⌈log n⌉+1 waves: the remaining graph is
       // denser than any C_2k-free graph can be — certifies a cycle.

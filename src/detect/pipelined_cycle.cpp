@@ -19,6 +19,7 @@ class PipelinedCycleProgram final : public congest::NodeProgram {
     const unsigned id_bits = wire::bits_for(api.namespace_size());
     const unsigned hop_bits = wire::bits_for(length_);
 
+    api.phase(api.round() == 0 ? "color" : "pipeline");
     if (api.round() == 0) {
       CSD_CHECK_MSG(api.bandwidth() == 0 ||
                         api.bandwidth() >= id_bits + hop_bits,

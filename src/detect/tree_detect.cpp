@@ -42,6 +42,9 @@ class TreeDetectProgram final : public congest::NodeProgram {
   void on_round(congest::NodeApi& api) override {
     CSD_CHECK_MSG(api.bandwidth() == 0 || api.bandwidth() >= rt_.k,
                   "bandwidth too small for the subtree bitmap");
+    api.phase(api.round() == 0         ? "color"
+              : api.round() <= rt_.height ? "dp-wave"
+                                          : "decide");
     if (api.round() == 0) {
       color_ = static_cast<std::uint32_t>(api.rng().below(rt_.k));
       can_root_.assign(rt_.k, false);

@@ -30,12 +30,14 @@ class IdExchangeProgram final : public congest::NodeProgram {
 
     switch (api.round()) {
       case 0: {
+        api.phase("announce");
         wire::Writer w;
         w.u(fingerprint(api.id()), c_bits_);
         api.broadcast(std::move(w).take());
         break;
       }
       case 1: {
+        api.phase("cross-forward");
         // Cross-forward: what arrived on port p leaves on port 1-p.
         for (std::uint32_t p = 0; p < 2; ++p) {
           const auto& msg = api.inbox(p);
@@ -49,6 +51,7 @@ class IdExchangeProgram final : public congest::NodeProgram {
         break;
       }
       case 2: {
+        api.phase("decide");
         // In a triangle, my neighbor's other neighbor is my other neighbor.
         bool both_match = true;
         for (std::uint32_t p = 0; p < 2; ++p) {

@@ -170,17 +170,26 @@ std::optional<Divergence> check_case(const FuzzCase& c,
         // A fault-free reliable run charges exactly (seq + crc) per data
         // packet and per ack and never retransmits. Acks cannot exceed
         // frames (one per *delivered* packet — the run may end with the
-        // final pulse's frames still in flight, so <=, not ==).
+        // final pulse's frames still in flight, so <=, not ==). With no
+        // faults injected the plan-level counters must all stay at zero:
+        // any duplicate packet, duplicate ack, or transport failure here
+        // is accounting noise the engines invented on their own.
         const std::uint64_t expected =
             (async.frames + async.acks) * (kSeqWireBits + kCrcWireBits);
         if (async.acks > async.frames || async.faults.retransmissions != 0 ||
             async.faults.checksum_rejects != 0 ||
+            async.faults.duplicate_packets != 0 ||
+            async.faults.duplicate_acks != 0 ||
+            async.faults.transport_failures != 0 ||
             async.transport_bits != expected) {
           std::ostringstream os;
           os << "rep " << rep << ": acks " << async.acks << " for "
              << async.frames << " frames, " << async.faults.retransmissions
-             << " retransmissions, transport_bits " << async.transport_bits
-             << " (want " << expected << ")";
+             << " retransmissions, " << async.faults.duplicate_packets
+             << " duplicate packets, " << async.faults.duplicate_acks
+             << " duplicate acks, " << async.faults.transport_failures
+             << " transport failures, transport_bits "
+             << async.transport_bits << " (want " << expected << ")";
           return diverge("reliable-transport-accounting", os);
         }
       }

@@ -1,0 +1,33 @@
+// Chrome trace-event exporter (chrome://tracing / Perfetto / ui.perfetto.dev).
+//
+// Converts parsed csd-trace instances into the JSON trace-event format:
+// each instance becomes one process (pid = instance index, labeled from its
+// header meta), each maximal run of rounds sharing a phase becomes one
+// complete ("ph":"X") event, and per-round bit/message counts become
+// counter ("ph":"C") tracks. Time is *virtual*: 1 trace microsecond = 1
+// CONGEST round, so the viewer's timeline reads directly in rounds.
+//
+// The output is a pure function of the parsed instances — no wall clock —
+// so golden tests can pin it byte-for-byte.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "obs/trace_analysis.hpp"
+
+namespace csd::obs {
+
+struct ChromeTraceOptions {
+  /// Emit per-round counter events only when an instance has at most this
+  /// many rounds; long amplified traces keep their phase spans but skip the
+  /// per-round counter track (it would dominate the file size).
+  std::uint64_t counter_round_cap = 4096;
+};
+
+/// Write `instances` as one trace-event JSON document.
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TraceInstance>& instances,
+                        const ChromeTraceOptions& options = {});
+
+}  // namespace csd::obs

@@ -1,0 +1,25 @@
+#include "obs/metrics.hpp"
+
+namespace csd::obs {
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  for (auto& [key, value] : entries_) {
+    if (key == name) {
+      value += delta;
+      return;
+    }
+  }
+  entries_.emplace_back(std::string(name), delta);
+}
+
+std::uint64_t MetricsRegistry::value(std::string_view name) const noexcept {
+  for (const auto& [key, value] : entries_)
+    if (key == name) return value;
+  return 0;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [key, value] : other.entries_) add(key, value);
+}
+
+}  // namespace csd::obs

@@ -1,0 +1,199 @@
+#include "obs/trace_analysis.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <istream>
+
+#include "obs/json.hpp"
+#include "support/check.hpp"
+
+namespace csd::obs {
+
+std::optional<std::string> TraceInstance::meta_value(
+    std::string_view key) const {
+  for (const auto& [k, v] : meta)
+    if (k == key) return v;
+  return std::nullopt;
+}
+
+std::optional<double> TraceInstance::meta_number(std::string_view key) const {
+  const auto value = meta_value(key);
+  if (!value.has_value()) return std::nullopt;
+  double number = 0.0;
+  const char* begin = value->data();
+  const char* end = begin + value->size();
+  const auto [ptr, ec] = std::from_chars(begin, end, number);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  return number;
+}
+
+double TraceInstance::rounds_per_segment() const {
+  if (segments == 0) return 0.0;
+  return static_cast<double>(declared_rounds) / static_cast<double>(segments);
+}
+
+std::string TraceInstance::fit_group() const {
+  if (const auto group = meta_value("group"); group.has_value()) return *group;
+  if (const auto program = meta_value("program"); program.has_value())
+    return *program;
+  return "";
+}
+
+std::vector<TraceInstance> parse_trace_jsonl(std::istream& is) {
+  std::vector<TraceInstance> instances;
+  TraceInstance* current = nullptr;
+  bool summary_seen = true;  // a header must open each instance
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const Json doc = Json::parse(line);
+    const std::string& type = doc.at("type").as_string();
+    if (type == "header") {
+      CSD_CHECK_MSG(summary_seen,
+                    "trace line " << line_no
+                                  << ": header before previous summary");
+      summary_seen = false;
+      instances.emplace_back();
+      current = &instances.back();
+      const std::string& schema = doc.at("schema").as_string();
+      CSD_CHECK_MSG(schema == "csd-trace-v1" || schema == "csd-trace-v2",
+                    "trace line " << line_no << ": unknown schema " << schema);
+      current->nodes = doc.at("nodes").as_uint();
+      current->declared_rounds = doc.at("rounds").as_uint();
+      current->segments = doc.at("segments").as_uint();
+      current->per_node = doc.at("per_node").as_bool();
+      if (const Json* per_edge = doc.find("per_edge"))
+        current->per_edge = per_edge->as_bool();
+      if (const Json* meta = doc.find("meta"))
+        for (const auto& [key, value] : meta->members())
+          current->meta.emplace_back(key, value.as_string());
+      if (const Json* starts = doc.find("segment_starts"))
+        for (const Json& start : starts->items())
+          current->segment_starts.push_back(start.as_uint());
+      continue;
+    }
+    CSD_CHECK_MSG(current != nullptr && !summary_seen,
+                  "trace line " << line_no << ": '" << type
+                                << "' line outside an instance");
+    if (type == "round") {
+      TraceInstance::Round round;
+      round.round = doc.at("round").as_uint();
+      round.messages = doc.at("messages").as_uint();
+      round.bits = doc.at("bits").as_uint();
+      if (const Json* phase = doc.find("phase"))
+        round.phase = phase->as_string();
+      current->rounds.push_back(std::move(round));
+    } else if (type == "edge") {
+      TraceInstance::Edge edge;
+      edge.src = static_cast<std::uint32_t>(doc.at("src").as_uint());
+      edge.dst = static_cast<std::uint32_t>(doc.at("dst").as_uint());
+      edge.messages = doc.at("messages").as_uint();
+      edge.bits = doc.at("bits").as_uint();
+      current->edges.push_back(edge);
+    } else if (type == "summary") {
+      summary_seen = true;
+      current->total_messages = doc.at("total_messages").as_uint();
+      current->total_bits = doc.at("total_bits").as_uint();
+      if (const Json* phases = doc.find("phases")) {
+        for (const Json& item : phases->items()) {
+          TraceInstance::Phase phase;
+          phase.name = item.at("name").as_string();
+          phase.rounds = item.at("rounds").as_uint();
+          phase.messages = item.at("messages").as_uint();
+          phase.bits = item.at("bits").as_uint();
+          current->phases.push_back(std::move(phase));
+        }
+      }
+      if (const Json* counters = doc.find("counters"))
+        for (const auto& [name, value] : counters->members())
+          current->counters.emplace_back(name, value.as_uint());
+    } else {
+      CSD_CHECK_MSG(false,
+                    "trace line " << line_no << ": unknown type " << type);
+    }
+  }
+  CSD_CHECK_MSG(summary_seen, "trace ends mid-instance (no summary line)");
+  return instances;
+}
+
+std::optional<PowerLawFit> fit_power_law(
+    const std::vector<std::pair<double, double>>& xy) {
+  double sum_x = 0.0, sum_y = 0.0, sum_xx = 0.0, sum_xy = 0.0;
+  std::size_t count = 0;
+  double first_x = 0.0;
+  bool distinct_x = false;
+  for (const auto& [x, y] : xy) {
+    if (!(x > 0.0) || !(y > 0.0)) continue;
+    const double lx = std::log(x);
+    const double ly = std::log(y);
+    if (count == 0)
+      first_x = lx;
+    else if (lx != first_x)
+      distinct_x = true;
+    sum_x += lx;
+    sum_y += ly;
+    sum_xx += lx * lx;
+    sum_xy += lx * ly;
+    ++count;
+  }
+  if (count < 2 || !distinct_x) return std::nullopt;
+  const double denom =
+      static_cast<double>(count) * sum_xx - sum_x * sum_x;
+  PowerLawFit fit;
+  fit.exponent =
+      (static_cast<double>(count) * sum_xy - sum_x * sum_y) / denom;
+  fit.log_coeff = (sum_y - fit.exponent * sum_x) / static_cast<double>(count);
+  fit.points = count;
+  return fit;
+}
+
+std::vector<std::pair<std::string, std::vector<std::pair<double, double>>>>
+rounds_vs_n_points(const std::vector<TraceInstance>& instances) {
+  std::vector<std::pair<std::string, std::vector<std::pair<double, double>>>>
+      groups;
+  for (const TraceInstance& instance : instances) {
+    const auto n = instance.meta_number("n");
+    if (!n.has_value()) continue;
+    const double rounds = instance.rounds_per_segment();
+    if (!(rounds > 0.0)) continue;
+    const std::string group = instance.fit_group();
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const auto& g) { return g.first == group; });
+    if (it == groups.end()) {
+      groups.emplace_back(group,
+                          std::vector<std::pair<double, double>>{});
+      it = groups.end() - 1;
+    }
+    it->second.emplace_back(*n, rounds);
+  }
+  return groups;
+}
+
+std::uint64_t cut_traffic_bits(const TraceInstance& instance,
+                               std::uint64_t boundary) {
+  std::uint64_t bits = 0;
+  for (const TraceInstance::Edge& edge : instance.edges) {
+    const bool src_left = edge.src < boundary;
+    const bool dst_left = edge.dst < boundary;
+    if (src_left != dst_left) bits += edge.bits;
+  }
+  return bits;
+}
+
+std::vector<TraceInstance::Edge> top_edges_by_bits(
+    const TraceInstance& instance, std::size_t k) {
+  std::vector<TraceInstance::Edge> edges = instance.edges;
+  std::sort(edges.begin(), edges.end(),
+            [](const TraceInstance::Edge& a, const TraceInstance::Edge& b) {
+              if (a.bits != b.bits) return a.bits > b.bits;
+              if (a.src != b.src) return a.src < b.src;
+              return a.dst < b.dst;
+            });
+  if (edges.size() > k) edges.resize(k);
+  return edges;
+}
+
+}  // namespace csd::obs

@@ -5,6 +5,8 @@
 // unchanged).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -13,8 +15,11 @@
 #include "detect/even_cycle.hpp"
 #include "graph/builders.hpp"
 #include "obs/bench_report.hpp"
+#include "obs/chrome_trace.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "obs/round_trace.hpp"
+#include "obs/trace_analysis.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 
@@ -115,12 +120,13 @@ TEST(BenchReport, MeasurementReferencesStayStable) {
 
 // ------------------------------------------------------------ RunTrace ----
 
-congest::RunOutcome traced_run(const Graph& g, unsigned jobs,
-                               bool enable_trace, std::uint32_t reps) {
+congest::RunOutcome traced_run_opts(const Graph& g, unsigned jobs,
+                                    const obs::TraceOptions& trace,
+                                    std::uint32_t reps) {
   detect::EvenCycleConfig cfg;
   cfg.k = 2;
   cfg.repetitions = reps;
-  cfg.trace.enabled = enable_trace;
+  cfg.trace = trace;
   congest::NetworkConfig net_cfg;
   net_cfg.bandwidth = 64;
   net_cfg.seed = 5;
@@ -133,6 +139,13 @@ congest::RunOutcome traced_run(const Graph& g, unsigned jobs,
   options.early_exit = false;  // every repetition contributes a segment
   return congest::run_amplified(g, net_cfg, detect::even_cycle_program(cfg),
                                 reps, options);
+}
+
+congest::RunOutcome traced_run(const Graph& g, unsigned jobs,
+                               bool enable_trace, std::uint32_t reps) {
+  obs::TraceOptions trace;
+  trace.enabled = enable_trace;
+  return traced_run_opts(g, jobs, trace, reps);
 }
 
 Graph trace_host() {
@@ -205,7 +218,7 @@ TEST(RunTrace, JsonlDocumentIsWellFormedAndConsistent) {
   ASSERT_GE(lines.size(), 3u);  // header + >=1 round + summary
 
   const obs::Json& header = lines.front();
-  EXPECT_EQ(header.at("schema").as_string(), "csd-trace-v1");
+  EXPECT_EQ(header.at("schema").as_string(), "csd-trace-v2");
   EXPECT_EQ(header.at("nodes").as_uint(), g.num_vertices());
   EXPECT_EQ(header.at("segments").as_uint(), 2u);
   EXPECT_EQ(header.at("rounds").as_uint(), lines.size() - 2);
@@ -224,9 +237,9 @@ TEST(RunTrace, AppendRebasesRoundsAndAdoptsIntoDisabled) {
   obs::TraceOptions opts;
   opts.enabled = true;
   obs::RunTrace a(2, opts), b(2, opts);
-  a.record(0, 0, 8);
-  a.record(1, 1, 16);
-  b.record(0, 1, 32);
+  a.record(0, 0, 1, 8);
+  a.record(1, 1, 0, 16);
+  b.record(0, 1, 0, 32);
 
   obs::RunTrace merged;  // disabled: append adopts the first trace wholesale
   merged.append(a);
@@ -241,8 +254,8 @@ TEST(RunTrace, AppendIntoConfiguredDisabledReceiverIsANoOp) {
   obs::TraceOptions on;
   on.enabled = true;
   obs::RunTrace donor(3, on);
-  donor.record(0, 0, 8);
-  donor.record(1, 2, 16);
+  donor.record(0, 0, 1, 8);
+  donor.record(1, 2, 0, 16);
 
   obs::TraceOptions off;  // enabled defaults to false
   obs::RunTrace receiver(3, off);
@@ -259,7 +272,7 @@ TEST(RunTrace, AppendIntoConfiguredDisabledReceiverIsANoOp) {
 
   // It stays inert on further appends and further record() calls.
   receiver.append(donor);
-  receiver.record(0, 0, 64);
+  receiver.record(0, 0, 1, 64);
   EXPECT_FALSE(receiver.enabled());
   EXPECT_TRUE(receiver.rounds().empty());
 }
@@ -268,9 +281,9 @@ TEST(RunTrace, AppendAdoptsMultiSegmentDonorIntoDefaultConstructed) {
   obs::TraceOptions opts;
   opts.enabled = true;
   obs::RunTrace a(2, opts), b(2, opts), c(2, opts);
-  a.record(0, 0, 4);
-  b.record(0, 1, 8);
-  c.record(0, 0, 2);
+  a.record(0, 0, 1, 4);
+  b.record(0, 1, 0, 8);
+  c.record(0, 0, 1, 2);
 
   obs::RunTrace donor;  // accumulator: adopts a, then merges b
   donor.append(a);
@@ -289,6 +302,372 @@ TEST(RunTrace, AppendAdoptsMultiSegmentDonorIntoDefaultConstructed) {
   receiver.append(c);
   EXPECT_EQ(receiver.segments(), 3u);
   EXPECT_EQ(receiver.total_bits(), 14u);
+}
+
+// ------------------------------------------------- RunTrace (schema v2) ----
+
+// The v2 JSONL emitter is a pure function of the recorded data; pin it
+// byte-for-byte on a tiny hand-built trace covering phases, meta, per-edge
+// records, and finish_run padding.
+TEST(RunTrace, GoldenJsonlOutput) {
+  obs::TraceOptions opts;
+  opts.enabled = true;
+  opts.per_node = false;
+  opts.histogram = false;
+  opts.per_edge = true;
+  obs::RunTrace trace(2, opts);
+  trace.record(0, 0, 1, 8);
+  trace.set_phase(0, "alpha");
+  trace.record(1, 1, 0, 16);
+  trace.set_phase(1, "beta");
+  trace.set_meta("program", "unit");
+  trace.set_meta("n", "2");
+  trace.finish_run(3);  // pads a quiet trailing round
+
+  std::ostringstream os;
+  trace.write_jsonl(os);
+  const std::string expected =
+      R"({"type":"header","schema":"csd-trace-v2","nodes":2,"rounds":3,)"
+      R"("segments":1,"per_node":false,"per_edge":true,)"
+      R"("meta":{"program":"unit","n":"2"}})"
+      "\n"
+      R"({"type":"round","round":0,"messages":1,"bits":8,"phase":"alpha"})"
+      "\n"
+      R"({"type":"round","round":1,"messages":1,"bits":16,"phase":"beta"})"
+      "\n"
+      R"({"type":"round","round":2,"messages":0,"bits":0})"
+      "\n"
+      R"({"type":"edge","src":0,"dst":1,"messages":1,"bits":8})"
+      "\n"
+      R"({"type":"edge","src":1,"dst":0,"messages":1,"bits":16})"
+      "\n"
+      R"({"type":"summary","total_messages":2,"total_bits":24,)"
+      R"("phases":[{"name":"alpha","rounds":1,"messages":1,"bits":8},)"
+      R"({"name":"beta","rounds":1,"messages":1,"bits":16}]})"
+      "\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST(RunTrace, FirstPhaseDeclarationWins) {
+  obs::TraceOptions opts;
+  opts.enabled = true;
+  obs::RunTrace trace(2, opts);
+  trace.set_phase(0, "first");
+  trace.set_phase(0, "second");  // ignored: phases are per-round constants
+  std::ostringstream os;
+  trace.write_jsonl(os);
+  EXPECT_NE(os.str().find("\"phase\":\"first\""), std::string::npos);
+  EXPECT_EQ(os.str().find("second"), std::string::npos);
+}
+
+TEST(RunTrace, CountersAppearInSummaryOnlyWhenNonZero) {
+  obs::TraceOptions opts;
+  opts.enabled = true;
+  obs::RunTrace clean(2, opts);
+  obs::MetricsRegistry zeros;
+  zeros.add("retransmissions", 0);
+  zeros.add("checksum_rejects", 0);
+  clean.set_counters(zeros);
+  std::ostringstream clean_os;
+  clean.write_jsonl(clean_os);
+  // All-zero counters are omitted so clean sync and async traces stay
+  // byte-identical (the sync engine has no transport counters to report).
+  EXPECT_EQ(clean_os.str().find("counters"), std::string::npos);
+
+  obs::RunTrace dirty(2, opts);
+  obs::MetricsRegistry mixed;
+  mixed.add("retransmissions", 3);
+  mixed.add("checksum_rejects", 0);
+  dirty.set_counters(mixed);
+  std::ostringstream dirty_os;
+  dirty.write_jsonl(dirty_os);
+  EXPECT_NE(dirty_os.str().find(R"("counters":{"retransmissions":3})"),
+            std::string::npos);
+  EXPECT_EQ(dirty_os.str().find("checksum_rejects"), std::string::npos);
+}
+
+TEST(RunTrace, PerEdgeTraceBitIdenticalAcrossJobsCounts) {
+  const Graph g = trace_host();
+  obs::TraceOptions opts;
+  opts.enabled = true;
+  opts.per_node = false;
+  opts.per_edge = true;
+  const auto reference = traced_run_opts(g, 1, opts, 6);
+  std::ostringstream ref_os;
+  reference.trace.write_jsonl(ref_os);
+  ASSERT_NE(ref_os.str().find("\"type\":\"edge\""), std::string::npos);
+
+  for (const unsigned jobs : {4u, 0u}) {
+    const auto outcome = traced_run_opts(g, jobs, opts, 6);
+    std::ostringstream os;
+    outcome.trace.write_jsonl(os);
+    EXPECT_EQ(os.str(), ref_os.str()) << "jobs = " << jobs;
+  }
+}
+
+TEST(RunTrace, DisabledTraceStaysFreeWithPerEdgeAndTimersRequested) {
+  const Graph g = trace_host();
+  obs::TraceOptions opts;  // enabled stays false
+  opts.per_edge = true;
+  opts.timers = true;
+  const auto outcome = traced_run_opts(g, 1, opts, 2);
+  EXPECT_EQ(outcome.metrics.trace_bytes, 0u);
+  EXPECT_EQ(outcome.trace.approx_bytes(), 0u);
+  EXPECT_TRUE(outcome.trace.rounds().empty());
+  // Engine timers are independent of the trace: they live in RunMetrics and
+  // stay available even when the per-round trace is off.
+  EXPECT_TRUE(outcome.metrics.timers.enabled);
+}
+
+TEST(RunTrace, PhaseAttributionCoversAllTrafficInEvenCycleRun) {
+  const Graph g = trace_host();
+  const auto outcome = traced_run(g, 1, true, 2);
+  std::ostringstream os;
+  outcome.trace.write_jsonl(os);
+  std::istringstream is(os.str());
+  const auto instances = obs::parse_trace_jsonl(is);
+  ASSERT_EQ(instances.size(), 1u);
+  const obs::TraceInstance& instance = instances.front();
+
+  ASSERT_FALSE(instance.phases.empty());
+  std::vector<std::string> names;
+  std::uint64_t phase_rounds = 0, phase_bits = 0;
+  for (const auto& phase : instance.phases) {
+    names.push_back(phase.name);
+    phase_rounds += phase.rounds;
+    phase_bits += phase.bits;
+  }
+  EXPECT_NE(std::find(names.begin(), names.end(), "phase1-pipeline"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "phase2-peel"),
+            names.end());
+  // Every message is sent from some on_round call, and every on_round call
+  // declares a phase — so phases account for all traffic. Only quiet padded
+  // rounds after the last halt may be unattributed.
+  EXPECT_EQ(phase_bits, instance.total_bits);
+  EXPECT_LE(phase_rounds, instance.declared_rounds);
+  EXPECT_GT(phase_rounds, 0u);
+}
+
+// ------------------------------------------------------------- Metrics ----
+
+TEST(Metrics, RegistryAccumulatesAndMergesByName) {
+  obs::MetricsRegistry a;
+  a.add("x", 1);
+  a.add("y", 2);
+  a.add("x", 3);  // accumulates into the existing entry
+  EXPECT_EQ(a.value("x"), 4u);
+  EXPECT_EQ(a.value("y"), 2u);
+  EXPECT_EQ(a.value("missing"), 0u);
+
+  obs::MetricsRegistry b;
+  b.add("y", 10);
+  b.add("z", 5);
+  a.merge(b);
+  ASSERT_EQ(a.entries().size(), 3u);  // insertion order: x, y, z
+  EXPECT_EQ(a.entries()[0].first, "x");
+  EXPECT_EQ(a.entries()[2].first, "z");
+  EXPECT_EQ(a.value("y"), 12u);
+  EXPECT_EQ(a.value("z"), 5u);
+}
+
+TEST(Metrics, EngineTimersMerge) {
+  obs::EngineTimers a, b;
+  a.enabled = true;
+  a.compute_ns = 10;
+  a.delivery_ns = 20;
+  b.enabled = true;
+  b.compute_ns = 1;
+  b.transport_ns = 5;
+  a.merge(b);
+  EXPECT_EQ(a.compute_ns, 11u);
+  EXPECT_EQ(a.delivery_ns, 20u);
+  EXPECT_EQ(a.transport_ns, 5u);
+  EXPECT_EQ(a.total_ns(), 36u);
+}
+
+// ------------------------------------------------------- TraceAnalysis ----
+
+obs::TraceInstance parse_single(const std::string& jsonl) {
+  std::istringstream is(jsonl);
+  auto instances = obs::parse_trace_jsonl(is);
+  CSD_CHECK(instances.size() == 1);
+  return std::move(instances.front());
+}
+
+TEST(TraceAnalysis, ParsesEmittedTraceRoundTrip) {
+  obs::TraceOptions opts;
+  opts.enabled = true;
+  opts.per_node = false;
+  opts.histogram = false;
+  opts.per_edge = true;
+  obs::RunTrace trace(4, opts);
+  trace.record(0, 0, 2, 8);
+  trace.record(0, 1, 3, 8);
+  trace.record(1, 2, 0, 32);
+  trace.set_phase(0, "seed");
+  trace.set_phase(1, "echo");
+  trace.set_meta("program", "toy");
+  trace.set_meta("n", "4");
+  trace.finish_run(2);
+  std::ostringstream os;
+  trace.write_jsonl(os);
+
+  const obs::TraceInstance instance = parse_single(os.str());
+  EXPECT_EQ(instance.nodes, 4u);
+  EXPECT_EQ(instance.declared_rounds, 2u);
+  EXPECT_EQ(instance.segments, 1u);
+  EXPECT_TRUE(instance.per_edge);
+  EXPECT_EQ(instance.meta_value("program"), "toy");
+  EXPECT_EQ(instance.meta_number("n"), 4.0);
+  EXPECT_FALSE(instance.meta_number("program").has_value());
+  EXPECT_EQ(instance.fit_group(), "toy");
+  ASSERT_EQ(instance.rounds.size(), 2u);
+  EXPECT_EQ(instance.rounds[0].phase, "seed");
+  ASSERT_EQ(instance.edges.size(), 3u);
+  EXPECT_EQ(instance.total_bits, 48u);
+  EXPECT_EQ(instance.rounds_per_segment(), 2.0);
+
+  // Edges (0,2) and (1,3) cross the cut at boundary 2; (2,0) crosses back.
+  EXPECT_EQ(obs::cut_traffic_bits(instance, 2), 48u);
+  EXPECT_EQ(obs::cut_traffic_bits(instance, 1), 8u + 32u);
+  const auto top = obs::top_edges_by_bits(instance, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].bits, 32u);
+  EXPECT_EQ(top[1].src, 0u);  // 8-bit tie broken by (src, dst)
+  EXPECT_EQ(top[1].dst, 2u);
+}
+
+TEST(TraceAnalysis, ParseRejectsMalformedStreams) {
+  std::istringstream no_summary(
+      R"({"type":"header","schema":"csd-trace-v2","nodes":1,"rounds":0,)"
+      R"("segments":1,"per_node":false,"per_edge":false})"
+      "\n");
+  EXPECT_THROW(obs::parse_trace_jsonl(no_summary), CheckFailure);
+
+  std::istringstream orphan_round(
+      R"({"type":"round","round":0,"messages":0,"bits":0})"
+      "\n");
+  EXPECT_THROW(obs::parse_trace_jsonl(orphan_round), CheckFailure);
+
+  std::istringstream bad_schema(
+      R"({"type":"header","schema":"csd-trace-v9","nodes":1,"rounds":0,)"
+      R"("segments":1,"per_node":false})"
+      "\n");
+  EXPECT_THROW(obs::parse_trace_jsonl(bad_schema), CheckFailure);
+}
+
+TEST(TraceAnalysis, FitPowerLawRecoversSyntheticExponent) {
+  std::vector<std::pair<double, double>> xy;
+  for (const double x : {8.0, 16.0, 32.0, 64.0, 128.0})
+    xy.emplace_back(x, 3.0 * std::pow(x, 0.7));
+  const auto fit = obs::fit_power_law(xy);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->exponent, 0.7, 1e-9);
+  EXPECT_NEAR(fit->log_coeff, std::log(3.0), 1e-9);
+  EXPECT_EQ(fit->points, 5u);
+
+  // A slope needs two distinct abscissae.
+  EXPECT_FALSE(obs::fit_power_law({{4.0, 1.0}, {4.0, 2.0}}).has_value());
+  EXPECT_FALSE(obs::fit_power_law({{4.0, 1.0}}).has_value());
+  // Non-positive points are skipped, not fatal.
+  xy.emplace_back(0.0, 5.0);
+  EXPECT_NEAR(obs::fit_power_law(xy)->exponent, 0.7, 1e-9);
+}
+
+TEST(TraceAnalysis, RoundsVsNGroupsByMetaGroupThenProgram) {
+  const auto make = [](const char* program, const char* group, const char* n,
+                       std::uint64_t rounds) {
+    obs::TraceOptions opts;
+    opts.enabled = true;
+    opts.per_node = false;
+    obs::RunTrace trace(2, opts);
+    trace.set_meta("program", program);
+    if (group != nullptr) trace.set_meta("group", group);
+    trace.set_meta("n", n);
+    trace.finish_run(rounds);
+    std::ostringstream os;
+    trace.write_jsonl(os);
+    return os.str();
+  };
+  const std::string jsonl = make("even_cycle", nullptr, "128", 85) +
+                            make("even_cycle", nullptr, "512", 155) +
+                            make("even_cycle", "negatives", "128", 85);
+  std::istringstream is(jsonl);
+  const auto instances = obs::parse_trace_jsonl(is);
+  const auto groups = obs::rounds_vs_n_points(instances);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].first, "even_cycle");
+  ASSERT_EQ(groups[0].second.size(), 2u);
+  EXPECT_EQ(groups[1].first, "negatives");
+  const auto fit = obs::fit_power_law(groups[0].second);
+  ASSERT_TRUE(fit.has_value());
+  // ln(155/85) / ln(4) — comfortably under the Thm 1.1 exponent of 0.5.
+  EXPECT_NEAR(fit->exponent, 0.433, 0.01);
+}
+
+// --------------------------------------------------------- ChromeTrace ----
+
+TEST(ChromeTrace, EmitsValidTraceEventJson) {
+  const Graph g = trace_host();
+  obs::TraceOptions opts;
+  opts.enabled = true;
+  const auto outcome = traced_run_opts(g, 1, opts, 2);
+  std::ostringstream jsonl;
+  outcome.trace.write_jsonl(jsonl);
+  std::istringstream is(jsonl.str());
+  const auto instances = obs::parse_trace_jsonl(is);
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os, instances);
+  const obs::Json doc = obs::Json::parse(os.str());
+  const auto& events = doc.at("traceEvents").items();
+  ASSERT_FALSE(events.empty());
+
+  bool saw_process_name = false, saw_span = false, saw_counter = false;
+  for (const obs::Json& event : events) {
+    const std::string& ph = event.at("ph").as_string();
+    if (ph == "M") {
+      saw_process_name = true;
+      EXPECT_EQ(event.at("name").as_string(), "process_name");
+    } else if (ph == "X") {
+      saw_span = true;
+      EXPECT_GT(event.at("dur").as_uint(), 0u);
+      EXPECT_FALSE(event.at("name").as_string().empty());
+    } else if (ph == "C") {
+      saw_counter = true;
+    }
+  }
+  EXPECT_TRUE(saw_process_name);
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_counter);  // run is far below counter_round_cap
+}
+
+TEST(ChromeTrace, CounterTrackRespectsRoundCap) {
+  obs::TraceOptions opts;
+  opts.enabled = true;
+  opts.per_node = false;
+  obs::RunTrace trace(2, opts);
+  trace.record(0, 0, 1, 8);
+  trace.set_phase(0, "only");
+  trace.finish_run(8);
+  std::ostringstream jsonl;
+  trace.write_jsonl(jsonl);
+  std::istringstream is(jsonl.str());
+  const auto instances = obs::parse_trace_jsonl(is);
+
+  obs::ChromeTraceOptions chrome;
+  chrome.counter_round_cap = 4;  // 8 rounds > cap: no counter track
+  std::ostringstream os;
+  obs::write_chrome_trace(os, instances, chrome);
+  const obs::Json doc = obs::Json::parse(os.str());
+  bool saw_counter = false, saw_span = false;
+  for (const obs::Json& event : doc.at("traceEvents").items()) {
+    saw_counter = saw_counter || event.at("ph").as_string() == "C";
+    saw_span = saw_span || event.at("ph").as_string() == "X";
+  }
+  EXPECT_FALSE(saw_counter);
+  EXPECT_TRUE(saw_span);  // spans always survive the cap
 }
 
 }  // namespace

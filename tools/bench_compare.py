@@ -59,12 +59,28 @@ def wall_floor(key: str) -> float:
 
 
 class Diff:
+    """Human-readable error lines plus structured records for --json-out."""
+
     def __init__(self) -> None:
         self.errors: list[str] = []
+        self.records: list[dict] = []
         self.notes: list[str] = []
 
-    def error(self, msg: str) -> None:
+    def error(self, msg: str, *, path: str | None = None, baseline=None,
+              current=None, kind: str = "mismatch") -> None:
         self.errors.append(msg)
+        record = {"kind": kind, "message": msg}
+        if path is not None:
+            record["path"] = path
+        if baseline is not None:
+            record["baseline"] = baseline
+        if current is not None:
+            record["current"] = current
+        if (isinstance(baseline, (int, float)) and not isinstance(baseline, bool)
+                and isinstance(current, (int, float))
+                and not isinstance(current, bool)):
+            record["delta"] = current - baseline
+        self.records.append(record)
 
     def note(self, msg: str) -> None:
         self.notes.append(msg)
@@ -74,19 +90,23 @@ def compare_scalar(path: str, base, cur, diff: Diff) -> None:
     """Exact for ints/bools/strings/None; REL_TOL for floats."""
     if type(base) is bool or type(cur) is bool:
         if base is not cur:
-            diff.error(f"{path}: {base!r} -> {cur!r}")
+            diff.error(f"{path}: {base!r} -> {cur!r}", path=path,
+                       baseline=base, current=cur)
         return
     if isinstance(base, (int, float)) and isinstance(cur, (int, float)):
         if isinstance(base, int) and isinstance(cur, int):
             if base != cur:
-                diff.error(f"{path}: {base} -> {cur}")
+                diff.error(f"{path}: {base} -> {cur}", path=path,
+                           baseline=base, current=cur)
             return
         if not math.isclose(float(base), float(cur), rel_tol=REL_TOL,
                             abs_tol=REL_TOL):
-            diff.error(f"{path}: {base!r} -> {cur!r}")
+            diff.error(f"{path}: {base!r} -> {cur!r}", path=path,
+                       baseline=base, current=cur)
         return
     if base != cur:
-        diff.error(f"{path}: {base!r} -> {cur!r}")
+        diff.error(f"{path}: {base!r} -> {cur!r}", path=path, baseline=base,
+                   current=cur)
 
 
 def compare_wall(path: str, base, cur, diff: Diff, key: str) -> None:
@@ -103,7 +123,8 @@ def compare_wall(path: str, base, cur, diff: Diff, key: str) -> None:
     if drift > WALL_TOL:
         diff.error(
             f"{path}: wall-clock regression {base_f:.1f} -> {cur_f:.1f} "
-            f"(+{100.0 * drift:.1f}% > {100.0 * WALL_TOL:.0f}%)")
+            f"(+{100.0 * drift:.1f}% > {100.0 * WALL_TOL:.0f}%)",
+            path=path, baseline=base_f, current=cur_f, kind="wall-clock")
     elif abs(drift) > WALL_TOL:
         diff.note(
             f"{path}: wall-clock improved {base_f:.1f} -> {cur_f:.1f} "
@@ -210,6 +231,9 @@ def main() -> int:
                         help="relative wall-clock tolerance (default 0.25)")
     parser.add_argument("--no-wall", action="store_true",
                         help="skip all wall-clock gates (determinism only)")
+    parser.add_argument("--json-out", type=Path, default=None,
+                        help="write a machine-readable comparison summary "
+                             "(csd-bench-compare-v1) to this file")
     args = parser.parse_args()
     WALL_TOL = math.inf if args.no_wall else args.wall_tol
 
@@ -236,12 +260,27 @@ def main() -> int:
     for name in sorted(set(base) & set(cur)):
         compare_report(name, base[name], cur[name], diff)
 
+    summary = {
+        "schema": "csd-bench-compare-v1",
+        "ok": not diff.errors,
+        "baselines": len(base),
+        "compared": len(set(base) & set(cur)),
+        "failures": diff.records,
+        "notes": diff.notes,
+    }
+    if args.json_out is not None:
+        args.json_out.parent.mkdir(parents=True, exist_ok=True)
+        args.json_out.write_text(json.dumps(summary, indent=2) + "\n")
+
     for note in diff.notes:
         print(f"note: {note}")
     if diff.errors:
         print(f"FAIL: {len(diff.errors)} difference(s) vs baseline:")
         for err in diff.errors:
             print(f"  {err}")
+        # Machine-readable echo of the failure set so CI logs double as a
+        # parseable artifact even when --json-out was not given.
+        print(f"json: {json.dumps(summary, separators=(',', ':'))}")
         print("\nIf the change is intentional, refresh the baselines:\n"
               "  for b in build/bench/bench_*; do \"$b\" --smoke --json "
               "bench/baselines; done")

@@ -1,6 +1,7 @@
 #include "tools/cli.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -21,7 +22,9 @@
 #include "lowerbound/gkn.hpp"
 #include "lowerbound/hk.hpp"
 #include "obs/bench_report.hpp"
+#include "obs/chrome_trace.hpp"
 #include "obs/round_trace.hpp"
+#include "obs/trace_analysis.hpp"
 #include "detect/triangle.hpp"
 #include "fuzz/fuzzer.hpp"
 #include "support/check.hpp"
@@ -45,24 +48,38 @@ commands:
   stats <file>
       n, m, max degree, diameter, girth, degeneracy, bipartiteness
   detect <pattern> <file> [--bandwidth B] [--seed S] [--reps R] [--jobs N]
-         [--json FILE] [--trace FILE]
+         [--json FILE] [--trace FILE] [--per-edge] [--timers]
          [--drop P] [--corrupt P] [--crash NODE:ROUND] [--transport T]
       pattern: cycle L | triangle | clique S | star D
       runs the matching CONGEST algorithm and the exhaustive oracle.
       --jobs N fans amplification repetitions over N worker threads
       (0 = all hardware threads); verdicts and metrics are bit-identical
       for every N. --json writes a csd-bench-v1 report; --trace writes the
-      per-round JSONL trace (both bit-identical for every --jobs count).
+      per-round JSONL trace (both bit-identical for every --jobs count),
+      stamped with the instance parameters for `csd analyze`. --per-edge
+      adds per-edge congestion records to the trace; --timers reports
+      engine-internal wall-clock time (compute vs delivery vs transport).
       fault flags (drop/corrupt probabilities in [0,1], --crash repeatable,
       --transport raw|reliable) run the async engine under the given
       FaultPlan and print a structured fault report
   sweep cycle <L> [--sizes N1,N2,...] [--reps R] [--jobs N] [--seed S]
-        [--bandwidth B] [--json FILE] [--trace FILE]
+        [--bandwidth B] [--json FILE] [--trace FILE] [--per-edge]
       planted-vs-control detection sweep over host sizes (random forest
       hosts, planted C_L vs cycle-free control), repetitions fanned over
       the parallel run driver; reports executed/skipped repetitions.
       --json writes one csd-bench-v1 report with a measurement per row;
-      --trace concatenates every instance's JSONL trace into FILE
+      --trace concatenates every instance's JSONL trace into FILE, each
+      header stamped with (program, n, len, instance, seed) for demuxing
+  analyze <trace.jsonl> [--top K] [--cut BOUNDARY] [--chrome FILE]
+          [--expect-exponent E] [--tol T] [--group G]
+      trace-analysis toolchain over a (possibly multi-instance) JSONL
+      trace: per-instance phase tables with bit shares, transport counters,
+      top-K hottest directed edges (--top, per-edge traces), bits crossing
+      the cut {v < BOUNDARY} (--cut), and a log-log least-squares fit of
+      per-repetition rounds against meta n for every fit group. --chrome
+      exports a Chrome trace-event file (chrome://tracing, Perfetto).
+      --expect-exponent fails (exit 1) when a fitted exponent exceeds
+      E + T (default tolerance 0.15; --group restricts the check)
   list-cliques <s> <file>
       congested-clique K_s listing; prints count and round cost
   fool <namespace-N> <budget-c>
@@ -99,7 +116,7 @@ Invocation parse(const std::vector<std::string>& args) {
     if (args[i].rfind("--", 0) == 0) {
       const std::string name = args[i].substr(2);
       // Boolean flags take no value; value flags consume the next token.
-      if (name == "dimacs") {
+      if (name == "dimacs" || name == "per-edge" || name == "timers") {
         inv.flags.emplace_back(name, "1");
       } else {
         CSD_CHECK_MSG(i + 1 < args.size(), "flag --" << name
@@ -235,6 +252,8 @@ int cmd_detect_faulty(const Invocation& inv, std::ostream& out, const Graph& g,
   congest::AsyncConfig cfg;
   cfg.bandwidth = bandwidth;
   cfg.trace.enabled = trace_path.has_value();
+  cfg.trace.per_edge = inv.has_flag("per-edge");
+  cfg.trace.timers = inv.has_flag("timers");
   if (const auto p = inv.flag("drop")) cfg.faults.drop = to_prob(*p, "drop");
   if (const auto p = inv.flag("corrupt"))
     cfg.faults.corrupt = to_prob(*p, "corrupt");
@@ -299,6 +318,7 @@ int cmd_detect_faulty(const Invocation& inv, std::ostream& out, const Graph& g,
   std::uint64_t pulses = 0, payload = 0, transport_bits = 0;
   congest::FaultReport total;
   obs::RunTrace merged_trace;
+  obs::EngineTimers total_timers;
   for (std::uint32_t r = 0; r < runs; ++r) {
     // Same per-repetition seed schedule as run_amplified, so a clean async
     // run reproduces the sync CLI verdict bit-for-bit.
@@ -311,12 +331,14 @@ int cmd_detect_faulty(const Invocation& inv, std::ostream& out, const Graph& g,
     pulses = std::max(pulses, outcome.pulses);
     payload += outcome.payload_bits;
     transport_bits += outcome.transport_bits;
+    total_timers.merge(outcome.timers);
     const auto& f = outcome.faults;
     total.frames_dropped += f.frames_dropped;
     total.frames_corrupted += f.frames_corrupted;
     total.retransmissions += f.retransmissions;
     total.checksum_rejects += f.checksum_rejects;
     total.duplicate_packets += f.duplicate_packets;
+    total.duplicate_acks += f.duplicate_acks;
     total.transport_failures += f.transport_failures;
     total.crashed_nodes.insert(total.crashed_nodes.end(),
                                f.crashed_nodes.begin(), f.crashed_nodes.end());
@@ -343,8 +365,18 @@ int cmd_detect_faulty(const Invocation& inv, std::ostream& out, const Graph& g,
   if (detected && !truth) out << "WARNING: false positive (model bug?)\n";
   if (!detected && truth)
     out << "note: faults can mask the pattern; try --transport reliable\n";
+  if (total_timers.enabled)
+    out << "timers:     compute " << total_timers.compute_ns / 1000000.0
+        << " ms, delivery " << total_timers.delivery_ns / 1000000.0
+        << " ms, transport " << total_timers.transport_ns / 1000000.0
+        << " ms\n";
 
   if (trace_path) {
+    merged_trace.set_meta("program", pattern);
+    merged_trace.set_meta("n", std::to_string(g.num_vertices()));
+    merged_trace.set_meta("engine", "async");
+    merged_trace.set_meta("transport", transport);
+    merged_trace.set_meta("seed", std::to_string(seed));
     std::ofstream os(*trace_path);
     CSD_CHECK_MSG(os.good(), "cannot write trace file '" << *trace_path
                                                          << "'");
@@ -394,6 +426,8 @@ int cmd_detect(const Invocation& inv, std::ostream& out) {
   const auto trace_path = inv.flag("trace");
   obs::TraceOptions trace_opts;
   trace_opts.enabled = trace_path.has_value();
+  trace_opts.per_edge = inv.has_flag("per-edge");
+  trace_opts.timers = inv.has_flag("timers");
 
   // The file is the last positional; `cycle L` / `clique S` / `star D`
   // carry one parameter in between.
@@ -406,6 +440,7 @@ int cmd_detect(const Invocation& inv, std::ostream& out) {
   bool detected = false, truth = false;
   std::uint64_t rounds = 0;
   std::uint32_t executed = 1, skipped = 0;
+  std::string program = pattern;
   congest::RunOutcome outcome;
   if (pattern == "triangle" || pattern == "clique") {
     std::uint32_t s = 3;
@@ -413,6 +448,7 @@ int cmd_detect(const Invocation& inv, std::ostream& out) {
       CSD_CHECK_MSG(inv.positional.size() == 4, "detect clique S FILE");
       s = static_cast<std::uint32_t>(to_u64(inv.positional[2], "S"));
     }
+    program = "clique_detect";
     outcome = detect::detect_clique(g, s, bandwidth, seed, trace_opts);
     detected = outcome.detected;
     rounds = outcome.metrics.rounds;
@@ -426,6 +462,7 @@ int cmd_detect(const Invocation& inv, std::ostream& out) {
       cfg.repetitions = reps;
       cfg.amplify.jobs = jobs;
       cfg.trace = trace_opts;
+      program = "even_cycle";
       outcome = detect::detect_even_cycle(g, cfg, bandwidth, seed);
       out << "algorithm:  Theorem 1.1 sublinear C_" << len << " detector\n";
     } else {
@@ -434,6 +471,7 @@ int cmd_detect(const Invocation& inv, std::ostream& out) {
       cfg.repetitions = reps;
       cfg.amplify.jobs = jobs;
       cfg.trace = trace_opts;
+      program = "pipelined_cycle";
       outcome = detect::detect_cycle_pipelined(g, cfg, bandwidth, seed);
       out << "algorithm:  pipelined color-coded C_" << len << " detector\n";
     }
@@ -450,6 +488,7 @@ int cmd_detect(const Invocation& inv, std::ostream& out) {
     cfg.repetitions = reps;
     cfg.amplify.jobs = jobs;
     cfg.trace = trace_opts;
+    program = "tree_detect";
     outcome = detect::detect_tree(g, cfg, bandwidth, seed);
     detected = outcome.detected;
     rounds = outcome.metrics.rounds;
@@ -471,8 +510,22 @@ int cmd_detect(const Invocation& inv, std::ostream& out) {
   if (detected && !truth) out << "WARNING: false positive (model bug?)\n";
   if (!detected && truth)
     out << "note: randomized detectors are one-sided; raise --reps\n";
+  if (outcome.metrics.timers.enabled) {
+    const auto& timers = outcome.metrics.timers;
+    out << "timers:     compute " << timers.compute_ns / 1000000.0
+        << " ms, delivery " << timers.delivery_ns / 1000000.0
+        << " ms, transport " << timers.transport_ns / 1000000.0 << " ms\n";
+  }
 
   if (trace_path) {
+    // Stamp the instance parameters into the header so `csd analyze` and
+    // tools/trace_report.py can demux and fit without a side channel.
+    outcome.trace.set_meta("program", program);
+    outcome.trace.set_meta("n", std::to_string(g.num_vertices()));
+    outcome.trace.set_meta("m", std::to_string(g.num_edges()));
+    outcome.trace.set_meta("bandwidth", std::to_string(bandwidth));
+    outcome.trace.set_meta("seed", std::to_string(seed));
+    outcome.trace.set_meta("reps", std::to_string(executed));
     std::ofstream os(*trace_path);
     CSD_CHECK_MSG(os.good(), "cannot write trace file '" << *trace_path
                                                          << "'");
@@ -562,6 +615,7 @@ int cmd_sweep(const Invocation& inv, std::ostream& out) {
   const obs::WallTimer timer;
   obs::TraceOptions trace_opts;
   trace_opts.enabled = trace_path.has_value();
+  trace_opts.per_edge = inv.has_flag("per-edge");
   std::ofstream trace_os;
   if (trace_path) {
     trace_os.open(*trace_path);
@@ -589,7 +643,7 @@ int cmd_sweep(const Invocation& inv, std::ostream& out) {
                           host_rng);
     for (const bool positive : {true, false}) {
       const Graph& g = positive ? planted : control;
-      const auto outcome =
+      auto outcome =
           sweep_run_cycle(g, len, reps, jobs, bandwidth, seed, trace_opts);
       table.row()
           .cell(n)
@@ -602,7 +656,18 @@ int cmd_sweep(const Invocation& inv, std::ostream& out) {
           .cell(outcome.metrics.max_message_bits);
       if (outcome.detected && !oracle::has_cycle_of_length(g, len))
         out << "WARNING: false positive at n=" << n << " (model bug?)\n";
-      if (trace_path) outcome.trace.write_jsonl(trace_os);
+      if (trace_path) {
+        // One header per instance, stamped so downstream analysis can demux
+        // the concatenated stream and fit rounds-vs-n per group.
+        outcome.trace.set_meta(
+            "program", len >= 4 && len % 2 == 0 ? "even_cycle"
+                                                : "pipelined_cycle");
+        outcome.trace.set_meta("len", std::to_string(len));
+        outcome.trace.set_meta("n", std::to_string(n));
+        outcome.trace.set_meta("instance", positive ? "planted" : "control");
+        outcome.trace.set_meta("seed", std::to_string(seed));
+        outcome.trace.write_jsonl(trace_os);
+      }
       report
           .measurement("n" + std::to_string(n) + "/" +
                        (positive ? "planted" : "control"))
@@ -623,6 +688,139 @@ int cmd_sweep(const Invocation& inv, std::ostream& out) {
     out << "json:       " << *json_path << '\n';
   }
   return 0;
+}
+
+double to_double(const std::string& s, const char* what) {
+  double value = 0.0;
+  std::size_t pos = 0;
+  try {
+    value = std::stod(s, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  CSD_CHECK_MSG(pos == s.size(), "bad " << what << ": '" << s << "'");
+  return value;
+}
+
+std::string meta_label(const obs::TraceInstance& instance, std::size_t index) {
+  if (instance.meta.empty()) return "instance " + std::to_string(index);
+  std::string label;
+  for (const auto& [key, value] : instance.meta) {
+    if (!label.empty()) label += ' ';
+    label += key + "=" + value;
+  }
+  return label;
+}
+
+/// `csd analyze`: the congestion/phase/fit report over a JSONL trace.
+/// Exit 1 iff --expect-exponent is given and some fitted group exceeds it.
+int cmd_analyze(const Invocation& inv, std::ostream& out) {
+  CSD_CHECK_MSG(inv.positional.size() == 2, "analyze needs a trace file");
+  std::ifstream is(inv.positional[1]);
+  CSD_CHECK_MSG(is.good(),
+                "cannot read trace file '" << inv.positional[1] << "'");
+  const auto instances = obs::parse_trace_jsonl(is);
+  CSD_CHECK_MSG(!instances.empty(), "trace file holds no instances");
+  const auto top_k = to_u64(inv.flag("top").value_or("5"), "top");
+  const auto cut = inv.flag("cut");
+  const auto group_filter = inv.flag("group");
+
+  out << instances.size() << " instance(s) in " << inv.positional[1] << "\n";
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const obs::TraceInstance& instance = instances[i];
+    out << "\n--- " << meta_label(instance, i) << " ---\n"
+        << "nodes " << instance.nodes << ", rounds "
+        << instance.declared_rounds << " (" << instance.segments
+        << " segment(s), " << instance.rounds_per_segment()
+        << " rounds/rep), bits " << instance.total_bits << '\n';
+    if (!instance.phases.empty()) {
+      Table table({"phase", "rounds", "messages", "bits", "bit share"});
+      std::uint64_t attributed = 0;
+      for (const auto& phase : instance.phases) {
+        const double share =
+            instance.total_bits == 0
+                ? 0.0
+                : 100.0 * static_cast<double>(phase.bits) /
+                      static_cast<double>(instance.total_bits);
+        std::ostringstream share_os;
+        share_os.precision(1);
+        share_os << std::fixed << share << '%';
+        table.row()
+            .cell(phase.name)
+            .cell(phase.rounds)
+            .cell(phase.messages)
+            .cell(phase.bits)
+            .cell(share_os.str());
+        attributed += phase.bits;
+      }
+      table.print(out);
+      if (attributed < instance.total_bits)
+        out << "unattributed: " << instance.total_bits - attributed
+            << " bits\n";
+    }
+    if (!instance.counters.empty()) {
+      out << "counters:";
+      for (const auto& [name, value] : instance.counters)
+        out << ' ' << name << '=' << value;
+      out << '\n';
+    }
+    if (instance.per_edge && top_k > 0) {
+      const auto top = obs::top_edges_by_bits(instance, top_k);
+      out << "hottest directed edges:\n";
+      for (const auto& edge : top)
+        out << "  " << edge.src << " -> " << edge.dst << ": " << edge.bits
+            << " bits in " << edge.messages << " message(s)\n";
+    }
+    if (cut && instance.per_edge) {
+      const std::uint64_t boundary = to_u64(*cut, "cut");
+      out << "cut {v < " << boundary << "}: "
+          << obs::cut_traffic_bits(instance, boundary)
+          << " bits cross in either direction\n";
+    }
+  }
+
+  if (const auto chrome_path = inv.flag("chrome")) {
+    std::ofstream os(*chrome_path);
+    CSD_CHECK_MSG(os.good(),
+                  "cannot write chrome trace '" << *chrome_path << "'");
+    obs::write_chrome_trace(os, instances);
+    out << "\nchrome trace: " << *chrome_path
+        << " (load in chrome://tracing or ui.perfetto.dev)\n";
+  }
+
+  // Rounds-vs-n growth fit, checked against the paper's predicted exponent.
+  const auto expect = inv.flag("expect-exponent");
+  const double tol = to_double(inv.flag("tol").value_or("0.15"), "tol");
+  bool fit_failed = false, expectation_checked = false;
+  const auto groups = obs::rounds_vs_n_points(instances);
+  for (const auto& [group, points] : groups) {
+    const auto fit = obs::fit_power_law(points);
+    if (!fit.has_value()) {
+      out << "\nfit [" << group << "]: " << points.size()
+          << " point(s), need two distinct n to fit\n";
+      continue;
+    }
+    out << "\nfit [" << group << "]: rounds/rep ~ "
+        << std::exp(fit->log_coeff) << " * n^" << fit->exponent << " over "
+        << fit->points << " point(s)\n";
+    if (!expect.has_value()) continue;
+    if (group_filter.has_value() && group != *group_filter) continue;
+    expectation_checked = true;
+    const double bound = to_double(*expect, "expect-exponent") + tol;
+    if (fit->exponent > bound) {
+      out << "FAIL [" << group << "]: fitted exponent " << fit->exponent
+          << " exceeds " << *expect << " + " << tol << '\n';
+      fit_failed = true;
+    } else {
+      out << "OK [" << group << "]: fitted exponent " << fit->exponent
+          << " <= " << *expect << " + " << tol << '\n';
+    }
+  }
+  if (expect.has_value() && !expectation_checked) {
+    out << "FAIL: --expect-exponent given but no fittable group matched\n";
+    fit_failed = true;
+  }
+  return fit_failed ? 1 : 0;
 }
 
 int cmd_list_cliques(const Invocation& inv, std::ostream& out) {
@@ -695,6 +893,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     if (command == "stats") return cmd_stats(inv, out);
     if (command == "detect") return cmd_detect(inv, out);
     if (command == "sweep") return cmd_sweep(inv, out);
+    if (command == "analyze") return cmd_analyze(inv, out);
     if (command == "list-cliques") return cmd_list_cliques(inv, out);
     if (command == "fool") return cmd_fool(inv, out);
     if (command == "fuzz") return cmd_fuzz(inv, out);

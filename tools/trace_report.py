@@ -1,0 +1,283 @@
+#!/usr/bin/env python3
+"""Analyse csd-trace JSONL files (schema v1/v2) outside the C++ toolchain.
+
+Usage:
+    tools/trace_report.py TRACE.jsonl [TRACE2.jsonl ...] [options]
+
+A trace file is the JSONL stream written by `csd detect --trace`,
+`csd sweep --trace`, or the bench binaries: one or more instances, each a
+header line, per-round lines, optional per-edge lines, and a summary line.
+Headers carry a `meta` object (program, n, seed, ...) stamped by the
+producer so multi-instance files can be demuxed here.
+
+The report covers, per instance:
+  * the per-phase table (rounds, messages, bits, bit share) from the
+    summary's `phases` array;
+  * non-zero transport/fault counters;
+  * the top-K hottest directed edges and, with --cut B, the bits crossing
+    the vertex cut {v < B} (per-edge traces only).
+
+Across instances it fits per-repetition rounds against meta `n` on a
+log-log scale (least squares), one fit per group (meta `group`, falling
+back to `program`). With --expect-exponent E the script exits 1 when a
+fitted slope exceeds E + TOL — the CI hook that checks measured round
+growth against the paper's predicted exponent (Thm 1.1: 1 - 1/(k(k-1)),
+i.e. 0.5 for C_4 detection).
+
+Exit status: 0 = ok, 1 = exponent check failed, 2 = usage/parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+
+def fail(msg: str) -> None:
+    print(f"error: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def parse_traces(path: Path) -> list[dict]:
+    """Parse one JSONL file into a list of instance dicts."""
+    instances: list[dict] = []
+    current: dict | None = None
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as exc:
+        fail(f"cannot read {path}: {exc}")
+    for line_no, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as exc:
+            fail(f"{path}:{line_no}: bad JSON: {exc}")
+        kind = doc.get("type")
+        if kind == "header":
+            if current is not None:
+                fail(f"{path}:{line_no}: header before previous summary")
+            schema = doc.get("schema")
+            if schema not in ("csd-trace-v1", "csd-trace-v2"):
+                fail(f"{path}:{line_no}: unknown schema {schema!r}")
+            current = {
+                "meta": doc.get("meta", {}),
+                "nodes": doc["nodes"],
+                "rounds_declared": doc["rounds"],
+                "segments": doc["segments"],
+                "per_edge": doc.get("per_edge", False),
+                "rounds": [],
+                "edges": [],
+                "phases": [],
+                "counters": {},
+                "total_messages": 0,
+                "total_bits": 0,
+            }
+        elif current is None:
+            fail(f"{path}:{line_no}: {kind!r} line outside an instance")
+        elif kind == "round":
+            current["rounds"].append(doc)
+        elif kind == "edge":
+            current["edges"].append(doc)
+        elif kind == "summary":
+            current["phases"] = doc.get("phases", [])
+            current["counters"] = doc.get("counters", {})
+            current["total_messages"] = doc["total_messages"]
+            current["total_bits"] = doc["total_bits"]
+            instances.append(current)
+            current = None
+        else:
+            fail(f"{path}:{line_no}: unknown line type {kind!r}")
+    if current is not None:
+        fail(f"{path}: trace ends mid-instance (no summary line)")
+    return instances
+
+
+def instance_label(instance: dict, index: int) -> str:
+    meta = instance["meta"]
+    if not meta:
+        return f"instance {index}"
+    return " ".join(f"{k}={v}" for k, v in meta.items())
+
+
+def fit_group(instance: dict) -> str:
+    meta = instance["meta"]
+    return meta.get("group") or meta.get("program") or ""
+
+
+def rounds_per_segment(instance: dict) -> float:
+    segments = instance["segments"]
+    return instance["rounds_declared"] / segments if segments else 0.0
+
+
+def fit_power_law(points: list[tuple[float, float]]):
+    """Least-squares slope/intercept of log y vs log x; None if unfittable."""
+    logs = [(math.log(x), math.log(y)) for x, y in points if x > 0 and y > 0]
+    if len(logs) < 2 or len({lx for lx, _ in logs}) < 2:
+        return None
+    n = len(logs)
+    sx = sum(lx for lx, _ in logs)
+    sy = sum(ly for _, ly in logs)
+    sxx = sum(lx * lx for lx, _ in logs)
+    sxy = sum(lx * ly for lx, ly in logs)
+    exponent = (n * sxy - sx * sy) / (n * sxx - sx * sx)
+    log_coeff = (sy - exponent * sx) / n
+    return {"exponent": exponent, "coeff": math.exp(log_coeff), "points": n}
+
+
+def print_phase_table(instance: dict) -> None:
+    phases = instance["phases"]
+    if not phases:
+        return
+    total_bits = instance["total_bits"]
+    rows = [("phase", "rounds", "messages", "bits", "bit share")]
+    attributed = 0
+    for phase in phases:
+        share = 100.0 * phase["bits"] / total_bits if total_bits else 0.0
+        rows.append((phase["name"], str(phase["rounds"]),
+                     str(phase["messages"]), str(phase["bits"]),
+                     f"{share:.1f}%"))
+        attributed += phase["bits"]
+    widths = [max(len(row[c]) for row in rows) for c in range(len(rows[0]))]
+    for row in rows:
+        print("  " + "  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    if attributed < total_bits:
+        print(f"  unattributed: {total_bits - attributed} bits")
+
+
+def report_instance(instance: dict, index: int, args) -> dict:
+    label = instance_label(instance, index)
+    print(f"\n--- {label} ---")
+    print(f"nodes {instance['nodes']}, rounds {instance['rounds_declared']} "
+          f"({instance['segments']} segment(s), "
+          f"{rounds_per_segment(instance):g} rounds/rep), "
+          f"bits {instance['total_bits']}")
+    print_phase_table(instance)
+    if instance["counters"]:
+        print("  counters: " + " ".join(
+            f"{k}={v}" for k, v in instance["counters"].items()))
+
+    summary = {
+        "label": label,
+        "meta": instance["meta"],
+        "nodes": instance["nodes"],
+        "rounds": instance["rounds_declared"],
+        "segments": instance["segments"],
+        "rounds_per_segment": rounds_per_segment(instance),
+        "total_messages": instance["total_messages"],
+        "total_bits": instance["total_bits"],
+        "phases": instance["phases"],
+        "counters": instance["counters"],
+    }
+    if instance["per_edge"] and instance["edges"]:
+        hot = sorted(instance["edges"],
+                     key=lambda e: (-e["bits"], e["src"], e["dst"]))
+        top = hot[:args.top]
+        print("  hottest directed edges:")
+        for edge in top:
+            print(f"    {edge['src']} -> {edge['dst']}: {edge['bits']} bits "
+                  f"in {edge['messages']} message(s)")
+        summary["top_edges"] = top
+        if args.cut is not None:
+            crossing = sum(
+                e["bits"] for e in instance["edges"]
+                if (e["src"] < args.cut) != (e["dst"] < args.cut))
+            print(f"  cut {{v < {args.cut}}}: {crossing} bits cross")
+            summary["cut_boundary"] = args.cut
+            summary["cut_bits"] = crossing
+    return summary
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Report on csd-trace JSONL files; optionally gate the "
+                    "fitted rounds-vs-n exponent against a bound.")
+    parser.add_argument("traces", nargs="+", type=Path,
+                        help="csd-trace JSONL file(s)")
+    parser.add_argument("--top", type=int, default=5,
+                        help="hottest edges to list per instance (default 5)")
+    parser.add_argument("--cut", type=int, default=None,
+                        help="report bits crossing the cut {v < CUT}")
+    parser.add_argument("--expect-exponent", type=float, default=None,
+                        help="fail (exit 1) if a fitted exponent exceeds "
+                             "this bound plus --tol")
+    parser.add_argument("--tol", type=float, default=0.15,
+                        help="tolerance added to --expect-exponent "
+                             "(default 0.15)")
+    parser.add_argument("--group", default=None,
+                        help="restrict the exponent check to this fit group")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="write the full report as JSON to this file")
+    args = parser.parse_args()
+
+    instances: list[dict] = []
+    for path in args.traces:
+        instances.extend(parse_traces(path))
+    if not instances:
+        fail("no trace instances found")
+    print(f"{len(instances)} instance(s) from {len(args.traces)} file(s)")
+
+    summaries = [report_instance(instance, i, args)
+                 for i, instance in enumerate(instances)]
+
+    # Group the (n, rounds/rep) points and fit each group.
+    groups: dict[str, list[tuple[float, float]]] = {}
+    for instance in instances:
+        n = instance["meta"].get("n")
+        try:
+            n_value = float(n)
+        except (TypeError, ValueError):
+            continue
+        rounds = rounds_per_segment(instance)
+        if rounds > 0:
+            groups.setdefault(fit_group(instance), []).append(
+                (n_value, rounds))
+
+    failed = False
+    checked = False
+    fits = {}
+    for group, points in groups.items():
+        fit = fit_power_law(points)
+        fits[group] = fit
+        if fit is None:
+            print(f"\nfit [{group}]: {len(points)} point(s), need two "
+                  f"distinct n to fit")
+            continue
+        print(f"\nfit [{group}]: rounds/rep ~ {fit['coeff']:.4g} * "
+              f"n^{fit['exponent']:.4f} over {fit['points']} point(s)")
+        if args.expect_exponent is None:
+            continue
+        if args.group is not None and group != args.group:
+            continue
+        checked = True
+        bound = args.expect_exponent + args.tol
+        if fit["exponent"] > bound:
+            print(f"FAIL [{group}]: fitted exponent {fit['exponent']:.4f} "
+                  f"exceeds {args.expect_exponent} + {args.tol}")
+            failed = True
+        else:
+            print(f"OK [{group}]: fitted exponent {fit['exponent']:.4f} <= "
+                  f"{args.expect_exponent} + {args.tol}")
+    if args.expect_exponent is not None and not checked:
+        print("FAIL: --expect-exponent given but no fittable group matched")
+        failed = True
+
+    if args.json is not None:
+        report = {
+            "schema": "csd-trace-report-v1",
+            "ok": not failed,
+            "instances": summaries,
+            "fits": fits,
+        }
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\njson report: {args.json}")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
