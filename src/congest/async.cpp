@@ -13,10 +13,10 @@ namespace csd::congest {
 
 namespace {
 
-/// One wire-level occurrence: a data packet or ack arriving, or a
-/// retransmission timer firing at the sender.
+/// One wire-level occurrence: a data packet or ack arriving, a
+/// retransmission timer firing at the sender, or a crashed node rejoining.
 struct Event {
-  enum class Kind : std::uint8_t { Data, Ack, Timer };
+  enum class Kind : std::uint8_t { Data, Ack, Timer, Recover };
 
   std::uint64_t time = 0;
   std::uint64_t seq = 0;  // FIFO/determinism tiebreak
@@ -45,6 +45,9 @@ struct SyncState {
   std::vector<bool> port_dead;             // sender halted, nothing more
   bool running = true;   // false once halted, crashed, or cap-stopped
   bool crashed = false;  // fault-injected or program fault
+  bool crash_done = false;        // scheduled crash already honored
+  bool recovery_pending = false;  // a Recover event is in the queue
+  std::uint32_t recoveries_used = 0;
 };
 
 class AsyncEngine {
@@ -55,12 +58,14 @@ class AsyncEngine {
         config_(config),
         reliable_(config.transport == TransportMode::Reliable),
         ids_(std::move(ids)),
+        factory_(&factory),
         delay_rng_(derive_seed(config.seed, 0xde1a)) {
     const Vertex n = topology_.num_vertices();
     CSD_CHECK_MSG(ids_.size() == n, "identifier assignment size mismatch");
     CSD_CHECK(config_.max_delay >= 1);
-    std::uint64_t namespace_size = config_.namespace_size;
-    if (namespace_size == 0) namespace_size = n;
+    namespace_size_ = config_.namespace_size;
+    if (namespace_size_ == 0) namespace_size_ = n;
+    const std::uint64_t namespace_size = namespace_size_;
     for (const NodeId id : ids_)
       CSD_CHECK_MSG(id < namespace_size, "identifier outside namespace");
 
@@ -69,6 +74,15 @@ class AsyncEngine {
     base_rto_ = config_.transport_cfg.rto != 0
                     ? config_.transport_cfg.rto
                     : 2ULL * config_.max_delay + 4;
+    rejoin_delay_ = config_.recovery.rejoin_delay != 0
+                        ? config_.recovery.rejoin_delay
+                        : 4 * base_rto_;
+    // Inbox logging powers both node recovery and checkpoint capture; it
+    // copies delivered payloads and never consumes randomness, so enabling
+    // it cannot change a single bit of the run (fuzzer-enforced).
+    log_enabled_ =
+        config_.recovery.enabled || config_.checkpoint_at_pulse != 0;
+    if (log_enabled_) inbox_log_.resize(n);
 
     // Reverse-port table in O(sum deg) expected time via per-vertex port
     // maps (mirrors Network::build_topology_tables; the old per-neighbor
@@ -130,25 +144,50 @@ class AsyncEngine {
   }
 
   AsyncRunOutcome run() {
+    bootstrap();
+    event_loop();
+    return finalize();
+  }
+
+  AsyncRunOutcome resume(const Snapshot& snapshot) {
+    restore(snapshot);
+    // A terminal snapshot froze a run that had already ended; its queued
+    // events are dead letters, so finalize the restored state directly.
+    if (snapshot.async_state.terminal == 0) event_loop();
+    return finalize();
+  }
+
+ private:
+  void bootstrap() {
     // Pulse 0 runs immediately everywhere (empty inbox); degree-0 nodes
     // are always ready, so drive them to completion here — no event will
     // ever re-trigger them. Timing: program execution is measured inside
     // execute_pulse (compute_ns); the remainder of this loop — frame
     // assembly and event scheduling — is synchronizer work (delivery_ns).
-    {
-      const auto started = timing_ ? Clock::now() : Clock::time_point{};
-      const std::uint64_t compute_before = outcome_.timers.compute_ns;
-      for (Vertex v = 0; v < topology_.num_vertices(); ++v) {
-        execute_pulse(v);
-        while (try_execute(v)) {
-        }
+    const auto started = timing_ ? Clock::now() : Clock::time_point{};
+    const std::uint64_t compute_before = outcome_.timers.compute_ns;
+    for (Vertex v = 0; v < topology_.num_vertices(); ++v) {
+      execute_pulse(v);
+      while (try_execute(v)) {
       }
-      if (timing_)
-        add_delivery_time(started, compute_before, /*transport=*/false);
     }
+    if (timing_)
+      add_delivery_time(started, compute_before, /*transport=*/false);
+  }
 
+  void event_loop() {
     while (!events_.empty()) {
+      if (config_.checkpoint_at_pulse != 0 && outcome_.checkpoint == nullptr &&
+          outcome_.pulses >= config_.checkpoint_at_pulse)
+        capture_checkpoint();
       const Event event = events_.top();
+      if (config_.stall_window != 0 &&
+          event.time > last_progress_vt_ + config_.stall_window * base_rto_) {
+        // No delivery or recovery for stall_window RTOs of virtual time:
+        // cut the run instead of grinding through a dead event queue.
+        outcome_.faults.watchdog_stalls = 1;
+        break;
+      }
       events_.pop();
       // Per-event timing: nested program execution is subtracted (it books
       // itself into compute_ns); the remainder is synchronizer/delivery
@@ -158,6 +197,7 @@ class AsyncEngine {
       switch (event.kind) {
         case Event::Kind::Data:
           outcome_.virtual_time = std::max(outcome_.virtual_time, event.time);
+          last_progress_vt_ = std::max(last_progress_vt_, event.time);
           deliver_data(event);
           // Cascade: the delivery may have unblocked the destination.
           while (try_execute(event.dst)) {
@@ -165,21 +205,51 @@ class AsyncEngine {
           break;
         case Event::Kind::Ack:
           outcome_.virtual_time = std::max(outcome_.virtual_time, event.time);
-          if (!sync_[event.src].crashed &&
+          // A permanently crashed host's transport dies with it, but a
+          // host with a pending recovery keeps its ARQ card: acks that
+          // arrive while it is down still settle its in-flight packets.
+          if ((!sync_[event.src].crashed ||
+               sync_[event.src].recovery_pending) &&
               !senders_[event.src][event.src_port].on_ack(event.link_seq))
             ++outcome_.faults.duplicate_acks;
           break;
         case Event::Kind::Timer:
           handle_timer(event);
           break;
+        case Event::Kind::Recover:
+          last_progress_vt_ = std::max(last_progress_vt_, event.time);
+          handle_recover(event);
+          // A node that died at pulse 0 replayed an empty history; pulse 0
+          // needs the same unconditional kick the bootstrap gives (ports
+          // cannot be "ready" for it — there is no pulse -1 frame to wait
+          // on). Later pulses cascade normally off the queued arrivals.
+          if (sync_[event.src].pulse == 0 && sync_[event.src].running)
+            execute_pulse(event.src);
+          while (try_execute(event.src)) {
+          }
+          break;
       }
       if (timing_)
         add_delivery_time(started, compute_before,
-                          event.kind != Event::Kind::Data);
-      if (stopped_count_ == topology_.num_vertices()) break;
+                          event.kind == Event::Kind::Ack ||
+                              event.kind == Event::Kind::Timer);
+      if (stopped_count_ == topology_.num_vertices() &&
+          pending_recoveries_ == 0)
+        break;
       if (pulse_cap_hit_) break;
     }
+    // The capture pulse may have been crossed inside the final event's
+    // cascade (or right before a break above), after the loop-top check
+    // last ran. Capture the end state rather than silently skipping — but
+    // mark it terminal: any events still queued were abandoned by this run
+    // (pulse cap, all-stopped, watchdog) and a resume must abandon them
+    // too, not replay them.
+    if (config_.checkpoint_at_pulse != 0 && outcome_.checkpoint == nullptr &&
+        outcome_.pulses >= config_.checkpoint_at_pulse)
+      capture_checkpoint(/*terminal=*/true);
+  }
 
+  AsyncRunOutcome finalize() {
     const Vertex n = topology_.num_vertices();
     outcome_.completed = halted_count_ == n;
     outcome_.verdicts.reserve(n);
@@ -332,6 +402,14 @@ class AsyncEngine {
   }
 
   void deliver_data(const Event& event) {
+    // A permanently dead host neither acks nor buffers: its packets fall
+    // into the void and the senders' retry budgets eventually give up —
+    // mirroring handle_timer, where a permanent crash kills the transport
+    // too. A host with a *pending* recovery keeps receiving: its ARQ card
+    // and arrival queues survive the outage, and the replica drains the
+    // backlog after the rejoin.
+    const auto& dst_sync = sync_[event.dst];
+    if (dst_sync.crashed && !dst_sync.recovery_pending) return;
     if (reliable_) {
       auto accept = receivers_[event.dst][event.dst_port].on_data(event.packet);
       if (accept.checksum_reject) {
@@ -362,7 +440,20 @@ class AsyncEngine {
   }
 
   void handle_timer(const Event& event) {
-    if (sync_[event.src].crashed) return;  // a crash kills the transport too
+    if (sync_[event.src].crashed) {
+      if (sync_[event.src].recovery_pending) {
+        // Timer parking: the host is down but scheduled to rejoin. Re-arm
+        // the raw event one RTO out without consulting the sender (whose
+        // attempt counter must not advance while the host is dead), so the
+        // retransmission conversation resumes after the rejoin instead of
+        // being abandoned.
+        Event parked = event;
+        parked.time = event.time + base_rto_;
+        push_event(std::move(parked));
+        return;
+      }
+      return;  // a permanent crash kills the transport too
+    }
     auto& sender = senders_[event.src][event.src_port];
     switch (sender.on_timeout(event.link_seq)) {
       case LinkSender::TimeoutAction::Settled:
@@ -404,23 +495,41 @@ class AsyncEngine {
     return true;
   }
 
-  void crash_node(Vertex v) {
+  /// `recoverable` is true only for *scheduled* crashes: a program fault is
+  /// a deterministic function of a delivered payload, so a restored replica
+  /// would re-crash on the same input — recovery never applies to it.
+  void crash_node(Vertex v, bool recoverable) {
     auto& sync = sync_[v];
     sync.running = false;
     sync.crashed = true;
     nodes_[v]->discard_outbox();
     outcome_.faults.crashed_nodes.push_back(v);
     ++stopped_count_;
+    if (recoverable && config_.recovery.enabled &&
+        sync.recoveries_used < config_.recovery.max_recoveries) {
+      ++sync.recoveries_used;
+      sync.recovery_pending = true;
+      ++pending_recoveries_;
+      Event event;
+      event.time = sync.local_time + rejoin_delay_;
+      event.kind = Event::Kind::Recover;
+      event.src = v;
+      push_event(std::move(event));
+    }
   }
 
   void execute_pulse(Vertex v) {
     auto& sync = sync_[v];
     auto& node = *nodes_[v];
     CSD_CHECK(sync.running);
-    if (injector_.has_value()) {
+    // crash_done: a recovered node must not be re-killed by the same
+    // schedule entry on every subsequent pulse (the entry means "crash when
+    // the pulse counter first reaches `when`", not "stay dead forever").
+    if (injector_.has_value() && !sync.crash_done) {
       if (const auto when = injector_->crash_round(v);
           when.has_value() && sync.pulse >= *when) {
-        crash_node(v);
+        sync.crash_done = true;
+        crash_node(v, /*recoverable=*/true);
         return;
       }
     }
@@ -439,8 +548,11 @@ class AsyncEngine {
         sync.arrived[p].pop_front();
         CSD_CHECK_MSG(frame.pulse + 1 == sync.pulse,
                       "synchronizer frame out of order");
-        if (frame.payload.has_value())
+        if (frame.payload.has_value()) {
+          if (logging_active())
+            log_row(v, sync.pulse)[p] = *frame.payload;  // post-corruption
           node.deliver(p, std::move(*frame.payload));
+        }
       }
     }
 
@@ -470,7 +582,7 @@ class AsyncEngine {
       invoke_program();
     }
     if (program_fault) {
-      crash_node(v);
+      crash_node(v, /*recoverable=*/false);
       return;
     }
     outcome_.pulses = std::max(outcome_.pulses, sync.pulse + 1);
@@ -516,13 +628,285 @@ class AsyncEngine {
     }
   }
 
+  // ----------------------------------------------------- recovery/snapshot --
+  /// Logging stays on while it can still be consumed: always under a
+  /// recovery policy, and until the checkpoint is captured otherwise.
+  bool logging_active() const {
+    return log_enabled_ &&
+           (config_.recovery.enabled || outcome_.checkpoint == nullptr);
+  }
+
+  std::vector<std::optional<BitVec>>& log_row(Vertex v, std::uint64_t r) {
+    auto& entries = inbox_log_[v].entries;
+    while (entries.size() <= r) entries.emplace_back(topology_.degree(v));
+    return entries[r];
+  }
+
+  /// Replay pulses [0, pulses) of `log` through a fresh (node, program)
+  /// pair: deliver the logged inbox, run the program, discard its sends.
+  /// Programs are pure functions of (inbox history, seeded RNG draws), so
+  /// this reconstructs internal state bit-exactly — the caller routes
+  /// violations to a scratch sink and detaches the trace first, because
+  /// everything observable was already reported when the history ran live.
+  static void replay_history(detail::NodeState& node, NodeProgram& program,
+                             const InboxLog& log, std::uint64_t pulses) {
+    for (std::uint64_t r = 0; r < pulses; ++r) {
+      node.clear_inbox();
+      if (r < log.entries.size())
+        for (std::uint32_t p = 0; p < log.entries[r].size(); ++p)
+          if (log.entries[r][p].has_value())
+            node.deliver(p, BitVec(*log.entries[r][p]));
+      node.begin_round(r);
+      program.on_round(node);
+    }
+    node.discard_outbox();
+  }
+
+  void handle_recover(const Event& event) {
+    const Vertex v = event.src;
+    auto& sync = sync_[v];
+    CSD_CHECK(sync.crashed && sync.recovery_pending);
+    sync.recovery_pending = false;
+    --pending_recoveries_;
+    // The rejoined host lost its memory: build a fresh replica and replay
+    // its logged inbox history — the in-engine model of "restart the host,
+    // restore its checkpoint". Frames that arrived while it was down are
+    // still queued in sync.arrived (delivery never checks the destination's
+    // crash flag), so the node picks up exactly where it died.
+    std::vector<ProtocolViolation> scratch;
+    auto node = std::make_unique<detail::NodeState>(
+        topology_, v, ids_[v], config_.seed, topology_.num_vertices(),
+        namespace_size_, config_.bandwidth, config_.broadcast_only, &scratch);
+    std::vector<NodeId> neighbor_ids;
+    for (const Vertex w : topology_.neighbors(v))
+      neighbor_ids.push_back(ids_[w]);
+    node->set_neighbor_ids(std::move(neighbor_ids));
+    auto program = (*factory_)(v);
+    CSD_CHECK(program != nullptr);
+    replay_history(*node, *program, inbox_log_[v], sync.pulse);
+    outcome_.faults.replayed_pulses += sync.pulse;
+    CSD_CHECK_MSG(!node->halted(), "replayed replica halted mid-history");
+    node->set_violation_sink(&outcome_.faults.violations);
+    if (outcome_.trace) node->set_trace(&outcome_.trace);
+    nodes_[v] = std::move(node);
+    programs_[v] = std::move(program);
+    sync.crashed = false;
+    sync.running = true;
+    sync.local_time = std::max(sync.local_time, event.time);
+    outcome_.faults.recovered_nodes.push_back(v);
+    if (outcome_.trace) outcome_.trace.set_phase(sync.pulse, "recover");
+    --stopped_count_;
+  }
+
+  std::uint64_t config_digest() const {
+    // Everything the continuation dynamics depend on. Deliberately excludes
+    // checkpoint_at_pulse, stall_window, and trace options: a resumed run
+    // may checkpoint at a different point or trace differently.
+    std::uint64_t h = kDigestSeed;
+    h = digest_mix(h, config_.bandwidth);
+    h = digest_mix(h, config_.max_pulses);
+    h = digest_mix(h, config_.namespace_size);
+    h = digest_mix(h, config_.broadcast_only ? 1 : 0);
+    h = digest_mix(h, config_.max_delay);
+    h = digest_mix(h, static_cast<std::uint64_t>(config_.transport));
+    h = digest_mix(h, config_.transport_cfg.rto);
+    h = digest_mix(h, config_.transport_cfg.max_retries);
+    h = digest_mix(h, config_.transport_cfg.seq_bits);
+    h = digest_mix(h, config_.transport_cfg.crc_bits);
+    h = digest_mix(h, config_.recovery.enabled ? 1 : 0);
+    h = digest_mix(h, config_.recovery.rejoin_delay);
+    h = digest_mix(h, config_.recovery.max_recoveries);
+    h = digest_mix(h, fault_plan_digest(config_.faults));
+    return h;
+  }
+
+  static EventRecord to_record(const Event& event) {
+    EventRecord record;
+    record.time = event.time;
+    record.seq = event.seq;
+    record.kind = static_cast<std::uint8_t>(event.kind);
+    record.src = event.src;
+    record.src_port = event.src_port;
+    record.dst = event.dst;
+    record.dst_port = event.dst_port;
+    record.link_seq = event.link_seq;
+    record.packet_seq = event.packet.seq;
+    record.packet_crc = event.packet.crc;
+    record.frame = event.packet.frame;
+    return record;
+  }
+
+  static Event from_record(const EventRecord& record) {
+    CSD_CHECK_MSG(record.kind <= 3, "unknown event kind in snapshot");
+    Event event;
+    event.time = record.time;
+    event.seq = record.seq;
+    event.kind = static_cast<Event::Kind>(record.kind);
+    event.src = record.src;
+    event.src_port = record.src_port;
+    event.dst = record.dst;
+    event.dst_port = record.dst_port;
+    event.link_seq = record.link_seq;
+    event.packet.seq = record.packet_seq;
+    event.packet.crc = record.packet_crc;
+    event.packet.frame = record.frame;
+    return event;
+  }
+
+  /// Freeze the complete engine between two scheduler events. Pure copies —
+  /// no RNG consumed, no state mutated — so capture never perturbs the run.
+  void capture_checkpoint(bool terminal = false) {
+    auto snap = std::make_shared<Snapshot>();
+    snap->kind = Snapshot::Kind::Async;
+    AsyncSnapshot& s = snap->async_state;
+    s.terminal = terminal ? 1 : 0;
+    s.identity = {topology_digest(topology_, ids_), config_digest(),
+                  config_.seed};
+    const Vertex n = topology_.num_vertices();
+    s.nodes.resize(n);
+    for (Vertex v = 0; v < n; ++v) {
+      const auto& sync = sync_[v];
+      AsyncNodeSnapshot& ns = s.nodes[v];
+      ns.pulse = sync.pulse;
+      ns.local_time = sync.local_time;
+      ns.arrived.resize(sync.arrived.size());
+      for (std::uint32_t p = 0; p < sync.arrived.size(); ++p)
+        ns.arrived[p].assign(sync.arrived[p].begin(), sync.arrived[p].end());
+      ns.port_dead.assign(sync.port_dead.begin(), sync.port_dead.end());
+      ns.running = sync.running ? 1 : 0;
+      ns.crashed = sync.crashed ? 1 : 0;
+      ns.halted = nodes_[v]->halted() ? 1 : 0;
+      ns.crash_done = sync.crash_done ? 1 : 0;
+      ns.recoveries_used = sync.recoveries_used;
+      ns.inbox = inbox_log_[v];
+      if (reliable_) {
+        for (std::uint32_t p = 0; p < topology_.degree(v); ++p) {
+          ns.senders.push_back(senders_[v][p].save_state());
+          ns.receivers.push_back(receivers_[v][p].save_state());
+        }
+      }
+      ns.link_watermark = link_watermark_[v];
+    }
+    auto queue = events_;
+    while (!queue.empty()) {
+      s.events.push_back(to_record(queue.top()));
+      queue.pop();
+    }
+    s.next_event_seq = next_event_seq_;
+    s.delay_rng = delay_rng_.state();
+    if (injector_.has_value()) s.fault_streams = injector_->save_streams();
+    s.halted_count = halted_count_;
+    s.stopped_count = stopped_count_;
+    s.pending_recoveries = pending_recoveries_;
+    s.pulses = outcome_.pulses;
+    s.virtual_time = outcome_.virtual_time;
+    s.payload_bits = outcome_.payload_bits;
+    s.overhead_bits = outcome_.overhead_bits;
+    s.frames = outcome_.frames;
+    s.transport_bits = outcome_.transport_bits;
+    s.acks = outcome_.acks;
+    s.faults = outcome_.faults;
+    outcome_.checkpoint = std::move(snap);
+  }
+
+  void restore(const Snapshot& snapshot) {
+    CSD_CHECK_MSG(snapshot.kind == Snapshot::Kind::Async,
+                  "resume_async needs an async snapshot, got "
+                      << to_string(snapshot.kind));
+    const AsyncSnapshot& s = snapshot.async_state;
+    CSD_CHECK_MSG(s.identity.topology == topology_digest(topology_, ids_),
+                  "snapshot belongs to a different topology/identifier "
+                  "assignment");
+    CSD_CHECK_MSG(s.identity.config == config_digest(),
+                  "snapshot belongs to a different engine configuration");
+    CSD_CHECK_MSG(s.identity.seed == config_.seed,
+                  "snapshot belongs to a different seed");
+    const Vertex n = topology_.num_vertices();
+    CSD_CHECK_MSG(s.nodes.size() == n, "snapshot node count mismatch");
+
+    std::vector<ProtocolViolation> scratch;
+    for (Vertex v = 0; v < n; ++v) {
+      const AsyncNodeSnapshot& ns = s.nodes[v];
+      auto& sync = sync_[v];
+      const std::uint32_t deg = topology_.degree(v);
+      CSD_CHECK_MSG(ns.arrived.size() == deg && ns.port_dead.size() == deg &&
+                        ns.link_watermark.size() == deg,
+                    "snapshot degree mismatch at node " << v);
+      sync.pulse = ns.pulse;
+      sync.local_time = ns.local_time;
+      for (std::uint32_t p = 0; p < deg; ++p) {
+        sync.arrived[p].assign(ns.arrived[p].begin(), ns.arrived[p].end());
+        sync.port_dead[p] = ns.port_dead[p] != 0;
+      }
+      sync.running = ns.running != 0;
+      sync.crashed = ns.crashed != 0;
+      sync.crash_done = ns.crash_done != 0;
+      sync.recoveries_used = ns.recoveries_used;
+      if (log_enabled_) inbox_log_[v] = ns.inbox;
+      if (reliable_) {
+        CSD_CHECK_MSG(ns.senders.size() == deg && ns.receivers.size() == deg,
+                      "snapshot transport state mismatch at node " << v);
+        for (std::uint32_t p = 0; p < deg; ++p) {
+          senders_[v][p].restore_state(ns.senders[p]);
+          receivers_[v][p].restore_state(ns.receivers[p]);
+        }
+      }
+      link_watermark_[v] = ns.link_watermark;
+      if (!sync.crashed) {
+        // Reconstruct the program by replay. Crashed nodes are skipped: a
+        // permanently dead program never runs again, and a pending recovery
+        // builds its own fresh replica from the log when its Recover event
+        // fires.
+        nodes_[v]->set_violation_sink(&scratch);
+        nodes_[v]->set_trace(nullptr);
+        replay_history(*nodes_[v], *programs_[v], ns.inbox, sync.pulse);
+        CSD_CHECK_MSG(nodes_[v]->halted() == (ns.halted != 0),
+                      "resume replay diverged: node " << v << " halt state");
+        nodes_[v]->set_violation_sink(&outcome_.faults.violations);
+        if (outcome_.trace) nodes_[v]->set_trace(&outcome_.trace);
+      }
+    }
+    for (const EventRecord& record : s.events)
+      events_.push(from_record(record));
+    next_event_seq_ = s.next_event_seq;
+    delay_rng_.set_state(s.delay_rng);
+    if (injector_.has_value()) injector_->restore_streams(s.fault_streams);
+    halted_count_ = s.halted_count;
+    stopped_count_ = s.stopped_count;
+    pending_recoveries_ = s.pending_recoveries;
+    Vertex pending = 0;
+    for (const EventRecord& record : s.events)
+      if (record.kind == 3) {  // Recover
+        sync_[record.src].recovery_pending = true;
+        ++pending;
+      }
+    CSD_CHECK_MSG(pending == pending_recoveries_,
+                  "snapshot recovery bookkeeping inconsistent");
+    outcome_.pulses = s.pulses;
+    outcome_.virtual_time = s.virtual_time;
+    outcome_.payload_bits = s.payload_bits;
+    outcome_.overhead_bits = s.overhead_bits;
+    outcome_.frames = s.frames;
+    outcome_.transport_bits = s.transport_bits;
+    outcome_.acks = s.acks;
+    outcome_.faults = s.faults;
+    last_progress_vt_ = s.virtual_time;
+  }
+
   Graph topology_;
   AsyncConfig config_;
   bool reliable_;
   std::vector<NodeId> ids_;
+  const ProgramFactory* factory_;  // outlives the engine (recovery replicas)
   Rng delay_rng_;
   std::optional<FaultInjector> injector_;
   std::uint64_t base_rto_ = 0;
+  std::uint64_t namespace_size_ = 0;
+  std::uint64_t rejoin_delay_ = 0;
+  bool log_enabled_ = false;
+  std::vector<InboxLog> inbox_log_;
+  Vertex pending_recoveries_ = 0;
+  std::uint64_t last_progress_vt_ = 0;
   std::vector<std::vector<std::uint32_t>> reverse_port_;
   std::vector<std::vector<std::uint64_t>> link_watermark_;
   std::vector<std::unique_ptr<detail::NodeState>> nodes_;
@@ -553,6 +937,22 @@ AsyncRunOutcome run_async(const Graph& topology, const AsyncConfig& config,
   std::vector<NodeId> ids(topology.num_vertices());
   for (Vertex v = 0; v < topology.num_vertices(); ++v) ids[v] = v;
   return run_async(topology, config, std::move(ids), factory);
+}
+
+AsyncRunOutcome resume_async(const Graph& topology, const AsyncConfig& config,
+                             std::vector<NodeId> ids,
+                             const ProgramFactory& factory,
+                             const Snapshot& snapshot) {
+  AsyncEngine engine(topology, config, std::move(ids), factory);
+  return engine.resume(snapshot);
+}
+
+AsyncRunOutcome resume_async(const Graph& topology, const AsyncConfig& config,
+                             const ProgramFactory& factory,
+                             const Snapshot& snapshot) {
+  std::vector<NodeId> ids(topology.num_vertices());
+  for (Vertex v = 0; v < topology.num_vertices(); ++v) ids[v] = v;
+  return resume_async(topology, config, std::move(ids), factory, snapshot);
 }
 
 }  // namespace csd::congest

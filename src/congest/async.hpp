@@ -32,14 +32,39 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "congest/faults.hpp"
 #include "congest/network.hpp"
+#include "congest/snapshot.hpp"
 #include "congest/transport.hpp"
 #include "obs/metrics.hpp"
 #include "obs/round_trace.hpp"
 
 namespace csd::congest {
+
+/// Node recovery for the async engine: a node killed by a *scheduled* crash
+/// (FaultPlan::crash_schedule) rejoins after a configurable virtual-time
+/// delay, rebuilding its program state by replaying its logged inbox history
+/// — the in-engine model of "restart the host and restore its checkpoint".
+/// Program-faulted nodes never recover: the fault is a deterministic
+/// function of a delivered payload, so a restored replica would re-crash on
+/// the same input.
+///
+/// While a node is down its neighbors' ARQ senders keep retransmitting into
+/// the void; the engine parks those retransmission timers (and the dead
+/// node's own pending-packet timers) instead of abandoning them, so after
+/// the rejoin the backlogs drain and — on reliable links — the run finishes
+/// with the fault-free verdicts (tested; see also the fuzzer's recovery
+/// oracle).
+struct RecoveryPolicy {
+  bool enabled = false;
+  /// Virtual-time ticks between the crash and the rejoin; 0 derives
+  /// 4 * RTO (long enough that neighbors' timers have fired at least once).
+  std::uint64_t rejoin_delay = 0;
+  /// Recovery budget per node; crashes beyond it are final.
+  std::uint32_t max_recoveries = 1;
+};
 
 struct AsyncConfig {
   /// Per-edge payload bandwidth per pulse (0 = unbounded), as in CONGEST.
@@ -63,6 +88,17 @@ struct AsyncConfig {
   /// emission (sender side, payload-carrying frames only), so a fault-free
   /// async trace matches the synchronous engine's trace bit-for-bit.
   obs::TraceOptions trace;
+  /// Crash recovery (see RecoveryPolicy). Enabling it turns on inbox
+  /// logging so any node can be replayed back to life.
+  RecoveryPolicy recovery;
+  /// Capture a csd-ckpt-v1 snapshot into AsyncRunOutcome::checkpoint the
+  /// first time the pulse counter reaches this value (0 = never). Capture
+  /// happens between two scheduler events and never perturbs the run.
+  std::uint64_t checkpoint_at_pulse = 0;
+  /// Stall watchdog: cut the run (faults.watchdog_stalls = 1) when the
+  /// event clock advances `stall_window * RTO` past the last delivery or
+  /// recovery without progress. 0 = disabled.
+  std::uint64_t stall_window = 0;
 };
 
 struct AsyncRunOutcome {
@@ -99,6 +135,11 @@ struct AsyncRunOutcome {
   /// only when config.trace.timers is set. Never part of the trace or of
   /// any determinism digest: wall clocks are not reproducible.
   obs::EngineTimers timers;
+  /// The csd-ckpt-v1 snapshot captured at config.checkpoint_at_pulse
+  /// (nullptr when none was requested or the run ended first). Feed it to
+  /// resume_async — with the same topology, ids, and config — to continue
+  /// the run bit-identically.
+  std::shared_ptr<const Snapshot> checkpoint;
 };
 
 /// Run `factory`'s programs over `topology` asynchronously under the frame
@@ -110,5 +151,20 @@ AsyncRunOutcome run_async(const Graph& topology, const AsyncConfig& config,
 AsyncRunOutcome run_async(const Graph& topology, const AsyncConfig& config,
                           std::vector<NodeId> ids,
                           const ProgramFactory& factory);
+
+/// Resume an async run from a csd-ckpt-v1 snapshot captured by a run with
+/// the same topology, identifiers, and configuration (CHECK-enforced via
+/// the snapshot identity digests). The continuation is bit-identical to the
+/// uninterrupted run: verdicts, FaultReport, accounting, and the trace
+/// suffix for pulses >= the capture point all match.
+AsyncRunOutcome resume_async(const Graph& topology, const AsyncConfig& config,
+                             std::vector<NodeId> ids,
+                             const ProgramFactory& factory,
+                             const Snapshot& snapshot);
+
+/// Resume with the default identity assignment ids[v] = v.
+AsyncRunOutcome resume_async(const Graph& topology, const AsyncConfig& config,
+                             const ProgramFactory& factory,
+                             const Snapshot& snapshot);
 
 }  // namespace csd::congest

@@ -32,6 +32,13 @@ std::string summarize(const FaultReport& report) {
   os << "crashed nodes:     ";
   if (report.crashed_nodes.empty()) os << " none";
   for (const auto v : report.crashed_nodes) os << ' ' << v;
+  os << '\n' << "recovered nodes:   ";
+  if (report.recovered_nodes.empty()) os << " none";
+  for (const auto v : report.recovered_nodes) os << ' ' << v;
+  if (report.replayed_pulses > 0)
+    os << '\n' << "replayed pulses:    " << report.replayed_pulses;
+  if (report.watchdog_stalls > 0)
+    os << '\n' << "watchdog stalls:    " << report.watchdog_stalls;
   os << '\n' << "stalled nodes:     ";
   if (report.stalled_nodes.empty()) os << " none";
   for (const auto v : report.stalled_nodes) os << ' ' << v;
@@ -55,6 +62,9 @@ obs::MetricsRegistry fault_counters(const FaultReport& report) {
   counters.add("duplicate_acks", report.duplicate_acks);
   counters.add("transport_failures", report.transport_failures);
   counters.add("crashed_nodes", report.crashed_nodes.size());
+  counters.add("recovered_nodes", report.recovered_nodes.size());
+  counters.add("replayed_pulses", report.replayed_pulses);
+  counters.add("watchdog_stalls", report.watchdog_stalls);
   counters.add("stalled_nodes", report.stalled_nodes.size());
   counters.add("violations", report.violations.size());
   return counters;
@@ -104,6 +114,33 @@ FaultInjector::Fate FaultInjector::next_fate(std::uint32_t src,
     fate.corrupt_bit = static_cast<std::size_t>(bit_draw % corruptible_bits);
   }
   return fate;
+}
+
+std::vector<std::vector<std::array<std::uint64_t, 4>>>
+FaultInjector::save_streams() const {
+  std::vector<std::vector<std::array<std::uint64_t, 4>>> streams;
+  streams.reserve(link_rng_.size());
+  for (const auto& per_port : link_rng_) {
+    auto& out = streams.emplace_back();
+    out.reserve(per_port.size());
+    for (const auto& rng : per_port) out.push_back(rng.state());
+  }
+  return streams;
+}
+
+void FaultInjector::restore_streams(
+    const std::vector<std::vector<std::array<std::uint64_t, 4>>>& streams) {
+  CSD_CHECK_MSG(streams.size() == link_rng_.size(),
+                "snapshot fault streams cover " << streams.size()
+                << " nodes, topology has " << link_rng_.size());
+  for (std::size_t v = 0; v < streams.size(); ++v) {
+    CSD_CHECK_MSG(streams[v].size() == link_rng_[v].size(),
+                  "snapshot fault streams for node " << v << " cover "
+                  << streams[v].size() << " ports, topology has "
+                  << link_rng_[v].size());
+    for (std::size_t p = 0; p < streams[v].size(); ++p)
+      link_rng_[v][p].set_state(streams[v][p]);
+  }
 }
 
 std::optional<std::uint64_t> FaultInjector::crash_round(

@@ -19,6 +19,7 @@
 // failures).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -109,6 +110,15 @@ struct FaultReport {
 
   /// Nodes that crashed (scheduled crash or program fault), in crash order.
   std::vector<std::uint32_t> crashed_nodes;
+  /// Nodes that crashed and later rejoined under a RecoveryPolicy (async
+  /// engine), in rejoin order. A recovered node counts as a survivor.
+  std::vector<std::uint32_t> recovered_nodes;
+  /// Pulses deterministically re-executed from inbox logs to rebuild
+  /// program state on rejoin/resume (not charged to any accounting).
+  std::uint64_t replayed_pulses = 0;
+  /// 1 if the stall watchdog cut the run short (no delivery progress for
+  /// the configured window) instead of letting it spin to the cap.
+  std::uint64_t watchdog_stalls = 0;
   /// Nodes still live but unhalted when the run ended — starved of frames
   /// by drops or crashed neighbors, or cut off by the round/pulse cap —
   /// in index order.
@@ -125,7 +135,9 @@ struct FaultReport {
            retransmissions == 0 && checksum_rejects == 0 &&
            duplicate_packets == 0 && duplicate_acks == 0 &&
            transport_failures == 0 && crashed_nodes.empty() &&
-           stalled_nodes.empty() && violations.empty();
+           recovered_nodes.empty() && replayed_pulses == 0 &&
+           watchdog_stalls == 0 && stalled_nodes.empty() &&
+           violations.empty();
   }
 
   friend bool operator==(const FaultReport&, const FaultReport&) = default;
@@ -165,6 +177,13 @@ class FaultInjector {
   std::optional<std::uint64_t> crash_round(std::uint32_t node) const;
 
   const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// Snapshot/restore of every link stream's RNG position, [src][port].
+  /// Restoring mid-run resumes the exact fate sequence, which is what makes
+  /// checkpointed runs bit-identical to straight-through ones.
+  std::vector<std::vector<std::array<std::uint64_t, 4>>> save_streams() const;
+  void restore_streams(
+      const std::vector<std::vector<std::array<std::uint64_t, 4>>>& streams);
 
  private:
   FaultPlan plan_;

@@ -56,12 +56,36 @@ void Network::build_topology_tables() {
   }
 }
 
+std::uint64_t Network::config_digest() const {
+  std::uint64_t h = kDigestSeed;
+  h = digest_mix(h, config_.bandwidth);
+  h = digest_mix(h, config_.max_rounds);
+  h = digest_mix(h, config_.namespace_size);
+  h = digest_mix(h, config_.broadcast_only ? 1 : 0);
+  h = digest_mix(h, fault_plan_digest(config_.faults));
+  return h;
+}
+
 RunOutcome Network::run(const ProgramFactory& factory) const {
-  return run(factory, config_.seed);
+  return run_impl(factory, config_.seed, nullptr);
 }
 
 RunOutcome Network::run(const ProgramFactory& factory,
                         std::uint64_t seed) const {
+  return run_impl(factory, seed, nullptr);
+}
+
+RunOutcome Network::resume(const ProgramFactory& factory,
+                           const Snapshot& snapshot) const {
+  CSD_CHECK_MSG(snapshot.kind == Snapshot::Kind::Sync,
+                "Network::resume needs a sync snapshot, got "
+                    << to_string(snapshot.kind));
+  return run_impl(factory, snapshot.sync.identity.seed, &snapshot.sync);
+}
+
+RunOutcome Network::run_impl(const ProgramFactory& factory,
+                             std::uint64_t seed,
+                             const SyncSnapshot* resume_from) const {
   const Vertex n = topology_.num_vertices();
 
   std::uint64_t namespace_size = config_.namespace_size;
@@ -100,6 +124,26 @@ RunOutcome Network::run(const ProgramFactory& factory,
     outcome.faults.crashed_nodes.push_back(v);
   };
 
+  // Inbox logging feeds checkpoint capture: every payload delivered (post-
+  // corruption, exactly what the program will see) is copied into a per-node
+  // round-indexed log, the raw material of program-state replay. Serialized
+  // observers are impossible, so checkpointing excludes them.
+  const std::uint64_t checkpoint_at = config_.checkpoint_at_round;
+  const bool logging = checkpoint_at > 0;
+  if (logging || resume_from != nullptr)
+    CSD_CHECK_MSG(!config_.record_transcript && !config_.on_message,
+                  "checkpoint/resume is incompatible with record_transcript "
+                  "and on_message observers");
+  std::vector<InboxLog> inbox_log(logging ? n : 0);
+  const auto log_row = [&](Vertex v, std::uint64_t r)
+      -> std::vector<std::optional<BitVec>>& {
+    auto& entries = inbox_log[v].entries;
+    while (entries.size() <= r)
+      entries.emplace_back(topology_.degree(
+          static_cast<Vertex>(v)));
+    return entries[r];
+  };
+
   // Opt-in wall-clock split (TraceOptions::timers): program execution vs.
   // message delivery. Two clock reads per round when enabled, nothing when
   // not; the timings land in RunMetrics, never in the trace (the trace is a
@@ -114,9 +158,128 @@ RunOutcome Network::run(const ProgramFactory& factory,
             .count());
   };
 
-  std::uint64_t round = 0;
+  std::uint64_t start_round = 0;
+  if (resume_from != nullptr) {
+    const SyncSnapshot& snap = *resume_from;
+    CSD_CHECK_MSG(snap.identity.topology == topology_digest(topology_, ids_),
+                  "snapshot belongs to a different topology/identifier "
+                  "assignment");
+    CSD_CHECK_MSG(snap.identity.config == config_digest(),
+                  "snapshot belongs to a different engine configuration");
+    CSD_CHECK_MSG(snap.inbox.size() == n && snap.crashed.size() == n &&
+                      snap.halted.size() == n &&
+                      snap.bits_sent_by_node.size() == n,
+                  "snapshot node count mismatch");
+    start_round = snap.round;
+
+    // Restore accounting and the fault-plan cursor.
+    outcome.metrics.messages = snap.messages;
+    outcome.metrics.total_bits = snap.total_bits;
+    outcome.metrics.max_message_bits = snap.max_message_bits;
+    outcome.metrics.bits_sent_by_node = snap.bits_sent_by_node;
+    outcome.faults = snap.faults;
+    if (faulty) injector->restore_streams(snap.fault_streams);
+
+    // Rebuild program state by replaying the logged inboxes through the
+    // fresh programs: same guards as the live loop, but zero accounting, no
+    // trace, and violations routed to a scratch sink (the restored
+    // FaultReport already carries everything from rounds < start_round).
+    std::vector<ProtocolViolation> replay_violations;
+    for (Vertex v = 0; v < n; ++v) {
+      nodes[v]->set_violation_sink(&replay_violations);
+      nodes[v]->set_trace(nullptr);
+    }
+    for (std::uint64_t r = 0; r < start_round; ++r) {
+      for (Vertex v = 0; v < n; ++v) {
+        if (nodes[v]->halted() || crashed[v]) continue;
+        if (faulty) {
+          if (const auto when = injector->crash_round(v);
+              when.has_value() && r >= *when) {
+            crashed[v] = true;
+            nodes[v]->discard_outbox();
+            continue;
+          }
+        }
+        nodes[v]->clear_inbox();
+        const auto& entries = snap.inbox[v].entries;
+        if (r < entries.size())
+          for (std::uint32_t p = 0; p < entries[r].size(); ++p)
+            if (entries[r][p].has_value())
+              nodes[v]->deliver(p, BitVec(*entries[r][p]));
+        nodes[v]->begin_round(r);
+        if (faulty) {
+          try {
+            programs[v]->on_round(*nodes[v]);
+          } catch (const CheckFailure&) {
+            crashed[v] = true;
+            nodes[v]->discard_outbox();
+          }
+        } else {
+          programs[v]->on_round(*nodes[v]);
+        }
+      }
+    }
+    for (Vertex v = 0; v < n; ++v) {
+      CSD_CHECK_MSG(crashed[v] == (snap.crashed[v] != 0),
+                    "resume replay diverged: node " << v << " crash state");
+      CSD_CHECK_MSG(nodes[v]->halted() == (snap.halted[v] != 0),
+                    "resume replay diverged: node " << v << " halt state");
+      // Replayed sends were already delivered before the snapshot (their
+      // payloads are in the log rows); drop them so the live delivery
+      // phase does not ship the final replayed round's outbox twice.
+      // begin_round alone cannot clean this up — a node that halted during
+      // replay never begins another round.
+      nodes[v]->discard_outbox();
+      nodes[v]->set_violation_sink(&outcome.faults.violations);
+      if (outcome.trace) nodes[v]->set_trace(&outcome.trace);
+      // The live inbox for round start_round is the last logged row.
+      nodes[v]->clear_inbox();
+      const auto& entries = snap.inbox[v].entries;
+      if (start_round < entries.size())
+        for (std::uint32_t p = 0; p < entries[start_round].size(); ++p)
+          if (entries[start_round][p].has_value())
+            nodes[v]->deliver(p, BitVec(*entries[start_round][p]));
+      if (logging) inbox_log[v].entries = snap.inbox[v].entries;
+    }
+  }
+
+  std::uint64_t round = start_round;
+  std::uint64_t last_progress = start_round;
   for (; round < config_.max_rounds; ++round) {
+    if (config_.stall_window != 0 &&
+        round >= last_progress + config_.stall_window) {
+      outcome.faults.watchdog_stalls = 1;
+      break;
+    }
+    if (checkpoint_at != 0 && round == checkpoint_at &&
+        outcome.checkpoint == nullptr) {
+      auto snap = std::make_shared<Snapshot>();
+      snap->kind = Snapshot::Kind::Sync;
+      SyncSnapshot& s = snap->sync;
+      s.identity = {topology_digest(topology_, ids_), config_digest(), seed};
+      s.round = round;
+      s.inbox.resize(n);
+      for (Vertex v = 0; v < n; ++v) {
+        log_row(v, round);  // pad every log to round+1 rows
+        s.inbox[v].entries = inbox_log[v].entries;
+      }
+      s.crashed.resize(n);
+      s.halted.resize(n);
+      for (Vertex v = 0; v < n; ++v) {
+        s.crashed[v] = crashed[v] ? 1 : 0;
+        s.halted[v] = nodes[v]->halted() ? 1 : 0;
+      }
+      s.messages = outcome.metrics.messages;
+      s.total_bits = outcome.metrics.total_bits;
+      s.max_message_bits = outcome.metrics.max_message_bits;
+      s.bits_sent_by_node = outcome.metrics.bits_sent_by_node;
+      s.trace_bytes = outcome.trace.approx_bytes();
+      s.faults = outcome.faults;
+      if (faulty) s.fault_streams = injector->save_streams();
+      outcome.checkpoint = std::move(snap);
+    }
     bool all_stopped = true;
+    bool progressed = false;
     const auto compute_start = timing ? Clock::now() : Clock::time_point{};
     for (Vertex v = 0; v < n; ++v) {
       if (nodes[v]->halted() || crashed[v]) continue;
@@ -124,6 +287,7 @@ RunOutcome Network::run(const ProgramFactory& factory,
         if (const auto when = injector->crash_round(v);
             when.has_value() && round >= *when) {
           crash(v);
+          progressed = true;
           continue;
         }
       }
@@ -140,10 +304,12 @@ RunOutcome Network::run(const ProgramFactory& factory,
           outcome.faults.violations.push_back(
               {ViolationKind::ProgramFault, v, round, failure.what()});
           crash(v);
+          progressed = true;
         }
       } else {
         programs[v]->on_round(*nodes[v]);
       }
+      if (nodes[v]->halted()) progressed = true;
     }
     if (timing) outcome.metrics.timers.compute_ns += elapsed_ns(compute_start);
     if (all_stopped) break;
@@ -182,11 +348,16 @@ RunOutcome Network::run(const ProgramFactory& factory,
             payload.flip(fate.corrupt_bit);
           }
         }
+        progressed = true;
+        if (logging && outcome.checkpoint == nullptr &&
+            round + 1 <= checkpoint_at)
+          log_row(nbrs[p], round + 1)[reverse_port_[v][p]] = payload;
         nodes[nbrs[p]]->deliver(reverse_port_[v][p], std::move(payload));
       }
     }
     if (timing)
       outcome.metrics.timers.delivery_ns += elapsed_ns(delivery_start);
+    if (progressed) last_progress = round + 1;
   }
 
   outcome.metrics.rounds = round;
@@ -203,6 +374,8 @@ RunOutcome Network::run(const ProgramFactory& factory,
       outcome.faults.stalled_nodes.push_back(v);
   }
   outcome.metrics.counters = fault_counters(outcome.faults);
+  if (outcome.checkpoint != nullptr)
+    outcome.metrics.counters.add("checkpoints_taken", 1);
   if (outcome.trace) {
     // Materialize quiet trailing rounds so trace rounds == metrics.rounds
     // (the exponent fit divides by segments to recover per-repetition
@@ -218,6 +391,69 @@ RunOutcome run_congest(const Graph& topology, const NetworkConfig& config,
                        const ProgramFactory& factory) {
   Network net(topology, config);
   return net.run(factory);
+}
+
+RunOutcome make_amplified_accumulator(Vertex n) {
+  RunOutcome combined;
+  combined.completed = true;
+  combined.verdicts.assign(n, Verdict::Accept);
+  combined.metrics.bits_sent_by_node.assign(n, 0);
+  combined.metrics.repetitions_executed = 0;
+  combined.metrics.repetitions_skipped = 0;
+  return combined;
+}
+
+void merge_amplified(RunOutcome& combined, RunOutcome&& rep) {
+  const Vertex n = static_cast<Vertex>(combined.verdicts.size());
+  CSD_CHECK_MSG(rep.verdicts.size() == n,
+                "merge_amplified: node count mismatch");
+  combined.completed = combined.completed && rep.completed;
+  combined.detected = combined.detected || rep.detected;
+  for (Vertex v = 0; v < n; ++v)
+    if (rep.verdicts[v] == Verdict::Reject)
+      combined.verdicts[v] = Verdict::Reject;
+  combined.metrics.rounds += rep.metrics.rounds;
+  combined.metrics.messages += rep.metrics.messages;
+  combined.metrics.total_bits += rep.metrics.total_bits;
+  combined.metrics.max_message_bits = std::max(
+      combined.metrics.max_message_bits, rep.metrics.max_message_bits);
+  for (Vertex v = 0; v < n; ++v)
+    combined.metrics.bits_sent_by_node[v] += rep.metrics.bits_sent_by_node[v];
+  combined.metrics.repetitions_executed += rep.metrics.repetitions_executed;
+  combined.metrics.repetitions_skipped += rep.metrics.repetitions_skipped;
+  combined.transcript.insert(combined.transcript.end(),
+                             std::make_move_iterator(rep.transcript.begin()),
+                             std::make_move_iterator(rep.transcript.end()));
+  // Traces merge in repetition order — the deterministic task order the
+  // batch guarantees — so the combined trace is jobs-count independent.
+  combined.trace.append(rep.trace);
+  combined.metrics.trace_bytes += rep.metrics.trace_bytes;
+  combined.metrics.counters.merge(rep.metrics.counters);
+  combined.metrics.timers.merge(rep.metrics.timers);
+  if (combined.checkpoint == nullptr) combined.checkpoint = rep.checkpoint;
+  FaultReport& f = combined.faults;
+  FaultReport& rf = rep.faults;
+  f.frames_dropped += rf.frames_dropped;
+  f.frames_corrupted += rf.frames_corrupted;
+  f.retransmissions += rf.retransmissions;
+  f.checksum_rejects += rf.checksum_rejects;
+  f.duplicate_packets += rf.duplicate_packets;
+  f.duplicate_acks += rf.duplicate_acks;
+  f.transport_failures += rf.transport_failures;
+  f.replayed_pulses += rf.replayed_pulses;
+  f.watchdog_stalls += rf.watchdog_stalls;
+  f.crashed_nodes.insert(f.crashed_nodes.end(), rf.crashed_nodes.begin(),
+                         rf.crashed_nodes.end());
+  f.recovered_nodes.insert(f.recovered_nodes.end(),
+                           rf.recovered_nodes.begin(),
+                           rf.recovered_nodes.end());
+  f.stalled_nodes.insert(f.stalled_nodes.end(), rf.stalled_nodes.begin(),
+                         rf.stalled_nodes.end());
+  f.violations.insert(f.violations.end(),
+                      std::make_move_iterator(rf.violations.begin()),
+                      std::make_move_iterator(rf.violations.end()));
+  f.detected_by_survivors =
+      f.detected_by_survivors || rf.detected_by_survivors;
 }
 
 RunOutcome run_amplified(const Graph& topology, const NetworkConfig& config,
@@ -237,59 +473,13 @@ RunOutcome run_amplified(const Graph& topology, const NetworkConfig& config,
   const RunBatch batch(options.jobs);
   RunBatch::Result result = batch.execute(tasks, options.early_exit);
 
-  const Vertex n = topology.num_vertices();
-  RunOutcome combined;
-  combined.completed = true;
-  combined.verdicts.assign(n, Verdict::Accept);
-  combined.metrics.bits_sent_by_node.assign(n, 0);
-  combined.metrics.repetitions_executed = result.executed;
-  combined.metrics.repetitions_skipped = result.skipped;
+  RunOutcome combined = make_amplified_accumulator(topology.num_vertices());
   for (auto& slot : result.outcomes) {
     if (!slot.has_value()) continue;  // skipped by early exit
-    RunOutcome& rep = *slot;
-    combined.completed = combined.completed && rep.completed;
-    combined.detected = combined.detected || rep.detected;
-    for (Vertex v = 0; v < n; ++v)
-      if (rep.verdicts[v] == Verdict::Reject)
-        combined.verdicts[v] = Verdict::Reject;
-    combined.metrics.rounds += rep.metrics.rounds;
-    combined.metrics.messages += rep.metrics.messages;
-    combined.metrics.total_bits += rep.metrics.total_bits;
-    combined.metrics.max_message_bits =
-        std::max(combined.metrics.max_message_bits,
-                 rep.metrics.max_message_bits);
-    for (Vertex v = 0; v < n; ++v)
-      combined.metrics.bits_sent_by_node[v] +=
-          rep.metrics.bits_sent_by_node[v];
-    combined.transcript.insert(
-        combined.transcript.end(),
-        std::make_move_iterator(rep.transcript.begin()),
-        std::make_move_iterator(rep.transcript.end()));
-    // Traces merge in repetition order — the deterministic task order the
-    // batch guarantees — so the combined trace is jobs-count independent.
-    combined.trace.append(rep.trace);
-    combined.metrics.trace_bytes += rep.metrics.trace_bytes;
-    combined.metrics.counters.merge(rep.metrics.counters);
-    combined.metrics.timers.merge(rep.metrics.timers);
-    FaultReport& f = combined.faults;
-    FaultReport& rf = rep.faults;
-    f.frames_dropped += rf.frames_dropped;
-    f.frames_corrupted += rf.frames_corrupted;
-    f.retransmissions += rf.retransmissions;
-    f.checksum_rejects += rf.checksum_rejects;
-    f.duplicate_packets += rf.duplicate_packets;
-    f.duplicate_acks += rf.duplicate_acks;
-    f.transport_failures += rf.transport_failures;
-    f.crashed_nodes.insert(f.crashed_nodes.end(), rf.crashed_nodes.begin(),
-                           rf.crashed_nodes.end());
-    f.stalled_nodes.insert(f.stalled_nodes.end(), rf.stalled_nodes.begin(),
-                           rf.stalled_nodes.end());
-    f.violations.insert(f.violations.end(),
-                        std::make_move_iterator(rf.violations.begin()),
-                        std::make_move_iterator(rf.violations.end()));
-    f.detected_by_survivors =
-        f.detected_by_survivors || rf.detected_by_survivors;
+    merge_amplified(combined, std::move(*slot));
   }
+  combined.metrics.repetitions_executed = result.executed;
+  combined.metrics.repetitions_skipped = result.skipped;
   return combined;
 }
 

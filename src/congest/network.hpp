@@ -35,6 +35,7 @@
 
 #include "congest/faults.hpp"
 #include "congest/program.hpp"
+#include "congest/snapshot.hpp"
 #include "graph/graph.hpp"
 #include "obs/metrics.hpp"
 #include "obs/round_trace.hpp"
@@ -72,6 +73,17 @@ struct NetworkConfig {
   /// the run loop then pays a single predicted branch per message and the
   /// outcome's trace stays empty (RunMetrics::trace_bytes == 0).
   obs::TraceOptions trace;
+  /// Capture a csd-ckpt-v1 snapshot at the top of this round (0 = off).
+  /// The run continues unperturbed — capture consumes no randomness and
+  /// changes no state — and RunOutcome::checkpoint carries the snapshot
+  /// (null if the run ended before the round was reached). Incompatible
+  /// with record_transcript and on_message (neither can be serialized).
+  std::uint64_t checkpoint_at_round = 0;
+  /// Stall watchdog: if a window of this many consecutive rounds delivers
+  /// no message and sees no halt or crash while unhalted nodes remain, cut
+  /// the run (FaultReport::watchdog_stalls = 1, stragglers recorded as
+  /// stalled) instead of spinning to max_rounds. 0 = disabled.
+  std::uint64_t stall_window = 0;
 };
 
 /// One recorded message (only populated when record_transcript is set).
@@ -141,6 +153,12 @@ struct RunOutcome {
   /// run. See congest/faults.hpp. Amplified: counters summed, node/violation
   /// lists concatenated in repetition order.
   FaultReport faults;
+  /// The csd-ckpt-v1 snapshot requested via NetworkConfig::checkpoint_at_round
+  /// (null when disabled or when the run ended before that round). Shared,
+  /// not copied, through batch aggregation; run_amplified keeps the first
+  /// repetition's snapshot only (repetition-granular checkpointing of
+  /// batches is the Supervisor's job).
+  std::shared_ptr<const Snapshot> checkpoint;
 };
 
 /// Synchronous simulator over a fixed topology and identifier assignment.
@@ -170,12 +188,27 @@ class Network {
   /// Network serves every repetition of an amplified run.
   RunOutcome run(const ProgramFactory& factory, std::uint64_t seed) const;
 
+  /// Continue a run frozen by checkpoint_at_round. The snapshot must be of
+  /// kind Sync and belong to this topology/config (identity digests are
+  /// CHECKed); the run seed comes from the snapshot, not the config. The
+  /// resumed outcome is bit-identical to the uninterrupted run except that
+  /// its trace covers only rounds >= the checkpoint round (earlier rounds
+  /// appear as quiet) and timers restart at zero.
+  RunOutcome resume(const ProgramFactory& factory,
+                    const Snapshot& snapshot) const;
+
+  /// Digest of the engine-relevant config knobs (bandwidth, max_rounds,
+  /// namespace, broadcast mode, fault plan); part of SnapshotIdentity.
+  std::uint64_t config_digest() const;
+
   const Graph& topology() const noexcept { return topology_; }
   const std::vector<NodeId>& ids() const noexcept { return ids_; }
   const NetworkConfig& config() const noexcept { return config_; }
 
  private:
   void build_topology_tables();
+  RunOutcome run_impl(const ProgramFactory& factory, std::uint64_t seed,
+                      const SyncSnapshot* resume_from) const;
 
   Graph topology_;
   NetworkConfig config_;
@@ -204,6 +237,15 @@ struct AmplifyOptions {
   /// when measuring per-repetition round budgets).
   bool early_exit = true;
 };
+
+/// A fresh all-Accept aggregate for `n` nodes, ready for merge_amplified.
+RunOutcome make_amplified_accumulator(Vertex n);
+
+/// Fold one repetition's outcome into `combined` under run_amplified's
+/// aggregation rules (documented on run_amplified below). Exposed so the
+/// Supervisor — which owns its own repetition loop with retries, deadlines,
+/// and repetition-granular checkpoints — aggregates identically.
+void merge_amplified(RunOutcome& combined, RunOutcome&& rep);
 
 /// Run a randomized detection algorithm `repetitions` times with derived
 /// seeds (derive_seed(config.seed, 0x5eed + rep), the schedule the async

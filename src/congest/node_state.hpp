@@ -113,6 +113,15 @@ class NodeState final : public NodeApi {
   /// The engine owns the trace; it must outlive this NodeState.
   void set_trace(obs::RunTrace* trace) { trace_ = trace; }
 
+  /// Redirect violation recording (non-null, engine-owned). Snapshot resume
+  /// and node recovery replay past rounds through a scratch sink — the
+  /// restored FaultReport already carries those violations — then point the
+  /// node back at the live report before handing it to the run loop.
+  void set_violation_sink(std::vector<ProtocolViolation>* violations) {
+    CSD_CHECK(violations != nullptr);
+    violations_ = violations;
+  }
+
   void set_neighbor_ids(std::vector<NodeId> ids) {
     owned_neighbor_ids_ = std::move(ids);
     neighbor_ids_ = &owned_neighbor_ids_;

@@ -1,0 +1,221 @@
+// Deterministic engine snapshots: the csd-ckpt-v1 format.
+//
+// A Snapshot freezes a run mid-flight so it can be discarded and resumed
+// later — on another process, another day — with the contract that the
+// resumed run is *bit-identical* to the uninterrupted one: same verdicts,
+// same FaultReport, same trace suffix, at every --jobs count. Three
+// granularities share the schema:
+//   * SyncSnapshot      — the synchronous Network at a round boundary;
+//   * AsyncSnapshot     — the async engine between two events (scheduler
+//                         queue, synchronizer state, ARQ endpoints, RNG
+//                         streams, fault-plan cursor — everything);
+//   * AmplifiedSnapshot — an amplified/supervised batch at a repetition
+//                         boundary (the aggregated prefix outcome).
+//
+// Program state is NOT serialized. NodeProgram objects are arbitrary user
+// code, so the snapshot instead records every node's *delivered inbox log*
+// (sender-based message logging): programs are pure functions of their
+// inbox history and their seeded RNG draws, so replaying the logged inboxes
+// through a freshly constructed program — sends discarded, violations
+// routed to a scratch sink — reconstructs its internal state bit-exactly.
+// The replay is fault-transparent: logged payloads are post-corruption, and
+// the fault injector's stream positions are restored directly, so no fate
+// is ever re-drawn.
+//
+// Zero-observer contract: capturing a checkpoint never perturbs the run it
+// is captured from. Logging copies payloads, capture copies state, and no
+// RNG is consumed — a run with checkpointing enabled reaches the very same
+// outcome as one without (fuzzer-enforced, src/fuzz/differential.cpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "congest/faults.hpp"
+#include "congest/program.hpp"
+#include "congest/transport.hpp"
+#include "graph/graph.hpp"
+#include "obs/json.hpp"
+#include "support/bitvec.hpp"
+
+namespace csd::congest {
+
+inline constexpr const char* kSnapshotSchema = "csd-ckpt-v1";
+
+/// Raw xoshiro256** position (Rng::state / Rng::set_state).
+using RngState = std::array<std::uint64_t, 4>;
+
+/// Delivered-inbox history of one node. entries[r][p] holds the payload
+/// that reached port p's inbox for consumption at round/pulse r (post-
+/// corruption — exactly what the program saw), nullopt when the port was
+/// silent. entries[0] is always all-nullopt: round 0 has an empty inbox by
+/// construction. This is the raw material of program-state reconstruction.
+struct InboxLog {
+  std::vector<std::vector<std::optional<BitVec>>> entries;
+};
+
+/// Fingerprint of the run a snapshot belongs to. Resume CHECK-fails on a
+/// mismatch instead of silently replaying a log against the wrong topology
+/// or fault plan.
+struct SnapshotIdentity {
+  std::uint64_t topology = 0;  ///< digest over n, adjacency, identifiers
+  std::uint64_t config = 0;    ///< digest over the engine knobs + fault plan
+  std::uint64_t seed = 0;      ///< the run seed (per-repetition under batch)
+
+  friend bool operator==(const SnapshotIdentity&,
+                         const SnapshotIdentity&) = default;
+};
+
+/// FNV-1a step for the digests above.
+constexpr std::uint64_t digest_mix(std::uint64_t h, std::uint64_t v) noexcept {
+  h ^= v;
+  h *= 1099511628211ULL;
+  return h;
+}
+inline constexpr std::uint64_t kDigestSeed = 1469598103934665603ULL;
+
+/// Digest over vertex count, full adjacency, and identifier assignment.
+std::uint64_t topology_digest(const Graph& topology,
+                              const std::vector<NodeId>& ids);
+
+/// Digest over a fault plan (drop/corrupt probabilities bit-exactly,
+/// corrupt_headers, crash schedule). Folded into the config digests.
+std::uint64_t fault_plan_digest(const FaultPlan& plan);
+
+// ---------------------------------------------------------------- sync --
+
+/// The synchronous Network frozen at the top of round `round`: delivery for
+/// round-1 -> round has happened (the live inbox is entries[round] of each
+/// log), no round-`round` program has run.
+struct SyncSnapshot {
+  SnapshotIdentity identity;
+  std::uint64_t round = 0;
+  std::vector<InboxLog> inbox;  // per node
+  // Replay-derived state, stored for validation: resume CHECKs its replay
+  // reproduces exactly these flags before trusting the reconstruction.
+  std::vector<std::uint8_t> crashed;
+  std::vector<std::uint8_t> halted;
+  // Accounting accumulated over rounds < round.
+  std::uint64_t messages = 0;
+  std::uint64_t total_bits = 0;
+  std::uint64_t max_message_bits = 0;
+  std::vector<std::uint64_t> bits_sent_by_node;
+  std::uint64_t trace_bytes = 0;
+  FaultReport faults;
+  /// Fault-injector stream positions, [src][port]; empty when fault-free.
+  std::vector<std::vector<RngState>> fault_streams;
+};
+
+// --------------------------------------------------------------- async --
+
+/// One scheduler event (mirror of the engine-internal Event struct).
+struct EventRecord {
+  std::uint64_t time = 0;
+  std::uint64_t seq = 0;
+  std::uint8_t kind = 0;  // 0 Data, 1 Ack, 2 Timer, 3 Recover
+  std::uint32_t src = 0;
+  std::uint32_t src_port = 0;
+  std::uint32_t dst = 0;
+  std::uint32_t dst_port = 0;
+  std::uint64_t link_seq = 0;
+  std::uint64_t packet_seq = 0;  // Data only
+  std::uint32_t packet_crc = 0;  // Data only
+  Frame frame;                   // Data only
+};
+
+/// Per-node async state: synchronizer bookkeeping, buffered frames, ARQ
+/// endpoints, recovery bookkeeping, and the inbox log for program replay.
+struct AsyncNodeSnapshot {
+  std::uint64_t pulse = 0;
+  std::uint64_t local_time = 0;
+  std::vector<std::vector<Frame>> arrived;  // per port, FIFO order
+  std::vector<std::uint8_t> port_dead;
+  std::uint8_t running = 1;
+  std::uint8_t crashed = 0;
+  std::uint8_t halted = 0;     // validation (replay-derived)
+  std::uint8_t crash_done = 0; // scheduled crash already honored
+  std::uint32_t recoveries_used = 0;
+  InboxLog inbox;
+  std::vector<LinkSenderState> senders;      // reliable mode only, per port
+  std::vector<LinkReceiverState> receivers;  // reliable mode only, per port
+  std::vector<std::uint64_t> link_watermark; // per src-port
+};
+
+/// The async engine frozen between two scheduler events.
+struct AsyncSnapshot {
+  SnapshotIdentity identity;
+  std::vector<AsyncNodeSnapshot> nodes;
+  std::vector<EventRecord> events;
+  std::uint64_t next_event_seq = 0;
+  RngState delay_rng{};
+  std::vector<std::vector<RngState>> fault_streams;
+  std::uint32_t halted_count = 0;
+  std::uint32_t stopped_count = 0;
+  std::uint32_t pending_recoveries = 0;
+  // Accumulated outcome fields.
+  std::uint64_t pulses = 0;
+  std::uint64_t virtual_time = 0;
+  std::uint64_t payload_bits = 0;
+  std::uint64_t overhead_bits = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t transport_bits = 0;
+  std::uint64_t acks = 0;
+  /// Captured after the event loop already ended (the requested pulse was
+  /// crossed inside the final event's cascade). The frozen state IS the
+  /// final state: resume skips the event loop — the leftover events were
+  /// abandoned by the original run and must stay abandoned.
+  std::uint8_t terminal = 0;
+  FaultReport faults;
+};
+
+// ----------------------------------------------------------- amplified --
+
+/// An amplified/supervised batch frozen at a repetition boundary: the
+/// aggregate (run_amplified rules) over repetitions < next_repetition.
+struct AmplifiedSnapshot {
+  SnapshotIdentity identity;
+  std::uint32_t next_repetition = 0;
+  std::uint32_t repetitions = 0;  // total planned
+  std::uint8_t completed = 1;
+  std::uint8_t detected = 0;
+  std::vector<std::uint8_t> verdict_reject;  // per node
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t total_bits = 0;
+  std::uint64_t max_message_bits = 0;
+  std::vector<std::uint64_t> bits_sent_by_node;
+  std::uint32_t repetitions_executed = 0;
+  std::uint32_t repetitions_skipped = 0;
+  std::uint64_t trace_bytes = 0;
+  std::uint32_t retries_used = 0;
+  FaultReport faults;
+};
+
+// ------------------------------------------------------------- wrapper --
+
+struct Snapshot {
+  enum class Kind : std::uint8_t { Sync, Async, Amplified };
+  Kind kind = Kind::Sync;
+  // Exactly one of these is meaningful, selected by `kind`.
+  SyncSnapshot sync;
+  AsyncSnapshot async_state;
+  AmplifiedSnapshot amplified;
+};
+
+const char* to_string(Snapshot::Kind kind) noexcept;
+
+/// Serialize to the csd-ckpt-v1 JSON document (deterministic: insertion-
+/// ordered objects, integer-exact numbers).
+obs::Json to_json(const Snapshot& snapshot);
+
+/// Strict parse; CheckFailure on schema violations.
+Snapshot snapshot_from_json(const obs::Json& doc);
+
+/// File round-trip (pretty-printed JSON). CheckFailure on I/O errors.
+void save_snapshot(const std::string& path, const Snapshot& snapshot);
+Snapshot load_snapshot(const std::string& path);
+
+}  // namespace csd::congest

@@ -1,0 +1,204 @@
+#include "congest/supervisor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "congest/run_batch.hpp"
+#include "support/check.hpp"
+
+namespace csd::congest {
+
+namespace {
+
+/// A repetition the faults killed: some node never halted (crashed out or
+/// starved) or the engine watchdog cut it. Retry candidates.
+bool fault_killed(const RunOutcome& outcome) {
+  return !outcome.completed || outcome.faults.watchdog_stalls != 0;
+}
+
+Snapshot make_amplified_snapshot(const SnapshotIdentity& identity,
+                                 const RunOutcome& combined,
+                                 std::uint32_t next_repetition,
+                                 std::uint32_t repetitions,
+                                 std::uint32_t retries_used) {
+  Snapshot snap;
+  snap.kind = Snapshot::Kind::Amplified;
+  AmplifiedSnapshot& amp = snap.amplified;
+  amp.identity = identity;
+  amp.next_repetition = next_repetition;
+  amp.repetitions = repetitions;
+  amp.completed = combined.completed ? 1 : 0;
+  amp.detected = combined.detected ? 1 : 0;
+  amp.verdict_reject.resize(combined.verdicts.size());
+  for (std::size_t v = 0; v < combined.verdicts.size(); ++v)
+    amp.verdict_reject[v] = combined.verdicts[v] == Verdict::Reject ? 1 : 0;
+  amp.rounds = combined.metrics.rounds;
+  amp.messages = combined.metrics.messages;
+  amp.total_bits = combined.metrics.total_bits;
+  amp.max_message_bits = combined.metrics.max_message_bits;
+  amp.bits_sent_by_node = combined.metrics.bits_sent_by_node;
+  amp.repetitions_executed = combined.metrics.repetitions_executed;
+  amp.repetitions_skipped = combined.metrics.repetitions_skipped;
+  amp.trace_bytes = combined.metrics.trace_bytes;
+  amp.retries_used = retries_used;
+  amp.faults = combined.faults;
+  return snap;
+}
+
+NetworkConfig with_stall_window(NetworkConfig config,
+                                const SupervisorConfig& sup) {
+  if (sup.stall_window != 0) config.stall_window = sup.stall_window;
+  return config;
+}
+
+}  // namespace
+
+Supervisor::Supervisor(Graph topology, NetworkConfig config,
+                       SupervisorConfig sup)
+    : net_(std::move(topology), with_stall_window(config, sup)), sup_(sup) {}
+
+SupervisedResult Supervisor::run(const ProgramFactory& factory,
+                                 std::uint32_t repetitions) const {
+  return drive(factory, repetitions, nullptr);
+}
+
+SupervisedResult Supervisor::resume(const ProgramFactory& factory,
+                                    std::uint32_t repetitions,
+                                    const Snapshot& snapshot) const {
+  return drive(factory, repetitions, &snapshot);
+}
+
+SupervisedResult Supervisor::drive(const ProgramFactory& factory,
+                                   std::uint32_t repetitions,
+                                   const Snapshot* resume_from) const {
+  CSD_CHECK(repetitions >= 1);
+  const Vertex n = net_.topology().num_vertices();
+  const SnapshotIdentity identity{topology_digest(net_.topology(), net_.ids()),
+                                  net_.config_digest(), net_.config().seed};
+
+  SupervisedResult result;
+  result.planned = repetitions;
+  RunOutcome combined = make_amplified_accumulator(n);
+  std::uint32_t start_rep = 0;
+
+  if (resume_from != nullptr) {
+    CSD_CHECK_MSG(resume_from->kind == Snapshot::Kind::Amplified,
+                  "Supervisor::resume needs an amplified snapshot, got "
+                      << to_string(resume_from->kind));
+    const AmplifiedSnapshot& amp = resume_from->amplified;
+    CSD_CHECK_MSG(amp.identity == identity,
+                  "snapshot belongs to a different topology/config/seed");
+    CSD_CHECK_MSG(amp.repetitions == repetitions,
+                  "snapshot planned " << amp.repetitions
+                                      << " repetitions, caller asked for "
+                                      << repetitions);
+    CSD_CHECK_MSG(amp.verdict_reject.size() == n &&
+                      amp.bits_sent_by_node.size() == n,
+                  "snapshot node count mismatch");
+    start_rep = amp.next_repetition;
+    result.retries_used = amp.retries_used;
+    combined.completed = amp.completed != 0;
+    combined.detected = amp.detected != 0;
+    for (Vertex v = 0; v < n; ++v)
+      combined.verdicts[v] =
+          amp.verdict_reject[v] != 0 ? Verdict::Reject : Verdict::Accept;
+    combined.metrics.rounds = amp.rounds;
+    combined.metrics.messages = amp.messages;
+    combined.metrics.total_bits = amp.total_bits;
+    combined.metrics.max_message_bits = amp.max_message_bits;
+    combined.metrics.bits_sent_by_node = amp.bits_sent_by_node;
+    combined.metrics.repetitions_executed = amp.repetitions_executed;
+    combined.metrics.repetitions_skipped = amp.repetitions_skipped;
+    combined.metrics.trace_bytes = amp.trace_bytes;
+    combined.faults = amp.faults;
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const auto started = Clock::now();
+  const auto deadline_expired = [&] {
+    if (sup_.deadline_ms == 0) return false;
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        Clock::now() - started);
+    return static_cast<std::uint64_t>(elapsed.count()) >= sup_.deadline_ms;
+  };
+
+  const RunBatch batch(sup_.jobs);
+  const std::uint32_t wave_size = std::max(1u, resolve_jobs(sup_.jobs));
+  bool detected = combined.detected;
+  std::uint32_t rep = start_rep;
+
+  std::uint32_t merged_this_call = 0;
+  while (rep < repetitions && !(sup_.early_exit && detected)) {
+    if (deadline_expired()) {
+      result.deadline_hit = true;
+      break;
+    }
+    std::uint32_t wave = std::min<std::uint32_t>(wave_size, repetitions - rep);
+    if (sup_.max_reps_per_call != 0) {
+      if (merged_this_call >= sup_.max_reps_per_call) {
+        result.paused = true;
+        break;
+      }
+      wave = std::min(wave, sup_.max_reps_per_call - merged_this_call);
+    }
+    std::vector<std::uint64_t> seeds(wave);
+    std::vector<RunBatch::Task> tasks(wave);
+    for (std::uint32_t i = 0; i < wave; ++i) {
+      seeds[i] = derive_seed(net_.config().seed, 0x5eedULL + (rep + i));
+      tasks[i] = {&net_, &factory, seeds[i]};
+    }
+    RunBatch::Result wave_result = batch.execute(tasks, sup_.early_exit);
+
+    std::uint32_t processed = 0;
+    for (std::uint32_t i = 0; i < wave; ++i) {
+      auto& slot = wave_result.outcomes[i];
+      if (!slot.has_value()) break;  // beyond the wave's early-exit cut
+      RunOutcome rep_outcome = std::move(*slot);
+      std::uint64_t merged_seed = seeds[i];
+      // Retry-with-reseed: deterministic seed chain off the repetition
+      // seed, so a resumed supervisor re-derives the same decisions.
+      std::uint32_t attempt = 0;
+      while (fault_killed(rep_outcome) && attempt < sup_.max_retries) {
+        merged_seed = derive_seed(seeds[i], 0x9e7ULL + attempt);
+        rep_outcome = net_.run(factory, merged_seed);
+        ++attempt;
+        ++result.retries_used;
+      }
+      const bool over_budget = sup_.round_budget != 0 &&
+                               rep_outcome.metrics.rounds >= sup_.round_budget;
+      if (fault_killed(rep_outcome) || over_budget) {
+        StallReport report;
+        report.repetition = rep + i;
+        report.seed = merged_seed;
+        report.rounds = rep_outcome.metrics.rounds;
+        report.stalled_nodes = static_cast<std::uint32_t>(
+            rep_outcome.faults.stalled_nodes.size());
+        report.watchdog = rep_outcome.faults.watchdog_stalls != 0;
+        report.over_budget = over_budget;
+        report.incomplete = !rep_outcome.completed;
+        result.stalls.push_back(report);
+      }
+      merge_amplified(combined, std::move(rep_outcome));
+      ++processed;
+      detected = combined.detected;
+      if (sup_.early_exit && detected) break;
+    }
+    rep += processed;
+    merged_this_call += processed;
+    result.checkpoint = std::make_shared<Snapshot>(make_amplified_snapshot(
+        identity, combined, rep, repetitions, result.retries_used));
+    if (processed < wave) break;  // early exit cut inside this wave
+  }
+
+  combined.metrics.repetitions_skipped =
+      repetitions - combined.metrics.repetitions_executed;
+  // Rebuild the counters from the merged report: the per-repetition
+  // counter registries are not serialized, and every fault counter is a
+  // linear function of the report, so run and resume stay identical.
+  combined.metrics.counters = fault_counters(combined.faults);
+  result.outcome = std::move(combined);
+  return result;
+}
+
+}  // namespace csd::congest

@@ -60,6 +60,31 @@ std::uint64_t LinkSender::timeout_for(std::uint64_t seq,
   return base_rto << shift;
 }
 
+std::vector<std::uint64_t> LinkSender::pending_seqs() const {
+  std::vector<std::uint64_t> seqs;
+  seqs.reserve(pending_.size());
+  for (const auto& [seq, pending] : pending_) seqs.push_back(seq);
+  return seqs;
+}
+
+LinkSenderState LinkSender::save_state() const {
+  LinkSenderState state;
+  state.next_seq = next_seq_;
+  state.pending.reserve(pending_.size());
+  for (const auto& [seq, pending] : pending_)
+    state.pending.push_back(
+        {seq, pending.frame, pending.crc, pending.attempts});
+  return state;
+}
+
+void LinkSender::restore_state(const LinkSenderState& state) {
+  next_seq_ = state.next_seq;
+  pending_.clear();
+  for (const auto& entry : state.pending)
+    pending_.emplace(entry.seq,
+                     Pending{entry.frame, entry.crc, entry.attempts});
+}
+
 LinkReceiver::Accept LinkReceiver::on_data(const DataPacket& packet) {
   Accept accept;
   if (packet_checksum(packet.seq, packet.frame, config_) != packet.crc) {
@@ -81,6 +106,22 @@ LinkReceiver::Accept LinkReceiver::on_data(const DataPacket& packet) {
     ++next_expected_;
   }
   return accept;
+}
+
+LinkReceiverState LinkReceiver::save_state() const {
+  LinkReceiverState state;
+  state.next_expected = next_expected_;
+  state.reorder.reserve(reorder_.size());
+  for (const auto& [seq, frame] : reorder_)
+    state.reorder.push_back({seq, frame});
+  return state;
+}
+
+void LinkReceiver::restore_state(const LinkReceiverState& state) {
+  next_expected_ = state.next_expected;
+  reorder_.clear();
+  for (const auto& entry : state.reorder)
+    reorder_.emplace(entry.seq, entry.frame);
 }
 
 }  // namespace csd::congest

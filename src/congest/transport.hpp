@@ -94,6 +94,31 @@ struct DataPacket {
 std::uint32_t packet_checksum(std::uint64_t seq, const Frame& frame,
                               const TransportConfig& config);
 
+/// Serialized state of a LinkSender (snapshot/resume support). Plain data:
+/// the next sequence number plus every unacknowledged packet with its retry
+/// count, enough to rebuild the endpoint mid-conversation.
+struct LinkSenderState {
+  struct PendingEntry {
+    std::uint64_t seq = 0;
+    Frame frame;
+    std::uint32_t crc = 0;
+    std::uint32_t attempts = 1;
+  };
+  std::uint64_t next_seq = 0;
+  std::vector<PendingEntry> pending;  // ascending seq
+};
+
+/// Serialized state of a LinkReceiver: the in-order cursor plus the reorder
+/// buffer of frames received ahead of it.
+struct LinkReceiverState {
+  struct ReorderEntry {
+    std::uint64_t seq = 0;
+    Frame frame;
+  };
+  std::uint64_t next_expected = 0;
+  std::vector<ReorderEntry> reorder;  // ascending seq
+};
+
 /// Sender endpoint of one directed link.
 class LinkSender {
  public:
@@ -124,6 +149,14 @@ class LinkSender {
 
   /// Packets not yet acknowledged or abandoned.
   std::size_t in_flight() const noexcept { return pending_.size(); }
+
+  /// Sequence numbers of all in-flight packets, ascending. Used by node
+  /// recovery to re-arm retransmission timers after a rejoin (the timers a
+  /// crashed host would have serviced fired into the void).
+  std::vector<std::uint64_t> pending_seqs() const;
+
+  LinkSenderState save_state() const;
+  void restore_state(const LinkSenderState& state);
 
  private:
   struct Pending {
@@ -161,6 +194,9 @@ class LinkReceiver {
   Accept on_data(const DataPacket& packet);
 
   std::uint64_t next_expected() const noexcept { return next_expected_; }
+
+  LinkReceiverState save_state() const;
+  void restore_state(const LinkReceiverState& state);
 
  private:
   TransportConfig config_;

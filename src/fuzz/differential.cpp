@@ -1,9 +1,12 @@
 #include "fuzz/differential.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "congest/async.hpp"
 #include "congest/network.hpp"
+#include "congest/snapshot.hpp"
+#include "congest/supervisor.hpp"
 #include "graph/oracle.hpp"
 #include "graph/vf2.hpp"
 #include "support/check.hpp"
@@ -60,6 +63,214 @@ AsyncDigest digest(const congest::AsyncRunOutcome& o) {
           o.verdicts,      o.pulses,   o.payload_bits,
           o.overhead_bits, o.frames,   o.transport_bits,
           o.acks,          o.faults};
+}
+
+/// Everything a resumed sync run must reproduce bit-for-bit.
+struct SyncDigest {
+  bool completed;
+  bool detected;
+  std::vector<congest::Verdict> verdicts;
+  std::uint64_t rounds;
+  std::uint64_t messages;
+  std::uint64_t total_bits;
+  std::uint64_t max_message_bits;
+  std::vector<std::uint64_t> bits_sent_by_node;
+  congest::FaultReport faults;
+
+  friend bool operator==(const SyncDigest&, const SyncDigest&) = default;
+};
+
+SyncDigest digest(const congest::RunOutcome& o) {
+  return {o.completed,
+          o.detected,
+          o.verdicts,
+          o.metrics.rounds,
+          o.metrics.messages,
+          o.metrics.total_bits,
+          o.metrics.max_message_bits,
+          o.metrics.bits_sent_by_node,
+          o.faults};
+}
+
+/// The resumed trace must match the uninterrupted one for every round at or
+/// past the resume point (earlier rounds are quiet in the resumed trace).
+/// Phases are compared by NAME: the traces intern names in first-use order,
+/// so the indices may disagree when the prefix declared phases the resumed
+/// run never saw.
+bool trace_suffix_matches(const obs::RunTrace& full,
+                          const obs::RunTrace& resumed, std::uint64_t from) {
+  const auto& a = full.rounds();
+  const auto& b = resumed.rounds();
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = from; i < a.size(); ++i) {
+    if (a[i].round != b[i].round || a[i].messages != b[i].messages ||
+        a[i].bits != b[i].bits || a[i].node_messages != b[i].node_messages ||
+        a[i].node_bits != b[i].node_bits)
+      return false;
+    if ((a[i].phase >= 0) != (b[i].phase >= 0)) return false;
+    if (a[i].phase >= 0 &&
+        full.phase_names()[static_cast<std::size_t>(a[i].phase)] !=
+            resumed.phase_names()[static_cast<std::size_t>(b[i].phase)])
+      return false;
+  }
+  return true;
+}
+
+/// Serialize the snapshot to JSON and parse it back — the resume below then
+/// exercises the csd-ckpt-v1 wire format, not just the in-memory structs.
+congest::Snapshot wire_round_trip(const congest::Snapshot& snap) {
+  return congest::snapshot_from_json(
+      obs::Json::parse(congest::to_json(snap).dump()));
+}
+
+/// Checkpoint-at-a-random-round, discard the engine, resume: the observed
+/// run must be a zero observer of the reference (capturing changes nothing)
+/// and the resumed continuation must be bit-identical on verdicts, fault
+/// report, accounting, and the trace suffix.
+std::optional<Divergence> check_sync_resume(
+    const Graph& host, congest::NetworkConfig cfg,
+    const congest::ProgramFactory& factory,
+    const congest::RunOutcome& reference, std::uint64_t pick_seed,
+    const char* name) {
+  if (reference.metrics.rounds < 2) return std::nullopt;
+  cfg.checkpoint_at_round = 1 + pick_seed % (reference.metrics.rounds - 1);
+  const congest::Network net(host, cfg);
+  const congest::RunOutcome observed = net.run(factory);
+  // Round records must match in full; raw trace bytes may not — the
+  // checkpointing run legitimately reports a checkpoints_taken counter in
+  // the trace summary.
+  if (!(digest(observed) == digest(reference)) ||
+      !trace_suffix_matches(reference.trace, observed.trace, 0)) {
+    std::ostringstream os;
+    os << name << ": checkpointing at round " << cfg.checkpoint_at_round
+       << " changed the run (rounds " << observed.metrics.rounds << "/"
+       << reference.metrics.rounds << ", bits "
+       << observed.metrics.total_bits << "/" << reference.metrics.total_bits
+       << ")";
+    return diverge("checkpoint-zero-observer", os);
+  }
+  if (observed.checkpoint == nullptr) {
+    std::ostringstream os;
+    os << name << ": no snapshot captured at round "
+       << cfg.checkpoint_at_round << " of a " << reference.metrics.rounds
+       << "-round run";
+    return diverge("checkpoint-missing", os);
+  }
+  const congest::RunOutcome resumed =
+      net.resume(factory, wire_round_trip(*observed.checkpoint));
+  if (!(digest(resumed) == digest(reference))) {
+    std::ostringstream os;
+    os << name << ": resume from round " << cfg.checkpoint_at_round
+       << " diverged (verdicts " << verdicts_str(resumed.verdicts) << " vs "
+       << verdicts_str(reference.verdicts) << ", bits "
+       << resumed.metrics.total_bits << " vs "
+       << reference.metrics.total_bits << ")";
+    return diverge("checkpoint-resume", os);
+  }
+  if (!trace_suffix_matches(reference.trace, resumed.trace,
+                            cfg.checkpoint_at_round)) {
+    std::ostringstream os;
+    os << name << ": resumed trace suffix differs from the uninterrupted "
+       << "trace past round " << cfg.checkpoint_at_round;
+    return diverge("checkpoint-resume", os);
+  }
+  return std::nullopt;
+}
+
+/// The async flavour of check_sync_resume (both wire disciplines, and the
+/// recovery configuration when the caller enables it in `cfg`).
+std::optional<Divergence> check_async_resume(
+    const Graph& host, congest::AsyncConfig cfg,
+    const congest::ProgramFactory& factory,
+    const congest::AsyncRunOutcome& reference, std::uint64_t pick_seed,
+    const char* name) {
+  if (reference.pulses < 2) return std::nullopt;
+  cfg.checkpoint_at_pulse = 1 + pick_seed % (reference.pulses - 1);
+  const congest::AsyncRunOutcome observed = run_async(host, cfg, factory);
+  if (!(digest(observed) == digest(reference)) ||
+      !trace_suffix_matches(reference.trace, observed.trace, 0)) {
+    std::ostringstream os;
+    os << name << ": checkpointing at pulse " << cfg.checkpoint_at_pulse
+       << " changed the run (pulses " << observed.pulses << "/"
+       << reference.pulses << ", payload " << observed.payload_bits << "/"
+       << reference.payload_bits << ")";
+    return diverge("checkpoint-zero-observer", os);
+  }
+  if (observed.checkpoint == nullptr) {
+    // An event-free run (no edges anywhere) never enters the event loop and
+    // so never crosses a capture point; there is nothing to freeze.
+    if (observed.frames == 0) return std::nullopt;
+    std::ostringstream os;
+    os << name << ": no snapshot captured at pulse "
+       << cfg.checkpoint_at_pulse << " of a " << reference.pulses
+       << "-pulse run";
+    return diverge("checkpoint-missing", os);
+  }
+  const congest::AsyncRunOutcome resumed =
+      resume_async(host, cfg, factory, wire_round_trip(*observed.checkpoint));
+  if (!(digest(resumed) == digest(reference))) {
+    std::ostringstream os;
+    os << name << ": resume from pulse "
+       << observed.checkpoint->async_state.pulses << " diverged (verdicts "
+       << verdicts_str(resumed.verdicts) << " vs "
+       << verdicts_str(reference.verdicts) << ", payload "
+       << resumed.payload_bits << " vs " << reference.payload_bits << ")";
+    return diverge("checkpoint-resume", os);
+  }
+  if (!trace_suffix_matches(reference.trace, resumed.trace,
+                            observed.checkpoint->async_state.pulses)) {
+    std::ostringstream os;
+    os << name << ": resumed trace suffix differs from the uninterrupted "
+       << "trace past pulse " << observed.checkpoint->async_state.pulses;
+    return diverge("checkpoint-resume", os);
+  }
+  return std::nullopt;
+}
+
+/// Drive the supervisor in slices through its amplified checkpoints at
+/// --jobs 1 and 4 and require the reassembled aggregate to match the
+/// uninterrupted reference bit for bit.
+std::optional<Divergence> check_supervised_resume(
+    const Graph& host, const congest::NetworkConfig& cfg,
+    const congest::ProgramFactory& factory, std::uint32_t repetitions,
+    const congest::RunOutcome& reference, std::uint64_t pick_seed,
+    std::uint32_t max_retries) {
+  for (const unsigned jobs : {1u, 4u}) {
+    congest::SupervisorConfig sup;
+    sup.jobs = jobs;
+    sup.early_exit = false;
+    sup.max_retries = max_retries;
+    sup.max_reps_per_call =
+        1 + static_cast<std::uint32_t>(pick_seed % repetitions);
+    const congest::Supervisor supervisor(host, cfg, sup);
+    congest::SupervisedResult sr = supervisor.run(factory, repetitions);
+    std::uint32_t slices = 1;
+    while (sr.paused) {
+      if (sr.checkpoint == nullptr || ++slices > repetitions + 1) {
+        std::ostringstream os;
+        os << "supervisor at --jobs " << jobs << " paused "
+           << (sr.checkpoint == nullptr ? "without a checkpoint"
+                                        : "more often than it has work");
+        return diverge("supervised-resume", os);
+      }
+      sr = supervisor.resume(factory, repetitions,
+                             wire_round_trip(*sr.checkpoint));
+    }
+    if (!(digest(sr.outcome) == digest(reference)) ||
+        sr.outcome.metrics.repetitions_executed !=
+            reference.metrics.repetitions_executed ||
+        sr.outcome.metrics.repetitions_skipped !=
+            reference.metrics.repetitions_skipped) {
+      std::ostringstream os;
+      os << "supervised slices of " << sup.max_reps_per_call << " at --jobs "
+         << jobs << " reassembled a different aggregate (detected "
+         << sr.outcome.detected << "/" << reference.detected << ", bits "
+         << sr.outcome.metrics.total_bits << "/"
+         << reference.metrics.total_bits << ")";
+      return diverge("supervised-resume", os);
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace
@@ -193,6 +404,19 @@ std::optional<Divergence> check_case(const FuzzCase& c,
           return diverge("reliable-transport-accounting", os);
         }
       }
+      if (rep == 0) {
+        if (auto d = check_async_resume(host, cfg, factory, async, c.seed,
+                                        name))
+          return d;
+      }
+    }
+    // -- checkpoint/kill/resume against the first repetition ----------------
+    if (rep == 0) {
+      congest::NetworkConfig ckpt_cfg = sync_cfg;
+      ckpt_cfg.seed = rep_seed;
+      if (auto d = check_sync_resume(host, ckpt_cfg, factory, sync, c.seed,
+                                     "sync"))
+        return d;
     }
     sync_reps.push_back(std::move(sync));
   }
@@ -294,6 +518,16 @@ std::optional<Divergence> check_case(const FuzzCase& c,
     return diverge("early-exit", os);
   }
 
+  // Supervisor in slices (pause via max_reps_per_call, resume from the
+  // amplified checkpoint) must reassemble the uninterrupted aggregate at
+  // every --jobs count.
+  if (c.repetitions >= 2) {
+    if (auto d = check_supervised_resume(host, sync_cfg, factory,
+                                         c.repetitions, amplified, c.seed,
+                                         /*max_retries=*/0))
+      return d;
+  }
+
   if (!c.has_faults()) return std::nullopt;
 
   // -- faulty runs: determinism + reliable-transport recovery ---------------
@@ -320,6 +554,11 @@ std::optional<Divergence> check_case(const FuzzCase& c,
        << s1.faults.detected_by_survivors << " != detected " << s1.detected;
     return diverge("survivor-verdict", os);
   }
+  // The resume contract holds under injected faults too: the snapshot
+  // carries the fault-stream RNG states and the partial FaultReport.
+  if (auto d = check_sync_resume(host, faulty_sync, factory, s1,
+                                 derive_seed(c.seed, 0xC4), "faulty-sync"))
+    return d;
 
   for (const auto mode :
        {congest::TransportMode::Raw, congest::TransportMode::Reliable}) {
@@ -385,6 +624,80 @@ std::optional<Divergence> check_case(const FuzzCase& c,
         return diverge("reliable-recovery", os);
       }
     }
+    if (auto d = check_async_resume(host, cfg, factory, a1,
+                                    derive_seed(c.seed, 0xC5), name))
+      return d;
+  }
+
+  // -- node recovery oracle -------------------------------------------------
+  // With scheduled crashes, reliable transport, and the recovery policy on,
+  // every crashed node rejoins and replays its logged history. When no
+  // conversation exhausted its retry budget the healed run must complete and
+  // land on the fault-free verdicts — the crash was fully masked.
+  if (!c.crashes.empty()) {
+    congest::AsyncConfig rec = async_cfg;
+    rec.faults = plan;
+    rec.transport = congest::TransportMode::Reliable;
+    rec.recovery.enabled = true;
+    const congest::AsyncRunOutcome h1 = run_async(host, rec, factory);
+    const congest::AsyncRunOutcome h2 = run_async(host, rec, factory);
+    if (!(digest(h1) == digest(h2))) {
+      std::ostringstream os;
+      os << "recovery-enabled run is not deterministic (pulses " << h1.pulses
+         << "/" << h2.pulses << ", replayed " << h1.faults.replayed_pulses
+         << "/" << h2.faults.replayed_pulses << ")";
+      return diverge("recovery-determinism", os);
+    }
+    if (h1.faults.transport_failures == 0) {
+      auto crashed = h1.faults.crashed_nodes;
+      auto recovered = h1.faults.recovered_nodes;
+      std::sort(crashed.begin(), crashed.end());
+      std::sort(recovered.begin(), recovered.end());
+      if (recovered != crashed) {
+        std::ostringstream os;
+        os << "recovery left " << crashed.size() - recovered.size() << " of "
+           << crashed.size() << " crashed nodes dead with retry budget to "
+           << "spare";
+        return diverge("recovery-oracle", os);
+      }
+      if (!h1.completed) {
+        std::ostringstream os;
+        os << "all " << crashed.size() << " crashed nodes rejoined but the "
+           << "run still stalled at pulse " << h1.pulses;
+        return diverge("recovery-oracle", os);
+      }
+      const congest::RunOutcome clean = net.run(factory);
+      if (h1.verdicts != clean.verdicts || h1.detected != clean.detected) {
+        std::ostringstream os;
+        os << "recovered run verdicts " << verdicts_str(h1.verdicts)
+           << " != fault-free sync " << verdicts_str(clean.verdicts)
+           << " (replayed " << h1.faults.replayed_pulses << " pulses)";
+        return diverge("recovery-oracle", os);
+      }
+    }
+    // Checkpoint/resume composes with recovery: a snapshot taken while a
+    // rejoin is pending restores the parked timers and the rejoin event.
+    if (auto d = check_async_resume(host, rec, factory, h1,
+                                    derive_seed(c.seed, 0xC6),
+                                    "async-recovery"))
+      return d;
+  }
+
+  // Supervised slice-resume stays bit-identical under faults as well: the
+  // retry ledger and fault report ride in the amplified snapshot.
+  if (c.repetitions >= 2) {
+    congest::SupervisorConfig ref_sup;
+    ref_sup.jobs = 1;
+    ref_sup.early_exit = false;
+    ref_sup.max_retries = 1;
+    const congest::Supervisor supervisor(host, faulty_sync, ref_sup);
+    const congest::SupervisedResult ref =
+        supervisor.run(factory, c.repetitions);
+    if (auto d = check_supervised_resume(host, faulty_sync, factory,
+                                         c.repetitions, ref.outcome,
+                                         derive_seed(c.seed, 0xC7),
+                                         ref_sup.max_retries))
+      return d;
   }
 
   return std::nullopt;

@@ -25,7 +25,22 @@
 //   * fault determinism: a faulty plan replays to the identical outcome and
 //     FaultReport on every engine, and reliable transport restores the
 //     fault-free verdicts whenever no node crashed and no packet exhausted
-//     its retries.
+//     its retries;
+//   * checkpoint/kill/resume: snapshotting at a case-derived round/pulse is
+//     a zero observer (the checkpointing run matches the plain run byte for
+//     byte), the snapshot survives a csd-ckpt-v1 JSON round trip, and the
+//     resumed continuation reproduces the uninterrupted verdicts, metrics,
+//     FaultReport, and trace suffix — fault-free and under faults, on both
+//     engines;
+//   * supervised slices: a Supervisor driven in max_reps_per_call slices
+//     through its amplified checkpoints reassembles the uninterrupted
+//     aggregate at --jobs 1 and 4, fault-free and with the retry ledger
+//     engaged;
+//   * node recovery: with scheduled crashes, reliable transport, and
+//     RecoveryPolicy on, the run is deterministic, every crashed node
+//     rejoins (none left dead with retry budget to spare), and when no
+//     conversation exhausted its retries the healed run completes with the
+//     fault-free verdicts.
 //
 // The first violated invariant is returned as a Divergence (check id +
 // human-readable detail); nullopt means the case is consistent.

@@ -5,6 +5,7 @@
 // are reproducible bit-for-bit regardless of execution order.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -109,6 +110,17 @@ class Rng {
   /// Sample k distinct values from {0, ..., n-1} (order randomized).
   std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
                                                         std::uint32_t k);
+
+  /// The raw xoshiro256** state, for snapshot/resume. A generator restored
+  /// with set_state produces the exact draw sequence the saved one would
+  /// have produced.
+  std::array<std::uint64_t, 4> state() const noexcept {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+
+  void set_state(const std::array<std::uint64_t, 4>& state) noexcept {
+    for (std::size_t i = 0; i < 4; ++i) state_[i] = state[i];
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {

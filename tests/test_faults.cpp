@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 
+#include "congest/async.hpp"
 #include "congest/faults.hpp"
 #include "congest/network.hpp"
 #include "congest/transport.hpp"
@@ -299,6 +300,113 @@ TEST(FaultReport, RejectFromLaterCrashedNodeCountsAsDetectedOnly) {
   EXPECT_FALSE(outcome.completed);  // a crashed node never counts as halted
   ASSERT_EQ(outcome.faults.crashed_nodes.size(), 1u);
   EXPECT_EQ(outcome.faults.crashed_nodes[0], 0u);
+}
+
+TEST(FaultReport, CrashAtRoundZeroPreemptsTheFirstRound) {
+  // A round-0 crash wins against the node's own round-0 program: the
+  // would-be rejector never executes, so nothing is detected anywhere.
+  class RejectAtZero final : public NodeProgram {
+   public:
+    void on_round(NodeApi& api) override {
+      if (api.id() == 0 && api.round() == 0) api.reject();
+      if (api.round() >= 1) api.halt();
+    }
+  };
+  NetworkConfig cfg;
+  cfg.max_rounds = 4;
+  cfg.faults.crashes.push_back({0, 0});
+  const auto outcome =
+      run_congest(build::path(2), cfg, [](std::uint32_t) {
+        return std::make_unique<RejectAtZero>();
+      });
+  EXPECT_FALSE(outcome.detected);
+  EXPECT_FALSE(outcome.faults.detected_by_survivors);
+  ASSERT_EQ(outcome.faults.crashed_nodes.size(), 1u);
+  EXPECT_EQ(outcome.faults.crashed_nodes[0], 0u);
+}
+
+TEST(FaultReport, AllNodesCrashedAtRoundZeroLeaveAnEmptyRun) {
+  class RejectAtZero final : public NodeProgram {
+   public:
+    void on_round(NodeApi& api) override {
+      api.reject();
+      api.halt();
+    }
+  };
+  NetworkConfig cfg;
+  cfg.max_rounds = 4;
+  for (std::uint32_t v = 0; v < 3; ++v) cfg.faults.crashes.push_back({v, 0});
+  const auto outcome =
+      run_congest(build::cycle(3), cfg, [](std::uint32_t) {
+        return std::make_unique<RejectAtZero>();
+      });
+  EXPECT_FALSE(outcome.detected);
+  EXPECT_FALSE(outcome.faults.detected_by_survivors);
+  EXPECT_FALSE(outcome.completed);
+  EXPECT_EQ(outcome.faults.crashed_nodes.size(), 3u);
+  EXPECT_EQ(outcome.metrics.messages, 0u);
+}
+
+TEST(FaultReport, SoleRejectorSurvivesItsCrashedNeighborhood) {
+  // Every neighbor of the one rejecting node dies before the reject is
+  // issued. The verdict is still collectable — the rejector itself is the
+  // survivor — so detected and detected_by_survivors agree.
+  class CenterRejects final : public NodeProgram {
+   public:
+    void on_round(NodeApi& api) override {
+      if (api.id() == 0 && api.round() == 1) api.reject();
+      if (api.round() >= 2) api.halt();
+    }
+  };
+  const Graph g = build::star(4);  // center 0 + 4 leaves
+  NetworkConfig cfg;
+  cfg.max_rounds = 6;
+  for (std::uint32_t leaf = 1; leaf <= 4; ++leaf)
+    cfg.faults.crashes.push_back({leaf, 0});
+  const auto outcome = run_congest(g, cfg, [](std::uint32_t) {
+    return std::make_unique<CenterRejects>();
+  });
+  EXPECT_TRUE(outcome.detected);
+  EXPECT_TRUE(outcome.faults.detected_by_survivors);
+  EXPECT_FALSE(outcome.completed);  // the crashed leaves never halt
+  EXPECT_EQ(outcome.faults.crashed_nodes.size(), 4u);
+}
+
+TEST(FaultReport, RecoveryRestoresTheRejectingSurvivor) {
+  // Reject-then-crash, async engine. Without recovery the reject is a
+  // detected-only artifact (its issuer is dead at the end); with recovery
+  // the inbox-log replay reproduces the Reject on the restored replica, so
+  // the survivor view regains the verdict and the run completes.
+  class RejectThenLinger final : public NodeProgram {
+   public:
+    void on_round(NodeApi& api) override {
+      if (api.id() == 0 && api.round() == 0) api.reject();
+      if (api.round() >= 2) api.halt();
+    }
+  };
+  const Graph g = build::path(2);
+  AsyncConfig cfg;
+  cfg.max_pulses = 8;
+  cfg.transport = TransportMode::Reliable;
+  cfg.faults.crashes.push_back({0, 1});
+  const auto factory = [](std::uint32_t) {
+    return std::make_unique<RejectThenLinger>();
+  };
+
+  const auto without = run_async(g, cfg, factory);
+  EXPECT_TRUE(without.detected);
+  EXPECT_FALSE(without.faults.detected_by_survivors);
+  EXPECT_TRUE(without.faults.recovered_nodes.empty());
+
+  cfg.recovery.enabled = true;
+  cfg.recovery.rejoin_delay = 1;
+  const auto with = run_async(g, cfg, factory);
+  EXPECT_TRUE(with.detected);
+  EXPECT_TRUE(with.faults.detected_by_survivors);
+  EXPECT_TRUE(with.completed);
+  ASSERT_EQ(with.faults.recovered_nodes.size(), 1u);
+  EXPECT_EQ(with.faults.recovered_nodes[0], 0u);
+  EXPECT_GE(with.faults.replayed_pulses, 1u);
 }
 
 TEST(FaultReport, CleanAndSummary) {

@@ -190,6 +190,21 @@ TEST(Fuzzer, CorpusEntryRoundTrips) {
   EXPECT_TRUE(expect.detected);   // the deterministic detector finds it
 }
 
+TEST(Differential, ResumeContractHoldsAcrossGeneratedCases) {
+  // check_case now verifies the checkpoint/kill/resume contract (sync and
+  // async, fault-free and faulty), supervised slice-resume at --jobs 1 and
+  // 4, and the node-recovery oracle. Sweep a fixed window of generated
+  // cases wide enough to exercise every one of those paths, including the
+  // scheduled-crash cases the recovery oracle needs.
+  std::uint32_t crash_cases = 0;
+  for (std::uint64_t seed = 500; seed < 530; ++seed) {
+    const FuzzCase c = generate_case(seed);
+    if (!c.crashes.empty()) ++crash_cases;
+    EXPECT_TRUE(clean(c)) << "case seed " << seed;
+  }
+  EXPECT_GE(crash_cases, 5u);  // the window must keep covering recovery
+}
+
 TEST(Fuzzer, FixedSeedSmokeRunFindsNoDivergence) {
   FuzzOptions options;
   options.seconds = 0.0;  // case-count bound only

@@ -223,5 +223,152 @@ TEST(Cli, DetectWithFaultFlagsRunsAsyncEngine) {
   std::remove(path.c_str());
 }
 
+TEST(Cli, DetectValidatesFaultFlagEdges) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "csd_cli_val.txt").string();
+  std::string text;
+  ASSERT_EQ(run_cli({"generate", "gnp", "16", "30", "7", "--out", path},
+                    &text),
+            0);
+
+  // Crash node outside the topology.
+  EXPECT_EQ(run_cli({"detect", "triangle", path, "--crash", "99:1"}, &text),
+            2);
+  EXPECT_NE(text.find("but the graph has 16 nodes"), std::string::npos);
+  // Crash round past the round cap: the event could never fire.
+  EXPECT_EQ(run_cli({"detect", "triangle", path, "--crash", "2:100000"},
+                    &text),
+            2);
+  EXPECT_NE(text.find("would never fire"), std::string::npos);
+  // Probabilities outside [0,1] and malformed numbers.
+  EXPECT_EQ(run_cli({"detect", "triangle", path, "--corrupt", "-0.5"}, &text),
+            2);
+  EXPECT_EQ(run_cli({"detect", "triangle", path, "--drop", "zero"}, &text), 2);
+  // --reps 0 is meaningless for every path.
+  EXPECT_EQ(run_cli({"detect", "cycle", "4", path, "--reps", "0"}, &text), 2);
+  EXPECT_EQ(run_cli({"sweep", "cycle", "4", "--reps", "0", "--sizes", "8"},
+                    &text),
+            2);
+  // Checkpoint flags must come in a pair.
+  EXPECT_EQ(run_cli({"detect", "triangle", path, "--checkpoint", "/tmp/x"},
+                    &text),
+            2);
+  EXPECT_NE(text.find("--checkpoint-at"), std::string::npos);
+  std::remove(path.c_str());
+
+  // A zero-node graph is rejected before any engine runs.
+  const std::string empty_path =
+      (std::filesystem::temp_directory_path() / "csd_cli_empty.txt").string();
+  std::ofstream(empty_path) << "0 0\n";
+  EXPECT_EQ(run_cli({"detect", "triangle", empty_path}, &text), 2);
+  EXPECT_NE(text.find("no vertices"), std::string::npos);
+  std::remove(empty_path.c_str());
+}
+
+TEST(Cli, DetectCheckpointResumeMatchesUninterruptedRun) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string path = (dir / "csd_cli_ckpt.graph").string();
+  const std::string ckpt = (dir / "csd_cli_ckpt.json").string();
+  std::string text;
+  ASSERT_EQ(run_cli({"generate", "gnp", "16", "30", "7", "--out", path},
+                    &text),
+            0);
+  const std::vector<std::string> base = {"detect",      "triangle", path,
+                                         "--drop",      "0.2",      "--transport",
+                                         "reliable"};
+
+  std::string full;
+  ASSERT_EQ(run_cli(base, &full), 0);
+
+  auto with = base;
+  with.insert(with.end(), {"--checkpoint", ckpt, "--checkpoint-at", "2"});
+  ASSERT_EQ(run_cli(with, &text), 0);
+  EXPECT_NE(text.find("checkpoint: " + ckpt), std::string::npos);
+  ASSERT_TRUE(std::filesystem::exists(ckpt));
+
+  auto resumed = base;
+  resumed.insert(resumed.end(), {"--resume", ckpt});
+  ASSERT_EQ(run_cli(resumed, &text), 0);
+  EXPECT_NE(text.find("resumed:    " + ckpt), std::string::npos);
+  // The resumed run reports the very same verdict, accounting, and fault
+  // report as the uninterrupted one: compare everything from "verdict:" on.
+  const auto tail = [](const std::string& s) {
+    const auto at = s.find("verdict:");
+    return at == std::string::npos ? s : s.substr(at);
+  };
+  EXPECT_EQ(tail(text), tail(full));
+  std::remove(path.c_str());
+  std::remove(ckpt.c_str());
+}
+
+TEST(Cli, DetectRecoverRestoresCrashedNodeAndSurfacesCounters) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string path = (dir / "csd_cli_rec.graph").string();
+  const std::string trace = (dir / "csd_cli_rec.jsonl").string();
+  std::string text;
+  ASSERT_EQ(run_cli({"generate", "gnp", "16", "30", "7", "--out", path},
+                    &text),
+            0);
+  ASSERT_EQ(run_cli({"detect", "triangle", path, "--crash", "2:1",
+                     "--transport", "reliable", "--recover", "--rejoin-delay",
+                     "1", "--trace", trace},
+                    &text),
+            0);
+  EXPECT_NE(text.find("crash recovery on"), std::string::npos);
+  EXPECT_NE(text.find("completed:  yes"), std::string::npos);
+  EXPECT_NE(text.find("crashed nodes:      2"), std::string::npos);
+  EXPECT_NE(text.find("recovered nodes:    2"), std::string::npos);
+  EXPECT_NE(text.find("replayed pulses:    1"), std::string::npos);
+
+  // The recovery counters ride the trace summary (nonzero-only) into
+  // `csd analyze`.
+  ASSERT_EQ(run_cli({"analyze", trace}, &text), 0);
+  EXPECT_NE(text.find("crashed_nodes=1"), std::string::npos);
+  EXPECT_NE(text.find("recovered_nodes=1"), std::string::npos);
+  EXPECT_NE(text.find("replayed_pulses=1"), std::string::npos);
+  std::remove(path.c_str());
+  std::remove(trace.c_str());
+}
+
+TEST(Cli, DetectSupervisedSliceResumeAndStallReports) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string path = (dir / "csd_cli_sup.graph").string();
+  const std::string ckpt = (dir / "csd_cli_sup.json").string();
+  std::string text;
+  ASSERT_EQ(run_cli({"generate", "path", "12", "--out", path}, &text), 0);
+
+  // Slice 1: merge 2 of 4 repetitions, pause, checkpoint.
+  ASSERT_EQ(run_cli({"detect", "cycle", "4", path, "--reps", "4",
+                     "--supervised", "--max-reps-per-call", "2",
+                     "--checkpoint", ckpt},
+                    &text),
+            0);
+  EXPECT_NE(text.find("2 executed, 2 skipped (of 4 planned)"),
+            std::string::npos);
+  EXPECT_NE(text.find("paused:"), std::string::npos);
+  EXPECT_NE(text.find("checkpoint: " + ckpt), std::string::npos);
+
+  // Slice 2: resume finishes the batch; the control host stays clean.
+  ASSERT_EQ(run_cli({"detect", "cycle", "4", path, "--reps", "4",
+                     "--supervised", "--max-reps-per-call", "2", "--resume",
+                     ckpt},
+                    &text),
+            0);
+  EXPECT_NE(text.find("resumed:    " + ckpt), std::string::npos);
+  EXPECT_NE(text.find("4 executed, 0 skipped (of 4 planned)"),
+            std::string::npos);
+  EXPECT_NE(text.find("verdict:    accept"), std::string::npos);
+
+  // A one-round budget flags every repetition in a structured StallReport.
+  ASSERT_EQ(run_cli({"detect", "cycle", "4", path, "--reps", "2",
+                     "--supervised", "--round-budget", "1"},
+                    &text),
+            0);
+  EXPECT_NE(text.find("stalls:     2"), std::string::npos);
+  EXPECT_NE(text.find("[over-budget]"), std::string::npos);
+  std::remove(path.c_str());
+  std::remove(ckpt.c_str());
+}
+
 }  // namespace
 }  // namespace csd

@@ -1,0 +1,446 @@
+// Checkpoint/restore tests: the csd-ckpt-v1 format and its bit-identical
+// resume contract on both engines, the zero-observer property of capture,
+// node recovery in the async engine, and the stall watchdogs.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "congest/async.hpp"
+#include "congest/network.hpp"
+#include "congest/snapshot.hpp"
+#include "detect/pipelined_cycle.hpp"
+#include "graph/builders.hpp"
+#include "obs/json.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace csd::congest {
+namespace {
+
+void expect_reports_equal(const FaultReport& a, const FaultReport& b) {
+  EXPECT_EQ(a.frames_dropped, b.frames_dropped);
+  EXPECT_EQ(a.frames_corrupted, b.frames_corrupted);
+  EXPECT_EQ(a.retransmissions, b.retransmissions);
+  EXPECT_EQ(a.checksum_rejects, b.checksum_rejects);
+  EXPECT_EQ(a.duplicate_packets, b.duplicate_packets);
+  EXPECT_EQ(a.duplicate_acks, b.duplicate_acks);
+  EXPECT_EQ(a.transport_failures, b.transport_failures);
+  EXPECT_EQ(a.crashed_nodes, b.crashed_nodes);
+  EXPECT_EQ(a.recovered_nodes, b.recovered_nodes);
+  EXPECT_EQ(a.replayed_pulses, b.replayed_pulses);
+  EXPECT_EQ(a.watchdog_stalls, b.watchdog_stalls);
+  EXPECT_EQ(a.stalled_nodes, b.stalled_nodes);
+  EXPECT_EQ(a.detected_by_survivors, b.detected_by_survivors);
+  ASSERT_EQ(a.violations.size(), b.violations.size());
+  for (std::size_t i = 0; i < a.violations.size(); ++i) {
+    EXPECT_EQ(a.violations[i].kind, b.violations[i].kind);
+    EXPECT_EQ(a.violations[i].node, b.violations[i].node);
+    EXPECT_EQ(a.violations[i].round, b.violations[i].round);
+    EXPECT_EQ(a.violations[i].detail, b.violations[i].detail);
+  }
+}
+
+/// The resumed trace must match the uninterrupted one for every round at or
+/// past the checkpoint round. Phase labels are compared by NAME: the two
+/// traces intern names in first-use order, so indices may differ when the
+/// pre-checkpoint prefix declared phases the resumed run never saw.
+void expect_trace_suffix_equal(const obs::RunTrace& full,
+                               const obs::RunTrace& resumed,
+                               std::uint64_t from_round) {
+  ASSERT_TRUE(full.enabled());
+  ASSERT_TRUE(resumed.enabled());
+  const auto& a = full.rounds();
+  const auto& b = resumed.rounds();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = from_round; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].round, b[i].round);
+    EXPECT_EQ(a[i].messages, b[i].messages) << "round " << i;
+    EXPECT_EQ(a[i].bits, b[i].bits) << "round " << i;
+    EXPECT_EQ(a[i].node_messages, b[i].node_messages) << "round " << i;
+    EXPECT_EQ(a[i].node_bits, b[i].node_bits) << "round " << i;
+    const std::string phase_a =
+        a[i].phase >= 0
+            ? full.phase_names()[static_cast<std::size_t>(a[i].phase)]
+            : "";
+    const std::string phase_b =
+        b[i].phase >= 0
+            ? resumed.phase_names()[static_cast<std::size_t>(b[i].phase)]
+            : "";
+    EXPECT_EQ(phase_a, phase_b) << "round " << i;
+  }
+}
+
+NetworkConfig faulty_sync_config() {
+  NetworkConfig cfg;
+  cfg.bandwidth = 64;
+  cfg.max_rounds = 60;
+  cfg.seed = 41;
+  cfg.faults.drop = 0.15;
+  cfg.faults.corrupt = 0.2;
+  cfg.faults.crashes = {{2, 5}, {7, 9}};
+  cfg.trace.enabled = true;
+  return cfg;
+}
+
+// ---------------------------------------------------------------- sync --
+
+TEST(SyncCheckpoint, CaptureIsAZeroObserver) {
+  Rng rng(3);
+  const Graph g = build::gnp(12, 0.3, rng);
+  const auto factory = detect::pipelined_cycle_program(4);
+  NetworkConfig plain = faulty_sync_config();
+  NetworkConfig observed = plain;
+  observed.checkpoint_at_round = 3;
+  const auto a = run_congest(g, plain, factory);
+  const auto b = run_congest(g, observed, factory);
+  ASSERT_NE(b.checkpoint, nullptr);
+  EXPECT_EQ(b.checkpoint->kind, Snapshot::Kind::Sync);
+  EXPECT_EQ(b.checkpoint->sync.round, 3u);
+  // Capturing changed nothing: same verdicts, metrics, report, trace.
+  EXPECT_EQ(a.verdicts, b.verdicts);
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.metrics.rounds, b.metrics.rounds);
+  EXPECT_EQ(a.metrics.messages, b.metrics.messages);
+  EXPECT_EQ(a.metrics.total_bits, b.metrics.total_bits);
+  EXPECT_EQ(a.metrics.bits_sent_by_node, b.metrics.bits_sent_by_node);
+  expect_reports_equal(a.faults, b.faults);
+  expect_trace_suffix_equal(a.trace, b.trace, 0);
+}
+
+TEST(SyncCheckpoint, ResumeIsBitIdentical) {
+  Rng rng(4);
+  const Graph g = build::gnp(14, 0.25, rng);
+  const auto factory = detect::pipelined_cycle_program(4);
+  NetworkConfig cfg = faulty_sync_config();
+  cfg.checkpoint_at_round = 4;
+  const Network net(g, cfg);
+  const auto full = net.run(factory);
+  ASSERT_NE(full.checkpoint, nullptr);
+
+  const auto resumed = net.resume(factory, *full.checkpoint);
+  EXPECT_EQ(resumed.verdicts, full.verdicts);
+  EXPECT_EQ(resumed.detected, full.detected);
+  EXPECT_EQ(resumed.completed, full.completed);
+  EXPECT_EQ(resumed.metrics.rounds, full.metrics.rounds);
+  EXPECT_EQ(resumed.metrics.messages, full.metrics.messages);
+  EXPECT_EQ(resumed.metrics.total_bits, full.metrics.total_bits);
+  EXPECT_EQ(resumed.metrics.max_message_bits, full.metrics.max_message_bits);
+  EXPECT_EQ(resumed.metrics.bits_sent_by_node,
+            full.metrics.bits_sent_by_node);
+  expect_reports_equal(resumed.faults, full.faults);
+  expect_trace_suffix_equal(full.trace, resumed.trace, 4);
+}
+
+TEST(SyncCheckpoint, JsonAndFileRoundTripPreserveTheResumeContract) {
+  Rng rng(5);
+  const Graph g = build::gnp(10, 0.35, rng);
+  const auto factory = detect::pipelined_cycle_program(3);
+  NetworkConfig cfg = faulty_sync_config();
+  cfg.checkpoint_at_round = 3;
+  const Network net(g, cfg);
+  const auto full = net.run(factory);
+  ASSERT_NE(full.checkpoint, nullptr);
+
+  // In-memory JSON round trip.
+  const obs::Json doc = to_json(*full.checkpoint);
+  const Snapshot reparsed = snapshot_from_json(obs::Json::parse(doc.dump()));
+  const auto resumed = net.resume(factory, reparsed);
+  EXPECT_EQ(resumed.verdicts, full.verdicts);
+  expect_reports_equal(resumed.faults, full.faults);
+
+  // File round trip.
+  const std::string path = testing::TempDir() + "csd_ckpt_roundtrip.json";
+  save_snapshot(path, *full.checkpoint);
+  const Snapshot loaded = load_snapshot(path);
+  const auto resumed2 = net.resume(factory, loaded);
+  EXPECT_EQ(resumed2.verdicts, full.verdicts);
+  EXPECT_EQ(resumed2.metrics.total_bits, full.metrics.total_bits);
+  expect_reports_equal(resumed2.faults, full.faults);
+}
+
+TEST(SyncCheckpoint, ResumeRejectsForeignSnapshots) {
+  Rng rng(6);
+  const Graph g = build::cycle(8);
+  const auto factory = detect::pipelined_cycle_program(3);
+  NetworkConfig cfg;
+  cfg.bandwidth = 64;
+  cfg.max_rounds = 40;
+  cfg.seed = 9;
+  cfg.checkpoint_at_round = 3;
+  const Network net(g, cfg);
+  const auto full = net.run(factory);
+  ASSERT_NE(full.checkpoint, nullptr);
+
+  // Different topology.
+  const Network other_topology(build::path(8), cfg);
+  EXPECT_THROW(other_topology.resume(factory, *full.checkpoint),
+               CheckFailure);
+  // Different engine configuration.
+  NetworkConfig other_cfg = cfg;
+  other_cfg.bandwidth = 32;
+  const Network other_config(g, other_cfg);
+  EXPECT_THROW(other_config.resume(factory, *full.checkpoint), CheckFailure);
+  // Changing only the checkpoint round is allowed: it is not part of the
+  // identity digest (a resumed run may checkpoint elsewhere).
+  NetworkConfig reckpt = cfg;
+  reckpt.checkpoint_at_round = 0;
+  const Network recheckpoint(g, reckpt);
+  const auto resumed = recheckpoint.resume(factory, *full.checkpoint);
+  EXPECT_EQ(resumed.verdicts, full.verdicts);
+  EXPECT_EQ(resumed.checkpoint, nullptr);
+}
+
+TEST(SyncCheckpoint, NoCheckpointWhenTheRunEndsFirst) {
+  const Graph g = build::cycle(6);
+  NetworkConfig cfg;
+  cfg.bandwidth = 64;
+  cfg.max_rounds = 200;
+  cfg.checkpoint_at_round = 150;  // far past the program's halting round
+  const auto outcome =
+      run_congest(g, cfg, detect::pipelined_cycle_program(3));
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.checkpoint, nullptr);
+  EXPECT_EQ(outcome.metrics.counters.value("checkpoints_taken"), 0);
+}
+
+TEST(SyncCheckpoint, AmplifiedKeepsTheFirstRepetitionsSnapshot) {
+  Rng rng(8);
+  const Graph g = build::gnp(10, 0.3, rng);
+  NetworkConfig cfg;
+  cfg.bandwidth = 64;
+  cfg.max_rounds = 60;
+  cfg.seed = 77;
+  cfg.checkpoint_at_round = 2;
+  AmplifyOptions options;
+  options.jobs = 2;
+  options.early_exit = false;
+  const auto combined = run_amplified(g, cfg, detect::pipelined_cycle_program(3),
+                                      4, options);
+  ASSERT_NE(combined.checkpoint, nullptr);
+  EXPECT_EQ(combined.checkpoint->kind, Snapshot::Kind::Sync);
+  // The kept snapshot is repetition 0's: its seed is the first derived one.
+  EXPECT_EQ(combined.checkpoint->sync.identity.seed,
+            derive_seed(cfg.seed, 0x5eedULL + 0));
+}
+
+TEST(SyncWatchdog, CutsSilentRunsAfterTheWindow) {
+  class SilentForever final : public NodeProgram {
+   public:
+    void on_round(NodeApi&) override {}  // never sends, never halts
+  };
+  const Graph g = build::path(4);
+  NetworkConfig cfg;
+  cfg.max_rounds = 1000;
+  cfg.stall_window = 5;
+  const auto outcome = run_congest(g, cfg, [](std::uint32_t) {
+    return std::make_unique<SilentForever>();
+  });
+  EXPECT_FALSE(outcome.completed);
+  EXPECT_EQ(outcome.faults.watchdog_stalls, 1u);
+  EXPECT_EQ(outcome.metrics.rounds, 5u);  // window rounds, then the cut
+  EXPECT_EQ(outcome.metrics.counters.value("watchdog_stalls"), 1);
+}
+
+// --------------------------------------------------------------- async --
+
+AsyncConfig faulty_async_config(TransportMode mode) {
+  AsyncConfig cfg;
+  cfg.bandwidth = 64;
+  cfg.max_pulses = 120;
+  cfg.seed = 23;
+  cfg.max_delay = 5;
+  cfg.transport = mode;
+  cfg.faults.drop = mode == TransportMode::Reliable ? 0.2 : 0.05;
+  cfg.faults.corrupt = 0.1;
+  cfg.faults.crashes = {{1, 6}};
+  cfg.trace.enabled = true;
+  return cfg;
+}
+
+void expect_async_equal(const AsyncRunOutcome& a, const AsyncRunOutcome& b) {
+  EXPECT_EQ(a.verdicts, b.verdicts);
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.pulses, b.pulses);
+  EXPECT_EQ(a.virtual_time, b.virtual_time);
+  EXPECT_EQ(a.payload_bits, b.payload_bits);
+  EXPECT_EQ(a.overhead_bits, b.overhead_bits);
+  EXPECT_EQ(a.frames, b.frames);
+  EXPECT_EQ(a.transport_bits, b.transport_bits);
+  EXPECT_EQ(a.acks, b.acks);
+  expect_reports_equal(a.faults, b.faults);
+}
+
+TEST(AsyncCheckpoint, CaptureIsAZeroObserver) {
+  Rng rng(11);
+  const Graph g = build::gnp(10, 0.3, rng);
+  const auto factory = detect::pipelined_cycle_program(3);
+  const AsyncConfig plain = faulty_async_config(TransportMode::Reliable);
+  AsyncConfig observed = plain;
+  observed.checkpoint_at_pulse = 3;
+  const auto a = run_async(g, plain, factory);
+  const auto b = run_async(g, observed, factory);
+  ASSERT_NE(b.checkpoint, nullptr);
+  EXPECT_EQ(b.checkpoint->kind, Snapshot::Kind::Async);
+  expect_async_equal(a, b);
+  expect_trace_suffix_equal(a.trace, b.trace, 0);
+}
+
+TEST(AsyncCheckpoint, ResumeIsBitIdenticalRawAndReliable) {
+  Rng rng(12);
+  const Graph g = build::gnp(11, 0.3, rng);
+  const auto factory = detect::pipelined_cycle_program(3);
+  for (const TransportMode mode :
+       {TransportMode::Raw, TransportMode::Reliable}) {
+    AsyncConfig cfg = faulty_async_config(mode);
+    cfg.checkpoint_at_pulse = 2;
+    const auto full = run_async(g, cfg, factory);
+    ASSERT_NE(full.checkpoint, nullptr);
+
+    // JSON round trip on the way, so the serialized form is what resumes.
+    const Snapshot reparsed =
+        snapshot_from_json(obs::Json::parse(to_json(*full.checkpoint).dump()));
+    const auto resumed = resume_async(g, cfg, factory, reparsed);
+    expect_async_equal(full, resumed);
+    expect_trace_suffix_equal(full.trace, resumed.trace,
+                              full.checkpoint->async_state.pulses);
+  }
+}
+
+TEST(AsyncCheckpoint, ResumeRejectsForeignSnapshots) {
+  const Graph g = build::cycle(8);
+  const auto factory = detect::pipelined_cycle_program(3);
+  AsyncConfig cfg;
+  cfg.bandwidth = 64;
+  cfg.max_pulses = 60;
+  cfg.seed = 31;
+  cfg.checkpoint_at_pulse = 2;
+  const auto full = run_async(g, cfg, factory);
+  ASSERT_NE(full.checkpoint, nullptr);
+  EXPECT_THROW(resume_async(build::path(8), cfg, factory, *full.checkpoint),
+               CheckFailure);
+  AsyncConfig other = cfg;
+  other.max_delay = cfg.max_delay + 1;
+  EXPECT_THROW(resume_async(g, other, factory, *full.checkpoint),
+               CheckFailure);
+  AsyncConfig reseeded = cfg;
+  reseeded.seed = cfg.seed + 1;
+  EXPECT_THROW(resume_async(g, reseeded, factory, *full.checkpoint),
+               CheckFailure);
+}
+
+// ------------------------------------------------------------- recovery --
+
+TEST(AsyncRecovery, ScheduledCrashRejoinsAndMatchesFaultFreeVerdicts) {
+  Rng rng(14);
+  const Graph g = build::gnp(10, 0.35, rng);
+  const auto factory = detect::pipelined_cycle_program(3);
+  AsyncConfig cfg;
+  cfg.bandwidth = 64;
+  cfg.max_pulses = 400;
+  cfg.seed = 47;
+  cfg.max_delay = 4;
+  cfg.transport = TransportMode::Reliable;
+  const auto clean = run_async(g, cfg, factory);
+  ASSERT_TRUE(clean.completed);
+
+  AsyncConfig crashed = cfg;
+  crashed.faults.crashes = {{3, 4}};
+  const auto dead = run_async(g, crashed, factory);
+  EXPECT_FALSE(dead.completed);  // without recovery the crash is final
+
+  AsyncConfig recovering = crashed;
+  recovering.recovery.enabled = true;
+  const auto healed = run_async(g, recovering, factory);
+  EXPECT_TRUE(healed.completed);
+  EXPECT_EQ(healed.verdicts, clean.verdicts);
+  EXPECT_EQ(healed.detected, clean.detected);
+  ASSERT_EQ(healed.faults.crashed_nodes, std::vector<std::uint32_t>{3});
+  ASSERT_EQ(healed.faults.recovered_nodes, std::vector<std::uint32_t>{3});
+  EXPECT_EQ(healed.faults.replayed_pulses, 4u);  // pulses 0..3 replayed
+  EXPECT_EQ(healed.counters.value("recovered_nodes"), 1);
+  EXPECT_EQ(healed.counters.value("replayed_pulses"), 4);
+}
+
+TEST(AsyncRecovery, CrashAtPulseZeroRecoversFromAnEmptyHistory) {
+  const Graph g = build::cycle(6);
+  const auto factory = detect::pipelined_cycle_program(3);
+  AsyncConfig cfg;
+  cfg.bandwidth = 64;
+  cfg.max_pulses = 300;
+  cfg.seed = 51;
+  cfg.transport = TransportMode::Reliable;
+  cfg.faults.crashes = {{0, 0}};
+  cfg.recovery.enabled = true;
+  const auto outcome = run_async(g, cfg, factory);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.faults.recovered_nodes, std::vector<std::uint32_t>{0});
+  EXPECT_EQ(outcome.faults.replayed_pulses, 0u);  // nothing to replay
+}
+
+TEST(AsyncRecovery, RecoveryBudgetIsHonored) {
+  const Graph g = build::path(3);
+  const auto factory = detect::pipelined_cycle_program(3);
+  AsyncConfig cfg;
+  cfg.bandwidth = 64;
+  cfg.max_pulses = 200;
+  cfg.transport = TransportMode::Reliable;
+  cfg.faults.crashes = {{1, 2}};
+  cfg.recovery.enabled = true;
+  cfg.recovery.max_recoveries = 0;  // policy on, budget zero -> stays dead
+  const auto outcome = run_async(g, cfg, factory);
+  EXPECT_FALSE(outcome.completed);
+  EXPECT_TRUE(outcome.faults.recovered_nodes.empty());
+}
+
+TEST(AsyncRecovery, ResumeAcrossAPendingRecoveryIsBitIdentical) {
+  // Checkpoint while the crashed node is down (its Recover event still in
+  // the queue): the snapshot must carry the pending rejoin and the parked
+  // transport conversations across the resume.
+  Rng rng(15);
+  const Graph g = build::gnp(9, 0.4, rng);
+  const auto factory = detect::pipelined_cycle_program(3);
+  AsyncConfig cfg;
+  cfg.bandwidth = 64;
+  cfg.max_pulses = 400;
+  cfg.seed = 61;
+  cfg.max_delay = 4;
+  cfg.transport = TransportMode::Reliable;
+  cfg.faults.crashes = {{2, 3}};
+  cfg.recovery.enabled = true;
+  cfg.recovery.rejoin_delay = 200;  // long outage: capture lands inside it
+  cfg.checkpoint_at_pulse = 4;
+  const auto full = run_async(g, cfg, factory);
+  ASSERT_NE(full.checkpoint, nullptr);
+  ASSERT_TRUE(full.completed);
+  ASSERT_EQ(full.faults.recovered_nodes, std::vector<std::uint32_t>{2});
+
+  const Snapshot reparsed =
+      snapshot_from_json(obs::Json::parse(to_json(*full.checkpoint).dump()));
+  const auto resumed = resume_async(g, cfg, factory, reparsed);
+  expect_async_equal(full, resumed);
+}
+
+TEST(AsyncWatchdog, CutsAStarvedRunInsteadOfGrindingThroughRetries) {
+  // A crashed hub starves the leaves; on reliable links their senders keep
+  // retransmitting into the void with backed-off timers, so the event clock
+  // races ahead of the last delivery. The watchdog should cut the run with
+  // a structured report instead of grinding through the retry horizon.
+  const Graph g = build::star(5);
+  const auto factory = detect::pipelined_cycle_program(3);
+  AsyncConfig cfg;
+  cfg.bandwidth = 64;
+  cfg.max_pulses = 5000;
+  cfg.transport = TransportMode::Reliable;
+  cfg.faults.crashes = {{0, 1}};  // the hub
+  cfg.stall_window = 2;
+  const auto outcome = run_async(g, cfg, factory);
+  EXPECT_FALSE(outcome.completed);
+  EXPECT_EQ(outcome.faults.watchdog_stalls, 1u);
+  EXPECT_EQ(outcome.counters.value("watchdog_stalls"), 1);
+}
+
+}  // namespace
+}  // namespace csd::congest

@@ -1,0 +1,277 @@
+// Supervisor tests: parity with run_amplified on the healthy path,
+// jobs-invariance, retry-with-reseed, stall reports, round budgets, and
+// slice-wise pause/resume through amplified checkpoints.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "congest/supervisor.hpp"
+#include "detect/pipelined_cycle.hpp"
+#include "obs/json.hpp"
+#include "graph/builders.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace csd::congest {
+namespace {
+
+void expect_outcomes_equal(const RunOutcome& a, const RunOutcome& b) {
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.verdicts, b.verdicts);
+  EXPECT_EQ(a.metrics.rounds, b.metrics.rounds);
+  EXPECT_EQ(a.metrics.messages, b.metrics.messages);
+  EXPECT_EQ(a.metrics.total_bits, b.metrics.total_bits);
+  EXPECT_EQ(a.metrics.max_message_bits, b.metrics.max_message_bits);
+  EXPECT_EQ(a.metrics.bits_sent_by_node, b.metrics.bits_sent_by_node);
+  EXPECT_EQ(a.metrics.repetitions_executed, b.metrics.repetitions_executed);
+  EXPECT_EQ(a.metrics.repetitions_skipped, b.metrics.repetitions_skipped);
+  EXPECT_EQ(a.faults.frames_dropped, b.faults.frames_dropped);
+  EXPECT_EQ(a.faults.frames_corrupted, b.faults.frames_corrupted);
+  EXPECT_EQ(a.faults.crashed_nodes, b.faults.crashed_nodes);
+  EXPECT_EQ(a.faults.watchdog_stalls, b.faults.watchdog_stalls);
+  EXPECT_EQ(a.faults.detected_by_survivors, b.faults.detected_by_survivors);
+}
+
+/// Node 0 floods a one-bit ping; every other node relays it once and halts
+/// only when it arrives. Under lossy links a repetition completes only when
+/// the flood reaches everyone, so the supervisor's retry-with-reseed path
+/// gets genuinely seed-dependent fodder while staying reproducible per seed.
+class FlakyPing final : public NodeProgram {
+ public:
+  void on_round(NodeApi& api) override {
+    BitVec ping;
+    ping.push_back(true);
+    if (api.round() == 0) {
+      if (api.id() == 0) {
+        api.broadcast(ping);
+        api.halt();
+      }
+      return;
+    }
+    for (std::uint32_t p = 0; p < api.degree(); ++p) {
+      if (api.inbox(p).has_value()) {
+        api.broadcast(ping);  // relay, then leave
+        api.halt();
+        return;
+      }
+    }
+  }
+};
+
+ProgramFactory flaky_ping_factory() {
+  return [](std::uint32_t) { return std::make_unique<FlakyPing>(); };
+}
+
+TEST(Supervisor, MatchesRunAmplifiedOnTheHealthyPath) {
+  Rng rng(21);
+  const Graph g = build::gnp(12, 0.35, rng);  // dense enough for triangles
+  const auto factory = detect::pipelined_cycle_program(3);
+  NetworkConfig cfg;
+  cfg.bandwidth = 64;
+  cfg.max_rounds = 80;
+  cfg.seed = 5;
+  for (const bool early_exit : {true, false}) {
+    AmplifyOptions amp;
+    amp.jobs = 1;
+    amp.early_exit = early_exit;
+    const RunOutcome reference = run_amplified(g, cfg, factory, 6, amp);
+
+    SupervisorConfig sup;
+    sup.jobs = 1;
+    sup.early_exit = early_exit;
+    const Supervisor supervisor(g, cfg, sup);
+    const SupervisedResult result = supervisor.run(factory, 6);
+    expect_outcomes_equal(result.outcome, reference);
+    EXPECT_EQ(result.planned, 6u);
+    EXPECT_EQ(result.retries_used, 0u);
+    EXPECT_FALSE(result.deadline_hit);
+    EXPECT_FALSE(result.paused);
+    EXPECT_TRUE(result.stalls.empty());
+    ASSERT_NE(result.checkpoint, nullptr);
+    EXPECT_EQ(result.checkpoint->kind, Snapshot::Kind::Amplified);
+  }
+}
+
+TEST(Supervisor, OutcomesAreJobsInvariant) {
+  Rng rng(22);
+  const Graph g = build::gnp(10, 0.3, rng);
+  const auto factory = detect::pipelined_cycle_program(3);
+  NetworkConfig cfg;
+  cfg.bandwidth = 64;
+  cfg.max_rounds = 80;
+  cfg.seed = 13;
+  cfg.faults.drop = 0.1;
+  cfg.faults.corrupt = 0.1;
+  SupervisorConfig sup1;
+  sup1.jobs = 1;
+  sup1.max_retries = 3;
+  SupervisorConfig sup4 = sup1;
+  sup4.jobs = 4;
+  const SupervisedResult a = Supervisor(g, cfg, sup1).run(factory, 8);
+  const SupervisedResult b = Supervisor(g, cfg, sup4).run(factory, 8);
+  expect_outcomes_equal(a.outcome, b.outcome);
+  EXPECT_EQ(a.retries_used, b.retries_used);
+  ASSERT_EQ(a.stalls.size(), b.stalls.size());
+  for (std::size_t i = 0; i < a.stalls.size(); ++i) {
+    EXPECT_EQ(a.stalls[i].repetition, b.stalls[i].repetition);
+    EXPECT_EQ(a.stalls[i].seed, b.stalls[i].seed);
+    EXPECT_EQ(a.stalls[i].rounds, b.stalls[i].rounds);
+  }
+}
+
+TEST(Supervisor, RetriesReseedFaultKilledRepetitions) {
+  const Graph g = build::path(3);
+  NetworkConfig cfg;
+  cfg.bandwidth = 8;
+  cfg.max_rounds = 5;
+  cfg.seed = 3;
+  cfg.faults.drop = 0.4;  // many floods die; retries must rescue the reps
+  SupervisorConfig sup;
+  sup.max_retries = 12;
+  const Supervisor supervisor(g, cfg, sup);
+  const SupervisedResult result = supervisor.run(flaky_ping_factory(), 3);
+  EXPECT_TRUE(result.outcome.completed);
+  EXPECT_GT(result.retries_used, 0u);
+  EXPECT_TRUE(result.stalls.empty());
+
+  // Retry decisions are part of the determinism contract.
+  const SupervisedResult again = supervisor.run(flaky_ping_factory(), 3);
+  EXPECT_EQ(result.retries_used, again.retries_used);
+  expect_outcomes_equal(result.outcome, again.outcome);
+}
+
+TEST(Supervisor, StallReportsSurfaceUnhealthyRepetitions) {
+  const Graph g = build::path(3);
+  NetworkConfig cfg;
+  cfg.bandwidth = 8;
+  cfg.max_rounds = 50;
+  cfg.seed = 7;
+  cfg.faults.crashes = {{1, 0}};  // the relay dies: nothing ever completes
+  SupervisorConfig sup;
+  sup.early_exit = false;
+  sup.stall_window = 4;  // let the engine watchdog cut each repetition
+  const Supervisor supervisor(g, cfg, sup);
+  const SupervisedResult result = supervisor.run(flaky_ping_factory(), 3);
+  EXPECT_FALSE(result.outcome.completed);
+  ASSERT_EQ(result.stalls.size(), 3u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(result.stalls[i].repetition, i);
+    EXPECT_TRUE(result.stalls[i].incomplete);
+    EXPECT_TRUE(result.stalls[i].watchdog);
+  }
+  EXPECT_EQ(result.outcome.faults.watchdog_stalls, 3u);
+}
+
+TEST(Supervisor, RoundBudgetFlagsSlowRepetitions) {
+  const Graph g = build::cycle(8);
+  const auto factory = detect::pipelined_cycle_program(3);
+  NetworkConfig cfg;
+  cfg.bandwidth = 64;
+  cfg.max_rounds = 80;
+  cfg.seed = 9;
+  SupervisorConfig sup;
+  sup.early_exit = false;
+  sup.round_budget = 1;  // every healthy repetition exceeds one round
+  const Supervisor supervisor(g, cfg, sup);
+  const SupervisedResult result = supervisor.run(factory, 2);
+  EXPECT_TRUE(result.outcome.completed);
+  ASSERT_EQ(result.stalls.size(), 2u);
+  for (const StallReport& stall : result.stalls) {
+    EXPECT_TRUE(stall.over_budget);
+    EXPECT_FALSE(stall.incomplete);
+    EXPECT_FALSE(stall.watchdog);
+  }
+}
+
+TEST(Supervisor, SliceWiseResumeMatchesTheUninterruptedRun) {
+  Rng rng(24);
+  const Graph g = build::gnp(10, 0.3, rng);
+  const auto factory = detect::pipelined_cycle_program(3);
+  NetworkConfig cfg;
+  cfg.bandwidth = 64;
+  cfg.max_rounds = 80;
+  cfg.seed = 17;
+  cfg.faults.drop = 0.05;
+  SupervisorConfig plain;
+  plain.jobs = 2;
+  plain.early_exit = false;
+  plain.max_retries = 2;
+  const Supervisor uninterrupted(g, cfg, plain);
+  const SupervisedResult reference = uninterrupted.run(factory, 7);
+
+  SupervisorConfig sliced = plain;
+  sliced.max_reps_per_call = 3;
+  const Supervisor supervisor(g, cfg, sliced);
+  SupervisedResult slice = supervisor.run(factory, 7);
+  EXPECT_TRUE(slice.paused);
+  int slices = 1;
+  while (slice.paused) {
+    ASSERT_NE(slice.checkpoint, nullptr);
+    // JSON round trip: pausing is only useful if the file survives a kill.
+    const Snapshot reparsed = snapshot_from_json(
+        obs::Json::parse(to_json(*slice.checkpoint).dump()));
+    slice = supervisor.resume(factory, 7, reparsed);
+    ASSERT_LE(++slices, 3);  // ceil(7 / 3) slices must suffice
+  }
+  expect_outcomes_equal(slice.outcome, reference.outcome);
+  // retries_used is carried through the checkpoints, so the last slice
+  // reports the same total as the uninterrupted run.
+  EXPECT_EQ(slice.retries_used, reference.retries_used);
+  EXPECT_EQ(slices, 3);
+}
+
+TEST(Supervisor, ResumeRejectsForeignOrMismatchedSnapshots) {
+  const Graph g = build::cycle(6);
+  const auto factory = detect::pipelined_cycle_program(3);
+  NetworkConfig cfg;
+  cfg.bandwidth = 64;
+  cfg.max_rounds = 60;
+  cfg.seed = 19;
+  SupervisorConfig sup;
+  sup.early_exit = false;
+  sup.max_reps_per_call = 1;
+  const Supervisor supervisor(g, cfg, sup);
+  const SupervisedResult first = supervisor.run(factory, 3);
+  ASSERT_TRUE(first.paused);
+  ASSERT_NE(first.checkpoint, nullptr);
+  // Wrong repetition count.
+  EXPECT_THROW(supervisor.resume(factory, 5, *first.checkpoint), CheckFailure);
+  // Wrong topology.
+  const Supervisor other(build::path(6), cfg, sup);
+  EXPECT_THROW(other.resume(factory, 3, *first.checkpoint), CheckFailure);
+  // Wrong kind.
+  Snapshot sync_snap;
+  sync_snap.kind = Snapshot::Kind::Sync;
+  EXPECT_THROW(supervisor.resume(factory, 3, sync_snap), CheckFailure);
+}
+
+TEST(Supervisor, DeadlineCutsSchedulingButNeverTheAnswer) {
+  Rng rng(26);
+  const Graph g = build::gnp(12, 0.3, rng);
+  const auto factory = detect::pipelined_cycle_program(4);
+  NetworkConfig cfg;
+  cfg.bandwidth = 64;
+  cfg.max_rounds = 120;
+  cfg.seed = 29;
+  SupervisorConfig plain;
+  plain.early_exit = false;
+  const SupervisedResult reference = Supervisor(g, cfg, plain).run(factory, 24);
+
+  SupervisorConfig rushed = plain;
+  rushed.deadline_ms = 1;
+  SupervisedResult result = Supervisor(g, cfg, rushed).run(factory, 24);
+  // Whether or not the wall clock expired (inherently nondeterministic),
+  // the final aggregate after resuming must match the uninterrupted run:
+  // the deadline only ever cuts scheduling at a wave boundary.
+  if (result.deadline_hit) {
+    ASSERT_NE(result.checkpoint, nullptr);
+    result = Supervisor(g, cfg, plain).resume(factory, 24, *result.checkpoint);
+  }
+  EXPECT_FALSE(result.deadline_hit);
+  expect_outcomes_equal(result.outcome, reference.outcome);
+}
+
+}  // namespace
+}  // namespace csd::congest

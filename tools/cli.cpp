@@ -9,6 +9,8 @@
 
 #include "congest/async.hpp"
 #include "congest/run_batch.hpp"
+#include "congest/snapshot.hpp"
+#include "congest/supervisor.hpp"
 #include "detect/clique_detect.hpp"
 #include "detect/clique_listing.hpp"
 #include "detect/even_cycle.hpp"
@@ -50,6 +52,10 @@ commands:
   detect <pattern> <file> [--bandwidth B] [--seed S] [--reps R] [--jobs N]
          [--json FILE] [--trace FILE] [--per-edge] [--timers]
          [--drop P] [--corrupt P] [--crash NODE:ROUND] [--transport T]
+         [--recover] [--rejoin-delay T] [--max-recoveries K]
+         [--stall-window W] [--checkpoint FILE] [--checkpoint-at P]
+         [--resume FILE] [--supervised] [--deadline MS] [--round-budget R]
+         [--retries K] [--max-reps-per-call M]
       pattern: cycle L | triangle | clique S | star D
       runs the matching CONGEST algorithm and the exhaustive oracle.
       --jobs N fans amplification repetitions over N worker threads
@@ -61,7 +67,18 @@ commands:
       engine-internal wall-clock time (compute vs delivery vs transport).
       fault flags (drop/corrupt probabilities in [0,1], --crash repeatable,
       --transport raw|reliable) run the async engine under the given
-      FaultPlan and print a structured fault report
+      FaultPlan and print a structured fault report. --recover lets
+      scheduled-crash nodes rejoin after --rejoin-delay virtual-time ticks
+      (inbox-log replay; --max-recoveries per node); --stall-window arms
+      the stall watchdog. --checkpoint FILE with --checkpoint-at P saves a
+      csd-ckpt-v1 snapshot at pulse P and --resume FILE continues a
+      snapshotted run bit-identically (single engine run: pass --reps 1
+      for amplified patterns). supervisor flags (--supervised, --deadline,
+      --round-budget, --retries, --max-reps-per-call) drive the amplified
+      batch through the run supervisor on the synchronous engine instead:
+      wall-clock and per-repetition round deadlines, structured stall
+      reports, retry-with-reseed for fault-killed repetitions, and
+      repetition-granular checkpoint/resume via --checkpoint/--resume
   sweep cycle <L> [--sizes N1,N2,...] [--reps R] [--jobs N] [--seed S]
         [--bandwidth B] [--json FILE] [--trace FILE] [--per-edge]
       planted-vs-control detection sweep over host sizes (random forest
@@ -116,7 +133,8 @@ Invocation parse(const std::vector<std::string>& args) {
     if (args[i].rfind("--", 0) == 0) {
       const std::string name = args[i].substr(2);
       // Boolean flags take no value; value flags consume the next token.
-      if (name == "dimacs" || name == "per-edge" || name == "timers") {
+      if (name == "dimacs" || name == "per-edge" || name == "timers" ||
+          name == "recover" || name == "supervised") {
         inv.flags.emplace_back(name, "1");
       } else {
         CSD_CHECK_MSG(i + 1 < args.size(), "flag --" << name
@@ -240,6 +258,94 @@ congest::CrashEvent to_crash(const std::string& s) {
           to_u64(s.substr(colon + 1), "crash round")};
 }
 
+/// Per-pattern plumbing shared by the faulty (async) and supervised (sync)
+/// detect paths: the program factory, the round/pulse budget, how many
+/// amplification repetitions the pattern wants, the exhaustive-oracle
+/// ground truth, and the human-readable algorithm label.
+struct PatternProgram {
+  congest::ProgramFactory factory;
+  std::uint64_t budget = 0;
+  std::uint32_t runs = 1;  // deterministic detectors run once
+  bool truth = false;
+  std::string algorithm;
+};
+
+PatternProgram select_program(const Invocation& inv, const Graph& g,
+                              const std::string& pattern,
+                              std::uint64_t bandwidth, std::uint32_t reps) {
+  PatternProgram p;
+  const std::uint64_t n = g.num_vertices();
+  if (pattern == "triangle" || pattern == "clique") {
+    std::uint32_t s = 3;
+    if (pattern == "clique") {
+      CSD_CHECK_MSG(inv.positional.size() == 4, "detect clique S FILE");
+      s = static_cast<std::uint32_t>(to_u64(inv.positional[2], "S"));
+    }
+    p.factory = detect::clique_detect_program(s);
+    p.budget =
+        detect::clique_detect_round_budget(n, g.max_degree(), bandwidth) + 2;
+    p.truth = oracle::has_clique(g, s);
+    p.algorithm = "deterministic K_" + std::to_string(s) + " detector";
+  } else if (pattern == "cycle") {
+    CSD_CHECK_MSG(inv.positional.size() == 4, "detect cycle L FILE");
+    const auto len = static_cast<std::uint32_t>(to_u64(inv.positional[2], "L"));
+    if (len >= 4 && len % 2 == 0) {
+      // even_cycle_program is one repetition; amplification is external
+      // (run_amplified on the sync path), so mirror it with `runs`.
+      detect::EvenCycleConfig ec;
+      ec.k = len / 2;
+      p.factory = detect::even_cycle_program(ec);
+      p.budget = detect::make_even_cycle_schedule(n, ec).total_rounds() + 1;
+      p.algorithm =
+          "Theorem 1.1 sublinear C_" + std::to_string(len) + " detector";
+    } else {
+      p.factory = detect::pipelined_cycle_program(len);
+      p.budget = detect::pipelined_cycle_round_budget(n, len) + 1;
+      p.algorithm =
+          "pipelined color-coded C_" + std::to_string(len) + " detector";
+    }
+    p.runs = reps;
+    p.truth = oracle::has_cycle_of_length(g, len);
+  } else if (pattern == "star") {
+    CSD_CHECK_MSG(inv.positional.size() == 4, "detect star D FILE");
+    const auto d = static_cast<Vertex>(to_u64(inv.positional[2], "D"));
+    const Graph tree = build::star(d);
+    p.factory = detect::tree_detect_program(tree);
+    p.budget = detect::tree_detect_round_budget(tree) + 1;
+    p.runs = reps;
+    p.truth = oracle::has_tree(g, tree);
+    p.algorithm = "color-coded star-" + std::to_string(d) + " detector";
+  } else {
+    CSD_CHECK_MSG(false, "unknown pattern '" << pattern << "'");
+  }
+  return p;
+}
+
+/// FaultPlan construction + validation shared by the detect paths. `budget`
+/// is the round/pulse cap: a crash scheduled at or past it would never
+/// fire, which is almost certainly a typo — reject it loudly instead of
+/// silently running fault-free.
+congest::FaultPlan parse_fault_plan(const Invocation& inv, const Graph& g,
+                                    std::uint64_t budget) {
+  congest::FaultPlan plan;
+  if (const auto p = inv.flag("drop")) plan.drop = to_prob(*p, "drop");
+  if (const auto p = inv.flag("corrupt")) plan.corrupt = to_prob(*p, "corrupt");
+  for (const auto& [key, value] : inv.flags)
+    if (key == "crash") plan.crashes.push_back(to_crash(value));
+  for (const auto& ev : plan.crashes) {
+    CSD_CHECK_MSG(ev.node < g.num_vertices(),
+                  "--crash " << ev.node << ":" << ev.round << " names node "
+                             << ev.node << " but the graph has "
+                             << g.num_vertices() << " nodes");
+    CSD_CHECK_MSG(ev.round < budget,
+                  "--crash " << ev.node << ":" << ev.round
+                             << " schedules the crash at round " << ev.round
+                             << " but the run is capped at " << budget
+                             << " rounds — it would never fire");
+  }
+  return plan;
+}
+
 /// Fault flags route `detect` through the asynchronous engine under the
 /// requested FaultPlan and wire discipline; the per-pattern detector and
 /// round budget stay the same as the fault-free path.
@@ -254,65 +360,44 @@ int cmd_detect_faulty(const Invocation& inv, std::ostream& out, const Graph& g,
   cfg.trace.enabled = trace_path.has_value();
   cfg.trace.per_edge = inv.has_flag("per-edge");
   cfg.trace.timers = inv.has_flag("timers");
-  if (const auto p = inv.flag("drop")) cfg.faults.drop = to_prob(*p, "drop");
-  if (const auto p = inv.flag("corrupt"))
-    cfg.faults.corrupt = to_prob(*p, "corrupt");
-  for (const auto& [key, value] : inv.flags)
-    if (key == "crash") cfg.faults.crashes.push_back(to_crash(value));
   const std::string transport = inv.flag("transport").value_or("raw");
   CSD_CHECK_MSG(transport == "raw" || transport == "reliable",
                 "--transport wants raw|reliable, got '" << transport << "'");
   cfg.transport = transport == "reliable" ? congest::TransportMode::Reliable
                                           : congest::TransportMode::Raw;
+  if (const auto w = inv.flag("stall-window"))
+    cfg.stall_window = to_u64(*w, "stall-window");
+  cfg.recovery.enabled = inv.has_flag("recover");
+  if (const auto d = inv.flag("rejoin-delay"))
+    cfg.recovery.rejoin_delay = to_u64(*d, "rejoin-delay");
+  if (const auto k = inv.flag("max-recoveries"))
+    cfg.recovery.max_recoveries =
+        static_cast<std::uint32_t>(to_u64(*k, "max-recoveries"));
 
-  const std::uint64_t n = g.num_vertices();
-  congest::ProgramFactory factory;
-  std::uint64_t budget = 0;
-  std::uint32_t runs = 1;  // deterministic detectors run once
-  bool truth = false;
-  if (pattern == "triangle" || pattern == "clique") {
-    std::uint32_t s = 3;
-    if (pattern == "clique") {
-      CSD_CHECK_MSG(inv.positional.size() == 4, "detect clique S FILE");
-      s = static_cast<std::uint32_t>(to_u64(inv.positional[2], "S"));
-    }
-    factory = detect::clique_detect_program(s);
-    budget = detect::clique_detect_round_budget(n, g.max_degree(), bandwidth) +
-             2;
-    truth = oracle::has_clique(g, s);
-    out << "algorithm:  deterministic K_" << s << " detector\n";
-  } else if (pattern == "cycle") {
-    CSD_CHECK_MSG(inv.positional.size() == 4, "detect cycle L FILE");
-    const auto len = static_cast<std::uint32_t>(to_u64(inv.positional[2], "L"));
-    if (len >= 4 && len % 2 == 0) {
-      // even_cycle_program is one repetition; amplification is external
-      // (run_amplified on the sync path), so mirror it with `runs`.
-      detect::EvenCycleConfig ec;
-      ec.k = len / 2;
-      factory = detect::even_cycle_program(ec);
-      budget = detect::make_even_cycle_schedule(n, ec).total_rounds() + 1;
-      runs = reps;
-      out << "algorithm:  Theorem 1.1 sublinear C_" << len << " detector\n";
-    } else {
-      factory = detect::pipelined_cycle_program(len);
-      budget = detect::pipelined_cycle_round_budget(n, len) + 1;
-      runs = reps;
-      out << "algorithm:  pipelined color-coded C_" << len << " detector\n";
-    }
-    truth = oracle::has_cycle_of_length(g, len);
-  } else if (pattern == "star") {
-    CSD_CHECK_MSG(inv.positional.size() == 4, "detect star D FILE");
-    const auto d = static_cast<Vertex>(to_u64(inv.positional[2], "D"));
-    const Graph tree = build::star(d);
-    factory = detect::tree_detect_program(tree);
-    budget = detect::tree_detect_round_budget(tree) + 1;
-    runs = reps;
-    truth = oracle::has_tree(g, tree);
-    out << "algorithm:  color-coded star-" << d << " detector\n";
-  } else {
-    CSD_CHECK_MSG(false, "unknown pattern '" << pattern << "'");
+  PatternProgram p = select_program(inv, g, pattern, bandwidth, reps);
+  out << "algorithm:  " << p.algorithm << '\n';
+  cfg.max_pulses = p.budget;
+  cfg.faults = parse_fault_plan(inv, g, p.budget);
+  const congest::ProgramFactory& factory = p.factory;
+  const std::uint32_t runs = p.runs;
+  const bool truth = p.truth;
+
+  // Checkpoint/resume freeze or continue ONE engine run; amplified
+  // patterns must pin the repetition with --reps 1.
+  const auto ckpt_path = inv.flag("checkpoint");
+  const auto resume_path = inv.flag("resume");
+  if (const auto at = inv.flag("checkpoint-at")) {
+    cfg.checkpoint_at_pulse = to_u64(*at, "checkpoint-at");
+    CSD_CHECK_MSG(cfg.checkpoint_at_pulse >= 1,
+                  "--checkpoint-at wants a pulse >= 1");
   }
-  cfg.max_pulses = budget;
+  CSD_CHECK_MSG(!ckpt_path.has_value() || cfg.checkpoint_at_pulse != 0,
+                "--checkpoint needs --checkpoint-at PULSE");
+  CSD_CHECK_MSG(cfg.checkpoint_at_pulse == 0 || ckpt_path.has_value(),
+                "--checkpoint-at needs --checkpoint FILE");
+  CSD_CHECK_MSG((!ckpt_path && !resume_path) || runs == 1,
+                "checkpoint/resume work on a single engine run; pass --reps 1"
+                " (or use --supervised for repetition-granular checkpoints)");
 
   bool detected = false, survivors = false, all_completed = true;
   std::uint64_t pulses = 0, payload = 0, transport_bits = 0;
@@ -323,7 +408,20 @@ int cmd_detect_faulty(const Invocation& inv, std::ostream& out, const Graph& g,
     // Same per-repetition seed schedule as run_amplified, so a clean async
     // run reproduces the sync CLI verdict bit-for-bit.
     cfg.seed = runs == 1 ? seed : derive_seed(seed, 0x5eedULL + r);
-    const auto outcome = congest::run_async(g, cfg, factory);
+    const auto outcome =
+        resume_path ? congest::resume_async(
+                          g, cfg, factory, congest::load_snapshot(*resume_path))
+                    : congest::run_async(g, cfg, factory);
+    if (ckpt_path) {
+      if (outcome.checkpoint != nullptr) {
+        congest::save_snapshot(*ckpt_path, *outcome.checkpoint);
+        out << "checkpoint: " << *ckpt_path << " (pulse "
+            << cfg.checkpoint_at_pulse << ")\n";
+      } else {
+        out << "checkpoint: not captured (run ended before pulse "
+            << cfg.checkpoint_at_pulse << ")\n";
+      }
+    }
     merged_trace.append(outcome.trace);
     detected |= outcome.detected;
     survivors |= outcome.faults.detected_by_survivors;
@@ -340,8 +438,13 @@ int cmd_detect_faulty(const Invocation& inv, std::ostream& out, const Graph& g,
     total.duplicate_packets += f.duplicate_packets;
     total.duplicate_acks += f.duplicate_acks;
     total.transport_failures += f.transport_failures;
+    total.replayed_pulses += f.replayed_pulses;
+    total.watchdog_stalls += f.watchdog_stalls;
     total.crashed_nodes.insert(total.crashed_nodes.end(),
                                f.crashed_nodes.begin(), f.crashed_nodes.end());
+    total.recovered_nodes.insert(total.recovered_nodes.end(),
+                                 f.recovered_nodes.begin(),
+                                 f.recovered_nodes.end());
     total.stalled_nodes.insert(total.stalled_nodes.end(),
                                f.stalled_nodes.begin(), f.stalled_nodes.end());
     total.violations.insert(total.violations.end(), f.violations.begin(),
@@ -350,8 +453,10 @@ int cmd_detect_faulty(const Invocation& inv, std::ostream& out, const Graph& g,
   total.detected_by_survivors = survivors;
 
   out << "engine:     async, " << transport << " transport, " << runs
-      << (runs == 1 ? " run" : " runs") << '\n'
-      << "verdict:    " << (detected ? "REJECT (pattern found)" : "accept")
+      << (runs == 1 ? " run" : " runs")
+      << (cfg.recovery.enabled ? ", crash recovery on" : "") << '\n';
+  if (resume_path) out << "resumed:    " << *resume_path << '\n';
+  out << "verdict:    " << (detected ? "REJECT (pattern found)" : "accept")
       << '\n'
       << "oracle:     " << (truth ? "pattern present" : "pattern absent")
       << '\n'
@@ -410,6 +515,133 @@ int cmd_detect_faulty(const Invocation& inv, std::ostream& out, const Graph& g,
   return 0;
 }
 
+/// Supervisor flags route `detect` through congest::Supervisor on the
+/// synchronous engine: the amplified batch gains wall-clock and per-
+/// repetition round deadlines, structured stall reports, retry-with-reseed
+/// for fault-killed repetitions, and repetition-granular checkpoint/resume.
+/// Aggregation follows run_amplified's exact rules, so a healthy supervised
+/// run answers bit-identically to the plain amplified path.
+int cmd_detect_supervised(const Invocation& inv, std::ostream& out,
+                          const Graph& g, const std::string& pattern,
+                          std::uint64_t bandwidth, std::uint64_t seed,
+                          std::uint32_t reps, unsigned jobs) {
+  const obs::WallTimer timer;
+  const PatternProgram p = select_program(inv, g, pattern, bandwidth, reps);
+  const std::uint32_t repetitions = p.runs == 1 ? 1 : reps;
+
+  congest::NetworkConfig cfg;
+  cfg.bandwidth = bandwidth;
+  cfg.max_rounds = p.budget;
+  cfg.seed = seed;
+  cfg.faults = parse_fault_plan(inv, g, p.budget);
+  const auto trace_path = inv.flag("trace");
+  cfg.trace.enabled = trace_path.has_value();
+  cfg.trace.per_edge = inv.has_flag("per-edge");
+  cfg.trace.timers = inv.has_flag("timers");
+
+  congest::SupervisorConfig sup;
+  sup.jobs = jobs;
+  sup.deadline_ms = to_u64(inv.flag("deadline").value_or("0"), "deadline");
+  sup.round_budget =
+      to_u64(inv.flag("round-budget").value_or("0"), "round-budget");
+  sup.stall_window =
+      to_u64(inv.flag("stall-window").value_or("0"), "stall-window");
+  sup.max_retries = static_cast<std::uint32_t>(
+      to_u64(inv.flag("retries").value_or("0"), "retries"));
+  sup.max_reps_per_call = static_cast<std::uint32_t>(to_u64(
+      inv.flag("max-reps-per-call").value_or("0"), "max-reps-per-call"));
+
+  const congest::Supervisor supervisor(g, cfg, sup);
+  const auto resume_path = inv.flag("resume");
+  const congest::SupervisedResult result =
+      resume_path ? supervisor.resume(p.factory, repetitions,
+                                      congest::load_snapshot(*resume_path))
+                  : supervisor.run(p.factory, repetitions);
+  const congest::RunOutcome& outcome = result.outcome;
+
+  out << "algorithm:  " << p.algorithm << '\n'
+      << "engine:     sync, supervised (" << congest::resolve_jobs(jobs)
+      << " worker thread(s))\n";
+  if (resume_path) out << "resumed:    " << *resume_path << '\n';
+  out << "verdict:    "
+      << (outcome.detected ? "REJECT (pattern found)" : "accept") << '\n'
+      << "oracle:     " << (p.truth ? "pattern present" : "pattern absent")
+      << '\n'
+      << "rounds:     " << outcome.metrics.rounds << '\n'
+      << "reps:       " << outcome.metrics.repetitions_executed
+      << " executed, " << outcome.metrics.repetitions_skipped
+      << " skipped (of " << result.planned << " planned)\n"
+      << "retries:    " << result.retries_used << '\n';
+  if (result.deadline_hit) out << "deadline:   HIT (wall clock expired)\n";
+  if (result.paused)
+    out << "paused:     yes — max-reps-per-call cut scheduling; resume "
+           "from the checkpoint\n";
+  if (!result.stalls.empty()) {
+    out << "stalls:     " << result.stalls.size() << '\n';
+    for (const auto& s : result.stalls) {
+      out << "  rep " << s.repetition << " (seed " << s.seed << "): rounds "
+          << s.rounds << ", " << s.stalled_nodes << " stalled node(s)";
+      if (s.watchdog) out << " [watchdog]";
+      if (s.over_budget) out << " [over-budget]";
+      if (s.incomplete) out << " [incomplete]";
+      out << '\n';
+    }
+  }
+  if (!outcome.faults.clean())
+    out << "--- fault report ---\n" << congest::summarize(outcome.faults);
+  if (outcome.detected && !p.truth)
+    out << "WARNING: false positive (model bug?)\n";
+
+  if (const auto ckpt_path = inv.flag("checkpoint")) {
+    if (result.checkpoint != nullptr) {
+      congest::save_snapshot(*ckpt_path, *result.checkpoint);
+      out << "checkpoint: " << *ckpt_path << " (after repetition "
+          << result.checkpoint->amplified.next_repetition << " of "
+          << result.planned << ")\n";
+    } else {
+      out << "checkpoint: not captured (no wave completed)\n";
+    }
+  }
+  if (trace_path) {
+    obs::RunTrace trace = outcome.trace;
+    trace.set_meta("program", pattern);
+    trace.set_meta("n", std::to_string(g.num_vertices()));
+    trace.set_meta("engine", "sync-supervised");
+    trace.set_meta("seed", std::to_string(seed));
+    std::ofstream os(*trace_path);
+    CSD_CHECK_MSG(os.good(),
+                  "cannot write trace file '" << *trace_path << "'");
+    trace.write_jsonl(os);
+    out << "trace:      " << *trace_path << '\n';
+  }
+  if (const auto json_path = inv.flag("json")) {
+    obs::BenchReport report("csd_detect");
+    report.param("pattern", pattern)
+        .param("bandwidth", bandwidth)
+        .param("reps", repetitions)
+        .param("n", g.num_vertices())
+        .param("m", g.num_edges())
+        .param("engine", "sync-supervised");
+    report.seed(seed);
+    report.measurement("detect")
+        .value("verdict", outcome.detected ? "reject" : "accept")
+        .value("oracle", p.truth)
+        .value("rounds", outcome.metrics.rounds)
+        .value("repetitions_executed", outcome.metrics.repetitions_executed)
+        .value("repetitions_skipped", outcome.metrics.repetitions_skipped)
+        .value("retries_used", result.retries_used)
+        .value("stalled_repetitions",
+               static_cast<std::uint64_t>(result.stalls.size()))
+        .value("deadline_hit", result.deadline_hit)
+        .value("paused", result.paused);
+    report.env("jobs", congest::resolve_jobs(jobs));
+    report.set_wall_clock_ms(timer.elapsed_ms());
+    report.write(*json_path);
+    out << "json:       " << *json_path << '\n';
+  }
+  return 0;
+}
+
 int cmd_detect(const Invocation& inv, std::ostream& out) {
   CSD_CHECK_MSG(inv.positional.size() >= 3,
                 "detect needs a pattern and a file");
@@ -432,9 +664,21 @@ int cmd_detect(const Invocation& inv, std::ostream& out) {
   // The file is the last positional; `cycle L` / `clique S` / `star D`
   // carry one parameter in between.
   const Graph g = io::load(inv.positional.back());
+  CSD_CHECK_MSG(g.num_vertices() > 0,
+                "graph '" << inv.positional.back()
+                          << "' has no vertices — nothing to run on");
+  CSD_CHECK_MSG(reps >= 1, "--reps must be at least 1");
 
+  if (inv.has_flag("supervised") || inv.has_flag("deadline") ||
+      inv.has_flag("round-budget") || inv.has_flag("retries") ||
+      inv.has_flag("max-reps-per-call"))
+    return cmd_detect_supervised(inv, out, g, pattern, bandwidth, seed, reps,
+                                 jobs);
   if (inv.has_flag("drop") || inv.has_flag("corrupt") ||
-      inv.has_flag("crash") || inv.has_flag("transport"))
+      inv.has_flag("crash") || inv.has_flag("transport") ||
+      inv.has_flag("recover") || inv.has_flag("stall-window") ||
+      inv.has_flag("checkpoint") || inv.has_flag("checkpoint-at") ||
+      inv.has_flag("resume"))
     return cmd_detect_faulty(inv, out, g, pattern, bandwidth, seed, reps);
 
   bool detected = false, truth = false;
@@ -605,6 +849,7 @@ int cmd_sweep(const Invocation& inv, std::ostream& out) {
       parse_sizes(inv.flag("sizes").value_or("32,64,128"));
   const auto reps = static_cast<std::uint32_t>(
       to_u64(inv.flag("reps").value_or("64"), "reps"));
+  CSD_CHECK_MSG(reps >= 1, "--reps must be at least 1");
   const auto jobs = static_cast<unsigned>(
       to_u64(inv.flag("jobs").value_or("1"), "jobs"));
   const std::uint64_t seed = to_u64(inv.flag("seed").value_or("1"), "seed");
