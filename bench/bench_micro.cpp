@@ -84,6 +84,32 @@ void BM_BitVecIntersect(benchmark::State& state) {
 }
 BENCHMARK(BM_BitVecIntersect);
 
+void BM_BitVecIntersectCount(benchmark::State& state) {
+  // The allocation-free counterpart of BM_BitVecIntersect: the word-parallel
+  // primitive the detection hot paths (IdSet::intersects, clique bit-rows)
+  // actually call.
+  Rng rng(1);
+  BitVec a(4096), b(4096);
+  for (int i = 0; i < 1024; ++i) {
+    a.set(rng.below(4096));
+    b.set(rng.below(4096));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(intersect_count(a, b));
+}
+BENCHMARK(BM_BitVecIntersectCount);
+
+void BM_BitVecForEachSet(benchmark::State& state) {
+  Rng rng(1);
+  BitVec a(4096);
+  for (int i = 0; i < 256; ++i) a.set(rng.below(4096));
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for_each_set(a, [&](std::size_t i) { sum += i; });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_BitVecForEachSet);
+
 void BM_OracleCycleSearch(benchmark::State& state) {
   Rng rng(2);
   const Graph g = build::gnm(static_cast<Vertex>(state.range(0)),

@@ -9,6 +9,7 @@
 //      which n (the paper's headline: even cycles are sublinear, unlike odd
 //      cycles, which stay Θ(n) by [DKO14]).
 //   3. Detection quality: planted-cycle instances vs cycle-free controls.
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -209,6 +210,47 @@ int main(int argc, char** argv) {
                 gq.num_vertices(), 3, 17);
   }
   quality.print(std::cout);
+
+  print_banner(std::cout, "Hot path: engine-timer split on a fixed workload",
+               "delivery share of wall time; tools/check_delivery_share.py "
+               "gates this against the committed baseline in CI");
+  // The workload is the same at --smoke and full scale on purpose: the CI
+  // smoke run and the committed baseline must measure identical work. The
+  // `rounds` column is model-level and exact; the `_ns` columns are wall
+  // clock, which bench_compare.py treats with timing tolerance (and skips
+  // outright below its sub-second noise floor).
+  bench::ReportedTable hotpath(ctx, "hotpath",
+                               {"n", "reps", "rounds", "elapsed_ns",
+                                "timers_compute_ns", "timers_delivery_ns"});
+  {
+    Rng hot_rng(23);
+    ctx.seed(23).seed(19);
+    // Cycle-free control: no early-out on detection, so every repetition
+    // executes and the run is long enough for a stable timer split.
+    Graph g = build::random_tree(512, hot_rng);
+    detect::EvenCycleConfig cfg;
+    cfg.k = 2;
+    cfg.c_num = 1;
+    cfg.repetitions = 400;  // ~0.2 s: long enough for a stable timer split
+    cfg.amplify = amplify;
+    cfg.trace = ctx.trace_options();
+    cfg.trace.timers = true;  // honored even when the trace itself is off
+    const auto start = std::chrono::steady_clock::now();
+    auto outcome = detect::detect_even_cycle(g, cfg, 64, 19);
+    const auto elapsed_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    hotpath.row()
+        .cell(std::uint64_t{512})
+        .cell(std::uint64_t{cfg.repetitions})
+        .cell(outcome.metrics.rounds)
+        .cell(elapsed_ns)
+        .cell(outcome.metrics.timers.compute_ns)
+        .cell(outcome.metrics.timers.delivery_ns);
+    write_trace(outcome, "even_cycle_hotpath", "planted_hotpath", 512, 2, 19);
+  }
+  hotpath.print(std::cout);
   std::cout << "\nExpected: fitted exponents approach the theory column as n\n"
                "grows; detection matches the oracle column on every row.\n";
   return ctx.finish(std::cout);

@@ -47,8 +47,8 @@ class MaxDegreeProgram final : public congest::NodeProgram {
     } else {
       // The inbox holds at most one message per port, sent last round.
       for (std::uint32_t p = 0; p < api.degree(); ++p) {
-        const auto& msg = api.inbox(p);
-        if (!msg.has_value()) continue;
+        const auto* msg = api.inbox(p);
+        if (msg == nullptr) continue;
         wire::Reader r(*msg);
         const auto heard = static_cast<std::uint32_t>(r.u(degree_bits));
         if (heard > best_) {

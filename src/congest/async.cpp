@@ -86,23 +86,27 @@ class AsyncEngine {
 
     // Reverse-port table in O(sum deg) expected time via per-vertex port
     // maps (mirrors Network::build_topology_tables; the old per-neighbor
-    // std::find scan was O(sum deg^2)).
+    // std::find scan was O(sum deg^2)). Stored flat over the CSR's dense
+    // directed-edge index e = offsets[v] + port.
+    csr_ = &topology_.csr();
     std::vector<std::unordered_map<Vertex, std::uint32_t>> port_of(n);
     for (Vertex v = 0; v < n; ++v) {
-      const auto nbrs = topology_.neighbors(v);
+      const auto nbrs = csr_->row(v);
       port_of[v].reserve(nbrs.size());
       for (std::uint32_t p = 0; p < nbrs.size(); ++p) port_of[v][nbrs[p]] = p;
     }
-    reverse_port_.resize(n);
+    rev_port_.resize(static_cast<std::size_t>(csr_->num_directed_edges()));
     for (Vertex v = 0; v < n; ++v) {
-      const auto nbrs = topology_.neighbors(v);
-      reverse_port_[v].resize(nbrs.size());
+      const auto nbrs = csr_->row(v);
+      const std::uint64_t base = csr_->offsets[v];
       for (std::uint32_t p = 0; p < nbrs.size(); ++p) {
         const auto it = port_of[nbrs[p]].find(v);
         CSD_CHECK(it != port_of[nbrs[p]].end());
-        reverse_port_[v][p] = it->second;
+        rev_port_[base + p] = it->second;
       }
     }
+    inbox_arena_ = detail::FrameArena(*csr_);
+    outbox_arena_ = detail::FrameArena(*csr_);
 
     nodes_.reserve(n);
     programs_.reserve(n);
@@ -116,6 +120,9 @@ class AsyncEngine {
       for (const Vertex w : topology_.neighbors(v))
         neighbor_ids.push_back(ids_[w]);
       nodes_.back()->set_neighbor_ids(std::move(neighbor_ids));
+      nodes_.back()->attach_frames(
+          inbox_arena_.payload_row(v), inbox_arena_.present_row(v),
+          outbox_arena_.payload_row(v), outbox_arena_.present_row(v));
       programs_.push_back(factory(v));
       CSD_CHECK(programs_.back() != nullptr);
       sync_[v].arrived.resize(topology_.degree(v));
@@ -355,8 +362,8 @@ class AsyncEngine {
     event.kind = Event::Kind::Data;
     event.src = src;
     event.src_port = port;
-    event.dst = topology_.neighbors(src)[port];
-    event.dst_port = reverse_port_[src][port];
+    event.dst = csr_->row(src)[port];
+    event.dst_port = rev_port_[csr_->offsets[src] + port];
     event.link_seq = packet.seq;
     event.packet = std::move(packet);
     push_event(std::move(event));
@@ -595,10 +602,12 @@ class AsyncEngine {
       Frame frame;
       frame.pulse = sync.pulse;
       frame.sender_halted = node_halted;
-      auto& slot = node.outbox(p);
-      if (slot.has_value()) {
-        frame.payload = std::move(*slot);
-        slot.reset();
+      if (node.outbox_present(p)) {
+        // Move the payload buffer out of the arena slot into the frame; the
+        // transport layer reads from the same buffer, no copy is made.
+        frame.payload.emplace();
+        std::swap(*frame.payload, node.outbox_payload(p));
+        node.consume_outbox(p);
       }
       if (outcome_.trace && frame.payload.has_value())
         outcome_.trace.record(sync.pulse, v, topology_.neighbors(v)[p],
@@ -683,6 +692,11 @@ class AsyncEngine {
     node->set_neighbor_ids(std::move(neighbor_ids));
     auto program = (*factory_)(v);
     CSD_CHECK(program != nullptr);
+    // The replica takes over the dead node's arena rows; replay clears them
+    // pulse by pulse, so no stale frames leak into the rebuilt state.
+    node->attach_frames(
+        inbox_arena_.payload_row(v), inbox_arena_.present_row(v),
+        outbox_arena_.payload_row(v), outbox_arena_.present_row(v));
     replay_history(*node, *program, inbox_log_[v], sync.pulse);
     outcome_.faults.replayed_pulses += sync.pulse;
     CSD_CHECK_MSG(!node->halted(), "replayed replica halted mid-history");
@@ -907,7 +921,13 @@ class AsyncEngine {
   std::vector<InboxLog> inbox_log_;
   Vertex pending_recoveries_ = 0;
   std::uint64_t last_progress_vt_ = 0;
-  std::vector<std::vector<std::uint32_t>> reverse_port_;
+  /// Materialized CSR view of topology_ (owned by it).
+  const GraphCsr* csr_ = nullptr;
+  /// rev_port_[e] = receiver-side port of directed edge e = offsets[v] + p.
+  std::vector<std::uint32_t> rev_port_;
+  /// Per-run frame plane; nodes (and recovery replicas) hold row pointers.
+  detail::FrameArena inbox_arena_;
+  detail::FrameArena outbox_arena_;
   std::vector<std::vector<std::uint64_t>> link_watermark_;
   std::vector<std::unique_ptr<detail::NodeState>> nodes_;
   std::vector<std::unique_ptr<NodeProgram>> programs_;

@@ -104,8 +104,8 @@ class RouterProgram final : public NodeProgram {
                                         : "route-relay");
     if (api.round() > 0) {
       for (std::uint32_t p = 0; p < api.degree(); ++p) {
-        const auto& msg = api.inbox(p);
-        if (!msg.has_value()) continue;
+        const auto* msg = api.inbox(p);
+        if (msg == nullptr) continue;
         wire::Reader r(*msg);
         Record record;
         record.at_relay = r.boolean();

@@ -32,26 +32,32 @@ Network::Network(Graph topology, NetworkConfig config,
 // delivery we need the reverse port on the receiving side. Built once per
 // topology in O(sum deg) expected time via per-vertex port maps (the old
 // per-run std::find scan was O(sum deg^2) and re-paid on every repetition).
+// The tables are flat arrays over the CSR's dense directed-edge index, so
+// the delivery loop walks them linearly with no pointer chasing.
 void Network::build_topology_tables() {
   const Vertex n = topology_.num_vertices();
+  csr_ = &topology_.csr();  // materialize once; shared const reads after
+  const auto& offsets = csr_->offsets;
   std::vector<std::unordered_map<Vertex, std::uint32_t>> port_of(n);
   for (Vertex v = 0; v < n; ++v) {
-    const auto nbrs = topology_.neighbors(v);
+    const auto nbrs = csr_->row(v);
     port_of[v].reserve(nbrs.size());
     for (std::uint32_t p = 0; p < nbrs.size(); ++p) port_of[v][nbrs[p]] = p;
   }
-  reverse_port_.resize(n);
-  neighbor_ids_.resize(n);
+  const auto m2 = static_cast<std::size_t>(csr_->num_directed_edges());
+  rev_port_.resize(m2);
+  rev_edge_.resize(m2);
+  neighbor_ids_flat_.resize(m2);
   for (Vertex v = 0; v < n; ++v) {
-    const auto nbrs = topology_.neighbors(v);
-    reverse_port_[v].resize(nbrs.size());
-    neighbor_ids_[v].resize(nbrs.size());
+    const auto nbrs = csr_->row(v);
+    const std::uint64_t base = offsets[v];
     for (std::uint32_t p = 0; p < nbrs.size(); ++p) {
       const Vertex w = nbrs[p];
       const auto it = port_of[w].find(v);
       CSD_CHECK(it != port_of[w].end());
-      reverse_port_[v][p] = it->second;
-      neighbor_ids_[v][p] = ids_[w];
+      rev_port_[base + p] = it->second;
+      rev_edge_[base + p] = offsets[w] + it->second;
+      neighbor_ids_flat_[base + p] = ids_[w];
     }
   }
 }
@@ -99,6 +105,11 @@ RunOutcome Network::run_impl(const ProgramFactory& factory,
   outcome.metrics.bits_sent_by_node.assign(n, 0);
   outcome.trace = obs::RunTrace(n, config_.trace);
 
+  // The run's frame plane: every directed edge gets one outbox and one
+  // inbox slot; delivery swaps payload buffers between the two arenas.
+  detail::FrameArena inbox_arena(*csr_);
+  detail::FrameArena outbox_arena(*csr_);
+
   std::vector<std::unique_ptr<NodeState>> nodes;
   std::vector<std::unique_ptr<NodeProgram>> programs;
   nodes.reserve(n);
@@ -108,7 +119,11 @@ RunOutcome Network::run_impl(const ProgramFactory& factory,
         topology_, v, ids_[v], seed, n, namespace_size,
         config_.bandwidth, config_.broadcast_only,
         &outcome.faults.violations));
-    nodes.back()->set_neighbor_ids(&neighbor_ids_[v]);
+    nodes.back()->set_neighbor_ids(neighbor_ids_flat_.data() +
+                                   csr_->offsets[v]);
+    nodes.back()->attach_frames(
+        inbox_arena.payload_row(v), inbox_arena.present_row(v),
+        outbox_arena.payload_row(v), outbox_arena.present_row(v));
     if (outcome.trace) nodes.back()->set_trace(&outcome.trace);
     programs.push_back(factory(v));
     CSD_CHECK_MSG(programs.back() != nullptr, "factory returned null program");
@@ -314,17 +329,21 @@ RunOutcome Network::run_impl(const ProgramFactory& factory,
     if (timing) outcome.metrics.timers.compute_ns += elapsed_ns(compute_start);
     if (all_stopped) break;
 
-    // Deliver: outboxes of this round become inboxes of the next.
+    // Deliver: outboxes of this round become inboxes of the next. A present
+    // outbox slot's payload buffer is *swapped* into the reverse-edge inbox
+    // slot — no copy; the receiver's retired buffer lands in the sender's
+    // outbox slot and keeps circulating between the arenas.
     const auto delivery_start = timing ? Clock::now() : Clock::time_point{};
-    for (Vertex v = 0; v < n; ++v) nodes[v]->clear_inbox();
+    inbox_arena.reset_presence();
     for (Vertex v = 0; v < n; ++v) {
       if (crashed[v]) continue;
-      const auto nbrs = topology_.neighbors(v);
+      const auto nbrs = csr_->row(v);
+      const std::uint64_t base = csr_->offsets[v];
       for (std::uint32_t p = 0; p < nbrs.size(); ++p) {
-        auto& slot = nodes[v]->outbox(p);
-        if (!slot.has_value()) continue;
-        BitVec payload = std::move(*slot);
-        slot.reset();
+        std::uint8_t& out_present = outbox_arena.present(base + p);
+        if (out_present == 0) continue;
+        out_present = 0;
+        BitVec& payload = outbox_arena.payload(base + p);
         ++outcome.metrics.messages;
         outcome.metrics.total_bits += payload.size();
         outcome.metrics.bits_sent_by_node[v] += payload.size();
@@ -351,8 +370,9 @@ RunOutcome Network::run_impl(const ProgramFactory& factory,
         progressed = true;
         if (logging && outcome.checkpoint == nullptr &&
             round + 1 <= checkpoint_at)
-          log_row(nbrs[p], round + 1)[reverse_port_[v][p]] = payload;
-        nodes[nbrs[p]]->deliver(reverse_port_[v][p], std::move(payload));
+          log_row(nbrs[p], round + 1)[rev_port_[base + p]] = payload;
+        std::swap(inbox_arena.payload(rev_edge_[base + p]), payload);
+        inbox_arena.present(rev_edge_[base + p]) = 1;
       }
     }
     if (timing)

@@ -213,10 +213,16 @@ class Network {
   Graph topology_;
   NetworkConfig config_;
   std::vector<NodeId> ids_;
-  /// reverse_port_[v][p] = the port of neighbors(v)[p] that leads back to v.
-  std::vector<std::vector<std::uint32_t>> reverse_port_;
-  /// neighbor_ids_[v][p] = ids_[neighbors(v)[p]]; shared with NodeStates.
-  std::vector<std::vector<NodeId>> neighbor_ids_;
+  /// Materialized CSR view of topology_ (owned by it); flat tables below
+  /// are indexed by the dense directed-edge index e = csr_->offsets[v] + p.
+  const GraphCsr* csr_ = nullptr;
+  /// rev_port_[e] = the port of neighbors(v)[p] that leads back to v.
+  std::vector<std::uint32_t> rev_port_;
+  /// rev_edge_[e] = the dense index of the reverse directed edge.
+  std::vector<std::uint64_t> rev_edge_;
+  /// neighbor_ids_flat_[e] = ids_[neighbors(v)[p]]; rows shared with
+  /// NodeStates.
+  std::vector<NodeId> neighbor_ids_flat_;
 };
 
 /// Convenience: run `factory` over `topology` and return the outcome.

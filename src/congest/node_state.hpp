@@ -1,13 +1,21 @@
 // Internal: concrete per-node state + NodeApi implementation, shared by the
 // synchronous Network and the asynchronous engine (which presents the same
 // pulse-by-pulse API through its synchronizer).
+//
+// A NodeState does not own its message slots: the engine allocates one
+// inbox and one outbox FrameArena per run (frame_arena.hpp) and attaches
+// each node to its contiguous row via attach_frames(). Sends and deliveries
+// swap payload buffers into the slots instead of copying them, and the
+// buffers displaced by sends feed the scratch() pool.
 #pragma once
 
+#include <cstring>
 #include <optional>
 #include <sstream>
 #include <vector>
 
 #include "congest/faults.hpp"
+#include "congest/frame_arena.hpp"
 #include "congest/program.hpp"
 #include "graph/graph.hpp"
 #include "obs/round_trace.hpp"
@@ -23,9 +31,9 @@ class NodeState final : public NodeApi {
             std::uint64_t run_seed, std::uint64_t network_size,
             std::uint64_t namespace_size, std::uint64_t bandwidth,
             bool broadcast_only, std::vector<ProtocolViolation>* violations)
-      : topology_(topology),
-        index_(index),
+      : index_(index),
         id_(node_id),
+        degree_(topology.degree(index)),
         network_size_(network_size),
         namespace_size_(namespace_size),
         bandwidth_(bandwidth),
@@ -33,31 +41,39 @@ class NodeState final : public NodeApi {
         violations_(violations),
         rng_(derive_seed(run_seed, index)) {
     CSD_CHECK(violations_ != nullptr);
-    const auto deg = topology.degree(index);
-    inbox_.resize(deg);
-    outbox_.resize(deg);
+  }
+
+  /// Point this node at its rows in the engine-owned frame arenas (payload
+  /// buffers and presence bytes are separate flat arrays). Must be called
+  /// before the first round; the arenas must outlive this NodeState.
+  void attach_frames(BitVec* inbox_payload, std::uint8_t* inbox_present,
+                     BitVec* outbox_payload, std::uint8_t* outbox_present) {
+    inbox_payload_ = inbox_payload;
+    inbox_present_ = inbox_present;
+    outbox_payload_ = outbox_payload;
+    outbox_present_ = outbox_present;
   }
 
   // NodeApi -----------------------------------------------------------
   NodeId id() const override { return id_; }
-  std::uint32_t degree() const override { return topology_.degree(index_); }
+  std::uint32_t degree() const override { return degree_; }
   NodeId neighbor_id(std::uint32_t port) const override {
-    CSD_CHECK_MSG(port < degree(), "neighbor_id: port out of range");
-    return (*neighbor_ids_)[port];
+    CSD_CHECK_MSG(port < degree_, "neighbor_id: port out of range");
+    return neighbor_ids_[port];
   }
   std::uint64_t round() const override { return round_; }
   std::uint64_t network_size() const override { return network_size_; }
   std::uint64_t namespace_size() const override { return namespace_size_; }
   std::uint64_t bandwidth() const override { return bandwidth_; }
 
-  const std::optional<BitVec>& inbox(std::uint32_t port) const override {
-    CSD_CHECK_MSG(port < degree(), "inbox: port out of range");
-    return inbox_[port];
+  const BitVec* inbox(std::uint32_t port) const override {
+    CSD_CHECK_MSG(port < degree_, "inbox: port out of range");
+    return inbox_present_[port] != 0 ? &inbox_payload_[port] : nullptr;
   }
 
   void send(std::uint32_t port, BitVec payload) override {
     CSD_CHECK_MSG(!halted_, "halted node cannot send");
-    CSD_CHECK_MSG(port < degree(), "send: port out of range");
+    CSD_CHECK_MSG(port < degree_, "send: port out of range");
     if (bandwidth_ != 0 && payload.size() > bandwidth_) {
       std::ostringstream detail;
       detail << "message of " << payload.size() << " bits exceeds bandwidth "
@@ -65,7 +81,7 @@ class NodeState final : public NodeApi {
       record_violation(ViolationKind::Bandwidth, detail.str());
       payload.truncate(bandwidth_);
     }
-    if (outbox_[port].has_value()) {
+    if (outbox_present_[port] != 0) {
       std::ostringstream detail;
       detail << "two sends on port " << port << " in one round; second send "
              << "ignored";
@@ -82,11 +98,20 @@ class NodeState final : public NodeApi {
         round_payload_ = payload;
       }
     }
-    outbox_[port] = std::move(payload);
+    // Swap the message into the arena slot; the displaced buffer (stale
+    // contents, unobservable while absent) retires into the scratch pool so
+    // its capacity keeps circulating.
+    std::swap(outbox_payload_[port], payload);
+    outbox_present_[port] = 1;
+    if (pool_.size() < degree_) pool_.push_back(std::move(payload));
   }
 
   void broadcast(const BitVec& payload) override {
-    for (std::uint32_t p = 0; p < degree(); ++p) send(p, payload);
+    for (std::uint32_t p = 0; p < degree_; ++p) {
+      BitVec copy = scratch();
+      copy.assign(payload);
+      send(p, std::move(copy));
+    }
   }
 
   Rng& rng() override { return rng_; }
@@ -124,34 +149,33 @@ class NodeState final : public NodeApi {
 
   void set_neighbor_ids(std::vector<NodeId> ids) {
     owned_neighbor_ids_ = std::move(ids);
-    neighbor_ids_ = &owned_neighbor_ids_;
+    neighbor_ids_ = owned_neighbor_ids_.data();
   }
-  /// Share a table owned by the engine (computed once per topology and
-  /// reused across runs/repetitions); must outlive this NodeState.
-  void set_neighbor_ids(const std::vector<NodeId>* shared) {
-    neighbor_ids_ = shared;
-  }
+  /// Share a row of a flat table owned by the engine (computed once per
+  /// topology, reused across runs/repetitions); must outlive this NodeState
+  /// and hold degree() entries.
+  void set_neighbor_ids(const NodeId* shared) { neighbor_ids_ = shared; }
   void begin_round(std::uint64_t r) {
     round_ = r;
     round_payload_.reset();
-    for (auto& slot : outbox_) slot.reset();
+    // Presence bytes only: the delivery pass already consumed this node's
+    // outbox presence, but a crash/resume path may leave stragglers.
+    if (degree_ > 0) std::memset(outbox_present_, 0, degree_);
   }
   void clear_inbox() {
-    // Retire consumed payload buffers into the scratch pool instead of
-    // freeing them; the pool is capped at the node degree (the most buffers
-    // a round can retire) so programs that never call scratch() don't leak.
-    for (auto& slot : inbox_) {
-      if (slot.has_value() && pool_.size() < inbox_.size())
-        pool_.push_back(std::move(*slot));
-      slot.reset();
-    }
+    if (degree_ > 0) std::memset(inbox_present_, 0, degree_);
   }
   void deliver(std::uint32_t port, BitVec payload) {
-    inbox_[port] = std::move(payload);
+    std::swap(inbox_payload_[port], payload);
+    inbox_present_[port] = 1;
   }
-  std::optional<BitVec>& outbox(std::uint32_t port) { return outbox_[port]; }
+  bool outbox_present(std::uint32_t port) const {
+    return outbox_present_[port] != 0;
+  }
+  BitVec& outbox_payload(std::uint32_t port) { return outbox_payload_[port]; }
+  void consume_outbox(std::uint32_t port) { outbox_present_[port] = 0; }
   void discard_outbox() {
-    for (auto& slot : outbox_) slot.reset();
+    if (degree_ > 0) std::memset(outbox_present_, 0, degree_);
   }
   bool halted() const { return halted_; }
   Verdict verdict() const { return verdict_; }
@@ -163,9 +187,9 @@ class NodeState final : public NodeApi {
         {kind, static_cast<std::uint32_t>(index_), round_, std::move(detail)});
   }
 
-  const Graph& topology_;
   Vertex index_;
   NodeId id_;
+  std::uint32_t degree_;
   std::uint64_t network_size_;
   std::uint64_t namespace_size_;
   std::uint64_t bandwidth_;
@@ -176,9 +200,13 @@ class NodeState final : public NodeApi {
   std::optional<BitVec> round_payload_;
   std::uint64_t round_ = 0;
   std::vector<NodeId> owned_neighbor_ids_;
-  const std::vector<NodeId>* neighbor_ids_ = &owned_neighbor_ids_;
-  std::vector<std::optional<BitVec>> inbox_;
-  std::vector<std::optional<BitVec>> outbox_;
+  const NodeId* neighbor_ids_ = nullptr;
+  // Arena rows, engine-owned (attach_frames): payload buffers and presence
+  // bytes are parallel arrays indexed by port.
+  BitVec* inbox_payload_ = nullptr;
+  std::uint8_t* inbox_present_ = nullptr;
+  BitVec* outbox_payload_ = nullptr;
+  std::uint8_t* outbox_present_ = nullptr;
   std::vector<BitVec> pool_;  // retired payload buffers (see scratch())
   bool halted_ = false;
   Verdict verdict_ = Verdict::Accept;

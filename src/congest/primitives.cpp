@@ -70,8 +70,8 @@ class BfsAggregateProgram final : public NodeProgram {
     }
     if (api.round() == n + 1) {
       for (std::uint32_t p = 0; p < api.degree(); ++p) {
-        const auto& msg = api.inbox(p);
-        CSD_CHECK_MSG(msg.has_value(), "missing parent announcement");
+        const auto* msg = api.inbox(p);
+        CSD_CHECK_MSG(msg != nullptr, "missing parent announcement");
         wire::Reader r(*msg);
         child_port_[p] = r.boolean();
       }
@@ -79,8 +79,8 @@ class BfsAggregateProgram final : public NodeProgram {
     } else if (api.round() > n + 1) {
       // Value phase: collect convergecast values and/or the downcast.
       for (std::uint32_t p = 0; p < api.degree(); ++p) {
-        const auto& msg = api.inbox(p);
-        if (!msg.has_value()) continue;
+        const auto* msg = api.inbox(p);
+        if (msg == nullptr) continue;
         wire::Reader r(*msg);
         const std::uint64_t tag = r.u(1);
         const std::uint64_t value = r.u(cfg_.value_bits);
@@ -138,8 +138,8 @@ class BfsAggregateProgram final : public NodeProgram {
   void election_absorb(NodeApi& api, unsigned id_bits, unsigned dist_bits,
                        bool allow_improve) {
     for (std::uint32_t p = 0; p < api.degree(); ++p) {
-      const auto& msg = api.inbox(p);
-      if (!msg.has_value()) continue;
+      const auto* msg = api.inbox(p);
+      if (msg == nullptr) continue;
       wire::Reader r(*msg);
       const NodeId root = r.u(id_bits);
       const std::uint64_t dist = r.u(dist_bits);

@@ -10,7 +10,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -51,8 +50,9 @@ class NodeApi {
   /// Per-edge bandwidth in bits per round; 0 means unbounded (LOCAL model).
   virtual std::uint64_t bandwidth() const = 0;
 
-  /// Message received on `port` this round, if any.
-  virtual const std::optional<BitVec>& inbox(std::uint32_t port) const = 0;
+  /// Message received on `port` this round; nullptr if none. The buffer is
+  /// engine-owned and valid until the end of the current on_round call.
+  virtual const BitVec* inbox(std::uint32_t port) const = 0;
 
   /// Queue `payload` for delivery to the neighbor on `port` next round.
   /// At most one send per port per round; at most bandwidth() bits.

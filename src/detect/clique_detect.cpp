@@ -40,15 +40,15 @@ class CliqueDetectProgram final : public congest::NodeProgram {
 
     if (api.round() == 1) {
       for (std::uint32_t p = 0; p < api.degree(); ++p) {
-        const auto& msg = api.inbox(p);
-        CSD_CHECK_MSG(msg.has_value(), "missing degree announcement");
+        const auto* msg = api.inbox(p);
+        CSD_CHECK_MSG(msg != nullptr, "missing degree announcement");
         wire::Reader r(*msg);
         expected_bits_[p] = r.u(id_bits) * id_bits;
       }
     } else if (api.round() >= 2) {
       for (std::uint32_t p = 0; p < api.degree(); ++p) {
-        const auto& msg = api.inbox(p);
-        if (msg.has_value()) received_[p].append(*msg);
+        const auto* msg = api.inbox(p);
+        if (msg != nullptr) received_[p].append(*msg);
       }
     }
 
@@ -86,22 +86,32 @@ class CliqueDetectProgram final : public congest::NodeProgram {
       return;
     }
     if (api.degree() + 1 < s_) return;
-    // Build the induced graph on the neighborhood: vertices are the ports,
-    // edges from membership of each other's id lists.
-    std::vector<std::vector<congest::NodeId>> lists(api.degree());
-    for (std::uint32_t p = 0; p < api.degree(); ++p) {
+    // Induced neighborhood as adjacency bit-rows over the ports: edge
+    // {p, q} (p < q) iff port q's id appears in port p's streamed list —
+    // the same decision rule as the dense-graph construction this replaces,
+    // but the clique search now intersects candidate sets 64 ports at a
+    // time (oracle::has_clique_rows).
+    const std::uint32_t d = api.degree();
+    std::vector<std::pair<congest::NodeId, std::uint32_t>> by_id(d);
+    for (std::uint32_t p = 0; p < d; ++p) by_id[p] = {api.neighbor_id(p), p};
+    std::sort(by_id.begin(), by_id.end());
+    std::vector<BitVec> rows(d, BitVec(d));
+    for (std::uint32_t p = 0; p < d; ++p) {
       CSD_CHECK(received_[p].size() == expected_bits_[p]);
       for (std::uint64_t off = 0; off + id_bits <= received_[p].size();
-           off += id_bits)
-        lists[p].push_back(received_[p].read_bits(off, id_bits));
+           off += id_bits) {
+        const congest::NodeId nid = received_[p].read_bits(off, id_bits);
+        const auto it = std::lower_bound(
+            by_id.begin(), by_id.end(),
+            std::make_pair(nid, std::uint32_t{0}));
+        if (it == by_id.end() || it->first != nid) continue;
+        const std::uint32_t q = it->second;
+        if (q <= p) continue;  // edge {p, q} is decided by the lower port
+        rows[p].set(q);
+        rows[q].set(p);
+      }
     }
-    Graph nbhd(api.degree());
-    for (std::uint32_t p = 0; p < api.degree(); ++p)
-      for (std::uint32_t q = p + 1; q < api.degree(); ++q)
-        if (std::binary_search(lists[p].begin(), lists[p].end(),
-                               api.neighbor_id(q)))
-          nbhd.add_edge(p, q);
-    if (oracle::has_clique(nbhd, s_ - 1)) api.reject();
+    if (oracle::has_clique_rows(rows, s_ - 1)) api.reject();
   }
 
   std::uint32_t s_;

@@ -44,8 +44,8 @@ class CollectAndCheckProgram final : public congest::NodeProgram {
         learn(make_id_edge(api.id(), api.neighbor_id(p)));
     } else {
       for (std::uint32_t p = 0; p < api.degree(); ++p) {
-        const auto& msg = api.inbox(p);
-        if (!msg.has_value()) continue;
+        const auto* msg = api.inbox(p);
+        if (msg == nullptr) continue;
         wire::Reader r(*msg);
         const congest::NodeId a = r.u(id_bits);
         const congest::NodeId b = r.u(id_bits);
@@ -98,8 +98,8 @@ class LocalBallProgram final : public congest::NodeProgram {
         known_.insert(make_id_edge(api.id(), api.neighbor_id(p)));
     } else {
       for (std::uint32_t p = 0; p < api.degree(); ++p) {
-        const auto& msg = api.inbox(p);
-        if (!msg.has_value()) continue;
+        const auto* msg = api.inbox(p);
+        if (msg == nullptr) continue;
         wire::Reader r(*msg);
         const std::uint64_t count = r.varint();
         for (std::uint64_t i = 0; i < count; ++i) {

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <deque>
-#include <unordered_set>
 
+#include "detect/id_set.hpp"
 #include "support/check.hpp"
 #include "support/mathutil.hpp"
 #include "support/wire.hpp"
@@ -91,6 +91,10 @@ class EvenCycleProgram final : public congest::NodeProgram {
     color1_ = static_cast<std::uint32_t>(api.rng().below(2 * cfg_.k));
     color2_ = static_cast<std::uint32_t>(api.rng().below(2 * cfg_.k));
     removed_ = api.degree() >= sched_.degree_threshold;
+    phase1_seen_.init(api.namespace_size());
+    token_seen_.init(api.namespace_size());
+    incr_origins_.init(api.namespace_size());
+    decr_origins_.init(api.namespace_size());
     neighbor_active_.assign(api.degree(), true);
     neighbor_unassigned_.assign(api.degree(), true);
     if (cfg_.enable_phase1 && color1_ == 0 &&
@@ -103,8 +107,8 @@ class EvenCycleProgram final : public congest::NodeProgram {
     // Process incoming tokens (none in round 0).
     if (api.round() > 0) {
       for (std::uint32_t p = 0; p < api.degree(); ++p) {
-        const auto& msg = api.inbox(p);
-        if (!msg.has_value()) continue;
+        const auto* msg = api.inbox(p);
+        if (msg == nullptr) continue;
         wire::Reader reader(*msg);
         const congest::NodeId origin = reader.u(id_bits_);
         const auto hop = static_cast<std::uint32_t>(reader.u(hop_bits_));
@@ -113,7 +117,7 @@ class EvenCycleProgram final : public congest::NodeProgram {
           continue;
         }
         if (color1_ != hop + 1) continue;
-        if (!phase1_seen_.insert(origin).second) continue;
+        if (!phase1_seen_.insert(origin)) continue;
         phase1_queue_.push_back(origin);
       }
     }
@@ -150,8 +154,8 @@ class EvenCycleProgram final : public congest::NodeProgram {
   // -- phase II: peeling --------------------------------------------------
   void record_removals(congest::NodeApi& api) {
     for (std::uint32_t p = 0; p < api.degree(); ++p) {
-      const auto& msg = api.inbox(p);
-      CSD_CHECK_MSG(msg.has_value(), "missing removal announcement");
+      const auto* msg = api.inbox(p);
+      CSD_CHECK_MSG(msg != nullptr, "missing removal announcement");
       wire::Reader reader(*msg);
       if (reader.boolean()) {
         neighbor_active_[p] = false;
@@ -178,8 +182,8 @@ class EvenCycleProgram final : public congest::NodeProgram {
   /// Mark neighbors that announced peeling in the previous round.
   void absorb_peels(congest::NodeApi& api) {
     for (std::uint32_t p = 0; p < api.degree(); ++p) {
-      const auto& msg = api.inbox(p);
-      if (!msg.has_value()) continue;
+      const auto* msg = api.inbox(p);
+      if (msg == nullptr) continue;
       wire::Reader reader(*msg);
       if (reader.boolean()) neighbor_unassigned_[p] = false;
     }
@@ -239,8 +243,8 @@ class EvenCycleProgram final : public congest::NodeProgram {
 
   void receive_tokens(congest::NodeApi& api, const Role& role) {
     for (std::uint32_t p = 0; p < api.degree(); ++p) {
-      const auto& msg = api.inbox(p);
-      if (!msg.has_value() || !neighbor_active_[p]) continue;
+      const auto* msg = api.inbox(p);
+      if (msg == nullptr || !neighbor_active_[p]) continue;
       wire::Reader reader(*msg);
       Token token;
       token.decreasing = reader.boolean();
@@ -264,7 +268,7 @@ class EvenCycleProgram final : public congest::NodeProgram {
       // both directions pick them up and stamp their own direction.
       if (token.position != role.position - 1) continue;
       if (token.position > 0 && token.decreasing != want_decreasing) continue;
-      if (!token_seen_.insert(token.origin).second) continue;
+      if (!token_seen_.insert(token.origin)) continue;
       token.position = role.position;
       token.decreasing = want_decreasing;  // stamp direction at position 1
       queue_.push_back(token);
@@ -274,12 +278,9 @@ class EvenCycleProgram final : public congest::NodeProgram {
   void midpoint_check(congest::NodeApi& api) {
     if (removed_ || layer_ == kNoLayer) return;
     if (role_of_color(color2_, cfg_.k).kind != Role::Midpoint) return;
-    for (const auto origin : incr_origins_) {
-      if (decr_origins_.count(origin) != 0) {
-        api.reject();  // increasing and decreasing prefixes meet: C_2k
-        return;
-      }
-    }
+    // Increasing and decreasing prefixes meet at the midpoint: C_2k. With
+    // dense id sets this is one word-parallel intersection.
+    if (intersects(incr_origins_, decr_origins_)) api.reject();
   }
 
   // -- state --------------------------------------------------------------
@@ -293,11 +294,11 @@ class EvenCycleProgram final : public congest::NodeProgram {
   std::vector<bool> neighbor_active_;
   std::vector<bool> neighbor_unassigned_;
   std::deque<congest::NodeId> phase1_queue_;
-  std::unordered_set<congest::NodeId> phase1_seen_;
+  IdSet phase1_seen_;
   std::deque<Token> queue_;
-  std::unordered_set<congest::NodeId> token_seen_;
-  std::unordered_set<congest::NodeId> incr_origins_;
-  std::unordered_set<congest::NodeId> decr_origins_;
+  IdSet token_seen_;
+  IdSet incr_origins_;
+  IdSet decr_origins_;
 };
 
 }  // namespace

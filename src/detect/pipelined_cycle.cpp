@@ -30,8 +30,8 @@ class PipelinedCycleProgram final : public congest::NodeProgram {
     } else {
       // Process tokens delivered this round.
       for (std::uint32_t p = 0; p < api.degree(); ++p) {
-        const auto& msg = api.inbox(p);
-        if (!msg.has_value()) continue;
+        const auto* msg = api.inbox(p);
+        if (msg == nullptr) continue;
         wire::Reader reader(*msg);
         const congest::NodeId origin = reader.u(id_bits);
         const auto hop = static_cast<std::uint32_t>(reader.u(hop_bits));

@@ -52,17 +52,18 @@ class TreeDetectProgram final : public congest::NodeProgram {
       // Union of neighbor bitmaps from the previous round.
       neighbor_any_.assign(rt_.k, false);
       for (std::uint32_t p = 0; p < api.degree(); ++p) {
-        const auto& msg = api.inbox(p);
-        if (!msg.has_value()) continue;
+        const auto* msg = api.inbox(p);
+        if (msg == nullptr) continue;
         for (std::uint32_t h = 0; h < rt_.k; ++h)
           if (msg->get(h)) neighbor_any_[h] = true;
       }
     }
 
-    // Round t computes H-vertices at depth height - t.
-    const std::uint32_t t = static_cast<std::uint32_t>(api.round());
+    // Round t computes H-vertices at depth height - t. Kept 64-bit: a
+    // truncated round counter would alias round 2^32 + r onto round r.
+    const std::uint64_t t = api.round();
     if (t <= rt_.height) {
-      const std::uint32_t level = rt_.height - t;
+      const auto level = static_cast<std::uint32_t>(rt_.height - t);
       for (std::uint32_t h = 0; h < rt_.k; ++h) {
         if (rt_.depth[h] != level || color_ != h) continue;
         bool ok = true;

@@ -40,8 +40,8 @@ class IdExchangeProgram final : public congest::NodeProgram {
         api.phase("cross-forward");
         // Cross-forward: what arrived on port p leaves on port 1-p.
         for (std::uint32_t p = 0; p < 2; ++p) {
-          const auto& msg = api.inbox(p);
-          CSD_CHECK_MSG(msg.has_value(), "missing id announcement");
+          const auto* msg = api.inbox(p);
+          CSD_CHECK_MSG(msg != nullptr, "missing id announcement");
           wire::Reader r(*msg);
           heard_[p] = r.u(c_bits_);
           wire::Writer w;
@@ -55,8 +55,8 @@ class IdExchangeProgram final : public congest::NodeProgram {
         // In a triangle, my neighbor's other neighbor is my other neighbor.
         bool both_match = true;
         for (std::uint32_t p = 0; p < 2; ++p) {
-          const auto& msg = api.inbox(p);
-          CSD_CHECK_MSG(msg.has_value(), "missing forwarded id");
+          const auto* msg = api.inbox(p);
+          CSD_CHECK_MSG(msg != nullptr, "missing forwarded id");
           wire::Reader r(*msg);
           const std::uint64_t reported = r.u(c_bits_);
           both_match &= reported == fingerprint(api.neighbor_id(1 - p));

@@ -1,9 +1,9 @@
 #include "detect/triangle_tester.hpp"
 
-#include <algorithm>
 #include <optional>
 #include <vector>
 
+#include "detect/id_set.hpp"
 #include "support/check.hpp"
 #include "support/wire.hpp"
 
@@ -24,10 +24,11 @@ class TriangleTesterProgram final : public congest::NodeProgram {
                         api.bandwidth() >=
                             triangle_tester_min_bandwidth(api.namespace_size()),
                     "bandwidth too small for the triangle tester");
-      sorted_neighbors_.reserve(api.degree());
+      // O(1) query answering: dense bit-set over the id namespace (falls
+      // back to a hash set for very large namespaces).
+      neighbors_.init(api.namespace_size());
       for (std::uint32_t p = 0; p < api.degree(); ++p)
-        sorted_neighbors_.push_back(api.neighbor_id(p));
-      std::sort(sorted_neighbors_.begin(), sorted_neighbors_.end());
+        neighbors_.insert(api.neighbor_id(p));
     }
 
     // Absorb: replies answer our query from two rounds ago; queries arriving
@@ -35,8 +36,8 @@ class TriangleTesterProgram final : public congest::NodeProgram {
     std::vector<std::optional<bool>> replies(api.degree());
     if (api.round() > 0) {
       for (std::uint32_t p = 0; p < api.degree(); ++p) {
-        const auto& msg = api.inbox(p);
-        if (!msg.has_value()) continue;
+        const auto* msg = api.inbox(p);
+        if (msg == nullptr) continue;
         wire::Reader r(*msg);
         const bool has_reply = r.boolean();
         const bool confirmed = r.boolean();
@@ -44,8 +45,7 @@ class TriangleTesterProgram final : public congest::NodeProgram {
           api.reject();  // u confirmed u ~ w: triangle v,u,w closed
         if (r.boolean()) {  // has_query
           const std::uint64_t queried = r.u(id_bits);
-          replies[p] = std::binary_search(sorted_neighbors_.begin(),
-                                          sorted_neighbors_.end(), queried);
+          replies[p] = neighbors_.contains(queried);
         }
       }
     }
@@ -78,7 +78,7 @@ class TriangleTesterProgram final : public congest::NodeProgram {
 
  private:
   TriangleTesterConfig cfg_;
-  std::vector<congest::NodeId> sorted_neighbors_;
+  IdSet neighbors_;
 };
 
 }  // namespace

@@ -30,8 +30,8 @@ class WeightedCycleProgram final : public congest::NodeProgram {
       if (color_ == 0 && api.degree() > 0) queue_.push_back({api.id(), 0});
     } else {
       for (std::uint32_t p = 0; p < api.degree(); ++p) {
-        const auto& msg = api.inbox(p);
-        if (!msg.has_value()) continue;
+        const auto* msg = api.inbox(p);
+        if (msg == nullptr) continue;
         wire::Reader reader(*msg);
         const congest::NodeId origin = reader.u(id_bits);
         const auto hop = static_cast<std::uint32_t>(reader.u(hop_bits));

@@ -18,6 +18,25 @@ namespace csd {
 using Vertex = std::uint32_t;
 constexpr Vertex kNoVertex = static_cast<Vertex>(-1);
 
+/// Immutable structure-of-arrays adjacency view (compressed sparse row).
+///
+/// The neighbors of `v` are `neighbors[offsets[v] .. offsets[v+1])`, in
+/// exactly the adjacency-list order — so position `p` in a row is the same
+/// port number the CONGEST layer assigns, and `offsets[v] + p` is a dense
+/// index over directed edges that engines use for flat per-edge tables.
+struct GraphCsr {
+  std::vector<std::uint64_t> offsets;  // n + 1 entries
+  std::vector<Vertex> neighbors;       // 2m entries
+
+  std::uint64_t num_directed_edges() const noexcept {
+    return offsets.empty() ? 0 : offsets.back();
+  }
+  std::span<const Vertex> row(Vertex v) const noexcept {
+    return {neighbors.data() + offsets[v],
+            static_cast<std::size_t>(offsets[v + 1] - offsets[v])};
+  }
+};
+
 /// Undirected simple graph with O(1) amortized edge insertion, O(1) expected
 /// adjacency queries, and cache-friendly neighbor iteration.
 class Graph {
@@ -34,6 +53,7 @@ class Graph {
   Vertex add_vertices(Vertex count) {
     const auto first = num_vertices();
     adj_.resize(adj_.size() + count);
+    csr_valid_ = false;
     return first;
   }
 
@@ -49,6 +69,7 @@ class Graph {
     adj_[v].push_back(u);
     edge_set_.insert(edge_key(u, v));
     ++num_edges_;
+    csr_valid_ = false;
   }
 
   /// Insert {u, v} unless it already exists; returns true if inserted.
@@ -94,6 +115,12 @@ class Graph {
   /// algorithms); call after bulk construction.
   void sort_adjacency();
 
+  /// Cached CSR view over the current adjacency. Lazily built on first call
+  /// and invalidated by any mutation. Building mutates the cache, so
+  /// materialize it once (engine constructors do) before sharing a const
+  /// Graph across threads; concurrent reads of a built view are safe.
+  const GraphCsr& csr() const;
+
  private:
   static std::uint64_t edge_key(Vertex u, Vertex v) noexcept {
     const std::uint64_t a = std::min(u, v), b = std::max(u, v);
@@ -103,6 +130,8 @@ class Graph {
   std::vector<std::vector<Vertex>> adj_;
   std::unordered_set<std::uint64_t> edge_set_;
   std::uint64_t num_edges_ = 0;
+  mutable GraphCsr csr_;
+  mutable bool csr_valid_ = false;
 };
 
 }  // namespace csd

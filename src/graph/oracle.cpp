@@ -185,9 +185,52 @@ void for_each_clique(const Graph& g, Vertex s, Emit&& emit) {
   }
 }
 
+/// Bit-parallel clique extension: `cand` holds the common neighbors of the
+/// chosen prefix; candidates are consumed in ascending order starting at
+/// `start` so every vertex set is visited exactly once. `scratch[depth]`
+/// provides the intersection buffer for this level (reused across siblings).
+bool extend_clique_rows(const std::vector<BitVec>& rows,
+                        std::vector<BitVec>& scratch, const BitVec& cand,
+                        Vertex need, std::size_t start, std::size_t depth) {
+  if (cand.count() < need) return false;  // conservative prune
+  for (std::size_t w = cand.find_next(start); w < cand.size();
+       w = cand.find_next(w + 1)) {
+    if (need == 1) return true;
+    BitVec& next = scratch[depth];
+    intersect_into(next, cand, rows[w]);
+    if (extend_clique_rows(rows, scratch, next, need - 1, w + 1, depth + 1))
+      return true;
+  }
+  return false;
+}
+
 }  // namespace
 
+std::vector<BitVec> adjacency_rows(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  std::vector<BitVec> rows(n, BitVec(n));
+  for (Vertex v = 0; v < n; ++v)
+    for (const Vertex w : g.neighbors(v)) rows[v].set(w);
+  return rows;
+}
+
+bool has_clique_rows(const std::vector<BitVec>& rows, Vertex s) {
+  const auto n = static_cast<Vertex>(rows.size());
+  if (s == 0) return true;
+  if (s == 1) return n > 0;
+  std::vector<BitVec> scratch(s);
+  for (Vertex v = 0; v < n; ++v)
+    if (extend_clique_rows(rows, scratch, rows[v], s - 1, v + 1, 0))
+      return true;
+  return false;
+}
+
 bool has_clique(const Graph& g, Vertex s) {
+  // Dense bit-rows pay off whenever they fit comfortably in memory; above
+  // the threshold fall back to the sparse recursive search.
+  constexpr Vertex kBitRowLimit = 4096;
+  if (s >= 2 && g.num_vertices() <= kBitRowLimit)
+    return has_clique_rows(adjacency_rows(g), s);
   bool found = false;
   for_each_clique(g, s, [&](const std::vector<Vertex>&) {
     found = true;

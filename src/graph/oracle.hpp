@@ -11,8 +11,19 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "support/bitvec.hpp"
 
 namespace csd::oracle {
+
+/// Adjacency bit-rows of `g`: rows[v] has one bit per vertex, bit w set iff
+/// {v, w} is an edge. The dense-set representation the bit-parallel clique
+/// search and the detection-layer candidate checks intersect.
+std::vector<BitVec> adjacency_rows(const Graph& g);
+
+/// True iff the graph described by symmetric adjacency bit-rows contains
+/// K_s. Word-parallel: candidate sets are intersected 64 vertices at a time
+/// (the Czumaj–Konrad candidate-neighborhood idiom).
+bool has_clique_rows(const std::vector<BitVec>& rows, Vertex s);
 
 /// True iff G contains a (simple) cycle of length exactly L (L >= 3).
 bool has_cycle_of_length(const Graph& g, Vertex L);

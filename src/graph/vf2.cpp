@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "graph/oracle.hpp"
+#include "support/bitvec.hpp"
 #include "support/check.hpp"
 
 namespace csd {
@@ -88,6 +90,11 @@ class Matcher {
         used_(host.num_vertices(), false) {
     for (Vertex v = 0; v < pattern.num_vertices(); ++v)
       if (twin_pred_[v] != kNoVertex) twin_succ_[twin_pred_[v]] = v;
+    // Dense host adjacency rows turn the consistency probe in the inner
+    // loop into a single bit test; skip them when the host is too large
+    // for the quadratic bit matrix to pay off.
+    if (host.num_vertices() <= kBitRowLimit)
+      host_rows_ = oracle::adjacency_rows(host);
   }
 
   std::optional<std::vector<Vertex>> run() {
@@ -128,9 +135,13 @@ class Matcher {
           g > match_[twin_succ_[h]])
         return false;
       // All matched pattern neighbors must map to host neighbors of g.
-      for (const Vertex nb : pattern_.neighbors(h))
-        if (match_[nb] != kNoVertex && !host_.has_edge(g, match_[nb]))
+      const BitVec* row = host_rows_.empty() ? nullptr : &host_rows_[g];
+      for (const Vertex nb : pattern_.neighbors(h)) {
+        if (match_[nb] == kNoVertex) continue;
+        if (row != nullptr ? !row->get(match_[nb])
+                           : !host_.has_edge(g, match_[nb]))
           return false;
+      }
       match_[h] = g;
       used_[g] = true;
       if (extend(depth + 1)) return true;
@@ -149,9 +160,12 @@ class Matcher {
     return false;
   }
 
+  static constexpr Vertex kBitRowLimit = 4096;
+
   const Graph& host_;
   const Graph& pattern_;
   SubgraphSearchOptions opts_;
+  std::vector<BitVec> host_rows_;
   std::vector<Vertex> order_;
   std::vector<Vertex> twin_pred_;
   std::vector<Vertex> twin_succ_;

@@ -1,10 +1,10 @@
 #include "obs/round_trace.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <ostream>
 
 #include "obs/json.hpp"
+#include "support/bits.hpp"
 #include "support/check.hpp"
 
 namespace csd::obs {
@@ -15,7 +15,7 @@ namespace {
 /// [2^(b-1), 2^b). 64-bit sizes need at most 65 buckets.
 std::size_t size_bucket(std::uint64_t bits) {
   if (bits == 0) return 0;
-  return static_cast<std::size_t>(std::bit_width(bits));
+  return static_cast<std::size_t>(bit_width64(bits));
 }
 
 std::uint64_t edge_key(std::uint32_t src, std::uint32_t dst) {

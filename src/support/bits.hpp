@@ -1,0 +1,68 @@
+// Portable 64-bit word primitives.
+//
+// The simulator's hot paths (payload splicing, candidate-set intersection,
+// first-set iteration) all reduce to popcount / count-trailing-zeros on
+// 64-bit words. Standard library <bit> covers both since C++20; the wrappers
+// here pick std::popcount / std::countr_zero when the feature-test macro says
+// they exist and otherwise fall back to compiler builtins, with a last-resort
+// portable loop so the code keeps compiling on toolchains with neither.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__cpp_lib_bitops) || (defined(__has_include) && __has_include(<bit>))
+#include <bit>
+#define CSD_HAS_STD_BITOPS 1
+#endif
+
+namespace csd {
+
+inline int popcount64(std::uint64_t w) noexcept {
+#if defined(CSD_HAS_STD_BITOPS) && defined(__cpp_lib_bitops)
+  return std::popcount(w);
+#elif defined(__GNUC__) || defined(__clang__)
+  return __builtin_popcountll(w);
+#else
+  int c = 0;
+  while (w != 0) {
+    w &= w - 1;
+    ++c;
+  }
+  return c;
+#endif
+}
+
+/// Number of trailing zero bits; 64 when `w == 0`.
+inline int countr_zero64(std::uint64_t w) noexcept {
+#if defined(CSD_HAS_STD_BITOPS) && defined(__cpp_lib_bitops)
+  return std::countr_zero(w);
+#elif defined(__GNUC__) || defined(__clang__)
+  return w == 0 ? 64 : __builtin_ctzll(w);
+#else
+  if (w == 0) return 64;
+  int c = 0;
+  while ((w & 1ULL) == 0) {
+    w >>= 1;
+    ++c;
+  }
+  return c;
+#endif
+}
+
+/// Number of bits needed to represent `w`; 0 when `w == 0`.
+inline int bit_width64(std::uint64_t w) noexcept {
+#if defined(CSD_HAS_STD_BITOPS) && defined(__cpp_lib_int_pow2)
+  return static_cast<int>(std::bit_width(w));
+#elif defined(__GNUC__) || defined(__clang__)
+  return w == 0 ? 0 : 64 - __builtin_clzll(w);
+#else
+  int b = 0;
+  while (w != 0) {
+    w >>= 1;
+    ++b;
+  }
+  return b;
+#endif
+}
+
+}  // namespace csd

@@ -51,7 +51,7 @@ class FlakyPing final : public NodeProgram {
       return;
     }
     for (std::uint32_t p = 0; p < api.degree(); ++p) {
-      if (api.inbox(p).has_value()) {
+      if (api.inbox(p) != nullptr) {
         api.broadcast(ping);  // relay, then leave
         api.halt();
         return;

@@ -199,6 +199,184 @@ TEST(Rng, BelowOneIsAlwaysZero) {
   for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.below(1), 0u);
 }
 
+// ----------------------------------------------------------- word prims --
+TEST(Bits, Popcount64) {
+  EXPECT_EQ(popcount64(0), 0);
+  EXPECT_EQ(popcount64(1), 1);
+  EXPECT_EQ(popcount64(~0ULL), 64);
+  EXPECT_EQ(popcount64(0x8000000000000001ULL), 2);
+  EXPECT_EQ(popcount64(0x5555555555555555ULL), 32);
+}
+
+TEST(Bits, CountrZero64) {
+  EXPECT_EQ(countr_zero64(0), 64);
+  EXPECT_EQ(countr_zero64(1), 0);
+  EXPECT_EQ(countr_zero64(0x8000000000000000ULL), 63);
+  EXPECT_EQ(countr_zero64(0b1010000), 4);
+}
+
+TEST(Bits, BitWidth64) {
+  EXPECT_EQ(bit_width64(0), 0);
+  EXPECT_EQ(bit_width64(1), 1);
+  EXPECT_EQ(bit_width64(2), 2);
+  EXPECT_EQ(bit_width64(255), 8);
+  EXPECT_EQ(bit_width64(256), 9);
+  EXPECT_EQ(bit_width64(~0ULL), 64);
+}
+
+// Word-boundary sizes are where the splice logic can go wrong: counts and
+// searches over 63/64/65-bit vectors must agree with a bit-by-bit model.
+TEST(BitVec, CountAtWordBoundaries) {
+  for (const std::size_t n : {63u, 64u, 65u, 127u, 128u, 129u}) {
+    BitVec ones(n, true);
+    EXPECT_EQ(ones.count(), n) << "n=" << n;
+    BitVec v(n);
+    v.set(0);
+    v.set(n - 1);
+    EXPECT_EQ(v.count(), 2u) << "n=" << n;
+    EXPECT_EQ(v.find_next(0), 0u);
+    EXPECT_EQ(v.find_next(1), n - 1);
+    EXPECT_EQ(v.find_next(n - 1), n - 1);
+    EXPECT_EQ(v.find_next(n), n);
+  }
+}
+
+TEST(BitVec, AppendBitsAcrossWordBoundary) {
+  // Force a splice that straddles a word: 63 bits, then a 64-bit value.
+  BitVec v;
+  v.append_bits(0x7fffffffffffffffULL, 63);
+  v.append_bits(0xdeadbeefcafef00dULL, 64);
+  v.append_bits(0x1, 1);
+  ASSERT_EQ(v.size(), 128u);
+  EXPECT_EQ(v.read_bits(0, 63), 0x7fffffffffffffffULL);
+  EXPECT_EQ(v.read_bits(63, 64), 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(v.read_bits(127, 1), 1u);
+}
+
+TEST(BitVec, AppendBitsMasksOverwideValue) {
+  BitVec v;
+  v.append_bits(~0ULL, 5);  // only the low 5 bits may land
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_EQ(v.read_bits(0, 5), 31u);
+  EXPECT_EQ(v.count(), 5u);  // trim invariant: no stray high bits
+}
+
+// Randomized equivalence against a bit-by-bit reference model.
+TEST(BitVec, MatchesBitByBitReference) {
+  Rng rng(42);
+  BitVec v;
+  std::vector<bool> ref;
+  for (int step = 0; step < 200; ++step) {
+    const auto width = static_cast<unsigned>(1 + rng.below(64));
+    const std::uint64_t value = rng();
+    v.append_bits(value, width);
+    for (unsigned i = 0; i < width; ++i) ref.push_back((value >> i) & 1);
+  }
+  ASSERT_EQ(v.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    ASSERT_EQ(v.get(i), ref[i]) << "bit " << i;
+  std::size_t expected_count = 0;
+  for (const bool b : ref) expected_count += b;
+  EXPECT_EQ(v.count(), expected_count);
+  // read_bits at random offsets
+  for (int probe = 0; probe < 200; ++probe) {
+    const auto width = static_cast<unsigned>(1 + rng.below(64));
+    if (v.size() < width) continue;
+    const std::size_t pos = rng.below(v.size() - width + 1);
+    std::uint64_t expect = 0;
+    for (unsigned i = 0; i < width; ++i)
+      expect |= static_cast<std::uint64_t>(ref[pos + i]) << i;
+    ASSERT_EQ(v.read_bits(pos, width), expect) << "pos " << pos;
+  }
+}
+
+TEST(BitVec, AppendVectorMatchesReference) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    BitVec a, b;
+    std::vector<bool> ref;
+    const std::size_t na = rng.below(130), nb = rng.below(130);
+    for (std::size_t i = 0; i < na; ++i) {
+      const bool bit = rng.below(2) == 1;
+      a.push_back(bit);
+      ref.push_back(bit);
+    }
+    for (std::size_t i = 0; i < nb; ++i) {
+      const bool bit = rng.below(2) == 1;
+      b.push_back(bit);
+      ref.push_back(bit);
+    }
+    a.append(b);
+    ASSERT_EQ(a.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      ASSERT_EQ(a.get(i), ref[i]) << "trial " << trial << " bit " << i;
+  }
+}
+
+TEST(BitVec, SelfAppendIsAnError) {
+  BitVec v;
+  v.append_bits(0b101, 3);
+  EXPECT_THROW(v.append(v), CheckFailure);
+}
+
+TEST(BitVec, IntersectHelpers) {
+  BitVec a(200), b(200);
+  for (std::size_t i = 0; i < 200; i += 3) a.set(i);
+  for (std::size_t i = 0; i < 200; i += 5) b.set(i);
+  std::size_t expect = 0;
+  for (std::size_t i = 0; i < 200; i += 15) ++expect;
+  EXPECT_EQ(intersect_count(a, b), expect);
+  BitVec dst;
+  intersect_into(dst, a, b);
+  EXPECT_EQ(dst.size(), 200u);
+  EXPECT_EQ(dst.count(), expect);
+  for (std::size_t i = 0; i < 200; ++i)
+    EXPECT_EQ(dst.get(i), i % 15 == 0);
+  // Aliasing: dst may be one of the operands.
+  intersect_into(a, a, b);
+  EXPECT_EQ(a, dst);
+}
+
+// Equal-size contract: mixing sizes in the set-algebra operations is a
+// caller bug and must throw, not silently zero-extend.
+TEST(BitVec, SetOpsRejectMismatchedSizes) {
+  BitVec a(64), b(65), dst;
+  EXPECT_THROW(a &= b, CheckFailure);
+  EXPECT_THROW(a |= b, CheckFailure);
+  EXPECT_THROW(intersect_count(a, b), CheckFailure);
+  EXPECT_THROW(intersect_into(dst, a, b), CheckFailure);
+}
+
+TEST(BitVec, ForEachSetVisitsAscending) {
+  BitVec v(150);
+  const std::vector<std::size_t> want = {0, 63, 64, 65, 127, 149};
+  for (const auto i : want) v.set(i);
+  std::vector<std::size_t> got;
+  for_each_set(v, [&](std::size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+}
+
+TEST(BitVec, AssignReusesStorage) {
+  BitVec big(1000, true);
+  BitVec small;
+  small.append_bits(0b110, 3);
+  big.assign(small);
+  EXPECT_EQ(big.size(), 3u);
+  EXPECT_EQ(big, small);
+  big.assign(BitVec(70, true));
+  EXPECT_EQ(big.count(), 70u);
+}
+
+TEST(BitVec, TruncateKeepsTrimInvariant) {
+  BitVec v(130, true);
+  v.truncate(65);
+  EXPECT_EQ(v.size(), 65u);
+  EXPECT_EQ(v.count(), 65u);
+  v.append_bits(0, 63);  // spliced against the trimmed tail word
+  EXPECT_EQ(v.count(), 65u);
+  EXPECT_EQ(v.read_bits(64, 64), 1u);
+}
+
 // ----------------------------------------------------------------- wire --
 TEST(Wire, BitsFor) {
   EXPECT_EQ(wire::bits_for(0), 1u);

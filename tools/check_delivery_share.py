@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Gate the data-plane hot path: delivery share must not regress.
+
+Usage:
+    tools/check_delivery_share.py --baseline bench/baselines --current out \
+        [--measurement hotpath/row0] [--max-share-increase 0.10]
+
+Reads BENCH_thm11_even_cycle.json from both directories and compares the
+"hotpath" measurement, which runs a fixed even-cycle workload with
+TraceOptions::timers enabled:
+
+  * delivery share = timers_delivery_ns / (timers_compute_ns +
+    timers_delivery_ns).  The zero-copy frame plane exists to shrink this
+    number; the gate fails if the current share exceeds the baseline share
+    by more than --max-share-increase (absolute, default 0.10 — wide
+    enough for scheduler noise, narrow enough to catch a copy creeping
+    back into delivery).
+  * rounds/sec = rounds / (elapsed_ns / 1e9), reported for both sides
+    with the speedup ratio.  Informational by default; pass
+    --min-speedup to also gate on it (used when comparing against a
+    pre-optimization baseline, e.g. the >= 5x acceptance run recorded in
+    EXPERIMENTS.md).
+
+Exit status: 0 = clean, 1 = regression, 2 = usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPORT = "BENCH_thm11_even_cycle.json"
+
+
+def load_hotpath(path: Path, measurement: str) -> dict:
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    for m in doc.get("measurements", []):
+        if m.get("name") == measurement:
+            return m.get("values", {})
+    print(
+        f"error: {path} has no measurement '{measurement}' "
+        "(regenerate the baseline after adding the hotpath section?)",
+        file=sys.stderr,
+    )
+    sys.exit(2)
+
+
+def delivery_share(values: dict) -> float:
+    compute = float(values["timers_compute_ns"])
+    delivery = float(values["timers_delivery_ns"])
+    total = compute + delivery
+    return delivery / total if total > 0 else 0.0
+
+
+def rounds_per_sec(values: dict) -> float:
+    elapsed_ns = float(values["elapsed_ns"])
+    return float(values["rounds"]) / (elapsed_ns / 1e9) if elapsed_ns > 0 else 0.0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, type=Path)
+    parser.add_argument("--current", required=True, type=Path)
+    parser.add_argument("--measurement", default="hotpath/row0")
+    parser.add_argument("--max-share-increase", type=float, default=0.10)
+    parser.add_argument("--min-speedup", type=float, default=None)
+    args = parser.parse_args()
+
+    base = load_hotpath(args.baseline / REPORT, args.measurement)
+    cur = load_hotpath(args.current / REPORT, args.measurement)
+
+    for key in ("rounds", "n", "reps"):
+        if base.get(key) != cur.get(key):
+            print(
+                f"FAIL: workload drift on '{key}': baseline {base.get(key)} "
+                f"vs current {cur.get(key)} — the timer comparison is only "
+                "meaningful on identical work",
+                file=sys.stderr,
+            )
+            return 1
+
+    base_share = delivery_share(base)
+    cur_share = delivery_share(cur)
+    base_rps = rounds_per_sec(base)
+    cur_rps = rounds_per_sec(cur)
+    speedup = cur_rps / base_rps if base_rps > 0 else float("inf")
+
+    print(f"delivery share: baseline {base_share:.3f} -> current {cur_share:.3f}")
+    print(
+        f"rounds/sec:     baseline {base_rps:,.0f} -> current {cur_rps:,.0f} "
+        f"({speedup:.2f}x)"
+    )
+
+    ok = True
+    if cur_share > base_share + args.max_share_increase:
+        print(
+            f"FAIL: delivery share rose by {cur_share - base_share:.3f} "
+            f"(> {args.max_share_increase:.2f} allowed) — a copy or "
+            "allocation has crept back into the delivery path",
+            file=sys.stderr,
+        )
+        ok = False
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(
+            f"FAIL: speedup {speedup:.2f}x below required "
+            f"{args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        ok = False
+    if ok:
+        print("OK: delivery share within bounds")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
