@@ -41,6 +41,17 @@ unsigned parse_jobs(int argc, char** argv) {
   return 1;
 }
 
+/// `--workers W` runs each live repetition on the sharded superstep engine
+/// (congest/shard.hpp; 0 = classic loop). Every reported number is
+/// bit-identical for every W — the flag only changes wall-clock — so the
+/// model-level baseline comparison stays exact.
+unsigned parse_workers(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--workers") == 0)
+      return static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -48,7 +59,10 @@ int main(int argc, char** argv) {
   bench::BenchContext ctx("thm11_even_cycle", argc, argv);
   congest::AmplifyOptions amplify;
   amplify.jobs = parse_jobs(argc, argv);
+  congest::ShardSpec shard;
+  shard.workers = parse_workers(argc, argv);
   ctx.report().env("jobs", congest::resolve_jobs(amplify.jobs));
+  ctx.report().env("workers", shard.workers);
 
   print_banner(std::cout,
                "THM11: C_2k detection rounds vs n (one repetition)",
@@ -154,6 +168,7 @@ int main(int argc, char** argv) {
       cfg.c_num = 1;
       cfg.repetitions = ctx.smoke() ? 80 : (n >= 2048 ? 150 : 400);
       cfg.amplify = amplify;
+      cfg.shard = shard;
       cfg.trace = ctx.trace_options();
       auto outcome = detect::detect_even_cycle(g, cfg, 64, 11);
       quality.row()
@@ -177,6 +192,7 @@ int main(int argc, char** argv) {
     cfg.k = 2;
     cfg.repetitions = ctx.smoke() ? 50 : 200;
     cfg.amplify = amplify;
+    cfg.shard = shard;
     cfg.trace = ctx.trace_options();
     auto outcome = detect::detect_even_cycle(er, cfg, 64, 13);
     quality.row()
@@ -196,6 +212,7 @@ int main(int argc, char** argv) {
     cfg.k = 3;
     cfg.repetitions = ctx.smoke() ? 25 : 100;
     cfg.amplify = amplify;
+    cfg.shard = shard;
     cfg.trace = ctx.trace_options();
     auto outcome = detect::detect_even_cycle(gq, cfg, 64, 17);
     quality.row()
@@ -233,6 +250,7 @@ int main(int argc, char** argv) {
     cfg.c_num = 1;
     cfg.repetitions = 400;  // ~0.2 s: long enough for a stable timer split
     cfg.amplify = amplify;
+    cfg.shard = shard;
     cfg.trace = ctx.trace_options();
     cfg.trace.timers = true;  // honored even when the trace itself is off
     const auto start = std::chrono::steady_clock::now();

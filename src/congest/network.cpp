@@ -7,6 +7,7 @@
 
 #include "congest/node_state.hpp"
 #include "congest/run_batch.hpp"
+#include "congest/shard.hpp"
 #include "support/check.hpp"
 
 namespace csd::congest {
@@ -62,6 +63,9 @@ void Network::build_topology_tables() {
   }
 }
 
+// NetworkConfig::shard is deliberately NOT digested: the sharded engine is
+// bit-identical to the classic loop, so a snapshot taken at one worker
+// count must resume at any other (test_shard pins this).
 std::uint64_t Network::config_digest() const {
   std::uint64_t h = kDigestSeed;
   h = digest_mix(h, config_.bandwidth);
@@ -92,6 +96,8 @@ RunOutcome Network::resume(const ProgramFactory& factory,
 RunOutcome Network::run_impl(const ProgramFactory& factory,
                              std::uint64_t seed,
                              const SyncSnapshot* resume_from) const {
+  if (config_.shard.workers != 0)
+    return detail::run_sharded(*this, factory, seed, resume_from);
   const Vertex n = topology_.num_vertices();
 
   std::uint64_t namespace_size = config_.namespace_size;

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "congest/faults.hpp"
+#include "congest/partition.hpp"
 #include "congest/program.hpp"
 #include "congest/snapshot.hpp"
 #include "graph/graph.hpp"
@@ -84,6 +85,13 @@ struct NetworkConfig {
   /// the run (FaultReport::watchdog_stalls = 1, stragglers recorded as
   /// stalled) instead of spinning to max_rounds. 0 = disabled.
   std::uint64_t stall_window = 0;
+  /// Sharded superstep execution (congest/shard.hpp): workers == 0 keeps
+  /// the classic single-loop engine, workers >= 1 partitions the nodes
+  /// across that many worker threads. Every outcome field is bit-identical
+  /// at every worker count; sharding is an execution strategy, not part of
+  /// the model, and is therefore excluded from config_digest() (snapshots
+  /// resume across worker counts).
+  ShardSpec shard;
 };
 
 /// One recorded message (only populated when record_transcript is set).
@@ -204,6 +212,20 @@ class Network {
   const Graph& topology() const noexcept { return topology_; }
   const std::vector<NodeId>& ids() const noexcept { return ids_; }
   const NetworkConfig& config() const noexcept { return config_; }
+
+  // Engine plumbing shared with the sharded superstep engine
+  // (congest/shard.cpp): the materialized CSR view and the flat tables
+  // over its dense directed-edge index e = csr().offsets[v] + port.
+  const GraphCsr& csr() const noexcept { return *csr_; }
+  const std::vector<std::uint32_t>& rev_port() const noexcept {
+    return rev_port_;
+  }
+  const std::vector<std::uint64_t>& rev_edge() const noexcept {
+    return rev_edge_;
+  }
+  const std::vector<NodeId>& neighbor_ids_flat() const noexcept {
+    return neighbor_ids_flat_;
+  }
 
  private:
   void build_topology_tables();

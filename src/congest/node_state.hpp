@@ -12,6 +12,7 @@
 #include <cstring>
 #include <optional>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "congest/faults.hpp"
@@ -128,6 +129,8 @@ class NodeState final : public NodeApi {
     // Engines only wire a trace when one is recording, so the disabled-path
     // cost is the same single predicted branch record() pays.
     if (trace_ != nullptr) trace_->set_phase(round_, name);
+    else if (phase_slot_ != nullptr && !phase_slot_->has_value())
+      phase_slot_->emplace(name);
   }
 
   void reject() override { verdict_ = Verdict::Reject; }
@@ -137,6 +140,12 @@ class NodeState final : public NodeApi {
   /// Route NodeApi::phase declarations into `trace` (nullptr = discard).
   /// The engine owns the trace; it must outlive this NodeState.
   void set_trace(obs::RunTrace* trace) { trace_ = trace; }
+
+  /// Sharded-engine alternative to set_trace: RunTrace::set_phase is not
+  /// thread-safe, so worker-owned nodes park their round's first phase
+  /// declaration in this per-worker slot instead; the coordinator forwards
+  /// it into the trace at the barrier. Ignored while a trace is attached.
+  void set_phase_slot(std::optional<std::string>* slot) { phase_slot_ = slot; }
 
   /// Redirect violation recording (non-null, engine-owned). Snapshot resume
   /// and node recovery replay past rounds through a scratch sink — the
@@ -196,6 +205,7 @@ class NodeState final : public NodeApi {
   bool broadcast_only_;
   std::vector<ProtocolViolation>* violations_;
   obs::RunTrace* trace_ = nullptr;
+  std::optional<std::string>* phase_slot_ = nullptr;
   Rng rng_;
   std::optional<BitVec> round_payload_;
   std::uint64_t round_ = 0;

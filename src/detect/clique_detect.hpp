@@ -31,9 +31,12 @@ std::uint64_t clique_detect_round_budget(std::uint64_t n,
                                          std::uint64_t max_degree,
                                          std::uint64_t bandwidth);
 
-/// End-to-end run. `trace` opts into the per-round recorder (obs/).
+/// End-to-end run. `trace` opts into the per-round recorder (obs/);
+/// `shard` selects the sharded superstep engine (workers == 0 = classic;
+/// the outcome is bit-identical either way).
 congest::RunOutcome detect_clique(const Graph& g, std::uint32_t s,
                                   std::uint64_t bandwidth, std::uint64_t seed,
-                                  const obs::TraceOptions& trace = {});
+                                  const obs::TraceOptions& trace = {},
+                                  const congest::ShardSpec& shard = {});
 
 }  // namespace csd::detect

@@ -53,6 +53,9 @@ struct EvenCycleConfig {
   /// Per-round observability; the amplified outcome carries the traces of
   /// all executed repetitions appended in repetition order.
   obs::TraceOptions trace;
+  /// Sharded superstep execution of each repetition (congest/shard.hpp);
+  /// workers == 0 keeps the classic engine. Bit-identical either way.
+  congest::ShardSpec shard;
 };
 
 /// Deterministic round schedule shared by all nodes (computed from n, k, M).

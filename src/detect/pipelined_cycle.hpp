@@ -31,6 +31,9 @@ struct PipelinedCycleConfig {
   congest::AmplifyOptions amplify;
   /// Per-round observability for every repetition's run.
   obs::TraceOptions trace;
+  /// Sharded superstep execution of each repetition (congest/shard.hpp);
+  /// workers == 0 keeps the classic engine. Bit-identical either way.
+  congest::ShardSpec shard;
 };
 
 /// Program factory for one repetition (colors drawn from the network seed).

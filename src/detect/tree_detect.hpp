@@ -27,6 +27,9 @@ struct TreeDetectConfig {
   congest::AmplifyOptions amplify;
   /// Per-round observability for every repetition's run.
   obs::TraceOptions trace;
+  /// Sharded superstep execution of each repetition (congest/shard.hpp);
+  /// workers == 0 keeps the classic engine. Bit-identical either way.
+  congest::ShardSpec shard;
 };
 
 congest::ProgramFactory tree_detect_program(const Graph& tree);

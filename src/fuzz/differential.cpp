@@ -469,6 +469,64 @@ std::optional<Divergence> check_case(const FuzzCase& c,
     }
   }
 
+  // -- sharded engine: bit-identical to the classic loop at every W ---------
+  {
+    const std::uint64_t rep_seed = derive_seed(c.seed, 0x5eedULL);
+    const congest::RunOutcome& reference = sync_reps[0];
+    struct ShardCell {
+      std::uint32_t workers;
+      congest::PartitionPolicy policy;
+    };
+    for (const ShardCell cell :
+         {ShardCell{1, congest::PartitionPolicy::Range},
+          ShardCell{2, congest::PartitionPolicy::Hash},
+          ShardCell{5, congest::PartitionPolicy::Range}}) {
+      congest::NetworkConfig cfg = sync_cfg;
+      cfg.shard.workers = cell.workers;
+      cfg.shard.policy = cell.policy;
+      const congest::Network sharded_net(host, cfg);
+      const congest::RunOutcome sharded = sharded_net.run(factory, rep_seed);
+      if (!(digest(sharded) == digest(reference)) ||
+          trace_bytes(sharded.trace) != trace_bytes(reference.trace)) {
+        std::ostringstream os;
+        os << "sharded engine at W=" << cell.workers << " ("
+           << to_string(cell.policy) << ") differs from the classic loop "
+           << "(detected " << sharded.detected << "/" << reference.detected
+           << ", bits " << sharded.metrics.total_bits << "/"
+           << reference.metrics.total_bits << ")";
+        return diverge("shard-equivalence", os);
+      }
+      if (cell.workers == 2 && reference.metrics.rounds >= 2) {
+        // Checkpoint/kill/resume entirely through the sharded loop...
+        congest::NetworkConfig ckpt_cfg = cfg;
+        ckpt_cfg.seed = rep_seed;
+        if (auto d = check_sync_resume(host, ckpt_cfg, factory, reference,
+                                       derive_seed(c.seed, 0x54a4dULL),
+                                       "sharded"))
+          return d;
+        // ...and across engines: a snapshot the sharded loop captured
+        // resumes on the classic one (config_digest excludes the shard
+        // spec, so the identity check passes by design).
+        ckpt_cfg.checkpoint_at_round =
+            1 + c.seed % (reference.metrics.rounds - 1);
+        const congest::Network sharded_ckpt_net(host, ckpt_cfg);
+        const congest::RunOutcome observed = sharded_ckpt_net.run(factory);
+        if (observed.checkpoint != nullptr) {
+          const congest::RunOutcome resumed =
+              net.resume(factory, *observed.checkpoint);
+          if (!(digest(resumed) == digest(reference))) {
+            std::ostringstream os;
+            os << "classic engine resuming a sharded-loop snapshot from "
+               << "round " << ckpt_cfg.checkpoint_at_round << " diverged "
+               << "(bits " << resumed.metrics.total_bits << "/"
+               << reference.metrics.total_bits << ")";
+            return diverge("shard-cross-resume", os);
+          }
+        }
+      }
+    }
+  }
+
   // Aggregation rules vs a hand-rolled per-repetition aggregate.
   bool agg_detected = false, agg_completed = true;
   std::uint64_t agg_rounds = 0, agg_bits = 0, agg_messages = 0;
@@ -546,6 +604,24 @@ std::optional<Divergence> check_case(const FuzzCase& c,
     os << "sync engine under faults is not deterministic (detected "
        << s1.detected << "/" << s2.detected << ")";
     return diverge("faulty-sync-determinism", os);
+  }
+  // The sharded loop must reproduce the faulty run too: fault fates are
+  // per-link RNG streams, so the worker count cannot change a single fate.
+  {
+    congest::NetworkConfig faulty_shard_cfg = faulty_sync;
+    faulty_shard_cfg.shard.workers = 3;
+    faulty_shard_cfg.shard.policy = congest::PartitionPolicy::Hash;
+    const congest::Network faulty_sharded_net(host, faulty_shard_cfg);
+    const congest::RunOutcome s3 = faulty_sharded_net.run(factory);
+    if (!(digest(s3) == digest(s1)) ||
+        trace_bytes(s3.trace) != trace_bytes(s1.trace)) {
+      std::ostringstream os;
+      os << "sharded engine under faults differs from the classic loop "
+         << "(detected " << s3.detected << "/" << s1.detected << ", dropped "
+         << s3.faults.frames_dropped << "/" << s1.faults.frames_dropped
+         << ")";
+      return diverge("shard-fault-equivalence", os);
+    }
   }
   if (s1.faults.crashed_nodes.empty() &&
       s1.faults.detected_by_survivors != s1.detected) {

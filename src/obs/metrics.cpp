@@ -22,4 +22,11 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
   for (const auto& [key, value] : other.entries_) add(key, value);
 }
 
+std::string worker_counter_name(std::string_view base, std::uint32_t worker) {
+  std::string name(base);
+  name += "_w";
+  name += std::to_string(worker);
+  return name;
+}
+
 }  // namespace csd::obs

@@ -51,6 +51,11 @@ class MetricsRegistry {
   std::vector<std::pair<std::string, std::uint64_t>> entries_;
 };
 
+/// Canonical name of a per-worker engine counter ("<base>_w<worker>",
+/// e.g. "shard_channel_bytes_w3"). One formatter so the sharded engine,
+/// the tests, and the trace tooling never drift on the spelling.
+std::string worker_counter_name(std::string_view base, std::uint32_t worker);
+
 /// Sender-side wall-clock split of where a run's time went. Buckets:
 ///   * compute_ns   — node programs (NodeProgram::on_round);
 ///   * delivery_ns  — message delivery (sync) / synchronizer + frame

@@ -1,0 +1,527 @@
+// Tests for the sharded superstep engine (congest/shard.hpp) and its
+// Partitioner: partition invariants and balance bounds, and the hard
+// bit-identity contract — every outcome field the classic sync engine
+// promises to be deterministic must be byte-for-byte identical at every
+// worker count, either partition policy, and any --jobs fan-out.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "congest/partition.hpp"
+#include "fuzz/fuzz_case.hpp"
+#include "fuzz/generator.hpp"
+#include "graph/builders.hpp"
+#include "obs/metrics.hpp"
+#include "support/rng.hpp"
+#include "support/wire.hpp"
+
+namespace csd::congest {
+namespace {
+
+std::string trace_jsonl(const RunOutcome& outcome) {
+  std::ostringstream os;
+  outcome.trace.write_jsonl(os);
+  return os.str();
+}
+
+/// Full deterministic-outcome comparison: everything the determinism
+/// contract covers (deliberately not timers or trace_bytes-vs-capacity
+/// internals — trace JSONL equality subsumes the trace).
+void expect_outcomes_identical(const RunOutcome& a, const RunOutcome& b,
+                               const std::string& label) {
+  EXPECT_EQ(a.completed, b.completed) << label;
+  EXPECT_EQ(a.detected, b.detected) << label;
+  EXPECT_EQ(a.verdicts, b.verdicts) << label;
+  EXPECT_EQ(a.metrics.rounds, b.metrics.rounds) << label;
+  EXPECT_EQ(a.metrics.messages, b.metrics.messages) << label;
+  EXPECT_EQ(a.metrics.total_bits, b.metrics.total_bits) << label;
+  EXPECT_EQ(a.metrics.max_message_bits, b.metrics.max_message_bits) << label;
+  EXPECT_EQ(a.metrics.bits_sent_by_node, b.metrics.bits_sent_by_node)
+      << label;
+  EXPECT_TRUE(a.faults == b.faults) << label;
+  EXPECT_EQ(trace_jsonl(a), trace_jsonl(b)) << label;
+  ASSERT_EQ(a.transcript.size(), b.transcript.size()) << label;
+  for (std::size_t i = 0; i < a.transcript.size(); ++i) {
+    EXPECT_EQ(a.transcript[i].round, b.transcript[i].round) << label;
+    EXPECT_EQ(a.transcript[i].src, b.transcript[i].src) << label;
+    EXPECT_EQ(a.transcript[i].dst, b.transcript[i].dst) << label;
+    EXPECT_TRUE(a.transcript[i].payload == b.transcript[i].payload) << label;
+  }
+}
+
+/// Traffic-heavy randomized program: phase declarations, per-node RNG,
+/// variable-size messages, staggered halts, and occasional rejects — every
+/// order-sensitive engine feature in one workload.
+class Chatter final : public NodeProgram {
+ public:
+  explicit Chatter(std::uint64_t rounds) : rounds_(rounds) {}
+  void on_round(NodeApi& api) override {
+    api.phase(api.round() < rounds_ / 2 ? "spread" : "collect");
+    const std::uint64_t bits = 1 + api.rng().below(api.bandwidth());
+    for (std::uint32_t p = 0; p < api.degree(); ++p) {
+      if (api.rng().below(4) == 0) continue;  // skip some ports
+      wire::Writer w;
+      w.u(api.rng().below(1ull << std::min<std::uint64_t>(bits, 32)),
+          static_cast<unsigned>(std::min<std::uint64_t>(bits, 32)));
+      api.send(p, std::move(w).take());
+    }
+    if (api.rng().below(1000) == 0) api.reject();
+    if (api.round() + 1 >= rounds_ + api.id() % 5) api.halt();
+  }
+
+ private:
+  std::uint64_t rounds_;
+};
+
+/// Violates the model on purpose (duplicate send, bandwidth overrun) so the
+/// merged violation list's order is pinned against the classic engine.
+class Naughty final : public NodeProgram {
+ public:
+  void on_round(NodeApi& api) override {
+    if (api.round() == 0 && api.degree() > 0) {
+      wire::Writer w1;
+      w1.u(1, 4);
+      api.send(0, std::move(w1).take());
+      wire::Writer w2;
+      w2.u(2, 4);
+      api.send(0, std::move(w2).take());  // duplicate send
+      if (api.degree() > 1) {
+        BitVec big;
+        for (int i = 0; i < 100; ++i) big.push_back(true);
+        api.send(1, std::move(big));  // bandwidth overrun
+      }
+    }
+    if (api.round() >= 1) api.halt();
+  }
+};
+
+ProgramFactory chatter(std::uint64_t rounds) {
+  return [rounds](std::uint32_t) { return std::make_unique<Chatter>(rounds); };
+}
+
+// ---------------------------------------------------------------------------
+// Partitioner invariants
+// ---------------------------------------------------------------------------
+
+TEST(Partition, OwnedListsPartitionVerticesAndEdges) {
+  Rng rng(99);
+  const std::vector<Graph> families = {
+      build::path(64), build::cycle(64), build::complete(24),
+      build::gnp(80, 0.1, rng)};
+  for (const Graph& g : families) {
+    const GraphCsr& csr = g.csr();
+    for (const std::uint32_t w_count : {1u, 2u, 3u, 8u, 64u, 100u}) {
+      for (const auto policy :
+           {PartitionPolicy::Range, PartitionPolicy::Hash}) {
+        const Partition part = Partition::build(csr, w_count, policy);
+        std::vector<std::uint8_t> seen(g.num_vertices(), 0);
+        std::uint64_t edges = 0;
+        for (std::uint32_t w = 0; w < w_count; ++w) {
+          Vertex prev = 0;
+          bool first = true;
+          for (const Vertex v : part.owned(w)) {
+            ASSERT_LT(v, g.num_vertices());
+            EXPECT_EQ(part.owner(v), w);
+            EXPECT_TRUE(first || v > prev) << "owned list not ascending";
+            ASSERT_EQ(seen[v], 0) << "vertex owned twice";
+            seen[v] = 1;
+            prev = v;
+            first = false;
+          }
+          edges += part.owned_directed_edges(w);
+        }
+        for (Vertex v = 0; v < g.num_vertices(); ++v)
+          EXPECT_EQ(seen[v], 1) << "vertex " << v << " unowned";
+        // Edge ownership (by source vertex) partitions the dense index.
+        EXPECT_EQ(edges, csr.num_directed_edges());
+        // Directed cuts come in reverse pairs.
+        EXPECT_EQ(part.cut_directed_edges() % 2, 0u);
+      }
+    }
+  }
+}
+
+TEST(Partition, RangePolicyIsContiguousAndEdgeBalanced) {
+  Rng rng(7);
+  const std::vector<Graph> families = {build::path(200), build::cycle(200),
+                                       build::gnp(160, 0.08, rng)};
+  for (const Graph& g : families) {
+    const GraphCsr& csr = g.csr();
+    std::uint64_t max_weight = 0;
+    for (Vertex v = 0; v < g.num_vertices(); ++v)
+      max_weight = std::max<std::uint64_t>(max_weight, g.degree(v) + 1);
+    for (const std::uint32_t w_count : {2u, 4u, 8u}) {
+      const Partition part =
+          Partition::build(csr, w_count, PartitionPolicy::Range);
+      // Contiguity: owners are non-decreasing in vertex order.
+      for (Vertex v = 1; v < g.num_vertices(); ++v)
+        EXPECT_GE(part.owner(v), part.owner(v - 1));
+      // Balance: no worker exceeds its weight share by more than one
+      // vertex's worth of weight (the greedy cut's granularity).
+      const std::uint64_t total = csr.num_directed_edges() + g.num_vertices();
+      for (std::uint32_t w = 0; w < w_count; ++w) {
+        const std::uint64_t weight =
+            part.owned_directed_edges(w) + part.owned(w).size();
+        EXPECT_LE(weight, total / w_count + max_weight)
+            << "worker " << w << " of " << w_count;
+      }
+    }
+  }
+}
+
+TEST(Partition, HashPolicyBalancesVertices) {
+  Rng rng(13);
+  const Graph g = build::gnp(512, 0.03, rng);
+  const Partition part =
+      Partition::build(g.csr(), 8, PartitionPolicy::Hash);
+  for (std::uint32_t w = 0; w < 8; ++w) {
+    // Fixed mixer, so this is a deterministic property, not a flaky one:
+    // each worker holds 64 +- 32 of the 512 vertices.
+    EXPECT_GE(part.owned(w).size(), 32u);
+    EXPECT_LE(part.owned(w).size(), 96u);
+  }
+}
+
+TEST(Partition, DigestPinsAssignment) {
+  const Graph g = build::cycle(32);
+  const Partition a = Partition::build(g.csr(), 4, PartitionPolicy::Range);
+  const Partition b = Partition::build(g.csr(), 4, PartitionPolicy::Range);
+  const Partition c = Partition::build(g.csr(), 4, PartitionPolicy::Hash);
+  const Partition d = Partition::build(g.csr(), 5, PartitionPolicy::Range);
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_NE(a.digest(), c.digest());
+  EXPECT_NE(a.digest(), d.digest());
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity: sharded vs classic
+// ---------------------------------------------------------------------------
+
+TEST(Shard, W1BitIdenticalToClassicOnFuzzSmokeCorpus) {
+  for (std::uint64_t case_seed = 1; case_seed <= 25; ++case_seed) {
+    const fuzz::FuzzCase c = fuzz::generate_case(case_seed);
+    const Graph host = fuzz::build_graph(c);
+    const std::uint64_t bandwidth = fuzz::effective_bandwidth(c, host);
+    NetworkConfig cfg;
+    cfg.bandwidth = bandwidth;
+    cfg.max_rounds = fuzz::round_budget(c, host, bandwidth);
+    cfg.seed = c.seed;
+    cfg.trace.enabled = true;
+    if (c.has_faults()) cfg.faults = fuzz::fault_plan(c);
+    const ProgramFactory factory = fuzz::make_program(c);
+
+    const Network classic(host, cfg);
+    NetworkConfig sharded_cfg = cfg;
+    sharded_cfg.shard.workers = 1;
+    const Network sharded(host, sharded_cfg);
+    expect_outcomes_identical(classic.run(factory), sharded.run(factory),
+                              "case seed " + std::to_string(case_seed));
+  }
+}
+
+TEST(Shard, MatrixBitIdenticalAcrossWorkersAndPolicies) {
+  Rng rng(17);
+  Graph g = build::random_tree(96, rng);
+  build::plant_subgraph(g, build::cycle(4), rng);
+  NetworkConfig cfg;
+  cfg.bandwidth = 24;
+  cfg.max_rounds = 64;
+  cfg.seed = 41;
+  cfg.trace.enabled = true;
+  cfg.trace.per_edge = true;
+  const Network classic(g, cfg);
+  const RunOutcome reference = classic.run(chatter(12));
+  EXPECT_GT(reference.metrics.messages, 0u);
+  for (const std::uint32_t w_count : {1u, 2u, 8u}) {
+    for (const auto policy : {PartitionPolicy::Range, PartitionPolicy::Hash}) {
+      NetworkConfig shard_cfg = cfg;
+      shard_cfg.shard.workers = w_count;
+      shard_cfg.shard.policy = policy;
+      const Network net(g, shard_cfg);
+      expect_outcomes_identical(
+          reference, net.run(chatter(12)),
+          "W=" + std::to_string(w_count) + " policy " +
+              std::string(to_string(policy)));
+    }
+  }
+}
+
+TEST(Shard, AmplifiedRunsIdenticalAtEveryWorkersAndJobs) {
+  Rng rng(29);
+  const Graph g = build::gnp(48, 0.08, rng);
+  NetworkConfig cfg;
+  cfg.bandwidth = 16;
+  cfg.max_rounds = 40;
+  cfg.seed = 5;
+  cfg.trace.enabled = true;
+  AmplifyOptions opts;
+  opts.jobs = 1;
+  opts.early_exit = false;
+  const RunOutcome reference = run_amplified(g, cfg, chatter(8), 6, opts);
+  for (const std::uint32_t w_count : {1u, 2u, 8u}) {
+    for (const unsigned jobs : {1u, 4u}) {
+      NetworkConfig shard_cfg = cfg;
+      shard_cfg.shard.workers = w_count;
+      AmplifyOptions sharded_opts = opts;
+      sharded_opts.jobs = jobs;
+      const RunOutcome other =
+          run_amplified(g, shard_cfg, chatter(8), 6, sharded_opts);
+      expect_outcomes_identical(reference, other,
+                                "W=" + std::to_string(w_count) + " jobs=" +
+                                    std::to_string(jobs));
+    }
+  }
+}
+
+TEST(Shard, FaultyRunBitIdenticalIncludingReportOrder) {
+  const Graph g = build::cycle(40);
+  NetworkConfig cfg;
+  cfg.bandwidth = 16;
+  cfg.max_rounds = 48;
+  cfg.seed = 3;
+  cfg.trace.enabled = true;
+  cfg.faults.drop = 0.08;
+  cfg.faults.corrupt = 0.05;
+  cfg.faults.crashes.push_back({7, 4});
+  cfg.faults.crashes.push_back({23, 9});
+  const Network classic(g, cfg);
+  const RunOutcome reference = classic.run(chatter(16));
+  EXPECT_FALSE(reference.faults.crashed_nodes.empty());
+  for (const std::uint32_t w_count : {2u, 8u}) {
+    NetworkConfig shard_cfg = cfg;
+    shard_cfg.shard.workers = w_count;
+    shard_cfg.shard.policy = PartitionPolicy::Hash;
+    const Network net(g, shard_cfg);
+    expect_outcomes_identical(reference, net.run(chatter(16)),
+                              "faulty W=" + std::to_string(w_count));
+  }
+}
+
+TEST(Shard, ViolationListOrderMatchesClassic) {
+  const Graph g = build::complete(12);
+  NetworkConfig cfg;
+  cfg.bandwidth = 8;
+  cfg.max_rounds = 8;
+  const auto naughty = [](std::uint32_t) { return std::make_unique<Naughty>(); };
+  const Network classic(g, cfg);
+  const RunOutcome reference = classic.run(naughty);
+  ASSERT_GE(reference.faults.violations.size(), 12u);
+  NetworkConfig shard_cfg = cfg;
+  shard_cfg.shard.workers = 5;
+  shard_cfg.shard.policy = PartitionPolicy::Hash;
+  const Network net(g, shard_cfg);
+  const RunOutcome sharded = net.run(naughty);
+  ASSERT_EQ(sharded.faults.violations.size(),
+            reference.faults.violations.size());
+  for (std::size_t i = 0; i < reference.faults.violations.size(); ++i)
+    EXPECT_TRUE(sharded.faults.violations[i] == reference.faults.violations[i])
+        << "violation " << i << " out of order";
+}
+
+TEST(Shard, TranscriptAndOnMessageReplayInClassicOrder) {
+  const Graph g = build::grid(6, 6);
+  NetworkConfig cfg;
+  cfg.bandwidth = 12;
+  cfg.max_rounds = 24;
+  cfg.seed = 9;
+  cfg.record_transcript = true;
+  using Event = std::tuple<std::uint64_t, std::uint32_t, std::uint32_t,
+                           std::uint64_t>;
+  std::vector<Event> classic_events;
+  cfg.on_message = [&](std::uint64_t r, std::uint32_t s, std::uint32_t d,
+                       std::uint64_t bits) {
+    classic_events.emplace_back(r, s, d, bits);
+  };
+  const Network classic(g, cfg);
+  const RunOutcome reference = classic.run(chatter(6));
+  ASSERT_FALSE(reference.transcript.empty());
+
+  std::vector<Event> sharded_events;
+  NetworkConfig shard_cfg = cfg;
+  shard_cfg.shard.workers = 4;
+  shard_cfg.on_message = [&](std::uint64_t r, std::uint32_t s,
+                             std::uint32_t d, std::uint64_t bits) {
+    sharded_events.emplace_back(r, s, d, bits);
+  };
+  const Network net(g, shard_cfg);
+  expect_outcomes_identical(reference, net.run(chatter(6)), "transcript");
+  EXPECT_EQ(classic_events, sharded_events);
+}
+
+TEST(Shard, BroadcastOnlyModeMatches) {
+  const Graph g = build::star(9);
+  NetworkConfig cfg;
+  cfg.bandwidth = 8;
+  cfg.max_rounds = 6;
+  cfg.broadcast_only = true;
+  const Network classic(g, cfg);
+  const RunOutcome reference = classic.run(chatter(3));
+  NetworkConfig shard_cfg = cfg;
+  shard_cfg.shard.workers = 3;
+  const Network net(g, shard_cfg);
+  expect_outcomes_identical(reference, net.run(chatter(3)), "broadcast");
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints, resume, snapshots
+// ---------------------------------------------------------------------------
+
+TEST(Shard, SnapshotsAreBitIdenticalAndResumeAcrossWorkerCounts) {
+  Rng rng(31);
+  const Graph g = build::gnp(56, 0.07, rng);
+  NetworkConfig cfg;
+  cfg.bandwidth = 16;
+  cfg.max_rounds = 48;
+  cfg.seed = 21;
+  cfg.trace.enabled = true;
+  const Network classic(g, cfg);
+  const RunOutcome reference = classic.run(chatter(10));
+  ASSERT_GE(reference.metrics.rounds, 6u);
+
+  NetworkConfig ckpt_cfg = cfg;
+  ckpt_cfg.checkpoint_at_round = 5;
+  const Network classic_ckpt(g, ckpt_cfg);
+  const RunOutcome classic_observed = classic_ckpt.run(chatter(10));
+  ASSERT_NE(classic_observed.checkpoint, nullptr);
+  const std::string classic_snap_json =
+      to_json(*classic_observed.checkpoint).dump();
+
+  for (const std::uint32_t w_count : {1u, 2u, 8u}) {
+    NetworkConfig shard_ckpt = ckpt_cfg;
+    shard_ckpt.shard.workers = w_count;
+    shard_ckpt.shard.policy = PartitionPolicy::Hash;
+    const Network net(g, shard_ckpt);
+    const RunOutcome observed = net.run(chatter(10));
+    ASSERT_NE(observed.checkpoint, nullptr);
+    // csd-ckpt-v1 snapshots are bit-identical at every worker count.
+    EXPECT_EQ(to_json(*observed.checkpoint).dump(), classic_snap_json)
+        << "snapshot differs at W=" << w_count;
+    // A snapshot taken at W resumes at any other worker count (and on the
+    // classic engine) to the uninterrupted outcome.
+    NetworkConfig resume_cfg = cfg;
+    resume_cfg.shard.workers = w_count == 8 ? 2 : 8;
+    const Network resume_net(g, resume_cfg);
+    const RunOutcome resumed =
+        resume_net.resume(chatter(10), *observed.checkpoint);
+    EXPECT_EQ(resumed.verdicts, reference.verdicts);
+    EXPECT_EQ(resumed.metrics.messages, reference.metrics.messages);
+    EXPECT_EQ(resumed.metrics.total_bits, reference.metrics.total_bits);
+    EXPECT_TRUE(resumed.faults == reference.faults);
+    const RunOutcome classic_resumed =
+        classic.resume(chatter(10), *observed.checkpoint);
+    EXPECT_EQ(classic_resumed.metrics.total_bits,
+              reference.metrics.total_bits);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hooks and counters
+// ---------------------------------------------------------------------------
+
+TEST(Shard, SuperstepStatsAccountEveryDeliveredFrame) {
+  const Graph g = build::cycle(32);
+  NetworkConfig cfg;
+  cfg.bandwidth = 8;
+  cfg.max_rounds = 32;
+  cfg.shard.workers = 4;  // Range on a cycle: 4 contiguous arcs, 8 cut edges
+  std::uint64_t hook_frames = 0;
+  bool saw_halt_vote = false;
+  std::uint64_t last_round = 0;
+  cfg.shard.on_superstep = [&](const ShardSuperstepStats& s) {
+    hook_frames += s.channel_frames + s.local_frames;
+    saw_halt_vote = saw_halt_vote || s.voted_halt;
+    last_round = s.round;
+  };
+  const Network net(g, cfg);
+  const RunOutcome outcome = net.run(chatter(8));
+  // Fault-free: every accounted message was delivered either locally or
+  // through a channel, and the hook saw each exactly once.
+  EXPECT_EQ(hook_frames, outcome.metrics.messages);
+  // Staggered halts (id % 5): some worker goes all-halted while others run.
+  EXPECT_TRUE(saw_halt_vote);
+  EXPECT_GT(last_round, 0u);
+}
+
+TEST(Shard, CombinerRunsOnChannelsWithoutChangingTheOutcome) {
+  const Graph g = build::cycle(24);
+  NetworkConfig cfg;
+  cfg.bandwidth = 8;
+  cfg.max_rounds = 24;
+  const Network classic(g, cfg);
+  const RunOutcome reference = classic.run(chatter(6));
+  NetworkConfig shard_cfg = cfg;
+  shard_cfg.shard.workers = 4;
+  std::uint64_t invocations = 0;
+  shard_cfg.shard.combiner = [&](std::uint32_t, std::uint32_t,
+                                 ShardChannel& channel) {
+    ++invocations;  // worker-threaded in general; single-channel here per pair
+    // Reverse the batch: the engine must re-sort to the edge merge order.
+    const auto used = static_cast<std::ptrdiff_t>(channel.used);
+    std::reverse(channel.edges.begin(), channel.edges.begin() + used);
+    std::reverse(channel.payloads.begin(), channel.payloads.begin() + used);
+  };
+  const Network net(g, shard_cfg);
+  expect_outcomes_identical(reference, net.run(chatter(6)), "combiner");
+  EXPECT_GT(invocations, 0u);
+}
+
+TEST(Shard, ChannelCountersSurfaceInMetricsAndTraceSummary) {
+  const Graph g = build::cycle(32);
+  NetworkConfig cfg;
+  cfg.bandwidth = 8;
+  cfg.max_rounds = 32;
+  cfg.trace.enabled = true;
+  cfg.shard.workers = 4;
+  cfg.shard.channel_counters = true;
+  const Network net(g, cfg);
+  const RunOutcome outcome = net.run(chatter(8));
+  EXPECT_EQ(outcome.metrics.counters.value("shard_workers"), 4u);
+  EXPECT_EQ(outcome.metrics.counters.value("shard_cut_edges"), 8u);
+  std::uint64_t channel_bytes = 0;
+  for (std::uint32_t w = 0; w < 4; ++w)
+    channel_bytes += outcome.metrics.counters.value(
+        obs::worker_counter_name("shard_channel_bytes", w));
+  EXPECT_GT(channel_bytes, 0u);
+  EXPECT_NE(trace_jsonl(outcome).find("shard_channel_bytes_w0"),
+            std::string::npos);
+
+  // Off by default: the determinism matrix never sees worker-dependent
+  // counters.
+  NetworkConfig plain = cfg;
+  plain.shard.channel_counters = false;
+  const Network plain_net(g, plain);
+  const RunOutcome plain_outcome = plain_net.run(chatter(8));
+  EXPECT_EQ(plain_outcome.metrics.counters.value("shard_workers"), 0u);
+  EXPECT_EQ(trace_jsonl(plain_outcome).find("shard_workers"),
+            std::string::npos);
+}
+
+TEST(Shard, StallWindowFiresIdentically) {
+  /// Never halts, never sends: the watchdog must cut both engines at the
+  /// same round with the same report.
+  class Mute final : public NodeProgram {
+   public:
+    void on_round(NodeApi&) override {}
+  };
+  const Graph g = build::path(10);
+  NetworkConfig cfg;
+  cfg.max_rounds = 1000;
+  cfg.stall_window = 7;
+  const auto factory = [](std::uint32_t) { return std::make_unique<Mute>(); };
+  const Network classic(g, cfg);
+  const RunOutcome reference = classic.run(factory);
+  EXPECT_EQ(reference.faults.watchdog_stalls, 1u);
+  NetworkConfig shard_cfg = cfg;
+  shard_cfg.shard.workers = 3;
+  const Network net(g, shard_cfg);
+  expect_outcomes_identical(reference, net.run(factory), "stall");
+}
+
+}  // namespace
+}  // namespace csd::congest

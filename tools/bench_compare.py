@@ -234,6 +234,10 @@ def main() -> int:
     parser.add_argument("--json-out", type=Path, default=None,
                         help="write a machine-readable comparison summary "
                              "(csd-bench-compare-v1) to this file")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="copy the current BENCH_*.json reports over the "
+                             "baselines instead of comparing (use after an "
+                             "intentional model-level change)")
     args = parser.parse_args()
     WALL_TOL = math.inf if args.no_wall else args.wall_tol
 
@@ -241,6 +245,17 @@ def main() -> int:
         if not directory.is_dir():
             print(f"error: {directory} is not a directory", file=sys.stderr)
             return 2
+
+    if args.update_baseline:
+        cur = load_reports(args.current)
+        if not cur:
+            print(f"error: no BENCH_*.json in {args.current}", file=sys.stderr)
+            return 2
+        for name in sorted(cur):
+            (args.baseline / name).write_text(
+                (args.current / name).read_text())
+            print(f"updated: {args.baseline / name}")
+        return 0
 
     base = load_reports(args.baseline)
     cur = load_reports(args.current)
@@ -282,8 +297,8 @@ def main() -> int:
         # parseable artifact even when --json-out was not given.
         print(f"json: {json.dumps(summary, separators=(',', ':'))}")
         print("\nIf the change is intentional, refresh the baselines:\n"
-              "  for b in build/bench/bench_*; do \"$b\" --smoke --json "
-              "bench/baselines; done")
+              f"  tools/bench_compare.py --baseline {args.baseline} "
+              f"--current {args.current} --update-baseline")
         return 1
     print(f"OK: {len(set(base) & set(cur))} report(s) match the baselines "
           f"({len(base)} baseline(s))")

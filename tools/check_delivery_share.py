@@ -70,7 +70,20 @@ def main() -> int:
     parser.add_argument("--measurement", default="hotpath/row0")
     parser.add_argument("--max-share-increase", type=float, default=0.10)
     parser.add_argument("--min-speedup", type=float, default=None)
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="copy the current report over the baseline "
+                             "instead of comparing (same flag as "
+                             "bench_compare.py)")
     args = parser.parse_args()
+
+    if args.update_baseline:
+        src = args.current / REPORT
+        if not src.is_file():
+            print(f"error: {src} not found", file=sys.stderr)
+            return 2
+        (args.baseline / REPORT).write_text(src.read_text())
+        print(f"updated: {args.baseline / REPORT}")
+        return 0
 
     base = load_hotpath(args.baseline / REPORT, args.measurement)
     cur = load_hotpath(args.current / REPORT, args.measurement)
@@ -115,6 +128,13 @@ def main() -> int:
         ok = False
     if ok:
         print("OK: delivery share within bounds")
+    else:
+        print(
+            "\nIf the change is intentional, refresh the baseline:\n"
+            f"  tools/check_delivery_share.py --baseline {args.baseline} "
+            f"--current {args.current} --update-baseline",
+            file=sys.stderr,
+        )
     return 0 if ok else 1
 
 

@@ -56,6 +56,7 @@ commands:
          [--stall-window W] [--checkpoint FILE] [--checkpoint-at P]
          [--resume FILE] [--supervised] [--deadline MS] [--round-budget R]
          [--retries K] [--max-reps-per-call M]
+         [--workers W] [--shard-policy range|hash] [--shard-counters]
       pattern: cycle L | triangle | clique S | star D
       runs the matching CONGEST algorithm and the exhaustive oracle.
       --jobs N fans amplification repetitions over N worker threads
@@ -78,9 +79,17 @@ commands:
       batch through the run supervisor on the synchronous engine instead:
       wall-clock and per-repetition round deadlines, structured stall
       reports, retry-with-reseed for fault-killed repetitions, and
-      repetition-granular checkpoint/resume via --checkpoint/--resume
+      repetition-granular checkpoint/resume via --checkpoint/--resume.
+      --workers W shards each synchronous run across W superstep worker
+      threads (Pregel-style; --shard-policy picks the partitioner, default
+      range); verdicts, metrics, traces and snapshots are bit-identical
+      for every W and compose with --jobs and --supervised.
+      --shard-counters surfaces per-worker channel frame/byte counters in
+      the metrics and the trace summary (off by default: the counters are
+      worker-count-dependent by nature)
   sweep cycle <L> [--sizes N1,N2,...] [--reps R] [--jobs N] [--seed S]
         [--bandwidth B] [--json FILE] [--trace FILE] [--per-edge]
+        [--workers W] [--shard-policy range|hash] [--shard-counters]
       planted-vs-control detection sweep over host sizes (random forest
       hosts, planted C_L vs cycle-free control), repetitions fanned over
       the parallel run driver; reports executed/skipped repetitions.
@@ -134,7 +143,8 @@ Invocation parse(const std::vector<std::string>& args) {
       const std::string name = args[i].substr(2);
       // Boolean flags take no value; value flags consume the next token.
       if (name == "dimacs" || name == "per-edge" || name == "timers" ||
-          name == "recover" || name == "supervised") {
+          name == "recover" || name == "supervised" ||
+          name == "shard-counters") {
         inv.flags.emplace_back(name, "1");
       } else {
         CSD_CHECK_MSG(i + 1 < args.size(), "flag --" << name
@@ -155,6 +165,23 @@ std::uint64_t to_u64(const std::string& s, const char* what) {
   CSD_CHECK_MSG(ec == std::errc{} && ptr == s.data() + s.size(),
                 "bad " << what << ": '" << s << "'");
   return value;
+}
+
+/// --workers / --shard-policy / --shard-counters -> ShardSpec for the
+/// synchronous engine (workers == 0 keeps the classic single loop).
+congest::ShardSpec parse_shard(const Invocation& inv) {
+  congest::ShardSpec shard;
+  shard.workers = static_cast<std::uint32_t>(
+      to_u64(inv.flag("workers").value_or("0"), "workers"));
+  if (const auto policy = inv.flag("shard-policy")) {
+    CSD_CHECK_MSG(congest::parse_partition_policy(*policy, shard.policy),
+                  "bad --shard-policy '" << *policy << "' (range|hash)");
+    CSD_CHECK_MSG(shard.workers != 0, "--shard-policy needs --workers W");
+  }
+  shard.channel_counters = inv.has_flag("shard-counters");
+  CSD_CHECK_MSG(!shard.channel_counters || shard.workers != 0,
+                "--shard-counters needs --workers W");
+  return shard;
 }
 
 Graph generate(const Invocation& inv) {
@@ -539,6 +566,8 @@ int cmd_detect_supervised(const Invocation& inv, std::ostream& out,
   cfg.trace.per_edge = inv.has_flag("per-edge");
   cfg.trace.timers = inv.has_flag("timers");
 
+  cfg.shard = parse_shard(inv);
+
   congest::SupervisorConfig sup;
   sup.jobs = jobs;
   sup.deadline_ms = to_u64(inv.flag("deadline").value_or("0"), "deadline");
@@ -678,8 +707,14 @@ int cmd_detect(const Invocation& inv, std::ostream& out) {
       inv.has_flag("crash") || inv.has_flag("transport") ||
       inv.has_flag("recover") || inv.has_flag("stall-window") ||
       inv.has_flag("checkpoint") || inv.has_flag("checkpoint-at") ||
-      inv.has_flag("resume"))
+      inv.has_flag("resume")) {
+    CSD_CHECK_MSG(!inv.has_flag("workers"),
+                  "--workers drives the synchronous engine; the fault flags "
+                  "select the async one (use --supervised to combine "
+                  "sharding with faults)");
     return cmd_detect_faulty(inv, out, g, pattern, bandwidth, seed, reps);
+  }
+  const congest::ShardSpec shard = parse_shard(inv);
 
   bool detected = false, truth = false;
   std::uint64_t rounds = 0;
@@ -693,7 +728,7 @@ int cmd_detect(const Invocation& inv, std::ostream& out) {
       s = static_cast<std::uint32_t>(to_u64(inv.positional[2], "S"));
     }
     program = "clique_detect";
-    outcome = detect::detect_clique(g, s, bandwidth, seed, trace_opts);
+    outcome = detect::detect_clique(g, s, bandwidth, seed, trace_opts, shard);
     detected = outcome.detected;
     rounds = outcome.metrics.rounds;
     truth = oracle::has_clique(g, s);
@@ -706,6 +741,7 @@ int cmd_detect(const Invocation& inv, std::ostream& out) {
       cfg.repetitions = reps;
       cfg.amplify.jobs = jobs;
       cfg.trace = trace_opts;
+      cfg.shard = shard;
       program = "even_cycle";
       outcome = detect::detect_even_cycle(g, cfg, bandwidth, seed);
       out << "algorithm:  Theorem 1.1 sublinear C_" << len << " detector\n";
@@ -715,6 +751,7 @@ int cmd_detect(const Invocation& inv, std::ostream& out) {
       cfg.repetitions = reps;
       cfg.amplify.jobs = jobs;
       cfg.trace = trace_opts;
+      cfg.shard = shard;
       program = "pipelined_cycle";
       outcome = detect::detect_cycle_pipelined(g, cfg, bandwidth, seed);
       out << "algorithm:  pipelined color-coded C_" << len << " detector\n";
@@ -732,6 +769,7 @@ int cmd_detect(const Invocation& inv, std::ostream& out) {
     cfg.repetitions = reps;
     cfg.amplify.jobs = jobs;
     cfg.trace = trace_opts;
+    cfg.shard = shard;
     program = "tree_detect";
     outcome = detect::detect_tree(g, cfg, bandwidth, seed);
     detected = outcome.detected;
@@ -743,6 +781,9 @@ int cmd_detect(const Invocation& inv, std::ostream& out) {
     CSD_CHECK_MSG(false, "unknown pattern '" << pattern << "'");
   }
 
+  if (shard.workers != 0)
+    out << "engine:     sync, sharded (" << shard.workers << " worker(s), "
+        << congest::to_string(shard.policy) << " partition)\n";
   out << "verdict:    " << (detected ? "REJECT (pattern found)" : "accept")
       << '\n'
       << "oracle:     " << (truth ? "pattern present" : "pattern absent")
@@ -796,6 +837,7 @@ int cmd_detect(const Invocation& inv, std::ostream& out) {
         .value("repetitions_executed", executed)
         .value("repetitions_skipped", skipped);
     report.env("jobs", congest::resolve_jobs(jobs));
+    report.env("workers", shard.workers);
     report.set_wall_clock_ms(timer.elapsed_ms());
     report.write(*json_path);
     out << "json:       " << *json_path << '\n';
@@ -817,13 +859,15 @@ congest::RunOutcome sweep_run_cycle(const Graph& g, std::uint32_t len,
                                     std::uint32_t reps, unsigned jobs,
                                     std::uint64_t bandwidth,
                                     std::uint64_t seed,
-                                    const obs::TraceOptions& trace) {
+                                    const obs::TraceOptions& trace,
+                                    const congest::ShardSpec& shard) {
   if (len >= 4 && len % 2 == 0) {
     detect::EvenCycleConfig cfg;
     cfg.k = len / 2;
     cfg.repetitions = reps;
     cfg.amplify.jobs = jobs;
     cfg.trace = trace;
+    cfg.shard = shard;
     return detect::detect_even_cycle(g, cfg, bandwidth, seed);
   }
   detect::PipelinedCycleConfig cfg;
@@ -831,6 +875,7 @@ congest::RunOutcome sweep_run_cycle(const Graph& g, std::uint32_t len,
   cfg.repetitions = reps;
   cfg.amplify.jobs = jobs;
   cfg.trace = trace;
+  cfg.shard = shard;
   return detect::detect_cycle_pipelined(g, cfg, bandwidth, seed);
 }
 
@@ -872,11 +917,17 @@ int cmd_sweep(const Invocation& inv, std::ostream& out) {
       .param("reps", reps)
       .param("bandwidth", bandwidth)
       .param("sizes", inv.flag("sizes").value_or("32,64,128"));
+  const congest::ShardSpec shard = parse_shard(inv);
   report.seed(seed);
   report.env("jobs", congest::resolve_jobs(jobs));
+  report.env("workers", shard.workers);
 
   out << "C_" << len << " sweep: " << reps << " repetitions per instance, "
-      << congest::resolve_jobs(jobs) << " worker thread(s)\n";
+      << congest::resolve_jobs(jobs) << " worker thread(s)";
+  if (shard.workers != 0)
+    out << ", sharded engine (" << shard.workers << " worker(s), "
+        << congest::to_string(shard.policy) << " partition)";
+  out << '\n';
   Table table({"n", "instance", "verdict", "oracle", "executed", "skipped",
                "rounds", "max msg bits"});
   for (const std::uint64_t n : sizes) {
@@ -888,8 +939,8 @@ int cmd_sweep(const Invocation& inv, std::ostream& out) {
                           host_rng);
     for (const bool positive : {true, false}) {
       const Graph& g = positive ? planted : control;
-      auto outcome =
-          sweep_run_cycle(g, len, reps, jobs, bandwidth, seed, trace_opts);
+      auto outcome = sweep_run_cycle(g, len, reps, jobs, bandwidth, seed,
+                                     trace_opts, shard);
       table.row()
           .cell(n)
           .cell(positive ? "planted" : "control")
