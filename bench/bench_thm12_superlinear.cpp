@@ -10,25 +10,60 @@
 //      bits it ships across the cut are measured.
 //   3. The CONGEST/LOCAL separation: the same H_k is found in O(1) LOCAL
 //      rounds by radius-3 ball collection.
+//   4. A small multi-seed batch through simulate_across_cut_batch —
+//      per-seed crossing bits are deterministic rows, so the PR-time
+//      baseline exercises the batched data path on every platform.
+//
+// With --scale (nightly): structural-cut sweeps to n = 262144 and a
+// multi-seed random-traffic cut sweep to n = 131072, both emitting
+// bootstrap-fitted exponent rows into the "lb_fit" section that
+// tools/lb_gate.py gates against the k·n^{1/k} theory; plus an honest
+// batched-vs-per-seed throughput table (wall clock, kept out of the JSON
+// report because it is not deterministic).
+#include <chrono>
 #include <cmath>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "comm/cut_simulator.hpp"
 #include "comm/disjointness.hpp"
 #include "detect/collect.hpp"
 #include "graph/algorithms.hpp"
 #include "lowerbound/gkn.hpp"
 #include "lowerbound/reduction.hpp"
+#include "obs/lb_fit.hpp"
 #include "support/mathutil.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
+namespace {
+
+/// Structural cut of the G_{k,n} frame under its canonical ownership.
+std::uint64_t gkn_cut(std::uint32_t k, std::uint32_t n) {
+  const auto frame = csd::lb::build_gkn_frame(k, n);
+  const auto owner = csd::lb::gkn_ownership(frame.layout);
+  return csd::comm::count_cut_edges(frame.graph, owner);
+}
+
+double now_ns() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace csd;
   bench::BenchContext ctx("thm12_superlinear", argc, argv);
+  bool scale = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--scale") scale = true;
   constexpr std::uint64_t kBandwidth = 32;
-  ctx.param("bandwidth", kBandwidth);
+  ctx.param("bandwidth", kBandwidth).param("scale", scale);
 
   print_banner(std::cout,
                "THM12: implied round lower bound n^2/(cut*B) vs n",
@@ -40,14 +75,7 @@ int main(int argc, char** argv) {
   for (const std::uint32_t k : {1u, 2u, 3u, 4u}) {
     double prev_lb = 0, prev_n = 0;
     for (const std::uint32_t n : {16u, 64u, 256u, 1024u}) {
-      const auto frame = lb::build_gkn_frame(k, n);
-      const auto owner = lb::gkn_ownership(frame.layout);
-      std::uint64_t cut = 0;
-      for (const auto& [u, v] : frame.graph.edges()) {
-        const bool priv_u = owner[u] != comm::Owner::Shared;
-        const bool priv_v = owner[v] != comm::Owner::Shared;
-        if ((priv_u || priv_v) && owner[u] != owner[v]) ++cut;
-      }
+      const std::uint64_t cut = gkn_cut(k, n);
       const double lb_rounds =
           static_cast<double>(n) * n /
           (static_cast<double>(cut) * static_cast<double>(kBandwidth));
@@ -83,14 +111,7 @@ int main(int argc, char** argv) {
                   : std::vector<std::uint32_t>{64, 256, 1024, 4096};
   for (const std::uint32_t n : quad_sizes) {
     const auto k = ceil_log2(n);
-    const auto frame = lb::build_gkn_frame(k, n);
-    const auto owner = lb::gkn_ownership(frame.layout);
-    std::uint64_t cut = 0;
-    for (const auto& [u, v] : frame.graph.edges()) {
-      const bool priv_u = owner[u] != comm::Owner::Shared;
-      const bool priv_v = owner[v] != comm::Owner::Shared;
-      if ((priv_u || priv_v) && owner[u] != owner[v]) ++cut;
-    }
+    const std::uint64_t cut = gkn_cut(k, n);
     const double lb_rounds =
         static_cast<double>(n) * n /
         (static_cast<double>(cut) * static_cast<double>(kBandwidth));
@@ -168,5 +189,176 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected: detected == expected everywhere; LOCAL needs a\n"
                "constant number of rounds while the CONGEST bound above is\n"
                "superlinear — an exponential-in-rounds separation.\n";
+
+  print_banner(std::cout,
+               "Batched cut accounting: one frame, many seeds",
+               "simulate_across_cut_batch rows are bit-identical at any "
+               "--jobs; the random-traffic probe gives per-seed spread");
+  bench::ReportedTable batch_table(
+      ctx, "batch",
+      {"seed", "crossing bits", "crossing msgs", "max bits/round", "rounds",
+       "cut edges"});
+  {
+    const std::uint32_t k = 2, n = 256;
+    const auto frame = lb::build_gkn_frame(k, n);
+    const auto owner = lb::gkn_ownership(frame.layout);
+    congest::NetworkConfig cfg;
+    cfg.bandwidth = kBandwidth;
+    cfg.max_rounds = 8;
+    const std::vector<std::uint64_t> seeds = {1, 2, 3, 4};
+    for (const auto s : seeds) ctx.seed(s);
+    const auto batch = comm::simulate_across_cut_batch(
+        frame.graph, owner, cfg, comm::random_traffic_program(2), seeds, 2);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      batch_table.row()
+          .cell(batch.seeds[i])
+          .cell(batch.total_crossing_bits(i))
+          .cell(batch.crossing_messages[i])
+          .cell(batch.max_bits_per_round[i])
+          .cell(batch.rounds[i])
+          .cell(batch.cut_edges);
+    }
+  }
+  batch_table.print(std::cout);
+
+  if (scale) {
+    print_banner(std::cout,
+                 "[scale] structural cut to n = 262144",
+                 "cut = Theta(k n^(1/k)); fitted exponent gated at 1/k by "
+                 "tools/lb_gate.py");
+    bench::ReportedTable structural(
+        ctx, "scale_structural", {"k", "n", "cut edges", "vertices"});
+    bench::ReportedTable lb_fit(
+        ctx, "lb_fit",
+        {"group", "exponent", "lo95", "hi95", "theory", "tol", "points",
+         "seeds"});
+    const std::vector<std::uint32_t> scale_sizes = {4096, 16384, 65536,
+                                                    262144};
+    for (const std::uint32_t k : {2u, 3u, 4u}) {
+      std::vector<std::pair<double, double>> xy;
+      for (const std::uint32_t n : scale_sizes) {
+        const auto frame = lb::build_gkn_frame(k, n);
+        const auto owner = lb::gkn_ownership(frame.layout);
+        const std::uint64_t cut = comm::count_cut_edges(frame.graph, owner);
+        structural.row()
+            .cell(k)
+            .cell(n)
+            .cell(cut)
+            .cell(frame.graph.num_vertices());
+        xy.emplace_back(static_cast<double>(n), static_cast<double>(cut));
+      }
+      // Deterministic points: one value per size, so the interval is the
+      // point estimate itself (resamples would all coincide).
+      const auto fit = obs::bootstrap_power_law(xy, 0, 7);
+      CSD_CHECK(fit.has_value());
+      lb_fit.row()
+          .cell("cut-structural-k" + std::to_string(k))
+          .cell(fit->fit.exponent, 4)
+          .cell(fit->exponent_lo, 4)
+          .cell(fit->exponent_hi, 4)
+          .cell(1.0 / k, 4)
+          .cell(0.06, 3)
+          .cell(static_cast<std::uint64_t>(xy.size()))
+          .cell(static_cast<std::uint64_t>(1));
+    }
+    structural.print(std::cout);
+
+    print_banner(std::cout,
+                 "[scale] random-traffic crossing bits, multi-seed batches",
+                 "k = 2; per-seed totals bootstrap to an error-barred "
+                 "exponent vs the sqrt(n) structural theory");
+    bench::ReportedTable traffic(
+        ctx, "scale_traffic",
+        {"n", "seeds", "mean crossing bits", "min", "max", "cut edges"});
+    const std::vector<std::uint32_t> traffic_sizes = {8192, 32768, 131072};
+    const std::uint32_t traffic_seeds = 6;
+    std::vector<std::pair<double, double>> traffic_xy;
+    for (const std::uint32_t n : traffic_sizes) {
+      const auto frame = lb::build_gkn_frame(2, n);
+      const auto owner = lb::gkn_ownership(frame.layout);
+      congest::NetworkConfig cfg;
+      cfg.bandwidth = kBandwidth;
+      cfg.max_rounds = 8;
+      std::vector<std::uint64_t> seeds(traffic_seeds);
+      for (std::uint32_t s = 0; s < traffic_seeds; ++s)
+        seeds[s] = derive_seed(1200, s);
+      const auto batch = comm::simulate_across_cut_batch(
+          frame.graph, owner, cfg, comm::random_traffic_program(2), seeds, 0);
+      double sum = 0;
+      std::uint64_t lo = ~0ULL, hi = 0;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const std::uint64_t bits = batch.total_crossing_bits(i);
+        traffic_xy.emplace_back(static_cast<double>(n),
+                                static_cast<double>(bits));
+        sum += static_cast<double>(bits);
+        lo = std::min(lo, bits);
+        hi = std::max(hi, bits);
+      }
+      traffic.row()
+          .cell(n)
+          .cell(traffic_seeds)
+          .cell(sum / traffic_seeds, 1)
+          .cell(lo)
+          .cell(hi)
+          .cell(batch.cut_edges);
+    }
+    traffic.print(std::cout);
+    const auto traffic_fit = obs::bootstrap_power_law(traffic_xy, 200, 7);
+    CSD_CHECK(traffic_fit.has_value());
+    lb_fit.row()
+        .cell("cut-traffic-k2")
+        .cell(traffic_fit->fit.exponent, 4)
+        .cell(traffic_fit->exponent_lo, 4)
+        .cell(traffic_fit->exponent_hi, 4)
+        .cell(0.5, 4)
+        .cell(0.08, 3)
+        .cell(static_cast<std::uint64_t>(traffic_sizes.size()))
+        .cell(static_cast<std::uint64_t>(traffic_seeds));
+    lb_fit.print(std::cout);
+
+    print_banner(std::cout,
+                 "[scale] batched vs per-seed throughput (wall clock)",
+                 "same workload; per-seed path rebuilds the Network every "
+                 "seed, the batch builds once and fans out. Not recorded in "
+                 "the JSON report (nondeterministic).");
+    {
+      const std::uint32_t n = 32768;
+      const auto frame = lb::build_gkn_frame(2, n);
+      const auto owner = lb::gkn_ownership(frame.layout);
+      congest::NetworkConfig cfg;
+      cfg.bandwidth = kBandwidth;
+      cfg.max_rounds = 8;
+      std::vector<std::uint64_t> seeds(8);
+      for (std::uint32_t s = 0; s < seeds.size(); ++s)
+        seeds[s] = derive_seed(1300, s);
+      const auto factory = comm::random_traffic_program(2);
+
+      const double t0 = now_ns();
+      std::uint64_t check_seq = 0;
+      for (const auto s : seeds) {
+        const auto one = comm::simulate_across_cut_batch(
+            frame.graph, owner, cfg, factory, {s}, 1);
+        check_seq += one.total_crossing_bits(0);
+      }
+      const double t1 = now_ns();
+      const auto batched = comm::simulate_across_cut_batch(
+          frame.graph, owner, cfg, factory, seeds, 0);
+      const double t2 = now_ns();
+      std::uint64_t check_batch = 0;
+      for (std::size_t i = 0; i < batched.size(); ++i)
+        check_batch += batched.total_crossing_bits(i);
+      CSD_CHECK_MSG(check_seq == check_batch,
+                    "batch diverged from per-seed totals");
+
+      Table wall({"n", "seeds", "per-seed ms", "batched ms", "speedup"});
+      wall.row()
+          .cell(n)
+          .cell(seeds.size())
+          .cell((t1 - t0) / 1e6, 1)
+          .cell((t2 - t1) / 1e6, 1)
+          .cell((t1 - t0) / (t2 - t1), 2);
+      wall.print(std::cout);
+    }
+  }
   return ctx.finish(std::cout);
 }

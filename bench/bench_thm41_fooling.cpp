@@ -7,7 +7,9 @@
 //     Claim 4.4 holds on the assembled hexagon and the algorithm is fooled;
 //   * c >= log2(N/3): every transcript class is a singleton, no box exists,
 //     the adversary fails — the O(log N) upper bound is tight.
+#include <cmath>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -19,6 +21,10 @@
 int main(int argc, char** argv) {
   using namespace csd;
   bench::BenchContext ctx("thm41_fooling", argc, argv);
+  bool scale = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--scale") scale = true;
+  ctx.param("scale", scale);
 
   print_banner(std::cout,
                "THM41: the fooling adversary vs c-bit ID exchange",
@@ -86,5 +92,54 @@ int main(int argc, char** argv) {
          "holds and the hexagon is (wrongly) rejected; at or above it the\n"
          "adversary fails. This reproduces the Omega(log N) bound and its\n"
          "tightness on the lower-bound graph.\n";
+
+  print_banner(std::cout,
+               "Sampled transcript collisions (pigeonhole pressure)",
+               "uniform triples instead of exhaustive enumeration; expected "
+               "pairs = C(S,2) / 2^(3c) for the c-bit ID exchange");
+  bench::ReportedTable sampled(
+      ctx, "sampled",
+      {"N", "c bits", "samples", "transcripts", "largest class",
+       "collision pairs", "expected pairs"});
+  const auto sampled_row = [&](std::uint64_t N, std::uint32_t c,
+                               std::uint64_t samples) {
+    lb::FoolingConfig cfg;
+    cfg.namespace_size = N;
+    cfg.algorithm = detect::id_exchange_triangle_program(c);
+    cfg.bandwidth = 64;
+    cfg.max_rounds = 8;
+    // Seed varies with N: part sizes are powers of two, so a shared seed
+    // would reproduce the same truncated-id stream at every N and the
+    // sweep's rows would be literal copies of each other.
+    const auto report =
+        lb::sample_transcript_collisions(cfg, samples, 4100 + N, 0);
+    const double s = static_cast<double>(samples);
+    const double expected =
+        s * (s - 1.0) / 2.0 / std::pow(2.0, 3.0 * c);
+    sampled.row()
+        .cell(N)
+        .cell(c)
+        .cell(report.samples)
+        .cell(report.distinct_transcripts)
+        .cell(report.largest_class)
+        .cell(report.collision_pairs)
+        .cell(expected, 1);
+  };
+  for (const std::uint32_t c : {2u, 3u}) sampled_row(24, c, 2000);
+  if (scale) {
+    // The (N/3)^3 exhaustive enumeration is hopeless at N >= 10^5; sampling
+    // sees C(S,2)/2^(3c) colliding pairs, so the collision cliff sits at
+    // c ~ (2/3) log2 S rather than log2(N/3) — the table checks the
+    // prediction, the exhaustive table above checks the threshold.
+    for (const std::uint64_t N : {49152ull, 98304ull, 196608ull})
+      for (const std::uint32_t c : {6u, 8u, 10u, 12u}) sampled_row(N, c, 50000);
+  }
+  sampled.print(std::cout);
+  std::cout
+      << "\nExpected: collision pairs track C(S,2)/2^(3c) (ids truncated to\n"
+         "c bits are uniform because parts are power-of-two sized), and the\n"
+         "largest class shrinks to a singleton as c grows — the same\n"
+         "pigeonhole pressure the box theorem amplifies, measured at\n"
+         "namespace sizes the exhaustive adversary cannot touch.\n";
   return ctx.finish(std::cout);
 }

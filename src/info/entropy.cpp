@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <numeric>
 
 #include "support/check.hpp"
 
@@ -9,12 +11,17 @@ namespace csd::info {
 
 namespace {
 
-template <typename Map>
-double entropy_of_map(const Map& counts, std::uint64_t total) {
+// Entropy folded in the canonical order the caller provides (ascending key
+// order from sorted_items); the fold order is part of the determinism
+// contract, so every path below funnels through here.
+template <typename Items, typename CountOf>
+double entropy_of_items(const Items& items, std::uint64_t total,
+                        const CountOf& count_of) {
   if (total == 0) return 0.0;
   double h = 0.0;
   const double dt = static_cast<double>(total);
-  for (const auto& [sym, c] : counts) {
+  for (const auto& item : items) {
+    const std::uint64_t c = count_of(item);
     if (c == 0) continue;
     const double p = static_cast<double>(c) / dt;
     h -= p * std::log2(p);
@@ -26,62 +33,117 @@ double entropy_of_map(const Map& counts, std::uint64_t total) {
 
 double entropy_from_counts(const std::vector<std::uint64_t>& counts) {
   std::uint64_t total = 0;
-  for (const auto c : counts) total += c;
-  if (total == 0) return 0.0;
-  double h = 0.0;
-  const double dt = static_cast<double>(total);
   for (const auto c : counts) {
-    if (c == 0) continue;
-    const double p = static_cast<double>(c) / dt;
-    h -= p * std::log2(p);
+    CSD_CHECK_MSG(c <= std::numeric_limits<std::uint64_t>::max() - total,
+                  "entropy_from_counts: total would wrap past 2^64");
+    total += c;
   }
-  return h;
+  return entropy_of_items(counts, total,
+                          [](std::uint64_t c) { return c; });
 }
 
 void JointDistribution::add(std::uint64_t x, std::uint64_t y,
                             std::uint64_t weight) {
   CSD_CHECK(weight > 0);
-  x_counts_[x] += weight;
-  y_counts_[y] += weight;
-  joint_counts_[{x, y}] += weight;
+  CSD_CHECK_MSG(weight <= std::numeric_limits<std::uint64_t>::max() - total_,
+                "JointDistribution::add: total weight would wrap past 2^64");
+  x_counts_.add(x, weight);
+  y_counts_.add(y, weight);
+  joint_counts_.add(x, y, weight);
   total_ += weight;
 }
 
+void JointDistribution::reserve(std::size_t expected_distinct_x,
+                                std::size_t expected_distinct_y) {
+  x_counts_.reserve(expected_distinct_x);
+  y_counts_.reserve(expected_distinct_y);
+  joint_counts_.reserve(std::max(expected_distinct_x, expected_distinct_y));
+}
+
 double JointDistribution::entropy_x() const {
-  return entropy_of_map(x_counts_, total_);
+  return entropy_of_items(x_counts_.sorted_items(), total_,
+                          [](const FlatCounts::Item& i) { return i.count; });
 }
 
 double JointDistribution::entropy_y() const {
-  return entropy_of_map(y_counts_, total_);
+  return entropy_of_items(y_counts_.sorted_items(), total_,
+                          [](const FlatCounts::Item& i) { return i.count; });
 }
 
 double JointDistribution::entropy_joint() const {
-  return entropy_of_map(joint_counts_, total_);
+  return entropy_of_items(
+      joint_counts_.sorted_items(), total_,
+      [](const FlatPairCounts::Item& i) { return i.count; });
+}
+
+double JointDistribution::mutual_information_raw() const {
+  return entropy_x() + entropy_y() - entropy_joint();
 }
 
 double JointDistribution::mutual_information() const {
-  return std::max(0.0, entropy_x() + entropy_y() - entropy_joint());
+  return std::max(0.0, mutual_information_raw());
+}
+
+double JointDistribution::conditional_entropy_x_given_y_raw() const {
+  return entropy_joint() - entropy_y();
 }
 
 double JointDistribution::conditional_entropy_x_given_y() const {
-  return std::max(0.0, entropy_joint() - entropy_y());
+  return std::max(0.0, conditional_entropy_x_given_y_raw());
 }
 
 void ConditionalMutualInformation::add(std::uint64_t z, std::uint64_t x,
                                        std::uint64_t y, std::uint64_t weight) {
-  slices_[z].add(x, y, weight);
+  CSD_CHECK(weight > 0);
+  CSD_CHECK_MSG(
+      weight <= std::numeric_limits<std::uint64_t>::max() - total_,
+      "ConditionalMutualInformation::add: total weight would wrap past 2^64");
+  const std::uint32_t pos = slice_index_.find_or_insert(z);
+  if (pos == slices_.size()) {
+    slice_keys_.push_back(z);
+    slices_.emplace_back();
+    if (slice_reserve_hint_ != 0)
+      slices_.back().reserve(slice_reserve_hint_, slice_reserve_hint_);
+  }
+  slices_[pos].add(x, y, weight);
   total_ += weight;
 }
 
-double ConditionalMutualInformation::value() const {
+void ConditionalMutualInformation::reserve(
+    std::size_t expected_slices, std::size_t expected_distinct_per_slice) {
+  slice_index_.reserve(expected_slices);
+  slice_keys_.reserve(expected_slices);
+  slices_.reserve(expected_slices);
+  slice_reserve_hint_ = expected_distinct_per_slice;
+  for (auto& slice : slices_)
+    slice.reserve(expected_distinct_per_slice, expected_distinct_per_slice);
+}
+
+double ConditionalMutualInformation::weighted_sum(bool raw) const {
   if (total_ == 0) return 0.0;
+  // Canonical order: ascending z symbol, independent of first-seen order.
+  std::vector<std::size_t> order(slices_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return slice_keys_[a] < slice_keys_[b];
+  });
   double sum = 0.0;
-  for (const auto& [z, slice] : slices_) {
+  for (const std::size_t pos : order) {
+    const JointDistribution& slice = slices_[pos];
     const double w =
         static_cast<double>(slice.total()) / static_cast<double>(total_);
-    sum += w * slice.mutual_information();
+    sum += w * (raw ? slice.mutual_information_raw()
+                    : slice.mutual_information());
   }
   return sum;
+}
+
+double ConditionalMutualInformation::value() const {
+  return weighted_sum(/*raw=*/false);
+}
+
+double ConditionalMutualInformation::value_raw() const {
+  return weighted_sum(/*raw=*/true);
 }
 
 }  // namespace csd::info

@@ -8,11 +8,25 @@
 // Variables are presented as 64-bit symbols (messages are hashed BitVecs;
 // collisions only *underestimate* information, which is the conservative
 // direction for a lower-bound experiment).
+//
+// Counting runs over flat open-addressing tables (info/flat_counts.hpp),
+// sized once per batch via reserve(). All entropy sums fold probabilities
+// in the canonical ascending-key order of sorted_items(), so estimates are
+// bit-identical regardless of insertion order, reserve hints, or the number
+// of workers that produced the samples.
+//
+// Clamping policy: the plug-in I(X;Y) can dip below zero (finite-sample
+// noise), and historically the estimator clamped it to 0 silently. That
+// masks estimator bias exactly where the batched sweeps need to detect it,
+// so both faces are exposed: *_raw() returns the unclamped value and the
+// clamped accessor keeps its old contract. Bootstrap fits (obs/lb_fit.hpp)
+// consume the raw values; presentation layers may clamp.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
+
+#include "info/flat_counts.hpp"
 
 namespace csd::info {
 
@@ -24,6 +38,15 @@ class JointDistribution {
  public:
   void add(std::uint64_t x, std::uint64_t y, std::uint64_t weight = 1);
 
+  /// Pre-size the count tables for a batch: expected distinct symbols per
+  /// marginal (the joint table takes the larger hint — with one tiny
+  /// alphabet the joint support is bounded by the big one times it).
+  /// Optional — tables grow on demand — but a batch that reserves never
+  /// rehashes, and the hints never change a result (summation order is
+  /// canonical).
+  void reserve(std::size_t expected_distinct_x,
+               std::size_t expected_distinct_y);
+
   std::uint64_t total() const noexcept { return total_; }
 
   /// H(X), H(Y), H(X, Y) in bits.
@@ -34,26 +57,19 @@ class JointDistribution {
   /// I(X; Y) = H(X) + H(Y) − H(X,Y), clamped at 0 (plug-in can dip below by
   /// floating-point noise only).
   double mutual_information() const;
+  /// The same estimate without the clamp; negative values expose the
+  /// finite-sample bias the clamped accessor hides.
+  double mutual_information_raw() const;
 
-  /// H(X | Y) = H(X,Y) − H(Y).
+  /// H(X | Y) = H(X,Y) − H(Y), clamped at 0.
   double conditional_entropy_x_given_y() const;
+  /// Unclamped variant.
+  double conditional_entropy_x_given_y_raw() const;
 
  private:
-  std::unordered_map<std::uint64_t, std::uint64_t> x_counts_;
-  std::unordered_map<std::uint64_t, std::uint64_t> y_counts_;
-  // Joint keyed by (x hashed with y); exact pairs kept to avoid collisions.
-  struct PairHash {
-    std::size_t operator()(const std::pair<std::uint64_t, std::uint64_t>& p)
-        const noexcept {
-      // splitmix-style combine.
-      std::uint64_t h = p.first * 0x9e3779b97f4a7c15ULL;
-      h ^= (p.second + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
-      return static_cast<std::size_t>(h);
-    }
-  };
-  std::unordered_map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t,
-                     PairHash>
-      joint_counts_;
+  FlatCounts x_counts_;
+  FlatCounts y_counts_;
+  FlatPairCounts joint_counts_;
   std::uint64_t total_ = 0;
 };
 
@@ -64,11 +80,25 @@ class ConditionalMutualInformation {
   void add(std::uint64_t z, std::uint64_t x, std::uint64_t y,
            std::uint64_t weight = 1);
 
+  /// Pre-size for a batch: `expected_slices` distinct z symbols, each slice
+  /// reserving `expected_distinct_per_slice` symbols per marginal.
+  void reserve(std::size_t expected_slices,
+               std::size_t expected_distinct_per_slice);
+
+  /// Weighted average of the *clamped* per-slice MI (historic contract).
   double value() const;
+  /// Weighted average of the raw per-slice MI; value() − value_raw() is the
+  /// total clamp mass (0 when no slice went negative).
+  double value_raw() const;
   std::uint64_t total() const noexcept { return total_; }
 
  private:
-  std::unordered_map<std::uint64_t, JointDistribution> slices_;
+  double weighted_sum(bool raw) const;
+
+  FlatIndex slice_index_;                  // z symbol -> slices_ position
+  std::vector<std::uint64_t> slice_keys_;  // z symbol per slice
+  std::vector<JointDistribution> slices_;
+  std::size_t slice_reserve_hint_ = 0;
   std::uint64_t total_ = 0;
 };
 

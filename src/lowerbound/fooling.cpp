@@ -5,9 +5,12 @@
 #include <string>
 #include <vector>
 
+#include "congest/run_batch.hpp"
 #include "graph/builders.hpp"
+#include "info/flat_counts.hpp"
 #include "support/bitvec.hpp"
 #include "support/check.hpp"
+#include "support/rng.hpp"
 
 namespace csd::lb {
 
@@ -39,6 +42,18 @@ std::string canonical_transcript(
     out.push_back('#');
   }
   return out;
+}
+
+/// FNV-1a over the canonical transcript string. Platform-independent (the
+/// std::hash<string> alternative is implementation-defined), so sampled
+/// collision counts are bit-identical across toolchains.
+std::uint64_t transcript_hash(const std::string& transcript) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : transcript) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
 }
 
 /// Per-node slice of a canonical transcript (between '#' markers).
@@ -168,6 +183,69 @@ FoolingReport run_fooling_adversary(const FoolingConfig& config) {
   report.transcripts_match = true;
   for (std::uint32_t i = 0; i < 6; ++i)
     report.transcripts_match &= hex_parts[i] == tri_parts[i % 3];
+  return report;
+}
+
+TranscriptSampleReport sample_transcript_collisions(const FoolingConfig& config,
+                                                    std::uint64_t samples,
+                                                    std::uint64_t seed,
+                                                    unsigned jobs) {
+  CSD_CHECK_MSG(config.namespace_size >= 6 && config.namespace_size % 3 == 0,
+                "namespace must be divisible by 3 and >= 6");
+  CSD_CHECK_MSG(config.algorithm != nullptr, "algorithm factory required");
+  CSD_CHECK_MSG(samples > 0, "need at least one sample");
+  const std::uint64_t n = config.namespace_size / 3;
+
+  TranscriptSampleReport report;
+  report.part_size = n;
+  report.samples = samples;
+  report.all_triangles_rejected = true;
+
+  // Triples are drawn sequentially up front so the sample set is a pure
+  // function of the seed, independent of the fan-out below.
+  Rng rng(derive_seed(seed, 0x7a41));
+  std::vector<std::array<std::uint64_t, 3>> triples(samples);
+  for (auto& t : triples) t = {rng.below(n), rng.below(n), rng.below(n)};
+
+  const Graph triangle = build::cycle(3);
+  const std::array<std::uint32_t, 6> tri_plus_one = {1, 2, 0, 0, 0, 0};
+  congest::NetworkConfig run_cfg;
+  run_cfg.bandwidth = config.bandwidth;
+  run_cfg.max_rounds = config.max_rounds;
+  run_cfg.namespace_size = config.namespace_size;
+  run_cfg.record_transcript = true;
+
+  // Per-index result slots; the sequential fold below keeps the report
+  // independent of execution order.
+  std::vector<std::uint64_t> hashes(samples);
+  std::vector<std::uint64_t> max_bits(samples, 0);
+  std::vector<std::uint8_t> rejected(samples, 0);
+  congest::RunBatch batch(jobs);
+  batch.for_each_index(samples, [&](std::size_t i) {
+    const auto& [a, b, c] = triples[i];
+    congest::Network net(triangle, run_cfg, {a, n + b, 2 * n + c});
+    const auto outcome = net.run(config.algorithm);
+    CSD_CHECK_MSG(outcome.completed, "algorithm did not halt on a triangle");
+    rejected[i] = outcome.detected ? 1 : 0;
+    for (const auto& node_bits : outcome.metrics.bits_sent_by_node)
+      max_bits[i] = std::max(max_bits[i], node_bits);
+    hashes[i] =
+        transcript_hash(canonical_transcript(outcome.transcript, tri_plus_one, 3));
+  });
+
+  info::FlatCounts counts;
+  counts.reserve(samples);
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    report.all_triangles_rejected &= rejected[i] != 0;
+    report.max_total_bits_per_node =
+        std::max(report.max_total_bits_per_node, max_bits[i]);
+    counts.add(hashes[i], 1);
+  }
+  report.distinct_transcripts = counts.distinct();
+  for (const auto& item : counts.sorted_items()) {
+    report.largest_class = std::max(report.largest_class, item.count);
+    report.collision_pairs += item.count * (item.count - 1) / 2;
+  }
   return report;
 }
 

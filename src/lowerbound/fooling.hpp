@@ -66,4 +66,32 @@ struct FoolingReport {
 /// graphs plus an O((N/3)^5 / 64) bitset box search.
 FoolingReport run_fooling_adversary(const FoolingConfig& config);
 
+/// Sampled estimate of the pigeonhole pressure behind Theorem 4.1 at
+/// namespace sizes where the exhaustive (N/3)^3 enumeration is hopeless
+/// (N >= 10^5). Draws `samples` uniform triples from N_0 x N_1 x N_2, runs
+/// the algorithm on each triangle, and buckets the canonical transcripts
+/// (by 64-bit hash — distinct transcripts colliding in the hash would
+/// overcount collisions, a ~samples^2/2^64 effect, conservative for the
+/// adversary). largest_class > 1 is direct evidence of transcript reuse:
+/// the raw material the box search feeds on.
+struct TranscriptSampleReport {
+  std::uint64_t part_size = 0;       // n = N/3
+  std::uint64_t samples = 0;
+  std::uint64_t distinct_transcripts = 0;
+  std::uint64_t largest_class = 0;
+  /// Sum over transcript classes of C(|class|, 2): the number of sampled
+  /// triple pairs the adversary could not tell apart.
+  std::uint64_t collision_pairs = 0;
+  std::uint64_t max_total_bits_per_node = 0;  // observed C
+  bool all_triangles_rejected = false;
+};
+
+/// Deterministic in (config, samples, seed) at every `jobs` value: triples
+/// are drawn up front from one rng stream and each execution is pure, so
+/// the fan-out only changes when a run executes, never what it computes.
+TranscriptSampleReport sample_transcript_collisions(const FoolingConfig& config,
+                                                    std::uint64_t samples,
+                                                    std::uint64_t seed,
+                                                    unsigned jobs = 1);
+
 }  // namespace csd::lb

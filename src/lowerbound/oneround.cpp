@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "congest/run_batch.hpp"
 #include "info/entropy.hpp"
+#include "support/bits.hpp"
 #include "support/check.hpp"
 #include "support/wire.hpp"
 
@@ -63,6 +65,47 @@ GtSample sample_gt(std::uint64_t n, Rng& rng) {
   return sample;
 }
 
+GtSample sample_gt_fast(std::uint64_t n, Rng& rng) {
+  CSD_CHECK(n >= 1);
+  GtSample sample;
+  sample.n = n;
+  const std::uint64_t id_space =
+      std::max<std::uint64_t>(27, n * n * n);  // [n³] as in the paper
+  for (auto& id : sample.special_id) id = rng.below(id_space);
+  for (auto& bit : sample.special_edge) bit = rng.coin();
+
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    SpecialInput& input = sample.input[s];
+    input.own_id = sample.special_id[s];
+    input.neighbor_ids.resize(n + 2);
+    // Unpermuted layout: slots 0,1 = the other two specials, then n spokes.
+    // Skipping π_s is sound only for permutation-invariant protocols — the
+    // callers CHECK that before routing here.
+    std::uint32_t w = 0;
+    std::uint64_t special_bits = 0;
+    for (std::uint32_t t = 0; t < 3; ++t) {
+      if (t == s) continue;
+      input.neighbor_ids[w] = sample.special_id[t];
+      if (sample.special_edge[edge_index(s, t)]) special_bits |= 1ULL << w;
+      ++w;
+    }
+    for (std::uint64_t i = 0; i < n; ++i)
+      input.neighbor_ids[2 + i] = rng.below(id_space);
+    // Spoke presence 64 bits per draw instead of one coin() each.
+    BitVec present;
+    present.append_bits(special_bits, 2);
+    std::uint64_t remaining = n;
+    while (remaining > 0) {
+      const unsigned chunk =
+          remaining > 64 ? 64u : static_cast<unsigned>(remaining);
+      present.append_bits(rng(), chunk);
+      remaining -= chunk;
+    }
+    input.present = std::move(present);
+  }
+  return sample;
+}
+
 namespace {
 
 // ------------------------------------------------------------------ Bloom
@@ -75,10 +118,11 @@ class BloomProtocol final : public OneRoundProtocol {
                  Rng&) const override {
     CSD_CHECK(bandwidth >= 1);
     BitVec filter(bandwidth);
-    for (std::size_t slot = 0; slot < input.neighbor_ids.size(); ++slot) {
-      if (!input.present.get(slot)) continue;
+    // Word-parallel scan: present slots are typically half the slots, and
+    // for_each_set skips absent runs 64 at a time.
+    for_each_set(input.present, [&](std::size_t slot) {
       filter.set(mix(input.neighbor_ids[slot], salt_) % bandwidth);
-    }
+    });
     return filter;
   }
 
@@ -103,6 +147,10 @@ class BloomProtocol final : public OneRoundProtocol {
         msg_from_second->get(mix(id_first, salt_) % bandwidth);
     return first_says && second_says;
   }
+
+  // Message = Bloom filter of the present-id *set*; decision = membership
+  // queries by id. Slot labels never enter either.
+  bool permutation_invariant() const override { return true; }
 
  private:
   std::uint64_t salt_;
@@ -164,6 +212,11 @@ class IdSampleProtocol final : public OneRoundProtocol {
     if (from_second >= 0) return from_second == 1;
     return false;  // no evidence: accept
   }
+
+  // Records are (id, presence) pairs for a uniformly random slot subset —
+  // the subset law is the same under any slot relabeling — and lookups go
+  // by id.
+  bool permutation_invariant() const override { return true; }
 
  private:
   std::uint64_t salt_;
@@ -227,23 +280,39 @@ OneRoundStats evaluate_interactive(std::uint64_t n, std::uint64_t bandwidth,
   return stats;
 }
 
-OneRoundStats evaluate_one_round(const OneRoundProtocol& protocol,
-                                 std::uint64_t n, std::uint64_t bandwidth,
-                                 std::uint64_t samples, std::uint64_t seed) {
+namespace {
+
+OneRoundStats evaluate_one_round_impl(const OneRoundProtocol& protocol,
+                                      std::uint64_t n, std::uint64_t bandwidth,
+                                      std::uint64_t samples,
+                                      std::uint64_t seed, bool fast) {
   OneRoundStats stats;
   stats.n = n;
   stats.bandwidth = bandwidth;
   stats.samples = samples;
 
-  Rng rng(derive_seed(seed, 0xa11c4));
+  // The fast path is a distinct estimator (different sampler, different
+  // stream id); the slow path's stream is the historic one, so existing
+  // per-seed results replay bit-for-bit.
+  Rng rng(derive_seed(seed, fast ? 0xfa57 : 0xa11c4));
   std::uint64_t wrong = 0, fn = 0, fp = 0, positives = 0, negatives = 0;
   // Conditional-on-X_ab=X_ac=1 information accumulators (Lemma 5.3/5.4):
   // the Lemma 5.4 decomposition sums per-message informations.
   info::JointDistribution msg_ba, msg_ca, accept_joint;
   info::JointDistribution msg_ba_null, msg_ca_null;
+  // Size the count tables once for the batch: the conditioning event has
+  // probability 1/4, message hashes are the only big alphabet. Hints never
+  // change a result (summation order is canonical).
+  const auto msg_hint = static_cast<std::size_t>(samples / 4 + 8);
+  msg_ba.reserve(2, msg_hint);
+  msg_ca.reserve(2, msg_hint);
+  accept_joint.reserve(2, 2);
+  msg_ba_null.reserve(2, msg_hint);
+  msg_ca_null.reserve(2, msg_hint);
 
   for (std::uint64_t i = 0; i < samples; ++i) {
-    const GtSample sample = sample_gt(n, rng);
+    const GtSample sample =
+        fast ? sample_gt_fast(n, rng) : sample_gt(n, rng);
     BitVec msgs[3];
     for (std::uint32_t s = 0; s < 3; ++s)
       msgs[s] = protocol.message(sample.input[s], bandwidth, rng);
@@ -299,6 +368,78 @@ OneRoundStats evaluate_one_round(const OneRoundProtocol& protocol,
   stats.info_messages_null =
       msg_ba_null.mutual_information() + msg_ca_null.mutual_information();
   stats.info_accept = accept_joint.mutual_information();
+  stats.info_messages_raw =
+      msg_ba.mutual_information_raw() + msg_ca.mutual_information_raw();
+  stats.info_messages_null_raw = msg_ba_null.mutual_information_raw() +
+                                 msg_ca_null.mutual_information_raw();
+  return stats;
+}
+
+}  // namespace
+
+OneRoundStats evaluate_one_round(const OneRoundProtocol& protocol,
+                                 std::uint64_t n, std::uint64_t bandwidth,
+                                 std::uint64_t samples, std::uint64_t seed) {
+  return evaluate_one_round_impl(protocol, n, bandwidth, samples, seed,
+                                 /*fast=*/false);
+}
+
+std::vector<OneRoundStats> evaluate_one_round_batch(
+    const OneRoundProtocol& protocol, std::uint64_t n, std::uint64_t bandwidth,
+    std::uint64_t samples, const std::vector<std::uint64_t>& seeds,
+    const OneRoundBatchOptions& options) {
+  CSD_CHECK_MSG(!options.fast_sampling || protocol.permutation_invariant(),
+                "fast_sampling requires a permutation-invariant protocol");
+  std::vector<OneRoundStats> rows(seeds.size());
+  const congest::RunBatch batch(options.jobs);
+  batch.for_each_index(seeds.size(), [&](std::size_t i) {
+    rows[i] = evaluate_one_round_impl(protocol, n, bandwidth, samples,
+                                      seeds[i], options.fast_sampling);
+  });
+  return rows;
+}
+
+OneRoundStats evaluate_interactive_sliced(std::uint64_t n,
+                                          std::uint64_t bandwidth,
+                                          std::uint64_t samples,
+                                          std::uint64_t seed) {
+  OneRoundStats stats;
+  stats.n = n;
+  stats.bandwidth = bandwidth;
+  stats.samples = samples;
+  const std::uint64_t id_space = std::max<std::uint64_t>(27, n * n * n);
+  const unsigned id_bits = wire::bits_for(id_space);
+  const bool fits = bandwidth >= id_bits + 1;
+
+  // The decision and the truth are functions of (X_ab, X_bc, X_ac) only,
+  // and those are independent of the ids and spokes — so each edge variable
+  // becomes one lane word per 64 samples and nothing else is drawn.
+  Rng rng(derive_seed(seed, 0x51ced));
+  std::uint64_t wrong = 0, fn = 0, fp = 0, positives = 0, negatives = 0;
+  for (std::uint64_t done = 0; done < samples; done += 64) {
+    const std::uint64_t lanes = std::min<std::uint64_t>(64, samples - done);
+    const std::uint64_t mask = lanes == 64 ? ~0ULL : (1ULL << lanes) - 1;
+    const std::uint64_t ab = rng() & mask;
+    const std::uint64_t bc = rng() & mask;
+    const std::uint64_t ac = rng() & mask;
+    // v_a asks iff both its edges are present; v_b answers X_bc truthfully.
+    const std::uint64_t rejected = fits ? (ab & ac & bc) : 0;
+    const std::uint64_t truth = ab & bc & ac;
+    wrong += static_cast<std::uint64_t>(popcount64(rejected ^ truth));
+    const auto pos = static_cast<std::uint64_t>(popcount64(truth));
+    positives += pos;
+    negatives += lanes - pos;
+    fn += static_cast<std::uint64_t>(popcount64(truth & ~rejected));
+    fp += static_cast<std::uint64_t>(popcount64(rejected & ~truth));
+  }
+  const double total = static_cast<double>(samples);
+  stats.error = static_cast<double>(wrong) / total;
+  stats.false_negative =
+      positives == 0 ? 0
+                     : static_cast<double>(fn) / static_cast<double>(positives);
+  stats.false_positive =
+      negatives == 0 ? 0
+                     : static_cast<double>(fp) / static_cast<double>(negatives);
   return stats;
 }
 

@@ -62,6 +62,16 @@ struct GtSample {
 /// Draw one sample of μ with the given spoke count n.
 GtSample sample_gt(std::uint64_t n, Rng& rng);
 
+/// Permutation-free sampler for protocols that are permutation-invariant
+/// (see OneRoundProtocol::permutation_invariant): the hiding permutation π_s
+/// is skipped (specials sit in slots 0 and 1) and spoke presence bits are
+/// filled 64 per rng word instead of one coin each. The marginal law of
+/// every protocol-visible statistic is exactly μ for such protocols, but
+/// the rng stream differs from sample_gt — estimates drawn through this
+/// path are a different (equally distributed) Monte-Carlo estimator, not a
+/// bit-identical replay.
+GtSample sample_gt_fast(std::uint64_t n, Rng& rng);
+
 /// One-round protocol interface. Messages may depend only on the sender's
 /// own input (and private randomness); the decision of node s sees its own
 /// input plus the messages of the two other specials gated by edge
@@ -82,6 +92,13 @@ class OneRoundProtocol {
                        const BitVec* msg_from_first,
                        const BitVec* msg_from_second,
                        std::uint64_t bandwidth) const = 0;
+
+  /// True iff message() and rejects() depend on the input only through the
+  /// multiset of (neighbor id, presence) pairs and the special ids — i.e.
+  /// relabeling slots cannot change any protocol-visible distribution. Such
+  /// protocols may be evaluated through sample_gt_fast, which skips the
+  /// hiding permutation. Defaults to false (the conservative answer).
+  virtual bool permutation_invariant() const { return false; }
 };
 
 /// Bloom-sketch protocol: B-bit Bloom filter of the present-neighbor id set;
@@ -107,12 +124,37 @@ struct OneRoundStats {
   /// finite-sample bias. info_messages - info_messages_null is the
   /// bias-corrected value (shuffle control).
   double info_messages_null = 0;
+  /// Unclamped counterparts (JointDistribution::mutual_information_raw):
+  /// negative values are finite-sample bias the clamped fields hide — the
+  /// bootstrap fits consume these so the bias is visible, not truncated.
+  double info_messages_raw = 0;
+  double info_messages_null_raw = 0;
 };
 
 /// Monte-Carlo evaluation of a protocol at (n, B).
 OneRoundStats evaluate_one_round(const OneRoundProtocol& protocol,
                                  std::uint64_t n, std::uint64_t bandwidth,
                                  std::uint64_t samples, std::uint64_t seed);
+
+struct OneRoundBatchOptions {
+  /// Worker threads fanning seeds across a congest::RunBatch; results are
+  /// bit-identical at every value (each seed's evaluation is pure).
+  unsigned jobs = 1;
+  /// Sample through sample_gt_fast. Requires permutation_invariant();
+  /// changes the rng stream (see sample_gt_fast), so it is an explicit
+  /// opt-in — the default keeps every row bit-identical to a sequential
+  /// evaluate_one_round call with the same seed.
+  bool fast_sampling = false;
+};
+
+/// One evaluate_one_round per seed over a shared protocol, fanned across
+/// `options.jobs` workers. Row i is the run with seeds[i]; with default
+/// options each row is bit-for-bit the sequential evaluate_one_round
+/// result. The per-seed rows are what the bootstrap fits resample.
+std::vector<OneRoundStats> evaluate_one_round_batch(
+    const OneRoundProtocol& protocol, std::uint64_t n, std::uint64_t bandwidth,
+    std::uint64_t samples, const std::vector<std::uint64_t>& seeds,
+    const OneRoundBatchOptions& options = {});
 
 /// The contrast that makes Theorem 5.1 a *one-round* bound: with three
 /// rounds, O(log n) bits per edge suffice. Round 1: every special node
@@ -122,5 +164,17 @@ OneRoundStats evaluate_one_round(const OneRoundProtocol& protocol,
 /// contrasts its error curve with the one-round protocols'.
 OneRoundStats evaluate_interactive(std::uint64_t n, std::uint64_t bandwidth,
                                    std::uint64_t samples, std::uint64_t seed);
+
+/// Word-sliced variant for the n >= 10^5 sweeps: the interactive decision
+/// and the ground truth depend only on the three special-edge bits, which
+/// are independent of the ids and spokes — so 64 samples are processed per
+/// three rng words (one word per edge variable) with ~6 word ops, never
+/// materializing a GtSample. Error statistics have exactly the μ law;
+/// the rng stream differs from evaluate_interactive (its own stream id),
+/// and the info_* fields stay 0 (the interactive path never fills them).
+OneRoundStats evaluate_interactive_sliced(std::uint64_t n,
+                                          std::uint64_t bandwidth,
+                                          std::uint64_t samples,
+                                          std::uint64_t seed);
 
 }  // namespace csd::lb

@@ -1,0 +1,118 @@
+#include "obs/lb_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace csd::obs {
+
+namespace {
+
+/// Mean of a block in index order (the canonical fold order: block contents
+/// are per-seed rows in seed order, and the bootstrap reproduces the same
+/// order, so sums are bit-stable).
+double mean_of(const std::vector<double>& ys) {
+  double sum = 0.0;
+  for (const double y : ys) sum += y;
+  return sum / static_cast<double>(ys.size());
+}
+
+/// Fit through (x, mean) pairs, dropping non-positive means; counts drops.
+std::optional<PowerLawFit> fit_means(const std::vector<double>& xs,
+                                     const std::vector<double>& means,
+                                     std::uint64_t* dropped) {
+  std::vector<std::pair<double, double>> xy;
+  xy.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (means[i] > 0.0) {
+      xy.emplace_back(xs[i], means[i]);
+    } else if (dropped != nullptr) {
+      ++*dropped;
+    }
+  }
+  return fit_power_law(xy);
+}
+
+}  // namespace
+
+std::optional<BootstrapFit> bootstrap_power_law_blocks(
+    const std::vector<double>& xs,
+    const std::vector<std::vector<double>>& ys_per_x,
+    std::uint32_t resamples, std::uint64_t seed, double confidence) {
+  CSD_CHECK(xs.size() == ys_per_x.size());
+  CSD_CHECK(confidence > 0.0 && confidence < 1.0);
+  for (const auto& block : ys_per_x) CSD_CHECK(!block.empty());
+
+  BootstrapFit out;
+  out.confidence = confidence;
+  out.resamples = resamples;
+
+  std::vector<double> means(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) means[i] = mean_of(ys_per_x[i]);
+  const auto point = fit_means(xs, means, &out.dropped_points);
+  if (!point.has_value()) return std::nullopt;
+  out.fit = *point;
+
+  if (resamples == 0) {
+    out.exponent_lo = out.exponent_hi = out.fit.exponent;
+    return out;
+  }
+
+  Rng rng(derive_seed(seed, 0xb007));
+  std::vector<double> exponents;
+  exponents.reserve(resamples);
+  std::vector<double> resampled(xs.size());
+  for (std::uint32_t r = 0; r < resamples; ++r) {
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const auto& block = ys_per_x[i];
+      double sum = 0.0;
+      for (std::size_t k = 0; k < block.size(); ++k)
+        sum += block[rng.below(block.size())];
+      resampled[i] = sum / static_cast<double>(block.size());
+    }
+    const auto refit = fit_means(xs, resampled, &out.dropped_points);
+    if (refit.has_value())
+      exponents.push_back(refit->exponent);
+    else
+      ++out.degenerate_resamples;
+  }
+
+  if (exponents.empty()) {
+    // Every resample degenerated (tiny blocks of sign-flipping values):
+    // report the widest honest interval around the point fit.
+    out.exponent_lo = out.exponent_hi = out.fit.exponent;
+    return out;
+  }
+  std::sort(exponents.begin(), exponents.end());
+  const double alpha = 1.0 - confidence;
+  const auto rank = [&](double q) {
+    const double pos = q * static_cast<double>(exponents.size() - 1);
+    return exponents[static_cast<std::size_t>(pos + 0.5)];
+  };
+  out.exponent_lo = rank(alpha / 2.0);
+  out.exponent_hi = rank(1.0 - alpha / 2.0);
+  return out;
+}
+
+std::optional<BootstrapFit> bootstrap_power_law(
+    const std::vector<std::pair<double, double>>& xy_per_seed,
+    std::uint32_t resamples, std::uint64_t seed, double confidence) {
+  // Group rows by bit-equal x; std::map iteration gives ascending-x blocks
+  // regardless of row order.
+  std::map<double, std::vector<double>> blocks;
+  for (const auto& [x, y] : xy_per_seed) blocks[x].push_back(y);
+  std::vector<double> xs;
+  std::vector<std::vector<double>> ys;
+  xs.reserve(blocks.size());
+  ys.reserve(blocks.size());
+  for (auto& [x, block] : blocks) {
+    xs.push_back(x);
+    ys.push_back(std::move(block));
+  }
+  return bootstrap_power_law_blocks(xs, ys, resamples, seed, confidence);
+}
+
+}  // namespace csd::obs

@@ -1,0 +1,70 @@
+// Error-barred power-law fits for the lower-bound measurement sweeps.
+//
+// A scaled sweep produces, at each abscissa x (a graph size n, a universe
+// size, a bandwidth), a block of per-seed measurements y — one row per seed
+// of a simulate_across_cut_batch / evaluate_one_round_batch call. The point
+// estimate is the least-squares power-law fit (obs/trace_analysis.hpp)
+// through the per-block means; the error bars come from a block bootstrap:
+// resample each block's seeds with replacement, refit, and take percentile
+// quantiles of the resampled exponents. Blocks are resampled independently,
+// which matches how the data was generated (seeds are independent within a
+// size, sizes share nothing).
+//
+// Everything is deterministic: the resampling RNG derives from the caller's
+// seed, and quantiles use nearest-rank on the sorted resample list — the
+// same inputs give bit-identical intervals on every run, so tools/lb_gate.py
+// can gate on them exactly.
+//
+// Fits consume the *raw* (unclamped) estimator values where they exist
+// (OneRoundStats::info_messages_raw): clamping before fitting would bias
+// the very curves these intervals are meant to qualify. Non-positive values
+// cannot enter a log-log fit, so each resample drops them point-wise and
+// the report counts how often that happened (dropped_points) instead of
+// hiding it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "obs/trace_analysis.hpp"
+
+namespace csd::obs {
+
+struct BootstrapFit {
+  /// Point estimate: fit through the per-block means of the full data.
+  PowerLawFit fit;
+  /// Percentile bootstrap CI for the exponent.
+  double exponent_lo = 0.0;
+  double exponent_hi = 0.0;
+  double confidence = 0.95;
+  std::uint32_t resamples = 0;
+  /// Resamples whose refit failed (fewer than two positive-mean blocks
+  /// survived); their exponents are excluded from the quantiles.
+  std::uint32_t degenerate_resamples = 0;
+  /// (block, resample) pairs whose resampled mean was non-positive and was
+  /// therefore dropped from that resample's log-log fit. 0 for well-behaved
+  /// measurements; nonzero flags estimator bias worth looking at.
+  std::uint64_t dropped_points = 0;
+};
+
+/// Block bootstrap over per-abscissa seed blocks. `xs[i]` is the abscissa of
+/// block i and `ys_per_x[i]` its per-seed measurements (at least one value
+/// per block; blocks need not be equal-sized). Returns nullopt when the
+/// point fit itself is impossible (fewer than two distinct abscissae with
+/// positive mean). Deterministic in (inputs, resamples, seed).
+std::optional<BootstrapFit> bootstrap_power_law_blocks(
+    const std::vector<double>& xs,
+    const std::vector<std::vector<double>>& ys_per_x,
+    std::uint32_t resamples, std::uint64_t seed, double confidence = 0.95);
+
+/// Convenience overload for flat per-seed points: rows with bit-equal x
+/// form one block (the sweep emitted them at the same size). Blocks are
+/// ordered by ascending x regardless of row order; within a block, rows
+/// keep their input order (which is part of the deterministic input — the
+/// sweeps emit rows in seed order).
+std::optional<BootstrapFit> bootstrap_power_law(
+    const std::vector<std::pair<double, double>>& xy_per_seed,
+    std::uint32_t resamples, std::uint64_t seed, double confidence = 0.95);
+
+}  // namespace csd::obs

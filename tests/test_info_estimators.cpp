@@ -1,0 +1,232 @@
+// Tests for the flat-table entropy estimators behind the batched §5
+// measurement path: the information-theoretic identities the plug-in
+// estimators must satisfy exactly (chain rule), the determinism contract of
+// the flat open-addressing backing (insertion order, reserve hints, and
+// capacity history must never change a result bit), the overflow and
+// zero-weight guards near 2^64, and the raw-vs-clamped accessor contract
+// the bootstrap fits rely on.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "info/entropy.hpp"
+#include "info/flat_counts.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace csd::info {
+namespace {
+
+constexpr std::uint64_t kU64Max = std::numeric_limits<std::uint64_t>::max();
+
+/// A deterministic, moderately skewed sample set: (x, y, weight) triples
+/// with correlated coordinates so no entropy is degenerate.
+std::vector<std::array<std::uint64_t, 3>> correlated_samples(
+    std::uint64_t seed, std::size_t count) {
+  Rng rng(seed);
+  std::vector<std::array<std::uint64_t, 3>> samples;
+  samples.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t x = rng.below(13);
+    const std::uint64_t y = (x * 7 + rng.below(5)) % 17;
+    samples.push_back({x, y, 1 + rng.below(9)});
+  }
+  return samples;
+}
+
+// ------------------------------------------------------------ chain rule --
+TEST(InfoEstimators, ChainRuleJointEqualsMarginalPlusConditional) {
+  JointDistribution joint;
+  for (const auto& [x, y, w] : correlated_samples(41, 4000)) joint.add(x, y, w);
+  // H(X,Y) = H(Y) + H(X|Y). The raw conditional entropy is defined as the
+  // difference H(X,Y) - H(Y), so the identity holds to rounding only when
+  // re-associated — NEAR, not EQ.
+  EXPECT_NEAR(joint.entropy_joint(),
+              joint.entropy_y() + joint.conditional_entropy_x_given_y_raw(),
+              1e-12);
+  EXPECT_NEAR(joint.mutual_information_raw(),
+              joint.entropy_x() - joint.conditional_entropy_x_given_y_raw(),
+              1e-12);
+}
+
+// ------------------------------------------- determinism of the flat fold --
+TEST(InfoEstimators, InsertionOrderAndReserveHintsNeverChangeABit) {
+  const auto samples = correlated_samples(42, 3000);
+
+  JointDistribution forward;
+  for (const auto& [x, y, w] : samples) forward.add(x, y, w);
+
+  JointDistribution reversed;
+  for (auto it = samples.rbegin(); it != samples.rend(); ++it)
+    reversed.add((*it)[0], (*it)[1], (*it)[2]);
+
+  JointDistribution hinted;
+  hinted.reserve(4096, 4096);  // vastly oversized: different capacity history
+  for (const auto& [x, y, w] : samples) hinted.add(x, y, w);
+
+  for (const JointDistribution* other : {&reversed, &hinted}) {
+    EXPECT_EQ(forward.total(), other->total());
+    // Bit-for-bit: the fold runs in canonical sorted_items() order, so the
+    // doubles must be identical, not merely close.
+    EXPECT_EQ(forward.entropy_x(), other->entropy_x());
+    EXPECT_EQ(forward.entropy_y(), other->entropy_y());
+    EXPECT_EQ(forward.entropy_joint(), other->entropy_joint());
+    EXPECT_EQ(forward.mutual_information_raw(),
+              other->mutual_information_raw());
+    EXPECT_EQ(forward.conditional_entropy_x_given_y_raw(),
+              other->conditional_entropy_x_given_y_raw());
+  }
+}
+
+TEST(InfoEstimators, FlatFoldMatchesOrderedMapReferenceBitForBit) {
+  const auto samples = correlated_samples(43, 2500);
+  FlatCounts flat;
+  std::map<std::uint64_t, std::uint64_t> reference;
+  std::uint64_t total = 0;
+  for (const auto& [x, y, w] : samples) {
+    const std::uint64_t key = x * 1000 + y;
+    flat.add(key, w);
+    reference[key] += w;
+    total += w;
+  }
+  ASSERT_EQ(flat.total(), total);
+  ASSERT_EQ(flat.distinct(), reference.size());
+
+  // Replicate the entropy fold over the std::map (already in ascending key
+  // order) and require bit-identity with the sorted_items() fold.
+  double expected = 0.0;
+  for (const auto& [key, count] : reference) {
+    const double p = static_cast<double>(count) / static_cast<double>(total);
+    expected -= p * std::log2(p);
+  }
+  double actual = 0.0;
+  for (const auto& item : flat.sorted_items()) {
+    EXPECT_EQ(item.count, reference.at(item.key));
+    const double p =
+        static_cast<double>(item.count) / static_cast<double>(total);
+    actual -= p * std::log2(p);
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(InfoEstimators, ConditionalMiIsSliceOrderInvariant) {
+  const auto samples = correlated_samples(44, 3000);
+  ConditionalMutualInformation forward;
+  ConditionalMutualInformation reversed;
+  ConditionalMutualInformation hinted;
+  hinted.reserve(64, 512);
+  for (const auto& [x, y, w] : samples) forward.add(y % 3, x, y, w);
+  for (auto it = samples.rbegin(); it != samples.rend(); ++it)
+    reversed.add((*it)[1] % 3, (*it)[0], (*it)[1], (*it)[2]);
+  for (const auto& [x, y, w] : samples) hinted.add(y % 3, x, y, w);
+
+  EXPECT_EQ(forward.value(), reversed.value());
+  EXPECT_EQ(forward.value(), hinted.value());
+  EXPECT_EQ(forward.value_raw(), reversed.value_raw());
+  EXPECT_EQ(forward.value_raw(), hinted.value_raw());
+  EXPECT_EQ(forward.total(), reversed.total());
+}
+
+// ----------------------------------------------------- raw vs clamped ----
+TEST(InfoEstimators, ClampedAccessorsAreExactlyMaxOfZeroAndRaw) {
+  // Sparse high-cardinality sample: the plug-in MI of an independent pair
+  // goes *negative*-biased only via float noise, so also build a case where
+  // raw is genuinely tiny and check the clamp algebraically either way.
+  Rng rng(45);
+  JointDistribution joint;
+  for (int i = 0; i < 512; ++i) joint.add(rng.below(2), rng.below(2));
+  EXPECT_EQ(joint.mutual_information(),
+            std::max(0.0, joint.mutual_information_raw()));
+  EXPECT_EQ(joint.conditional_entropy_x_given_y(),
+            std::max(0.0, joint.conditional_entropy_x_given_y_raw()));
+
+  ConditionalMutualInformation cmi;
+  for (int i = 0; i < 512; ++i) cmi.add(rng.below(3), rng.below(2), rng.below(2));
+  // Clamping per slice can only increase the weighted average.
+  EXPECT_GE(cmi.value(), cmi.value_raw());
+}
+
+// ------------------------------------------------------- weight guards ---
+TEST(InfoEstimators, WeightOverflowNear2To64Throws) {
+  FlatCounts counts;
+  counts.add(7, kU64Max - 10);
+  EXPECT_EQ(counts.total(), kU64Max - 10);
+  EXPECT_THROW(counts.add(8, 11), CheckFailure);
+  // The failed add must not have corrupted the table.
+  EXPECT_EQ(counts.total(), kU64Max - 10);
+  EXPECT_EQ(counts.count(7), kU64Max - 10);
+  counts.add(8, 10);  // exactly reaching 2^64 - 1 is fine
+  EXPECT_EQ(counts.total(), kU64Max);
+
+  FlatPairCounts pairs;
+  pairs.add(1, 2, kU64Max - 3);
+  EXPECT_THROW(pairs.add(1, 2, 4), CheckFailure);
+  EXPECT_EQ(pairs.count(1, 2), kU64Max - 3);
+
+  JointDistribution joint;
+  joint.add(0, 0, kU64Max - 1);
+  EXPECT_THROW(joint.add(0, 1, 2), CheckFailure);
+}
+
+TEST(InfoEstimators, ZeroWeightSamplesAreRejected) {
+  FlatCounts counts;
+  EXPECT_THROW(counts.add(3, 0), CheckFailure);
+  FlatPairCounts pairs;
+  EXPECT_THROW(pairs.add(3, 4, 0), CheckFailure);
+  JointDistribution joint;
+  EXPECT_THROW(joint.add(1, 1, 0), CheckFailure);
+  ConditionalMutualInformation cmi;
+  EXPECT_THROW(cmi.add(0, 1, 1, 0), CheckFailure);
+}
+
+// ------------------------------------------------------ table mechanics --
+TEST(InfoEstimators, FlatCountsSurvivesRehashAndAdversarialKeys) {
+  // Keys chosen to collide in small tables (multiples of the capacity) plus
+  // boundary keys; grow far past several rehashes and verify every count.
+  FlatCounts counts;
+  std::map<std::uint64_t, std::uint64_t> reference;
+  Rng rng(46);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t key =
+        i % 3 == 0 ? static_cast<std::uint64_t>(i) * 16
+        : i % 3 == 1 ? kU64Max - rng.below(32)
+                     : rng();
+    const std::uint64_t w = 1 + rng.below(4);
+    counts.add(key, w);
+    reference[key] += w;
+  }
+  ASSERT_EQ(counts.distinct(), reference.size());
+  for (const auto& [key, count] : reference)
+    EXPECT_EQ(counts.count(key), count);
+  EXPECT_EQ(counts.count(123456789), reference.count(123456789) ? 1u : 0u);
+
+  const auto items = counts.sorted_items();
+  ASSERT_EQ(items.size(), reference.size());
+  auto it = reference.begin();
+  for (const auto& item : items) {
+    EXPECT_EQ(item.key, it->first);
+    EXPECT_EQ(item.count, it->second);
+    ++it;
+  }
+}
+
+TEST(InfoEstimators, FlatIndexAssignsDensePositionsInFirstSightOrder) {
+  FlatIndex index;
+  EXPECT_EQ(index.find(99), FlatIndex::npos);
+  EXPECT_EQ(index.find_or_insert(10), 0u);
+  EXPECT_EQ(index.find_or_insert(20), 1u);
+  EXPECT_EQ(index.find_or_insert(10), 0u);  // stable on re-sight
+  for (std::uint64_t k = 0; k < 300; ++k) index.find_or_insert(1000 + k);
+  EXPECT_EQ(index.size(), 302u);
+  EXPECT_EQ(index.find(20), 1u);
+  EXPECT_EQ(index.find(1299), 301u);
+  EXPECT_EQ(index.find(99), FlatIndex::npos);
+}
+
+}  // namespace
+}  // namespace csd::info

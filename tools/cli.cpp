@@ -25,6 +25,7 @@
 #include "lowerbound/hk.hpp"
 #include "obs/bench_report.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/lb_fit.hpp"
 #include "obs/round_trace.hpp"
 #include "obs/trace_analysis.hpp"
 #include "detect/triangle.hpp"
@@ -98,6 +99,7 @@ commands:
       header stamped with (program, n, len, instance, seed) for demuxing
   analyze <trace.jsonl> [--top K] [--cut BOUNDARY] [--chrome FILE]
           [--expect-exponent E] [--tol T] [--group G]
+          [--bootstrap R] [--seed S]
       trace-analysis toolchain over a (possibly multi-instance) JSONL
       trace: per-instance phase tables with bit shares, transport counters,
       top-K hottest directed edges (--top, per-edge traces), bits crossing
@@ -105,7 +107,11 @@ commands:
       per-repetition rounds against meta n for every fit group. --chrome
       exports a Chrome trace-event file (chrome://tracing, Perfetto).
       --expect-exponent fails (exit 1) when a fitted exponent exceeds
-      E + T (default tolerance 0.15; --group restricts the check)
+      E + T (default tolerance 0.15; --group restricts the check).
+      --bootstrap resamples each size's points R times (block bootstrap,
+      deterministic in --seed) and prints a 95% CI for every fitted
+      exponent; with --expect-exponent the CI's lower edge must also not
+      exceed the bound
   list-cliques <s> <file>
       congested-clique K_s listing; prints count and round cost
   fool <namespace-N> <budget-c>
@@ -1087,6 +1093,9 @@ int cmd_analyze(const Invocation& inv, std::ostream& out) {
   // Rounds-vs-n growth fit, checked against the paper's predicted exponent.
   const auto expect = inv.flag("expect-exponent");
   const double tol = to_double(inv.flag("tol").value_or("0.15"), "tol");
+  const auto bootstrap =
+      to_u64(inv.flag("bootstrap").value_or("0"), "bootstrap");
+  const auto boot_seed = to_u64(inv.flag("seed").value_or("1"), "seed");
   bool fit_failed = false, expectation_checked = false;
   const auto groups = obs::rounds_vs_n_points(instances);
   for (const auto& [group, points] : groups) {
@@ -1099,6 +1108,19 @@ int cmd_analyze(const Invocation& inv, std::ostream& out) {
     out << "\nfit [" << group << "]: rounds/rep ~ "
         << std::exp(fit->log_coeff) << " * n^" << fit->exponent << " over "
         << fit->points << " point(s)\n";
+    std::optional<obs::BootstrapFit> ci;
+    if (bootstrap > 0) {
+      ci = obs::bootstrap_power_law(points,
+                                    static_cast<std::uint32_t>(bootstrap),
+                                    boot_seed);
+      if (ci.has_value()) {
+        out << "  bootstrap: exponent 95% CI [" << ci->exponent_lo << ", "
+            << ci->exponent_hi << "] over " << bootstrap << " resample(s)";
+        if (ci->degenerate_resamples > 0)
+          out << ", " << ci->degenerate_resamples << " degenerate";
+        out << '\n';
+      }
+    }
     if (!expect.has_value()) continue;
     if (group_filter.has_value() && group != *group_filter) continue;
     expectation_checked = true;
@@ -1106,6 +1128,13 @@ int cmd_analyze(const Invocation& inv, std::ostream& out) {
     if (fit->exponent > bound) {
       out << "FAIL [" << group << "]: fitted exponent " << fit->exponent
           << " exceeds " << *expect << " + " << tol << '\n';
+      fit_failed = true;
+    } else if (ci.has_value() && ci->exponent_lo > bound) {
+      // The whole confidence interval sits above the bound: the point
+      // estimate scraping by is then sampling luck, not compliance.
+      out << "FAIL [" << group << "]: bootstrap CI lower edge "
+          << ci->exponent_lo << " exceeds " << *expect << " + " << tol
+          << '\n';
       fit_failed = true;
     } else {
       out << "OK [" << group << "]: fitted exponent " << fit->exponent

@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""Gate the scaled lower-bound sweeps' fitted exponents.
+
+Usage:
+    tools/lb_gate.py --current out-scale \
+        [--baseline bench/baselines/LB_GATE.json] [options]
+
+The --scale mode of the lower-bound benches (bench_thm12_superlinear,
+bench_thm51_oneround) emits an "lb_fit" table: one row per fitted curve,
+mirrored into the csd-bench-v1 report as measurements named "lb_fit/rowN"
+with keys {group, exponent, lo95, hi95, theory, tol, points, seeds}.
+This tool applies two independent gates to every such row found in the
+--current directory's BENCH_*.json reports:
+
+  1. Theory gate (absolute, baseline-free): the fitted exponent AND both
+     bootstrap CI edges must lie inside [theory - tol, theory + tol],
+     where theory and tol were chosen by the bench (k·n^{1/k} structural
+     cuts fit 1/k; the one-round Bloom collapse threshold fits the Ω(Δ)
+     exponent 1). A sweep whose entire confidence interval cannot reach
+     the theory band is wrong no matter what yesterday's numbers were.
+
+  2. Baseline gate (drift): the rows must match the committed baseline
+     file (bench_compare.py conventions: exact ints/strings, REL_TOL for
+     floats). The sweeps are deterministic — seeds are pinned and the
+     bootstrap is seeded — so any drift means the measurement pipeline
+     changed and the baseline must be refreshed deliberately via
+     --update-baseline.
+
+Reports without lb_fit rows are ignored (bench_thm41_fooling's sampled
+collision sweep is descriptive, not exponent-gated).
+
+Baseline file schema (csd-lb-gate-v1):
+
+    {
+      "schema": "csd-lb-gate-v1",
+      "fits": {"<report file>": {"<group>": {row values}}}
+    }
+
+Exit status: 0 = clean, 1 = gate failure or drift, 2 = usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+BENCH_SCHEMA = "csd-bench-v1"
+GATE_SCHEMA = "csd-lb-gate-v1"
+REL_TOL = 1e-9
+ROW_KEYS = ("group", "exponent", "lo95", "hi95", "theory", "tol", "points",
+            "seeds")
+
+
+def load_fits(directory: Path) -> dict[str, dict[str, dict]]:
+    """Map report file -> group -> lb_fit row values."""
+    fits: dict[str, dict[str, dict]] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            sys.exit(2)
+        if doc.get("schema") != BENCH_SCHEMA:
+            print(f"error: {path} schema {doc.get('schema')!r} != "
+                  f"{BENCH_SCHEMA!r}", file=sys.stderr)
+            sys.exit(2)
+        rows = {}
+        for m in doc.get("measurements", []):
+            name = m.get("name", "")
+            if not name.startswith("lb_fit/"):
+                continue
+            values = m.get("values", {})
+            missing = [k for k in ROW_KEYS if k not in values]
+            if missing:
+                print(f"error: {path} measurement {name} lacks keys "
+                      f"{missing}", file=sys.stderr)
+                sys.exit(2)
+            group = values["group"]
+            if group in rows:
+                print(f"error: {path} emits group {group!r} twice",
+                      file=sys.stderr)
+                sys.exit(2)
+            rows[group] = values
+        if rows:
+            fits[path.name] = rows
+    return fits
+
+
+def close(a: float, b: float) -> bool:
+    return math.isclose(float(a), float(b), rel_tol=REL_TOL, abs_tol=REL_TOL)
+
+
+def theory_gate(fits: dict[str, dict[str, dict]], errors: list[str],
+                checked: list[dict]) -> None:
+    for report in sorted(fits):
+        for group, row in sorted(fits[report].items()):
+            theory, tol = float(row["theory"]), float(row["tol"])
+            lo_band, hi_band = theory - tol, theory + tol
+            record = {"report": report, "group": group,
+                      "exponent": row["exponent"], "lo95": row["lo95"],
+                      "hi95": row["hi95"], "theory": theory, "tol": tol}
+            checked.append(record)
+            for key in ("exponent", "lo95", "hi95"):
+                value = float(row[key])
+                if not (lo_band <= value <= hi_band):
+                    errors.append(
+                        f"{report} [{group}]: {key} = {value:.4f} outside "
+                        f"theory band [{lo_band:.4f}, {hi_band:.4f}] "
+                        f"(theory {theory:.4f} ± {tol:.4f})")
+                    record["failed"] = key
+
+
+def baseline_gate(baseline: dict, fits: dict[str, dict[str, dict]],
+                  errors: list[str]) -> None:
+    base_fits = baseline.get("fits", {})
+    for report in base_fits:
+        if report not in fits:
+            errors.append(f"{report}: baseline exists but no current report "
+                          f"with lb_fit rows (bench not run with --scale?)")
+    for report in fits:
+        if report not in base_fits:
+            errors.append(f"{report}: lb_fit rows have no baseline "
+                          f"(refresh with --update-baseline)")
+    for report in sorted(set(base_fits) & set(fits)):
+        base_rows, cur_rows = base_fits[report], fits[report]
+        for group in base_rows:
+            if group not in cur_rows:
+                errors.append(f"{report} [{group}]: missing in current run")
+        for group in cur_rows:
+            if group not in base_rows:
+                errors.append(f"{report} [{group}]: not in baseline "
+                              f"(refresh with --update-baseline)")
+        for group in sorted(set(base_rows) & set(cur_rows)):
+            base_row, cur_row = base_rows[group], cur_rows[group]
+            for key in ROW_KEYS:
+                b, c = base_row.get(key), cur_row.get(key)
+                if isinstance(b, float) or isinstance(c, float):
+                    if not close(b, c):
+                        errors.append(f"{report} [{group}].{key}: "
+                                      f"{b!r} -> {c!r}")
+                elif b != c:
+                    errors.append(f"{report} [{group}].{key}: {b!r} -> {c!r}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate scaled lower-bound exponent fits against theory "
+                    "and a committed baseline.")
+    parser.add_argument("--current", required=True, type=Path,
+                        help="directory of BENCH_*.json from a --scale run")
+    parser.add_argument("--baseline", type=Path,
+                        default=Path("bench/baselines/LB_GATE.json"),
+                        help="committed csd-lb-gate-v1 baseline file")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="theory gate only (e.g. first run on a branch "
+                             "that adds a new fit group)")
+    parser.add_argument("--json-out", type=Path, default=None,
+                        help="write a machine-readable summary to this file")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from the current run "
+                             "(after the theory gate passes)")
+    args = parser.parse_args()
+
+    if not args.current.is_dir():
+        print(f"error: {args.current} is not a directory", file=sys.stderr)
+        return 2
+    fits = load_fits(args.current)
+    if not fits:
+        print(f"error: no lb_fit rows in any BENCH_*.json under "
+              f"{args.current} (were the benches run with --scale?)",
+              file=sys.stderr)
+        return 2
+
+    errors: list[str] = []
+    checked: list[dict] = []
+    theory_gate(fits, errors, checked)
+
+    if args.update_baseline:
+        if errors:
+            print(f"FAIL: refusing to update baseline with "
+                  f"{len(errors)} theory-gate failure(s):")
+            for err in errors:
+                print(f"  {err}")
+            return 1
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(
+            json.dumps({"schema": GATE_SCHEMA, "fits": fits}, indent=2,
+                       sort_keys=True) + "\n")
+        print(f"updated: {args.baseline} "
+              f"({sum(len(r) for r in fits.values())} fit group(s))")
+        return 0
+
+    if not args.no_baseline:
+        if not args.baseline.is_file():
+            print(f"error: baseline {args.baseline} missing (create with "
+                  f"--update-baseline or pass --no-baseline)",
+                  file=sys.stderr)
+            return 2
+        try:
+            baseline = json.loads(args.baseline.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if baseline.get("schema") != GATE_SCHEMA:
+            print(f"error: {args.baseline} schema "
+                  f"{baseline.get('schema')!r} != {GATE_SCHEMA!r}",
+                  file=sys.stderr)
+            return 2
+        baseline_gate(baseline, fits, errors)
+
+    summary = {
+        "schema": "csd-lb-gate-compare-v1",
+        "ok": not errors,
+        "fit_groups": sum(len(r) for r in fits.values()),
+        "checked": checked,
+        "failures": errors,
+    }
+    if args.json_out is not None:
+        args.json_out.parent.mkdir(parents=True, exist_ok=True)
+        args.json_out.write_text(json.dumps(summary, indent=2) + "\n")
+
+    for record in checked:
+        status = "FAIL" if "failed" in record else "ok"
+        print(f"{status}: {record['report']} [{record['group']}] exponent "
+              f"{float(record['exponent']):.4f} CI "
+              f"[{float(record['lo95']):.4f}, {float(record['hi95']):.4f}] "
+              f"vs theory {record['theory']:.4f} ± {record['tol']:.4f}")
+    if errors:
+        print(f"FAIL: {len(errors)} gate failure(s):")
+        for err in errors:
+            print(f"  {err}")
+        print("\nIf a fit legitimately moved (new sizes, new seeds, "
+              "estimator change), refresh the baseline:\n"
+              f"  tools/lb_gate.py --current {args.current} "
+              f"--baseline {args.baseline} --update-baseline")
+        return 1
+    print(f"OK: {summary['fit_groups']} fit group(s) inside the theory band"
+          + ("" if args.no_baseline else " and matching the baseline"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
