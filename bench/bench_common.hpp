@@ -22,6 +22,14 @@
 //                 ctx.trace_options()) concatenate one stamped JSONL trace
 //                 per instance into FILE for `csd analyze` /
 //                 tools/trace_report.py; benches without live runs ignore it
+//   --metrics-out FILE / --metrics-period MS / --blackbox FILE
+//                 same csd-metrics-v2 plane as the csd CLI: benches that run
+//                 live engines pass ctx.telemetry() into their configs; the
+//                 sampler appends JSONL to FILE while the bench runs, and
+//                 ctx.finish() stops it and writes the flight-recorder dump.
+//                 Neither flag present -> ctx.telemetry() is nullptr and the
+//                 measured workload is byte-for-byte the uninstrumented one
+//                 (the bench-smoke overhead gate in CI holds this to <= 3%)
 //
 // Determinism contract: everything a ReportedTable records is a pure
 // function of the workload (cells carry the raw numeric values, not the
@@ -32,12 +40,14 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "obs/bench_report.hpp"
+#include "obs/metrics_v2.hpp"
 #include "obs/round_trace.hpp"
 #include "support/check.hpp"
 #include "support/table.hpp"
@@ -59,13 +69,35 @@ class BenchContext {
       } else if (arg == "--trace") {
         CSD_CHECK_MSG(i + 1 < argc, "--trace needs a file");
         trace_path_ = argv[++i];
+      } else if (arg == "--metrics-out") {
+        CSD_CHECK_MSG(i + 1 < argc, "--metrics-out needs a file");
+        metrics_path_ = argv[++i];
+      } else if (arg == "--metrics-period") {
+        CSD_CHECK_MSG(i + 1 < argc, "--metrics-period needs milliseconds");
+        metrics_period_ms_ = std::stoull(argv[++i]);
+        CSD_CHECK_MSG(metrics_period_ms_ >= 1,
+                      "--metrics-period wants milliseconds >= 1");
+      } else if (arg == "--blackbox") {
+        CSD_CHECK_MSG(i + 1 < argc, "--blackbox needs a file");
+        blackbox_path_ = argv[++i];
       }
     }
     report_.set_smoke(smoke_);
+    if (!metrics_path_.empty() || !blackbox_path_.empty()) {
+      telemetry_ = std::make_unique<obs::Telemetry>();
+      if (!metrics_path_.empty())
+        telemetry_->start_sampler(metrics_path_, metrics_period_ms_);
+    }
   }
 
   bool smoke() const noexcept { return smoke_; }
   obs::BenchReport& report() noexcept { return report_; }
+
+  /// The optional csd-metrics-v2 plane: nullptr unless --metrics-out or
+  /// --blackbox was given, so the default bench run pays nothing. Benches
+  /// with live engine runs forward this into their NetworkConfig /
+  /// detector configs; pure-math benches can ignore it.
+  obs::Telemetry* telemetry() const noexcept { return telemetry_.get(); }
 
   bool tracing() const noexcept { return !trace_path_.empty(); }
 
@@ -104,6 +136,16 @@ class BenchContext {
   /// writes BENCH_<name>.json when --json was given.
   int finish(std::ostream& os) {
     report_.set_wall_clock_ms(timer_.elapsed_ms());
+    if (telemetry_ != nullptr) {
+      telemetry_->stop_sampler();
+      if (!metrics_path_.empty())
+        os << "[metrics] wrote " << metrics_path_ << '\n';
+      // A bench exits cleanly by construction; the dump is still written
+      // (reason bench-exit) so the overhead gate exercises the full path.
+      if (!blackbox_path_.empty() &&
+          telemetry_->dump_blackbox(blackbox_path_, "bench-exit"))
+        os << "[blackbox] wrote " << blackbox_path_ << '\n';
+    }
     if (!json_dir_.empty()) {
       const std::string path = report_.write_into(json_dir_);
       os << "\n[json] wrote " << path << '\n';
@@ -119,6 +161,10 @@ class BenchContext {
   std::string json_dir_;
   std::string trace_path_;
   std::ofstream trace_os_;
+  std::string metrics_path_;
+  std::string blackbox_path_;
+  std::uint64_t metrics_period_ms_ = 250;
+  std::unique_ptr<obs::Telemetry> telemetry_;
 };
 
 /// A Table whose rows are mirrored into the context's BenchReport: row i of

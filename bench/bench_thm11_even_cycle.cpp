@@ -170,6 +170,7 @@ int main(int argc, char** argv) {
       cfg.amplify = amplify;
       cfg.shard = shard;
       cfg.trace = ctx.trace_options();
+      cfg.telemetry = ctx.telemetry();
       auto outcome = detect::detect_even_cycle(g, cfg, 64, 11);
       quality.row()
           .cell(n)
@@ -194,6 +195,7 @@ int main(int argc, char** argv) {
     cfg.amplify = amplify;
     cfg.shard = shard;
     cfg.trace = ctx.trace_options();
+    cfg.telemetry = ctx.telemetry();
     auto outcome = detect::detect_even_cycle(er, cfg, 64, 13);
     quality.row()
         .cell(std::uint64_t{er.num_vertices()})
@@ -214,6 +216,7 @@ int main(int argc, char** argv) {
     cfg.amplify = amplify;
     cfg.shard = shard;
     cfg.trace = ctx.trace_options();
+    cfg.telemetry = ctx.telemetry();
     auto outcome = detect::detect_even_cycle(gq, cfg, 64, 17);
     quality.row()
         .cell(std::uint64_t{gq.num_vertices()})
@@ -252,6 +255,7 @@ int main(int argc, char** argv) {
     cfg.amplify = amplify;
     cfg.shard = shard;
     cfg.trace = ctx.trace_options();
+    cfg.telemetry = ctx.telemetry();
     cfg.trace.timers = true;  // honored even when the trace itself is off
     const auto start = std::chrono::steady_clock::now();
     auto outcome = detect::detect_even_cycle(g, cfg, 64, 19);

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "congest/node_state.hpp"
+#include "obs/metrics_v2.hpp"
 #include "support/check.hpp"
 
 namespace csd::congest {
@@ -148,6 +149,22 @@ class AsyncEngine {
                                 LinkReceiver(config.transport_cfg));
       }
     }
+
+    // csd-metrics-v2 instrumentation: handles registered once, write-only
+    // afterwards. nullptr telemetry leaves every site a predicted branch.
+    telemetry_ = config_.telemetry;
+    if (telemetry_ != nullptr) {
+      m_pulses_ = telemetry_->counter("async_pulses");
+      m_frames_ = telemetry_->counter("async_frames");
+      m_retransmits_ = telemetry_->counter("async_retransmissions");
+      m_crc_rejects_ = telemetry_->counter("async_checksum_rejects");
+      m_drops_ = telemetry_->counter("async_frames_dropped");
+      m_corrupts_ = telemetry_->counter("async_frames_corrupted");
+      m_crashes_ = telemetry_->counter("async_node_crashes");
+      m_recoveries_ = telemetry_->counter("async_node_recoveries");
+      m_queue_depth_ = telemetry_->gauge("async_event_queue");
+      m_payload_hist_ = telemetry_->histogram("async_frame_payload_bits");
+    }
   }
 
   AsyncRunOutcome run() {
@@ -193,6 +210,9 @@ class AsyncEngine {
         // No delivery or recovery for stall_window RTOs of virtual time:
         // cut the run instead of grinding through a dead event queue.
         outcome_.faults.watchdog_stalls = 1;
+        if (telemetry_ != nullptr)
+          telemetry_->record(obs::EventKind::WatchdogStall, 0, event.time,
+                             event.time - last_progress_vt_);
         break;
       }
       events_.pop();
@@ -331,10 +351,20 @@ class AsyncEngine {
         src, port, static_cast<std::size_t>(header_bits + payload_bits));
     if (fate.dropped) {
       ++outcome_.faults.frames_dropped;
+      if (telemetry_ != nullptr) {
+        m_drops_.add();
+        telemetry_->record(obs::EventKind::FrameDropped, src,
+                           packet.frame.pulse);
+      }
       return false;
     }
     if (fate.corrupted) {
       ++outcome_.faults.frames_corrupted;
+      if (telemetry_ != nullptr) {
+        m_corrupts_.add();
+        telemetry_->record(obs::EventKind::FrameCorrupted, src,
+                           packet.frame.pulse);
+      }
       const std::uint64_t bit = fate.corrupt_bit;
       if (bit < header_bits) {
         if (bit < Frame::kPulseWireBits)
@@ -393,6 +423,10 @@ class AsyncEngine {
       const auto fate = injector_->next_fate(dst, dst_port, 0);
       if (fate.dropped) {
         ++outcome_.faults.frames_dropped;
+        if (telemetry_ != nullptr) {
+          m_drops_.add();
+          telemetry_->record(obs::EventKind::FrameDropped, dst, now);
+        }
         return;
       }
     }
@@ -421,6 +455,11 @@ class AsyncEngine {
       auto accept = receivers_[event.dst][event.dst_port].on_data(event.packet);
       if (accept.checksum_reject) {
         ++outcome_.faults.checksum_rejects;
+        if (telemetry_ != nullptr) {
+          m_crc_rejects_.add();
+          telemetry_->record(obs::EventKind::ChecksumReject, event.dst,
+                             event.time);
+        }
         return;
       }
       if (accept.send_ack)
@@ -471,6 +510,11 @@ class AsyncEngine {
       case LinkSender::TimeoutAction::Retransmit: {
         DataPacket packet = sender.retransmit_packet(event.link_seq);
         ++outcome_.faults.retransmissions;
+        if (telemetry_ != nullptr) {
+          m_retransmits_.add();
+          telemetry_->record(obs::EventKind::Retransmit, event.src, event.time,
+                             event.link_seq);
+        }
         outcome_.transport_bits += packet.frame.overhead_bits() +
                                    config_.transport_cfg.seq_bits +
                                    packet.frame.payload_bits() +
@@ -511,6 +555,10 @@ class AsyncEngine {
     sync.crashed = true;
     nodes_[v]->discard_outbox();
     outcome_.faults.crashed_nodes.push_back(v);
+    if (telemetry_ != nullptr) {
+      m_crashes_.add();
+      telemetry_->record(obs::EventKind::NodeCrash, v, sync.pulse);
+    }
     ++stopped_count_;
     if (recoverable && config_.recovery.enabled &&
         sync.recoveries_used < config_.recovery.max_recoveries) {
@@ -589,10 +637,13 @@ class AsyncEngine {
       invoke_program();
     }
     if (program_fault) {
+      if (telemetry_ != nullptr)
+        telemetry_->record(obs::EventKind::Violation, v, sync.pulse);
       crash_node(v, /*recoverable=*/false);
       return;
     }
     outcome_.pulses = std::max(outcome_.pulses, sync.pulse + 1);
+    if (telemetry_ != nullptr) m_pulses_.add();
 
     // Emit this pulse's frames (exactly one per port), with jittered FIFO
     // delivery times; under the reliable transport each frame becomes a
@@ -615,6 +666,11 @@ class AsyncEngine {
       outcome_.payload_bits += frame.payload_bits();
       outcome_.overhead_bits += frame.overhead_bits();
       ++outcome_.frames;
+      if (telemetry_ != nullptr) {
+        m_frames_.add();
+        m_payload_hist_.observe(frame.payload_bits());
+        m_queue_depth_.set(events_.size());
+      }
       if (reliable_) {
         DataPacket packet = senders_[v][p].packet(std::move(frame));
         outcome_.transport_bits +=
@@ -708,6 +764,10 @@ class AsyncEngine {
     sync.running = true;
     sync.local_time = std::max(sync.local_time, event.time);
     outcome_.faults.recovered_nodes.push_back(v);
+    if (telemetry_ != nullptr) {
+      m_recoveries_.add();
+      telemetry_->record(obs::EventKind::NodeRecover, v, event.time);
+    }
     if (outcome_.trace) outcome_.trace.set_phase(sync.pulse, "recover");
     --stopped_count_;
   }
@@ -821,6 +881,8 @@ class AsyncEngine {
     s.acks = outcome_.acks;
     s.faults = outcome_.faults;
     outcome_.checkpoint = std::move(snap);
+    if (telemetry_ != nullptr)
+      telemetry_->record(obs::EventKind::CheckpointSave, 0, outcome_.pulses);
   }
 
   void restore(const Snapshot& snapshot) {
@@ -940,6 +1002,12 @@ class AsyncEngine {
   Vertex stopped_count_ = 0;  // halted or crashed
   bool pulse_cap_hit_ = false;
   bool timing_ = false;
+  // csd-metrics-v2 plane (non-owning; nullptr = every site inert).
+  obs::Telemetry* telemetry_ = nullptr;
+  obs::Counter m_pulses_, m_frames_, m_retransmits_, m_crc_rejects_, m_drops_,
+      m_corrupts_, m_crashes_, m_recoveries_;
+  obs::Gauge m_queue_depth_;
+  obs::Histogram m_payload_hist_;
   AsyncRunOutcome outcome_;
 };
 

@@ -99,6 +99,10 @@ struct AsyncConfig {
   /// event clock advances `stall_window * RTO` past the last delivery or
   /// recovery without progress. 0 = disabled.
   std::uint64_t stall_window = 0;
+  /// Optional csd-metrics-v2 plane (non-owning; must outlive the run).
+  /// Write-only and excluded from config_digest, exactly like the sync
+  /// engine's NetworkConfig::telemetry. nullptr = zero cost.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 struct AsyncRunOutcome {

@@ -8,6 +8,7 @@
 #include "congest/node_state.hpp"
 #include "congest/run_batch.hpp"
 #include "congest/shard.hpp"
+#include "obs/metrics_v2.hpp"
 #include "support/check.hpp"
 
 namespace csd::congest {
@@ -138,11 +139,36 @@ RunOutcome Network::run_impl(const ProgramFactory& factory,
   const bool faulty = !config_.faults.empty();
   std::optional<FaultInjector> injector;
   if (faulty) injector.emplace(config_.faults, seed, topology_);
+
+  // csd-metrics-v2 instrumentation: register handles once (mutex), update
+  // lock-free per round. Everything below is write-only — the engine never
+  // reads the plane back, so the run is bit-identical with or without it.
+  obs::Telemetry* const telemetry = config_.telemetry;
+  obs::Counter m_rounds, m_messages, m_bits, m_drops, m_corrupts, m_crashes;
+  obs::Gauge m_arena, m_arena_capacity;
+  obs::Histogram m_round_bits;
+  if (telemetry != nullptr) {
+    m_rounds = telemetry->counter("sync_rounds");
+    m_messages = telemetry->counter("sync_messages");
+    m_bits = telemetry->counter("sync_bits");
+    m_drops = telemetry->counter("sync_frames_dropped");
+    m_corrupts = telemetry->counter("sync_frames_corrupted");
+    m_crashes = telemetry->counter("sync_node_crashes");
+    m_arena = telemetry->gauge("sync_arena_frames");
+    m_arena_capacity = telemetry->gauge("sync_arena_capacity");
+    m_arena_capacity.set(inbox_arena.size());
+    m_round_bits = telemetry->histogram("sync_round_bits");
+  }
+
   std::vector<bool> crashed(n, false);
-  const auto crash = [&](Vertex v) {
+  const auto crash = [&](Vertex v, std::uint64_t at) {
     crashed[v] = true;
     nodes[v]->discard_outbox();
     outcome.faults.crashed_nodes.push_back(v);
+    if (telemetry != nullptr) {
+      m_crashes.add();
+      telemetry->record(obs::EventKind::NodeCrash, v, at);
+    }
   };
 
   // Inbox logging feeds checkpoint capture: every payload delivered (post-
@@ -270,6 +296,9 @@ RunOutcome Network::run_impl(const ProgramFactory& factory,
     if (config_.stall_window != 0 &&
         round >= last_progress + config_.stall_window) {
       outcome.faults.watchdog_stalls = 1;
+      if (telemetry != nullptr)
+        telemetry->record(obs::EventKind::WatchdogStall, 0, round,
+                          round - last_progress);
       break;
     }
     if (checkpoint_at != 0 && round == checkpoint_at &&
@@ -298,6 +327,8 @@ RunOutcome Network::run_impl(const ProgramFactory& factory,
       s.faults = outcome.faults;
       if (faulty) s.fault_streams = injector->save_streams();
       outcome.checkpoint = std::move(snap);
+      if (telemetry != nullptr)
+        telemetry->record(obs::EventKind::CheckpointSave, 0, round);
     }
     bool all_stopped = true;
     bool progressed = false;
@@ -307,7 +338,7 @@ RunOutcome Network::run_impl(const ProgramFactory& factory,
       if (faulty) {
         if (const auto when = injector->crash_round(v);
             when.has_value() && round >= *when) {
-          crash(v);
+          crash(v, round);
           progressed = true;
           continue;
         }
@@ -324,7 +355,9 @@ RunOutcome Network::run_impl(const ProgramFactory& factory,
         } catch (const CheckFailure& failure) {
           outcome.faults.violations.push_back(
               {ViolationKind::ProgramFault, v, round, failure.what()});
-          crash(v);
+          if (telemetry != nullptr)
+            telemetry->record(obs::EventKind::Violation, v, round);
+          crash(v, round);
           progressed = true;
         }
       } else {
@@ -340,6 +373,9 @@ RunOutcome Network::run_impl(const ProgramFactory& factory,
     // slot — no copy; the receiver's retired buffer lands in the sender's
     // outbox slot and keeps circulating between the arenas.
     const auto delivery_start = timing ? Clock::now() : Clock::time_point{};
+    const std::uint64_t messages_before = outcome.metrics.messages;
+    const std::uint64_t bits_before = outcome.metrics.total_bits;
+    std::uint64_t arena_frames = 0;
     inbox_arena.reset_presence();
     for (Vertex v = 0; v < n; ++v) {
       if (crashed[v]) continue;
@@ -366,11 +402,19 @@ RunOutcome Network::run_impl(const ProgramFactory& factory,
           const auto fate = injector->next_fate(v, p, payload.size());
           if (fate.dropped) {
             ++outcome.faults.frames_dropped;
+            if (telemetry != nullptr) {
+              m_drops.add();
+              telemetry->record(obs::EventKind::FrameDropped, v, round);
+            }
             continue;
           }
           if (fate.corrupted) {
             ++outcome.faults.frames_corrupted;
             payload.flip(fate.corrupt_bit);
+            if (telemetry != nullptr) {
+              m_corrupts.add();
+              telemetry->record(obs::EventKind::FrameCorrupted, v, round);
+            }
           }
         }
         progressed = true;
@@ -379,10 +423,19 @@ RunOutcome Network::run_impl(const ProgramFactory& factory,
           log_row(nbrs[p], round + 1)[rev_port_[base + p]] = payload;
         std::swap(inbox_arena.payload(rev_edge_[base + p]), payload);
         inbox_arena.present(rev_edge_[base + p]) = 1;
+        ++arena_frames;
       }
     }
     if (timing)
       outcome.metrics.timers.delivery_ns += elapsed_ns(delivery_start);
+    if (telemetry != nullptr) {
+      const std::uint64_t round_bits = outcome.metrics.total_bits - bits_before;
+      m_rounds.add();
+      m_messages.add(outcome.metrics.messages - messages_before);
+      m_bits.add(round_bits);
+      m_arena.set(arena_frames);
+      m_round_bits.observe(round_bits);
+    }
     if (progressed) last_progress = round + 1;
   }
 

@@ -42,6 +42,10 @@
 #include "obs/round_trace.hpp"
 #include "support/bitvec.hpp"
 
+namespace csd::obs {
+class Telemetry;  // obs/metrics_v2.hpp; config holds a non-owning pointer
+}
+
 namespace csd::congest {
 
 struct NetworkConfig {
@@ -92,6 +96,14 @@ struct NetworkConfig {
   /// the model, and is therefore excluded from config_digest() (snapshots
   /// resume across worker counts).
   ShardSpec shard;
+  /// Optional csd-metrics-v2 telemetry plane (obs/metrics_v2.hpp). Non-
+  /// owning; must outlive the run. The engine only ever writes to it
+  /// (counters, gauges, flight-recorder events), never reads it back, so
+  /// attaching telemetry cannot change any deterministic output. Like
+  /// trace/shard/on_message it is excluded from config_digest(): snapshots
+  /// resume with or without telemetry attached. nullptr = zero cost (one
+  /// predicted branch per instrumented site).
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// One recorded message (only populated when record_transcript is set).

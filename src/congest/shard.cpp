@@ -19,6 +19,7 @@
 #include "congest/node_state.hpp"
 #include "congest/partition.hpp"
 #include "obs/metrics.hpp"
+#include "obs/metrics_v2.hpp"
 #include "support/check.hpp"
 
 namespace csd::congest::detail {
@@ -51,6 +52,9 @@ struct WorkerCtx {
   std::uint64_t max_message_bits = 0;
   std::uint64_t channel_frames_total = 0;
   std::uint64_t channel_bits_total = 0;
+  // Last round this worker made progress (halt, crash, or frame shipped) —
+  // surfaced per worker in channel_counters and in supervisor StallReports.
+  std::uint64_t last_progress_round = 0;
 
   // Round-scoped scratch.
   bool all_stopped = true;
@@ -399,6 +403,31 @@ RunOutcome run_sharded(const Network& net, const ProgramFactory& factory,
 
   std::uint64_t round = start_round;
   std::uint64_t last_progress = start_round;
+  for (WorkerCtx& ctx : workers) ctx.last_progress_round = start_round;
+
+  // csd-metrics-v2 instrumentation, coordinator-side only: workers tally
+  // into their round-scoped scratch as before and the barrier publishes the
+  // tallies, so the hot phase-A path is untouched and the ring records
+  // events in the deterministic merge order. Write-only; nullptr = inert.
+  obs::Telemetry* const telemetry = config.telemetry;
+  obs::Counter m_supersteps, m_channel_frames, m_channel_bits, m_local_frames,
+      m_drops, m_corrupts, m_crashes;
+  obs::Histogram m_exchange_hist;
+  std::vector<obs::Counter> m_worker_frames;
+  if (telemetry != nullptr) {
+    m_supersteps = telemetry->counter("shard_supersteps");
+    m_channel_frames = telemetry->counter("shard_channel_frames");
+    m_channel_bits = telemetry->counter("shard_channel_bits");
+    m_local_frames = telemetry->counter("shard_local_frames");
+    m_drops = telemetry->counter("shard_frames_dropped");
+    m_corrupts = telemetry->counter("shard_frames_corrupted");
+    m_crashes = telemetry->counter("shard_node_crashes");
+    m_exchange_hist = telemetry->histogram("shard_exchange_frames");
+    m_worker_frames.reserve(w_count);
+    for (std::uint32_t w = 0; w < w_count; ++w)
+      m_worker_frames.push_back(telemetry->counter(
+          obs::worker_counter_name("shard_channel_frames", w)));
+  }
 
   // Phase A: compute owned nodes, then scan the owned outbox slice —
   // account, apply fault fates, deliver locally, batch remote frames.
@@ -554,6 +583,9 @@ RunOutcome run_sharded(const Network& net, const ProgramFactory& factory,
     if (config.stall_window != 0 &&
         round >= last_progress + config.stall_window) {
       outcome.faults.watchdog_stalls = 1;
+      if (telemetry != nullptr)
+        telemetry->record(obs::EventKind::WatchdogStall, 0, round,
+                          round - last_progress);
       break;
     }
     if (checkpoint_at != 0 && round == checkpoint_at && !checkpoint_taken) {
@@ -581,6 +613,8 @@ RunOutcome run_sharded(const Network& net, const ProgramFactory& factory,
       if (faulty) s.fault_streams = injector->save_streams();
       outcome.checkpoint = std::move(snap);
       checkpoint_taken = true;
+      if (telemetry != nullptr)
+        telemetry->record(obs::EventKind::CheckpointSave, 0, round);
     }
 
     for (WorkerCtx& ctx : workers) {
@@ -607,17 +641,29 @@ RunOutcome run_sharded(const Network& net, const ProgramFactory& factory,
       progressed = progressed || ctx.progressed;
       outcome.faults.frames_dropped += ctx.round_dropped;
       outcome.faults.frames_corrupted += ctx.round_corrupted;
+      if (telemetry != nullptr) {
+        m_drops.add(ctx.round_dropped);
+        m_corrupts.add(ctx.round_corrupted);
+      }
     }
     merge_rounds(
         workers, &WorkerCtx::crashes,
         [](const Vertex v) { return static_cast<std::uint64_t>(v); },
-        [&](Vertex v) { outcome.faults.crashed_nodes.push_back(v); });
+        [&](Vertex v) {
+          outcome.faults.crashed_nodes.push_back(v);
+          if (telemetry != nullptr) {
+            m_crashes.add();
+            telemetry->record(obs::EventKind::NodeCrash, v, round);
+          }
+        });
     merge_rounds(
         workers, &WorkerCtx::violations,
         [](const ProtocolViolation& pv) {
           return static_cast<std::uint64_t>(pv.node);
         },
         [&](ProtocolViolation&& pv) {
+          if (telemetry != nullptr)
+            telemetry->record(obs::EventKind::Violation, pv.node, round);
           outcome.faults.violations.push_back(std::move(pv));
         });
     if (observing) {
@@ -656,13 +702,33 @@ RunOutcome run_sharded(const Network& net, const ProgramFactory& factory,
       ctx.channel_frames_total += ctx.round_channel_frames;
       ctx.channel_bits_total += ctx.round_channel_bits;
     }
+    if (telemetry != nullptr) {
+      m_supersteps.add();
+      std::uint64_t exchanged = 0;
+      for (const WorkerCtx& ctx : workers) {
+        exchanged += ctx.round_channel_frames;
+        m_channel_frames.add(ctx.round_channel_frames);
+        m_channel_bits.add(ctx.round_channel_bits);
+        m_local_frames.add(ctx.round_local_frames);
+        m_worker_frames[ctx.id].add(ctx.round_channel_frames);
+        if (ctx.round_channel_frames != 0)
+          telemetry->record(obs::EventKind::ChannelExchange, ctx.id, round,
+                            ctx.round_channel_frames);
+      }
+      m_exchange_hist.observe(exchanged);
+      telemetry->record(obs::EventKind::SuperstepBarrier, 0, round, exchanged);
+    }
     if (config.shard.on_superstep) {
       for (const WorkerCtx& ctx : workers)
         config.shard.on_superstep({round, ctx.id, ctx.round_channel_frames,
                                    ctx.round_channel_bits,
                                    ctx.round_local_frames, ctx.live == 0});
     }
-    if (progressed) last_progress = round + 1;
+    if (progressed) {
+      last_progress = round + 1;
+      for (WorkerCtx& ctx : workers)
+        if (ctx.progressed) ctx.last_progress_round = round + 1;
+    }
   }
 
   outcome.metrics.rounds = round;
@@ -695,6 +761,12 @@ RunOutcome run_sharded(const Network& net, const ProgramFactory& factory,
       outcome.metrics.counters.add(
           obs::worker_counter_name("shard_channel_bytes", ctx.id),
           (ctx.channel_bits_total + 7) / 8);
+      // Per-worker stall provenance: the last round this worker halted a
+      // node, crashed one, or shipped a frame. Supervisor StallReports
+      // carry these through to the post-mortem.
+      outcome.metrics.counters.add(
+          obs::worker_counter_name("shard_last_progress", ctx.id),
+          ctx.last_progress_round);
     }
   }
   if (outcome.trace) {

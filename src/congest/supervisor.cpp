@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "congest/run_batch.hpp"
+#include "obs/metrics_v2.hpp"
 #include "support/check.hpp"
 
 namespace csd::congest {
@@ -177,7 +178,11 @@ SupervisedResult Supervisor::drive(const ProgramFactory& factory,
         report.watchdog = rep_outcome.faults.watchdog_stalls != 0;
         report.over_budget = over_budget;
         report.incomplete = !rep_outcome.completed;
-        result.stalls.push_back(report);
+        report.counters = rep_outcome.metrics.counters;
+        if (obs::Telemetry* telemetry = net_.config().telemetry)
+          telemetry->record(obs::EventKind::StallReport, report.repetition,
+                            report.rounds, report.stalled_nodes);
+        result.stalls.push_back(std::move(report));
       }
       merge_amplified(combined, std::move(rep_outcome));
       ++processed;

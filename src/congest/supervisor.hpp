@@ -33,6 +33,7 @@
 
 #include "congest/network.hpp"
 #include "congest/snapshot.hpp"
+#include "obs/metrics.hpp"
 
 namespace csd::congest {
 
@@ -71,12 +72,18 @@ struct StallReport {
   std::uint32_t repetition = 0;
   /// Seed of the attempt whose outcome was merged (last retry, if any).
   std::uint64_t seed = 0;
+  /// Rounds the merged attempt executed before it was cut or gave up.
   std::uint64_t rounds = 0;
   /// Nodes alive but not halted when the repetition ended.
   std::uint32_t stalled_nodes = 0;
   bool watchdog = false;      ///< cut by the engine stall watchdog
   bool over_budget = false;   ///< rounds >= SupervisorConfig::round_budget
   bool incomplete = false;    ///< some node never halted (crash/starvation)
+  /// The merged attempt's engine counters (fault counters, checkpoint
+  /// count, and — under the sharded engine with channel_counters — the
+  /// per-worker shard_channel_* and shard_last_progress_w<N> counters that
+  /// locate which worker stopped making progress).
+  obs::MetricsRegistry counters;
 };
 
 struct SupervisedResult {

@@ -33,10 +33,12 @@ std::uint64_t clique_detect_round_budget(std::uint64_t n,
 
 /// End-to-end run. `trace` opts into the per-round recorder (obs/);
 /// `shard` selects the sharded superstep engine (workers == 0 = classic;
-/// the outcome is bit-identical either way).
+/// the outcome is bit-identical either way); `telemetry` attaches the
+/// optional csd-metrics-v2 plane (non-owning, write-only).
 congest::RunOutcome detect_clique(const Graph& g, std::uint32_t s,
                                   std::uint64_t bandwidth, std::uint64_t seed,
                                   const obs::TraceOptions& trace = {},
-                                  const congest::ShardSpec& shard = {});
+                                  const congest::ShardSpec& shard = {},
+                                  obs::Telemetry* telemetry = nullptr);
 
 }  // namespace csd::detect

@@ -362,6 +362,7 @@ congest::RunOutcome detect_even_cycle(const Graph& g,
   net_cfg.seed = seed;
   net_cfg.trace = cfg.trace;
   net_cfg.shard = cfg.shard;
+  net_cfg.telemetry = cfg.telemetry;
   net_cfg.max_rounds =
       make_even_cycle_schedule(std::max<std::uint64_t>(2, g.num_vertices()),
                                cfg)

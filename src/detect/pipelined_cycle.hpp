@@ -34,6 +34,9 @@ struct PipelinedCycleConfig {
   /// Sharded superstep execution of each repetition (congest/shard.hpp);
   /// workers == 0 keeps the classic engine. Bit-identical either way.
   congest::ShardSpec shard;
+  /// Optional csd-metrics-v2 plane, forwarded to every repetition's engine
+  /// (non-owning, write-only; nullptr = zero cost).
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Program factory for one repetition (colors drawn from the network seed).

@@ -116,6 +116,7 @@ congest::RunOutcome detect_tree(const Graph& g, const TreeDetectConfig& cfg,
   net_cfg.seed = seed;
   net_cfg.trace = cfg.trace;
   net_cfg.shard = cfg.shard;
+  net_cfg.telemetry = cfg.telemetry;
   net_cfg.max_rounds = tree_detect_round_budget(cfg.tree) + 1;
   return congest::run_amplified(g, net_cfg, tree_detect_program(cfg.tree),
                                 cfg.repetitions, cfg.amplify);

@@ -30,6 +30,9 @@ struct TreeDetectConfig {
   /// Sharded superstep execution of each repetition (congest/shard.hpp);
   /// workers == 0 keeps the classic engine. Bit-identical either way.
   congest::ShardSpec shard;
+  /// Optional csd-metrics-v2 plane, forwarded to every repetition's engine
+  /// (non-owning, write-only; nullptr = zero cost).
+  obs::Telemetry* telemetry = nullptr;
 };
 
 congest::ProgramFactory tree_detect_program(const Graph& tree);

@@ -1,0 +1,118 @@
+#include "obs/metrics_series.hpp"
+
+#include <algorithm>
+#include <istream>
+
+#include "obs/json.hpp"
+#include "support/check.hpp"
+
+namespace csd::obs {
+
+std::uint64_t MetricsSample::counter(const std::string& name) const {
+  for (const auto& [key, value] : counters)
+    if (key == name) return value;
+  return 0;
+}
+
+std::optional<std::pair<std::uint64_t, std::uint64_t>> MetricsSample::gauge(
+    const std::string& name) const {
+  for (const auto& [key, value] : gauges)
+    if (key == name) return value;
+  return std::nullopt;
+}
+
+std::uint64_t MetricsSeries::span_ms() const {
+  if (samples.size() < 2) return 0;
+  return samples.back().epoch_ms - samples.front().epoch_ms;
+}
+
+std::optional<double> MetricsSeries::rate_per_sec(
+    const std::string& name) const {
+  const std::uint64_t ms = span_ms();
+  if (ms == 0) return std::nullopt;
+  const std::uint64_t d = delta(name);
+  return static_cast<double>(d) * 1000.0 / static_cast<double>(ms);
+}
+
+std::uint64_t MetricsSeries::delta(const std::string& name) const {
+  if (samples.empty()) return 0;
+  const std::uint64_t last = samples.back().counter(name);
+  const std::uint64_t first = samples.front().counter(name);
+  return last >= first ? last - first : 0;
+}
+
+std::vector<const MetricsSample*> MetricsSeries::tail(double seconds) const {
+  std::vector<const MetricsSample*> out;
+  if (samples.empty()) return out;
+  const std::uint64_t end = samples.back().epoch_ms;
+  const auto window_ms = static_cast<std::uint64_t>(seconds * 1000.0);
+  const std::uint64_t cutoff = end > window_ms ? end - window_ms : 0;
+  for (const MetricsSample& sample : samples)
+    if (sample.epoch_ms >= cutoff) out.push_back(&sample);
+  if (out.empty()) out.push_back(&samples.back());
+  return out;
+}
+
+std::optional<std::uint64_t> histogram_percentile(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& buckets,
+    double p) {
+  std::uint64_t total = 0;
+  for (const auto& [bucket, count] : buckets) total += count;
+  if (total == 0) return std::nullopt;
+  const double target = std::clamp(p, 0.0, 100.0) / 100.0 *
+                        static_cast<double>(total);
+  std::uint64_t running = 0;
+  for (const auto& [bucket, count] : buckets) {
+    running += count;
+    if (static_cast<double>(running) >= target) {
+      if (bucket == 0) return 0;
+      // Exclusive upper bound of bucket i is 2^i; saturate at bucket 64.
+      return bucket >= 64 ? ~std::uint64_t{0}
+                          : (std::uint64_t{1} << bucket);
+    }
+  }
+  const std::uint64_t last = buckets.back().first;
+  return last == 0 ? 0
+         : last >= 64 ? ~std::uint64_t{0}
+                      : (std::uint64_t{1} << last);
+}
+
+MetricsSeries parse_metrics_series(std::istream& is) {
+  MetricsSeries series;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const Json doc = Json::parse(line);
+    CSD_CHECK_MSG(doc.at("schema").as_string() == "csd-metrics-v2",
+                  "metric series line " << line_no << ": unexpected schema '"
+                                        << doc.at("schema").as_string()
+                                        << "'");
+    MetricsSample sample;
+    sample.sample = doc.at("sample").as_uint();
+    sample.epoch_ms = doc.at("epoch_ms").as_uint();
+    sample.events_recorded = doc.at("events_recorded").as_uint();
+    for (const auto& [name, value] : doc.at("counters").members())
+      sample.counters.emplace_back(name, value.as_uint());
+    for (const auto& [name, value] : doc.at("gauges").members())
+      sample.gauges.emplace_back(
+          name, std::make_pair(value.at("value").as_uint(),
+                               value.at("high_water").as_uint()));
+    for (const auto& [name, value] : doc.at("histograms").members()) {
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+      for (const Json& pair : value.items()) {
+        CSD_CHECK_MSG(pair.items().size() == 2,
+                      "metric series line " << line_no
+                                            << ": malformed histogram pair");
+        buckets.emplace_back(pair.items()[0].as_uint(),
+                             pair.items()[1].as_uint());
+      }
+      sample.histograms.emplace_back(name, std::move(buckets));
+    }
+    series.samples.push_back(std::move(sample));
+  }
+  return series;
+}
+
+}  // namespace csd::obs

@@ -1,0 +1,74 @@
+// Reader side of the csd-metrics-v2 JSONL series (obs/metrics_v2.hpp):
+// a strict parser plus the rate/percentile queries the post-mortem tooling
+// needs. Consumed by `csd postmortem` (tools/cli.cpp); the Python twin is
+// tools/postmortem_report.py — the two must render agreeing numbers, which
+// CI checks on induced-failure runs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace csd::obs {
+
+/// One sampler tick: the metric plane as it looked at `epoch_ms`.
+struct MetricsSample {
+  std::uint64_t sample = 0;
+  std::uint64_t epoch_ms = 0;
+  std::uint64_t events_recorded = 0;
+  /// Sorted-name order as emitted.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  /// name -> (value, high_water).
+  std::vector<std::pair<std::string, std::pair<std::uint64_t, std::uint64_t>>>
+      gauges;
+  /// name -> sparse (bucket, count) pairs; bucket i >= 1 covers
+  /// [2^(i-1), 2^i), bucket 0 counts zeros.
+  std::vector<std::pair<std::string,
+                        std::vector<std::pair<std::uint64_t, std::uint64_t>>>>
+      histograms;
+
+  std::uint64_t counter(const std::string& name) const;
+  std::optional<std::pair<std::uint64_t, std::uint64_t>> gauge(
+      const std::string& name) const;
+};
+
+/// A parsed series, in file order (sample indices ascending).
+struct MetricsSeries {
+  std::vector<MetricsSample> samples;
+
+  bool empty() const noexcept { return samples.empty(); }
+  const MetricsSample& front() const { return samples.front(); }
+  const MetricsSample& back() const { return samples.back(); }
+
+  /// Wall-clock span covered by the series, in milliseconds.
+  std::uint64_t span_ms() const;
+
+  /// Average growth rate of `name` between the first and last sample, per
+  /// second. nullopt when fewer than two samples or zero elapsed time.
+  std::optional<double> rate_per_sec(const std::string& name) const;
+
+  /// Counter delta between the first and last sample (counters are
+  /// monotone, so this is total growth over the series).
+  std::uint64_t delta(const std::string& name) const;
+
+  /// Samples taken within the trailing `seconds` of the series (by
+  /// epoch_ms relative to the last sample). Always keeps the last sample.
+  std::vector<const MetricsSample*> tail(double seconds) const;
+};
+
+/// Upper edge of the bucket holding the p-th percentile (p in [0, 100]) of
+/// a pow2-bucket histogram; nullopt for an empty histogram. Bucket i >= 1
+/// reports 2^i (its exclusive upper bound), bucket 0 reports 0.
+std::optional<std::uint64_t> histogram_percentile(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& buckets,
+    double p);
+
+/// Strict parse of a csd-metrics-v2 JSONL stream. Throws CheckFailure on
+/// malformed lines or a wrong schema tag; an empty stream parses to an
+/// empty series.
+MetricsSeries parse_metrics_series(std::istream& is);
+
+}  // namespace csd::obs

@@ -1,0 +1,263 @@
+#include "obs/metrics_v2.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+
+#include "support/check.hpp"
+
+namespace csd::obs {
+
+namespace {
+
+std::uint64_t wall_epoch_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const char* to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::SuperstepBarrier: return "superstep_barrier";
+    case EventKind::ChannelExchange: return "channel_exchange";
+    case EventKind::Retransmit: return "retransmit";
+    case EventKind::ChecksumReject: return "checksum_reject";
+    case EventKind::FrameDropped: return "frame_dropped";
+    case EventKind::FrameCorrupted: return "frame_corrupted";
+    case EventKind::NodeCrash: return "node_crash";
+    case EventKind::NodeRecover: return "node_recover";
+    case EventKind::CheckpointSave: return "checkpoint_save";
+    case EventKind::WatchdogStall: return "watchdog_stall";
+    case EventKind::Violation: return "violation";
+    case EventKind::StallReport: return "stall_report";
+    case EventKind::ResumeReject: return "resume_reject";
+    case EventKind::FatalSignal: return "fatal_signal";
+  }
+  return "unknown";
+}
+
+Telemetry::Telemetry(std::size_t ring_capacity) {
+  std::size_t cap = 64;
+  while (cap < ring_capacity) cap <<= 1;
+  slots_ = std::vector<Slot>(cap);
+  mask_ = cap - 1;
+}
+
+Telemetry::~Telemetry() { stop_sampler(); }
+
+Counter Telemetry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (NamedCell& cell : counters_)
+    if (cell.name == name) return Counter(&cell.cells[0]);
+  counters_.push_back(
+      {name, std::make_unique<std::atomic<std::uint64_t>[]>(1)});
+  counters_.back().cells[0].store(0, std::memory_order_relaxed);
+  return Counter(&counters_.back().cells[0]);
+}
+
+Gauge Telemetry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (NamedCell& cell : gauges_)
+    if (cell.name == name) return Gauge(&cell.cells[0], &cell.cells[1]);
+  gauges_.push_back(
+      {name, std::make_unique<std::atomic<std::uint64_t>[]>(2)});
+  gauges_.back().cells[0].store(0, std::memory_order_relaxed);
+  gauges_.back().cells[1].store(0, std::memory_order_relaxed);
+  return Gauge(&gauges_.back().cells[0], &gauges_.back().cells[1]);
+}
+
+Histogram Telemetry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (NamedCell& cell : histograms_)
+    if (cell.name == name) return Histogram(cell.cells.get());
+  histograms_.push_back(
+      {name,
+       std::make_unique<std::atomic<std::uint64_t>[]>(Histogram::kBuckets)});
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i)
+    histograms_.back().cells[i].store(0, std::memory_order_relaxed);
+  return Histogram(histograms_.back().cells.get());
+}
+
+void Telemetry::record(EventKind kind, std::uint32_t actor, std::uint64_t at,
+                       std::uint64_t value) noexcept {
+  const std::uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq & mask_];
+  // Invalidate first so a concurrent reader of the previous occupant
+  // notices the rewrite in progress, then stamp on completion.
+  slot.stamp.store(0, std::memory_order_relaxed);
+  slot.kind = kind;
+  slot.actor = actor;
+  slot.at = at;
+  slot.value = value;
+  slot.epoch_ms = wall_epoch_ms();
+  slot.stamp.store(seq + 1, std::memory_order_release);
+}
+
+std::vector<FlightEvent> Telemetry::events() const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t cap = slots_.size();
+  const std::uint64_t first = head > cap ? head - cap : 0;
+  std::vector<FlightEvent> out;
+  out.reserve(static_cast<std::size_t>(head - first));
+  for (std::uint64_t seq = first; seq < head; ++seq) {
+    const Slot& slot = slots_[seq & mask_];
+    if (slot.stamp.load(std::memory_order_acquire) != seq + 1)
+      continue;  // torn or already overwritten by a racing writer
+    FlightEvent event;
+    event.kind = slot.kind;
+    event.actor = slot.actor;
+    event.at = slot.at;
+    event.value = slot.value;
+    event.epoch_ms = slot.epoch_ms;
+    // Re-check the stamp: if a writer lapped us mid-copy the fields above
+    // may be torn — drop the event instead of reporting garbage.
+    if (slot.stamp.load(std::memory_order_acquire) != seq + 1) continue;
+    out.push_back(event);
+  }
+  return out;
+}
+
+Json Telemetry::metrics_json() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  const auto sorted_names = [](const std::vector<NamedCell>& cells) {
+    std::vector<const NamedCell*> sorted;
+    sorted.reserve(cells.size());
+    for (const NamedCell& cell : cells) sorted.push_back(&cell);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const NamedCell* a, const NamedCell* b) {
+                return a->name < b->name;
+              });
+    return sorted;
+  };
+
+  Json doc = Json::object();
+  Json counters = Json::object();
+  for (const NamedCell* cell : sorted_names(counters_))
+    counters.set(cell->name,
+                 Json(cell->cells[0].load(std::memory_order_relaxed)));
+  doc.set("counters", std::move(counters));
+
+  Json gauges = Json::object();
+  for (const NamedCell* cell : sorted_names(gauges_)) {
+    Json g = Json::object();
+    g.set("value", Json(cell->cells[0].load(std::memory_order_relaxed)));
+    g.set("high_water",
+          Json(cell->cells[1].load(std::memory_order_relaxed)));
+    gauges.set(cell->name, std::move(g));
+  }
+  doc.set("gauges", std::move(gauges));
+
+  Json histograms = Json::object();
+  for (const NamedCell* cell : sorted_names(histograms_)) {
+    // Sparse encoding: [bucket, count] pairs for non-empty buckets only.
+    Json buckets = Json::array();
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t count =
+          cell->cells[i].load(std::memory_order_relaxed);
+      if (count == 0) continue;
+      Json pair = Json::array();
+      pair.push(Json(static_cast<std::uint64_t>(i)));
+      pair.push(Json(count));
+      buckets.push(std::move(pair));
+    }
+    histograms.set(cell->name, std::move(buckets));
+  }
+  doc.set("histograms", std::move(histograms));
+  return doc;
+}
+
+Json Telemetry::blackbox_json(const std::string& reason) const {
+  const std::vector<FlightEvent> ring = events();
+  Json doc = Json::object();
+  doc.set("schema", Json("csd-blackbox-v1"));
+  doc.set("reason", Json(reason));
+  doc.set("epoch_ms", Json(wall_epoch_ms()));
+  const std::uint64_t recorded = events_recorded();
+  doc.set("events_recorded", Json(recorded));
+  doc.set("events_kept", Json(static_cast<std::uint64_t>(ring.size())));
+  const std::uint64_t window =
+      std::min<std::uint64_t>(recorded, slots_.size());
+  doc.set("torn", Json(window - ring.size()));
+  Json events = Json::array();
+  for (const FlightEvent& event : ring) {
+    Json e = Json::object();
+    e.set("kind", Json(to_string(event.kind)));
+    e.set("actor", Json(event.actor));
+    e.set("at", Json(event.at));
+    e.set("value", Json(event.value));
+    e.set("epoch_ms", Json(event.epoch_ms));
+    events.push(std::move(e));
+  }
+  doc.set("events", std::move(events));
+  doc.set("metrics", metrics_json());
+  return doc;
+}
+
+bool Telemetry::dump_blackbox(const std::string& path,
+                              const std::string& reason) const {
+  std::ofstream os(path);
+  if (!os.good()) return false;
+  os << blackbox_json(reason).dump(2) << '\n';
+  return os.good();
+}
+
+void Telemetry::start_sampler(const std::string& path,
+                              std::uint64_t period_ms) {
+  std::lock_guard<std::mutex> lock(sampler_mutex_);
+  if (sampler_.joinable()) return;
+  std::ofstream probe(path, std::ios::trunc);
+  CSD_CHECK_MSG(probe.good(),
+                "cannot write metric series file '" << path << "'");
+  probe.close();
+  series_path_ = path;
+  sampler_period_ms_ = period_ms == 0 ? 250 : period_ms;
+  sampler_quit_ = false;
+  sample_index_ = 0;
+  sampler_ = std::thread([this] { sampler_loop(); });
+}
+
+void Telemetry::stop_sampler() {
+  {
+    std::lock_guard<std::mutex> lock(sampler_mutex_);
+    if (!sampler_.joinable()) return;
+    sampler_quit_ = true;
+  }
+  sampler_cv_.notify_all();
+  sampler_.join();
+  // One final sample so even sub-period runs leave a non-empty series.
+  write_sample(sample_index_++);
+}
+
+void Telemetry::sampler_loop() {
+  std::unique_lock<std::mutex> lock(sampler_mutex_);
+  while (!sampler_quit_) {
+    if (sampler_cv_.wait_for(lock,
+                             std::chrono::milliseconds(sampler_period_ms_),
+                             [this] { return sampler_quit_; }))
+      break;
+    const std::uint64_t index = sample_index_++;
+    lock.unlock();
+    write_sample(index);
+    lock.lock();
+  }
+}
+
+void Telemetry::write_sample(std::uint64_t index) {
+  Json sample = Json::object();
+  sample.set("schema", Json("csd-metrics-v2"));
+  sample.set("sample", Json(index));
+  sample.set("epoch_ms", Json(wall_epoch_ms()));
+  sample.set("events_recorded", Json(events_recorded()));
+  const Json metrics = metrics_json();
+  sample.set("counters", metrics.at("counters"));
+  sample.set("gauges", metrics.at("gauges"));
+  sample.set("histograms", metrics.at("histograms"));
+  std::ofstream os(series_path_, std::ios::app);
+  if (!os.good()) return;  // best-effort: sampling must never kill a run
+  os << sample.dump(-1) << '\n';
+}
+
+}  // namespace csd::obs

@@ -1,0 +1,255 @@
+// csd-metrics-v2: the always-on telemetry plane.
+//
+// Three pieces, one object (`Telemetry`):
+//
+//   1. A typed metric plane — monotonic counters, gauges with high-water
+//      tracking, and power-of-two-bucket histograms — registered by stable
+//      name. Registration takes a mutex once; the returned handles update
+//      relaxed atomics, so the hot path is lock-free and safe from any
+//      engine/worker thread.
+//   2. A fixed-capacity lock-free flight recorder: a ring buffer of recent
+//      engine events (superstep barriers, channel exchanges, ARQ
+//      retransmits, CRC rejects, fault injections, checkpoint saves,
+//      watchdog ticks, ...). Writers claim a slot with one fetch_add and
+//      stamp it on completion; the post-mortem dump skips slots caught
+//      mid-write, so a torn slot costs one event, never a lock.
+//   3. A periodic sampler thread that snapshots the metric plane into an
+//      append-only JSONL series (one `csd-metrics-v2` object per line).
+//      The thread exists only while a series file is configured — the
+//      zero-cost contract is structural, not a flag check.
+//
+// Determinism contract (same rule as EngineTimers, obs/metrics.hpp): the
+// telemetry plane is write-only from the engines' point of view. Engines
+// never read a metric back, so attaching a Telemetry cannot change a
+// verdict, a trace byte, or a FaultReport at any workers x jobs. Wall-clock
+// epochs live only in the series stream and the black-box dump — never in
+// csd-trace-v2 or any other deterministic artifact.
+//
+// The black-box dump (`csd-blackbox-v1`) renders the ring plus a final
+// metric snapshot as one JSON document. It is written on abnormal ends:
+// FaultReport violations, supervisor StallReports, failed resume digests,
+// fatal signals (the CLI owns the triggers; see tools/cli.cpp).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace csd::obs {
+
+/// What happened. The names are the wire strings of csd-blackbox-v1
+/// (to_string below); tools/postmortem_report.py mirrors the list.
+enum class EventKind : std::uint8_t {
+  SuperstepBarrier,   ///< sharded engine: one superstep merged at the barrier
+  ChannelExchange,    ///< sharded engine: one worker's remote frames, 1 round
+  Retransmit,         ///< ARQ timer fired, packet resent
+  ChecksumReject,     ///< CRC mismatch, packet discarded
+  FrameDropped,       ///< fault injection: transmission dropped
+  FrameCorrupted,     ///< fault injection: payload bit flipped
+  NodeCrash,          ///< node fell silent (scheduled crash or program fault)
+  NodeRecover,        ///< crashed node rejoined under a RecoveryPolicy
+  CheckpointSave,     ///< csd-ckpt-v1 snapshot captured
+  WatchdogStall,      ///< stall watchdog cut the run
+  Violation,          ///< clamped protocol violation
+  StallReport,        ///< supervisor flagged an unhealthy repetition
+  ResumeReject,       ///< snapshot failed the identity-digest check
+  FatalSignal,        ///< process-level signal (CLI handler)
+};
+
+const char* to_string(EventKind kind) noexcept;
+
+/// One flight-recorder entry. `actor` is a node, worker, or repetition
+/// index (kind-dependent); `at` is model time (round / pulse / wave);
+/// `value` is a kind-specific payload (bits, sequence number, signal...).
+/// `epoch_ms` is the wall clock — post-mortem only, see the header comment.
+struct FlightEvent {
+  EventKind kind = EventKind::SuperstepBarrier;
+  std::uint32_t actor = 0;
+  std::uint64_t at = 0;
+  std::uint64_t value = 0;
+  std::uint64_t epoch_ms = 0;
+};
+
+/// Handle to one registered counter. Copyable, trivially destructible; the
+/// pointed-to cell lives as long as the Telemetry. A default-constructed
+/// handle is inert (updates are dropped) so callers can hold one
+/// unconditionally.
+class Counter {
+ public:
+  Counter() = default;
+  void add(std::uint64_t delta = 1) const noexcept {
+    if (cell_ != nullptr)
+      cell_->fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return cell_ == nullptr ? 0 : cell_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Telemetry;
+  explicit Counter(std::atomic<std::uint64_t>* cell) : cell_(cell) {}
+  std::atomic<std::uint64_t>* cell_ = nullptr;
+};
+
+/// Handle to one registered gauge: last-set value plus a monotone
+/// high-water mark (occupancy peaks survive the sampler's cadence).
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(std::uint64_t v) const noexcept {
+    if (value_ == nullptr) return;
+    value_->store(v, std::memory_order_relaxed);
+    std::uint64_t high = high_->load(std::memory_order_relaxed);
+    while (v > high &&
+           !high_->compare_exchange_weak(high, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::uint64_t value() const noexcept {
+    return value_ == nullptr ? 0 : value_->load(std::memory_order_relaxed);
+  }
+  std::uint64_t high_water() const noexcept {
+    return high_ == nullptr ? 0 : high_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Telemetry;
+  Gauge(std::atomic<std::uint64_t>* value, std::atomic<std::uint64_t>* high)
+      : value_(value), high_(high) {}
+  std::atomic<std::uint64_t>* value_ = nullptr;
+  std::atomic<std::uint64_t>* high_ = nullptr;
+};
+
+/// Handle to one registered power-of-two-bucket histogram: observe(v)
+/// increments bucket floor(log2(v)) + 1 (bucket 0 counts v == 0), so
+/// bucket i >= 1 holds values in [2^(i-1), 2^i).
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  Histogram() = default;
+  void observe(std::uint64_t v) const noexcept {
+    if (cells_ == nullptr) return;
+    std::size_t bucket = 0;
+    while (v != 0) {
+      ++bucket;
+      v >>= 1;
+    }
+    cells_[bucket].fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Telemetry;
+  explicit Histogram(std::atomic<std::uint64_t>* cells) : cells_(cells) {}
+  std::atomic<std::uint64_t>* cells_ = nullptr;
+};
+
+/// The telemetry plane. Construct one per process (or per test), hand a
+/// raw pointer to the engines via NetworkConfig / AsyncConfig, destroy
+/// after the run. Thread-safe throughout; destruction joins the sampler.
+class Telemetry {
+ public:
+  /// `ring_capacity` is rounded up to a power of two (minimum 64).
+  explicit Telemetry(std::size_t ring_capacity = 4096);
+  ~Telemetry();
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  // -- metric plane ------------------------------------------------------
+  // Registration by stable name: the same name always returns a handle to
+  // the same cell. Takes the registry mutex; call once per run, not per
+  // round. A name registered as one type must not be re-registered as
+  // another (checked).
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  Histogram histogram(const std::string& name);
+
+  // -- flight recorder ---------------------------------------------------
+  /// Lock-free: one fetch_add plus five relaxed stores and one release
+  /// store. Safe from any thread.
+  void record(EventKind kind, std::uint32_t actor, std::uint64_t at,
+              std::uint64_t value = 0) noexcept;
+
+  /// Events currently readable from the ring, oldest first. Slots caught
+  /// mid-write are skipped (counted in the dump's `torn` field).
+  std::vector<FlightEvent> events() const;
+
+  /// Total events ever recorded (including those the ring has overwritten).
+  std::uint64_t events_recorded() const noexcept {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  // -- sampler -----------------------------------------------------------
+  /// Start the periodic sampler: append one csd-metrics-v2 JSONL sample to
+  /// `path` every `period_ms`. No-op if already sampling. Throws
+  /// CheckFailure if the file cannot be opened.
+  void start_sampler(const std::string& path, std::uint64_t period_ms);
+  /// Stop the sampler thread, write one final sample, close the file.
+  /// Idempotent; also run by the destructor.
+  void stop_sampler();
+  bool sampling() const noexcept { return sampler_.joinable(); }
+
+  // -- snapshots / post-mortem ------------------------------------------
+  /// The metric plane as insertion-ordered JSON:
+  /// {"counters":{...},"gauges":{name:{"value":..,"high_water":..}},
+  ///  "histograms":{name:[nonempty (bucket,count) pairs...]}}.
+  /// Names are emitted in sorted order (same contract as the trace summary).
+  Json metrics_json() const;
+
+  /// The full csd-blackbox-v1 document: reason, epoch, ring contents
+  /// (oldest first), and a final metric snapshot.
+  Json blackbox_json(const std::string& reason) const;
+
+  /// Write blackbox_json(reason) to `path` (pretty-printed). Best-effort:
+  /// returns false instead of throwing (this runs on failure paths and in
+  /// signal handlers).
+  bool dump_blackbox(const std::string& path,
+                     const std::string& reason) const;
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> stamp{0};  // seq + 1 once fully written
+    EventKind kind = EventKind::SuperstepBarrier;
+    std::uint32_t actor = 0;
+    std::uint64_t at = 0;
+    std::uint64_t value = 0;
+    std::uint64_t epoch_ms = 0;
+  };
+
+  void sampler_loop();
+  void write_sample(std::uint64_t index);
+
+  // Registry. Deques-by-unique_ptr keep cell addresses stable across
+  // registration; entries are never removed.
+  struct NamedCell {
+    std::string name;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> cells;  // 1, 2, or kBuckets
+  };
+  mutable std::mutex registry_mutex_;
+  std::vector<NamedCell> counters_;
+  std::vector<NamedCell> gauges_;
+  std::vector<NamedCell> histograms_;
+
+  // Ring.
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::atomic<std::uint64_t> head_{0};
+
+  // Sampler.
+  std::mutex sampler_mutex_;
+  std::condition_variable sampler_cv_;
+  bool sampler_quit_ = false;
+  std::uint64_t sampler_period_ms_ = 250;
+  std::uint64_t sample_index_ = 0;
+  std::string series_path_;
+  std::thread sampler_;
+};
+
+}  // namespace csd::obs

@@ -259,19 +259,23 @@ void RunTrace::write_jsonl(std::ostream& os) const {
   }
   // Non-zero counters only: a clean run's summary is byte-identical whether
   // it came from the sync engine (which never registers transport counters
-  // above zero) or the async one.
-  bool any_counter = false;
-  for (const auto& [name, value] : counters_.entries())
-    any_counter = any_counter || value != 0;
-  if (any_counter) {
+  // above zero) or the async one. Emission is in sorted-name order — the
+  // registry itself stays insertion-ordered (callers rely on that), but the
+  // summary must not depend on which engine path registered a counter
+  // first (DESIGN.md §14 documents this contract).
+  std::vector<const std::pair<std::string, std::uint64_t>*> nonzero;
+  for (const auto& entry : counters_.entries())
+    if (entry.second != 0) nonzero.push_back(&entry);
+  if (!nonzero.empty()) {
+    std::sort(nonzero.begin(), nonzero.end(),
+              [](const auto* a, const auto* b) { return a->first < b->first; });
     os << ",\"counters\":{";
     bool first = true;
-    for (const auto& [name, value] : counters_.entries()) {
-      if (value == 0) continue;
+    for (const auto* entry : nonzero) {
       if (!first) os << ',';
       first = false;
-      write_json_string(os, name);
-      os << ':' << value;
+      write_json_string(os, entry->first);
+      os << ':' << entry->second;
     }
     os << '}';
   }

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -18,6 +19,8 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/metrics_series.hpp"
+#include "obs/metrics_v2.hpp"
 #include "obs/round_trace.hpp"
 #include "obs/trace_analysis.hpp"
 #include "support/check.hpp"
@@ -668,6 +671,173 @@ TEST(ChromeTrace, CounterTrackRespectsRoundCap) {
   }
   EXPECT_FALSE(saw_counter);
   EXPECT_TRUE(saw_span);  // spans always survive the cap
+}
+
+// ------------------------------------------------------ csd-metrics-v2 ----
+
+TEST(RunTrace, SummaryCountersEmitSortedByName) {
+  obs::TraceOptions opts;
+  opts.enabled = true;
+  obs::RunTrace trace(2, opts);
+  obs::MetricsRegistry counters;
+  counters.add("zeta", 1);  // insertion order deliberately unsorted
+  counters.add("alpha", 2);
+  counters.add("mid", 0);  // zero: omitted from the summary entirely
+  trace.set_counters(counters);
+  std::ostringstream os;
+  trace.write_jsonl(os);
+  // DESIGN.md §14: summary counters serialize in sorted-name order, so the
+  // summary line is independent of engine registration order.
+  EXPECT_NE(os.str().find(R"("counters":{"alpha":2,"zeta":1})"),
+            std::string::npos)
+      << os.str();
+}
+
+TEST(TelemetryV2, CountersGaugesHistogramsRegisterAndSnapshot) {
+  obs::Telemetry telemetry;
+  const obs::Counter hits = telemetry.counter("hits");
+  hits.add();
+  hits.add(4);
+  EXPECT_EQ(hits.value(), 5u);
+  // Same name resolves to the same cell.
+  EXPECT_EQ(telemetry.counter("hits").value(), 5u);
+
+  const obs::Gauge depth = telemetry.gauge("depth");
+  depth.set(7);
+  depth.set(3);
+  EXPECT_EQ(depth.value(), 3u);
+  EXPECT_EQ(depth.high_water(), 7u);
+
+  const obs::Histogram sizes = telemetry.histogram("sizes");
+  sizes.observe(0);  // bucket 0: zeros
+  sizes.observe(1);  // bucket 1: [1, 2)
+  sizes.observe(5);  // bucket 3: [4, 8)
+  const obs::Json doc = telemetry.metrics_json();
+  EXPECT_EQ(doc.at("counters").at("hits").as_uint(), 5u);
+  EXPECT_EQ(doc.at("gauges").at("depth").at("value").as_uint(), 3u);
+  EXPECT_EQ(doc.at("gauges").at("depth").at("high_water").as_uint(), 7u);
+  const auto& buckets = doc.at("histograms").at("sizes").items();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0].items()[0].as_uint(), 0u);
+  EXPECT_EQ(buckets[0].items()[1].as_uint(), 1u);
+  EXPECT_EQ(buckets[2].items()[0].as_uint(), 3u);
+}
+
+TEST(TelemetryV2, NullHandlesAreInert) {
+  // Default-constructed handles are the disabled path: safe no-ops.
+  const obs::Counter counter;
+  const obs::Gauge gauge;
+  const obs::Histogram histogram;
+  counter.add(3);
+  gauge.set(9);
+  histogram.observe(42);
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(gauge.value(), 0u);
+  EXPECT_EQ(gauge.high_water(), 0u);
+}
+
+TEST(TelemetryV2, WorkerCounterNamesAreStable) {
+  EXPECT_EQ(obs::worker_counter_name("shard_channel_frames", 3),
+            "shard_channel_frames_w3");
+}
+
+TEST(TelemetryV2, FlightRecorderKeepsTheMostRecentEvents) {
+  // Requested capacities round up to the 64-slot floor.
+  obs::Telemetry telemetry(/*ring_capacity=*/4);
+  for (std::uint64_t i = 0; i < 100; ++i)
+    telemetry.record(obs::EventKind::Retransmit, 1, i, i * 10);
+  EXPECT_EQ(telemetry.events_recorded(), 100u);
+  const auto events = telemetry.events();
+  ASSERT_EQ(events.size(), 64u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].at, 36u + i);  // oldest-first window [36, 100)
+    EXPECT_EQ(events[i].kind, obs::EventKind::Retransmit);
+  }
+
+  const obs::Json doc = telemetry.blackbox_json("unit-test");
+  EXPECT_EQ(doc.at("schema").as_string(), "csd-blackbox-v1");
+  EXPECT_EQ(doc.at("reason").as_string(), "unit-test");
+  EXPECT_EQ(doc.at("events_recorded").as_uint(), 100u);
+  EXPECT_EQ(doc.at("events_kept").as_uint(), 64u);
+  EXPECT_EQ(doc.at("torn").as_uint(), 0u);
+  ASSERT_EQ(doc.at("events").items().size(), 64u);
+  EXPECT_EQ(doc.at("events").items()[0].at("kind").as_string(),
+            "retransmit");
+}
+
+TEST(TelemetryV2, SamplerSeriesRoundTripsThroughParser) {
+  const std::string path = testing::TempDir() + "csd_metrics_series.jsonl";
+  obs::Telemetry telemetry;
+  const obs::Counter ticks = telemetry.counter("ticks");
+  const obs::Histogram payload = telemetry.histogram("payload");
+  telemetry.start_sampler(path, /*period_ms=*/60000);
+  EXPECT_TRUE(telemetry.sampling());
+  ticks.add(17);
+  payload.observe(9);  // bucket 4: [8, 16)
+  telemetry.stop_sampler();  // flushes one final sample
+  EXPECT_FALSE(telemetry.sampling());
+
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  const obs::MetricsSeries series = obs::parse_metrics_series(is);
+  ASSERT_FALSE(series.empty());
+  EXPECT_EQ(series.back().counter("ticks"), 17u);
+  for (const auto& [name, buckets] : series.back().histograms) {
+    ASSERT_EQ(name, "payload");
+    // The percentile query reports the bucket's exclusive upper edge.
+    EXPECT_EQ(obs::histogram_percentile(buckets, 50.0), 16u);
+  }
+}
+
+TEST(TelemetryV2, EngineOutcomesBitIdenticalWithTelemetryAttached) {
+  const Graph g = trace_host();
+  const auto run = [&](obs::Telemetry* telemetry, std::uint32_t workers) {
+    detect::EvenCycleConfig cfg;
+    cfg.k = 2;
+    cfg.repetitions = 4;
+    cfg.amplify.early_exit = false;
+    cfg.trace.enabled = true;
+    cfg.shard.workers = workers;
+    cfg.telemetry = telemetry;
+    return detect::detect_even_cycle(g, cfg, 64, 5);
+  };
+  const auto jsonl = [](congest::RunOutcome outcome) {
+    std::ostringstream os;
+    outcome.trace.write_jsonl(os);
+    return os.str();
+  };
+
+  auto plain = run(nullptr, 0);
+  obs::Telemetry telemetry;
+  auto instrumented = run(&telemetry, 0);
+  obs::Telemetry sharded_telemetry;
+  auto sharded = run(&sharded_telemetry, 2);
+
+  // The telemetry plane is write-only: verdict, metrics and the full trace
+  // stream are unaffected by attaching it, on both engines.
+  EXPECT_EQ(plain.detected, instrumented.detected);
+  EXPECT_EQ(plain.metrics.rounds, instrumented.metrics.rounds);
+  EXPECT_EQ(plain.metrics.messages, instrumented.metrics.messages);
+  EXPECT_EQ(plain.metrics.total_bits, instrumented.metrics.total_bits);
+  EXPECT_EQ(jsonl(plain), jsonl(instrumented));
+  EXPECT_EQ(plain.detected, sharded.detected);
+  EXPECT_EQ(jsonl(plain), jsonl(sharded));
+
+  // ...and the plane did observe the runs.
+  EXPECT_GT(telemetry.counter("sync_rounds").value(), 0u);
+  EXPECT_EQ(telemetry.counter("sync_messages").value(),
+            instrumented.metrics.messages);
+  EXPECT_GT(sharded_telemetry.counter("shard_supersteps").value(), 0u);
+  EXPECT_GT(sharded_telemetry.events_recorded(), 0u);
+}
+
+TEST(TelemetryV2, SeriesParserRejectsMalformedStreams) {
+  const auto parse = [](const std::string& text) {
+    std::istringstream is(text);
+    return obs::parse_metrics_series(is);
+  };
+  EXPECT_THROW(parse("{\"schema\":\"wrong\"}\n"), CheckFailure);
+  EXPECT_THROW(parse("not json\n"), CheckFailure);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 // node recovery in the async engine, and the stall watchdogs.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <memory>
 #include <string>
 
@@ -12,6 +13,8 @@
 #include "detect/pipelined_cycle.hpp"
 #include "graph/builders.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics_series.hpp"
+#include "obs/metrics_v2.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 
@@ -131,6 +134,60 @@ TEST(SyncCheckpoint, ResumeIsBitIdentical) {
             full.metrics.bits_sent_by_node);
   expect_reports_equal(resumed.faults, full.faults);
   expect_trace_suffix_equal(full.trace, resumed.trace, 4);
+}
+
+TEST(SyncCheckpoint, ResumeStaysBitIdenticalWithTelemetryAttached) {
+  Rng rng(4);
+  const Graph g = build::gnp(14, 0.25, rng);
+  const auto factory = detect::pipelined_cycle_program(4);
+
+  // Baseline: the same checkpointed faulty run with no telemetry at all.
+  NetworkConfig plain_cfg = faulty_sync_config();
+  plain_cfg.checkpoint_at_round = 4;
+  const Network plain_net(g, plain_cfg);
+  const auto full = plain_net.run(factory);
+  ASSERT_NE(full.checkpoint, nullptr);
+
+  // Instrumented: sampler streaming to disk and the flight recorder armed
+  // for the whole save + resume cycle.
+  const std::string series_path =
+      testing::TempDir() + "csd_resume_series.jsonl";
+  obs::Telemetry telemetry;
+  telemetry.start_sampler(series_path, /*period_ms=*/1);
+  NetworkConfig cfg = faulty_sync_config();
+  cfg.checkpoint_at_round = 4;
+  cfg.telemetry = &telemetry;
+  const Network net(g, cfg);
+  const auto run = net.run(factory);
+  ASSERT_NE(run.checkpoint, nullptr);
+  const auto resumed = net.resume(factory, *run.checkpoint);
+  telemetry.stop_sampler();
+
+  // The telemetry pointer is outside the config digest and the engine
+  // treats the plane as write-only, so the snapshot and every
+  // deterministic output match the uninstrumented baseline bit for bit.
+  EXPECT_EQ(to_json(*run.checkpoint).dump(),
+            to_json(*full.checkpoint).dump());
+  EXPECT_EQ(resumed.verdicts, full.verdicts);
+  EXPECT_EQ(resumed.detected, full.detected);
+  EXPECT_EQ(resumed.completed, full.completed);
+  EXPECT_EQ(resumed.metrics.rounds, full.metrics.rounds);
+  EXPECT_EQ(resumed.metrics.messages, full.metrics.messages);
+  EXPECT_EQ(resumed.metrics.total_bits, full.metrics.total_bits);
+  EXPECT_EQ(resumed.metrics.bits_sent_by_node,
+            full.metrics.bits_sent_by_node);
+  expect_reports_equal(resumed.faults, full.faults);
+  expect_trace_suffix_equal(full.trace, resumed.trace, 4);
+
+  // The wall-clock series may differ run to run (that's the point of
+  // keeping it out of the deterministic trace); it only has to exist and
+  // parse, and the recorder must have seen the induced fault events.
+  std::ifstream is(series_path);
+  ASSERT_TRUE(is.good());
+  const obs::MetricsSeries series = obs::parse_metrics_series(is);
+  EXPECT_FALSE(series.empty());
+  EXPECT_GT(telemetry.events_recorded(), 0u);
+  EXPECT_GT(telemetry.counter("sync_node_crashes").value(), 0u);
 }
 
 TEST(SyncCheckpoint, JsonAndFileRoundTripPreserveTheResumeContract) {

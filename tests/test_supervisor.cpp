@@ -5,10 +5,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "congest/supervisor.hpp"
 #include "detect/pipelined_cycle.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "graph/builders.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
@@ -160,8 +162,46 @@ TEST(Supervisor, StallReportsSurfaceUnhealthyRepetitions) {
     EXPECT_EQ(result.stalls[i].repetition, i);
     EXPECT_TRUE(result.stalls[i].incomplete);
     EXPECT_TRUE(result.stalls[i].watchdog);
+    // The report carries the round the watchdog fired at plus the
+    // repetition's counter scope — enough to localize the stall without
+    // re-running.
+    EXPECT_GT(result.stalls[i].rounds, 0u);
+    EXPECT_EQ(result.stalls[i].counters.value("watchdog_stalls"), 1u);
   }
   EXPECT_EQ(result.outcome.faults.watchdog_stalls, 3u);
+}
+
+TEST(Supervisor, StallReportCountersLocateTheStuckWorker) {
+  const Graph g = build::path(3);
+  NetworkConfig cfg;
+  cfg.bandwidth = 8;
+  cfg.max_rounds = 50;
+  cfg.seed = 7;
+  cfg.faults.crashes = {{1, 0}};
+  cfg.shard.workers = 2;
+  cfg.shard.channel_counters = true;  // opt into W-dependent counters
+  SupervisorConfig sup;
+  sup.early_exit = false;
+  sup.stall_window = 4;
+  const Supervisor supervisor(g, cfg, sup);
+  const SupervisedResult result = supervisor.run(flaky_ping_factory(), 1);
+  ASSERT_EQ(result.stalls.size(), 1u);
+  const StallReport& stall = result.stalls[0];
+  EXPECT_TRUE(stall.watchdog);
+  EXPECT_GT(stall.rounds, 0u);
+  // With --shard-counters on, the per-worker last-progress counters ride
+  // along in the report's scope: every worker's entry is present and none
+  // advanced past the round the watchdog cut the repetition at.
+  for (std::uint32_t w = 0; w < 2; ++w) {
+    bool found = false;
+    const std::string name = obs::worker_counter_name("shard_last_progress", w);
+    for (const auto& [key, value] : stall.counters.entries())
+      if (key == name) {
+        found = true;
+        EXPECT_LE(value, stall.rounds);
+      }
+    EXPECT_TRUE(found) << name << " missing from the stall scope";
+  }
 }
 
 TEST(Supervisor, RoundBudgetFlagsSlowRepetitions) {

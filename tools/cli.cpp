@@ -2,8 +2,11 @@
 
 #include <charconv>
 #include <cmath>
+#include <csignal>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 
@@ -26,6 +29,8 @@
 #include "obs/bench_report.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/lb_fit.hpp"
+#include "obs/metrics_series.hpp"
+#include "obs/metrics_v2.hpp"
 #include "obs/round_trace.hpp"
 #include "obs/trace_analysis.hpp"
 #include "detect/triangle.hpp"
@@ -58,6 +63,7 @@ commands:
          [--resume FILE] [--supervised] [--deadline MS] [--round-budget R]
          [--retries K] [--max-reps-per-call M]
          [--workers W] [--shard-policy range|hash] [--shard-counters]
+         [--metrics-out FILE] [--metrics-period MS] [--blackbox FILE]
       pattern: cycle L | triangle | clique S | star D
       runs the matching CONGEST algorithm and the exhaustive oracle.
       --jobs N fans amplification repetitions over N worker threads
@@ -87,10 +93,19 @@ commands:
       for every W and compose with --jobs and --supervised.
       --shard-counters surfaces per-worker channel frame/byte counters in
       the metrics and the trace summary (off by default: the counters are
-      worker-count-dependent by nature)
+      worker-count-dependent by nature).
+      telemetry flags (csd-metrics-v2): --metrics-out FILE samples every
+      live counter/gauge/histogram into append-only JSONL every
+      --metrics-period ms (default 250); --blackbox FILE arms the flight
+      recorder — the recent engine-event ring is dumped as csd-blackbox-v1
+      JSON on any violation, watchdog stall, incomplete run, failed
+      resume, stall report, or fatal signal (and with reason clean-exit
+      otherwise). Always-on and write-only: verdicts, traces and
+      snapshots are bit-identical with or without the flags.
   sweep cycle <L> [--sizes N1,N2,...] [--reps R] [--jobs N] [--seed S]
         [--bandwidth B] [--json FILE] [--trace FILE] [--per-edge]
         [--workers W] [--shard-policy range|hash] [--shard-counters]
+        [--metrics-out FILE] [--metrics-period MS] [--blackbox FILE]
       planted-vs-control detection sweep over host sizes (random forest
       hosts, planted C_L vs cycle-free control), repetitions fanned over
       the parallel run driver; reports executed/skipped repetitions.
@@ -112,6 +127,13 @@ commands:
       deterministic in --seed) and prints a 95% CI for every fitted
       exponent; with --expect-exponent the CI's lower edge must also not
       exceed the bound
+  postmortem <blackbox.json> [--series FILE] [--last SEC] [--json FILE]
+      render a csd-blackbox-v1 flight-recorder dump (and optionally the
+      csd-metrics-v2 series that ran alongside it) as a human-readable
+      last-N-seconds timeline (--last, default 30) with per-kind event
+      counts and final counter values. --json FILE writes the same summary
+      as a csd-postmortem-v1 document that agrees field-for-field with
+      tools/postmortem_report.py --json-out (CI asserts the agreement)
   list-cliques <s> <file>
       congested-clique K_s listing; prints count and round cost
   fool <namespace-N> <budget-c>
@@ -188,6 +210,89 @@ congest::ShardSpec parse_shard(const Invocation& inv) {
   CSD_CHECK_MSG(!shard.channel_counters || shard.workers != 0,
                 "--shard-counters needs --workers W");
   return shard;
+}
+
+/// Owns the optional csd-metrics-v2 telemetry plane for one CLI command.
+/// make_telemetry() returns nullptr when neither --metrics-out nor
+/// --blackbox was passed, so the default path keeps the engines'
+/// zero-cost contract (every config telemetry pointer stays nullptr and
+/// no sampler thread or ring exists).
+struct TelemetrySession {
+  std::unique_ptr<obs::Telemetry> telemetry;
+  std::string metrics_path;
+  std::string blackbox_path;
+  bool dumped = false;
+
+  ~TelemetrySession();
+
+  obs::Telemetry* get() const { return telemetry.get(); }
+
+  /// Write the flight-recorder dump (csd-blackbox-v1). First trigger wins:
+  /// later, lower-priority reasons do not overwrite an earlier dump.
+  void dump(const std::string& reason, std::ostream& out) {
+    if (blackbox_path.empty() || dumped) return;
+    dumped = true;
+    if (telemetry->dump_blackbox(blackbox_path, reason))
+      out << "blackbox:   " << blackbox_path << " (reason: " << reason
+          << ")\n";
+    else
+      out << "blackbox:   FAILED to write '" << blackbox_path << "'\n";
+  }
+
+  /// End-of-command hook: stop the sampler (flushes one final sample) and,
+  /// if --blackbox was requested but nothing triggered, write a clean-exit
+  /// dump so downstream tooling always finds a file.
+  void finish(std::ostream& out) {
+    telemetry->stop_sampler();
+    if (!metrics_path.empty()) out << "metrics:    " << metrics_path << '\n';
+    dump("clean-exit", out);
+  }
+};
+
+/// The session visible to the fatal-signal handler (at most one CLI
+/// command runs at a time; tests drive run() sequentially).
+TelemetrySession* g_signal_session = nullptr;
+
+extern "C" void telemetry_signal_handler(int sig) {
+  // Best-effort: dumping allocates and is not async-signal-safe, but on a
+  // crash path a second fault just loses the dump we were losing anyway.
+  TelemetrySession* const session = g_signal_session;
+  if (session != nullptr && !session->blackbox_path.empty() &&
+      !session->dumped) {
+    session->dumped = true;
+    session->telemetry->record(obs::EventKind::FatalSignal, 0, 0,
+                               static_cast<std::uint64_t>(sig));
+    session->telemetry->dump_blackbox(session->blackbox_path,
+                                      "fatal-signal");
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+TelemetrySession::~TelemetrySession() {
+  if (g_signal_session == this) g_signal_session = nullptr;
+}
+
+std::unique_ptr<TelemetrySession> make_telemetry(const Invocation& inv) {
+  const auto metrics_path = inv.flag("metrics-out");
+  const auto blackbox_path = inv.flag("blackbox");
+  if (!metrics_path && !blackbox_path) return nullptr;
+  auto session = std::make_unique<TelemetrySession>();
+  session->telemetry = std::make_unique<obs::Telemetry>();
+  if (metrics_path) {
+    session->metrics_path = *metrics_path;
+    const std::uint64_t period =
+        to_u64(inv.flag("metrics-period").value_or("250"), "metrics-period");
+    CSD_CHECK_MSG(period >= 1, "--metrics-period wants milliseconds >= 1");
+    session->telemetry->start_sampler(*metrics_path, period);
+  }
+  if (blackbox_path) {
+    session->blackbox_path = *blackbox_path;
+    g_signal_session = session.get();
+    for (const int sig : {SIGSEGV, SIGABRT, SIGTERM, SIGINT})
+      std::signal(sig, telemetry_signal_handler);
+  }
+  return session;
 }
 
 Graph generate(const Invocation& inv) {
@@ -411,6 +516,8 @@ int cmd_detect_faulty(const Invocation& inv, std::ostream& out, const Graph& g,
   out << "algorithm:  " << p.algorithm << '\n';
   cfg.max_pulses = p.budget;
   cfg.faults = parse_fault_plan(inv, g, p.budget);
+  const auto session = make_telemetry(inv);
+  cfg.telemetry = session ? session->get() : nullptr;
   const congest::ProgramFactory& factory = p.factory;
   const std::uint32_t runs = p.runs;
   const bool truth = p.truth;
@@ -441,10 +548,24 @@ int cmd_detect_faulty(const Invocation& inv, std::ostream& out, const Graph& g,
     // Same per-repetition seed schedule as run_amplified, so a clean async
     // run reproduces the sync CLI verdict bit-for-bit.
     cfg.seed = runs == 1 ? seed : derive_seed(seed, 0x5eedULL + r);
-    const auto outcome =
-        resume_path ? congest::resume_async(
-                          g, cfg, factory, congest::load_snapshot(*resume_path))
-                    : congest::run_async(g, cfg, factory);
+    const auto outcome = [&] {
+      try {
+        return resume_path
+                   ? congest::resume_async(
+                         g, cfg, factory,
+                         congest::load_snapshot(*resume_path))
+                   : congest::run_async(g, cfg, factory);
+      } catch (const CheckFailure&) {
+        // A failed resume (digest mismatch, truncated snapshot) is a prime
+        // post-mortem moment: record it and dump before propagating.
+        if (session && resume_path) {
+          session->get()->record(obs::EventKind::ResumeReject, 0, 0, 0);
+          session->dump("resume-reject", out);
+          session->finish(out);
+        }
+        throw;
+      }
+    }();
     if (ckpt_path) {
       if (outcome.checkpoint != nullptr) {
         congest::save_snapshot(*ckpt_path, *outcome.checkpoint);
@@ -521,6 +642,15 @@ int cmd_detect_faulty(const Invocation& inv, std::ostream& out, const Graph& g,
     merged_trace.write_jsonl(os);
     out << "trace:      " << *trace_path << '\n';
   }
+  if (session) {
+    if (!total.violations.empty())
+      session->dump("fault-violation", out);
+    else if (total.watchdog_stalls != 0)
+      session->dump("watchdog-stall", out);
+    else if (!all_completed)
+      session->dump("incomplete-run", out);
+    session->finish(out);
+  }
   if (json_path) {
     obs::BenchReport report("csd_detect");
     report.param("pattern", pattern)
@@ -573,6 +703,8 @@ int cmd_detect_supervised(const Invocation& inv, std::ostream& out,
   cfg.trace.timers = inv.has_flag("timers");
 
   cfg.shard = parse_shard(inv);
+  const auto session = make_telemetry(inv);
+  cfg.telemetry = session ? session->get() : nullptr;
 
   congest::SupervisorConfig sup;
   sup.jobs = jobs;
@@ -588,10 +720,21 @@ int cmd_detect_supervised(const Invocation& inv, std::ostream& out,
 
   const congest::Supervisor supervisor(g, cfg, sup);
   const auto resume_path = inv.flag("resume");
-  const congest::SupervisedResult result =
-      resume_path ? supervisor.resume(p.factory, repetitions,
-                                      congest::load_snapshot(*resume_path))
-                  : supervisor.run(p.factory, repetitions);
+  const congest::SupervisedResult result = [&] {
+    try {
+      return resume_path
+                 ? supervisor.resume(p.factory, repetitions,
+                                     congest::load_snapshot(*resume_path))
+                 : supervisor.run(p.factory, repetitions);
+    } catch (const CheckFailure&) {
+      if (session && resume_path) {
+        session->get()->record(obs::EventKind::ResumeReject, 0, 0, 0);
+        session->dump("resume-reject", out);
+        session->finish(out);
+      }
+      throw;
+    }
+  }();
   const congest::RunOutcome& outcome = result.outcome;
 
   out << "algorithm:  " << p.algorithm << '\n'
@@ -620,6 +763,13 @@ int cmd_detect_supervised(const Invocation& inv, std::ostream& out,
       if (s.over_budget) out << " [over-budget]";
       if (s.incomplete) out << " [incomplete]";
       out << '\n';
+      // The repetition's counter scope travels with the report; the
+      // shard_last_progress_w<N> entries (present with --workers W
+      // --shard-counters) point at the worker that stopped advancing.
+      for (const auto& [name, value] : s.counters.entries())
+        if (name == "watchdog_stalls" ||
+            name.rfind("shard_last_progress", 0) == 0)
+          out << "      " << name << " = " << value << '\n';
     }
   }
   if (!outcome.faults.clean())
@@ -648,6 +798,15 @@ int cmd_detect_supervised(const Invocation& inv, std::ostream& out,
                   "cannot write trace file '" << *trace_path << "'");
     trace.write_jsonl(os);
     out << "trace:      " << *trace_path << '\n';
+  }
+  if (session) {
+    if (!outcome.faults.violations.empty())
+      session->dump("fault-violation", out);
+    else if (!result.stalls.empty())
+      session->dump("stall-report", out);
+    else if (outcome.faults.watchdog_stalls != 0)
+      session->dump("watchdog-stall", out);
+    session->finish(out);
   }
   if (const auto json_path = inv.flag("json")) {
     obs::BenchReport report("csd_detect");
@@ -721,6 +880,8 @@ int cmd_detect(const Invocation& inv, std::ostream& out) {
     return cmd_detect_faulty(inv, out, g, pattern, bandwidth, seed, reps);
   }
   const congest::ShardSpec shard = parse_shard(inv);
+  const auto session = make_telemetry(inv);
+  obs::Telemetry* const telemetry = session ? session->get() : nullptr;
 
   bool detected = false, truth = false;
   std::uint64_t rounds = 0;
@@ -734,7 +895,8 @@ int cmd_detect(const Invocation& inv, std::ostream& out) {
       s = static_cast<std::uint32_t>(to_u64(inv.positional[2], "S"));
     }
     program = "clique_detect";
-    outcome = detect::detect_clique(g, s, bandwidth, seed, trace_opts, shard);
+    outcome = detect::detect_clique(g, s, bandwidth, seed, trace_opts, shard,
+                                    telemetry);
     detected = outcome.detected;
     rounds = outcome.metrics.rounds;
     truth = oracle::has_clique(g, s);
@@ -748,6 +910,7 @@ int cmd_detect(const Invocation& inv, std::ostream& out) {
       cfg.amplify.jobs = jobs;
       cfg.trace = trace_opts;
       cfg.shard = shard;
+      cfg.telemetry = telemetry;
       program = "even_cycle";
       outcome = detect::detect_even_cycle(g, cfg, bandwidth, seed);
       out << "algorithm:  Theorem 1.1 sublinear C_" << len << " detector\n";
@@ -758,6 +921,7 @@ int cmd_detect(const Invocation& inv, std::ostream& out) {
       cfg.amplify.jobs = jobs;
       cfg.trace = trace_opts;
       cfg.shard = shard;
+      cfg.telemetry = telemetry;
       program = "pipelined_cycle";
       outcome = detect::detect_cycle_pipelined(g, cfg, bandwidth, seed);
       out << "algorithm:  pipelined color-coded C_" << len << " detector\n";
@@ -776,6 +940,7 @@ int cmd_detect(const Invocation& inv, std::ostream& out) {
     cfg.amplify.jobs = jobs;
     cfg.trace = trace_opts;
     cfg.shard = shard;
+    cfg.telemetry = telemetry;
     program = "tree_detect";
     outcome = detect::detect_tree(g, cfg, bandwidth, seed);
     detected = outcome.detected;
@@ -806,6 +971,13 @@ int cmd_detect(const Invocation& inv, std::ostream& out) {
     out << "timers:     compute " << timers.compute_ns / 1000000.0
         << " ms, delivery " << timers.delivery_ns / 1000000.0
         << " ms, transport " << timers.transport_ns / 1000000.0 << " ms\n";
+  }
+  if (session) {
+    if (!outcome.faults.violations.empty())
+      session->dump("fault-violation", out);
+    else if (outcome.faults.watchdog_stalls != 0)
+      session->dump("watchdog-stall", out);
+    session->finish(out);
   }
 
   if (trace_path) {
@@ -866,7 +1038,8 @@ congest::RunOutcome sweep_run_cycle(const Graph& g, std::uint32_t len,
                                     std::uint64_t bandwidth,
                                     std::uint64_t seed,
                                     const obs::TraceOptions& trace,
-                                    const congest::ShardSpec& shard) {
+                                    const congest::ShardSpec& shard,
+                                    obs::Telemetry* telemetry) {
   if (len >= 4 && len % 2 == 0) {
     detect::EvenCycleConfig cfg;
     cfg.k = len / 2;
@@ -874,6 +1047,7 @@ congest::RunOutcome sweep_run_cycle(const Graph& g, std::uint32_t len,
     cfg.amplify.jobs = jobs;
     cfg.trace = trace;
     cfg.shard = shard;
+    cfg.telemetry = telemetry;
     return detect::detect_even_cycle(g, cfg, bandwidth, seed);
   }
   detect::PipelinedCycleConfig cfg;
@@ -882,6 +1056,7 @@ congest::RunOutcome sweep_run_cycle(const Graph& g, std::uint32_t len,
   cfg.amplify.jobs = jobs;
   cfg.trace = trace;
   cfg.shard = shard;
+  cfg.telemetry = telemetry;
   return detect::detect_cycle_pipelined(g, cfg, bandwidth, seed);
 }
 
@@ -924,6 +1099,8 @@ int cmd_sweep(const Invocation& inv, std::ostream& out) {
       .param("bandwidth", bandwidth)
       .param("sizes", inv.flag("sizes").value_or("32,64,128"));
   const congest::ShardSpec shard = parse_shard(inv);
+  const auto session = make_telemetry(inv);
+  obs::Telemetry* const telemetry = session ? session->get() : nullptr;
   report.seed(seed);
   report.env("jobs", congest::resolve_jobs(jobs));
   report.env("workers", shard.workers);
@@ -946,7 +1123,7 @@ int cmd_sweep(const Invocation& inv, std::ostream& out) {
     for (const bool positive : {true, false}) {
       const Graph& g = positive ? planted : control;
       auto outcome = sweep_run_cycle(g, len, reps, jobs, bandwidth, seed,
-                                     trace_opts, shard);
+                                     trace_opts, shard, telemetry);
       table.row()
           .cell(n)
           .cell(positive ? "planted" : "control")
@@ -983,6 +1160,7 @@ int cmd_sweep(const Invocation& inv, std::ostream& out) {
     }
   }
   table.print(out);
+  if (session) session->finish(out);
   if (trace_path) out << "trace:      " << *trace_path << '\n';
   if (json_path) {
     report.set_wall_clock_ms(timer.elapsed_ms());
@@ -1012,6 +1190,110 @@ std::string meta_label(const obs::TraceInstance& instance, std::size_t index) {
     label += key + "=" + value;
   }
   return label;
+}
+
+/// `csd postmortem`: render a csd-blackbox-v1 dump (+ optional
+/// csd-metrics-v2 series) as a last-N-seconds timeline, and emit the
+/// csd-postmortem-v1 summary that tools/postmortem_report.py mirrors
+/// field-for-field (the CI fuzz-smoke gate asserts the two agree).
+int cmd_postmortem(const Invocation& inv, std::ostream& out) {
+  CSD_CHECK_MSG(inv.positional.size() == 2,
+                "postmortem needs a blackbox file");
+  std::ifstream is(inv.positional[1]);
+  CSD_CHECK_MSG(is.good(),
+                "cannot read blackbox file '" << inv.positional[1] << "'");
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  const obs::Json dump = obs::Json::parse(buffer.str());
+  CSD_CHECK_MSG(dump.find("schema") != nullptr &&
+                    dump.at("schema").as_string() == "csd-blackbox-v1",
+                "'" << inv.positional[1]
+                    << "' is not a csd-blackbox-v1 dump");
+
+  const double last_sec = to_double(inv.flag("last").value_or("30"), "last");
+  CSD_CHECK_MSG(last_sec > 0, "--last wants seconds > 0");
+  const std::uint64_t dump_epoch = dump.at("epoch_ms").as_uint();
+  const auto window_ms = static_cast<std::uint64_t>(last_sec * 1000.0);
+  const std::uint64_t cutoff =
+      dump_epoch > window_ms ? dump_epoch - window_ms : 0;
+
+  std::map<std::string, std::uint64_t> counts;
+  std::uint64_t in_window = 0;
+  const obs::Json& events = dump.at("events");
+  for (const obs::Json& event : events.items()) {
+    ++counts[event.at("kind").as_string()];
+    if (event.at("epoch_ms").as_uint() >= cutoff) ++in_window;
+  }
+
+  std::uint64_t series_samples = 0, series_span_ms = 0;
+  if (const auto series_path = inv.flag("series")) {
+    std::ifstream ss(*series_path);
+    CSD_CHECK_MSG(ss.good(),
+                  "cannot read series file '" << *series_path << "'");
+    const obs::MetricsSeries series = obs::parse_metrics_series(ss);
+    series_samples = series.samples.size();
+    series_span_ms = series.span_ms();
+  }
+
+  if (const auto json_path = inv.flag("json")) {
+    obs::Json doc = obs::Json::object();
+    doc.set("schema", obs::Json("csd-postmortem-v1"));
+    doc.set("reason", dump.at("reason"));
+    doc.set("epoch_ms", obs::Json(dump_epoch));
+    doc.set("events_recorded", dump.at("events_recorded"));
+    doc.set("events_kept", dump.at("events_kept"));
+    doc.set("torn", dump.at("torn"));
+    doc.set("window_seconds", obs::Json(last_sec));
+    doc.set("events_in_window", obs::Json(in_window));
+    obs::Json counts_json = obs::Json::object();
+    for (const auto& [kind, count] : counts)
+      counts_json.set(kind, obs::Json(count));
+    doc.set("event_counts", std::move(counts_json));
+    doc.set("counters", dump.at("metrics").at("counters"));
+    doc.set("series_samples", obs::Json(series_samples));
+    doc.set("series_span_ms", obs::Json(series_span_ms));
+    std::ofstream os(*json_path);
+    CSD_CHECK_MSG(os.good(), "cannot write '" << *json_path << "'");
+    os << doc.dump(2) << '\n';
+    out << "json:       " << *json_path << '\n';
+  }
+
+  out << "reason:     " << dump.at("reason").as_string() << '\n'
+      << "events:     " << dump.at("events_recorded").as_uint()
+      << " recorded, " << dump.at("events_kept").as_uint() << " kept, "
+      << dump.at("torn").as_uint() << " torn\n";
+  if (!counts.empty()) {
+    out << "event counts:\n";
+    for (const auto& [kind, count] : counts)
+      out << "  " << kind << "  " << count << '\n';
+  }
+  const obs::Json& counters = dump.at("metrics").at("counters");
+  if (!counters.members().empty()) {
+    out << "final counters:\n";
+    for (const auto& [name, value] : counters.members())
+      out << "  " << name << " = " << value.as_uint() << '\n';
+  }
+  if (inv.flag("series"))
+    out << "series:     " << series_samples << " sample(s) spanning "
+        << series_span_ms << " ms\n";
+  out << "timeline (last " << last_sec << "s, " << in_window
+      << " event(s)):\n";
+  for (const obs::Json& event : events.items()) {
+    const std::uint64_t e_epoch = event.at("epoch_ms").as_uint();
+    if (e_epoch < cutoff) continue;
+    // Offset relative to the dump instant, millisecond precision.
+    const std::int64_t rel = static_cast<std::int64_t>(e_epoch) -
+                             static_cast<std::int64_t>(dump_epoch);
+    const std::int64_t mag = rel < 0 ? -rel : rel;
+    out << "  [" << (rel < 0 ? '-' : '+') << mag / 1000 << '.'
+        << static_cast<char>('0' + (mag / 100) % 10)
+        << static_cast<char>('0' + (mag / 10) % 10)
+        << static_cast<char>('0' + mag % 10) << "s] "
+        << event.at("kind").as_string() << "  actor="
+        << event.at("actor").as_uint() << " at=" << event.at("at").as_uint()
+        << " value=" << event.at("value").as_uint() << '\n';
+  }
+  return 0;
 }
 
 /// `csd analyze`: the congestion/phase/fit report over a JSONL trace.
@@ -1219,6 +1501,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     if (command == "detect") return cmd_detect(inv, out);
     if (command == "sweep") return cmd_sweep(inv, out);
     if (command == "analyze") return cmd_analyze(inv, out);
+    if (command == "postmortem") return cmd_postmortem(inv, out);
     if (command == "list-cliques") return cmd_list_cliques(inv, out);
     if (command == "fool") return cmd_fool(inv, out);
     if (command == "fuzz") return cmd_fuzz(inv, out);

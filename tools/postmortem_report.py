@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Render a csd-blackbox-v1 flight-recorder dump as a post-mortem report.
+
+Usage:
+    tools/postmortem_report.py BLACKBOX.json [--series SERIES.jsonl]
+                               [--last SEC] [--json-out FILE]
+
+The input is the JSON document `csd detect/sweep --blackbox` (or a bench's
+--blackbox flag) writes when a run trips a violation, watchdog stall, stall
+report, failed resume, or fatal signal — see DESIGN.md §14:
+
+    {
+      "schema": "csd-blackbox-v1",
+      "reason": "...",            # what triggered the dump
+      "epoch_ms": ...,            # wall clock at dump time
+      "events_recorded": N,       # ring writes over the whole run
+      "events_kept": K,           # survivors in the fixed-capacity ring
+      "torn": T,                  # slots lost to in-flight writers
+      "events": [{"kind","actor","at","value","epoch_ms"}, ...],
+      "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}}
+    }
+
+--series adds the csd-metrics-v2 JSONL sample stream that ran alongside.
+
+The default output is a human-readable report: per-kind event counts,
+final counter values, and a timeline of the last --last seconds (default
+30) relative to the dump instant. --json-out writes a csd-postmortem-v1
+summary whose fields agree value-for-value with `csd postmortem --json`
+on the same inputs — CI parses both and asserts equality, so keep the two
+implementations in lockstep.
+
+Exit status: 0 = rendered, 2 = usage/IO/schema error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "csd-blackbox-v1"
+SERIES_SCHEMA = "csd-metrics-v2"
+OUT_SCHEMA = "csd-postmortem-v1"
+
+
+def fail(message: str) -> None:
+    print(f"error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_blackbox(path: Path) -> dict:
+    try:
+        dump = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"cannot read blackbox '{path}': {exc}")
+    if not isinstance(dump, dict) or dump.get("schema") != SCHEMA:
+        fail(f"'{path}' is not a {SCHEMA} dump")
+    return dump
+
+
+def load_series(path: Path) -> list[dict]:
+    """Parse the JSONL sample stream; validates the per-line schema."""
+    samples = []
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as exc:
+        fail(f"cannot read series '{path}': {exc}")
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            sample = json.loads(line)
+        except json.JSONDecodeError as exc:
+            fail(f"{path}:{lineno}: bad JSON: {exc}")
+        if sample.get("schema") != SERIES_SCHEMA:
+            fail(f"{path}:{lineno}: not a {SERIES_SCHEMA} sample")
+        samples.append(sample)
+    return samples
+
+
+def series_span_ms(samples: list[dict]) -> int:
+    if len(samples) < 2:
+        return 0
+    return samples[-1]["epoch_ms"] - samples[0]["epoch_ms"]
+
+
+def summarize(dump: dict, samples: list[dict], last_sec: float) -> dict:
+    """The csd-postmortem-v1 document; must mirror cmd_postmortem exactly."""
+    dump_epoch = dump["epoch_ms"]
+    cutoff = max(dump_epoch - int(last_sec * 1000.0), 0)
+    counts: dict[str, int] = {}
+    in_window = 0
+    for event in dump["events"]:
+        counts[event["kind"]] = counts.get(event["kind"], 0) + 1
+        if event["epoch_ms"] >= cutoff:
+            in_window += 1
+    return {
+        "schema": OUT_SCHEMA,
+        "reason": dump["reason"],
+        "epoch_ms": dump_epoch,
+        "events_recorded": dump["events_recorded"],
+        "events_kept": dump["events_kept"],
+        "torn": dump["torn"],
+        "window_seconds": last_sec,
+        "events_in_window": in_window,
+        "event_counts": dict(sorted(counts.items())),
+        "counters": dump["metrics"]["counters"],
+        "series_samples": len(samples),
+        "series_span_ms": series_span_ms(samples),
+    }
+
+
+def render(dump: dict, samples: list[dict], summary: dict,
+           last_sec: float, have_series: bool) -> None:
+    print(f"reason:     {summary['reason']}")
+    print(f"events:     {summary['events_recorded']} recorded, "
+          f"{summary['events_kept']} kept, {summary['torn']} torn")
+    if summary["event_counts"]:
+        print("event counts:")
+        for kind, count in summary["event_counts"].items():
+            print(f"  {kind}  {count}")
+    if summary["counters"]:
+        print("final counters:")
+        for name, value in summary["counters"].items():
+            print(f"  {name} = {value}")
+    if have_series:
+        print(f"series:     {summary['series_samples']} sample(s) spanning "
+              f"{summary['series_span_ms']} ms")
+    dump_epoch = summary["epoch_ms"]
+    cutoff = max(dump_epoch - int(last_sec * 1000.0), 0)
+    print(f"timeline (last {last_sec:g}s, "
+          f"{summary['events_in_window']} event(s)):")
+    for event in dump["events"]:
+        if event["epoch_ms"] < cutoff:
+            continue
+        rel_ms = event["epoch_ms"] - dump_epoch
+        sign = "-" if rel_ms < 0 else "+"
+        mag = abs(rel_ms)
+        print(f"  [{sign}{mag // 1000}.{mag % 1000:03d}s] "
+              f"{event['kind']}  actor={event['actor']} "
+              f"at={event['at']} value={event['value']}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Render a csd-blackbox-v1 dump as a post-mortem report")
+    parser.add_argument("blackbox", type=Path,
+                        help="csd-blackbox-v1 JSON dump")
+    parser.add_argument("--series", type=Path, default=None,
+                        help="csd-metrics-v2 JSONL sample stream")
+    parser.add_argument("--last", type=float, default=30.0,
+                        help="timeline window in seconds (default 30)")
+    parser.add_argument("--json-out", type=Path, default=None,
+                        help="write the csd-postmortem-v1 summary here")
+    args = parser.parse_args()
+    if args.last <= 0:
+        fail("--last wants seconds > 0")
+
+    dump = load_blackbox(args.blackbox)
+    samples = load_series(args.series) if args.series else []
+    summary = summarize(dump, samples, args.last)
+    if args.json_out:
+        args.json_out.write_text(json.dumps(summary, indent=2) + "\n")
+        print(f"json:       {args.json_out}")
+    render(dump, samples, summary, args.last, args.series is not None)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,7 +3,7 @@
 
 Usage:
     tools/shard_determinism.py --csd build/tools/csd [--workdir DIR]
-        [--workers 1,2,8] [--jobs 1,4] [--reps 32]
+        [--workers 1,2,8] [--jobs 1,4] [--reps 32] [--telemetry]
 
 Runs every (workers, jobs) cell of the matrix on two smoke instances —
 the THM11 even-cycle detector (C_4 on a random forest) and the triangle
@@ -21,6 +21,11 @@ other cell must reproduce it bit-for-bit:
 Both policies are exercised: range on the even-cycle instance, hash on
 the triangle instance (and vice versa on a second pass of each), so a
 policy-dependent merge bug cannot hide behind a lucky partition.
+
+--telemetry attaches the csd-metrics-v2 plane (--metrics-out sampler +
+--blackbox flight recorder, DESIGN.md §14) to every matrix cell while
+the classic reference stays uninstrumented — matching digests then also
+prove the telemetry plane leaves verdicts, reports and traces untouched.
 
 Exit status: 0 = every cell bit-identical, 1 = divergence (the offending
 cell and digests are printed), 2 = usage/IO error.
@@ -58,7 +63,8 @@ def raw_digest(path: Path) -> str:
 
 
 def detect_cell(csd: str, instance: dict, workdir: Path, workers: int,
-                jobs: int, policy: str, tag: str) -> tuple[str, str]:
+                jobs: int, policy: str, tag: str,
+                telemetry: bool = False) -> tuple[str, str]:
     """Run one matrix cell; return (json digest, trace digest)."""
     json_path = workdir / f"{tag}.json"
     trace_path = workdir / f"{tag}.jsonl"
@@ -68,6 +74,10 @@ def detect_cell(csd: str, instance: dict, workdir: Path, workers: int,
            "--json", str(json_path), "--trace", str(trace_path)]
     if workers != 0:
         cmd += ["--workers", str(workers), "--shard-policy", policy]
+    if telemetry:
+        cmd += ["--metrics-out", str(workdir / f"{tag}.metrics.jsonl"),
+                "--metrics-period", "50",
+                "--blackbox", str(workdir / f"{tag}.blackbox.json")]
     run(cmd)
     return canonical_json_digest(json_path), raw_digest(trace_path)
 
@@ -86,6 +96,9 @@ def main() -> int:
                         help="comma list of --jobs fan-outs")
     parser.add_argument("--reps", type=int, default=32,
                         help="amplification repetitions per instance")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="attach --metrics-out/--blackbox to every "
+                             "matrix cell (reference stays plain)")
     args = parser.parse_args()
 
     workers = [int(w) for w in args.workers.split(",") if w]
@@ -121,7 +134,8 @@ def main() -> int:
                 for policy in ("range", "hash"):
                     tag = f"{instance['name']}-w{w}-j{j}-{policy}"
                     cell = detect_cell(args.csd, instance, workdir, w, j,
-                                       policy, tag)
+                                       policy, tag,
+                                       telemetry=args.telemetry)
                     ok = cell == ref
                     status = "ok" if ok else "MISMATCH"
                     print(f"  workers={w} jobs={j} policy={policy}: {status}")
@@ -140,7 +154,9 @@ def main() -> int:
               file=sys.stderr)
         return 1
     cells = len(instances) * len(workers) * len(jobs) * 2
-    print(f"OK: {cells} matrix cell(s) bit-identical to the classic engine")
+    suffix = " (telemetry attached)" if args.telemetry else ""
+    print(f"OK: {cells} matrix cell(s) bit-identical to the classic "
+          f"engine{suffix}")
     return 0
 
 
